@@ -1,0 +1,339 @@
+//! Assembly items: the input language of the builder.
+
+use icfgp_isa::{Addr, AluOp, Arch, Cond, Inst, Reg, Width};
+use icfgp_obj::{Language, RaRule, SymbolAttrs};
+
+/// A reference to something with an address, resolved at layout time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RefTarget {
+    /// A function by name.
+    Func(String),
+    /// A data symbol by name.
+    Data(String),
+    /// A label `label` inside function `func` (jump-table targets).
+    Label {
+        /// Containing function.
+        func: String,
+        /// Label name within that function.
+        label: String,
+    },
+}
+
+impl RefTarget {
+    /// Convenience constructor for [`RefTarget::Label`].
+    #[must_use]
+    pub fn label(func: impl Into<String>, label: impl Into<String>) -> RefTarget {
+        RefTarget::Label { func: func.into(), label: label.into() }
+    }
+}
+
+/// One element of a function body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item {
+    /// Define a local label at the current position.
+    Label(String),
+    /// A concrete instruction (no symbolic operands).
+    I(Inst),
+    /// Unconditional jump to a local label (relaxed short→near on x64).
+    JmpL(String),
+    /// Conditional jump to a local label (relaxed on x64).
+    JccL(Cond, String),
+    /// Direct call to a function by name.
+    CallF(String),
+    /// Direct tail-jump to a function by name (always near form).
+    TailJmpF(String),
+    /// Materialise the address of `target` (+`delta`) into `dst`.
+    /// Expands to `lea`/`mov` (x64), `addis`+`addi` (ppc64le), or
+    /// `adrp`+`add` (aarch64).
+    LoadAddr {
+        /// Destination register.
+        dst: Reg,
+        /// What to take the address of.
+        target: RefTarget,
+        /// Constant added to the resolved address.
+        delta: i64,
+    },
+    /// Materialise a 64-bit constant (expands to `mov`+`orshl16` chains
+    /// on RISC).
+    MovWide {
+        /// Destination register.
+        dst: Reg,
+        /// The constant.
+        imm: i64,
+    },
+    /// Load from a data symbol (+offset). On RISC this expands to
+    /// address materialisation into `tmp` followed by a load.
+    LoadFrom {
+        /// Destination register.
+        dst: Reg,
+        /// Symbol to load from.
+        target: RefTarget,
+        /// Byte offset added to the symbol address.
+        offset: i64,
+        /// Access width.
+        width: Width,
+        /// Sign-extend narrow loads.
+        sign: bool,
+        /// Scratch register for RISC address materialisation.
+        tmp: Reg,
+    },
+    /// Store to a data symbol (+offset); RISC uses `tmp` for the
+    /// address.
+    StoreTo {
+        /// Source register.
+        src: Reg,
+        /// Symbol to store to.
+        target: RefTarget,
+        /// Byte offset added to the symbol address.
+        offset: i64,
+        /// Access width.
+        width: Width,
+        /// Scratch register for RISC address materialisation.
+        tmp: Reg,
+    },
+    /// A jump table embedded *inside the code section* (the ppc64le
+    /// idiom). Must be placed after an unconditional control transfer.
+    InlineTable {
+        /// Data-symbol name the table is addressable by.
+        name: String,
+        /// Entry width in bytes (1, 2, 4 or 8).
+        entry_width: u8,
+        /// Entry encoding; see [`EntryKind`].
+        kind: EntryKind,
+        /// Local labels the entries point at.
+        targets: Vec<String>,
+    },
+    /// Pad with `nop`s to the given alignment.
+    Align(u8),
+}
+
+/// How a jump-table entry encodes its target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EntryKind {
+    /// `entry = target` (absolute; needs a RELATIVE relocation per
+    /// entry in PIE).
+    Absolute,
+    /// `entry = target - table_base` (position independent).
+    Relative,
+    /// `entry = (target - table_base) >> 2` (aarch64-style compact
+    /// byte/halfword tables).
+    RelativeScaled,
+}
+
+impl EntryKind {
+    /// Compute the stored entry value.
+    #[must_use]
+    pub fn entry_value(self, target: u64, table_base: u64) -> i64 {
+        match self {
+            EntryKind::Absolute => target as i64,
+            EntryKind::Relative => target as i64 - table_base as i64,
+            EntryKind::RelativeScaled => (target as i64 - table_base as i64) >> 2,
+        }
+    }
+
+    /// Recover the target from a stored entry value.
+    #[must_use]
+    pub fn target_of(self, entry: i64, table_base: u64) -> u64 {
+        match self {
+            EntryKind::Absolute => entry as u64,
+            EntryKind::Relative => (table_base as i64 + entry) as u64,
+            EntryKind::RelativeScaled => (table_base as i64 + (entry << 2)) as u64,
+        }
+    }
+}
+
+/// One element of a data section.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DataItem {
+    /// Raw bytes.
+    Bytes(Vec<u8>),
+    /// Zero-filled bytes.
+    Zeros(usize),
+    /// An 8-byte slot holding `target + delta` (RELATIVE-relocated in
+    /// PIE).
+    Addr {
+        /// What the slot points at.
+        target: RefTarget,
+        /// Constant added to the resolved address (the `&goexit + 1`
+        /// pattern sets this to 1).
+        delta: i64,
+    },
+    /// A jump table in data.
+    JumpTable {
+        /// Entry width in bytes (1, 2, 4 or 8).
+        entry_width: u8,
+        /// Entry encoding.
+        kind: EntryKind,
+        /// Targets as (function, label) pairs.
+        targets: Vec<(String, String)>,
+    },
+    /// Pad with zeros to the given alignment.
+    Align(u8),
+}
+
+/// Unwind information for one function, with label-relative call sites.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct UnwindSpec {
+    /// Bytes the prologue subtracts from the stack pointer.
+    pub frame_size: u64,
+    /// Where the return address lives post-prologue; `None` derives the
+    /// standard rule (stack slot at `frame_size` on x64 with the pushed
+    /// RA above the frame, stack slot at `frame_size - 8` on RISC
+    /// non-leaf, link register for RISC leaves).
+    pub ra: Option<RaRule>,
+    /// Exception call-site ranges as (start label, end label, landing
+    /// pad label).
+    pub call_sites: Vec<(String, String, String)>,
+}
+
+/// A function definition handed to the builder.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncDef {
+    /// Function name.
+    pub name: String,
+    /// Source language.
+    pub language: Language,
+    /// Symbol attributes.
+    pub attrs: SymbolAttrs,
+    /// Body items.
+    pub items: Vec<Item>,
+    /// Unwind info; `None` means no `.eh_frame` entry (the unwinder
+    /// will refuse to step through this function).
+    pub unwind: Option<UnwindSpec>,
+}
+
+impl FuncDef {
+    /// A function with default attributes and no unwind entry.
+    #[must_use]
+    pub fn new(name: impl Into<String>, language: Language, items: Vec<Item>) -> FuncDef {
+        FuncDef {
+            name: name.into(),
+            language,
+            attrs: SymbolAttrs::default(),
+            items,
+            unwind: None,
+        }
+    }
+
+    /// Attach an unwind spec.
+    #[must_use]
+    pub fn with_unwind(mut self, unwind: UnwindSpec) -> FuncDef {
+        self.unwind = Some(unwind);
+        self
+    }
+
+    /// Override symbol attributes.
+    #[must_use]
+    pub fn with_attrs(mut self, attrs: SymbolAttrs) -> FuncDef {
+        self.attrs = attrs;
+        self
+    }
+}
+
+/// Standard prologue: allocate `frame_size` bytes and (on RISC
+/// non-leaf) spill the link register to the top of the frame.
+///
+/// The frame layout matches the unwind rules in
+/// [`UnwindSpec`]: on x64 the caller's `call` pushed the return address
+/// at `[sp + frame_size]` post-prologue; on RISC the spilled `lr` lives
+/// at `[sp + frame_size - 8]`.
+#[must_use]
+pub fn prologue(arch: Arch, frame_size: u64, leaf: bool) -> Vec<Item> {
+    let sp = arch.sp();
+    let mut items = Vec::new();
+    if frame_size > 0 {
+        items.push(Item::I(Inst::AluImm {
+            op: AluOp::Sub,
+            dst: sp,
+            src: sp,
+            imm: frame_size as i32,
+        }));
+    }
+    if arch.has_link_register() && !leaf {
+        // mflr r0; store r0, [sp + frame-8]
+        items.push(Item::I(Inst::MoveFromLr { dst: Reg(0) }));
+        items.push(Item::I(Inst::Store {
+            src: Reg(0),
+            addr: Addr::base_disp(sp, frame_size as i64 - 8),
+            width: Width::W8,
+        }));
+    }
+    items
+}
+
+/// Standard epilogue mirroring [`prologue`], ending in `ret`.
+#[must_use]
+pub fn epilogue(arch: Arch, frame_size: u64, leaf: bool) -> Vec<Item> {
+    let sp = arch.sp();
+    let mut items = Vec::new();
+    if arch.has_link_register() && !leaf {
+        items.push(Item::I(Inst::Load {
+            dst: Reg(0),
+            addr: Addr::base_disp(sp, frame_size as i64 - 8),
+            width: Width::W8,
+            sign: false,
+        }));
+        items.push(Item::I(Inst::MoveToLr { src: Reg(0) }));
+    }
+    if frame_size > 0 {
+        items.push(Item::I(Inst::AluImm {
+            op: AluOp::Add,
+            dst: sp,
+            src: sp,
+            imm: frame_size as i32,
+        }));
+    }
+    items.push(Item::I(Inst::Ret));
+    items
+}
+
+/// Derive the standard [`RaRule`] for a function.
+#[must_use]
+pub fn standard_ra_rule(arch: Arch, frame_size: u64, leaf: bool) -> RaRule {
+    if arch.has_link_register() {
+        if leaf {
+            RaRule::LinkRegister
+        } else {
+            RaRule::StackSlot { offset: frame_size as i64 - 8 }
+        }
+    } else {
+        // x64: the caller's `call` pushed the RA just above our frame.
+        RaRule::StackSlot { offset: frame_size as i64 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entry_kind_roundtrip() {
+        for kind in [EntryKind::Absolute, EntryKind::Relative, EntryKind::RelativeScaled] {
+            let base = 0x2000u64;
+            let target = 0x1450u64; // 4-aligned for the scaled kind
+            let v = kind.entry_value(target, base);
+            assert_eq!(kind.target_of(v, base), target, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn prologue_epilogue_shapes() {
+        // x64 non-leaf: just the frame adjustment.
+        assert_eq!(prologue(Arch::X64, 32, false).len(), 1);
+        assert_eq!(epilogue(Arch::X64, 32, false).len(), 2);
+        // RISC non-leaf: frame + lr spill.
+        assert_eq!(prologue(Arch::Ppc64le, 32, false).len(), 3);
+        assert_eq!(epilogue(Arch::Ppc64le, 32, false).len(), 4);
+        // RISC leaf: no lr traffic.
+        assert_eq!(prologue(Arch::Aarch64, 16, true).len(), 1);
+        // Zero frame leaf: nothing at all.
+        assert!(prologue(Arch::Aarch64, 0, true).is_empty());
+    }
+
+    #[test]
+    fn ra_rules() {
+        assert_eq!(standard_ra_rule(Arch::X64, 32, false), RaRule::StackSlot { offset: 32 });
+        assert_eq!(standard_ra_rule(Arch::Ppc64le, 32, false), RaRule::StackSlot { offset: 24 });
+        assert_eq!(standard_ra_rule(Arch::Aarch64, 32, true), RaRule::LinkRegister);
+    }
+}

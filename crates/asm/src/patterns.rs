@@ -1,0 +1,306 @@
+//! Canonical compiler code-generation patterns.
+//!
+//! These are the dispatch idioms real compilers emit and the paper's
+//! analyses pattern-match (§5.1): bounded jump-table switches in all
+//! the per-architecture flavours, with optional hardness features
+//! (index copies, stack spills, unanalyzable base computations) that
+//! exercise specific analysis capabilities. The workload generator and
+//! the analysis tests share this module so "what the compiler emits"
+//! has a single definition.
+
+use crate::item::{EntryKind, Item, RefTarget};
+use icfgp_isa::{Addr, AluOp, Arch, Cond, Inst, Reg, Width};
+
+/// How hard the switch is for the jump-table slicer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwitchHardness {
+    /// Plain `cmp/ja/lea/load/jmp` — every analysis resolves it.
+    Easy,
+    /// The bound check compares a *copy* of the index register;
+    /// resolving it needs copy tracking.
+    CopiedBound,
+    /// The index is spilled to the stack and reloaded before use;
+    /// resolving it needs spill tracking
+    /// ([`icfgp_cfg`-speak: `track_spills`]).
+    SpilledIndex,
+    /// The table base is obfuscated through an `xor` round-trip; no
+    /// slicer resolves it (models complicated path conditions). The
+    /// function still *runs* correctly.
+    Unanalyzable,
+    /// The real bound check runs over a stack-spilled copy, and an
+    /// unrelated *smaller* unsigned compare on the index sits earlier
+    /// in the stream. A slicer without spill tracking connects the
+    /// wrong compare and **under-approximates** the table — the
+    /// catastrophic Figure 2 class, and how the weaker baseline
+    /// produces wrong rewrites instead of clean failures.
+    DeceptiveBound,
+}
+
+/// A switch statement to emit.
+#[derive(Debug, Clone)]
+pub struct SwitchSpec {
+    /// Register holding the (already range-checked or not) index.
+    pub idx_reg: Reg,
+    /// Data-symbol name for the table.
+    pub table_name: String,
+    /// Case labels, one per table entry, in entry order.
+    pub case_labels: Vec<String>,
+    /// Label jumped to when the index is out of range.
+    pub default_label: String,
+    /// Entry width in bytes.
+    pub entry_width: u8,
+    /// Entry encoding.
+    pub kind: EntryKind,
+    /// Put the table inline in `.text` right after the dispatch jump
+    /// (the ppc64le idiom; required for compact scaled tables).
+    pub inline: bool,
+    /// Slicer difficulty.
+    pub hardness: SwitchHardness,
+    /// Stack slot (sp-relative) used by [`SwitchHardness::SpilledIndex`];
+    /// must be within the function's frame.
+    pub spill_slot: i64,
+    /// Scratch registers: (table base, loaded value / final target).
+    pub scratch: (Reg, Reg),
+    /// x64 only: dispatch with a single memory-indirect jump
+    /// (`jmp [base + idx*8]`) instead of load+`jmp reg`. Requires an
+    /// absolute 8-byte table.
+    pub mem_indirect: bool,
+}
+
+/// Emit the dispatch sequence for `spec` into `items`.
+///
+/// The caller provides the case blocks (labelled with
+/// `spec.case_labels`) and the default block. When the table is not
+/// inline, the caller must also add the returned
+/// [`crate::DataItem::JumpTable`] to `.rodata` under
+/// `spec.table_name` — use [`switch_table_item`].
+pub fn emit_switch(items: &mut Vec<Item>, arch: Arch, spec: &SwitchSpec) {
+    assert!(
+        spec.hardness != SwitchHardness::SpilledIndex || spec.kind == EntryKind::Absolute,
+        "spilled-index switches need a third scratch register for non-absolute tables"
+    );
+    let (rt, rv) = spec.scratch;
+    let idx = spec.idx_reg;
+    let n = spec.case_labels.len() as i32;
+
+    // Bound check.
+    match spec.hardness {
+        SwitchHardness::CopiedBound => {
+            items.push(Item::I(Inst::MovReg { dst: rv, src: idx }));
+            items.push(Item::I(Inst::CmpImm { a: rv, imm: n - 1 }));
+            items.push(Item::JccL(Cond::UGt, spec.default_label.clone()));
+        }
+        SwitchHardness::DeceptiveBound => {
+            // Decoy: an unrelated early-out on small indices.
+            let decoy = format!("{}_decoy", spec.table_name);
+            items.push(Item::I(Inst::CmpImm { a: idx, imm: 2 }));
+            items.push(Item::JccL(Cond::UGt, decoy.clone()));
+            items.push(Item::I(Inst::AluImm { op: AluOp::Add, dst: rv, src: idx, imm: 0 }));
+            items.push(Item::Label(decoy));
+            // Real bound check through a stack-spilled copy.
+            let sp = arch.sp();
+            items.push(Item::I(Inst::Store {
+                src: idx,
+                addr: Addr::base_disp(sp, spec.spill_slot),
+                width: Width::W8,
+            }));
+            items.push(Item::I(Inst::Load {
+                dst: rv,
+                addr: Addr::base_disp(sp, spec.spill_slot),
+                width: Width::W8,
+                sign: false,
+            }));
+            items.push(Item::I(Inst::CmpImm { a: rv, imm: n - 1 }));
+            items.push(Item::JccL(Cond::UGt, spec.default_label.clone()));
+        }
+        _ => {
+            items.push(Item::I(Inst::CmpImm { a: idx, imm: n - 1 }));
+            items.push(Item::JccL(Cond::UGt, spec.default_label.clone()));
+        }
+    }
+
+    // Index register actually used by the load.
+    let mut use_idx = idx;
+    if spec.hardness == SwitchHardness::SpilledIndex {
+        let sp = arch.sp();
+        items.push(Item::I(Inst::Store {
+            src: idx,
+            addr: Addr::base_disp(sp, spec.spill_slot),
+            width: Width::W8,
+        }));
+        // Clobber the original so a naive slicer can't shortcut.
+        items.push(Item::I(Inst::MovImm { dst: idx, imm: 0 }));
+        items.push(Item::I(Inst::Load {
+            dst: rv,
+            addr: Addr::base_disp(sp, spec.spill_slot),
+            width: Width::W8,
+            sign: false,
+        }));
+        use_idx = rv;
+    }
+
+    // Table base.
+    items.push(Item::LoadAddr {
+        dst: rt,
+        target: RefTarget::Data(spec.table_name.clone()),
+        delta: 0,
+    });
+    if spec.hardness == SwitchHardness::Unanalyzable {
+        // Round-trip the base through xor: value-preserving but
+        // opaque to the pattern-driven slicer.
+        items.push(Item::I(Inst::Alu { op: AluOp::Xor, dst: rt, a: rt, b: use_idx }));
+        items.push(Item::I(Inst::Alu { op: AluOp::Xor, dst: rt, a: rt, b: use_idx }));
+    }
+
+    if spec.mem_indirect {
+        assert!(
+            arch == Arch::X64 && spec.kind == EntryKind::Absolute && spec.entry_width == 8,
+            "memory-indirect dispatch is the x64 absolute-table idiom"
+        );
+        items.push(Item::I(Inst::JumpMem { addr: Addr::base_index(rt, use_idx, 8) }));
+        if spec.inline {
+            items.push(Item::InlineTable {
+                name: spec.table_name.clone(),
+                entry_width: spec.entry_width,
+                kind: spec.kind,
+                targets: spec.case_labels.clone(),
+            });
+        }
+        return;
+    }
+    // Entry load; rv must differ from use_idx for the spilled form,
+    // so reuse rt as the landing register there.
+    let value_reg = if use_idx == rv { rt } else { rv };
+    items.push(Item::I(Inst::Load {
+        dst: value_reg,
+        addr: Addr::base_index(rt, use_idx, spec.entry_width),
+        width: match spec.entry_width {
+            1 => Width::W1,
+            2 => Width::W2,
+            4 => Width::W4,
+            _ => Width::W8,
+        },
+        sign: spec.kind != EntryKind::Absolute,
+    }));
+    match spec.kind {
+        EntryKind::Absolute => {}
+        EntryKind::Relative => {
+            items.push(Item::I(Inst::Alu { op: AluOp::Add, dst: value_reg, a: value_reg, b: rt }));
+        }
+        EntryKind::RelativeScaled => {
+            items.push(Item::I(Inst::AluImm {
+                op: AluOp::Shl,
+                dst: value_reg,
+                src: value_reg,
+                imm: 2,
+            }));
+            items.push(Item::I(Inst::Alu { op: AluOp::Add, dst: value_reg, a: value_reg, b: rt }));
+        }
+    }
+
+    // The indirect jump.
+    if arch == Arch::Ppc64le {
+        items.push(Item::I(Inst::MoveToTar { src: value_reg }));
+        items.push(Item::I(Inst::JumpTar));
+    } else {
+        items.push(Item::I(Inst::JumpReg { src: value_reg }));
+    }
+
+    // Inline table data, when requested.
+    if spec.inline {
+        items.push(Item::InlineTable {
+            name: spec.table_name.clone(),
+            entry_width: spec.entry_width,
+            kind: spec.kind,
+            targets: spec.case_labels.clone(),
+        });
+    }
+}
+
+/// The `.rodata` table item matching `spec` (for non-inline tables).
+#[must_use]
+pub fn switch_table_item(func: &str, spec: &SwitchSpec) -> crate::DataItem {
+    crate::DataItem::JumpTable {
+        entry_width: spec.entry_width,
+        kind: spec.kind,
+        targets: spec
+            .case_labels
+            .iter()
+            .map(|l| (func.to_string(), l.clone()))
+            .collect(),
+    }
+}
+
+/// Emit an indirect tail call: load a function pointer from `slot` and
+/// jump to it. Used with nop-only layout gaps this exercises §5.1's
+/// tail-call gap heuristic.
+pub fn emit_indirect_tailcall(items: &mut Vec<Item>, arch: Arch, slot: &str, tmp: (Reg, Reg)) {
+    let (rt, rv) = tmp;
+    items.push(Item::LoadFrom {
+        dst: rv,
+        target: RefTarget::Data(slot.to_string()),
+        offset: 0,
+        width: Width::W8,
+        sign: false,
+        tmp: rt,
+    });
+    if arch == Arch::Ppc64le {
+        items.push(Item::I(Inst::MoveToTar { src: rv }));
+        items.push(Item::I(Inst::JumpTar));
+    } else {
+        items.push(Item::I(Inst::JumpReg { src: rv }));
+    }
+}
+
+/// Emit an indirect call through a function-pointer slot.
+pub fn emit_indirect_call(items: &mut Vec<Item>, arch: Arch, slot: &str, tmp: (Reg, Reg)) {
+    let (rt, rv) = tmp;
+    items.push(Item::LoadFrom {
+        dst: rv,
+        target: RefTarget::Data(slot.to_string()),
+        offset: 0,
+        width: Width::W8,
+        sign: false,
+        tmp: rt,
+    });
+    if arch == Arch::Ppc64le {
+        items.push(Item::I(Inst::MoveToTar { src: rv }));
+        items.push(Item::I(Inst::CallTar));
+    } else {
+        items.push(Item::I(Inst::CallReg { src: rv }));
+    }
+}
+
+/// Emit an indirect call through a *stack memory* operand — the x64
+/// pattern SRBI's call emulation mishandles (§8.1: "does not correctly
+/// handle indirect calls through stack memory locations"). Only
+/// meaningful on x64; other architectures fall back to
+/// [`emit_indirect_call`].
+pub fn emit_indirect_call_via_stack(
+    items: &mut Vec<Item>,
+    arch: Arch,
+    slot: &str,
+    stack_off: i64,
+    tmp: (Reg, Reg),
+) {
+    if arch != Arch::X64 {
+        emit_indirect_call(items, arch, slot, tmp);
+        return;
+    }
+    let (rt, rv) = tmp;
+    let sp = arch.sp();
+    items.push(Item::LoadFrom {
+        dst: rv,
+        target: RefTarget::Data(slot.to_string()),
+        offset: 0,
+        width: Width::W8,
+        sign: false,
+        tmp: rt,
+    });
+    items.push(Item::I(Inst::Store {
+        src: rv,
+        addr: Addr::base_disp(sp, stack_off),
+        width: Width::W8,
+    }));
+    items.push(Item::I(Inst::CallMem { addr: Addr::base_disp(sp, stack_off) }));
+}

@@ -1,0 +1,111 @@
+//! Property tests: assembled binaries disassemble back to what was
+//! assembled, for random straight-line and branchy function bodies.
+
+use icfgp_asm::{BinaryBuilder, FuncDef, Item};
+use icfgp_isa::{decode, AluOp, Arch, Cond, Inst, Reg};
+use icfgp_obj::Language;
+use proptest::prelude::*;
+
+fn arb_arch() -> impl Strategy<Value = Arch> {
+    prop_oneof![Just(Arch::X64), Just(Arch::Ppc64le), Just(Arch::Aarch64)]
+}
+
+/// Straight-line instructions valid on all architectures.
+fn arb_body_inst() -> impl Strategy<Value = Inst> {
+    let r = || (8u8..14).prop_map(Reg);
+    prop_oneof![
+        Just(Inst::Nop),
+        (r(), -1000i64..1000).prop_map(|(dst, imm)| Inst::MovImm { dst, imm }),
+        (r(), r()).prop_map(|(dst, src)| Inst::MovReg { dst, src }),
+        (r(), r(), r()).prop_map(|(dst, a, b)| Inst::Alu { op: AluOp::Add, dst, a, b }),
+        (r(), r(), -100i32..100)
+            .prop_map(|(dst, src, imm)| Inst::AluImm { op: AluOp::Xor, dst, src, imm }),
+        (r(), -100i32..100).prop_map(|(a, imm)| Inst::CmpImm { a, imm }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Assemble a straight-line body; linear disassembly of the
+    /// function range reproduces it instruction by instruction.
+    #[test]
+    fn straight_line_roundtrip(arch in arb_arch(),
+                               body in proptest::collection::vec(arb_body_inst(), 1..40)) {
+        let mut items: Vec<Item> = body.iter().cloned().map(Item::I).collect();
+        items.push(Item::I(Inst::Halt));
+        let mut b = BinaryBuilder::new(arch);
+        b.add_function(FuncDef::new("main", Language::C, items));
+        b.set_entry("main");
+        let bin = b.build().expect("assembles");
+        let sym = bin.function_named("main").unwrap();
+        let text = bin.section(".text").unwrap();
+        let mut addr = sym.addr;
+        for expected in body.iter().chain(std::iter::once(&Inst::Halt)) {
+            let bytes = text.read(addr, (sym.end() - addr).min(16) as usize).unwrap();
+            let (inst, len) = decode(bytes, arch).expect("decodes");
+            prop_assert_eq!(&inst, expected, "at {:#x}", addr);
+            addr += len as u64;
+        }
+        prop_assert_eq!(addr, sym.end(), "symbol size covers exactly the body");
+    }
+
+    /// Forward branches over random-size gaps resolve to the right
+    /// target regardless of the relaxation form chosen.
+    #[test]
+    fn branch_resolution(arch in arb_arch(), gap in 0usize..200, cond in 0u8..10) {
+        let cond = Cond::from_code(cond).unwrap();
+        let mut items = vec![Item::JccL(cond, "target".into())];
+        items.extend(std::iter::repeat_n(Item::I(Inst::Nop), gap));
+        items.push(Item::Label("target".into()));
+        items.push(Item::I(Inst::Halt));
+        let mut b = BinaryBuilder::new(arch);
+        b.add_function(FuncDef::new("main", Language::C, items));
+        b.set_entry("main");
+        let bin = b.build().expect("assembles");
+        let sym = bin.function_named("main").unwrap();
+        let text = bin.section(".text").unwrap();
+        let bytes = text.read(sym.addr, (sym.end() - sym.addr).min(16) as usize).unwrap();
+        let (inst, _) = decode(bytes, arch).expect("decodes");
+        let Inst::JumpCond { cond: got, offset } = inst else {
+            return Err(TestCaseError::fail("expected a conditional branch"));
+        };
+        prop_assert_eq!(got, cond);
+        let target = sym.addr.wrapping_add_signed(offset);
+        // The branch lands exactly on the Halt (the labelled target),
+        // which is `gap` nops after the branch.
+        let tb = text.read(target, 4.min((sym.end() - target) as usize)).unwrap();
+        let (ti, _) = decode(tb, arch).expect("target decodes");
+        prop_assert_eq!(ti, Inst::Halt);
+    }
+
+    /// Function symbols partition the text: sorted, non-overlapping,
+    /// and padding between them decodes as nops.
+    #[test]
+    fn function_layout_invariants(arch in arb_arch(),
+                                  sizes in proptest::collection::vec(1usize..24, 2..8)) {
+        let mut b = BinaryBuilder::new(arch);
+        for (i, n) in sizes.iter().enumerate() {
+            let mut items: Vec<Item> = std::iter::repeat_n(Item::I(Inst::Nop), *n).collect();
+            items.push(Item::I(Inst::Ret));
+            b.add_function(FuncDef::new(format!("f{i}"), Language::C, items));
+        }
+        b.set_entry("f0");
+        let bin = b.build().expect("assembles");
+        let funcs: Vec<_> = bin.functions().collect();
+        prop_assert_eq!(funcs.len(), sizes.len());
+        for w in funcs.windows(2) {
+            prop_assert!(w[0].end() <= w[1].addr, "no overlap");
+            prop_assert_eq!(w[1].addr % 16, 0, "aligned");
+            // Inter-function padding decodes as nops.
+            let text = bin.section(".text").unwrap();
+            let mut a = w[0].end();
+            while a < w[1].addr {
+                let bytes = text.read(a, (w[1].addr - a).min(16) as usize).unwrap();
+                let (inst, len) = decode(bytes, arch).expect("padding decodes");
+                prop_assert_eq!(inst, Inst::Nop);
+                a += len as u64;
+            }
+        }
+    }
+}

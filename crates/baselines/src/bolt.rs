@@ -1,0 +1,182 @@
+//! BOLT-style binary optimisation (the §8.3 comparison).
+
+use icfgp_core::{
+    Instrumentation, LayoutOrder, Points, RewriteConfig, RewriteMode, RewriteOutcome, Rewriter,
+};
+use icfgp_obj::{Binary, Language, RelocKind, Section, SectionFlags, SectionKind};
+#[allow(unused_imports)]
+use icfgp_obj::names as _names;
+use std::fmt;
+
+/// The two reordering experiments of §8.3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoltTransform {
+    /// Reverse the order of all functions, keeping block order.
+    ReorderFunctions,
+    /// Reverse the blocks within each function, keeping function
+    /// order.
+    ReorderBlocks,
+}
+
+/// BOLT behaviour switches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BoltOptions {
+    /// Reproduce the historical engineering bug: block reordering
+    /// emits corrupted output (bad `.interp`, unloadable) for binaries
+    /// with Fortran components or C++ exceptions — 10 of the 19
+    /// SPEC-like workloads, matching the paper's count. This is a
+    /// bug-compatibility flag, not a mechanism; see EXPERIMENTS.md.
+    pub bug_compat: bool,
+}
+
+impl Default for BoltOptions {
+    fn default() -> BoltOptions {
+        BoltOptions { bug_compat: true }
+    }
+}
+
+/// Why BOLT refused or failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BoltError {
+    /// "function reordering only works when relocations are enabled" —
+    /// link-time relocations specifically; run-time relocations in PIE
+    /// do not help (§8.3).
+    NeedsLinkTimeRelocs,
+    /// The underlying rewrite failed.
+    Rewrite(String),
+}
+
+impl fmt::Display for BoltError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BoltError::NeedsLinkTimeRelocs => write!(
+                f,
+                "BOLT-ERROR: function reordering only works when relocations are enabled"
+            ),
+            BoltError::Rewrite(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for BoltError {}
+
+/// Apply a BOLT-style reordering.
+///
+/// On success the output may still be *corrupted* (unloadable) in
+/// [`BoltOptions::bug_compat`] mode — exactly like the real tool,
+/// which exited successfully while emitting broken binaries.
+///
+/// # Errors
+///
+/// [`BoltError::NeedsLinkTimeRelocs`] for function reordering without
+/// retained link-time relocations.
+pub fn bolt(
+    binary: &Binary,
+    transform: BoltTransform,
+    options: BoltOptions,
+) -> Result<RewriteOutcome, BoltError> {
+    if transform == BoltTransform::ReorderFunctions
+        && !binary.relocations.iter().any(|r| r.kind == RelocKind::LinkTime)
+    {
+        return Err(BoltError::NeedsLinkTimeRelocs);
+    }
+    let mut config = RewriteConfig::new(RewriteMode::Jt);
+    config.poison_text = false;
+    config.layout = match transform {
+        BoltTransform::ReorderFunctions => LayoutOrder::ReverseFunctions,
+        BoltTransform::ReorderBlocks => LayoutOrder::ReverseBlocks,
+    };
+    let rewriter = Rewriter::new(config);
+    let mut outcome = rewriter
+        .rewrite(binary, &Instrumentation::empty(Points::EveryBlock))
+        .map_err(|e| BoltError::Rewrite(e.to_string()))?;
+
+    // Note: unlike IR lowering, the original `.text` stays loaded —
+    // BOLT keeps entry stubs at original addresses so unrelocated
+    // references (function pointers without link-time relocations)
+    // continue to work. Our size-increase numbers are accordingly
+    // larger than real BOLT's (see EXPERIMENTS.md).
+    outcome.report.rewritten_size = outcome.binary.loaded_size();
+
+    // The historical block-reorder corruption.
+    let has_fortran = binary.meta.languages.contains(&Language::Fortran);
+    if options.bug_compat
+        && transform == BoltTransform::ReorderBlocks
+        && (has_fortran || binary.uses_exceptions())
+    {
+        // Bad `.interp`: an overlapping header section makes the
+        // output unloadable, which is how the paper observed it
+        // ("causing them not be able to be loaded").
+        let clobber = outcome.binary.entry;
+        outcome.binary.add_section(Section::new(
+            ".interp",
+            clobber,
+            vec![0u8; 16],
+            SectionFlags::ro(),
+            SectionKind::Data,
+        ));
+    }
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icfgp_asm::{BinaryBuilder, FuncDef, Item};
+    use icfgp_emu::{run, LoadOptions, Outcome};
+    use icfgp_isa::{Arch, Inst, Reg, SysOp};
+
+    fn bin(lang: Language, link_relocs: bool) -> Binary {
+        let mut b = BinaryBuilder::new(Arch::X64);
+        b.pie(true);
+        b.link_time_relocs(link_relocs);
+        b.add_function(FuncDef::new(
+            "main",
+            lang,
+            vec![
+                Item::I(Inst::MovImm { dst: Reg(8), imm: 6 }),
+                Item::I(Inst::Sys { op: SysOp::Out, arg: Reg(8) }),
+                Item::I(Inst::Halt),
+            ],
+        ));
+        b.add_function(FuncDef::new("aux", lang, vec![Item::I(Inst::Ret)]));
+        b.set_entry("main");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn function_reorder_needs_link_time_relocs_even_for_pie() {
+        let err = bolt(&bin(Language::C, false), BoltTransform::ReorderFunctions, BoltOptions::default())
+            .unwrap_err();
+        assert_eq!(err, BoltError::NeedsLinkTimeRelocs);
+        assert!(bolt(&bin(Language::C, true), BoltTransform::ReorderFunctions, BoltOptions::default())
+            .is_ok());
+    }
+
+    #[test]
+    fn block_reorder_works_for_clean_c() {
+        let b = bin(Language::C, false);
+        let out = bolt(&b, BoltTransform::ReorderBlocks, BoltOptions::default()).unwrap();
+        match run(&out.binary, &LoadOptions { preload_runtime: true, ..LoadOptions::default() }) {
+            Outcome::Halted(s) => assert_eq!(s.output, vec![6]),
+            o => panic!("{o:?}"),
+        }
+    }
+
+    #[test]
+    fn block_reorder_corrupts_fortran_in_bug_compat_mode() {
+        let b = bin(Language::Fortran, false);
+        let out = bolt(&b, BoltTransform::ReorderBlocks, BoltOptions::default()).unwrap();
+        // The output is emitted but cannot be loaded.
+        match run(&out.binary, &LoadOptions::default()) {
+            Outcome::Crashed { reason: icfgp_emu::CrashReason::LoadFailed { .. }, .. } => {}
+            o => panic!("expected unloadable output, got {o:?}"),
+        }
+        // Without bug compatibility the same input works.
+        let ok = bolt(&b, BoltTransform::ReorderBlocks, BoltOptions { bug_compat: false }).unwrap();
+        match run(&ok.binary, &LoadOptions { preload_runtime: true, ..LoadOptions::default() }) {
+            Outcome::Halted(s) => assert_eq!(s.output, vec![6]),
+            o => panic!("{o:?}"),
+        }
+    }
+}

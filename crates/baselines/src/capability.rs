@@ -1,0 +1,93 @@
+//! The qualitative comparison matrix (Table 1 of the paper).
+
+use serde::{Deserialize, Serialize};
+
+/// One row of Table 1.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Capability {
+    /// Approach name.
+    pub approach: &'static str,
+    /// Types of control flow rewritten.
+    pub rewrites: &'static str,
+    /// Relocation entries the approach depends on.
+    pub relocation_use: &'static str,
+    /// How unmodified control flow is handled.
+    pub unmodified_control_flow: &'static str,
+    /// Stack-unwinding support.
+    pub stack_unwinding: &'static str,
+}
+
+/// Regenerate Table 1. The BOLT row's empty entries mirror the paper
+/// ("BOLT's paper does not describe corresponding aspects").
+#[must_use]
+pub fn capability_table() -> Vec<Capability> {
+    vec![
+        Capability {
+            approach: "BOLT",
+            rewrites: "",
+            relocation_use: "Link time",
+            unmodified_control_flow: "",
+            stack_unwinding: "Update DWARF",
+        },
+        Capability {
+            approach: "Egalito",
+            rewrites: "Indirect",
+            relocation_use: "Run time",
+            unmodified_control_flow: "NA",
+            stack_unwinding: "NA",
+        },
+        Capability {
+            approach: "E9Patch",
+            rewrites: "No",
+            relocation_use: "None",
+            unmodified_control_flow: "Patching",
+            stack_unwinding: "NA",
+        },
+        Capability {
+            approach: "Multiverse",
+            rewrites: "Direct",
+            relocation_use: "None",
+            unmodified_control_flow: "Dynamic translation",
+            stack_unwinding: "Call emulation",
+        },
+        Capability {
+            approach: "RetroWrite",
+            rewrites: "Indirect",
+            relocation_use: "Run time",
+            unmodified_control_flow: "NA",
+            stack_unwinding: "NA",
+        },
+        Capability {
+            approach: "SRBI",
+            rewrites: "Direct",
+            relocation_use: "None",
+            unmodified_control_flow: "Patching",
+            stack_unwinding: "Call emulation",
+        },
+        Capability {
+            approach: "Our work",
+            rewrites: "Indirect",
+            relocation_use: "None",
+            unmodified_control_flow: "Patching",
+            stack_unwinding: "Dynamic translation",
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_shape() {
+        let t = capability_table();
+        assert_eq!(t.len(), 7);
+        let ours = t.last().unwrap();
+        assert_eq!(ours.approach, "Our work");
+        assert_eq!(ours.rewrites, "Indirect");
+        assert_eq!(ours.relocation_use, "None");
+        // The two BOLT blanks.
+        assert_eq!(t[0].rewrites, "");
+        assert_eq!(t[0].unmodified_control_flow, "");
+    }
+}

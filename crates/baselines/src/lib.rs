@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+//! Baseline rewriters the paper compares against (Table 1).
+//!
+//! Each baseline reproduces a *mechanism*, including the documented
+//! limitations that drive the paper's pass/fail and coverage numbers:
+//!
+//! * [`srbi`] — Dyninst-10.2-style structured binary editing: the
+//!   weaker analysis ([`icfgp_cfg::AnalysisConfig::srbi`]), trampolines
+//!   at **every basic block** without superblock extension or
+//!   scratch-section reuse, and **call emulation** for unwinding —
+//!   implemented only on x86-64 (where it mishandles indirect calls
+//!   through stack memory), absent on the RISC architectures, exactly
+//!   as §8.1 reports for Dyninst-10.2;
+//! * [`instruction_patching`] — E9Patch-style rewriting without
+//!   control-flow recovery: each instrumented instruction span is
+//!   displaced into a stub that bounces back, so execution stays in
+//!   original code and unwinding needs no support at all — at the cost
+//!   of two branches per instrumented block;
+//! * [`ir_lowering`] — Egalito/RetroWrite-style "lift and regenerate":
+//!   near-zero overhead (no trampolines, original `.text` dropped,
+//!   compact layout) but **all-or-nothing** — refuses non-PIE input,
+//!   C++ exceptions, Go runtimes, symbol versioning, and any binary
+//!   with a single analysis failure;
+//! * [`bolt`] — BOLT-style binary optimisation: function reordering
+//!   requires retained **link-time relocations** (refused otherwise,
+//!   even for PIE — §8.3), block reordering works without but, in
+//!   [`BoltOptions::bug_compat`] mode, reproduces the historical
+//!   corrupted-output bug on binaries with Fortran components or C++
+//!   exceptions (10 of the 19 SPEC-like workloads).
+
+mod bolt;
+mod capability;
+mod e9;
+mod irlower;
+mod multiverse;
+mod srbi;
+
+pub use bolt::{bolt, BoltError, BoltOptions, BoltTransform};
+pub use capability::{capability_table, Capability};
+pub use e9::{instruction_patching, E9Outcome};
+pub use multiverse::{multiverse, MultiverseOutcome};
+pub use irlower::{ir_lowering, IrLoweringError};
+pub use srbi::{srbi, srbi_config};

@@ -1,0 +1,64 @@
+//! SRBI / Dyninst-10.2 baseline: per-block patching + call emulation.
+
+use icfgp_cfg::AnalysisConfig;
+use icfgp_core::{RewriteConfig, RewriteMode, Rewriter, UnwindStrategy};
+use icfgp_isa::Arch;
+
+/// The SRBI rewriting configuration for `arch`.
+///
+/// Differences from the paper's approach, all load-bearing for the
+/// Table 3 reproduction:
+///
+/// * the weaker analysis (no spill tracking, no table-end extension,
+///   no gap-based tail-call heuristic) — lower coverage;
+/// * trampolines at **every block**, no superblock extension, no reuse
+///   of the renamed dynamic-linking sections — more trap trampolines;
+/// * **call emulation** for unwinding on x86-64 (with the historical
+///   stack-indirect bug); *no* unwinding support on ppc64le/aarch64
+///   (§8.1: "this is only implemented on x86-64") — exception binaries
+///   fail there;
+/// * `dir`-mode control-flow treatment (no table cloning, no
+///   function-pointer rewriting).
+#[must_use]
+pub fn srbi_config(arch: Arch) -> RewriteConfig {
+    let mut config = RewriteConfig::new(RewriteMode::Dir);
+    config.analysis = AnalysisConfig::srbi();
+    config.unwind = if arch == Arch::X64 {
+        UnwindStrategy::CallEmulation
+    } else {
+        UnwindStrategy::None
+    };
+    config.placement.every_block = true;
+    config.placement.superblocks = false;
+    config.placement.use_scratch_sections = false;
+    // Padding springboards existed in mainstream Dyninst, but the
+    // §2.2 "more reusable code bytes" (dead-block leftovers) did not.
+    config.placement.reuse_block_leftovers = false;
+    config
+}
+
+/// An SRBI-style rewriter for `arch` (including the historical call
+/// emulation bug for stack-indirect calls).
+#[must_use]
+pub fn srbi(arch: Arch) -> Rewriter {
+    let mut r = Rewriter::new(srbi_config(arch));
+    r.emulation_stack_bug = true;
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_shape() {
+        let x = srbi_config(Arch::X64);
+        assert_eq!(x.unwind, UnwindStrategy::CallEmulation);
+        assert!(x.placement.every_block);
+        assert!(!x.analysis.track_spills);
+        let p = srbi_config(Arch::Ppc64le);
+        assert_eq!(p.unwind, UnwindStrategy::None, "no call emulation off x86-64");
+        assert!(!p.placement.reuse_block_leftovers, "leftover reuse is our contribution");
+        assert!(srbi(Arch::X64).emulation_stack_bug);
+    }
+}

@@ -1,0 +1,27 @@
+//! Criterion micro-benchmarks: binary-analysis throughput (CFG
+//! construction + jump-table slicing + function-pointer analysis).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use icfgp_cfg::{analyze, AnalysisConfig};
+use icfgp_isa::Arch;
+use icfgp_workloads::{generate, GenParams};
+
+fn bench_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analysis");
+    group.sample_size(10);
+    for arch in Arch::ALL {
+        let w = generate(&GenParams::small("bench", arch, 42));
+        group.bench_function(format!("{arch}/full"), |b| {
+            let config = AnalysisConfig::default();
+            b.iter(|| analyze(&w.binary, &config));
+        });
+        group.bench_function(format!("{arch}/srbi"), |b| {
+            let config = AnalysisConfig::srbi();
+            b.iter(|| analyze(&w.binary, &config));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_analysis);
+criterion_main!(benches);

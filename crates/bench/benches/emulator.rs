@@ -1,0 +1,29 @@
+//! Criterion micro-benchmarks: emulator throughput (the substrate's
+//! own speed, instructions per second).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use icfgp_emu::{run, LoadOptions, Outcome};
+use icfgp_isa::Arch;
+use icfgp_workloads::{generate, GenParams};
+
+fn bench_emulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("emulate");
+    group.sample_size(10);
+    for arch in Arch::ALL {
+        let w = generate(&GenParams::small("bench", arch, 42));
+        let insts = match run(&w.binary, &LoadOptions::default()) {
+            Outcome::Halted(s) => s.instructions,
+            o => panic!("{o:?}"),
+        };
+        group.throughput(Throughput::Elements(insts));
+        group.bench_function(format!("{arch}"), |b| {
+            b.iter(|| {
+                assert!(run(&w.binary, &LoadOptions::default()).is_success());
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_emulator);
+criterion_main!(benches);

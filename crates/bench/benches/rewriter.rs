@@ -1,0 +1,25 @@
+//! Criterion micro-benchmarks: rewriter throughput per mode.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use icfgp_core::{Instrumentation, Points, RewriteConfig, RewriteMode, Rewriter};
+use icfgp_isa::Arch;
+use icfgp_workloads::{generate, GenParams};
+
+fn bench_rewriter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rewrite");
+    group.sample_size(10);
+    for arch in Arch::ALL {
+        let w = generate(&GenParams::small("bench", arch, 42));
+        for mode in [RewriteMode::Dir, RewriteMode::Jt, RewriteMode::FuncPtr] {
+            group.bench_function(format!("{arch}/{mode}"), |b| {
+                let rewriter = Rewriter::new(RewriteConfig::new(mode));
+                let instr = Instrumentation::empty(Points::EveryBlock);
+                b.iter(|| rewriter.rewrite(&w.binary, &instr).expect("rewrites"));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rewriter);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! The rewriting approaches under evaluation.
+
+use icfgp_core::{RewriteConfig, RewriteMode, Rewriter};
+use icfgp_isa::Arch;
+use std::fmt;
+
+/// One row-family of Table 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Approach {
+    /// SRBI / Dyninst-10.2 baseline.
+    Srbi,
+    /// Our `dir` mode.
+    Dir,
+    /// Our `jt` mode.
+    Jt,
+    /// Our `func-ptr` mode.
+    FuncPtr,
+    /// Egalito-style IR lowering (PIE builds only).
+    Egalito,
+    /// E9Patch-style instruction patching (reference row; the paper
+    /// quotes its numbers from the E9Patch paper).
+    E9,
+    /// Multiverse-style dynamic translation (reference row; Table 1's
+    /// remaining mechanism).
+    Multiverse,
+}
+
+impl Approach {
+    /// The rows of Table 3, in the paper's order.
+    pub const TABLE3: [Approach; 5] =
+        [Approach::Srbi, Approach::Dir, Approach::Jt, Approach::FuncPtr, Approach::Egalito];
+
+    /// A configured rewriter for the approaches that go through the
+    /// incremental-CFG-patching engine (`None` for Egalito/E9, which
+    /// have their own entry points).
+    #[must_use]
+    pub fn rewriter(self, arch: Arch) -> Option<Rewriter> {
+        match self {
+            Approach::Srbi => Some(icfgp_baselines::srbi(arch)),
+            Approach::Dir => Some(Rewriter::new(RewriteConfig::new(RewriteMode::Dir))),
+            Approach::Jt => Some(Rewriter::new(RewriteConfig::new(RewriteMode::Jt))),
+            Approach::FuncPtr => Some(Rewriter::new(RewriteConfig::new(RewriteMode::FuncPtr))),
+            Approach::Egalito | Approach::E9 | Approach::Multiverse => None,
+        }
+    }
+
+    /// Whether this approach needs the PIE build of the suite.
+    #[must_use]
+    pub fn needs_pie(self) -> bool {
+        matches!(self, Approach::Egalito)
+    }
+}
+
+impl fmt::Display for Approach {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Approach::Srbi => "SRBI",
+            Approach::Dir => "dir",
+            Approach::Jt => "jt",
+            Approach::FuncPtr => "func-ptr",
+            Approach::Egalito => "Egalito",
+            Approach::E9 => "E9Patch",
+            Approach::Multiverse => "Multiverse",
+        };
+        f.write_str(s)
+    }
+}

@@ -1,0 +1,78 @@
+//! Regenerate the §8.3 BOLT comparison: function reordering and block
+//! reordering over the SPEC-like suite, BOLT-style vs our rewriter.
+
+use icfgp_baselines::{bolt, BoltError, BoltOptions, BoltTransform};
+use icfgp_bench::pct;
+use icfgp_core::{Instrumentation, LayoutOrder, Points, RewriteConfig, RewriteMode, Rewriter};
+use icfgp_emu::{run, LoadOptions, Outcome};
+use icfgp_isa::Arch;
+use icfgp_workloads::spec_suite;
+
+fn main() {
+    let arch = Arch::X64;
+    let suite = spec_suite(arch, false);
+    println!("BOLT comparison (§8.3), x86-64, {} benchmarks\n", suite.len());
+
+    // (1) Function reordering.
+    let mut bolt_fn_err = 0;
+    let mut ours_fn_ok = 0;
+    for bench in &suite {
+        match bolt(&bench.workload.binary, BoltTransform::ReorderFunctions, BoltOptions::default())
+        {
+            Err(BoltError::NeedsLinkTimeRelocs) => bolt_fn_err += 1,
+            other => println!("  unexpected: {}: {other:?}", bench.name),
+        }
+        let mut cfg = RewriteConfig::new(RewriteMode::Jt);
+        cfg.layout = LayoutOrder::ReverseFunctions;
+        let out = Rewriter::new(cfg)
+            .rewrite(&bench.workload.binary, &Instrumentation::empty(Points::EveryBlock))
+            .expect("rewrite");
+        let base = run(&bench.workload.binary, &LoadOptions::default());
+        let opts = LoadOptions { preload_runtime: true, ..LoadOptions::default() };
+        if run(&out.binary, &opts).success_output() == base.success_output() {
+            ours_fn_ok += 1;
+        }
+    }
+    println!("(1) reverse all functions:");
+    println!("    BOLT: {bolt_fn_err}/19 refused — \"BOLT-ERROR: function reordering only");
+    println!("          works when relocations are enabled\" (even for PIE builds)");
+    println!("    ours: {ours_fn_ok}/19 reordered correctly\n");
+
+    // (2) Block reordering.
+    let mut bolt_ok = 0;
+    let mut bolt_corrupt = 0;
+    let mut sizes = Vec::new();
+    let mut ours_ok = 0;
+    for bench in &suite {
+        let base = run(&bench.workload.binary, &LoadOptions::default());
+        let out = bolt(&bench.workload.binary, BoltTransform::ReorderBlocks, BoltOptions::default())
+            .expect("bolt emits");
+        let opts = LoadOptions { preload_runtime: true, ..LoadOptions::default() };
+        match run(&out.binary, &opts) {
+            Outcome::Halted(s) if Some(s.output.as_slice()) == base.success_output() => {
+                bolt_ok += 1;
+                sizes.push(out.report.size_increase());
+            }
+            _ => bolt_corrupt += 1,
+        }
+        let mut cfg = RewriteConfig::new(RewriteMode::Jt);
+        cfg.layout = LayoutOrder::ReverseBlocks;
+        let ours = Rewriter::new(cfg)
+            .rewrite(&bench.workload.binary, &Instrumentation::empty(Points::EveryBlock))
+            .expect("rewrite");
+        if run(&ours.binary, &opts).success_output() == base.success_output() {
+            ours_ok += 1;
+        }
+    }
+    let mean = sizes.iter().sum::<f64>() / sizes.len().max(1) as f64;
+    let max = sizes.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    println!("(2) reverse blocks within functions:");
+    println!("    BOLT: {bolt_ok}/19 correct, {bolt_corrupt}/19 corrupted (bad .interp, unloadable)");
+    println!("          size increase of working outputs: mean {}, max {}", pct(mean), pct(max));
+    println!("    ours: {ours_ok}/19 reordered correctly");
+    println!("\nPaper: BOLT reordered 9/19, corrupted 10/19 (11% mean / 33% max size);");
+    println!("our approach handled all 19 in both experiments. Our BOLT-like model");
+    println!("reproduces the corruption via an explicit bug-compatibility flag, and");
+    println!("keeps the original text loaded (entry stubs), so its size numbers are");
+    println!("larger than real BOLT's — see EXPERIMENTS.md.");
+}

@@ -1,0 +1,33 @@
+//! Regenerate Figure 1: the rewritten-binary layout, shown as the
+//! section maps of a real workload before and after rewriting.
+
+use icfgp_core::{Instrumentation, Points, RewriteConfig, RewriteMode, Rewriter};
+use icfgp_isa::Arch;
+use icfgp_workloads::{generate, GenParams};
+
+fn main() {
+    let mut p = GenParams::small("figure1", Arch::X64, 11);
+    p.pie = true;
+    let w = generate(&p);
+    println!("Figure 1: binary layout before and after rewriting (jt mode)\n");
+    println!("== input binary ==");
+    print!("{}", w.binary.layout_dump());
+
+    let out = Rewriter::new(RewriteConfig::new(RewriteMode::Jt))
+        .rewrite(&w.binary, &Instrumentation::empty(Points::EveryBlock))
+        .expect("rewrites");
+    println!("\n== rewritten binary ==");
+    print!("{}", out.binary.layout_dump());
+    println!();
+    println!(".text now holds trampolines into .instr ({} installed:", out.report.trampolines());
+    println!(
+        "  {} short, {} long, {} multi-hop, {} trap)",
+        out.report.tramp_short, out.report.tramp_long, out.report.tramp_multi_hop, out.report.tramp_trap
+    );
+    println!(".old.* sections are the retired dynamic-linking metadata (scratch space)");
+    println!(
+        ".ra_map holds {} relocated->original return-address pairs",
+        out.report.ra_map_entries
+    );
+    println!(".jt_clone holds {} cloned jump tables", out.report.cloned_tables);
+}

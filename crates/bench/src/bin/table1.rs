@@ -1,0 +1,24 @@
+//! Regenerate Table 1: the qualitative comparison of binary rewriting
+//! approaches.
+
+use icfgp_baselines::capability_table;
+
+fn main() {
+    println!("Table 1: comparison of binary rewriting approaches\n");
+    println!(
+        "{:<12} {:<10} {:<12} {:<22} {:<20}",
+        "Approach", "Rewrites", "Relocation", "Unmodified control flow", "Stack unwinding"
+    );
+    for row in capability_table() {
+        let dash = |s: &str| if s.is_empty() { "-".to_string() } else { s.to_string() };
+        println!(
+            "{:<12} {:<10} {:<12} {:<22} {:<20}",
+            row.approach,
+            dash(row.rewrites),
+            dash(row.relocation_use),
+            dash(row.unmodified_control_flow),
+            dash(row.stack_unwinding),
+        );
+    }
+    println!("\n(empty entries mirror the paper: BOLT's paper does not describe them)");
+}

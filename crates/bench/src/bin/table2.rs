@@ -1,0 +1,41 @@
+//! Regenerate Table 2: trampoline instruction sequences, with ranges
+//! and lengths taken from the live architecture models (not
+//! hard-coded copies of the paper).
+
+use icfgp_core::trampoline_table;
+use icfgp_isa::Arch;
+
+fn human_range(bytes: i64) -> String {
+    const GB: i64 = 1 << 30;
+    const MB: i64 = 1 << 20;
+    if bytes >= GB {
+        format!("{}GB", bytes / GB)
+    } else if bytes >= MB {
+        format!("{}MB", bytes / MB)
+    } else {
+        format!("{bytes}B")
+    }
+}
+
+fn main() {
+    println!("Table 2: trampoline instruction sequences\n");
+    println!("{:<10} {:<58} {:>8} {:>6}", "Arch.", "Instructions", "Range", "Len.");
+    for (arch, specs) in trampoline_table() {
+        for spec in specs {
+            let len = if arch == Arch::X64 {
+                format!("{}B", spec.len_bytes)
+            } else {
+                format!("{}I", spec.insns)
+            };
+            println!(
+                "{:<10} {:<58} {:>8} {:>6}",
+                arch.to_string(),
+                spec.name,
+                human_range(spec.reach),
+                len
+            );
+        }
+    }
+    println!("\nAll sequences are position independent (x64/aarch64 PC-relative;");
+    println!("ppc64le long form is TOC-relative through r2).");
+}

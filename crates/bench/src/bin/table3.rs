@@ -1,0 +1,33 @@
+//! Regenerate Table 3: block-level empty instrumentation on the
+//! SPEC-CPU-2017-like suite.
+//!
+//! Usage: `table3 [x86-64|ppc64le|aarch64]` (default: all three).
+
+use icfgp_bench::{render_table3, table3, Approach};
+use icfgp_isa::Arch;
+
+fn main() {
+    let arg = std::env::args().nth(1);
+    let arches: Vec<Arch> = match arg.as_deref() {
+        Some("x86-64") | Some("x64") => vec![Arch::X64],
+        Some("ppc64le") => vec![Arch::Ppc64le],
+        Some("aarch64") => vec![Arch::Aarch64],
+        _ => Arch::ALL.to_vec(),
+    };
+    println!("Table 3: block-level empty instrumentation (19 SPEC-like benchmarks)");
+    println!("Egalito rows use PIE builds of the suite, as in the paper.\n");
+    for arch in arches {
+        // The paper's table lists Egalito only under x86-64 (it did not
+        // build on the other machines).
+        let approaches: Vec<Approach> = if arch == Arch::X64 {
+            Approach::TABLE3.to_vec()
+        } else {
+            Approach::TABLE3.iter().copied().filter(|a| *a != Approach::Egalito).collect()
+        };
+        let rows = table3(arch, &approaches);
+        println!("{}", render_table3(arch, &rows));
+    }
+    println!("Reference rows (x86-64): per-instruction patching and dynamic translation:");
+    let rows = table3(Arch::X64, &[Approach::E9, Approach::Multiverse]);
+    println!("{}", render_table3(Arch::X64, &rows));
+}

@@ -1,0 +1,159 @@
+//! Rewrite-and-measure for one (workload, approach) pair.
+
+use crate::approach::Approach;
+use icfgp_core::{Instrumentation, Points};
+use icfgp_emu::{run, ExecStats, LoadOptions, Outcome};
+use icfgp_obj::Binary;
+use std::fmt;
+
+/// Why an evaluation failed (the "Pass" column counts the absence of
+/// these).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// The rewriter refused or errored.
+    RewriteFailed(String),
+    /// The rewritten binary crashed or ran out of fuel.
+    RunFailed(String),
+    /// The rewritten binary produced different output.
+    OutputMismatch,
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::RewriteFailed(e) => write!(f, "rewrite failed: {e}"),
+            EvalError::RunFailed(e) => write!(f, "rewritten binary failed: {e}"),
+            EvalError::OutputMismatch => write!(f, "output mismatch"),
+        }
+    }
+}
+
+/// Metrics for one passing evaluation.
+#[derive(Debug, Clone)]
+pub struct EvalResult {
+    /// Runtime overhead versus the original (0.01 = 1%).
+    pub overhead: f64,
+    /// Instrumentation coverage (fraction of selected functions
+    /// rewritten).
+    pub coverage: f64,
+    /// Loaded-size increase (0.68 = 68%).
+    pub size_increase: f64,
+    /// Trap trampolines installed.
+    pub traps: usize,
+    /// Stats of the rewritten run.
+    pub stats: ExecStats,
+}
+
+/// Run `binary` unmodified and return its stats.
+///
+/// # Panics
+///
+/// Panics when the *original* binary fails — workloads must be valid.
+#[must_use]
+pub fn baseline_stats(binary: &Binary) -> ExecStats {
+    match run(binary, &LoadOptions::default()) {
+        Outcome::Halted(stats) => stats,
+        o => panic!("original workload failed: {o:?}"),
+    }
+}
+
+/// Rewrite with `approach` (empty block-level instrumentation) and
+/// measure against a precomputed baseline.
+///
+/// # Errors
+///
+/// [`EvalError`] per failure class; the Table 3 "Pass" column counts
+/// `Ok` results.
+pub fn evaluate(
+    binary: &Binary,
+    approach: Approach,
+    baseline: &ExecStats,
+) -> Result<EvalResult, EvalError> {
+    let instr = Instrumentation::empty(Points::EveryBlock);
+    let (rewritten, coverage, size_increase, traps) = match approach {
+        Approach::Egalito => {
+            let out = icfgp_baselines::ir_lowering(binary, &instr)
+                .map_err(|e| EvalError::RewriteFailed(e.to_string()))?;
+            (out.binary, out.report.coverage, out.report.size_increase(), 0)
+        }
+        Approach::E9 => {
+            let out = icfgp_baselines::instruction_patching(binary)
+                .map_err(|e| EvalError::RewriteFailed(e.to_string()))?;
+            let orig = binary.loaded_size();
+            let size = out.binary.loaded_size() as f64 / orig as f64 - 1.0;
+            (out.binary, 1.0, size, out.traps)
+        }
+        Approach::Multiverse => {
+            let out = icfgp_baselines::multiverse(binary, &instr)
+                .map_err(|e| EvalError::RewriteFailed(e.to_string()))?;
+            let orig = binary.loaded_size();
+            let size = out.binary.loaded_size() as f64 / orig as f64 - 1.0;
+            let traps = out.report.tramp_trap;
+            (out.binary, out.report.coverage, size, traps)
+        }
+        _ => {
+            let rewriter = approach
+                .rewriter(binary.arch)
+                .expect("engine-backed approach");
+            let out = rewriter
+                .rewrite(binary, &instr)
+                .map_err(|e| EvalError::RewriteFailed(e.to_string()))?;
+            (
+                out.binary,
+                out.report.coverage,
+                out.report.size_increase(),
+                out.report.tramp_trap,
+            )
+        }
+    };
+    let opts = LoadOptions { preload_runtime: true, ..LoadOptions::default() };
+    let stats = match run(&rewritten, &opts) {
+        Outcome::Halted(stats) => stats,
+        o => return Err(EvalError::RunFailed(format!("{o:?}"))),
+    };
+    if stats.output != baseline.output {
+        return Err(EvalError::OutputMismatch);
+    }
+    Ok(EvalResult {
+        overhead: stats.overhead_vs(baseline),
+        coverage,
+        size_increase,
+        traps,
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icfgp_isa::Arch;
+    use icfgp_workloads::{generate, GenParams};
+
+    #[test]
+    fn evaluate_our_modes_on_a_small_workload() {
+        let w = generate(&GenParams::small("eval", Arch::X64, 5));
+        let base = baseline_stats(&w.binary);
+        for approach in [Approach::Dir, Approach::Jt, Approach::FuncPtr] {
+            let r = evaluate(&w.binary, approach, &base).expect("passes");
+            assert!(r.coverage > 0.99, "{approach}");
+            assert!(r.size_increase > 0.0, "{approach}: rewriting adds sections");
+            assert!(r.overhead > -0.5 && r.overhead < 2.0, "{approach}: {}", r.overhead);
+        }
+    }
+
+    #[test]
+    fn egalito_needs_pie() {
+        let w = generate(&GenParams::small("eval", Arch::X64, 5));
+        let base = baseline_stats(&w.binary);
+        assert!(matches!(
+            evaluate(&w.binary, Approach::Egalito, &base),
+            Err(EvalError::RewriteFailed(_))
+        ));
+        let mut p = GenParams::small("eval-pie", Arch::X64, 5);
+        p.pie = true;
+        let w = generate(&p);
+        let base = baseline_stats(&w.binary);
+        let r = evaluate(&w.binary, Approach::Egalito, &base).expect("PIE lowers");
+        assert_eq!(r.traps, 0);
+    }
+}

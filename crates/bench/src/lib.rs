@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+//! The experiment harness: everything needed to regenerate the
+//! paper's tables and figures.
+//!
+//! Each table/figure has a dedicated binary (see `src/bin/`); this
+//! library holds the shared machinery:
+//!
+//! * [`evaluate`] — rewrite one workload with one [`Approach`], run
+//!   original and rewritten binaries under the same cost model,
+//!   compare outputs (the pass/fail oracle), and compute the paper's
+//!   three metrics: runtime overhead, instrumentation coverage, and
+//!   `size`-style size increase;
+//! * [`table3`] — the block-level empty-instrumentation experiment
+//!   over the whole SPEC-like suite, parallelised across benchmarks;
+//! * formatting helpers for the console tables.
+
+mod approach;
+mod eval;
+mod table3;
+
+pub use approach::Approach;
+pub use eval::{evaluate, EvalError, EvalResult};
+pub use table3::{table3, render_table3, Table3Row};
+
+/// Format a ratio as a signed percentage (`0.0123` → `"1.23%"`).
+#[must_use]
+pub fn pct(x: f64) -> String {
+    format!("{:.2}%", x * 100.0)
+}

@@ -1,0 +1,141 @@
+//! The Table 3 experiment: block-level empty instrumentation over the
+//! SPEC-like suite.
+
+use crate::approach::Approach;
+use crate::eval::{baseline_stats, evaluate, EvalResult};
+use crate::pct;
+use icfgp_isa::Arch;
+use icfgp_workloads::spec_suite;
+use std::fmt::Write as _;
+
+/// Aggregated results for one approach on one architecture.
+#[derive(Debug, Clone)]
+pub struct Table3Row {
+    /// The approach.
+    pub approach: Approach,
+    /// Max runtime overhead over passing benchmarks.
+    pub overhead_max: f64,
+    /// Mean runtime overhead over passing benchmarks.
+    pub overhead_mean: f64,
+    /// Min coverage over passing benchmarks.
+    pub coverage_min: f64,
+    /// Mean coverage over passing benchmarks.
+    pub coverage_mean: f64,
+    /// Max size increase over passing benchmarks.
+    pub size_max: f64,
+    /// Mean size increase over passing benchmarks.
+    pub size_mean: f64,
+    /// Benchmarks passing (out of 19).
+    pub pass: usize,
+    /// Names of failing benchmarks with reasons.
+    pub failures: Vec<(String, String)>,
+}
+
+/// Run the Table 3 experiment for one architecture.
+///
+/// Benchmarks are distributed over a scoped thread pool; everything is
+/// deterministic regardless of scheduling.
+#[must_use]
+pub fn table3(arch: Arch, approaches: &[Approach]) -> Vec<Table3Row> {
+    let suite = spec_suite(arch, false);
+    let suite_pie = spec_suite(arch, true);
+    let workers = std::thread::available_parallelism().map_or(4, usize::from).min(16);
+
+    let mut rows = Vec::new();
+    for &approach in approaches {
+        let benches: &[icfgp_workloads::SpecBench] =
+            if approach.needs_pie() { &suite_pie } else { &suite };
+        // Fan benchmarks out over worker threads.
+        let results: Vec<(String, Result<EvalResult, crate::EvalError>)> =
+            crossbeam::thread::scope(|scope| {
+                let chunks: Vec<_> = benches.chunks(benches.len().div_ceil(workers)).collect();
+                let handles: Vec<_> = chunks
+                    .into_iter()
+                    .map(|chunk| {
+                        scope.spawn(move |_| {
+                            chunk
+                                .iter()
+                                .map(|bench| {
+                                    let base = baseline_stats(&bench.workload.binary);
+                                    (
+                                        bench.name.to_string(),
+                                        evaluate(&bench.workload.binary, approach, &base),
+                                    )
+                                })
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles.into_iter().flat_map(|h| h.join().expect("worker")).collect()
+            })
+            .expect("scope");
+
+        let mut overheads = Vec::new();
+        let mut coverages = Vec::new();
+        let mut sizes = Vec::new();
+        let mut failures = Vec::new();
+        for (name, result) in results {
+            match result {
+                Ok(r) => {
+                    overheads.push(r.overhead);
+                    coverages.push(r.coverage);
+                    sizes.push(r.size_increase);
+                }
+                Err(e) => failures.push((name, e.to_string())),
+            }
+        }
+        let mean = |v: &[f64]| {
+            if v.is_empty() {
+                0.0
+            } else {
+                v.iter().sum::<f64>() / v.len() as f64
+            }
+        };
+        let fmax = |v: &[f64]| v.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let fmin = |v: &[f64]| v.iter().copied().fold(f64::INFINITY, f64::min);
+        rows.push(Table3Row {
+            approach,
+            overhead_max: if overheads.is_empty() { 0.0 } else { fmax(&overheads) },
+            overhead_mean: mean(&overheads),
+            coverage_min: if coverages.is_empty() { 0.0 } else { fmin(&coverages) },
+            coverage_mean: mean(&coverages),
+            size_max: if sizes.is_empty() { 0.0 } else { fmax(&sizes) },
+            size_mean: mean(&sizes),
+            pass: overheads.len(),
+            failures,
+        });
+    }
+    rows
+}
+
+/// Render rows in the paper's Table 3 format.
+#[must_use]
+pub fn render_table3(arch: Arch, rows: &[Table3Row]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{arch}");
+    let _ = writeln!(
+        out,
+        "{:<10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>6}",
+        "", "time max", "time mean", "cov min", "cov mean", "size max", "size mean", "pass"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>6}",
+            r.approach.to_string(),
+            pct(r.overhead_max),
+            pct(r.overhead_mean),
+            pct(r.coverage_min),
+            pct(r.coverage_mean),
+            pct(r.size_max),
+            pct(r.size_mean),
+            r.pass,
+        );
+    }
+    for r in rows {
+        for (name, why) in &r.failures {
+            let _ = writeln!(out, "  [{}] {name}: {why}", r.approach);
+        }
+    }
+    out
+}

@@ -1,0 +1,216 @@
+//! Basic blocks, edges and the per-function CFG.
+
+use crate::analysis::FuncStatus;
+use crate::jumptable::JumpTableDesc;
+use icfgp_isa::Inst;
+use std::collections::BTreeMap;
+
+/// Why one block flows to another.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EdgeKind {
+    /// Straight-line continuation.
+    FallThrough,
+    /// Unconditional direct branch.
+    Branch,
+    /// Conditional branch, taken side.
+    CondTaken,
+    /// Continuation after a call returns.
+    CallFallThrough,
+    /// Resolved jump-table dispatch.
+    JumpTable,
+}
+
+/// A control-flow edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Edge {
+    /// Destination block start address.
+    pub target: u64,
+    /// Edge classification.
+    pub kind: EdgeKind,
+}
+
+/// A basic block: `[start, end)` with at most one control-flow
+/// instruction, at the end.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    /// First instruction address.
+    pub start: u64,
+    /// One past the last instruction byte.
+    pub end: u64,
+    /// Address of the terminating control-flow instruction, when the
+    /// block ends in one.
+    pub terminator: Option<u64>,
+    /// Intra-procedural successors.
+    pub succs: Vec<Edge>,
+}
+
+impl Block {
+    /// Block size in bytes — the budget available for installing a
+    /// trampoline at this block.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// Whether the block is empty (never true for constructed CFGs).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.end == self.start
+    }
+}
+
+/// The analysis result for one function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncCfg {
+    /// Function name (may be empty for stripped binaries).
+    pub name: String,
+    /// Entry address.
+    pub entry: u64,
+    /// Symbol range start.
+    pub start: u64,
+    /// Symbol range end.
+    pub end: u64,
+    /// Blocks keyed by start address.
+    pub blocks: BTreeMap<u64, Block>,
+    /// Every decoded instruction: address → (instruction, length).
+    pub insts: BTreeMap<u64, (Inst, u8)>,
+    /// Resolved jump tables.
+    pub jump_tables: Vec<JumpTableDesc>,
+    /// Indirect jumps classified as tail calls (unresolved targets,
+    /// judged safe by a heuristic).
+    pub indirect_tailcalls: Vec<u64>,
+    /// Direct tail calls: (jump address, target function entry).
+    pub tail_calls: Vec<(u64, u64)>,
+    /// Call sites: (call instruction address, return address,
+    /// direct target if known).
+    pub call_sites: Vec<(u64, u64, Option<u64>)>,
+    /// Exception landing pads inside this function (from the unwind
+    /// table) — control flow lands here from the language runtime.
+    pub landing_pads: Vec<u64>,
+    /// In-code jump-table data ranges (`[start, end)`), excluded from
+    /// gap decoding.
+    pub inline_data: Vec<(u64, u64)>,
+    /// Whether the function contains indirect calls.
+    pub has_indirect_calls: bool,
+    /// Addresses inside this function that function-pointer analysis
+    /// proved reachable through pointer arithmetic (`&f + delta`,
+    /// §5.2 Listing 1). They are block leaders, and modes that leave
+    /// function pointers unrewritten must trampoline them.
+    pub fp_landing_targets: Vec<u64>,
+    /// Analysis verdict.
+    pub status: FuncStatus,
+}
+
+impl FuncCfg {
+    /// The block containing `addr`.
+    #[must_use]
+    pub fn block_at(&self, addr: u64) -> Option<&Block> {
+        self.blocks
+            .range(..=addr)
+            .next_back()
+            .map(|(_, b)| b)
+            .filter(|b| addr < b.end)
+    }
+
+    /// The block starting exactly at `addr`.
+    #[must_use]
+    pub fn block_starting_at(&self, addr: u64) -> Option<&Block> {
+        self.blocks.get(&addr)
+    }
+
+    /// All intra-procedural predecessor start addresses, per block.
+    #[must_use]
+    pub fn predecessors(&self) -> BTreeMap<u64, Vec<u64>> {
+        let mut preds: BTreeMap<u64, Vec<u64>> =
+            self.blocks.keys().map(|k| (*k, Vec::new())).collect();
+        for (start, block) in &self.blocks {
+            for e in &block.succs {
+                if let Some(v) = preds.get_mut(&e.target) {
+                    v.push(*start);
+                }
+            }
+        }
+        preds
+    }
+
+    /// Whether `addr` is a decoded instruction boundary.
+    #[must_use]
+    pub fn is_inst_boundary(&self, addr: u64) -> bool {
+        self.insts.contains_key(&addr)
+    }
+
+    /// Split the block containing `addr` so a block starts exactly at
+    /// `addr`. Returns `true` when `addr` now starts a block (either
+    /// it already did, or the split succeeded on an instruction
+    /// boundary).
+    pub fn split_block_at(&mut self, addr: u64) -> bool {
+        let Some((&bs, _)) = self.blocks.range(..=addr).next_back() else {
+            return false;
+        };
+        if bs == addr {
+            return true;
+        }
+        let block = self.blocks.get_mut(&bs).expect("range hit");
+        if addr >= block.end || !self.insts.contains_key(&addr) {
+            return false;
+        }
+        let tail = Block {
+            start: addr,
+            end: block.end,
+            terminator: block.terminator,
+            succs: std::mem::take(&mut block.succs),
+        };
+        block.end = addr;
+        block.terminator = None;
+        block.succs.push(Edge { target: addr, kind: EdgeKind::FallThrough });
+        self.blocks.insert(addr, tail);
+        true
+    }
+
+    /// Total bytes covered by decoded instructions and inline data.
+    #[must_use]
+    pub fn covered_bytes(&self) -> u64 {
+        let inst_bytes: u64 = self.insts.values().map(|(_, l)| u64::from(*l)).sum();
+        let data_bytes: u64 = self.inline_data.iter().map(|(s, e)| e - s).sum();
+        inst_bytes + data_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block(start: u64, end: u64, succs: Vec<Edge>) -> Block {
+        Block { start, end, terminator: None, succs }
+    }
+
+    #[test]
+    fn block_lookup() {
+        let mut blocks = BTreeMap::new();
+        blocks.insert(0x10, block(0x10, 0x20, vec![Edge { target: 0x20, kind: EdgeKind::FallThrough }]));
+        blocks.insert(0x20, block(0x20, 0x30, vec![]));
+        let f = FuncCfg {
+            name: "f".into(),
+            entry: 0x10,
+            start: 0x10,
+            end: 0x30,
+            blocks,
+            insts: BTreeMap::new(),
+            jump_tables: vec![],
+            indirect_tailcalls: vec![],
+            tail_calls: vec![],
+            call_sites: vec![],
+            landing_pads: vec![],
+            inline_data: vec![],
+            has_indirect_calls: false,
+            fp_landing_targets: vec![],
+            status: FuncStatus::Ok,
+        };
+        assert_eq!(f.block_at(0x15).unwrap().start, 0x10);
+        assert_eq!(f.block_at(0x20).unwrap().start, 0x20);
+        assert!(f.block_at(0x30).is_none());
+        let preds = f.predecessors();
+        assert_eq!(preds[&0x20], vec![0x10]);
+        assert!(preds[&0x10].is_empty());
+    }
+}

@@ -1,0 +1,463 @@
+//! Jump-table analysis: backward slicing from indirect jumps.
+//!
+//! Recovers the three elements §5.1 names: the table start address,
+//! the entry count, and the target expression `tar(x)` — here one of
+//! [`TableKind`]'s three forms. The slice walks *backwards over the
+//! instruction stream by address* (bounded), which reproduces the
+//! linear imprecision real slicers have: complicated paths, spilled
+//! values and unusual materialisations make the slice fail, and those
+//! failures are first-class results the rewriter must handle.
+
+use crate::analysis::AnalysisConfig;
+use icfgp_isa::{AluOp, Cond, Inst, Reg};
+use icfgp_obj::Binary;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The recovered target expression `tar(x)` of a jump table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TableKind {
+    /// `tar(x) = x` — absolute entries.
+    Absolute,
+    /// `tar(x) = table_base + x` — table-relative entries.
+    Relative,
+    /// `tar(x) = table_base + (x << 2)` — compact scaled entries
+    /// (aarch64 byte/halfword tables).
+    RelativeScaled,
+}
+
+impl TableKind {
+    /// Evaluate `tar(x)`.
+    #[must_use]
+    pub fn target_of(self, entry: i64, table_base: u64) -> u64 {
+        match self {
+            TableKind::Absolute => entry as u64,
+            TableKind::Relative => table_base.wrapping_add_signed(entry),
+            TableKind::RelativeScaled => table_base.wrapping_add_signed(entry << 2),
+        }
+    }
+
+    /// Solve `tar(x) = target` for the stored entry value — the
+    /// equation jump-table *cloning* solves when filling the new table.
+    #[must_use]
+    pub fn entry_for(self, target: u64, table_base: u64) -> i64 {
+        match self {
+            TableKind::Absolute => target as i64,
+            TableKind::Relative => target as i64 - table_base as i64,
+            TableKind::RelativeScaled => (target as i64 - table_base as i64) >> 2,
+        }
+    }
+
+    /// Whether entries are read sign-extended.
+    #[must_use]
+    pub fn signed(self) -> bool {
+        !matches!(self, TableKind::Absolute)
+    }
+}
+
+/// A resolved jump table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JumpTableDesc {
+    /// Address of the indirect jump instruction.
+    pub jump_addr: u64,
+    /// Table start address.
+    pub table_addr: u64,
+    /// Entry width in bytes.
+    pub entry_width: u8,
+    /// Target expression.
+    pub kind: TableKind,
+    /// Number of entries (possibly over-approximated).
+    pub count: u64,
+    /// Whether the count came from table-end extension rather than a
+    /// recovered bound check (over-approximation possible).
+    pub extended: bool,
+    /// Addresses of the instructions that materialise the table base —
+    /// the instructions cloning overwrites to reference the new table.
+    pub base_insts: Vec<u64>,
+    /// Address of the entry-load instruction (widened when cloning
+    /// compact tables).
+    pub load_addr: u64,
+    /// The index register at the load.
+    pub index_reg: Reg,
+    /// Valid targets as (entry index, target address); garbage entries
+    /// from over-approximation are omitted (and copied verbatim by
+    /// cloning).
+    pub targets: Vec<(u64, u64)>,
+    /// Whether the table data lives inside `.text` (the ppc64le
+    /// embedded idiom).
+    pub in_text: bool,
+}
+
+/// Why the slice failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JtFail {
+    /// The value flowing into the jump doesn't match any dispatch
+    /// pattern.
+    NoPattern,
+    /// The table base could not be resolved to a constant.
+    NoBase,
+    /// The entry count could not be bounded (and extension is off).
+    NoBound,
+    /// Table memory could not be read.
+    BadTableRead,
+}
+
+/// Everything the slicer needs about its surroundings.
+pub(crate) struct SliceCtx<'a> {
+    pub insts: &'a BTreeMap<u64, (Inst, u8)>,
+    pub binary: &'a Binary,
+    pub toc: Option<u64>,
+    /// Known data-access boundaries (for table-end extension): other
+    /// tables' starts plus every address the code is seen referencing.
+    pub boundaries: &'a BTreeSet<u64>,
+    pub config: &'a AnalysisConfig,
+    pub func_range: (u64, u64),
+}
+
+impl<'a> SliceCtx<'a> {
+    /// Find the defining instruction of `reg` strictly before `addr`,
+    /// within the slice window.
+    fn find_def(&self, reg: Reg, addr: u64) -> Option<(u64, &'a Inst)> {
+        self.insts
+            .range(..addr)
+            .rev()
+            .take(self.config.max_slice_insts)
+            .find(|(_, (inst, _))| inst.def_reg() == Some(reg))
+            .map(|(a, (inst, _))| (*a, inst))
+    }
+
+    /// Follow copies and (optionally) stack spill/reload chains to the
+    /// canonical source of a register value: `(register, def site)`,
+    /// with `None` when the value comes from outside the slice window.
+    fn resolve_origin(&self, reg: Reg, addr: u64, depth: usize) -> (Reg, Option<u64>) {
+        if depth == 0 {
+            return (reg, None);
+        }
+        let Some((def_addr, def)) = self.find_def(reg, addr) else {
+            return (reg, None);
+        };
+        match def {
+            Inst::MovReg { src, .. } => self.resolve_origin(*src, def_addr, depth - 1),
+            Inst::Load { addr: a, width, .. }
+                if self.config.track_spills
+                    && *width == icfgp_isa::Width::W8
+                    && a.base == Some(self.binary.arch.sp())
+                    && a.index.is_none() =>
+            {
+                // Reload from a spill slot: find the matching store.
+                let slot = a.disp;
+                let store = self
+                    .insts
+                    .range(..def_addr)
+                    .rev()
+                    .take(self.config.max_slice_insts)
+                    .find_map(|(sa, (inst, _))| match inst {
+                        Inst::Store { src, addr: st, width }
+                            if *width == icfgp_isa::Width::W8
+                                && st.base == Some(self.binary.arch.sp())
+                                && st.index.is_none()
+                                && st.disp == slot =>
+                        {
+                            Some((*sa, *src))
+                        }
+                        _ => None,
+                    });
+                match store {
+                    Some((sa, src)) => self.resolve_origin(src, sa, depth - 1),
+                    None => (reg, Some(def_addr)),
+                }
+            }
+            _ => (reg, Some(def_addr)),
+        }
+    }
+
+    /// Resolve `reg` (as of `addr`) to a constant address, following
+    /// the materialisation idioms of all three architectures.
+    fn resolve_addr_const(&self, reg: Reg, addr: u64, depth: usize) -> Option<(u64, Vec<u64>)> {
+        if depth == 0 {
+            return None;
+        }
+        let (def_addr, def) = self.find_def(reg, addr)?;
+        match def {
+            Inst::Lea { addr: a, .. } if a.pc_rel => {
+                Some((def_addr.wrapping_add_signed(a.disp), vec![def_addr]))
+            }
+            Inst::MovImm { imm, .. } => Some((*imm as u64, vec![def_addr])),
+            Inst::AdrPage { page_delta, .. } => {
+                Some(((def_addr & !0xFFF).wrapping_add_signed(page_delta << 12), vec![def_addr]))
+            }
+            Inst::AddShl16 { src, imm, .. } => {
+                if Some(*src) == self.binary.arch.toc() {
+                    let toc = self.toc?;
+                    Some((toc.wrapping_add_signed(i64::from(*imm) << 16), vec![def_addr]))
+                } else {
+                    let (v, mut insts) = self.resolve_addr_const(*src, def_addr, depth - 1)?;
+                    insts.push(def_addr);
+                    Some((v.wrapping_add_signed(i64::from(*imm) << 16), insts))
+                }
+            }
+            Inst::AddImm16 { src, imm, .. } => {
+                let (v, mut insts) = self.resolve_addr_const(*src, def_addr, depth - 1)?;
+                insts.push(def_addr);
+                Some((v.wrapping_add_signed(i64::from(*imm)), insts))
+            }
+            Inst::AluImm { op: AluOp::Add, src, imm, .. } => {
+                let (v, mut insts) = self.resolve_addr_const(*src, def_addr, depth - 1)?;
+                insts.push(def_addr);
+                Some((v.wrapping_add_signed(i64::from(*imm)), insts))
+            }
+            Inst::MovReg { src, .. } => {
+                let (v, insts) = self.resolve_addr_const(*src, def_addr, depth - 1)?;
+                Some((v, insts))
+            }
+            _ => None,
+        }
+    }
+
+    /// Find the bound check guarding index register `idx`: a
+    /// `cmp idx, N` + unsigned-above conditional before `jump_addr`.
+    fn find_bound(&self, idx: Reg, jump_addr: u64) -> Option<u64> {
+        let idx_origin = self.resolve_origin(idx, jump_addr, 8);
+        let mut saw_cond = false;
+        for (addr, (inst, _)) in
+            self.insts.range(..jump_addr).rev().take(self.config.max_slice_insts)
+        {
+            match inst {
+                Inst::JumpCond { cond: Cond::UGt, .. } => saw_cond = true,
+                Inst::JumpCond { cond: Cond::UGe, .. } => saw_cond = true,
+                Inst::CmpImm { a, imm } if saw_cond => {
+                    let origin = self.resolve_origin(*a, *addr, 8);
+                    if origin == idx_origin {
+                        return Some(*imm as u64 + 1);
+                    }
+                    // A bound check over an unrelated register: the
+                    // slice cannot connect it; keep scanning.
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+}
+
+/// Analyse the indirect jump at `jump_addr`.
+pub(crate) fn analyze_jump(ctx: &SliceCtx<'_>, jump_addr: u64) -> Result<JumpTableDesc, JtFail> {
+    let (jump_inst, _) = ctx.insts.get(&jump_addr).ok_or(JtFail::NoPattern)?;
+    // x64 one-instruction dispatch: `jmp [base + idx*8]` or
+    // `jmp [idx*8 + table]`. The "load" is the jump itself.
+    if let Inst::JumpMem { addr } = jump_inst {
+        if addr.pc_rel || addr.index.is_none() {
+            return Err(JtFail::NoPattern);
+        }
+        let (table_base_part, base_insts) = match addr.base {
+            Some(base) => {
+                let (v, insts) = ctx
+                    .resolve_addr_const(base, jump_addr, 6)
+                    .ok_or(JtFail::NoBase)?;
+                (v, insts)
+            }
+            // Absolute-displacement form: the table address is the
+            // displacement itself; cloning rewrites the copied jump.
+            None => (0, Vec::new()),
+        };
+        let table_addr = table_base_part.wrapping_add_signed(addr.disp);
+        if ctx.binary.section_at(table_addr).is_none() {
+            return Err(JtFail::NoBase);
+        }
+        let fake_load = Inst::Load {
+            dst: Reg(0),
+            addr: *addr,
+            width: crate::jumptable::width_of_scale(addr.scale).ok_or(JtFail::NoPattern)?,
+            sign: false,
+        };
+        return finish_table(
+            ctx,
+            jump_addr,
+            jump_addr,
+            &fake_load,
+            base_insts,
+            Some(TableKind::Absolute),
+            Some(table_addr),
+        );
+    }
+    // The register holding the final target.
+    let value_reg = match jump_inst {
+        Inst::JumpReg { src } => *src,
+        Inst::JumpTar => {
+            // Find the preceding mtspr tar.
+            ctx.insts
+                .range(..jump_addr)
+                .rev()
+                .take(8)
+                .find_map(|(_, (inst, _))| match inst {
+                    Inst::MoveToTar { src } => Some(*src),
+                    _ => None,
+                })
+                .ok_or(JtFail::NoPattern)?
+        }
+        _ => return Err(JtFail::NoPattern),
+    };
+
+    // Resolve the value: either a direct table load (absolute) or
+    // base + loaded-delta (relative / scaled).
+    let (vdef_addr, vdef) = ctx.find_def(value_reg, jump_addr).ok_or(JtFail::NoPattern)?;
+    #[allow(unused_assignments)]
+    let (load_addr, load, mut base_insts, kind_hint) = match vdef {
+        Inst::Load { .. } => (vdef_addr, vdef.clone(), Vec::new(), None),
+        Inst::Alu { op: AluOp::Add, a, b, .. } => {
+            // One side is the loaded delta (possibly shifted), the
+            // other the table base.
+            let resolve_side = |entry: Reg, base: Reg| -> Option<(u64, Inst, Vec<u64>, bool)> {
+                let (edef_addr, edef) = ctx.find_def(entry, vdef_addr)?;
+                let (edef_addr, edef, scaled) = match edef {
+                    Inst::AluImm { op: AluOp::Shl, src, imm: 2, .. } => {
+                        let (ld_addr, ld) = ctx.find_def(*src, edef_addr)?;
+                        (ld_addr, ld, true)
+                    }
+                    _ => (edef_addr, edef, false),
+                };
+                if !matches!(edef, Inst::Load { .. }) {
+                    return None;
+                }
+                let (_, base_set) = ctx.resolve_addr_const(base, vdef_addr, 6)?;
+                Some((edef_addr, edef.clone(), base_set, scaled))
+            };
+            let (la, ld, bi, scaled) = resolve_side(*a, *b)
+                .or_else(|| resolve_side(*b, *a))
+                .ok_or(JtFail::NoPattern)?;
+            let kind =
+                if scaled { Some(TableKind::RelativeScaled) } else { Some(TableKind::Relative) };
+            (la, ld, bi, kind)
+        }
+        _ => return Err(JtFail::NoPattern),
+    };
+
+    let Inst::Load { addr: laddr, .. } = &load else {
+        return Err(JtFail::NoPattern);
+    };
+    let base_reg = laddr.base.ok_or(JtFail::NoPattern)?;
+    // Table base: resolved through the base register.
+    let (table_addr, base_set) =
+        ctx.resolve_addr_const(base_reg, load_addr, 6).ok_or(JtFail::NoBase)?;
+    base_insts = base_set;
+    finish_table(ctx, jump_addr, load_addr, &load, base_insts, kind_hint, Some(table_addr))
+}
+
+/// Entry width for an index scale.
+pub(crate) fn width_of_scale(scale: u8) -> Option<icfgp_isa::Width> {
+    icfgp_isa::Width::from_log2(scale.checked_ilog2().unwrap_or(0) as u8)
+        .filter(|w| w.bytes() == u64::from(scale))
+}
+
+/// Shared tail: bound inference, entry reading, target validation.
+#[allow(clippy::too_many_arguments)]
+fn finish_table(
+    ctx: &SliceCtx<'_>,
+    jump_addr: u64,
+    load_addr: u64,
+    load: &Inst,
+    base_insts: Vec<u64>,
+    kind_hint: Option<TableKind>,
+    table_addr_hint: Option<u64>,
+) -> Result<JumpTableDesc, JtFail> {
+    let Inst::Load { addr: laddr, width, .. } = load else {
+        return Err(JtFail::NoPattern);
+    };
+    let index_reg = laddr.index.ok_or(JtFail::NoPattern)?;
+    let entry_width = laddr.scale;
+    if u64::from(entry_width) != width.bytes() {
+        return Err(JtFail::NoPattern);
+    }
+    let table_addr = table_addr_hint.ok_or(JtFail::NoBase)?;
+    let kind = kind_hint.unwrap_or(TableKind::Absolute);
+
+    // Entry count: recovered bound check, else table-end extension.
+    let (count, extended) = match ctx.find_bound(index_reg, jump_addr) {
+        Some(n) => (n.min(ctx.config.max_table_entries), false),
+        None if ctx.config.table_end_extension => {
+            let next = ctx
+                .boundaries
+                .range(table_addr + 1..)
+                .next()
+                .copied()
+                .unwrap_or(table_addr + ctx.config.max_table_entries * u64::from(entry_width));
+            let n = (next.saturating_sub(table_addr)) / u64::from(entry_width);
+            if n == 0 {
+                return Err(JtFail::NoBound);
+            }
+            (n.min(ctx.config.max_table_entries), true)
+        }
+        None => return Err(JtFail::NoBound),
+    };
+
+    // Read entries and validate targets.
+    let mut targets = Vec::new();
+    for i in 0..count {
+        let entry_addr = table_addr + i * u64::from(entry_width);
+        let Ok(bytes) = ctx.binary.read(entry_addr, entry_width as usize) else {
+            if extended {
+                break; // extension overran the section: trim
+            }
+            return Err(JtFail::BadTableRead);
+        };
+        let mut buf = [0u8; 8];
+        buf[..entry_width as usize].copy_from_slice(bytes);
+        let mut v = u64::from_le_bytes(buf) as i64;
+        if kind.signed() && entry_width < 8 {
+            let shift = 64 - u32::from(entry_width) * 8;
+            v = (v << shift) >> shift;
+        }
+        let target = kind.target_of(v, table_addr);
+        let (fs, fe) = ctx.func_range;
+        let aligned = target % ctx.binary.arch.inst_align() == 0;
+        if target >= fs && target < fe && aligned {
+            targets.push((i, target));
+        }
+        // Entries that do not decode to in-function targets are
+        // over-approximation garbage: remembered as absent so cloning
+        // copies them verbatim.
+    }
+    if targets.is_empty() {
+        return Err(JtFail::NoPattern);
+    }
+
+    let in_text = ctx
+        .binary
+        .section_at(table_addr)
+        .is_some_and(|s| s.flags().exec);
+
+    Ok(JumpTableDesc {
+        jump_addr,
+        table_addr,
+        entry_width,
+        kind,
+        count,
+        extended,
+        base_insts,
+        load_addr,
+        index_reg,
+        targets,
+        in_text,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_kind_solver_roundtrip() {
+        for kind in [TableKind::Absolute, TableKind::Relative, TableKind::RelativeScaled] {
+            let base = 0x5000;
+            let target = 0x4100;
+            let x = kind.entry_for(target, base);
+            assert_eq!(kind.target_of(x, base), target, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn signedness() {
+        assert!(!TableKind::Absolute.signed());
+        assert!(TableKind::Relative.signed());
+        assert!(TableKind::RelativeScaled.signed());
+    }
+}

@@ -1,0 +1,145 @@
+//! Register liveness, used to pick scratch registers for the long
+//! trampoline sequences (§7: ppc64le saves/restores when no register
+//! is dead; aarch64 falls back to a trap).
+
+use crate::block::FuncCfg;
+use icfgp_isa::{Arch, Reg};
+use std::collections::BTreeMap;
+
+/// Bitmask register set (bit *i* = `r<i>`).
+type RegSet = u64;
+
+/// Per-block live-in sets.
+#[derive(Debug, Clone)]
+pub struct LivenessResult {
+    live_in: BTreeMap<u64, RegSet>,
+    arch: Arch,
+}
+
+impl LivenessResult {
+    /// Whether `reg` may be read before being written when control
+    /// enters the block at `block_start`. Unknown blocks are fully
+    /// live (conservative).
+    #[must_use]
+    pub fn is_live_in(&self, block_start: u64, reg: Reg) -> bool {
+        match self.live_in.get(&block_start) {
+            Some(set) => set & (1 << reg.0) != 0,
+            None => true,
+        }
+    }
+
+    /// A register that is dead on entry to the block, usable as a
+    /// trampoline scratch register. The stack pointer, the ppc64le TOC
+    /// register and `r0` (the prologue scratch) are never returned.
+    #[must_use]
+    pub fn scratch_reg_at(&self, block_start: u64) -> Option<Reg> {
+        let set = *self.live_in.get(&block_start)?;
+        let reserved: RegSet = {
+            let mut r = 1 << self.arch.sp().0 | 1 << 0;
+            if let Some(toc) = self.arch.toc() {
+                r |= 1 << toc.0;
+            }
+            r
+        };
+        (0..self.arch.gpr_count())
+            .map(Reg)
+            .find(|r| set & (1 << r.0) == 0 && reserved & (1 << r.0) == 0)
+    }
+}
+
+/// Compute per-block live-in sets with a standard backward dataflow.
+///
+/// The ABI modelled here matches the workload generator's "simple
+/// compiler": values are never kept in registers across calls (callers
+/// spill to their own frame), arguments/returns live in `r8..r11`,
+/// and `sp`/`r2` are reserved. At function exits (returns, tail
+/// calls, unresolved indirect jumps) only the ABI registers are
+/// treated as live — everything else is clobberable, which is what
+/// makes per-function liveness a sound scratch-register oracle for
+/// trampolines.
+#[must_use]
+pub fn live_in_at_blocks(func: &FuncCfg, arch: Arch) -> LivenessResult {
+    let all: RegSet = if arch.gpr_count() >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << arch.gpr_count()) - 1
+    };
+    let abi_regs: RegSet = {
+        let mut r = (1 << 8) | (1 << 9) | (1 << 10) | (1 << 11) | (1 << arch.sp().0);
+        if let Some(toc) = arch.toc() {
+            r |= 1 << toc.0;
+        }
+        r
+    };
+    let mut use_set: BTreeMap<u64, RegSet> = BTreeMap::new();
+    let mut def_set: BTreeMap<u64, RegSet> = BTreeMap::new();
+    let mut boundary_live: BTreeMap<u64, RegSet> = BTreeMap::new();
+    for (start, block) in &func.blocks {
+        let mut uses: RegSet = 0;
+        let mut defs: RegSet = 0;
+        for (_, (inst, _)) in func.insts.range(block.start..block.end) {
+            for r in inst.use_regs() {
+                if defs & (1 << r.0) == 0 {
+                    uses |= 1 << r.0;
+                }
+            }
+            if let Some(d) = inst.def_reg() {
+                defs |= 1 << d.0;
+            }
+        }
+        use_set.insert(*start, uses);
+        def_set.insert(*start, defs);
+        // Exit boundary: the ABI registers stay live across every exit
+        // (returns, tail calls, calls into callees, unresolved
+        // indirect jumps); the rest is clobberable under the
+        // spill-around-calls ABI.
+        let term = block
+            .terminator
+            .and_then(|t| func.insts.get(&t).map(|(i, _)| i.clone()));
+        let escapes = match term {
+            None => block.succs.is_empty(),
+            Some(t) => {
+                t.is_call()
+                    || matches!(
+                        t,
+                        icfgp_isa::Inst::Ret
+                            | icfgp_isa::Inst::JumpReg { .. }
+                            | icfgp_isa::Inst::JumpTar
+                            | icfgp_isa::Inst::JumpMem { .. }
+                            | icfgp_isa::Inst::Halt
+                            | icfgp_isa::Inst::Trap
+                    )
+                    || t.direct_offset().is_some_and(|off| {
+                        // Direct branch leaving the function: tail call.
+                        block.terminator.is_some_and(|ta| {
+                            let target = ta.wrapping_add_signed(off);
+                            target < func.start || target >= func.end
+                        })
+                    })
+            }
+        };
+        boundary_live.insert(*start, if escapes { abi_regs } else { 0 });
+    }
+
+    let mut live_in: BTreeMap<u64, RegSet> = func.blocks.keys().map(|k| (*k, 0)).collect();
+    // Iterate to fixpoint (monotone, bounded by bit count).
+    loop {
+        let mut changed = false;
+        for (start, block) in func.blocks.iter().rev() {
+            let mut out: RegSet = boundary_live[start];
+            for e in &block.succs {
+                out |= live_in.get(&e.target).copied().unwrap_or(all);
+            }
+            let new_in = use_set[start] | (out & !def_set[start]);
+            let slot = live_in.get_mut(start).expect("block key");
+            if *slot != new_in {
+                *slot = new_in;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    LivenessResult { live_in, arch }
+}

@@ -1,0 +1,107 @@
+//! Structural CFG invariants: blocks partition the decoded
+//! instructions, edges land on block starts, and block splitting
+//! behaves.
+
+use icfgp_cfg::{analyze, AnalysisConfig, FuncStatus};
+use icfgp_isa::Arch;
+use icfgp_workloads::{generate, spec_params, GenParams};
+use proptest::prelude::*;
+
+fn check_invariants(binary: &icfgp_obj::Binary) {
+    let a = analyze(binary, &AnalysisConfig::default());
+    for func in a.funcs.values() {
+        // 1. Blocks are sorted, non-overlapping, and instruction-aligned.
+        let blocks: Vec<_> = func.blocks.values().collect();
+        for w in blocks.windows(2) {
+            assert!(w[0].end <= w[1].start, "{}: blocks overlap", func.name);
+        }
+        for b in &blocks {
+            assert!(b.start < b.end, "{}: empty block", func.name);
+            assert!(
+                func.insts.contains_key(&b.start),
+                "{}: block start {:#x} is not an instruction",
+                func.name,
+                b.start
+            );
+        }
+        // 2. Every decoded instruction belongs to exactly one block.
+        for (addr, (_, len)) in &func.insts {
+            let covering = blocks
+                .iter()
+                .filter(|b| *addr >= b.start && addr + u64::from(*len) <= b.end)
+                .count();
+            assert_eq!(
+                covering, 1,
+                "{}: instruction {:#x} covered by {covering} blocks",
+                func.name, addr
+            );
+        }
+        // 3. Every intra edge targets a block start.
+        for b in func.blocks.values() {
+            for e in &b.succs {
+                assert!(
+                    func.blocks.contains_key(&e.target),
+                    "{}: edge from {:#x} to non-block {:#x}",
+                    func.name,
+                    b.start,
+                    e.target
+                );
+            }
+        }
+        // 4. An Ok function's entry is a block.
+        if func.status == FuncStatus::Ok {
+            assert!(func.blocks.contains_key(&func.entry), "{}", func.name);
+        }
+        // 5. Jump-table targets are block starts.
+        for jt in &func.jump_tables {
+            for (_, t) in &jt.targets {
+                assert!(
+                    func.blocks.contains_key(t),
+                    "{}: table target {:#x} is not a block",
+                    func.name,
+                    t
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn invariants_hold_for_the_spec_suite() {
+    for arch in Arch::ALL {
+        for bench in icfgp_workloads::spec_suite(arch, false).iter().take(6) {
+            check_invariants(&bench.workload.binary);
+        }
+    }
+}
+
+#[test]
+fn invariants_hold_for_go_and_driver_binaries() {
+    check_invariants(&icfgp_workloads::docker_like(Arch::X64, 1, 10).binary);
+    let (w, _) = icfgp_workloads::driverlib_like(Arch::Aarch64, 200, 20);
+    check_invariants(&w.binary);
+}
+
+#[test]
+fn invariants_hold_for_pie_suite() {
+    let p = spec_params("602.gcc_s", Arch::X64, true);
+    check_invariants(&generate(&p).binary);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn invariants_hold_for_random_workloads(seed in 0u64..10_000,
+                                            arch in prop_oneof![
+                                                Just(Arch::X64),
+                                                Just(Arch::Ppc64le),
+                                                Just(Arch::Aarch64)
+                                            ]) {
+        let mut p = GenParams::small("prop", arch, seed);
+        p.switch_funcs = 3;
+        p.fnptr_tables = 2;
+        p.exceptions = seed % 2 == 0;
+        check_invariants(&generate(&p).binary);
+    }
+}

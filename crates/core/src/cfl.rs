@@ -1,0 +1,179 @@
+//! Control-flow-landing (CFL) block computation (§4.1/§4.2).
+//!
+//! A CFL block is a basic block with at least one *unmodified*
+//! incoming control-flow edge: execution may land there, in the
+//! original code, and must immediately be redirected to the relocated
+//! code by a trampoline. Each rewriting mode removes one class:
+//!
+//! | class | removed by |
+//! |---|---|
+//! | jump-table target blocks | `jt` mode (table cloning) |
+//! | call fall-through blocks | RA translation (vs. call emulation) |
+//! | function entry blocks | kept — §4.3 needs entry trampolines so calls from *failed* functions keep instrumentation integrity |
+//! | exception landing pads | kept — the unwinder resumes at original-code addresses |
+
+use crate::config::{RewriteConfig, RewriteMode, UnwindStrategy};
+use icfgp_cfg::{EdgeKind, FuncCfg};
+use std::collections::BTreeMap;
+
+/// Why a block is a CFL block (a block may have several reasons; the
+/// first applicable is recorded).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CflReason {
+    /// The function entry: reached by calls from unrewritten code and
+    /// unmodified function pointers.
+    FunctionEntry,
+    /// Target of an unmodified (uncloned) jump table.
+    JumpTableTarget,
+    /// Call fall-through under call emulation: the callee returns to
+    /// the *original* return address.
+    CallFallThrough,
+    /// Exception landing pad: the unwinder resumes here.
+    LandingPad,
+    /// Target of function-pointer arithmetic (`&f + delta`) left
+    /// unrewritten by this mode.
+    FunctionPointerTarget,
+    /// Placement was configured to treat every block as CFL (the SRBI
+    /// strategy).
+    EveryBlock,
+}
+
+/// Compute the CFL blocks of one function under `config`.
+///
+/// Returns block start address → reason, for blocks that need a
+/// trampoline.
+#[must_use]
+pub fn cfl_blocks(func: &FuncCfg, config: &RewriteConfig) -> BTreeMap<u64, CflReason> {
+    let mut out = BTreeMap::new();
+    if config.placement.every_block {
+        for start in func.blocks.keys() {
+            out.insert(*start, CflReason::EveryBlock);
+        }
+        return out;
+    }
+    // Entry blocks are always CFL (see module docs).
+    out.insert(func.entry, CflReason::FunctionEntry);
+    // Landing pads.
+    for lp in &func.landing_pads {
+        out.entry(*lp).or_insert(CflReason::LandingPad);
+    }
+    // Pointer-arithmetic targets (the `&goexit + 1` pattern): modes
+    // below func-ptr leave the pointer unrewritten, so the consumer
+    // lands here in original code. (Kept in func-ptr mode too: code
+    // materialisations in *failed* functions stay unrewritten.)
+    for t in &func.fp_landing_targets {
+        out.entry(*t).or_insert(CflReason::FunctionPointerTarget);
+    }
+    // Jump-table targets, unless the tables are cloned.
+    if config.mode == RewriteMode::Dir {
+        for jt in &func.jump_tables {
+            for (_, target) in &jt.targets {
+                out.entry(*target).or_insert(CflReason::JumpTableTarget);
+            }
+        }
+    }
+    // Call fall-throughs under call emulation.
+    if config.unwind == UnwindStrategy::CallEmulation {
+        for block in func.blocks.values() {
+            for e in &block.succs {
+                if e.kind == EdgeKind::CallFallThrough {
+                    out.entry(e.target).or_insert(CflReason::CallFallThrough);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RewriteConfig;
+    use icfgp_asm::patterns::{emit_switch, switch_table_item, SwitchHardness, SwitchSpec};
+    use icfgp_asm::{epilogue, prologue, BinaryBuilder, FuncDef, Item};
+    use icfgp_cfg::{analyze, AnalysisConfig};
+    use icfgp_isa::{Arch, Inst, Reg};
+    use icfgp_obj::Language;
+
+    fn switch_binary() -> (icfgp_obj::Binary, u64) {
+        let arch = Arch::X64;
+        let mut b = BinaryBuilder::new(arch);
+        let mut items = prologue(arch, 32, false);
+        let spec = SwitchSpec {
+            idx_reg: Reg(8),
+            table_name: "jt".into(),
+            case_labels: (0..3).map(|i| format!("c{i}")).collect(),
+            default_label: "d".into(),
+            entry_width: 8,
+            kind: icfgp_asm::EntryKind::Absolute,
+            inline: false,
+            hardness: SwitchHardness::Easy,
+            spill_slot: 8,
+            scratch: (Reg(9), Reg(10)),
+            mem_indirect: false,
+        };
+        emit_switch(&mut items, arch, &spec);
+        for i in 0..3 {
+            items.push(Item::Label(format!("c{i}")));
+            items.push(Item::CallF("callee".into()));
+            items.push(Item::JmpL("d".into()));
+        }
+        items.push(Item::Label("d".into()));
+        items.extend(epilogue(arch, 32, false));
+        b.add_function(FuncDef::new("dispatch", Language::C, items));
+        b.push_rodata(Some("jt"), switch_table_item("dispatch", &spec));
+        b.push_rodata(Some("end"), icfgp_asm::DataItem::Zeros(8));
+        b.add_function(FuncDef::new("callee", Language::C, vec![Item::I(Inst::Ret)]));
+        b.set_entry("dispatch");
+        let bin = b.build().unwrap();
+        let entry = bin.entry;
+        (bin, entry)
+    }
+
+    #[test]
+    fn dir_mode_marks_table_targets() {
+        let (bin, entry) = switch_binary();
+        let a = analyze(&bin, &AnalysisConfig::default());
+        let f = &a.funcs[&entry];
+        let dir = cfl_blocks(f, &RewriteConfig::new(RewriteMode::Dir));
+        let jt_cfl = dir.values().filter(|r| **r == CflReason::JumpTableTarget).count();
+        assert_eq!(jt_cfl, 3, "three case blocks are CFL in dir mode");
+        assert_eq!(dir[&entry], CflReason::FunctionEntry);
+    }
+
+    #[test]
+    fn jt_mode_removes_table_targets() {
+        let (bin, entry) = switch_binary();
+        let a = analyze(&bin, &AnalysisConfig::default());
+        let f = &a.funcs[&entry];
+        let jt = cfl_blocks(f, &RewriteConfig::new(RewriteMode::Jt));
+        assert!(jt.values().all(|r| *r != CflReason::JumpTableTarget));
+        assert!(jt.len() < cfl_blocks(f, &RewriteConfig::new(RewriteMode::Dir)).len());
+    }
+
+    #[test]
+    fn call_emulation_adds_fallthroughs() {
+        let (bin, entry) = switch_binary();
+        let a = analyze(&bin, &AnalysisConfig::default());
+        let f = &a.funcs[&entry];
+        let mut cfg = RewriteConfig::new(RewriteMode::Jt);
+        cfg.unwind = UnwindStrategy::CallEmulation;
+        let cfl = cfl_blocks(f, &cfg);
+        let ft = cfl.values().filter(|r| **r == CflReason::CallFallThrough).count();
+        assert_eq!(ft, 3, "one fall-through per call");
+        cfg.unwind = UnwindStrategy::RaTranslation;
+        let cfl2 = cfl_blocks(f, &cfg);
+        assert!(cfl2.values().all(|r| *r != CflReason::CallFallThrough));
+    }
+
+    #[test]
+    fn every_block_strategy_covers_all() {
+        let (bin, entry) = switch_binary();
+        let a = analyze(&bin, &AnalysisConfig::default());
+        let f = &a.funcs[&entry];
+        let mut cfg = RewriteConfig::new(RewriteMode::Dir);
+        cfg.placement.every_block = true;
+        let cfl = cfl_blocks(f, &cfg);
+        assert_eq!(cfl.len(), f.blocks.len());
+    }
+}

@@ -1,0 +1,174 @@
+//! Rewriting configuration.
+
+use icfgp_cfg::AnalysisConfig;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The three incremental rewriting modes (§3): each mode rewrites one
+/// more class of control flow and removes the corresponding CFL-block
+/// class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum RewriteMode {
+    /// Rewrite only direct control flow; jump-table targets and
+    /// function entries remain CFL blocks.
+    Dir,
+    /// Additionally clone jump tables so intra-procedural indirect
+    /// jumps stay in the relocated code.
+    Jt,
+    /// Additionally rewrite function-pointer definitions so indirect
+    /// calls land in the relocated code directly.
+    FuncPtr,
+}
+
+impl fmt::Display for RewriteMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RewriteMode::Dir => "dir",
+            RewriteMode::Jt => "jt",
+            RewriteMode::FuncPtr => "func-ptr",
+        };
+        f.write_str(s)
+    }
+}
+
+/// How the rewritten binary supports stack unwinding (§6, Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UnwindStrategy {
+    /// Runtime return-address translation: real calls in `.instr`, an
+    /// emitted `.ra_map`, original `.eh_frame` left untouched. Call
+    /// fall-through blocks are *not* CFL blocks.
+    RaTranslation,
+    /// Legacy call emulation (Multiverse/SRBI): every call is emulated
+    /// by pushing the *original* return address, so returns land in
+    /// original code — call fall-through blocks become CFL blocks and
+    /// every return bounces.
+    CallEmulation,
+    /// No unwinding support: real calls, no RA map. C++ exceptions and
+    /// Go traceback crash in rewritten code.
+    None,
+}
+
+/// Trampoline placement options (the §4/§7 machinery, individually
+/// switchable for the ablation benches).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlacementConfig {
+    /// Extend CFL blocks over following scratch blocks into
+    /// trampoline superblocks.
+    pub superblocks: bool,
+    /// Use inter-function alignment padding as scratch space.
+    pub use_padding: bool,
+    /// Use the renamed `.old.dynsym`/`.old.dynstr`/`.old.rela_dyn`
+    /// sections as scratch space.
+    pub use_scratch_sections: bool,
+    /// Allow two-hop trampolines (short branch to an island holding a
+    /// long branch).
+    pub multi_hop: bool,
+    /// Install trampolines at *every* block instead of only CFL blocks
+    /// (the SRBI strategy §4.2 improves on).
+    pub every_block: bool,
+    /// Donate the dead bytes after each installed trampoline to the
+    /// scratch pool — part of §2.2's "identify more code bytes that can
+    /// be safely reused"; mainstream rewriters only used padding.
+    pub reuse_block_leftovers: bool,
+}
+
+impl Default for PlacementConfig {
+    fn default() -> PlacementConfig {
+        PlacementConfig {
+            superblocks: true,
+            use_padding: true,
+            use_scratch_sections: true,
+            multi_hop: true,
+            every_block: false,
+            reuse_block_leftovers: true,
+        }
+    }
+}
+
+/// Order in which relocated code is laid out in `.instr` — the §8.3
+/// BOLT-comparison transforms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LayoutOrder {
+    /// Original address order.
+    Original,
+    /// Reverse the order of functions, keep block order.
+    ReverseFunctions,
+    /// Keep function order, reverse blocks within each function.
+    ReverseBlocks,
+}
+
+/// Full rewriting configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RewriteConfig {
+    /// Rewriting mode.
+    pub mode: RewriteMode,
+    /// Binary-analysis capabilities to use.
+    pub analysis: AnalysisConfig,
+    /// Stack-unwinding support.
+    pub unwind: UnwindStrategy,
+    /// Trampoline placement options.
+    pub placement: PlacementConfig,
+    /// Overwrite every relocated function's `.text` bytes with illegal
+    /// instructions before installing trampolines — the paper's strong
+    /// correctness test (§8: "serves as a strong test to detect any
+    /// mistakes").
+    pub poison_text: bool,
+    /// Clone jump tables to `.jt_clone` (the safe strategy); when
+    /// false, tables are overwritten in place, which corrupts
+    /// neighbouring data under over-approximation (§5.1 Failure 3
+    /// ablation).
+    pub clone_tables: bool,
+    /// Extra bytes between the end of the original image and `.instr`
+    /// (forces far placement, stressing branch reach on the RISC
+    /// architectures).
+    pub instr_gap: u64,
+    /// Layout order for relocated code.
+    pub layout: LayoutOrder,
+    /// Append this many nop bytes after every relocated indirect
+    /// control transfer. Post-processing rewriters (the
+    /// Multiverse-style dynamic-translation baseline) need the slack to
+    /// widen those sites into translator detours. Default 0.
+    pub indirect_site_padding: u64,
+}
+
+impl RewriteConfig {
+    /// Default configuration for a mode: full analysis, RA
+    /// translation, all placement machinery, table cloning, poisoned
+    /// text.
+    #[must_use]
+    pub fn new(mode: RewriteMode) -> RewriteConfig {
+        RewriteConfig {
+            mode,
+            analysis: AnalysisConfig::default(),
+            unwind: UnwindStrategy::RaTranslation,
+            placement: PlacementConfig::default(),
+            poison_text: true,
+            clone_tables: true,
+            instr_gap: 0x1000,
+            layout: LayoutOrder::Original,
+            indirect_site_padding: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_display() {
+        assert_eq!(RewriteMode::Dir.to_string(), "dir");
+        assert_eq!(RewriteMode::Jt.to_string(), "jt");
+        assert_eq!(RewriteMode::FuncPtr.to_string(), "func-ptr");
+    }
+
+    #[test]
+    fn default_config_is_the_papers() {
+        let c = RewriteConfig::new(RewriteMode::Jt);
+        assert_eq!(c.unwind, UnwindStrategy::RaTranslation);
+        assert!(c.clone_tables);
+        assert!(c.placement.superblocks);
+        assert!(!c.placement.every_block);
+        assert!(c.poison_text);
+    }
+}

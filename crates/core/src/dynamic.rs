@@ -1,0 +1,162 @@
+//! Dynamic binary instrumentation (§10 Discussion).
+//!
+//! The paper notes that "our approach can be extended to support
+//! dynamic binary instrumentation in a straightforward way" — the same
+//! analyses and patches apply; what changes is *delivery*: instead of
+//! writing a new binary, the instrumenter attaches to a paused
+//! process, maps the new sections, patches the live code, installs the
+//! runtime maps, and migrates any program counter that sits inside
+//! rewritten code into its relocated copy.
+//!
+//! [`attach`] does exactly that against a paused
+//! [`icfgp_emu::Machine`]. The only piece intentionally *not* modelled
+//! is the paper's `.got`-based function wrapping for dynamic C++
+//! exception support — our emulator's unwinder consumes the installed
+//! RA map directly, which is the semantic end state of that wrapping.
+
+use crate::config::RewriteConfig;
+use crate::instrument::Instrumentation;
+use crate::rewriter::{RewriteError, RewriteOutcome, Rewriter};
+use icfgp_emu::{Machine, RuntimeLib};
+use icfgp_obj::Binary;
+
+/// What [`attach`] did.
+#[derive(Debug, Clone)]
+pub struct AttachReport {
+    /// Sections mapped into the running process.
+    pub mapped_sections: usize,
+    /// Live-patched byte ranges (trampolines, islands, poison, data
+    /// rewrites).
+    pub patched_ranges: usize,
+    /// Whether the paused PC was migrated into relocated code.
+    pub pc_migrated: bool,
+    /// The underlying rewrite outcome (report, maps).
+    pub outcome: RewriteOutcome,
+}
+
+/// Instrument a *running* (paused) machine.
+///
+/// `binary` must be the image the machine was loaded from; the rewrite
+/// is computed statically and then applied to the live process:
+///
+/// 0. the strong test's `.text` poisoning is disabled — live stack
+///    frames must be able to return into original code (execution
+///    migrates into `.instr` at the next call through an entry
+///    trampoline);
+/// 1. new sections (`.instr`, `.jt_clone`, `.icounters`, maps, moved
+///    metadata) are mapped at the machine's load bias;
+/// 2. changed bytes in existing sections (trampolines, scratch
+///    islands, poison, rewritten function-pointer slots) are patched;
+/// 3. every relocation of the rewritten image is (re-)applied with the
+///    bias — the dynamic equivalent of the loader pass;
+/// 4. the runtime maps are installed (the `LD_PRELOAD` equivalent);
+/// 5. if the paused PC lies inside relocated code, it is migrated to
+///    the corresponding relocated instruction.
+///
+/// # Errors
+///
+/// Propagates [`RewriteError`] from the static rewrite, or
+/// [`RewriteError::Unsupported`] when a live patch fails or the paused
+/// PC cannot be migrated (paused inside an instruction the analysis
+/// never saw).
+pub fn attach(
+    machine: &mut Machine,
+    binary: &Binary,
+    config: &RewriteConfig,
+    instr: &Instrumentation,
+) -> Result<AttachReport, RewriteError> {
+    // Frames already on the stack hold return addresses into original
+    // code; dynamic attach therefore must leave the original code
+    // executable (no poison). Execution migrates gradually: paused
+    // frames finish in original code, and every *call* they make goes
+    // through an entry trampoline into the instrumented copy.
+    let mut config = config.clone();
+    config.poison_text = false;
+    let rewriter = Rewriter::new(config);
+    let outcome = rewriter.rewrite(binary, instr)?;
+    let bias = machine.bias();
+
+    // 1. Map brand-new sections.
+    let mut mapped_sections = 0usize;
+    for sec in outcome.binary.sections() {
+        if !sec.flags().alloc || sec.is_empty() {
+            continue;
+        }
+        let existed = binary.section_at(sec.addr()).is_some();
+        if !existed {
+            machine.map_region(
+                bias + sec.addr(),
+                sec.data().to_vec(),
+                sec.flags().write,
+                sec.flags().exec,
+            );
+            mapped_sections += 1;
+        }
+    }
+
+    // 2. Patch changed bytes in pre-existing sections.
+    let mut patched_ranges = 0usize;
+    for sec in outcome.binary.sections() {
+        let Some(old) = binary.section_at(sec.addr()) else { continue };
+        if old.addr() != sec.addr() || old.len() != sec.len() {
+            continue; // moved copies were handled as new mappings
+        }
+        // Patch contiguous differing runs.
+        let (new_data, old_data) = (sec.data(), old.data());
+        let mut i = 0usize;
+        while i < new_data.len() {
+            if new_data[i] == old_data[i] {
+                i += 1;
+                continue;
+            }
+            let start = i;
+            while i < new_data.len() && new_data[i] != old_data[i] {
+                i += 1;
+            }
+            machine
+                .patch_code(bias + sec.addr() + start as u64, &new_data[start..i])
+                .map_err(|addr| {
+                    RewriteError::Unsupported(format!("live patch failed at {addr:#x}"))
+                })?;
+            patched_ranges += 1;
+        }
+    }
+
+    // 3. Re-apply the rewritten image's relocations with the bias.
+    if binary.meta.pie {
+        for reloc in outcome.binary.runtime_relocations() {
+            let value = bias + reloc.addend;
+            machine
+                .patch_code(bias + reloc.at, &value.to_le_bytes())
+                .map_err(|addr| {
+                    RewriteError::Unsupported(format!("relocation patch failed at {addr:#x}"))
+                })?;
+        }
+    }
+
+    // 4. Runtime maps.
+    machine.install_runtime(RuntimeLib::from_binary(&outcome.binary));
+
+    // 5. Migrate the paused PC if it sits in rewritten original code.
+    let mut pc_migrated = false;
+    let link_pc = machine.pc().wrapping_sub(bias);
+    if let Some(new_pc) = outcome
+        .block_map
+        .get(&link_pc)
+        .or_else(|| outcome.inst_map.get(&link_pc))
+    {
+        machine.set_pc(bias + new_pc);
+        pc_migrated = true;
+    } else if binary
+        .function_at(link_pc)
+        .is_some_and(|f| outcome.block_map.contains_key(&f.addr))
+    {
+        // Paused inside an instrumented function but not at a known
+        // instruction boundary: cannot migrate safely.
+        return Err(RewriteError::Unsupported(format!(
+            "paused pc {link_pc:#x} is not an instruction boundary"
+        )));
+    }
+
+    Ok(AttachReport { mapped_sections, patched_ranges, pc_migrated, outcome })
+}

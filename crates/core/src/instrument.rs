@@ -1,0 +1,155 @@
+//! The instrumentation request API (Dyninst-style points + snippets).
+
+use icfgp_isa::{Inst, Reg};
+use std::collections::BTreeSet;
+
+/// Where to instrument.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Points {
+    /// Relocate everything but insert no payload anywhere.
+    None,
+    /// Every basic block of every (analysable) function — the paper's
+    /// block-level evaluation workload.
+    EveryBlock,
+    /// Only function entry blocks.
+    FunctionEntries,
+    /// Every block of the selected functions only (partial
+    /// instrumentation — the Diogenes case study). Functions are named
+    /// by entry address; unselected functions are left completely
+    /// untouched in `.text`.
+    Functions(BTreeSet<u64>),
+}
+
+impl Points {
+    /// Whether the function at `entry` participates in rewriting.
+    #[must_use]
+    pub fn selects_function(&self, entry: u64) -> bool {
+        match self {
+            Points::Functions(set) => set.contains(&entry),
+            _ => true,
+        }
+    }
+
+    /// Whether the block at `block_start` of the function at `entry`
+    /// receives a payload.
+    #[must_use]
+    pub fn selects_block(&self, entry: u64, block_start: u64) -> bool {
+        match self {
+            Points::None => false,
+            Points::EveryBlock => true,
+            Points::FunctionEntries => entry == block_start,
+            Points::Functions(set) => set.contains(&entry),
+        }
+    }
+}
+
+/// What to insert at each point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Payload {
+    /// Nothing — still forces relocation and trampoline placement
+    /// (the paper's "empty instrumentation").
+    Empty,
+    /// A fixed position-free instruction sequence (no branches, no
+    /// PC-relative operands).
+    Insts(Vec<Inst>),
+    /// A per-block execution counter in a rewriter-allocated
+    /// `.icounters` section, using two instrumentation-reserved
+    /// scratch registers (the workload ABI reserves `r14`/`r15`).
+    BlockCounter {
+        /// Scratch registers clobbered by the counter sequence.
+        scratch: (Reg, Reg),
+    },
+}
+
+/// A complete instrumentation request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Instrumentation {
+    /// Where to instrument.
+    pub points: Points,
+    /// What to insert.
+    pub payload: Payload,
+}
+
+impl Instrumentation {
+    /// Empty payload at the given points.
+    #[must_use]
+    pub fn empty(points: Points) -> Instrumentation {
+        Instrumentation { points, payload: Payload::Empty }
+    }
+
+    /// Block execution counters at the given points, using the
+    /// standard reserved scratch registers.
+    #[must_use]
+    pub fn counters(points: Points) -> Instrumentation {
+        Instrumentation { points, payload: Payload::BlockCounter { scratch: (Reg(14), Reg(15)) } }
+    }
+
+    /// Validate a custom payload: position-free instructions only.
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending instruction when the payload contains
+    /// control flow or PC-relative operands.
+    pub fn validate(&self) -> Result<(), Inst> {
+        if let Payload::Insts(insts) = &self.payload {
+            for inst in insts {
+                let pc_rel = match inst {
+                    Inst::Load { addr, .. }
+                    | Inst::Store { addr, .. }
+                    | Inst::Lea { addr, .. }
+                    | Inst::JumpMem { addr }
+                    | Inst::CallMem { addr } => addr.pc_rel,
+                    Inst::AdrPage { .. } => true,
+                    _ => false,
+                };
+                if inst.is_control_flow() || pc_rel {
+                    return Err(inst.clone());
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icfgp_isa::{AluOp, SysOp};
+
+    #[test]
+    fn points_selection() {
+        let every = Points::EveryBlock;
+        assert!(every.selects_function(0x10));
+        assert!(every.selects_block(0x10, 0x20));
+        let entries = Points::FunctionEntries;
+        assert!(entries.selects_block(0x10, 0x10));
+        assert!(!entries.selects_block(0x10, 0x20));
+        let partial = Points::Functions([0x10u64].into_iter().collect());
+        assert!(partial.selects_function(0x10));
+        assert!(!partial.selects_function(0x30));
+        assert!(partial.selects_block(0x10, 0x20));
+        assert!(!Points::None.selects_block(0x10, 0x10));
+    }
+
+    #[test]
+    fn payload_validation() {
+        let ok = Instrumentation {
+            points: Points::EveryBlock,
+            payload: Payload::Insts(vec![
+                Inst::AluImm { op: AluOp::Add, dst: Reg(14), src: Reg(14), imm: 1 },
+                Inst::Sys { op: SysOp::Out, arg: Reg(14) },
+            ]),
+        };
+        assert!(ok.validate().is_ok());
+        let bad = Instrumentation {
+            points: Points::EveryBlock,
+            payload: Payload::Insts(vec![Inst::Jump { offset: 4 }]),
+        };
+        assert!(bad.validate().is_err());
+        let bad2 = Instrumentation {
+            points: Points::EveryBlock,
+            payload: Payload::Insts(vec![Inst::Lea { dst: Reg(1), addr: icfgp_isa::Addr::pc_rel(4) }]),
+        };
+        assert!(bad2.validate().is_err());
+    }
+}

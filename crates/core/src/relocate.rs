@@ -1,0 +1,1081 @@
+//! The code relocation engine: emits `.instr`, the jump-table clones,
+//! the block/instruction maps and the RA map.
+//!
+//! Relocated code layout (per function, per block):
+//! `[Go-traceback RA payload?][instrumentation payload?][block insts]`.
+//! Instruction operands are re-resolved:
+//!
+//! * direct branches/calls target the *relocated* copy when the callee
+//!   was relocated, the original address otherwise (where an entry
+//!   trampoline catches execution);
+//! * PC-relative data references are re-encoded against the original
+//!   data (which does not move);
+//! * jump-table base materialisations are retargeted to the table's
+//!   clone, and compact table loads are widened to 4 bytes (§5.1);
+//! * function-pointer materialisations are retargeted to
+//!   `relocated(fn + delta) - delta` in `func-ptr` mode (§5.2);
+//! * under call emulation, calls expand to
+//!   "materialise original return address; set it as the return
+//!   address; jump" (§2.3) — optionally reproducing the historical
+//!   stack-indirect bug.
+
+use crate::config::{LayoutOrder, RewriteConfig, RewriteMode, UnwindStrategy};
+use crate::instrument::{Instrumentation, Payload};
+use crate::rewriter::RewriteError;
+use icfgp_cfg::{BinaryAnalysis, FpDefSite, FuncCfg, FuncStatus, JumpTableDesc};
+use icfgp_isa::{encode, Addr, AluOp, Arch, Cond, Inst, Reg, SysOp, Width};
+use icfgp_obj::{Binary, RaMap};
+use std::collections::{BTreeMap, HashMap};
+
+/// Instrumentation-reserved scratch register for emitted sequences.
+const RESERVED: Reg = Reg(15);
+
+/// One cloned jump table.
+#[derive(Debug, Clone)]
+pub struct TableClone {
+    /// The analysed table.
+    pub desc: JumpTableDesc,
+    /// Where the clone lives (`.jt_clone`).
+    pub clone_addr: u64,
+    /// Entry width of the clone (compact tables are widened to 4).
+    pub entry_width: u8,
+    /// Clone contents.
+    pub bytes: Vec<u8>,
+    /// RELATIVE relocation slots the clone needs in PIE binaries
+    /// (absolute entries): (slot address, link-time value).
+    pub reloc_slots: Vec<(u64, u64)>,
+}
+
+/// The relocation result.
+#[derive(Debug, Clone)]
+pub struct RelocatedCode {
+    /// `.instr` contents.
+    pub code: Vec<u8>,
+    /// `.instr` base address.
+    pub base: u64,
+    /// Original block start → relocated address (payload start).
+    pub block_map: BTreeMap<u64, u64>,
+    /// Original instruction address → relocated instruction address.
+    pub inst_map: BTreeMap<u64, u64>,
+    /// Relocated→original return-address map.
+    pub ra_map: RaMap,
+    /// Jump-table clones (`.jt_clone` contents), empty in `dir` mode.
+    pub clones: Vec<TableClone>,
+    /// `.jt_clone` base address.
+    pub clone_base: u64,
+    /// Number of counter slots allocated (for `.icounters`).
+    pub counter_slots: usize,
+    /// `.icounters` base address.
+    pub icounters_base: u64,
+    /// In-place table overwrites (the unsafe `clone_tables = false`
+    /// ablation).
+    pub inplace_table_writes: Vec<(u64, Vec<u8>)>,
+}
+
+/// Whether a table's base materialisation can be retargeted: its
+/// instructions must be adjacent in the instruction stream (pairs are
+/// rewritten as a unit).
+pub(crate) fn table_cloneable(func: &FuncCfg, desc: &JumpTableDesc) -> bool {
+    if desc.base_insts.is_empty() {
+        // The x64 absolute-displacement memory jump: cloning rewrites
+        // the displacement of the copied jump instruction itself.
+        return desc.load_addr == desc.jump_addr;
+    }
+    if desc.base_insts.len() == 1 {
+        return true;
+    }
+    if desc.base_insts.len() > 2 {
+        return false;
+    }
+    let first = desc.base_insts[0];
+    let Some((_, len)) = func.insts.get(&first) else { return false };
+    desc.base_insts[1] == first + u64::from(*len)
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BKind {
+    Jump,
+    Cond(Cond),
+    Call,
+}
+
+#[derive(Debug, Clone)]
+enum RKind {
+    Copy(Inst),
+    Payload(Inst),
+    CounterPayload { slot: usize },
+    GoRaPayload,
+    BranchOrig { bkind: BKind, orig_target: u64, far: bool },
+    PcRelData { inst: Inst, orig_addr: u64 },
+    PcRelPage { page_value: u64, dst: Reg },
+    JtBase { inst: Inst, clone_idx: usize, pair: bool },
+    /// A memory-indirect table jump whose displacement is retargeted to
+    /// the clone (`jmp [idx*8 + table]` → `jmp [idx*8 + clone]`).
+    JtMemJump { inst: Inst, clone_idx: usize },
+    JtLoadWiden { inst: Inst },
+    FpImm { inst: Inst, target_fn: u64, delta: i64, pair: bool },
+    EmulatedCall { call: Inst, orig_ret: u64, direct_target: Option<u64>, far: bool },
+    /// Nop slack after indirect transfers
+    /// ([`RewriteConfig::indirect_site_padding`]).
+    Pad(u64),
+}
+
+#[derive(Debug, Clone)]
+struct REntry {
+    /// Original (addr, len); `None` for payload entries.
+    orig: Option<(u64, u8)>,
+    /// Extra original instruction consumed by a pair rewrite.
+    orig_extra: Option<(u64, u8)>,
+    kind: RKind,
+    new_addr: u64,
+    size: u64,
+}
+
+/// Everything relocation needs.
+pub(crate) struct RelocateInput<'a> {
+    pub binary: &'a Binary,
+    pub analysis: &'a BinaryAnalysis,
+    pub config: &'a RewriteConfig,
+    pub instr: &'a Instrumentation,
+    /// `.jt_clone` base (clones precede `.instr`).
+    pub clone_base: u64,
+    /// `.instr` base.
+    pub instr_base: u64,
+    /// Emit the buggy call emulation for stack-indirect calls.
+    pub emulation_stack_bug: bool,
+}
+
+/// Relocate all selected functions.
+pub(crate) fn relocate(input: &RelocateInput<'_>) -> Result<RelocatedCode, RewriteError> {
+    let binary = input.binary;
+    let arch = binary.arch;
+    let config = input.config;
+    let pie = binary.meta.pie;
+    let toc = binary.toc_base;
+
+    // Selected, analysable functions, in layout order.
+    let mut selected: Vec<&FuncCfg> = input
+        .analysis
+        .funcs
+        .values()
+        .filter(|f| f.status == FuncStatus::Ok && input.instr.points.selects_function(f.entry))
+        .collect();
+    if config.layout == LayoutOrder::ReverseFunctions {
+        selected.reverse();
+    }
+    let relocated_ranges: Vec<(u64, u64)> = selected.iter().map(|f| (f.start, f.end)).collect();
+    let is_relocated = |addr: u64| relocated_ranges.iter().any(|(s, e)| addr >= *s && addr < *e);
+
+    // Far-branch decision for branches from `.instr` back to original
+    // code (conservative span estimate; only matters on RISC).
+    let far_to_orig = if arch == Arch::X64 {
+        false
+    } else {
+        let span = input.instr_base + 4 * binary.loaded_size() - binary.sections()[0].addr();
+        span as i64 > arch.short_branch_reach() - (1 << 20)
+    };
+
+    // ----- assign clone addresses --------------------------------------
+    let mut clones: Vec<TableClone> = Vec::new();
+    let mut clone_index: HashMap<u64, usize> = HashMap::new(); // jump_addr -> idx
+    if config.mode >= RewriteMode::Jt && config.clone_tables {
+        let mut cursor = input.clone_base;
+        for func in &selected {
+            for desc in &func.jump_tables {
+                if !table_cloneable(func, desc) {
+                    continue;
+                }
+                let entry_width = desc.entry_width.max(4);
+                cursor = align_up(cursor, u64::from(entry_width));
+                clone_index.insert(desc.jump_addr, clones.len());
+                clones.push(TableClone {
+                    desc: desc.clone(),
+                    clone_addr: cursor,
+                    entry_width,
+                    bytes: Vec::new(),
+                    reloc_slots: Vec::new(),
+                });
+                cursor += desc.count * u64::from(entry_width);
+            }
+        }
+    }
+
+    // ----- build entries -------------------------------------------------
+    let mut entries: Vec<REntry> = Vec::new();
+    let mut block_starts: Vec<(u64, usize)> = Vec::new(); // orig block -> entry idx
+    let mut counter_slots = 0usize;
+    let go_payload = config.unwind == UnwindStrategy::RaTranslation && binary.pclntab.is_some();
+
+    for func in &selected {
+        // Per-function rewrite site maps.
+        let mut base_site: HashMap<u64, (usize, bool)> = HashMap::new(); // first inst -> (clone idx, pair)
+        let mut base_covered: HashMap<u64, usize> = HashMap::new(); // any base inst -> clone idx
+        let mut widen_site: HashMap<u64, usize> = HashMap::new(); // load addr -> clone idx
+        let mut memjump_site: HashMap<u64, usize> = HashMap::new();
+        for desc in &func.jump_tables {
+            let Some(&idx) = clone_index.get(&desc.jump_addr) else { continue };
+            if desc.base_insts.is_empty() {
+                // Displacement-form memory jump.
+                memjump_site.insert(desc.jump_addr, idx);
+                continue;
+            }
+            base_site.insert(desc.base_insts[0], (idx, desc.base_insts.len() == 2));
+            for a in &desc.base_insts {
+                base_covered.insert(*a, idx);
+            }
+            if desc.entry_width < 4 {
+                widen_site.insert(desc.load_addr, idx);
+            }
+        }
+        let mut fp_site: HashMap<u64, (u64, i64, bool)> = HashMap::new(); // first inst -> (fn, delta, pair)
+        let mut fp_covered: HashMap<u64, ()> = HashMap::new();
+        if config.mode == RewriteMode::FuncPtr {
+            for def in &input.analysis.fp_defs {
+                let FpDefSite::CodeImm { inst_addr, pair_first } = def.site else { continue };
+                if inst_addr < func.start || inst_addr >= func.end {
+                    continue;
+                }
+                if base_covered.contains_key(&inst_addr) {
+                    continue;
+                }
+                match pair_first {
+                    Some(first) => {
+                        // Pairs must be adjacent to rewrite as a unit.
+                        let adjacent = func
+                            .insts
+                            .get(&first)
+                            .is_some_and(|(_, l)| first + u64::from(*l) == inst_addr);
+                        if adjacent && !base_covered.contains_key(&first) {
+                            fp_site.insert(first, (def.target_fn, def.delta, true));
+                            fp_covered.insert(first, ());
+                            fp_covered.insert(inst_addr, ());
+                        }
+                    }
+                    None => {
+                        fp_site.insert(inst_addr, (def.target_fn, def.delta, false));
+                        fp_covered.insert(inst_addr, ());
+                    }
+                }
+            }
+        }
+
+        let mut blocks: Vec<u64> = func.blocks.keys().copied().collect();
+        if config.layout == LayoutOrder::ReverseBlocks {
+            blocks.reverse();
+        }
+        for (bi, bstart) in blocks.iter().copied().enumerate() {
+            let block = &func.blocks[&bstart];
+            block_starts.push((bstart, entries.len()));
+            let mut block_has_leader_entry = false;
+            // Go traceback RA-translation instrumentation at the
+            // entries of findfunc/pcvalue analogs (§6.2).
+            if go_payload && bstart == func.entry {
+                if let Some(sym) = binary.function_starting_at(func.entry) {
+                    if sym.attrs.is_go_traceback {
+                        entries.push(REntry {
+                            orig: None,
+                            orig_extra: None,
+                            kind: RKind::GoRaPayload,
+                            new_addr: 0,
+                            size: 0,
+                        });
+                        block_has_leader_entry = true;
+                    }
+                }
+            }
+            if input.instr.points.selects_block(func.entry, bstart) {
+                match &input.instr.payload {
+                    Payload::Empty => {}
+                    Payload::Insts(insts) => {
+                        for inst in insts {
+                            entries.push(REntry {
+                                orig: None,
+                                orig_extra: None,
+                                kind: RKind::Payload(inst.clone()),
+                                new_addr: 0,
+                                size: 0,
+                            });
+                        }
+                    }
+                    Payload::BlockCounter { .. } => {
+                        entries.push(REntry {
+                            orig: None,
+                            orig_extra: None,
+                            kind: RKind::CounterPayload { slot: counter_slots },
+                            new_addr: 0,
+                            size: 0,
+                        });
+                        counter_slots += 1;
+                    }
+                }
+            }
+            let _ = block_has_leader_entry;
+
+            // Block instructions.
+            let mut skip_next: Option<u64> = None;
+            for (addr, (inst, len)) in func.insts.range(block.start..block.end) {
+                if skip_next == Some(*addr) {
+                    skip_next = None;
+                    continue;
+                }
+                let orig = Some((*addr, *len));
+                // Jump-table base retarget?
+                if let Some((idx, pair)) = base_site.get(addr) {
+                    let mut orig_extra = None;
+                    if *pair {
+                        let second = addr + u64::from(*len);
+                        if let Some((_, l2)) = func.insts.get(&second) {
+                            orig_extra = Some((second, *l2));
+                            skip_next = Some(second);
+                        }
+                    }
+                    entries.push(REntry {
+                        orig,
+                        orig_extra,
+                        kind: RKind::JtBase { inst: inst.clone(), clone_idx: *idx, pair: *pair },
+                        new_addr: 0,
+                        size: 0,
+                    });
+                    continue;
+                }
+                if base_covered.contains_key(addr) {
+                    // Second instruction of a base pair: consumed above.
+                    continue;
+                }
+                // Function-pointer materialisation retarget?
+                if let Some((target_fn, delta, pair)) = fp_site.get(addr) {
+                    let mut orig_extra = None;
+                    if *pair {
+                        let second = addr + u64::from(*len);
+                        if let Some((_, l2)) = func.insts.get(&second) {
+                            orig_extra = Some((second, *l2));
+                            skip_next = Some(second);
+                        }
+                    }
+                    entries.push(REntry {
+                        orig,
+                        orig_extra,
+                        kind: RKind::FpImm {
+                            inst: inst.clone(),
+                            target_fn: *target_fn,
+                            delta: *delta,
+                            pair: *pair,
+                        },
+                        new_addr: 0,
+                        size: 0,
+                    });
+                    continue;
+                }
+                if fp_covered.contains_key(addr) {
+                    continue;
+                }
+                // Displacement-form memory-indirect table jump?
+                if let Some(idx) = memjump_site.get(addr) {
+                    entries.push(REntry {
+                        orig,
+                        orig_extra: None,
+                        kind: RKind::JtMemJump { inst: inst.clone(), clone_idx: *idx },
+                        new_addr: 0,
+                        size: 0,
+                    });
+                    continue;
+                }
+                // Widened compact-table load?
+                if widen_site.contains_key(addr) {
+                    entries.push(REntry {
+                        orig,
+                        orig_extra: None,
+                        kind: RKind::JtLoadWiden { inst: inst.clone() },
+                        new_addr: 0,
+                        size: 0,
+                    });
+                    continue;
+                }
+                // Calls under emulation.
+                if inst.is_call() && config.unwind == UnwindStrategy::CallEmulation {
+                    let direct_target = inst.direct_offset().map(|o| addr.wrapping_add_signed(o));
+                    let far = direct_target.is_some_and(|t| !is_relocated(t)) && far_to_orig;
+                    let pad_after = config.indirect_site_padding > 0 && inst.is_indirect();
+                    entries.push(REntry {
+                        orig,
+                        orig_extra: None,
+                        kind: RKind::EmulatedCall {
+                            call: inst.clone(),
+                            orig_ret: addr + u64::from(*len),
+                            direct_target,
+                            far,
+                        },
+                        new_addr: 0,
+                        size: 0,
+                    });
+                    if pad_after {
+                        entries.push(REntry {
+                            orig: None,
+                            orig_extra: None,
+                            kind: RKind::Pad(config.indirect_site_padding),
+                            new_addr: 0,
+                            size: 0,
+                        });
+                    }
+                    continue;
+                }
+                // Direct branches / calls.
+                if let Some(off) = inst.direct_offset() {
+                    let orig_target = addr.wrapping_add_signed(off);
+                    let bkind = match inst {
+                        Inst::Call { .. } => BKind::Call,
+                        Inst::JumpCond { cond, .. } => BKind::Cond(*cond),
+                        _ => BKind::Jump,
+                    };
+                    let far = far_to_orig && !is_relocated(orig_target);
+                    if far && matches!(bkind, BKind::Cond(_)) {
+                        return Err(RewriteError::Unsupported(
+                            "conditional branch to unrelocated far target".to_string(),
+                        ));
+                    }
+                    entries.push(REntry {
+                        orig,
+                        orig_extra: None,
+                        kind: RKind::BranchOrig { bkind, orig_target, far },
+                        new_addr: 0,
+                        size: 0,
+                    });
+                    continue;
+                }
+                // PC-relative data / pages.
+                let pcrel = match inst {
+                    Inst::Load { addr: a, .. }
+                    | Inst::Store { addr: a, .. }
+                    | Inst::Lea { addr: a, .. }
+                    | Inst::JumpMem { addr: a }
+                    | Inst::CallMem { addr: a } => a.pc_rel,
+                    _ => false,
+                };
+                if pcrel {
+                    entries.push(REntry {
+                        orig,
+                        orig_extra: None,
+                        kind: RKind::PcRelData { inst: inst.clone(), orig_addr: *addr },
+                        new_addr: 0,
+                        size: 0,
+                    });
+                    continue;
+                }
+                if let Inst::AdrPage { dst, page_delta } = inst {
+                    let page_value = (addr & !0xFFF).wrapping_add_signed(page_delta << 12);
+                    entries.push(REntry {
+                        orig,
+                        orig_extra: None,
+                        kind: RKind::PcRelPage { page_value, dst: *dst },
+                        new_addr: 0,
+                        size: 0,
+                    });
+                    continue;
+                }
+                let pad_after = config.indirect_site_padding > 0 && inst.is_indirect();
+                entries.push(REntry {
+                    orig,
+                    orig_extra: None,
+                    kind: RKind::Copy(inst.clone()),
+                    new_addr: 0,
+                    size: 0,
+                });
+                if pad_after {
+                    entries.push(REntry {
+                        orig: None,
+                        orig_extra: None,
+                        kind: RKind::Pad(config.indirect_site_padding),
+                        new_addr: 0,
+                        size: 0,
+                    });
+                }
+            }
+            // Fall-through repair: when the physically-next emitted
+            // block is not this block's fall-through successor (block
+            // reordering, or gaps), make the fall-through explicit.
+            let falls = func
+                .insts
+                .range(block.start..block.end)
+                .next_back()
+                .is_some_and(|(_, (inst, _))| inst.falls_through());
+            let next_emitted = blocks.get(bi + 1).copied();
+            if falls && next_emitted != Some(block.end) {
+                entries.push(REntry {
+                    orig: None,
+                    orig_extra: None,
+                    kind: RKind::BranchOrig {
+                        bkind: BKind::Jump,
+                        orig_target: block.end,
+                        far: far_to_orig && !is_relocated(block.end),
+                    },
+                    new_addr: 0,
+                    size: 0,
+                });
+            }
+        }
+    }
+
+    // ----- sizing pass -----------------------------------------------------
+    let mut cursor = input.instr_base;
+    for e in &mut entries {
+        // Keep RISC alignment.
+        cursor = align_up(cursor, arch.inst_align());
+        e.new_addr = cursor;
+        e.size = entry_size(&e.kind, arch, pie)?;
+        cursor += e.size;
+    }
+    let instr_end = cursor;
+    let icounters_base = align_up(instr_end, 0x1000);
+
+    // Maps.
+    let mut inst_map: BTreeMap<u64, u64> = BTreeMap::new();
+    for e in &entries {
+        if let Some((a, _)) = e.orig {
+            inst_map.insert(a, e.new_addr);
+        }
+        if let Some((a, l)) = e.orig_extra {
+            // Second member of a pair: lands mid-entry; map to the
+            // entry start (good enough for fp deltas).
+            let _ = l;
+            inst_map.insert(a, e.new_addr);
+        }
+    }
+    let mut block_map: BTreeMap<u64, u64> = BTreeMap::new();
+    for (bstart, idx) in &block_starts {
+        block_map.insert(*bstart, entries[*idx].new_addr);
+    }
+
+    let resolve = |orig: u64| -> u64 {
+        if let Some(v) = block_map.get(&orig) {
+            return *v;
+        }
+        if let Some(v) = inst_map.get(&orig) {
+            return *v;
+        }
+        orig
+    };
+
+    // ----- emit pass ---------------------------------------------------------
+    let mut code: Vec<u8> = Vec::with_capacity((instr_end - input.instr_base) as usize);
+    let mut ra_map = RaMap::new();
+    let nop = encode(&Inst::Nop, arch).expect("nop");
+    for e in &entries {
+        // Alignment padding between entries.
+        while input.instr_base + code.len() as u64 != e.new_addr {
+            code.extend_from_slice(&nop);
+        }
+        let bytes = emit_entry(
+            e,
+            arch,
+            pie,
+            toc,
+            &resolve,
+            &clones,
+            icounters_base,
+            input.emulation_stack_bug,
+        )?;
+        debug_assert!(
+            bytes.len() as u64 <= e.size,
+            "entry emitted {} > sized {} for {:?}",
+            bytes.len(),
+            e.size,
+            e.kind
+        );
+        let mut bytes = bytes;
+        while (bytes.len() as u64) < e.size {
+            bytes.extend_from_slice(&nop);
+        }
+        bytes.truncate(e.size as usize);
+        code.extend_from_slice(&bytes);
+        // RA map entries: real calls and throw sites.
+        match &e.kind {
+            RKind::BranchOrig { bkind: BKind::Call, .. } => {
+                let (oa, ol) = e.orig.expect("calls have originals");
+                ra_map.insert(e.new_addr + e.size, oa + u64::from(ol));
+            }
+            RKind::Copy(inst) if inst.is_call() => {
+                let (oa, ol) = e.orig.expect("calls have originals");
+                ra_map.insert(e.new_addr + e.size, oa + u64::from(ol));
+            }
+            // Throw sites are recorded under *both* unwind strategies:
+            // in the real system `__cxa_throw` is itself entered by an
+            // (emulated or real) call, so its frame is attributable;
+            // our Throw-as-instruction model needs the site mapped.
+            RKind::Copy(Inst::Sys { op: SysOp::Throw, .. }) => {
+                let (oa, _) = e.orig.expect("throws have originals");
+                ra_map.insert(e.new_addr, oa);
+            }
+            _ => {}
+        }
+    }
+
+    // ----- fill clones --------------------------------------------------------
+    let mut inplace_table_writes = Vec::new();
+    let mut filled: Vec<TableClone> = Vec::new();
+    for clone in clones {
+        let desc = &clone.desc;
+        let mut bytes = Vec::with_capacity((desc.count * u64::from(clone.entry_width)) as usize);
+        let mut reloc_slots = Vec::new();
+        let targets: HashMap<u64, u64> = desc.targets.iter().copied().collect();
+        for i in 0..desc.count {
+            let value: i64 = if let Some(t) = targets.get(&i) {
+                let v = desc.kind.entry_for(resolve(*t), clone.clone_addr);
+                if pie && desc.kind == icfgp_cfg::TableKind::Absolute {
+                    // The loader must rebase absolute entries.
+                    reloc_slots
+                        .push((clone.clone_addr + i * u64::from(clone.entry_width), v as u64));
+                }
+                v
+            } else {
+                // Over-approximation garbage: copy the original raw
+                // value (sign-extended); never dereferenced at run
+                // time (§5.1 Failure 3).
+                read_entry_raw(binary, desc, i)
+            };
+            if clone.entry_width == 4 && i32::try_from(value).is_err() {
+                return Err(RewriteError::TableEntryOverflow {
+                    table: desc.table_addr,
+                    value,
+                });
+            }
+            bytes.extend_from_slice(&value.to_le_bytes()[..clone.entry_width as usize]);
+        }
+        filled.push(TableClone { bytes, reloc_slots, ..clone });
+    }
+    // In-place ablation: overwrite the original table instead.
+    if config.mode >= RewriteMode::Jt && !config.clone_tables {
+        for func in &selected {
+            for desc in &func.jump_tables {
+                if !table_cloneable(func, desc) {
+                    continue;
+                }
+                let targets: HashMap<u64, u64> = desc.targets.iter().copied().collect();
+                let mut bytes = Vec::new();
+                for i in 0..desc.count {
+                    let value: i64 = if let Some(t) = targets.get(&i) {
+                        desc.kind.entry_for(resolve(*t), desc.table_addr)
+                    } else {
+                        read_entry_raw(binary, desc, i)
+                    };
+                    // Truncate into the original width — compact tables
+                    // overflow here, absolute tables overrun their real
+                    // end under over-approximation. Both are the
+                    // documented failure.
+                    bytes.extend_from_slice(&value.to_le_bytes()[..desc.entry_width as usize]);
+                }
+                inplace_table_writes.push((desc.table_addr, bytes));
+            }
+        }
+    }
+
+    Ok(RelocatedCode {
+        code,
+        base: input.instr_base,
+        block_map,
+        inst_map,
+        ra_map,
+        clones: filled,
+        clone_base: input.clone_base,
+        counter_slots,
+        icounters_base,
+        inplace_table_writes,
+    })
+}
+
+fn read_entry_raw(binary: &Binary, desc: &JumpTableDesc, i: u64) -> i64 {
+    let addr = desc.table_addr + i * u64::from(desc.entry_width);
+    let Ok(bytes) = binary.read(addr, desc.entry_width as usize) else { return 0 };
+    let mut buf = [0u8; 8];
+    buf[..bytes.len()].copy_from_slice(bytes);
+    let v = u64::from_le_bytes(buf) as i64;
+    if desc.kind.signed() && desc.entry_width < 8 {
+        let shift = 64 - u32::from(desc.entry_width) * 8;
+        (v << shift) >> shift
+    } else {
+        v
+    }
+}
+
+fn align_up(v: u64, a: u64) -> u64 {
+    if a <= 1 {
+        v
+    } else {
+        v + (a - (v % a)) % a
+    }
+}
+
+/// Deterministic entry sizes (stable across sizing and emission).
+fn entry_size(kind: &RKind, arch: Arch, pie: bool) -> Result<u64, RewriteError> {
+    let x64 = arch == Arch::X64;
+    let ilen = |inst: &Inst| -> Result<u64, RewriteError> {
+        encode(inst, arch)
+            .map(|b| b.len() as u64)
+            .map_err(|e| RewriteError::Encode(e.to_string()))
+    };
+    Ok(match kind {
+        RKind::Copy(inst) | RKind::Payload(inst) => ilen(inst)?,
+        RKind::CounterPayload { .. } => {
+            if x64 {
+                17 // load(7) + add(3) + store(7), pc-relative
+            } else {
+                24 // addr pair(8) + load(4) + add(4) + store(4) + spare? no: 20
+            }
+        }
+        RKind::GoRaPayload => {
+            if x64 {
+                6 // add r15, sp, off (3) + sys (3)
+            } else {
+                8
+            }
+        }
+        RKind::BranchOrig { bkind, far, .. } => {
+            if x64 {
+                match bkind {
+                    BKind::Cond(_) => 6,
+                    _ => 5,
+                }
+            } else if *far {
+                match arch {
+                    Arch::Ppc64le => 16,
+                    _ => 12,
+                }
+            } else {
+                4
+            }
+        }
+        RKind::PcRelData { inst, .. } => {
+            // PC-relative forms always carry disp32: fixed size.
+            ilen(inst)?
+        }
+        RKind::PcRelPage { .. } => 4,
+        RKind::JtBase { pair, .. } => {
+            if x64 {
+                if pie {
+                    7 // lea
+                } else {
+                    6 // mov imm32 (clone addresses stay below 2^31)
+                }
+            } else if *pair {
+                8
+            } else {
+                4
+            }
+        }
+        RKind::JtLoadWiden { inst } => {
+            // Same structural encoding, different width/scale bits.
+            ilen(inst)?
+        }
+        RKind::JtMemJump { inst, .. } => {
+            // Worst case: the displacement widens to i32.
+            let widened = match inst {
+                Inst::JumpMem { addr } => {
+                    let mut a = *addr;
+                    a.disp = 0x7fff_0000;
+                    Inst::JumpMem { addr: a }
+                }
+                other => other.clone(),
+            };
+            ilen(&widened)?
+        }
+        RKind::FpImm { pair, .. } => {
+            if x64 {
+                if pie {
+                    7
+                } else {
+                    6
+                }
+            } else if *pair {
+                8
+            } else {
+                4
+            }
+        }
+        RKind::Pad(n) => *n,
+        RKind::EmulatedCall { call, far, .. } => {
+            if x64 {
+                // mov r15, imm32 (6) + push (1) + jump form
+                let jump_len = match call {
+                    Inst::Call { .. } => 5,
+                    Inst::CallReg { .. } => 2,
+                    Inst::CallMem { .. } => ilen(call)?, // same operand bytes
+                    _ => return Err(RewriteError::Unsupported("emulated call form".into())),
+                };
+                6 + 1 + jump_len
+            } else {
+                // addr pair (8) + mtlr (4) + jump form
+                let jump_len: u64 = if *far {
+                    match arch {
+                        Arch::Ppc64le => 16,
+                        _ => 12,
+                    }
+                } else {
+                    4
+                };
+                8 + 4 + jump_len
+            }
+        }
+    })
+}
+
+/// Materialise `value` into `reg` at `new_addr` (2 instructions on
+/// RISC, 1 on x64).
+fn materialize(
+    out: &mut Vec<u8>,
+    arch: Arch,
+    pie: bool,
+    toc: Option<u64>,
+    reg: Reg,
+    value: u64,
+    new_addr: u64,
+) -> Result<(), RewriteError> {
+    let enc = |inst: &Inst, out: &mut Vec<u8>| -> Result<(), RewriteError> {
+        out.extend_from_slice(
+            &encode(inst, arch).map_err(|e| RewriteError::Encode(e.to_string()))?,
+        );
+        Ok(())
+    };
+    match arch {
+        Arch::X64 => {
+            if pie {
+                enc(
+                    &Inst::Lea { dst: reg, addr: Addr::pc_rel(value as i64 - new_addr as i64) },
+                    out,
+                )
+            } else {
+                enc(&Inst::MovImm { dst: reg, imm: value as i64 }, out)
+            }
+        }
+        Arch::Ppc64le => {
+            let toc = toc.ok_or_else(|| RewriteError::Unsupported("ppc64le without TOC".into()))?;
+            let delta = value as i64 - toc as i64;
+            let hi = ((delta + 0x8000) >> 16) as i16;
+            let lo = (delta - (i64::from(hi) << 16)) as i16;
+            enc(&Inst::AddShl16 { dst: reg, src: Reg(2), imm: hi }, out)?;
+            enc(&Inst::AddImm16 { dst: reg, src: reg, imm: lo }, out)
+        }
+        Arch::Aarch64 => {
+            let page_delta = ((value as i64 + 0x800) >> 12) - (new_addr as i64 >> 12);
+            let low = value as i64 - (((new_addr as i64 >> 12) + page_delta) << 12);
+            enc(&Inst::AdrPage { dst: reg, page_delta }, out)?;
+            enc(&Inst::AluImm { op: AluOp::Add, dst: reg, src: reg, imm: low as i32 }, out)
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn emit_entry(
+    e: &REntry,
+    arch: Arch,
+    pie: bool,
+    toc: Option<u64>,
+    resolve: &dyn Fn(u64) -> u64,
+    clones: &[TableClone],
+    icounters_base: u64,
+    emulation_stack_bug: bool,
+) -> Result<Vec<u8>, RewriteError> {
+    let mut out = Vec::new();
+    let enc = |inst: &Inst, out: &mut Vec<u8>| -> Result<(), RewriteError> {
+        out.extend_from_slice(
+            &encode(inst, arch).map_err(|err| RewriteError::Encode(err.to_string()))?,
+        );
+        Ok(())
+    };
+    let x64 = arch == Arch::X64;
+    match &e.kind {
+        RKind::Pad(_) => {}
+        RKind::Copy(inst) | RKind::Payload(inst) => enc(inst, &mut out)?,
+        RKind::CounterPayload { slot } => {
+            let slot_addr = icounters_base + 8 * *slot as u64;
+            let (r1, r2) = (Reg(14), RESERVED);
+            if x64 {
+                // Two pc-relative accesses around an add.
+                let load_at = e.new_addr;
+                enc(
+                    &Inst::Load {
+                        dst: r1,
+                        addr: Addr::pc_rel(slot_addr as i64 - load_at as i64),
+                        width: Width::W8,
+                        sign: false,
+                    },
+                    &mut out,
+                )?;
+                enc(&Inst::AluImm { op: AluOp::Add, dst: r1, src: r1, imm: 1 }, &mut out)?;
+                let store_at = e.new_addr + out.len() as u64;
+                enc(
+                    &Inst::Store {
+                        src: r1,
+                        addr: Addr::pc_rel(slot_addr as i64 - store_at as i64),
+                        width: Width::W8,
+                    },
+                    &mut out,
+                )?;
+            } else {
+                materialize(&mut out, arch, pie, toc, r2, slot_addr, e.new_addr)?;
+                enc(
+                    &Inst::Load { dst: r1, addr: Addr::base_only(r2), width: Width::W8, sign: false },
+                    &mut out,
+                )?;
+                enc(&Inst::AluImm { op: AluOp::Add, dst: r1, src: r1, imm: 1 }, &mut out)?;
+                enc(
+                    &Inst::Store { src: r1, addr: Addr::base_only(r2), width: Width::W8 },
+                    &mut out,
+                )?;
+            }
+        }
+        RKind::GoRaPayload => {
+            // The Go argument (the unwinding PC) lives on the stack:
+            // translate it in place before findfunc/pcvalue consume it.
+            let off = if x64 { 8 } else { 0 };
+            enc(
+                &Inst::AluImm { op: AluOp::Add, dst: RESERVED, src: arch.sp(), imm: off },
+                &mut out,
+            )?;
+            enc(&Inst::Sys { op: SysOp::RaTranslate, arg: RESERVED }, &mut out)?;
+        }
+        RKind::BranchOrig { bkind, orig_target, far } => {
+            let target = resolve(*orig_target);
+            let offset = target as i64 - e.new_addr as i64;
+            if !*far {
+                let inst = match bkind {
+                    BKind::Jump => Inst::Jump { offset },
+                    BKind::Cond(c) => Inst::JumpCond { cond: *c, offset },
+                    BKind::Call => Inst::Call { offset },
+                };
+                enc(&inst, &mut out)?;
+            } else {
+                // Far form back into original code (RISC only).
+                materialize(&mut out, arch, pie, toc, RESERVED, target, e.new_addr)?;
+                match (arch, bkind) {
+                    (Arch::Ppc64le, BKind::Jump) => {
+                        enc(&Inst::MoveToTar { src: RESERVED }, &mut out)?;
+                        enc(&Inst::JumpTar, &mut out)?;
+                    }
+                    (Arch::Ppc64le, BKind::Call) => {
+                        enc(&Inst::MoveToTar { src: RESERVED }, &mut out)?;
+                        enc(&Inst::CallTar, &mut out)?;
+                    }
+                    (Arch::Aarch64, BKind::Jump) => {
+                        enc(&Inst::JumpReg { src: RESERVED }, &mut out)?;
+                    }
+                    (Arch::Aarch64, BKind::Call) => {
+                        enc(&Inst::CallReg { src: RESERVED }, &mut out)?;
+                    }
+                    _ => return Err(RewriteError::Unsupported("far branch form".into())),
+                }
+            }
+        }
+        RKind::PcRelData { inst, orig_addr } => {
+            let retarget = |a: &Addr| -> Addr {
+                let target = orig_addr.wrapping_add_signed(a.disp);
+                Addr::pc_rel(target as i64 - e.new_addr as i64)
+            };
+            let new_inst = match inst {
+                Inst::Load { dst, addr, width, sign } => {
+                    Inst::Load { dst: *dst, addr: retarget(addr), width: *width, sign: *sign }
+                }
+                Inst::Store { src, addr, width } => {
+                    Inst::Store { src: *src, addr: retarget(addr), width: *width }
+                }
+                Inst::Lea { dst, addr } => Inst::Lea { dst: *dst, addr: retarget(addr) },
+                Inst::JumpMem { addr } => Inst::JumpMem { addr: retarget(addr) },
+                Inst::CallMem { addr } => Inst::CallMem { addr: retarget(addr) },
+                _ => return Err(RewriteError::Unsupported("pc-rel form".into())),
+            };
+            enc(&new_inst, &mut out)?;
+        }
+        RKind::PcRelPage { page_value, dst } => {
+            let page_delta = (*page_value as i64 >> 12) - (e.new_addr as i64 >> 12);
+            enc(&Inst::AdrPage { dst: *dst, page_delta }, &mut out)?;
+        }
+        RKind::JtBase { inst, clone_idx, .. } => {
+            let clone = &clones[*clone_idx];
+            let dst = inst.def_reg().ok_or_else(|| {
+                RewriteError::Unsupported("jump-table base without destination".into())
+            })?;
+            materialize(&mut out, arch, pie, toc, dst, clone.clone_addr, e.new_addr)?;
+        }
+        RKind::JtLoadWiden { inst } => {
+            let Inst::Load { dst, addr, .. } = inst else {
+                return Err(RewriteError::Unsupported("widen non-load".into()));
+            };
+            let mut a = *addr;
+            a.scale = 4;
+            enc(&Inst::Load { dst: *dst, addr: a, width: Width::W4, sign: true }, &mut out)?;
+        }
+        RKind::JtMemJump { inst, clone_idx } => {
+            let Inst::JumpMem { addr } = inst else {
+                return Err(RewriteError::Unsupported("mem-jump retarget".into()));
+            };
+            let mut a = *addr;
+            a.disp = clones[*clone_idx].clone_addr as i64;
+            enc(&Inst::JumpMem { addr: a }, &mut out)?;
+        }
+        RKind::FpImm { inst, target_fn, delta, .. } => {
+            let dst = inst.def_reg().ok_or_else(|| {
+                RewriteError::Unsupported("fp materialisation without destination".into())
+            })?;
+            let relocated = resolve(target_fn.wrapping_add_signed(*delta));
+            let value = relocated.wrapping_add_signed(-*delta);
+            materialize(&mut out, arch, pie, toc, dst, value, e.new_addr)?;
+        }
+        RKind::EmulatedCall { call, orig_ret, direct_target, far } => {
+            if x64 {
+                enc(&Inst::MovImm { dst: RESERVED, imm: *orig_ret as i64 }, &mut out)?;
+                enc(&Inst::Push { src: RESERVED }, &mut out)?;
+                match call {
+                    Inst::Call { .. } => {
+                        let target = resolve(direct_target.expect("direct call"));
+                        let at = e.new_addr + out.len() as u64;
+                        let bytes = crate::tramp::near_branch_x64(at, target)
+                            .map_err(|err| RewriteError::Encode(err.to_string()))?;
+                        out.extend_from_slice(&bytes);
+                    }
+                    Inst::CallReg { src } => enc(&Inst::JumpReg { src: *src }, &mut out)?,
+                    Inst::CallMem { addr } => {
+                        let mut a = *addr;
+                        // The push above moved the stack pointer: a
+                        // correct emulation adjusts sp-relative
+                        // operands; the historical SRBI bug does not.
+                        if !emulation_stack_bug && a.base == Some(arch.sp()) {
+                            a.disp += 8;
+                        }
+                        if a.pc_rel {
+                            let (oa, _) = e.orig.expect("mem call has original");
+                            let target = oa.wrapping_add_signed(a.disp);
+                            let at = e.new_addr + out.len() as u64;
+                            a = Addr::pc_rel(target as i64 - at as i64);
+                        }
+                        enc(&Inst::JumpMem { addr: a }, &mut out)?;
+                    }
+                    _ => return Err(RewriteError::Unsupported("emulated call form".into())),
+                }
+            } else {
+                materialize(&mut out, arch, pie, toc, RESERVED, *orig_ret, e.new_addr)?;
+                enc(&Inst::MoveToLr { src: RESERVED }, &mut out)?;
+                match call {
+                    Inst::Call { .. } => {
+                        let target = resolve(direct_target.expect("direct call"));
+                        if *far {
+                            // Far jump through tar / register.
+                            let at = e.new_addr + out.len() as u64;
+                            materialize(&mut out, arch, pie, toc, Reg(12), target, at)?;
+                            if arch == Arch::Ppc64le {
+                                enc(&Inst::MoveToTar { src: Reg(12) }, &mut out)?;
+                                enc(&Inst::JumpTar, &mut out)?;
+                            } else {
+                                enc(&Inst::JumpReg { src: Reg(12) }, &mut out)?;
+                            }
+                        } else {
+                            let at = e.new_addr + out.len() as u64;
+                            enc(&Inst::Jump { offset: target as i64 - at as i64 }, &mut out)?;
+                        }
+                    }
+                    Inst::CallTar => enc(&Inst::JumpTar, &mut out)?,
+                    Inst::CallReg { src } => enc(&Inst::JumpReg { src: *src }, &mut out)?,
+                    _ => return Err(RewriteError::Unsupported("emulated call form".into())),
+                }
+            }
+        }
+    }
+    Ok(out)
+}

@@ -1,0 +1,82 @@
+//! Rewriting statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Why a function was left untouched.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SkipReason {
+    /// Binary analysis reported failure (§4.3: graceful skip).
+    AnalysisFailed(String),
+    /// The user's point selection excluded it.
+    NotSelected,
+}
+
+/// What the rewriter did, in numbers.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RewriteReport {
+    /// Functions in the input binary.
+    pub total_funcs: usize,
+    /// Functions relocated and instrumented.
+    pub instrumented_funcs: usize,
+    /// Instrumentation coverage over *selected* functions (the paper's
+    /// coverage metric).
+    pub coverage: f64,
+    /// CFL blocks identified.
+    pub cfl_blocks: usize,
+    /// Trampolines using the short branch form.
+    pub tramp_short: usize,
+    /// Trampolines using the long form (inline).
+    pub tramp_long: usize,
+    /// Two-hop trampolines through a scratch island.
+    pub tramp_multi_hop: usize,
+    /// Trap-based trampolines (last resort).
+    pub tramp_trap: usize,
+    /// RA-map entries emitted.
+    pub ra_map_entries: usize,
+    /// Jump tables cloned.
+    pub cloned_tables: usize,
+    /// Function-pointer data slots rewritten.
+    pub fp_slots_rewritten: usize,
+    /// Function-pointer code materialisations rewritten.
+    pub fp_code_sites_rewritten: usize,
+    /// `size`-style loaded size before rewriting.
+    pub original_size: u64,
+    /// `size`-style loaded size after rewriting.
+    pub rewritten_size: u64,
+    /// Skipped functions with reasons, as (entry, reason).
+    pub skipped: Vec<(u64, SkipReason)>,
+}
+
+impl RewriteReport {
+    /// Relative size increase (`0.68` = 68% larger), the Table 3 "size
+    /// increase" metric.
+    #[must_use]
+    pub fn size_increase(&self) -> f64 {
+        if self.original_size == 0 {
+            return 0.0;
+        }
+        self.rewritten_size as f64 / self.original_size as f64 - 1.0
+    }
+
+    /// Total trampolines installed.
+    #[must_use]
+    pub fn trampolines(&self) -> usize {
+        self.tramp_short + self.tramp_long + self.tramp_multi_hop + self.tramp_trap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_increase_math() {
+        let r = RewriteReport {
+            original_size: 1000,
+            rewritten_size: 1680,
+            ..RewriteReport::default()
+        };
+        assert!((r.size_increase() - 0.68).abs() < 1e-9);
+        assert_eq!(RewriteReport::default().size_increase(), 0.0);
+    }
+}

@@ -1,0 +1,219 @@
+//! Trampoline instruction sequences (§7, Table 2).
+//!
+//! Every sequence is position independent: x64 and aarch64 forms are
+//! PC-relative, and the ppc64le long form computes the target relative
+//! to the TOC register `r2`, which the loader materialises — so all
+//! forms work in shared libraries and PIEs.
+
+use icfgp_isa::{encode, Arch, BranchSpec, EncodeError, Inst, Reg};
+
+/// Encode the short trampoline: a single direct branch.
+///
+/// Returns `None` when the displacement exceeds the short form's reach
+/// (±128 B on x64, ±32 MB on ppc64le, ±128 MB on aarch64).
+#[must_use]
+pub fn short_branch(arch: Arch, from: u64, to: u64) -> Option<Vec<u8>> {
+    let offset = to as i64 - from as i64;
+    if offset.abs() > arch.short_branch_reach() {
+        return None;
+    }
+    let bytes = encode(&Inst::Jump { offset }, arch).ok()?;
+    // On x64 the encoder picks the 2-byte form for in-range offsets;
+    // out-of-range short offsets were rejected above.
+    (bytes.len() <= arch.short_branch_len()).then_some(bytes)
+}
+
+/// Encode the x64 near branch (the 5-byte ±2 GB form).
+///
+/// # Errors
+///
+/// Fails only for offsets beyond ±2 GB.
+pub fn near_branch_x64(from: u64, to: u64) -> Result<Vec<u8>, EncodeError> {
+    let offset = to as i64 - from as i64;
+    let mut bytes = encode(&Inst::Jump { offset }, Arch::X64)?;
+    // Force the near form: pad a short encoding with nops so the
+    // sequence length is stable regardless of displacement.
+    while bytes.len() < 5 {
+        bytes.push(encode(&Inst::Nop, Arch::X64).expect("nop")[0]);
+    }
+    Ok(bytes)
+}
+
+/// The long trampoline sequence for `arch`.
+///
+/// * x64 — the 5-byte near branch (no scratch register needed);
+/// * ppc64le — `addis scratch, r2, hi; addi scratch, scratch, lo;
+///   mtspr tar, scratch; bctar` (±2 GB around the TOC). When no dead
+///   register is available pass `scratch: None` to get the
+///   save/restore variant (6 instructions, spills `r12` below the
+///   stack pointer);
+/// * aarch64 — `adrp scratch, hi; add scratch, scratch, lo; br
+///   scratch` (±4 GB). Requires a scratch register: returns `None`
+///   without one (the paper falls back to a trap here).
+///
+/// `toc` is the run-time value of `r2` (required on ppc64le).
+#[must_use]
+pub fn long_branch(
+    arch: Arch,
+    from: u64,
+    to: u64,
+    toc: Option<u64>,
+    scratch: Option<Reg>,
+) -> Option<Vec<u8>> {
+    match arch {
+        Arch::X64 => near_branch_x64(from, to).ok(),
+        Arch::Ppc64le => {
+            let toc = toc?;
+            let delta = to as i64 - toc as i64;
+            if delta.abs() > arch.long_branch_reach() {
+                return None;
+            }
+            let hi = ((delta + 0x8000) >> 16) as i16;
+            let lo = (delta - (i64::from(hi) << 16)) as i16;
+            let mut out = Vec::new();
+            let (reg, save_restore) = match scratch {
+                Some(r) => (r, false),
+                None => (Reg(12), true),
+            };
+            let sp = arch.sp();
+            let mut emit = |inst: Inst| {
+                out.extend_from_slice(&encode(&inst, arch).expect("trampoline inst encodes"));
+            };
+            if save_restore {
+                emit(Inst::Store {
+                    src: reg,
+                    addr: icfgp_isa::Addr::base_disp(sp, -8),
+                    width: icfgp_isa::Width::W8,
+                });
+            }
+            emit(Inst::AddShl16 { dst: reg, src: Reg(2), imm: hi });
+            emit(Inst::AddImm16 { dst: reg, src: reg, imm: lo });
+            emit(Inst::MoveToTar { src: reg });
+            if save_restore {
+                emit(Inst::Load {
+                    dst: reg,
+                    addr: icfgp_isa::Addr::base_disp(sp, -8),
+                    width: icfgp_isa::Width::W8,
+                    sign: false,
+                });
+            }
+            emit(Inst::JumpTar);
+            Some(out)
+        }
+        Arch::Aarch64 => {
+            let reg = scratch?;
+            let page_delta = ((to as i64 + 0x800) >> 12) - (from as i64 >> 12);
+            let low = to as i64 - (((from as i64 >> 12) + page_delta) << 12);
+            let mut out = Vec::new();
+            out.extend_from_slice(&encode(&Inst::AdrPage { dst: reg, page_delta }, arch).ok()?);
+            out.extend_from_slice(
+                &encode(
+                    &Inst::AluImm { op: icfgp_isa::AluOp::Add, dst: reg, src: reg, imm: low as i32 },
+                    arch,
+                )
+                .ok()?,
+            );
+            out.extend_from_slice(&encode(&Inst::JumpReg { src: reg }, arch).ok()?);
+            Some(out)
+        }
+    }
+}
+
+/// Length in bytes of the long form (with/without the ppc64le
+/// save/restore variant).
+#[must_use]
+pub fn long_branch_len(arch: Arch, save_restore: bool) -> usize {
+    match arch {
+        Arch::X64 => 5,
+        Arch::Ppc64le => {
+            if save_restore {
+                24
+            } else {
+                16
+            }
+        }
+        Arch::Aarch64 => 12,
+    }
+}
+
+/// The trap trampoline: a single trap instruction; the runtime
+/// library's signal handler finishes the transfer through `.trap_map`.
+#[must_use]
+pub fn trap_trampoline(arch: Arch) -> Vec<u8> {
+    encode(&Inst::Trap, arch).expect("trap encodes")
+}
+
+/// Regenerate the paper's Table 2: the trampoline forms per
+/// architecture.
+#[must_use]
+pub fn trampoline_table() -> Vec<(Arch, Vec<BranchSpec>)> {
+    Arch::ALL.iter().map(|a| (*a, a.branch_specs())).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icfgp_isa::decode;
+
+    #[test]
+    fn short_branch_reach_limits() {
+        assert!(short_branch(Arch::X64, 0x1000, 0x1040).is_some());
+        assert!(short_branch(Arch::X64, 0x1000, 0x2000).is_none());
+        assert!(short_branch(Arch::Ppc64le, 0x1000, 0x1000 + (16 << 20)).is_some());
+        assert!(short_branch(Arch::Ppc64le, 0x1000, 0x1000 + (64 << 20)).is_none());
+        assert!(short_branch(Arch::Aarch64, 0x1000, 0x1000 + (64 << 20)).is_some());
+    }
+
+    #[test]
+    fn near_branch_is_five_bytes_even_when_close() {
+        let b = near_branch_x64(0x1000, 0x1002).unwrap();
+        assert_eq!(b.len(), 5);
+        let (inst, _) = decode(&b, Arch::X64).unwrap();
+        assert_eq!(inst, Inst::Jump { offset: 2 });
+    }
+
+    #[test]
+    fn ppc_long_form_lengths_match_table2() {
+        let toc = Some(0x40_8000u64);
+        let with_scratch =
+            long_branch(Arch::Ppc64le, 0x1000, 0x4000_0000, toc, Some(Reg(9))).unwrap();
+        assert_eq!(with_scratch.len(), 16, "4 instructions");
+        let without =
+            long_branch(Arch::Ppc64le, 0x1000, 0x4000_0000, toc, None).unwrap();
+        assert_eq!(without.len(), 24, "6 instructions with save/restore");
+    }
+
+    #[test]
+    fn aarch_long_form_needs_scratch() {
+        assert!(long_branch(Arch::Aarch64, 0x1000, 0x4000_0000, None, None).is_none());
+        let b = long_branch(Arch::Aarch64, 0x1000, 0x4000_0000, None, Some(Reg(17))).unwrap();
+        assert_eq!(b.len(), 12, "3 instructions");
+    }
+
+    #[test]
+    fn long_branch_decodes_to_expected_sequence() {
+        let b = long_branch(Arch::Aarch64, 0x1000, 0x123_4560, None, Some(Reg(17))).unwrap();
+        let (i0, _) = decode(&b[0..4], Arch::Aarch64).unwrap();
+        let (i1, _) = decode(&b[4..8], Arch::Aarch64).unwrap();
+        let (i2, _) = decode(&b[8..12], Arch::Aarch64).unwrap();
+        assert!(matches!(i0, Inst::AdrPage { .. }));
+        assert!(matches!(i1, Inst::AluImm { .. }));
+        assert_eq!(i2, Inst::JumpReg { src: Reg(17) });
+    }
+
+    #[test]
+    fn trap_fits_any_block() {
+        assert_eq!(trap_trampoline(Arch::X64).len(), 1);
+        assert_eq!(trap_trampoline(Arch::Ppc64le).len(), 4);
+        assert_eq!(trap_trampoline(Arch::Aarch64).len(), 4);
+    }
+
+    #[test]
+    fn table2_regenerates() {
+        let t = trampoline_table();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t[0].1[1].len_bytes, 5); // x64 near
+        assert_eq!(t[1].1[1].insns, 4); // ppc long
+        assert_eq!(t[2].1[1].insns, 3); // aarch long
+    }
+}

@@ -1,0 +1,106 @@
+//! Dynamic instrumentation (§10): attach to a paused machine mid-run,
+//! patch live, continue — total output must equal the uninstrumented
+//! run's.
+
+use icfgp_core::dynamic::attach;
+use icfgp_core::{Instrumentation, Points, RewriteConfig, RewriteMode};
+use icfgp_emu::{run, LoadOptions, Machine, Outcome};
+use icfgp_isa::Arch;
+use icfgp_workloads::{generate, GenParams};
+
+fn params(arch: Arch, pie: bool) -> GenParams {
+    let mut p = GenParams::small("dyn", arch, 17);
+    p.pie = pie;
+    p.outer_iters = 40;
+    p
+}
+
+#[test]
+fn attach_mid_run_preserves_behaviour() {
+    for arch in Arch::ALL {
+        for pie in [false, true] {
+            let w = generate(&params(arch, pie));
+            let expected = match run(&w.binary, &LoadOptions::default()) {
+                Outcome::Halted(s) => s.output,
+                o => panic!("{arch}: {o:?}"),
+            };
+            // Run a while, pause, attach, continue.
+            let mut m = Machine::load(&w.binary, &LoadOptions::default()).unwrap();
+            for _ in 0..5000 {
+                if m.step().is_some() {
+                    panic!("{arch}: workload finished before attach");
+                }
+            }
+            let report = attach(
+                &mut m,
+                &w.binary,
+                &RewriteConfig::new(RewriteMode::Jt),
+                &Instrumentation::empty(Points::EveryBlock),
+            )
+            .unwrap_or_else(|e| panic!("{arch} pie={pie}: attach failed: {e}"));
+            assert!(report.mapped_sections >= 1, "{arch}: .instr mapped");
+            assert!(report.patched_ranges >= 1, "{arch}: trampolines patched");
+            assert!(report.pc_migrated, "{arch}: paused pc moved into .instr");
+            match m.run() {
+                Outcome::Halted(s) => {
+                    assert_eq!(s.output, expected, "{arch} pie={pie}");
+                }
+                o => panic!("{arch} pie={pie}: post-attach run failed: {o:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn attach_with_counters_counts_remaining_blocks() {
+    let arch = Arch::X64;
+    let w = generate(&params(arch, false));
+    let expected = match run(&w.binary, &LoadOptions::default()) {
+        Outcome::Halted(s) => s.output,
+        o => panic!("{o:?}"),
+    };
+    let mut m = Machine::load(&w.binary, &LoadOptions::default()).unwrap();
+    for _ in 0..2000 {
+        assert!(m.step().is_none(), "still running");
+    }
+    let report = attach(
+        &mut m,
+        &w.binary,
+        &RewriteConfig::new(RewriteMode::Jt),
+        &Instrumentation::counters(Points::EveryBlock),
+    )
+    .unwrap();
+    match m.run() {
+        Outcome::Halted(s) => assert_eq!(s.output, expected),
+        o => panic!("{o:?}"),
+    }
+    // The counters live in the newly mapped .icounters region.
+    let counters = report.outcome.binary.section(".icounters").unwrap();
+    let total: i64 = (0..counters.len() / 8)
+        .map(|i| m.memory().read_int(counters.addr() + 8 * i as u64, 8, false).unwrap_or(0))
+        .sum();
+    assert!(total > 0, "blocks executed after attach were counted: {total}");
+}
+
+#[test]
+fn attach_at_start_equals_static_rewrite() {
+    let arch = Arch::Aarch64;
+    let w = generate(&params(arch, true));
+    let expected = match run(&w.binary, &LoadOptions::default()) {
+        Outcome::Halted(s) => s.output,
+        o => panic!("{o:?}"),
+    };
+    // Attach before executing a single instruction.
+    let mut m = Machine::load(&w.binary, &LoadOptions::default()).unwrap();
+    attach(
+        &mut m,
+        &w.binary,
+        &RewriteConfig::new(RewriteMode::FuncPtr),
+        &Instrumentation::empty(Points::EveryBlock),
+    )
+    .unwrap();
+    match m.run() {
+        Outcome::Halted(s) => assert_eq!(s.output, expected),
+        o => panic!("{o:?}"),
+    }
+}

@@ -1,0 +1,82 @@
+//! Error-path coverage: the rewriter's refusals and defensive checks.
+
+use icfgp_asm::{BinaryBuilder, FuncDef, Item};
+use icfgp_core::{
+    Instrumentation, Payload, Points, RewriteConfig, RewriteError, RewriteMode, Rewriter,
+};
+use icfgp_isa::{Addr, Arch, Inst, Reg};
+use icfgp_obj::{Binary, Language};
+
+fn tiny_binary(arch: Arch) -> Binary {
+    let mut b = BinaryBuilder::new(arch);
+    b.add_function(FuncDef::new("main", Language::C, vec![Item::I(Inst::Halt)]));
+    b.set_entry("main");
+    b.build().unwrap()
+}
+
+#[test]
+fn control_flow_payload_is_rejected() {
+    let bin = tiny_binary(Arch::X64);
+    let instr = Instrumentation {
+        points: Points::EveryBlock,
+        payload: Payload::Insts(vec![Inst::Jump { offset: 4 }]),
+    };
+    let err = Rewriter::new(RewriteConfig::new(RewriteMode::Jt))
+        .rewrite(&bin, &instr)
+        .unwrap_err();
+    assert!(matches!(err, RewriteError::BadPayload(_)), "{err}");
+}
+
+#[test]
+fn pc_relative_payload_is_rejected() {
+    let bin = tiny_binary(Arch::X64);
+    let instr = Instrumentation {
+        points: Points::EveryBlock,
+        payload: Payload::Insts(vec![Inst::Lea { dst: Reg(14), addr: Addr::pc_rel(8) }]),
+    };
+    assert!(matches!(
+        Rewriter::new(RewriteConfig::new(RewriteMode::Jt)).rewrite(&bin, &instr),
+        Err(RewriteError::BadPayload(_))
+    ));
+}
+
+#[test]
+fn position_free_payload_is_accepted() {
+    for arch in Arch::ALL {
+        let bin = tiny_binary(arch);
+        let instr = Instrumentation {
+            points: Points::EveryBlock,
+            payload: Payload::Insts(vec![
+                Inst::AluImm { op: icfgp_isa::AluOp::Add, dst: Reg(14), src: Reg(14), imm: 1 },
+            ]),
+        };
+        Rewriter::new(RewriteConfig::new(RewriteMode::Jt))
+            .rewrite(&bin, &instr)
+            .unwrap_or_else(|e| panic!("{arch}: {e}"));
+    }
+}
+
+#[test]
+fn empty_selection_rewrites_nothing_but_succeeds() {
+    let bin = tiny_binary(Arch::Aarch64);
+    let out = Rewriter::new(RewriteConfig::new(RewriteMode::Jt))
+        .rewrite(&bin, &Instrumentation::empty(Points::Functions(Default::default())))
+        .unwrap();
+    assert_eq!(out.report.instrumented_funcs, 0);
+    assert_eq!(out.report.trampolines(), 0);
+    // Nothing selected: the binary is byte-identical in .text.
+    assert_eq!(
+        bin.section(".text").unwrap().data(),
+        out.binary.section(".text").unwrap().data()
+    );
+}
+
+#[test]
+fn rewriting_is_deterministic() {
+    let bin = tiny_binary(Arch::Ppc64le);
+    let instr = Instrumentation::empty(Points::EveryBlock);
+    let a = Rewriter::new(RewriteConfig::new(RewriteMode::FuncPtr)).rewrite(&bin, &instr).unwrap();
+    let b = Rewriter::new(RewriteConfig::new(RewriteMode::FuncPtr)).rewrite(&bin, &instr).unwrap();
+    assert_eq!(a.binary, b.binary);
+    assert_eq!(a.report, b.report);
+}

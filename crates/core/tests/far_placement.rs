@@ -1,0 +1,204 @@
+//! Far-placement tests: when `.instr` lands beyond the short-branch
+//! reach (the big-binary scenario on ppc64le/aarch64 — §2.2's "may not
+//! be sufficient when the binaries have large code or data sections"),
+//! trampolines must switch to the Table 2 long sequences and relocated
+//! code must use far forms for branches back into original code.
+
+use icfgp_asm::patterns::{emit_switch, switch_table_item, SwitchHardness, SwitchSpec};
+use icfgp_asm::{epilogue, prologue, BinaryBuilder, DataItem, EntryKind, FuncDef, Item};
+use icfgp_core::{Instrumentation, Points, RewriteConfig, RewriteMode, Rewriter};
+use icfgp_emu::{run, LoadOptions, Outcome};
+use icfgp_isa::{AluOp, Arch, Cond, Inst, Reg, SysOp};
+use icfgp_obj::{Binary, Language};
+
+fn switchy_binary(arch: Arch) -> Binary {
+    let mut b = BinaryBuilder::new(arch);
+    let mut items = prologue(arch, 32, true);
+    items.push(Item::I(Inst::AluImm { op: AluOp::And, dst: Reg(8), src: Reg(8), imm: 7 }));
+    let spec = SwitchSpec {
+        idx_reg: Reg(8),
+        table_name: "jt".into(),
+        case_labels: (0..4).map(|i| format!("c{i}")).collect(),
+        default_label: "d".into(),
+        entry_width: 8,
+        kind: EntryKind::Absolute,
+        inline: arch == Arch::Ppc64le,
+        hardness: SwitchHardness::Easy,
+        spill_slot: 8,
+        scratch: (Reg(9), Reg(10)),
+        mem_indirect: false,
+    };
+    emit_switch(&mut items, arch, &spec);
+    for i in 0..4 {
+        items.push(Item::Label(format!("c{i}")));
+        items.push(Item::I(Inst::AluImm {
+            op: AluOp::Add,
+            dst: Reg(8),
+            src: Reg(8),
+            imm: 10 + i,
+        }));
+        items.push(Item::JmpL("d".into()));
+    }
+    items.push(Item::Label("d".into()));
+    items.extend(epilogue(arch, 32, true));
+    b.add_function(FuncDef::new("dispatch", Language::C, items));
+    if arch != Arch::Ppc64le {
+        b.push_rodata(Some("jt"), switch_table_item("dispatch", &spec));
+        b.push_rodata(Some("jt_end"), DataItem::Zeros(8));
+    }
+    // A function the rewriter will *skip* (unanalyzable), so relocated
+    // code must branch far back into original text.
+    let mut hard = prologue(arch, 32, true);
+    let hspec = SwitchSpec {
+        idx_reg: Reg(8),
+        table_name: "hjt".into(),
+        case_labels: vec!["h0".into()],
+        default_label: "hd".into(),
+        entry_width: 8,
+        kind: EntryKind::Absolute,
+        inline: true,
+        hardness: SwitchHardness::Unanalyzable,
+        spill_slot: 8,
+        scratch: (Reg(9), Reg(10)),
+        mem_indirect: false,
+    };
+    hard.push(Item::I(Inst::AluImm { op: AluOp::And, dst: Reg(8), src: Reg(8), imm: 0 }));
+    emit_switch(&mut hard, arch, &hspec);
+    hard.push(Item::Label("h0".into()));
+    hard.push(Item::I(Inst::AluImm { op: AluOp::Add, dst: Reg(8), src: Reg(8), imm: 5 }));
+    hard.push(Item::Label("hd".into()));
+    hard.extend(epilogue(arch, 32, true));
+    b.add_function(FuncDef::new("hard", Language::C, hard));
+
+    let mut main = prologue(arch, 32, false);
+    main.push(Item::I(Inst::MovImm { dst: Reg(9), imm: 0 }));
+    main.push(Item::Label("loop".into()));
+    main.push(Item::I(Inst::Store {
+        src: Reg(9),
+        addr: icfgp_isa::Addr::base_disp(arch.sp(), 8),
+        width: icfgp_isa::Width::W8,
+    }));
+    main.push(Item::I(Inst::MovReg { dst: Reg(8), src: Reg(9) }));
+    main.push(Item::CallF("dispatch".into()));
+    main.push(Item::CallF("hard".into()));
+    main.push(Item::I(Inst::Sys { op: SysOp::Out, arg: Reg(8) }));
+    main.push(Item::I(Inst::Load {
+        dst: Reg(9),
+        addr: icfgp_isa::Addr::base_disp(arch.sp(), 8),
+        width: icfgp_isa::Width::W8,
+        sign: false,
+    }));
+    main.push(Item::I(Inst::AluImm { op: AluOp::Add, dst: Reg(9), src: Reg(9), imm: 1 }));
+    main.push(Item::I(Inst::CmpImm { a: Reg(9), imm: 9 }));
+    main.push(Item::JccL(Cond::Lt, "loop".into()));
+    main.push(Item::I(Inst::Halt));
+    b.add_function(FuncDef::new("main", Language::C, main));
+    b.set_entry("main");
+    b.build().unwrap()
+}
+
+fn run_original(bin: &Binary) -> Vec<i64> {
+    match run(bin, &LoadOptions::default()) {
+        Outcome::Halted(s) => s.output,
+        o => panic!("{o:?}"),
+    }
+}
+
+/// ppc64le with `.instr` placed 48 MB away — beyond the ±32 MB `b`
+/// reach: every trampoline needs the long TOC form (or an island /
+/// trap), and calls back into the skipped function need `tar`
+/// sequences.
+#[test]
+fn ppc_far_placement_uses_long_forms() {
+    let arch = Arch::Ppc64le;
+    let bin = switchy_binary(arch);
+    let expected = run_original(&bin);
+    for mode in [RewriteMode::Dir, RewriteMode::Jt] {
+        let mut cfg = RewriteConfig::new(mode);
+        cfg.instr_gap = 48 << 20;
+        let out = Rewriter::new(cfg)
+            .rewrite(&bin, &Instrumentation::empty(Points::EveryBlock))
+            .unwrap();
+        assert_eq!(
+            out.report.tramp_short, 0,
+            "{mode}: nothing is within short reach: {:?}",
+            out.report
+        );
+        assert!(
+            out.report.tramp_long + out.report.tramp_multi_hop > 0,
+            "{mode}: {:?}",
+            out.report
+        );
+        let opts = LoadOptions { preload_runtime: true, ..LoadOptions::default() };
+        match run(&out.binary, &opts) {
+            Outcome::Halted(s) => assert_eq!(s.output, expected, "{mode}"),
+            o => panic!("{mode}: {o:?}"),
+        }
+    }
+}
+
+/// aarch64 with `.instr` placed 160 MB away — beyond the ±128 MB `b`
+/// reach: long `adrp/add/br` forms (3 instructions) apply.
+#[test]
+fn aarch_far_placement_uses_long_forms() {
+    let arch = Arch::Aarch64;
+    let bin = switchy_binary(arch);
+    let expected = run_original(&bin);
+    let mut cfg = RewriteConfig::new(RewriteMode::Jt);
+    cfg.instr_gap = 160 << 20;
+    let out = Rewriter::new(cfg)
+        .rewrite(&bin, &Instrumentation::empty(Points::EveryBlock))
+        .unwrap();
+    assert_eq!(out.report.tramp_short, 0, "{:?}", out.report);
+    let opts = LoadOptions { preload_runtime: true, ..LoadOptions::default() };
+    match run(&out.binary, &opts) {
+        Outcome::Halted(s) => assert_eq!(s.output, expected),
+        o => panic!("{o:?}"),
+    }
+}
+
+/// x64's ±2 GB near branch always reaches our layouts: the same gap
+/// needs no long-form machinery beyond the 5-byte branch.
+#[test]
+fn x64_far_placement_is_a_non_event() {
+    let arch = Arch::X64;
+    let bin = switchy_binary(arch);
+    let expected = run_original(&bin);
+    let mut cfg = RewriteConfig::new(RewriteMode::Jt);
+    cfg.instr_gap = 256 << 20;
+    let out = Rewriter::new(cfg)
+        .rewrite(&bin, &Instrumentation::empty(Points::EveryBlock))
+        .unwrap();
+    assert_eq!(out.report.tramp_trap, 0);
+    let opts = LoadOptions { preload_runtime: true, ..LoadOptions::default() };
+    match run(&out.binary, &opts) {
+        Outcome::Halted(s) => assert_eq!(s.output, expected),
+        o => panic!("{o:?}"),
+    }
+}
+
+/// Without multi-hop or long-capable budgets, far placement degrades
+/// to traps — and still runs correctly through the trap map.
+#[test]
+fn far_placement_trap_fallback_works() {
+    let arch = Arch::Aarch64;
+    let bin = switchy_binary(arch);
+    let expected = run_original(&bin);
+    let mut cfg = RewriteConfig::new(RewriteMode::Dir);
+    cfg.instr_gap = 160 << 20;
+    cfg.placement.multi_hop = false;
+    cfg.placement.superblocks = false; // budgets shrink to one block
+    let out = Rewriter::new(cfg)
+        .rewrite(&bin, &Instrumentation::empty(Points::EveryBlock))
+        .unwrap();
+    let opts = LoadOptions { preload_runtime: true, ..LoadOptions::default() };
+    match run(&out.binary, &opts) {
+        Outcome::Halted(s) => {
+            assert_eq!(s.output, expected);
+            if out.report.tramp_trap > 0 {
+                assert!(s.traps > 0, "installed traps were exercised");
+            }
+        }
+        o => panic!("{o:?}"),
+    }
+}

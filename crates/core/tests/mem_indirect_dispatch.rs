@@ -1,0 +1,112 @@
+//! The x64 memory-indirect jump-table dispatch
+//! (`jmp [base + idx*8]`) — a single-instruction idiom real compilers
+//! emit that has no intermediate load: analysis must recover it and
+//! `jt` mode must clone it.
+
+use icfgp_asm::patterns::{emit_switch, switch_table_item, SwitchHardness, SwitchSpec};
+use icfgp_asm::{epilogue, prologue, BinaryBuilder, DataItem, EntryKind, FuncDef, Item};
+use icfgp_cfg::{analyze, AnalysisConfig, FuncStatus, TableKind};
+use icfgp_core::{Instrumentation, Points, RewriteConfig, RewriteMode, Rewriter};
+use icfgp_emu::{run, LoadOptions, Outcome};
+use icfgp_isa::{AluOp, Arch, Cond, Inst, Reg, SysOp};
+use icfgp_obj::Binary;
+use icfgp_obj::Language;
+
+fn mem_switch_binary(pie: bool) -> Binary {
+    let arch = Arch::X64;
+    let mut b = BinaryBuilder::new(arch);
+    b.pie(pie);
+    let mut items = prologue(arch, 32, true);
+    items.push(Item::I(Inst::AluImm { op: AluOp::And, dst: Reg(8), src: Reg(8), imm: 7 }));
+    let spec = SwitchSpec {
+        idx_reg: Reg(8),
+        table_name: "mjt".into(),
+        case_labels: (0..5).map(|i| format!("case{i}")).collect(),
+        default_label: "default".into(),
+        entry_width: 8,
+        kind: EntryKind::Absolute,
+        inline: false,
+        hardness: SwitchHardness::Easy,
+        spill_slot: 8,
+        scratch: (Reg(9), Reg(10)),
+        mem_indirect: true,
+    };
+    emit_switch(&mut items, arch, &spec);
+    for i in 0..5 {
+        items.push(Item::Label(format!("case{i}")));
+        items.push(Item::I(Inst::MovImm { dst: Reg(8), imm: 200 + i }));
+        items.push(Item::I(Inst::Sys { op: SysOp::Out, arg: Reg(8) }));
+        items.push(Item::JmpL("end".into()));
+    }
+    items.push(Item::Label("default".into()));
+    items.push(Item::I(Inst::MovImm { dst: Reg(8), imm: -5 }));
+    items.push(Item::I(Inst::Sys { op: SysOp::Out, arg: Reg(8) }));
+    items.push(Item::Label("end".into()));
+    items.extend(epilogue(arch, 32, true));
+    b.add_function(FuncDef::new("dispatch", Language::C, items));
+    b.push_rodata(Some("mjt"), switch_table_item("dispatch", &spec));
+    b.push_rodata(Some("mjt_end"), DataItem::Zeros(16));
+
+    let mut main = prologue(arch, 32, false);
+    main.push(Item::I(Inst::MovImm { dst: Reg(9), imm: 0 }));
+    main.push(Item::Label("loop".into()));
+    main.push(Item::I(Inst::Store {
+        src: Reg(9),
+        addr: icfgp_isa::Addr::base_disp(arch.sp(), 8),
+        width: icfgp_isa::Width::W8,
+    }));
+    main.push(Item::I(Inst::MovReg { dst: Reg(8), src: Reg(9) }));
+    main.push(Item::CallF("dispatch".into()));
+    main.push(Item::I(Inst::Load {
+        dst: Reg(9),
+        addr: icfgp_isa::Addr::base_disp(arch.sp(), 8),
+        width: icfgp_isa::Width::W8,
+        sign: false,
+    }));
+    main.push(Item::I(Inst::AluImm { op: AluOp::Add, dst: Reg(9), src: Reg(9), imm: 1 }));
+    main.push(Item::I(Inst::CmpImm { a: Reg(9), imm: 8 }));
+    main.push(Item::JccL(Cond::Lt, "loop".into()));
+    main.push(Item::I(Inst::Halt));
+    b.add_function(FuncDef::new("main", Language::C, main));
+    b.set_entry("main");
+    b.build().unwrap()
+}
+
+#[test]
+fn analysis_recovers_mem_indirect_tables() {
+    let bin = mem_switch_binary(false);
+    let a = analyze(&bin, &AnalysisConfig::default());
+    let f = &a.funcs[&bin.function_named("dispatch").unwrap().addr];
+    assert_eq!(f.status, FuncStatus::Ok);
+    assert_eq!(f.jump_tables.len(), 1);
+    let jt = &f.jump_tables[0];
+    assert_eq!(jt.kind, TableKind::Absolute);
+    assert_eq!(jt.entry_width, 8);
+    assert_eq!(jt.count, 5, "bound recovered");
+    assert_eq!(jt.load_addr, jt.jump_addr, "the jump is its own load");
+    assert_eq!(jt.targets.len(), 5);
+}
+
+#[test]
+fn mem_indirect_rewrites_in_all_modes() {
+    for pie in [false, true] {
+        let bin = mem_switch_binary(pie);
+        let expected = match run(&bin, &LoadOptions::default()) {
+            Outcome::Halted(s) => s.output,
+            o => panic!("{o:?}"),
+        };
+        for mode in [RewriteMode::Dir, RewriteMode::Jt, RewriteMode::FuncPtr] {
+            let out = Rewriter::new(RewriteConfig::new(mode))
+                .rewrite(&bin, &Instrumentation::empty(Points::EveryBlock))
+                .unwrap();
+            if mode != RewriteMode::Dir {
+                assert_eq!(out.report.cloned_tables, 1, "pie={pie}/{mode}");
+            }
+            let opts = LoadOptions { preload_runtime: true, ..LoadOptions::default() };
+            match run(&out.binary, &opts) {
+                Outcome::Halted(s) => assert_eq!(s.output, expected, "pie={pie}/{mode}"),
+                o => panic!("pie={pie}/{mode}: {o:?}"),
+            }
+        }
+    }
+}

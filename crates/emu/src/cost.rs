@@ -1,0 +1,125 @@
+//! The cycle cost model.
+
+use crate::icache::ICacheConfig;
+use serde::{Deserialize, Serialize};
+
+/// Cycle prices for the mechanisms binary rewriting perturbs.
+///
+/// The *shape* of the paper's results (which rewriting mode wins, by
+/// roughly what factor) is driven by these mechanisms, not by the exact
+/// constants; the defaults are ballpark figures for a modern
+/// out-of-order core with OS signal delivery.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Baseline cycles per retired instruction.
+    pub base: u64,
+    /// Extra cycles for a taken branch (redirect penalty).
+    pub taken_branch: u64,
+    /// Extra cycles for an indirect branch or call.
+    pub indirect_branch: u64,
+    /// Extra cycles for an instruction-cache miss.
+    pub icache_miss: u64,
+    /// Cycles for trap-based trampoline dispatch (signal delivery,
+    /// handler lookup, resume).
+    pub trap: u64,
+    /// Cycles per call-frame unwind step (DWARF recipe lookup plus
+    /// register-state update) — intentionally two orders of magnitude
+    /// above [`CostModel::ra_translate`], matching §6's argument.
+    pub unwind_step: u64,
+    /// Cycles per runtime return-address translation (one sorted-map
+    /// lookup).
+    pub ra_translate: u64,
+    /// frdwarf-style "compiled" unwinding (§2.3): the unwind recipes
+    /// are compiled to straight-line code, making a frame step about
+    /// 10× cheaper than interpreting DWARF. RA translation composes
+    /// with it unchanged — unlike DWARF-rewriting approaches, which
+    /// have nothing to rewrite here.
+    pub compiled_unwinding: bool,
+    /// Instruction-cache geometry.
+    pub icache: ICacheConfig,
+}
+
+impl Default for CostModel {
+    fn default() -> CostModel {
+        CostModel {
+            base: 1,
+            taken_branch: 1,
+            indirect_branch: 3,
+            icache_miss: 30,
+            trap: 3000,
+            unwind_step: 200,
+            ra_translate: 20,
+            compiled_unwinding: false,
+            icache: ICacheConfig::default(),
+        }
+    }
+}
+
+/// Counters accumulated over one program run.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExecStats {
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Total model cycles.
+    pub cycles: u64,
+    /// Instruction-cache misses.
+    pub icache_misses: u64,
+    /// Trap trampolines taken.
+    pub traps: u64,
+    /// Unwind steps performed (frames walked).
+    pub unwind_steps: u64,
+    /// Runtime RA translations performed.
+    pub ra_translations: u64,
+    /// Exceptions thrown.
+    pub throws: u64,
+    /// The observable output stream (`Sys Out` values).
+    pub output: Vec<i64>,
+}
+
+impl CostModel {
+    /// The effective per-frame unwind cost under the configured
+    /// unwinding technique.
+    #[must_use]
+    pub fn unwind_step_cost(&self) -> u64 {
+        if self.compiled_unwinding {
+            (self.unwind_step / 10).max(1)
+        } else {
+            self.unwind_step
+        }
+    }
+}
+
+impl ExecStats {
+    /// Relative slowdown of `self` versus a baseline run
+    /// (`0.0` = identical, `0.05` = 5% slower).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the baseline recorded zero cycles.
+    #[must_use]
+    pub fn overhead_vs(&self, baseline: &ExecStats) -> f64 {
+        assert!(baseline.cycles > 0, "baseline ran zero cycles");
+        self.cycles as f64 / baseline.cycles as f64 - 1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_ordered_sanely() {
+        let c = CostModel::default();
+        assert!(c.trap > c.icache_miss);
+        assert!(c.unwind_step > c.ra_translate, "RA translation must be cheap vs unwinding");
+        assert!(c.icache_miss > c.taken_branch);
+    }
+
+    #[test]
+    fn overhead_math() {
+        let base = ExecStats { cycles: 1000, ..ExecStats::default() };
+        let slow = ExecStats { cycles: 1050, ..ExecStats::default() };
+        assert!((slow.overhead_vs(&base) - 0.05).abs() < 1e-9);
+        assert!((base.overhead_vs(&base)).abs() < 1e-9);
+    }
+}

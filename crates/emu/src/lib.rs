@@ -1,0 +1,86 @@
+#![warn(missing_docs)]
+//! Deterministic emulator and cycle cost model — the evaluation
+//! substrate standing in for the paper's real hardware.
+//!
+//! The emulator executes [`icfgp_obj::Binary`] images for any of the
+//! three architecture models and produces an [`Outcome`]: the observable
+//! output stream (the correctness oracle for rewriting) plus
+//! [`ExecStats`] under a [`CostModel`] that prices exactly the
+//! mechanisms the paper's overhead numbers come from:
+//!
+//! * an **instruction-cache simulation** (default 32 KiB, 8-way, 64 B
+//!   lines) — the `.text`↔`.instr` ping-pong of patched binaries
+//!   pollutes it;
+//! * **trap-trampoline cost** (signal delivery, default 3000 cycles) —
+//!   why trampoline placement analysis matters (§7, Diogenes §9);
+//! * **unwind-step and RA-translation cost** — why runtime RA
+//!   translation is near-free compared to call-frame unwinding (§6);
+//! * taken/indirect branch penalties — why bouncing through
+//!   trampolines costs even when the i-cache is warm.
+//!
+//! The emulator also hosts the model of the paper's **runtime library**
+//! (injected via `LD_PRELOAD` in the real system): when
+//! [`LoadOptions::preload_runtime`] is set, the `.trap_map` and
+//! `.ra_map` sections of a rewritten binary are parsed and
+//!
+//! * trap instructions listed in the trap map transfer control instead
+//!   of crashing, and
+//! * the unwinder translates every frame's return address through the
+//!   RA map before looking up unwind recipes, and the
+//!   [`icfgp_isa::SysOp::RaTranslate`] instruction (emitted into
+//!   Go-style `findfunc` instrumentation) rewrites stack slots.
+//!
+//! # Example
+//!
+//! ```
+//! use icfgp_asm::{BinaryBuilder, FuncDef, Item};
+//! use icfgp_isa::{Arch, Inst, Reg, SysOp};
+//! use icfgp_obj::Language;
+//! use icfgp_emu::{run, LoadOptions, Outcome};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = BinaryBuilder::new(Arch::Aarch64);
+//! b.add_function(FuncDef::new("main", Language::C, vec![
+//!     Item::I(Inst::MovImm { dst: Reg(8), imm: 41 }),
+//!     Item::I(Inst::AluImm { op: icfgp_isa::AluOp::Add, dst: Reg(8), src: Reg(8), imm: 1 }),
+//!     Item::I(Inst::Sys { op: SysOp::Out, arg: Reg(8) }),
+//!     Item::I(Inst::Halt),
+//! ]));
+//! b.set_entry("main");
+//! let bin = b.build()?;
+//! match run(&bin, &LoadOptions::default()) {
+//!     Outcome::Halted(stats) => assert_eq!(stats.output, vec![42]),
+//!     other => panic!("unexpected outcome: {other:?}"),
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+mod cost;
+mod icache;
+mod machine;
+mod memory;
+mod runtime;
+
+pub use cost::{CostModel, ExecStats};
+pub use icache::{ICache, ICacheConfig};
+pub use machine::{CrashReason, LoadError, LoadOptions, Machine, Outcome};
+pub use memory::Memory;
+pub use runtime::RuntimeLib;
+
+use icfgp_obj::Binary;
+
+/// Load and run a binary to completion under `options`.
+///
+/// Convenience wrapper over [`Machine::load`] + [`Machine::run`]; a
+/// load failure is reported as a crashed outcome with zero stats.
+#[must_use]
+pub fn run(binary: &Binary, options: &LoadOptions) -> Outcome {
+    match Machine::load(binary, options) {
+        Ok(mut m) => m.run(),
+        Err(e) => Outcome::Crashed {
+            reason: CrashReason::LoadFailed { reason: e.to_string() },
+            stats: ExecStats::default(),
+        },
+    }
+}

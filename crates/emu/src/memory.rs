@@ -1,0 +1,196 @@
+//! The guest address space: a handful of permissioned segments.
+
+/// One mapped region.
+#[derive(Debug, Clone)]
+struct Segment {
+    start: u64,
+    data: Vec<u8>,
+    writable: bool,
+    executable: bool,
+}
+
+impl Segment {
+    fn end(&self) -> u64 {
+        self.start + self.data.len() as u64
+    }
+}
+
+/// A sparse guest address space.
+///
+/// Reads/writes are bounds- and permission-checked; out-of-segment
+/// access returns `None`, which the machine turns into a crash — this
+/// is how wild control flow in a badly rewritten binary is detected.
+#[derive(Debug, Clone, Default)]
+pub struct Memory {
+    segments: Vec<Segment>,
+}
+
+impl Memory {
+    /// An empty address space.
+    #[must_use]
+    pub fn new() -> Memory {
+        Memory::default()
+    }
+
+    /// Map a region. Keeps segments sorted by start address.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the new segment overlaps an existing one.
+    pub fn map(&mut self, start: u64, data: Vec<u8>, writable: bool, executable: bool) {
+        let seg = Segment { start, data, writable, executable };
+        for s in &self.segments {
+            assert!(
+                seg.end() <= s.start || seg.start >= s.end(),
+                "segment {:#x}..{:#x} overlaps {:#x}..{:#x}",
+                seg.start,
+                seg.end(),
+                s.start,
+                s.end()
+            );
+        }
+        let pos = self.segments.partition_point(|s| s.start < seg.start);
+        self.segments.insert(pos, seg);
+    }
+
+    fn segment(&self, addr: u64) -> Option<&Segment> {
+        let pos = self.segments.partition_point(|s| s.start <= addr);
+        let s = self.segments.get(pos.checked_sub(1)?)?;
+        (addr < s.end()).then_some(s)
+    }
+
+    fn segment_mut(&mut self, addr: u64) -> Option<&mut Segment> {
+        let pos = self.segments.partition_point(|s| s.start <= addr);
+        let s = self.segments.get_mut(pos.checked_sub(1)?)?;
+        (addr < s.end()).then_some(s)
+    }
+
+    /// Read `len` bytes; `None` when the range leaves its segment.
+    #[must_use]
+    pub fn read(&self, addr: u64, len: usize) -> Option<&[u8]> {
+        let s = self.segment(addr)?;
+        if addr + len as u64 > s.end() {
+            return None;
+        }
+        let off = (addr - s.start) as usize;
+        Some(&s.data[off..off + len])
+    }
+
+    /// Read bytes for instruction fetch; requires an executable
+    /// segment. Returns as many bytes as available up to `len`.
+    #[must_use]
+    pub fn fetch(&self, addr: u64, len: usize) -> Option<&[u8]> {
+        let s = self.segment(addr)?;
+        if !s.executable {
+            return None;
+        }
+        let off = (addr - s.start) as usize;
+        let avail = s.data.len() - off;
+        Some(&s.data[off..off + len.min(avail)])
+    }
+
+    /// Read a little-endian value of `width` bytes, sign- or
+    /// zero-extended to i64.
+    #[must_use]
+    pub fn read_int(&self, addr: u64, width: usize, sign: bool) -> Option<i64> {
+        let bytes = self.read(addr, width)?;
+        let mut buf = [0u8; 8];
+        buf[..width].copy_from_slice(bytes);
+        let v = u64::from_le_bytes(buf);
+        Some(if sign {
+            let shift = 64 - width as u32 * 8;
+            ((v as i64) << shift) >> shift
+        } else {
+            v as i64
+        })
+    }
+
+    /// Write bytes; `Err(addr)` on an unmapped or read-only range.
+    pub fn write(&mut self, addr: u64, bytes: &[u8]) -> Result<(), u64> {
+        let s = self.segment_mut(addr).ok_or(addr)?;
+        if !s.writable || addr + bytes.len() as u64 > s.end() {
+            return Err(addr);
+        }
+        let off = (addr - s.start) as usize;
+        s.data[off..off + bytes.len()].copy_from_slice(bytes);
+        Ok(())
+    }
+
+    /// Write the low `width` bytes of `value` little-endian.
+    pub fn write_int(&mut self, addr: u64, value: i64, width: usize) -> Result<(), u64> {
+        self.write(addr, &value.to_le_bytes()[..width])
+    }
+
+    /// Write ignoring the segment's write permission — loader-only
+    /// (applying relocations to read-only pages, like `ld.so` does
+    /// before re-protecting them).
+    pub fn write_force(&mut self, addr: u64, bytes: &[u8]) -> Result<(), u64> {
+        let s = self.segment_mut(addr).ok_or(addr)?;
+        if addr + bytes.len() as u64 > s.end() {
+            return Err(addr);
+        }
+        let off = (addr - s.start) as usize;
+        s.data[off..off + bytes.len()].copy_from_slice(bytes);
+        Ok(())
+    }
+
+    /// Whether `addr` is inside a writable segment.
+    #[must_use]
+    pub fn is_writable(&self, addr: u64) -> bool {
+        self.segment(addr).is_some_and(|s| s.writable)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem() -> Memory {
+        let mut m = Memory::new();
+        m.map(0x1000, vec![0xAA; 256], false, true);
+        m.map(0x2000, vec![0; 256], true, false);
+        m
+    }
+
+    #[test]
+    fn read_write_permissions() {
+        let mut m = mem();
+        assert!(m.read(0x1000, 4).is_some());
+        assert_eq!(m.write(0x1000, &[0]), Err(0x1000), "code is read-only");
+        assert!(m.write(0x2000, &[1, 2, 3]).is_ok());
+        assert_eq!(m.read(0x2000, 3).unwrap(), &[1, 2, 3]);
+        assert_eq!(m.write(0x3000, &[0]), Err(0x3000), "unmapped");
+    }
+
+    #[test]
+    fn fetch_requires_exec() {
+        let m = mem();
+        assert!(m.fetch(0x1000, 10).is_some());
+        assert!(m.fetch(0x2000, 10).is_none(), "data is not executable");
+        // Fetch near the segment end is truncated, not rejected.
+        assert_eq!(m.fetch(0x10FE, 10).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn int_roundtrip_signed() {
+        let mut m = mem();
+        m.write_int(0x2000, -2, 2).unwrap();
+        assert_eq!(m.read_int(0x2000, 2, true), Some(-2));
+        assert_eq!(m.read_int(0x2000, 2, false), Some(0xFFFE));
+        m.write_int(0x2008, i64::MIN, 8).unwrap();
+        assert_eq!(m.read_int(0x2008, 8, false), Some(i64::MIN));
+    }
+
+    #[test]
+    #[should_panic(expected = "overlaps")]
+    fn overlapping_map_panics() {
+        let mut m = mem();
+        m.map(0x10FF, vec![0; 16], true, false);
+    }
+
+    #[test]
+    fn cross_segment_read_rejected() {
+        let m = mem();
+        assert!(m.read(0x10F0, 64).is_none());
+    }
+}

@@ -1,0 +1,91 @@
+//! The model of the paper's runtime library.
+//!
+//! In the real system a small library is `LD_PRELOAD`-ed into the
+//! rewritten binary. It (a) handles trap signals by looking the
+//! faulting PC up in a trap map and redirecting to the relocated code,
+//! and (b) wraps the unwinder's step function so every frame's return
+//! address is translated from `.instr` back to original `.text` before
+//! unwind recipes are consulted. Here the library is data: the maps,
+//! parsed from the rewritten binary's sections at load time.
+
+use icfgp_obj::{names, Binary, RaMap, TrapMap};
+
+/// Parsed runtime-library state for one loaded binary.
+#[derive(Debug, Clone, Default)]
+pub struct RuntimeLib {
+    /// Trap-trampoline address → relocated target (link-time addresses).
+    pub trap_map: TrapMap,
+    /// Relocated return address → original return address.
+    pub ra_map: RaMap,
+}
+
+impl RuntimeLib {
+    /// Extract the runtime maps from a rewritten binary's sections.
+    ///
+    /// Returns an empty library for an unrewritten binary (no
+    /// `.trap_map`/`.ra_map` sections), which behaves exactly like not
+    /// preloading at all.
+    #[must_use]
+    pub fn from_binary(binary: &Binary) -> RuntimeLib {
+        let trap_map = binary
+            .section(names::TRAP_MAP)
+            .and_then(|s| TrapMap::from_bytes(s.data()))
+            .unwrap_or_default();
+        let ra_map = binary
+            .section(names::RA_MAP)
+            .and_then(|s| RaMap::from_bytes(s.data()))
+            .unwrap_or_default();
+        RuntimeLib { trap_map, ra_map }
+    }
+
+    /// Translate a (link-time) return address through the RA map,
+    /// passing unknown addresses through unchanged — the behaviour §6
+    /// specifies for unwinding across uninstrumented binaries.
+    #[must_use]
+    pub fn translate_ra(&self, link_addr: u64) -> u64 {
+        self.ra_map.translate(link_addr).unwrap_or(link_addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icfgp_isa::Arch;
+    use icfgp_obj::{Section, SectionFlags, SectionKind};
+
+    #[test]
+    fn missing_sections_yield_empty_maps() {
+        let bin = Binary::new(Arch::X64);
+        let rt = RuntimeLib::from_binary(&bin);
+        assert!(rt.trap_map.is_empty());
+        assert!(rt.ra_map.is_empty());
+        assert_eq!(rt.translate_ra(0x1234), 0x1234);
+    }
+
+    #[test]
+    fn maps_parse_from_sections() {
+        let mut bin = Binary::new(Arch::X64);
+        let mut ra = RaMap::new();
+        ra.insert(0x9000, 0x1000);
+        let mut tm = TrapMap::new();
+        tm.insert(0x1004, 0x9004);
+        bin.add_section(Section::new(
+            names::RA_MAP,
+            0x20000,
+            ra.to_bytes(),
+            SectionFlags::ro(),
+            SectionKind::RuntimeMap,
+        ));
+        bin.add_section(Section::new(
+            names::TRAP_MAP,
+            0x21000,
+            tm.to_bytes(),
+            SectionFlags::ro(),
+            SectionKind::RuntimeMap,
+        ));
+        let rt = RuntimeLib::from_binary(&bin);
+        assert_eq!(rt.translate_ra(0x9000), 0x1000);
+        assert_eq!(rt.translate_ra(0x9001), 0x9001);
+        assert_eq!(rt.trap_map.target(0x1004), Some(0x9004));
+    }
+}

@@ -1,0 +1,138 @@
+//! Property tests for the emulator: the interpreter agrees with a
+//! pure-Rust oracle on random straight-line ALU programs, and cost
+//! accounting obeys its invariants.
+
+use icfgp_asm::{BinaryBuilder, FuncDef, Item};
+use icfgp_emu::{run, LoadOptions, Outcome};
+use icfgp_isa::{AluOp, Arch, Inst, Reg, SysOp};
+use icfgp_obj::Language;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    MovImm(u8, i16),
+    Alu(AluOp, u8, u8, u8),
+    AluImm(AluOp, u8, u8, i8),
+    Mov(u8, u8),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    let r = || 8u8..14;
+    let alu = || {
+        prop_oneof![
+            Just(AluOp::Add),
+            Just(AluOp::Sub),
+            Just(AluOp::Mul),
+            Just(AluOp::And),
+            Just(AluOp::Or),
+            Just(AluOp::Xor),
+        ]
+    };
+    prop_oneof![
+        (r(), any::<i16>()).prop_map(|(d, v)| Op::MovImm(d, v)),
+        (alu(), r(), r(), r()).prop_map(|(o, d, a, b)| Op::Alu(o, d, a, b)),
+        (alu(), r(), r(), any::<i8>()).prop_map(|(o, d, s, v)| Op::AluImm(o, d, s, v)),
+        (r(), r()).prop_map(|(d, s)| Op::Mov(d, s)),
+    ]
+}
+
+/// Evaluate the program in pure Rust.
+fn oracle(ops: &[Op]) -> i64 {
+    let mut regs = [0i64; 16];
+    for op in ops {
+        match op {
+            Op::MovImm(d, v) => regs[*d as usize] = i64::from(*v),
+            Op::Alu(o, d, a, b) => {
+                regs[*d as usize] = o.eval(regs[*a as usize], regs[*b as usize]);
+            }
+            Op::AluImm(o, d, s, v) => {
+                regs[*d as usize] = o.eval(regs[*s as usize], i64::from(*v));
+            }
+            Op::Mov(d, s) => regs[*d as usize] = regs[*s as usize],
+        }
+    }
+    regs[8]
+}
+
+fn to_items(ops: &[Op]) -> Vec<Item> {
+    let mut items: Vec<Item> = ops
+        .iter()
+        .map(|op| {
+            Item::I(match op {
+                Op::MovImm(d, v) => Inst::MovImm { dst: Reg(*d), imm: i64::from(*v) },
+                Op::Alu(o, d, a, b) => {
+                    Inst::Alu { op: *o, dst: Reg(*d), a: Reg(*a), b: Reg(*b) }
+                }
+                Op::AluImm(o, d, s, v) => Inst::AluImm {
+                    op: *o,
+                    dst: Reg(*d),
+                    src: Reg(*s),
+                    imm: i32::from(*v),
+                },
+                Op::Mov(d, s) => Inst::MovReg { dst: Reg(*d), src: Reg(*s) },
+            })
+        })
+        .collect();
+    items.push(Item::I(Inst::Sys { op: SysOp::Out, arg: Reg(8) }));
+    items.push(Item::I(Inst::Halt));
+    items
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The interpreter computes exactly what the Rust oracle computes,
+    /// on every architecture (same semantic instruction set).
+    #[test]
+    fn interpreter_matches_oracle(ops in proptest::collection::vec(arb_op(), 1..64),
+                                  arch in prop_oneof![
+                                      Just(Arch::X64),
+                                      Just(Arch::Ppc64le),
+                                      Just(Arch::Aarch64)
+                                  ]) {
+        let mut b = BinaryBuilder::new(arch);
+        b.add_function(FuncDef::new("main", Language::C, to_items(&ops)));
+        b.set_entry("main");
+        let bin = b.build().expect("assembles");
+        match run(&bin, &LoadOptions::default()) {
+            Outcome::Halted(stats) => {
+                prop_assert_eq!(stats.output, vec![oracle(&ops)]);
+                prop_assert_eq!(stats.instructions, ops.len() as u64 + 2);
+                prop_assert!(stats.cycles >= stats.instructions,
+                    "cycles are at least 1 per instruction");
+            }
+            o => return Err(TestCaseError::fail(format!("{arch}: {o:?}"))),
+        }
+    }
+
+    /// The same program produces the same counters on repeated runs
+    /// (determinism of the whole pipeline).
+    #[test]
+    fn runs_are_deterministic(ops in proptest::collection::vec(arb_op(), 1..32)) {
+        let mut b = BinaryBuilder::new(Arch::X64);
+        b.add_function(FuncDef::new("main", Language::C, to_items(&ops)));
+        b.set_entry("main");
+        let bin = b.build().expect("assembles");
+        let a = run(&bin, &LoadOptions::default());
+        let b2 = run(&bin, &LoadOptions::default());
+        prop_assert_eq!(a.stats(), b2.stats());
+    }
+
+    /// Fuel is respected exactly: limiting to N instructions stops at N.
+    #[test]
+    fn fuel_is_exact(limit in 1u64..20) {
+        let mut b = BinaryBuilder::new(Arch::Aarch64);
+        b.add_function(FuncDef::new(
+            "main",
+            Language::C,
+            vec![Item::Label("x".into()), Item::I(Inst::Nop), Item::JmpL("x".into())],
+        ));
+        b.set_entry("main");
+        let bin = b.build().expect("assembles");
+        let opts = LoadOptions { fuel: limit, ..LoadOptions::default() };
+        match run(&bin, &opts) {
+            Outcome::OutOfFuel(stats) => prop_assert_eq!(stats.instructions, limit),
+            o => return Err(TestCaseError::fail(format!("{o:?}"))),
+        }
+    }
+}

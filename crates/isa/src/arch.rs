@@ -1,0 +1,251 @@
+//! Architecture descriptors and the Table 2 branch-reach parameters.
+
+use crate::inst::Reg;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The three target architectures of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Arch {
+    /// Variable-length CISC model of x86-64.
+    X64,
+    /// Fixed 4-byte RISC model of little-endian POWER; indirect branches
+    /// go through the `tar` special register, and `r2` is the TOC base.
+    Ppc64le,
+    /// Fixed 4-byte RISC model of AArch64 with `adrp`-style page
+    /// addressing and register-indirect branches.
+    Aarch64,
+}
+
+impl Arch {
+    /// All architectures, in the order the paper's tables list them.
+    pub const ALL: [Arch; 3] = [Arch::X64, Arch::Ppc64le, Arch::Aarch64];
+
+    /// Number of general-purpose registers in the register file.
+    #[must_use]
+    pub fn gpr_count(self) -> u8 {
+        match self {
+            Arch::X64 => 16,
+            Arch::Ppc64le | Arch::Aarch64 => 32,
+        }
+    }
+
+    /// The stack-pointer register under this model's ABI.
+    #[must_use]
+    pub fn sp(self) -> Reg {
+        match self {
+            Arch::X64 => Reg(4),
+            Arch::Ppc64le | Arch::Aarch64 => Reg(1),
+        }
+    }
+
+    /// The TOC base register (`r2`) on ppc64le; `None` elsewhere.
+    #[must_use]
+    pub fn toc(self) -> Option<Reg> {
+        match self {
+            Arch::Ppc64le => Some(Reg(2)),
+            _ => None,
+        }
+    }
+
+    /// Whether instructions are fixed-size 4-byte words.
+    #[must_use]
+    pub fn is_fixed_width(self) -> bool {
+        !matches!(self, Arch::X64)
+    }
+
+    /// Instruction alignment requirement in bytes.
+    #[must_use]
+    pub fn inst_align(self) -> u64 {
+        if self.is_fixed_width() {
+            4
+        } else {
+            1
+        }
+    }
+
+    /// Longest possible instruction in bytes.
+    #[must_use]
+    pub fn max_inst_len(self) -> usize {
+        match self {
+            Arch::X64 => 10,
+            Arch::Ppc64le | Arch::Aarch64 => 4,
+        }
+    }
+
+    /// Whether the architecture has a link register (calls store the
+    /// return address in `lr` instead of pushing it on the stack).
+    #[must_use]
+    pub fn has_link_register(self) -> bool {
+        self.is_fixed_width()
+    }
+
+    /// Whether register-indirect jumps (`br reg` / `jmp reg`) exist.
+    /// On ppc64le indirect control flow must go through `tar`/`ctr`.
+    #[must_use]
+    pub fn has_reg_indirect_branch(self) -> bool {
+        !matches!(self, Arch::Ppc64le)
+    }
+
+    /// Reach of the *short* trampoline branch, in bytes (± this value).
+    ///
+    /// Table 2: 128 B on x64 (2-byte branch), 32 MB on ppc64le (`b`),
+    /// 128 MB on aarch64 (`b`).
+    #[must_use]
+    pub fn short_branch_reach(self) -> i64 {
+        match self {
+            Arch::X64 => 128,
+            Arch::Ppc64le => 32 << 20,
+            Arch::Aarch64 => 128 << 20,
+        }
+    }
+
+    /// Size of the short trampoline branch in bytes.
+    #[must_use]
+    pub fn short_branch_len(self) -> usize {
+        match self {
+            Arch::X64 => 2,
+            Arch::Ppc64le | Arch::Aarch64 => 4,
+        }
+    }
+
+    /// Reach of the *long* trampoline sequence, in bytes (± this value).
+    ///
+    /// Table 2: 2 GB on x64 (5-byte near branch), 2 GB on ppc64le
+    /// (`addis/addi/mtspr tar/bctar`), 4 GB on aarch64 (`adrp/add/br`).
+    #[must_use]
+    pub fn long_branch_reach(self) -> i64 {
+        match self {
+            Arch::X64 | Arch::Ppc64le => 2 << 30,
+            Arch::Aarch64 => 4u64 as i64 * (1 << 30),
+        }
+    }
+
+    /// Size of the long trampoline sequence in bytes (excluding any
+    /// register save/restore the sequence may additionally need).
+    #[must_use]
+    pub fn long_branch_len(self) -> usize {
+        match self {
+            Arch::X64 => 5,
+            Arch::Ppc64le => 16, // addis + addi + mtspr tar + bctar
+            Arch::Aarch64 => 12, // adrp + add + br
+        }
+    }
+
+    /// Size of a trap instruction in bytes.
+    #[must_use]
+    pub fn trap_len(self) -> usize {
+        match self {
+            Arch::X64 => 1,
+            Arch::Ppc64le | Arch::Aarch64 => 4,
+        }
+    }
+
+    /// Page size used by `adrp`-style page addressing.
+    #[must_use]
+    pub fn page_size(self) -> u64 {
+        4096
+    }
+
+    /// The Table 2 rows for this architecture.
+    #[must_use]
+    pub fn branch_specs(self) -> Vec<BranchSpec> {
+        match self {
+            Arch::X64 => vec![
+                BranchSpec { name: "2-byte branch", reach: 128, len_bytes: 2, insns: 1 },
+                BranchSpec { name: "5-byte branch", reach: 2 << 30, len_bytes: 5, insns: 1 },
+            ],
+            Arch::Ppc64le => vec![
+                BranchSpec { name: "b", reach: 32 << 20, len_bytes: 4, insns: 1 },
+                BranchSpec {
+                    name: "addis reg, r2, off@high; addi reg, reg, off@low; mtspr tar, reg; bctar",
+                    reach: 2 << 30,
+                    len_bytes: 16,
+                    insns: 4,
+                },
+            ],
+            Arch::Aarch64 => vec![
+                BranchSpec { name: "b", reach: 128 << 20, len_bytes: 4, insns: 1 },
+                BranchSpec {
+                    name: "adrp reg, off@high; add reg, reg, off@low; br reg",
+                    reach: 4 * (1i64 << 30),
+                    len_bytes: 12,
+                    insns: 3,
+                },
+            ],
+        }
+    }
+}
+
+impl fmt::Display for Arch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Arch::X64 => "x86-64",
+            Arch::Ppc64le => "ppc64le",
+            Arch::Aarch64 => "aarch64",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One row of the paper's Table 2: a trampoline branch form.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BranchSpec {
+    /// Human-readable instruction sequence.
+    pub name: &'static str,
+    /// ± branching range in bytes.
+    pub reach: i64,
+    /// Sequence length in bytes.
+    pub len_bytes: usize,
+    /// Sequence length in instructions.
+    pub insns: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_reaches() {
+        assert_eq!(Arch::X64.short_branch_reach(), 128);
+        assert_eq!(Arch::X64.long_branch_reach(), 2 << 30);
+        assert_eq!(Arch::Ppc64le.short_branch_reach(), 32 << 20);
+        assert_eq!(Arch::Ppc64le.long_branch_reach(), 2 << 30);
+        assert_eq!(Arch::Aarch64.short_branch_reach(), 128 << 20);
+        assert_eq!(Arch::Aarch64.long_branch_reach(), 4 * (1i64 << 30));
+    }
+
+    #[test]
+    fn table2_lengths() {
+        assert_eq!(Arch::X64.short_branch_len(), 2);
+        assert_eq!(Arch::X64.long_branch_len(), 5);
+        assert_eq!(Arch::Ppc64le.long_branch_len(), 16); // 4 insns
+        assert_eq!(Arch::Aarch64.long_branch_len(), 12); // 3 insns
+    }
+
+    #[test]
+    fn ppc_has_no_reg_indirect_branch() {
+        assert!(!Arch::Ppc64le.has_reg_indirect_branch());
+        assert!(Arch::X64.has_reg_indirect_branch());
+        assert!(Arch::Aarch64.has_reg_indirect_branch());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Arch::X64.to_string(), "x86-64");
+        assert_eq!(Arch::Ppc64le.to_string(), "ppc64le");
+        assert_eq!(Arch::Aarch64.to_string(), "aarch64");
+    }
+
+    #[test]
+    fn branch_spec_rows_match_scalar_accessors() {
+        for arch in Arch::ALL {
+            let specs = arch.branch_specs();
+            assert_eq!(specs.len(), 2);
+            assert_eq!(specs[0].reach, arch.short_branch_reach());
+            assert_eq!(specs[0].len_bytes, arch.short_branch_len());
+            assert_eq!(specs[1].reach, arch.long_branch_reach());
+            assert_eq!(specs[1].len_bytes, arch.long_branch_len());
+        }
+    }
+}

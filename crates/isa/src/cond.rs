@@ -1,0 +1,145 @@
+//! Branch condition codes.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Condition codes evaluated against the last `cmp` result.
+///
+/// The comparison instructions record their two operands; a conditional
+/// branch then evaluates one of these predicates over them. Signed and
+/// unsigned orderings are distinguished because jump-table bound checks
+/// compile to *unsigned* comparisons (`ja` on x86-64).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Cond {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed less-than.
+    Lt,
+    /// Signed less-or-equal.
+    Le,
+    /// Signed greater-than.
+    Gt,
+    /// Signed greater-or-equal.
+    Ge,
+    /// Unsigned below.
+    ULt,
+    /// Unsigned below-or-equal.
+    ULe,
+    /// Unsigned above.
+    UGt,
+    /// Unsigned above-or-equal.
+    UGe,
+}
+
+impl Cond {
+    /// All condition codes, in encoding order.
+    pub const ALL: [Cond; 10] = [
+        Cond::Eq,
+        Cond::Ne,
+        Cond::Lt,
+        Cond::Le,
+        Cond::Gt,
+        Cond::Ge,
+        Cond::ULt,
+        Cond::ULe,
+        Cond::UGt,
+        Cond::UGe,
+    ];
+
+    /// Encoding value (fits in 4 bits).
+    #[must_use]
+    pub fn code(self) -> u8 {
+        Cond::ALL.iter().position(|c| *c == self).unwrap_or(0) as u8
+    }
+
+    /// Decode a 4-bit condition code.
+    #[must_use]
+    pub fn from_code(code: u8) -> Option<Cond> {
+        Cond::ALL.get(code as usize).copied()
+    }
+
+    /// Evaluate the predicate over the recorded comparison operands.
+    #[must_use]
+    pub fn eval(self, a: i64, b: i64) -> bool {
+        match self {
+            Cond::Eq => a == b,
+            Cond::Ne => a != b,
+            Cond::Lt => a < b,
+            Cond::Le => a <= b,
+            Cond::Gt => a > b,
+            Cond::Ge => a >= b,
+            Cond::ULt => (a as u64) < (b as u64),
+            Cond::ULe => (a as u64) <= (b as u64),
+            Cond::UGt => (a as u64) > (b as u64),
+            Cond::UGe => (a as u64) >= (b as u64),
+        }
+    }
+
+    /// The negated predicate (`!cond.eval(a, b) == cond.invert().eval(a, b)`).
+    #[must_use]
+    pub fn invert(self) -> Cond {
+        match self {
+            Cond::Eq => Cond::Ne,
+            Cond::Ne => Cond::Eq,
+            Cond::Lt => Cond::Ge,
+            Cond::Le => Cond::Gt,
+            Cond::Gt => Cond::Le,
+            Cond::Ge => Cond::Lt,
+            Cond::ULt => Cond::UGe,
+            Cond::ULe => Cond::UGt,
+            Cond::UGt => Cond::ULe,
+            Cond::UGe => Cond::ULt,
+        }
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Cond::Eq => "eq",
+            Cond::Ne => "ne",
+            Cond::Lt => "lt",
+            Cond::Le => "le",
+            Cond::Gt => "gt",
+            Cond::Ge => "ge",
+            Cond::ULt => "ult",
+            Cond::ULe => "ule",
+            Cond::UGt => "ugt",
+            Cond::UGe => "uge",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn code_roundtrip() {
+        for c in Cond::ALL {
+            assert_eq!(Cond::from_code(c.code()), Some(c));
+        }
+        assert_eq!(Cond::from_code(10), None);
+    }
+
+    #[test]
+    fn unsigned_vs_signed() {
+        // -1 as u64 is the largest value: unsigned-above but signed-less.
+        assert!(Cond::UGt.eval(-1, 5));
+        assert!(!Cond::Gt.eval(-1, 5));
+        assert!(Cond::Lt.eval(-1, 5));
+    }
+
+    #[test]
+    fn invert_is_complement() {
+        let pairs = [(-3i64, 7i64), (7, -3), (5, 5), (0, i64::MIN), (i64::MAX, 1)];
+        for c in Cond::ALL {
+            for (a, b) in pairs {
+                assert_eq!(c.eval(a, b), !c.invert().eval(a, b), "{c} over ({a},{b})");
+            }
+        }
+    }
+}

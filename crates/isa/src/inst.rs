@@ -1,0 +1,555 @@
+//! The architecture-neutral semantic instruction set.
+
+use crate::cond::Cond;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A general-purpose register identifier.
+///
+/// The register file holds 16 GPRs on the x64 model and 32 on the RISC
+/// models; encoders validate the id against the architecture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Reg(pub u8);
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Memory operand width in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Width {
+    /// 1 byte.
+    W1,
+    /// 2 bytes.
+    W2,
+    /// 4 bytes.
+    W4,
+    /// 8 bytes.
+    W8,
+}
+
+impl Width {
+    /// Width in bytes.
+    #[must_use]
+    pub fn bytes(self) -> u64 {
+        match self {
+            Width::W1 => 1,
+            Width::W2 => 2,
+            Width::W4 => 4,
+            Width::W8 => 8,
+        }
+    }
+
+    /// log2 of the width; used as an index scale encoding.
+    #[must_use]
+    pub fn log2(self) -> u8 {
+        match self {
+            Width::W1 => 0,
+            Width::W2 => 1,
+            Width::W4 => 2,
+            Width::W8 => 3,
+        }
+    }
+
+    /// Inverse of [`Width::log2`].
+    #[must_use]
+    pub fn from_log2(v: u8) -> Option<Width> {
+        match v {
+            0 => Some(Width::W1),
+            1 => Some(Width::W2),
+            2 => Some(Width::W4),
+            3 => Some(Width::W8),
+            _ => None,
+        }
+    }
+}
+
+/// A memory addressing mode: `[base + index * scale + disp]`, or a
+/// PC-relative address `[pc_of_inst + disp]`.
+///
+/// The RISC models restrict which combinations are encodable (base+disp
+/// or base+index, never both, no PC-relative data addressing); the
+/// encoders enforce this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Addr {
+    /// Base register, if any.
+    pub base: Option<Reg>,
+    /// Index register scaled by `scale`, if any.
+    pub index: Option<Reg>,
+    /// Scale applied to the index register (1, 2, 4, or 8).
+    pub scale: u8,
+    /// Constant displacement (or the full PC-relative offset).
+    pub disp: i64,
+    /// When set, the effective address is `inst_addr + disp` and
+    /// `base`/`index` must be empty (x64 RIP-relative addressing).
+    pub pc_rel: bool,
+}
+
+impl Addr {
+    /// `[base + disp]`.
+    #[must_use]
+    pub fn base_disp(base: Reg, disp: i64) -> Addr {
+        Addr { base: Some(base), index: None, scale: 1, disp, pc_rel: false }
+    }
+
+    /// `[base]`.
+    #[must_use]
+    pub fn base_only(base: Reg) -> Addr {
+        Addr::base_disp(base, 0)
+    }
+
+    /// `[base + index * scale]`.
+    #[must_use]
+    pub fn base_index(base: Reg, index: Reg, scale: u8) -> Addr {
+        Addr { base: Some(base), index: Some(index), scale, disp: 0, pc_rel: false }
+    }
+
+    /// `[pc + disp]` (x64 RIP-relative; `disp` is from the instruction
+    /// *start* under this model).
+    #[must_use]
+    pub fn pc_rel(disp: i64) -> Addr {
+        Addr { base: None, index: None, scale: 1, disp, pc_rel: true }
+    }
+}
+
+/// Format an i64 as `+0xNN`/`-0xNN` (hex with an explicit sign).
+fn signed_hex(v: i64) -> String {
+    if v < 0 {
+        format!("-{:#x}", v.unsigned_abs())
+    } else {
+        format!("+{v:#x}")
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.pc_rel {
+            return write!(f, "[pc{}]", signed_hex(self.disp));
+        }
+        write!(f, "[")?;
+        let mut first = true;
+        if let Some(b) = self.base {
+            write!(f, "{b}")?;
+            first = false;
+        }
+        if let Some(i) = self.index {
+            if !first {
+                write!(f, " + ")?;
+            }
+            write!(f, "{i}*{}", self.scale)?;
+            first = false;
+        }
+        if self.disp != 0 || first {
+            if first {
+                write!(f, "{:#x}", self.disp)?;
+            } else {
+                write!(f, " {}", signed_hex(self.disp))?;
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+/// Arithmetic/logic operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AluOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication (low 64 bits).
+    Mul,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Logical shift left (count masked to 63).
+    Shl,
+    /// Logical shift right (count masked to 63).
+    Shr,
+}
+
+impl AluOp {
+    /// All operations, in encoding order.
+    pub const ALL: [AluOp; 8] = [
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::Mul,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Xor,
+        AluOp::Shl,
+        AluOp::Shr,
+    ];
+
+    /// Encoding index.
+    #[must_use]
+    pub fn code(self) -> u8 {
+        AluOp::ALL.iter().position(|o| *o == self).unwrap_or(0) as u8
+    }
+
+    /// Inverse of [`AluOp::code`].
+    #[must_use]
+    pub fn from_code(code: u8) -> Option<AluOp> {
+        AluOp::ALL.get(code as usize).copied()
+    }
+
+    /// Evaluate the operation (wrapping semantics).
+    #[must_use]
+    pub fn eval(self, a: i64, b: i64) -> i64 {
+        match self {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::Mul => a.wrapping_mul(b),
+            AluOp::And => a & b,
+            AluOp::Or => a | b,
+            AluOp::Xor => a ^ b,
+            AluOp::Shl => ((a as u64) << (b as u64 & 63)) as i64,
+            AluOp::Shr => ((a as u64) >> (b as u64 & 63)) as i64,
+        }
+    }
+}
+
+/// Observable or runtime-mediated operations (the model's "syscalls").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SysOp {
+    /// Append the register value to the program's output stream. Output
+    /// equality is the correctness oracle for rewritten binaries.
+    Out,
+    /// Raise a language-level exception carrying the register value;
+    /// triggers stack unwinding in the emulator's language runtime.
+    Throw,
+    /// Translate the 8-byte return address stored at the *address held in
+    /// the register* through the loaded `.ra_map`, in place. Emitted by
+    /// the rewriter when instrumenting Go-style `findfunc`/`pcvalue`
+    /// entries (§6.2 of the paper).
+    RaTranslate,
+    /// Abort the program with the register value as an error code
+    /// (models a Go runtime panic such as "unknown return pc").
+    Abort,
+}
+
+impl SysOp {
+    /// All operations, in encoding order.
+    pub const ALL: [SysOp; 4] = [SysOp::Out, SysOp::Throw, SysOp::RaTranslate, SysOp::Abort];
+
+    /// Encoding index.
+    #[must_use]
+    pub fn code(self) -> u8 {
+        SysOp::ALL.iter().position(|o| *o == self).unwrap_or(0) as u8
+    }
+
+    /// Inverse of [`SysOp::code`].
+    #[must_use]
+    pub fn from_code(code: u8) -> Option<SysOp> {
+        SysOp::ALL.get(code as usize).copied()
+    }
+}
+
+/// The semantic instruction set.
+///
+/// All control-flow offsets (`Jump`, `JumpCond`, `Call`, PC-relative
+/// addresses) are relative to the **start** of the instruction.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)] // field meanings are given in each variant's equation
+pub enum Inst {
+    /// Stop the program normally.
+    Halt,
+    /// No operation (also the padding byte/word compilers emit).
+    Nop,
+    /// Trap to the runtime (signal). Used as the last-resort trampoline.
+    Trap,
+    /// `dst = imm` (full 64-bit immediate on x64; ±32 K on RISC).
+    MovImm { dst: Reg, imm: i64 },
+    /// `dst = src`.
+    MovReg { dst: Reg, src: Reg },
+    /// `dst = a op b`.
+    Alu { op: AluOp, dst: Reg, a: Reg, b: Reg },
+    /// `dst = src op imm` (imm32 on x64, imm12 on RISC).
+    AluImm { op: AluOp, dst: Reg, src: Reg, imm: i32 },
+    /// `dst = (dst << 16) | imm` — RISC constant materialisation
+    /// (`ori`-after-`lis` / `movk` analog).
+    OrShl16 { dst: Reg, imm: u16 },
+    /// `dst = src + (imm << 16)` — ppc64le `addis`; paired with
+    /// [`Inst::AddImm16`] it forms the ±2 GB long-trampoline address
+    /// compute.
+    AddShl16 { dst: Reg, src: Reg, imm: i16 },
+    /// `dst = src + imm` with a full 16-bit immediate — ppc64le `addi`.
+    /// (aarch64's add-immediate is the 12-bit [`Inst::AluImm`].)
+    AddImm16 { dst: Reg, src: Reg, imm: i16 },
+    /// `dst = (pc & !0xfff) + (page_delta << 12)` — aarch64 `adrp`.
+    AdrPage { dst: Reg, page_delta: i64 },
+    /// Record `a ? b` for a following conditional branch.
+    Cmp { a: Reg, b: Reg },
+    /// Record `a ? imm`.
+    CmpImm { a: Reg, imm: i32 },
+    /// `dst = mem[addr]`, zero- or sign-extended from `width`.
+    Load { dst: Reg, addr: Addr, width: Width, sign: bool },
+    /// `mem[addr] = src` truncated to `width`.
+    Store { src: Reg, addr: Addr, width: Width },
+    /// `dst = effective_address(addr)` (x64 only).
+    Lea { dst: Reg, addr: Addr },
+    /// Push `src` on the stack (x64 only).
+    Push { src: Reg },
+    /// Pop into `dst` (x64 only).
+    Pop { dst: Reg },
+    /// Unconditional PC-relative jump.
+    Jump { offset: i64 },
+    /// Conditional PC-relative jump.
+    JumpCond { cond: Cond, offset: i64 },
+    /// Register-indirect jump (x64 `jmp reg`, aarch64 `br`).
+    JumpReg { src: Reg },
+    /// Memory-indirect jump (x64 only, `jmp [mem]`).
+    JumpMem { addr: Addr },
+    /// Direct call. Pushes the return address (x64) or sets `lr` (RISC).
+    Call { offset: i64 },
+    /// Register-indirect call (x64 `call reg`, aarch64 `blr`).
+    CallReg { src: Reg },
+    /// Memory-indirect call (x64 only, `call [mem]`).
+    CallMem { addr: Addr },
+    /// Return: pop the return address (x64) or branch to `lr` (RISC).
+    Ret,
+    /// `tar = src` — ppc64le `mtspr tar, reg`.
+    MoveToTar { src: Reg },
+    /// Branch to `tar` — ppc64le `bctar`.
+    JumpTar,
+    /// Call through `tar` — ppc64le `bctarl` (sets `lr`).
+    CallTar,
+    /// `dst = lr` — RISC `mflr`.
+    MoveFromLr { dst: Reg },
+    /// `lr = src` — RISC `mtlr`.
+    MoveToLr { src: Reg },
+    /// Runtime-mediated operation; see [`SysOp`].
+    Sys { op: SysOp, arg: Reg },
+}
+
+impl Inst {
+    /// Whether the instruction ends a basic block (any control transfer
+    /// or program stop).
+    #[must_use]
+    pub fn is_control_flow(&self) -> bool {
+        matches!(
+            self,
+            Inst::Jump { .. }
+                | Inst::JumpCond { .. }
+                | Inst::JumpReg { .. }
+                | Inst::JumpMem { .. }
+                | Inst::Call { .. }
+                | Inst::CallReg { .. }
+                | Inst::CallMem { .. }
+                | Inst::Ret
+                | Inst::JumpTar
+                | Inst::CallTar
+                | Inst::Halt
+                | Inst::Trap
+        )
+    }
+
+    /// Whether the instruction is a call of any kind.
+    #[must_use]
+    pub fn is_call(&self) -> bool {
+        matches!(
+            self,
+            Inst::Call { .. } | Inst::CallReg { .. } | Inst::CallMem { .. } | Inst::CallTar
+        )
+    }
+
+    /// Whether the instruction is an *indirect* control transfer
+    /// (jump or call whose target is computed at run time).
+    #[must_use]
+    pub fn is_indirect(&self) -> bool {
+        matches!(
+            self,
+            Inst::JumpReg { .. }
+                | Inst::JumpMem { .. }
+                | Inst::CallReg { .. }
+                | Inst::CallMem { .. }
+                | Inst::JumpTar
+                | Inst::CallTar
+        )
+    }
+
+    /// For direct jumps/calls, the PC-relative offset.
+    #[must_use]
+    pub fn direct_offset(&self) -> Option<i64> {
+        match self {
+            Inst::Jump { offset } | Inst::Call { offset } | Inst::JumpCond { offset, .. } => {
+                Some(*offset)
+            }
+            _ => None,
+        }
+    }
+
+    /// Whether execution can fall through to the next instruction.
+    #[must_use]
+    pub fn falls_through(&self) -> bool {
+        match self {
+            Inst::Jump { .. } | Inst::JumpReg { .. } | Inst::JumpMem { .. } | Inst::JumpTar
+            | Inst::Ret | Inst::Halt | Inst::Trap => false,
+            // Calls fall through (to the return point) from the CFG's
+            // perspective; Sys::Throw/Abort are modelled as falling
+            // through because resumption is a runtime matter.
+            _ => true,
+        }
+    }
+
+    /// Destination register written by this instruction, if exactly one
+    /// GPR is written. Used by the analyses' def-use tracking.
+    #[must_use]
+    pub fn def_reg(&self) -> Option<Reg> {
+        match self {
+            Inst::MovImm { dst, .. }
+            | Inst::MovReg { dst, .. }
+            | Inst::Alu { dst, .. }
+            | Inst::AluImm { dst, .. }
+            | Inst::OrShl16 { dst, .. }
+            | Inst::AddShl16 { dst, .. }
+            | Inst::AddImm16 { dst, .. }
+            | Inst::AdrPage { dst, .. }
+            | Inst::Load { dst, .. }
+            | Inst::Lea { dst, .. }
+            | Inst::Pop { dst }
+            | Inst::MoveFromLr { dst } => Some(*dst),
+            _ => None,
+        }
+    }
+
+    /// GPRs read by this instruction.
+    #[must_use]
+    pub fn use_regs(&self) -> Vec<Reg> {
+        fn addr_regs(a: &Addr, out: &mut Vec<Reg>) {
+            if let Some(b) = a.base {
+                out.push(b);
+            }
+            if let Some(i) = a.index {
+                out.push(i);
+            }
+        }
+        let mut out = Vec::new();
+        match self {
+            Inst::MovReg { src, .. }
+            | Inst::OrShl16 { dst: src, .. }
+            | Inst::AddShl16 { src, .. }
+            | Inst::AddImm16 { src, .. }
+            | Inst::Push { src }
+            | Inst::JumpReg { src }
+            | Inst::CallReg { src }
+            | Inst::MoveToTar { src }
+            | Inst::MoveToLr { src }
+            | Inst::Sys { arg: src, .. } => out.push(*src),
+            Inst::Alu { a, b, .. } | Inst::Cmp { a, b } => {
+                out.push(*a);
+                out.push(*b);
+            }
+            Inst::AluImm { src, .. } => out.push(*src),
+            Inst::CmpImm { a, .. } => out.push(*a),
+            Inst::Load { addr, .. } | Inst::Lea { addr, .. } | Inst::JumpMem { addr }
+            | Inst::CallMem { addr } => addr_regs(addr, &mut out),
+            Inst::Store { src, addr, .. } => {
+                out.push(*src);
+                addr_regs(addr, &mut out);
+            }
+            _ => {}
+        }
+        out
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Inst::Halt => write!(f, "halt"),
+            Inst::Nop => write!(f, "nop"),
+            Inst::Trap => write!(f, "trap"),
+            Inst::MovImm { dst, imm } => write!(f, "mov {dst}, {imm:#x}"),
+            Inst::MovReg { dst, src } => write!(f, "mov {dst}, {src}"),
+            Inst::Alu { op, dst, a, b } => write!(f, "{op:?} {dst}, {a}, {b}"),
+            Inst::AluImm { op, dst, src, imm } => write!(f, "{op:?} {dst}, {src}, {imm:#x}"),
+            Inst::OrShl16 { dst, imm } => write!(f, "orshl16 {dst}, {imm:#x}"),
+            Inst::AddShl16 { dst, src, imm } => write!(f, "addis {dst}, {src}, {imm:#x}"),
+            Inst::AddImm16 { dst, src, imm } => write!(f, "addi {dst}, {src}, {imm:#x}"),
+            Inst::AdrPage { dst, page_delta } => write!(f, "adrp {dst}, {}", signed_hex(*page_delta)),
+            Inst::Cmp { a, b } => write!(f, "cmp {a}, {b}"),
+            Inst::CmpImm { a, imm } => write!(f, "cmp {a}, {imm:#x}"),
+            Inst::Load { dst, addr, width, sign } => {
+                write!(f, "ld{}{} {dst}, {addr}", width.bytes(), if *sign { "s" } else { "" })
+            }
+            Inst::Store { src, addr, width } => write!(f, "st{} {src}, {addr}", width.bytes()),
+            Inst::Lea { dst, addr } => write!(f, "lea {dst}, {addr}"),
+            Inst::Push { src } => write!(f, "push {src}"),
+            Inst::Pop { dst } => write!(f, "pop {dst}"),
+            Inst::Jump { offset } => write!(f, "jmp pc{}", signed_hex(*offset)),
+            Inst::JumpCond { cond, offset } => write!(f, "j{cond} pc{}", signed_hex(*offset)),
+            Inst::JumpReg { src } => write!(f, "jmp {src}"),
+            Inst::JumpMem { addr } => write!(f, "jmp {addr}"),
+            Inst::Call { offset } => write!(f, "call pc{}", signed_hex(*offset)),
+            Inst::CallReg { src } => write!(f, "call {src}"),
+            Inst::CallMem { addr } => write!(f, "call {addr}"),
+            Inst::Ret => write!(f, "ret"),
+            Inst::MoveToTar { src } => write!(f, "mtspr tar, {src}"),
+            Inst::JumpTar => write!(f, "bctar"),
+            Inst::CallTar => write!(f, "bctarl"),
+            Inst::MoveFromLr { dst } => write!(f, "mflr {dst}"),
+            Inst::MoveToLr { src } => write!(f, "mtlr {src}"),
+            Inst::Sys { op, arg } => write!(f, "sys {op:?}, {arg}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn control_flow_classification() {
+        assert!(Inst::Ret.is_control_flow());
+        assert!(Inst::Jump { offset: 0 }.is_control_flow());
+        assert!(!Inst::Nop.is_control_flow());
+        assert!(Inst::CallTar.is_call());
+        assert!(Inst::JumpMem { addr: Addr::pc_rel(8) }.is_indirect());
+        assert!(!Inst::Call { offset: 16 }.is_indirect());
+    }
+
+    #[test]
+    fn fall_through() {
+        assert!(!Inst::Jump { offset: 4 }.falls_through());
+        assert!(Inst::JumpCond { cond: Cond::Eq, offset: 4 }.falls_through());
+        assert!(Inst::Call { offset: 4 }.falls_through());
+        assert!(!Inst::Ret.falls_through());
+    }
+
+    #[test]
+    fn def_use() {
+        let i = Inst::Alu { op: AluOp::Add, dst: Reg(1), a: Reg(2), b: Reg(3) };
+        assert_eq!(i.def_reg(), Some(Reg(1)));
+        assert_eq!(i.use_regs(), vec![Reg(2), Reg(3)]);
+
+        let s = Inst::Store {
+            src: Reg(5),
+            addr: Addr::base_index(Reg(6), Reg(7), 8),
+            width: Width::W8,
+        };
+        assert_eq!(s.def_reg(), None);
+        assert_eq!(s.use_regs(), vec![Reg(5), Reg(6), Reg(7)]);
+    }
+
+    #[test]
+    fn alu_eval() {
+        assert_eq!(AluOp::Add.eval(3, 4), 7);
+        assert_eq!(AluOp::Sub.eval(3, 4), -1);
+        assert_eq!(AluOp::Shl.eval(1, 12), 4096);
+        assert_eq!(AluOp::Shr.eval(-1, 63), 1);
+        assert_eq!(AluOp::Mul.eval(i64::MAX, 2), -2); // wrapping
+    }
+
+    #[test]
+    fn addr_display() {
+        assert_eq!(Addr::pc_rel(16).to_string(), "[pc+0x10]");
+        assert_eq!(Addr::base_disp(Reg(4), -8).to_string(), "[r4 -0x8]");
+        assert_eq!(Addr::base_index(Reg(1), Reg(2), 8).to_string(), "[r1 + r2*8]");
+    }
+}

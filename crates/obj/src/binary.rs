@@ -1,0 +1,452 @@
+//! The [`Binary`] container tying sections, symbols, relocations and
+//! metadata together.
+
+use crate::pclntab::GoFuncTable;
+use crate::reloc::{RelocKind, Relocation};
+use crate::section::{names, Section, SectionKind};
+use crate::symbol::{Language, Symbol, SymbolKind};
+use crate::unwind::UnwindTable;
+use icfgp_isa::Arch;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Executable or shared library.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BinaryKind {
+    /// A main executable with an entry point.
+    Exec,
+    /// A shared library (always position independent).
+    SharedLib,
+}
+
+/// Binary-level metadata: which language features and relocation
+/// classes are present. These flags gate which rewriters can process
+/// the binary at all (Table 1 of the paper).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Metadata {
+    /// Position-independent (loader may rebase; RELATIVE relocations
+    /// describe every absolute address slot).
+    pub pie: bool,
+    /// Link-time relocations were retained (`-Wl,-q`); BOLT-style
+    /// function reordering requires this.
+    pub has_link_time_relocs: bool,
+    /// Symbol-versioning metadata is present (common in C++/Rust
+    /// shared libraries; Egalito-style IR lowering chokes on it).
+    pub has_symbol_versioning: bool,
+    /// Languages present in the binary.
+    pub languages: BTreeSet<Language>,
+    /// Symbol names were stripped.
+    pub stripped: bool,
+}
+
+impl Metadata {
+    /// Whether any compilation unit uses C++-style exceptions.
+    #[must_use]
+    pub fn has_exceptions(&self) -> bool {
+        self.languages.contains(&Language::Cpp) || self.languages.contains(&Language::Rust)
+    }
+
+    /// Whether the binary embeds a Go runtime (in-binary traceback).
+    #[must_use]
+    pub fn has_go_runtime(&self) -> bool {
+        self.languages.contains(&Language::Go)
+    }
+}
+
+/// Errors from [`Binary`] consistency operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)] // fields are named self-descriptively and shown by Display
+pub enum ObjError {
+    /// Two allocated sections overlap in the address space.
+    OverlappingSections { a: String, b: String },
+    /// A read or write touched an address no section maps.
+    Unmapped { addr: u64 },
+    /// A named section does not exist.
+    NoSuchSection { name: String },
+}
+
+impl fmt::Display for ObjError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObjError::OverlappingSections { a, b } => {
+                write!(f, "sections {a} and {b} overlap")
+            }
+            ObjError::Unmapped { addr } => write!(f, "address {addr:#x} is not mapped"),
+            ObjError::NoSuchSection { name } => write!(f, "no section named {name}"),
+        }
+    }
+}
+
+impl std::error::Error for ObjError {}
+
+/// A complete binary: the rewriter's input and output type.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Binary {
+    /// Target architecture.
+    pub arch: Arch,
+    /// Executable or shared library.
+    pub kind: BinaryKind,
+    /// Entry-point address (link-time); meaningless for libraries.
+    pub entry: u64,
+    /// Sections, in insertion order.
+    sections: Vec<Section>,
+    /// Symbols, kept sorted by address.
+    symbols: Vec<Symbol>,
+    /// Relocation records (`.rela_dyn` analog plus retained link-time
+    /// relocations).
+    pub relocations: Vec<Relocation>,
+    /// DWARF-style unwind table (`.eh_frame` analog).
+    pub unwind: UnwindTable,
+    /// Go-style function table, when the binary embeds a Go runtime.
+    pub pclntab: Option<GoFuncTable>,
+    /// Feature metadata.
+    pub meta: Metadata,
+    /// ppc64le TOC anchor (link-time value the loader materialises into
+    /// `r2`, plus load bias). `None` on other architectures.
+    pub toc_base: Option<u64>,
+}
+
+impl Binary {
+    /// An empty binary for `arch`.
+    #[must_use]
+    pub fn new(arch: Arch) -> Binary {
+        Binary {
+            arch,
+            kind: BinaryKind::Exec,
+            entry: 0,
+            sections: Vec::new(),
+            symbols: Vec::new(),
+            relocations: Vec::new(),
+            unwind: UnwindTable::new(),
+            pclntab: None,
+            meta: Metadata::default(),
+            toc_base: None,
+        }
+    }
+
+    // ----- sections ------------------------------------------------
+
+    /// Append a section.
+    pub fn add_section(&mut self, section: Section) {
+        self.sections.push(section);
+    }
+
+    /// All sections.
+    #[must_use]
+    pub fn sections(&self) -> &[Section] {
+        &self.sections
+    }
+
+    /// Mutable access to all sections.
+    pub fn sections_mut(&mut self) -> &mut Vec<Section> {
+        &mut self.sections
+    }
+
+    /// Find a section by name.
+    #[must_use]
+    pub fn section(&self, name: &str) -> Option<&Section> {
+        self.sections.iter().find(|s| s.name() == name)
+    }
+
+    /// Find a section by name, mutably.
+    pub fn section_mut(&mut self, name: &str) -> Option<&mut Section> {
+        self.sections.iter_mut().find(|s| s.name() == name)
+    }
+
+    /// Find the section containing `addr`.
+    #[must_use]
+    pub fn section_at(&self, addr: u64) -> Option<&Section> {
+        self.sections.iter().find(|s| s.contains(addr))
+    }
+
+    /// Find the section containing `addr`, mutably.
+    pub fn section_at_mut(&mut self, addr: u64) -> Option<&mut Section> {
+        self.sections.iter_mut().find(|s| s.contains(addr))
+    }
+
+    /// Read `len` bytes at a virtual address, crossing no section
+    /// boundary.
+    ///
+    /// # Errors
+    ///
+    /// [`ObjError::Unmapped`] when the range is not fully inside one
+    /// section.
+    pub fn read(&self, addr: u64, len: usize) -> Result<&[u8], ObjError> {
+        self.section_at(addr)
+            .and_then(|s| s.read(addr, len))
+            .ok_or(ObjError::Unmapped { addr })
+    }
+
+    /// Read a little-endian u64 at a virtual address.
+    ///
+    /// # Errors
+    ///
+    /// [`ObjError::Unmapped`] when the range is not mapped.
+    pub fn read_u64(&self, addr: u64) -> Result<u64, ObjError> {
+        let b = self.read(addr, 8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    /// Overwrite bytes at a virtual address.
+    ///
+    /// # Errors
+    ///
+    /// [`ObjError::Unmapped`] when the range is not fully inside one
+    /// section.
+    pub fn write(&mut self, addr: u64, bytes: &[u8]) -> Result<(), ObjError> {
+        let sec = self.section_at_mut(addr).ok_or(ObjError::Unmapped { addr })?;
+        if sec.write(addr, bytes) {
+            Ok(())
+        } else {
+            Err(ObjError::Unmapped { addr })
+        }
+    }
+
+    /// Write a little-endian u64 at a virtual address.
+    ///
+    /// # Errors
+    ///
+    /// [`ObjError::Unmapped`] when the range is not mapped.
+    pub fn write_u64(&mut self, addr: u64, value: u64) -> Result<(), ObjError> {
+        self.write(addr, &value.to_le_bytes())
+    }
+
+    /// Highest one-past-the-end address of any section (where new
+    /// sections get appended).
+    #[must_use]
+    pub fn address_space_end(&self) -> u64 {
+        self.sections.iter().map(Section::end).max().unwrap_or(0)
+    }
+
+    /// Sum of allocated section sizes — what binutils' `size` reports.
+    /// The paper's "size increase" columns compare this before/after
+    /// rewriting.
+    #[must_use]
+    pub fn loaded_size(&self) -> u64 {
+        self.sections
+            .iter()
+            .filter(|s| s.flags().alloc)
+            .map(|s| s.len() as u64)
+            .sum()
+    }
+
+    /// Verify that no two allocated sections overlap.
+    ///
+    /// # Errors
+    ///
+    /// [`ObjError::OverlappingSections`] naming the first offending
+    /// pair.
+    pub fn validate_layout(&self) -> Result<(), ObjError> {
+        let mut ranges: Vec<&Section> =
+            self.sections.iter().filter(|s| s.flags().alloc && !s.is_empty()).collect();
+        ranges.sort_by_key(|s| s.addr());
+        for w in ranges.windows(2) {
+            if w[0].end() > w[1].addr() {
+                return Err(ObjError::OverlappingSections {
+                    a: w[0].name().to_string(),
+                    b: w[1].name().to_string(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    // ----- symbols --------------------------------------------------
+
+    /// Add a symbol (kept sorted by address).
+    pub fn add_symbol(&mut self, symbol: Symbol) {
+        let pos = self.symbols.partition_point(|s| s.addr < symbol.addr);
+        self.symbols.insert(pos, symbol);
+    }
+
+    /// All symbols, sorted by address.
+    #[must_use]
+    pub fn symbols(&self) -> &[Symbol] {
+        &self.symbols
+    }
+
+    /// Mutable access to the symbols (callers must preserve ordering).
+    pub fn symbols_mut(&mut self) -> &mut Vec<Symbol> {
+        &mut self.symbols
+    }
+
+    /// Function symbols, sorted by address.
+    pub fn functions(&self) -> impl Iterator<Item = &Symbol> {
+        self.symbols.iter().filter(|s| s.kind == SymbolKind::Func)
+    }
+
+    /// The function symbol whose range contains `addr`.
+    #[must_use]
+    pub fn function_at(&self, addr: u64) -> Option<&Symbol> {
+        let pos = self.symbols.partition_point(|s| s.addr <= addr);
+        self.symbols[..pos]
+            .iter()
+            .rev()
+            .find(|s| s.kind == SymbolKind::Func && s.contains(addr))
+    }
+
+    /// The function symbol starting exactly at `addr`.
+    #[must_use]
+    pub fn function_starting_at(&self, addr: u64) -> Option<&Symbol> {
+        self.symbols
+            .iter()
+            .find(|s| s.kind == SymbolKind::Func && s.addr == addr)
+    }
+
+    /// Look up a function by name.
+    #[must_use]
+    pub fn function_named(&self, name: &str) -> Option<&Symbol> {
+        self.symbols
+            .iter()
+            .find(|s| s.kind == SymbolKind::Func && s.name == name)
+    }
+
+    // ----- relocations ----------------------------------------------
+
+    /// Run-time (RELATIVE) relocations.
+    pub fn runtime_relocations(&self) -> impl Iterator<Item = &Relocation> {
+        self.relocations.iter().filter(|r| r.kind == RelocKind::Relative)
+    }
+
+    /// Whether an address is the site of a RELATIVE relocation.
+    #[must_use]
+    pub fn relocation_at(&self, addr: u64) -> Option<&Relocation> {
+        self.relocations.iter().find(|r| r.at == addr)
+    }
+
+    // ----- convenience ----------------------------------------------
+
+    /// The `.text` section.
+    ///
+    /// # Errors
+    ///
+    /// [`ObjError::NoSuchSection`] when the binary has no `.text`.
+    pub fn text(&self) -> Result<&Section, ObjError> {
+        self.section(names::TEXT)
+            .ok_or_else(|| ObjError::NoSuchSection { name: names::TEXT.to_string() })
+    }
+
+    /// Sections retired to scratch space (renamed originals).
+    pub fn scratch_sections(&self) -> impl Iterator<Item = &Section> {
+        self.sections.iter().filter(|s| s.kind() == SectionKind::Scratch)
+    }
+
+    /// Whether the binary actually *uses* exception handling: some
+    /// unwind entry has call sites with landing pads. (Presence of C++
+    /// code alone does not imply exception use.)
+    #[must_use]
+    pub fn uses_exceptions(&self) -> bool {
+        self.unwind.entries().iter().any(|e| !e.call_sites.is_empty())
+    }
+
+    /// A one-line-per-section layout dump (used by the Figure 1
+    /// regeneration binary).
+    #[must_use]
+    pub fn layout_dump(&self) -> String {
+        let mut sorted: Vec<&Section> = self.sections.iter().collect();
+        sorted.sort_by_key(|s| s.addr());
+        let mut out = String::new();
+        for s in sorted {
+            out.push_str(&s.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::section::SectionFlags;
+
+    fn bin() -> Binary {
+        let mut b = Binary::new(Arch::X64);
+        b.add_section(Section::new(
+            names::TEXT,
+            0x1000,
+            vec![0; 0x100],
+            SectionFlags::exec(),
+            SectionKind::Text,
+        ));
+        b.add_section(Section::new(
+            names::RODATA,
+            0x2000,
+            vec![0; 0x80],
+            SectionFlags::ro(),
+            SectionKind::ReadOnlyData,
+        ));
+        b.add_symbol(Symbol::func("b", 0x1080, 0x80, Language::C));
+        b.add_symbol(Symbol::func("a", 0x1000, 0x80, Language::C));
+        b
+    }
+
+    #[test]
+    fn symbols_stay_sorted() {
+        let b = bin();
+        let names: Vec<&str> = b.functions().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["a", "b"]);
+    }
+
+    #[test]
+    fn function_lookup() {
+        let b = bin();
+        assert_eq!(b.function_at(0x1000).unwrap().name, "a");
+        assert_eq!(b.function_at(0x10FF).unwrap().name, "b");
+        assert!(b.function_at(0x1100).is_none());
+        assert_eq!(b.function_starting_at(0x1080).unwrap().name, "b");
+        assert!(b.function_starting_at(0x1081).is_none());
+        assert_eq!(b.function_named("b").unwrap().addr, 0x1080);
+    }
+
+    #[test]
+    fn read_write_u64() {
+        let mut b = bin();
+        b.write_u64(0x2000, 0xDEAD_BEEF).unwrap();
+        assert_eq!(b.read_u64(0x2000).unwrap(), 0xDEAD_BEEF);
+        assert!(b.read_u64(0x3000).is_err());
+        // Cross-section reads are rejected.
+        assert!(b.read(0x10FC, 8).is_err());
+    }
+
+    #[test]
+    fn loaded_size_counts_alloc_only() {
+        let mut b = bin();
+        assert_eq!(b.loaded_size(), 0x180);
+        b.add_section(Section::new(
+            ".debug",
+            0x9000,
+            vec![0; 0x1000],
+            SectionFlags::unloaded(),
+            SectionKind::ReadOnlyData,
+        ));
+        assert_eq!(b.loaded_size(), 0x180);
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let mut b = bin();
+        assert!(b.validate_layout().is_ok());
+        b.add_section(Section::new(
+            ".bad",
+            0x1080,
+            vec![0; 0x10],
+            SectionFlags::ro(),
+            SectionKind::Data,
+        ));
+        assert!(matches!(
+            b.validate_layout(),
+            Err(ObjError::OverlappingSections { .. })
+        ));
+    }
+
+    #[test]
+    fn metadata_feature_queries() {
+        let mut m = Metadata::default();
+        assert!(!m.has_exceptions());
+        m.languages.insert(Language::Rust);
+        assert!(m.has_exceptions());
+        m.languages.insert(Language::Go);
+        assert!(m.has_go_runtime());
+    }
+}

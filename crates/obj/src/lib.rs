@@ -1,0 +1,55 @@
+#![warn(missing_docs)]
+//! The binary container: an ELF-shaped object model for the synthetic
+//! architectures.
+//!
+//! A [`Binary`] holds the structural features the paper's rewriter
+//! manipulates:
+//!
+//! * [`Section`]s (`.text`, `.rodata`, `.data`, `.dynsym`, `.dynstr`,
+//!   `.rela_dyn`, and — after rewriting — `.instr`, `.ra_map`,
+//!   `.trap_map` and renamed originals);
+//! * function [`Symbol`]s with sizes and per-function attributes;
+//! * [`Relocation`]s (RELATIVE slots that the loader rebases for PIE);
+//! * a DWARF-style [`UnwindTable`] (`.eh_frame` analog) that rewriting
+//!   deliberately leaves untouched — runtime RA translation exists so
+//!   that the *original* unwind data keeps working;
+//! * an optional Go-style function table ([`GoFuncTable`], the
+//!   `.pclntab` analog) for binaries whose language runtime walks its
+//!   own stack;
+//! * [`Metadata`] recording language features and which relocation
+//!   classes survive in the binary (link-time relocations are normally
+//!   stripped — the BOLT comparison hinges on this).
+//!
+//! # Example
+//!
+//! ```
+//! use icfgp_obj::{Binary, Section, SectionFlags, SectionKind};
+//! use icfgp_isa::Arch;
+//!
+//! let mut bin = Binary::new(Arch::X64);
+//! bin.add_section(Section::new(
+//!     ".text",
+//!     0x40_0000,
+//!     vec![0u8; 64],
+//!     SectionFlags::exec(),
+//!     SectionKind::Text,
+//! ));
+//! assert_eq!(bin.loaded_size(), 64);
+//! assert!(bin.section(".text").is_some());
+//! ```
+
+mod binary;
+mod maps;
+mod pclntab;
+mod reloc;
+mod section;
+mod symbol;
+mod unwind;
+
+pub use binary::{Binary, BinaryKind, Metadata, ObjError};
+pub use maps::{RaMap, TrapMap};
+pub use pclntab::{GoFuncEntry, GoFuncTable};
+pub use reloc::{RelocKind, Relocation};
+pub use section::{names, Section, SectionFlags, SectionKind};
+pub use symbol::{Language, Symbol, SymbolAttrs, SymbolKind};
+pub use unwind::{CallSiteEntry, RaRule, UnwindEntry, UnwindTable};

@@ -1,0 +1,201 @@
+//! Rewriter-emitted runtime maps: `.ra_map` and `.trap_map`.
+//!
+//! Both are sorted key→value tables of link-time addresses serialised
+//! as `count: u64` followed by `(key: u64, value: u64)` pairs. The
+//! runtime library (modelled inside the emulator) parses them at load
+//! time:
+//!
+//! * [`RaMap`] — relocated return address (in `.instr`) → original
+//!   return address (in `.text`). Consulted once per frame step during
+//!   unwinding (§6, "Runtime Return Address Translation").
+//! * [`TrapMap`] — trap-trampoline address (in `.text`) → relocated
+//!   target (in `.instr`). Consulted by the trap-signal handler.
+
+use serde::{Deserialize, Serialize};
+
+/// A sorted address→address table.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AddrMap {
+    pairs: Vec<(u64, u64)>,
+}
+
+impl AddrMap {
+    fn push(&mut self, key: u64, value: u64) {
+        let pos = self.pairs.partition_point(|(k, _)| *k < key);
+        self.pairs.insert(pos, (key, value));
+    }
+
+    fn get(&self, key: u64) -> Option<u64> {
+        self.pairs
+            .binary_search_by_key(&key, |(k, _)| *k)
+            .ok()
+            .map(|i| self.pairs[i].1)
+    }
+
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + self.pairs.len() * 16);
+        out.extend_from_slice(&(self.pairs.len() as u64).to_le_bytes());
+        for (k, v) in &self.pairs {
+            out.extend_from_slice(&k.to_le_bytes());
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out
+    }
+
+    fn from_bytes(bytes: &[u8]) -> Option<AddrMap> {
+        let count = u64::from_le_bytes(bytes.get(..8)?.try_into().ok()?) as usize;
+        let mut map = AddrMap::default();
+        for i in 0..count {
+            let off = 8 + i * 16;
+            let chunk = bytes.get(off..off + 16)?;
+            let k = u64::from_le_bytes(chunk[..8].try_into().expect("8 bytes"));
+            let v = u64::from_le_bytes(chunk[8..].try_into().expect("8 bytes"));
+            map.push(k, v);
+        }
+        Some(map)
+    }
+}
+
+/// Relocated→original return-address map (`.ra_map` contents).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RaMap(AddrMap);
+
+impl RaMap {
+    /// An empty map.
+    #[must_use]
+    pub fn new() -> RaMap {
+        RaMap::default()
+    }
+
+    /// Record that the relocated call at return address `relocated`
+    /// corresponds to original return address `original`.
+    pub fn insert(&mut self, relocated: u64, original: u64) {
+        self.0.push(relocated, original);
+    }
+
+    /// Translate a relocated return address; `None` when the address is
+    /// not a recorded relocated call site (the caller then passes the
+    /// input through unchanged, which is how unwinding through
+    /// uninstrumented binaries keeps working).
+    #[must_use]
+    pub fn translate(&self, relocated: u64) -> Option<u64> {
+        self.0.get(relocated)
+    }
+
+    /// Number of recorded pairs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.0.pairs.len()
+    }
+
+    /// Whether the map is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.0.pairs.is_empty()
+    }
+
+    /// Serialise to the `.ra_map` section layout.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.0.to_bytes()
+    }
+
+    /// Parse the `.ra_map` section layout.
+    #[must_use]
+    pub fn from_bytes(bytes: &[u8]) -> Option<RaMap> {
+        AddrMap::from_bytes(bytes).map(RaMap)
+    }
+}
+
+/// Trap-trampoline→target map (`.trap_map` contents).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrapMap(AddrMap);
+
+impl TrapMap {
+    /// An empty map.
+    #[must_use]
+    pub fn new() -> TrapMap {
+        TrapMap::default()
+    }
+
+    /// Record that the trap instruction at `trap_addr` transfers to
+    /// `target`.
+    pub fn insert(&mut self, trap_addr: u64, target: u64) {
+        self.0.push(trap_addr, target);
+    }
+
+    /// Target for a trap at `trap_addr`; `None` means the trap is not
+    /// one of ours and the program genuinely crashed.
+    #[must_use]
+    pub fn target(&self, trap_addr: u64) -> Option<u64> {
+        self.0.get(trap_addr)
+    }
+
+    /// Number of trap trampolines.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.0.pairs.len()
+    }
+
+    /// Whether the map is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.0.pairs.is_empty()
+    }
+
+    /// Serialise to the `.trap_map` section layout.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.0.to_bytes()
+    }
+
+    /// Parse the `.trap_map` section layout.
+    #[must_use]
+    pub fn from_bytes(bytes: &[u8]) -> Option<TrapMap> {
+        AddrMap::from_bytes(bytes).map(TrapMap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ra_map_roundtrip_and_lookup() {
+        let mut m = RaMap::new();
+        m.insert(0x9000, 0x1000);
+        m.insert(0x8000, 0x1100);
+        assert_eq!(m.translate(0x9000), Some(0x1000));
+        assert_eq!(m.translate(0x8000), Some(0x1100));
+        assert_eq!(m.translate(0x7000), None);
+        let rt = RaMap::from_bytes(&m.to_bytes()).unwrap();
+        assert_eq!(rt, m);
+        assert_eq!(rt.len(), 2);
+    }
+
+    #[test]
+    fn trap_map_roundtrip_and_lookup() {
+        let mut m = TrapMap::new();
+        m.insert(0x1004, 0x9004);
+        assert_eq!(m.target(0x1004), Some(0x9004));
+        assert_eq!(m.target(0x1005), None);
+        assert_eq!(TrapMap::from_bytes(&m.to_bytes()).unwrap(), m);
+    }
+
+    #[test]
+    fn empty_map_serialises() {
+        let m = RaMap::new();
+        assert!(m.is_empty());
+        let bytes = m.to_bytes();
+        assert_eq!(bytes.len(), 8);
+        assert_eq!(RaMap::from_bytes(&bytes).unwrap(), m);
+    }
+
+    #[test]
+    fn truncated_bytes_rejected() {
+        let mut m = TrapMap::new();
+        m.insert(1, 2);
+        let bytes = m.to_bytes();
+        assert!(TrapMap::from_bytes(&bytes[..bytes.len() - 1]).is_none());
+    }
+}

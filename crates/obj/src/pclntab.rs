@@ -1,0 +1,174 @@
+//! Go-style function table (`.pclntab` analog).
+//!
+//! Go binaries carry a table mapping PC ranges to function metadata;
+//! the runtime's traceback code (`runtime.findfunc`, `runtime.pcvalue`)
+//! walks it when scanning stacks for garbage collection or panics. The
+//! table is *data consumed by guest code*, so its byte layout matters:
+//! workload generators serialise it into `.data`, and the generated
+//! `findfunc` routine reads it with ordinary loads.
+//!
+//! Layout: `count: u64` followed by 32-byte entries
+//! `{ start: u64, end: u64, func_id: u64, frame_size: u64 }`.
+//! In PIE binaries the `start`/`end` words carry RELATIVE relocations.
+
+use serde::{Deserialize, Serialize};
+
+/// One function's entry in the Go-style table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GoFuncEntry {
+    /// Function start address (link-time).
+    pub start: u64,
+    /// One-past-the-end address.
+    pub end: u64,
+    /// Stable function identifier reported by `findfunc`.
+    pub func_id: u64,
+    /// Frame size the traceback walker uses to step to the caller.
+    pub frame_size: u64,
+}
+
+/// The whole table, sorted by start address.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GoFuncTable {
+    entries: Vec<GoFuncEntry>,
+}
+
+/// Size in bytes of one serialised entry.
+pub const ENTRY_SIZE: usize = 32;
+
+impl GoFuncTable {
+    /// An empty table.
+    #[must_use]
+    pub fn new() -> GoFuncTable {
+        GoFuncTable::default()
+    }
+
+    /// Add an entry (keeps the table sorted by start address).
+    pub fn push(&mut self, entry: GoFuncEntry) {
+        let pos = self.entries.partition_point(|e| e.start < entry.start);
+        self.entries.insert(pos, entry);
+    }
+
+    /// Look up the function containing `pc` (the `findfunc` semantic).
+    #[must_use]
+    pub fn find(&self, pc: u64) -> Option<&GoFuncEntry> {
+        let pos = self.entries.partition_point(|e| e.start <= pc);
+        let e = self.entries.get(pos.checked_sub(1)?)?;
+        (pc < e.end).then_some(e)
+    }
+
+    /// All entries.
+    #[must_use]
+    pub fn entries(&self) -> &[GoFuncEntry] {
+        &self.entries
+    }
+
+    /// Number of entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Serialise into the in-memory layout guest code reads.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + self.entries.len() * ENTRY_SIZE);
+        out.extend_from_slice(&(self.entries.len() as u64).to_le_bytes());
+        for e in &self.entries {
+            out.extend_from_slice(&e.start.to_le_bytes());
+            out.extend_from_slice(&e.end.to_le_bytes());
+            out.extend_from_slice(&e.func_id.to_le_bytes());
+            out.extend_from_slice(&e.frame_size.to_le_bytes());
+        }
+        out
+    }
+
+    /// Parse the in-memory layout back into a table.
+    ///
+    /// Returns `None` for malformed input.
+    #[must_use]
+    pub fn from_bytes(bytes: &[u8]) -> Option<GoFuncTable> {
+        let count = u64::from_le_bytes(bytes.get(..8)?.try_into().ok()?) as usize;
+        let mut table = GoFuncTable::new();
+        for i in 0..count {
+            let off = 8 + i * ENTRY_SIZE;
+            let chunk = bytes.get(off..off + ENTRY_SIZE)?;
+            let word = |j: usize| {
+                u64::from_le_bytes(chunk[j * 8..(j + 1) * 8].try_into().expect("8-byte slice"))
+            };
+            table.push(GoFuncEntry {
+                start: word(0),
+                end: word(1),
+                func_id: word(2),
+                frame_size: word(3),
+            });
+        }
+        Some(table)
+    }
+
+    /// Byte offsets (within the serialised form) of every word that
+    /// holds an address and therefore needs a RELATIVE relocation in
+    /// PIE binaries: the `start` and `end` fields of each entry.
+    #[must_use]
+    pub fn address_slot_offsets(&self) -> Vec<(usize, u64)> {
+        let mut out = Vec::with_capacity(self.entries.len() * 2);
+        for (i, e) in self.entries.iter().enumerate() {
+            let base = 8 + i * ENTRY_SIZE;
+            out.push((base, e.start));
+            out.push((base + 8, e.end));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> GoFuncTable {
+        let mut t = GoFuncTable::new();
+        t.push(GoFuncEntry { start: 0x2000, end: 0x2100, func_id: 2, frame_size: 48 });
+        t.push(GoFuncEntry { start: 0x1000, end: 0x1080, func_id: 1, frame_size: 32 });
+        t
+    }
+
+    #[test]
+    fn find_semantics() {
+        let t = table();
+        assert_eq!(t.find(0x1000).unwrap().func_id, 1);
+        assert_eq!(t.find(0x107F).unwrap().func_id, 1);
+        assert!(t.find(0x1080).is_none()); // gap between functions
+        assert_eq!(t.find(0x2050).unwrap().func_id, 2);
+        assert!(t.find(0x2100).is_none());
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let t = table();
+        let bytes = t.to_bytes();
+        assert_eq!(bytes.len(), 8 + 2 * ENTRY_SIZE);
+        let parsed = GoFuncTable::from_bytes(&bytes).unwrap();
+        assert_eq!(parsed, t);
+    }
+
+    #[test]
+    fn relocation_slots() {
+        let t = table();
+        let slots = t.address_slot_offsets();
+        assert_eq!(slots.len(), 4);
+        assert_eq!(slots[0], (8, 0x1000));
+        assert_eq!(slots[1], (16, 0x1080));
+    }
+
+    #[test]
+    fn malformed_bytes_rejected() {
+        assert!(GoFuncTable::from_bytes(&[1, 0, 0]).is_none());
+        // Claims one entry but provides no entry bytes.
+        assert!(GoFuncTable::from_bytes(&1u64.to_le_bytes()).is_none());
+    }
+}

@@ -1,0 +1,62 @@
+//! Relocation records.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Relocation classes the paper's related work distinguishes (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RelocKind {
+    /// Run-time RELATIVE relocation: the loader writes
+    /// `load_base + addend` into the 8-byte slot at `at`. Present in
+    /// PIE binaries; Egalito/RetroWrite-style IR lowering *requires*
+    /// these, our rewriter merely exploits them when present.
+    Relative,
+    /// Link-time relocation retained via `-Wl,-q`. Normally stripped;
+    /// BOLT requires them for function reordering.
+    LinkTime,
+}
+
+/// One relocation record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Relocation {
+    /// Virtual address of the 8-byte slot being relocated.
+    pub at: u64,
+    /// Link-time target value (an address within the binary).
+    pub addend: u64,
+    /// Relocation class.
+    pub kind: RelocKind,
+}
+
+impl Relocation {
+    /// A run-time RELATIVE relocation.
+    #[must_use]
+    pub fn relative(at: u64, addend: u64) -> Relocation {
+        Relocation { at, addend, kind: RelocKind::Relative }
+    }
+
+    /// A link-time relocation.
+    #[must_use]
+    pub fn link_time(at: u64, addend: u64) -> Relocation {
+        Relocation { at, addend, kind: RelocKind::LinkTime }
+    }
+}
+
+impl fmt::Display for Relocation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#010x}: R_{:?} {:#x}", self.at, self.kind, self.addend)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let r = Relocation::relative(0x3000, 0x1000);
+        assert_eq!(r.kind, RelocKind::Relative);
+        let l = Relocation::link_time(0x3000, 0x1000);
+        assert_eq!(l.kind, RelocKind::LinkTime);
+        assert!(r.to_string().contains("R_Relative"));
+    }
+}

@@ -1,0 +1,138 @@
+//! Symbols: named address ranges, mainly functions.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Source language a function was (notionally) compiled from. Drives
+/// which language-runtime features the emulator exercises and which
+/// failure modes baseline rewriters hit.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum Language {
+    /// Plain C: no unwinding requirements.
+    C,
+    /// C++: may throw/catch exceptions through the DWARF-style unwinder.
+    Cpp,
+    /// Fortran: computed gotos but no unwinding requirements.
+    Fortran,
+    /// Rust: like C++ for unwinding purposes, plus symbol versioning.
+    Rust,
+    /// Go: the language runtime itself walks the stack (traceback).
+    Go,
+}
+
+/// What a symbol names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SymbolKind {
+    /// A function (an instrumentation unit for the rewriter).
+    Func,
+    /// A data object.
+    Object,
+}
+
+/// Per-function attributes that analyses and the emulator consult.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SymbolAttrs {
+    /// Function may participate in C++-style exception handling
+    /// (has unwind call-site entries with landing pads).
+    pub has_eh: bool,
+    /// Registered in `.fini_array` (runs during finalization; the
+    /// Firefox experiment's `dir`-mode failure involves trap
+    /// trampolines in such functions).
+    pub is_finalizer: bool,
+    /// Part of the Go runtime's traceback machinery
+    /// (`runtime.findfunc` / `runtime.pcvalue` analogs); the rewriter
+    /// instruments these entries with RA translation.
+    pub is_go_traceback: bool,
+}
+
+/// A named address range in the binary.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Symbol {
+    /// Symbol name; empty for stripped locals.
+    pub name: String,
+    /// Start virtual address (link-time).
+    pub addr: u64,
+    /// Size in bytes.
+    pub size: u64,
+    /// Kind of entity named.
+    pub kind: SymbolKind,
+    /// Source language of the defining compilation unit.
+    pub language: Language,
+    /// Extra per-function attributes.
+    pub attrs: SymbolAttrs,
+}
+
+impl Symbol {
+    /// Construct a function symbol.
+    #[must_use]
+    pub fn func(name: impl Into<String>, addr: u64, size: u64, language: Language) -> Symbol {
+        Symbol {
+            name: name.into(),
+            addr,
+            size,
+            kind: SymbolKind::Func,
+            language,
+            attrs: SymbolAttrs::default(),
+        }
+    }
+
+    /// Construct a data-object symbol.
+    #[must_use]
+    pub fn object(name: impl Into<String>, addr: u64, size: u64) -> Symbol {
+        Symbol {
+            name: name.into(),
+            addr,
+            size,
+            kind: SymbolKind::Object,
+            language: Language::C,
+            attrs: SymbolAttrs::default(),
+        }
+    }
+
+    /// One-past-the-end address.
+    #[must_use]
+    pub fn end(&self) -> u64 {
+        self.addr + self.size
+    }
+
+    /// Whether `addr` lies inside the symbol's range.
+    #[must_use]
+    pub fn contains(&self, addr: u64) -> bool {
+        addr >= self.addr && addr < self.end()
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:#010x}..{:#010x} {:?} {}",
+            self.addr,
+            self.end(),
+            self.kind,
+            if self.name.is_empty() { "<stripped>" } else { &self.name }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges() {
+        let s = Symbol::func("f", 0x1000, 0x40, Language::Cpp);
+        assert!(s.contains(0x1000));
+        assert!(s.contains(0x103F));
+        assert!(!s.contains(0x1040));
+        assert_eq!(s.end(), 0x1040);
+    }
+
+    #[test]
+    fn stripped_display() {
+        let s = Symbol::func("", 0x1000, 8, Language::C);
+        assert!(s.to_string().contains("<stripped>"));
+    }
+}

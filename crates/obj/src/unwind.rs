@@ -1,0 +1,164 @@
+//! The DWARF-style unwind table (`.eh_frame` analog).
+//!
+//! Rewriting leaves this table untouched: its ranges describe the
+//! *original* code layout. Runtime RA translation (§6 of the paper)
+//! maps relocated return addresses back to original ones *before* the
+//! unwinder consults this table, which is exactly why the table can
+//! stay unmodified.
+
+use serde::{Deserialize, Serialize};
+
+/// Where a frame's return address lives while the function is on the
+/// stack (post-prologue).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RaRule {
+    /// RISC leaf functions: the return address is still in `lr`.
+    LinkRegister,
+    /// The return address was stored at `sp + offset`.
+    StackSlot {
+        /// Byte offset from the frame's steady-state stack pointer.
+        offset: i64,
+    },
+}
+
+/// One exception call-site record (LSDA analog): calls within
+/// `[start, end)` whose exceptions this frame can catch resume at
+/// `landing_pad`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CallSiteEntry {
+    /// Start of the covered call-site range (link-time address).
+    pub start: u64,
+    /// One-past-the-end of the covered range.
+    pub end: u64,
+    /// Handler (catch-block) address control resumes at.
+    pub landing_pad: u64,
+}
+
+/// Unwind recipe for one function.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UnwindEntry {
+    /// Function start (link-time address).
+    pub start: u64,
+    /// One-past-the-end of the function.
+    pub end: u64,
+    /// Bytes the prologue subtracts from the stack pointer.
+    pub frame_size: u64,
+    /// Where the return address lives post-prologue.
+    pub ra: RaRule,
+    /// Exception call-site table; empty for functions that cannot
+    /// catch.
+    pub call_sites: Vec<CallSiteEntry>,
+}
+
+impl UnwindEntry {
+    /// Whether `pc` falls inside this function's range.
+    #[must_use]
+    pub fn contains(&self, pc: u64) -> bool {
+        pc >= self.start && pc < self.end
+    }
+
+    /// Landing pad for an exception raised while `pc` was the frame's
+    /// resume address, if this frame catches it.
+    #[must_use]
+    pub fn landing_pad_for(&self, pc: u64) -> Option<u64> {
+        self.call_sites
+            .iter()
+            .find(|cs| pc >= cs.start && pc < cs.end)
+            .map(|cs| cs.landing_pad)
+    }
+}
+
+/// The whole `.eh_frame` analog: per-function unwind recipes, sorted by
+/// start address.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UnwindTable {
+    entries: Vec<UnwindEntry>,
+}
+
+impl UnwindTable {
+    /// An empty table.
+    #[must_use]
+    pub fn new() -> UnwindTable {
+        UnwindTable::default()
+    }
+
+    /// Add an entry (keeps the table sorted by start address).
+    pub fn push(&mut self, entry: UnwindEntry) {
+        let pos = self.entries.partition_point(|e| e.start < entry.start);
+        self.entries.insert(pos, entry);
+    }
+
+    /// Look up the recipe covering `pc`.
+    ///
+    /// Returns `None` for a PC the table does not describe — for a
+    /// rewritten binary without RA translation this is precisely how
+    /// unwinding through `.instr` return addresses fails.
+    #[must_use]
+    pub fn lookup(&self, pc: u64) -> Option<&UnwindEntry> {
+        let pos = self.entries.partition_point(|e| e.start <= pc);
+        let e = self.entries.get(pos.checked_sub(1)?)?;
+        e.contains(pc).then_some(e)
+    }
+
+    /// All entries, sorted by start address.
+    #[must_use]
+    pub fn entries(&self) -> &[UnwindEntry] {
+        &self.entries
+    }
+
+    /// Number of entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(start: u64, end: u64) -> UnwindEntry {
+        UnwindEntry {
+            start,
+            end,
+            frame_size: 32,
+            ra: RaRule::StackSlot { offset: 24 },
+            call_sites: vec![],
+        }
+    }
+
+    #[test]
+    fn lookup_sorted_insertion() {
+        let mut t = UnwindTable::new();
+        t.push(entry(0x2000, 0x3000));
+        t.push(entry(0x1000, 0x2000));
+        assert_eq!(t.entries()[0].start, 0x1000);
+        assert_eq!(t.lookup(0x1FFF).unwrap().start, 0x1000);
+        assert_eq!(t.lookup(0x2000).unwrap().start, 0x2000);
+        assert!(t.lookup(0x3000).is_none());
+        assert!(t.lookup(0x0FFF).is_none());
+    }
+
+    #[test]
+    fn landing_pads() {
+        let mut e = entry(0x1000, 0x2000);
+        e.call_sites.push(CallSiteEntry { start: 0x1100, end: 0x1120, landing_pad: 0x1F00 });
+        assert_eq!(e.landing_pad_for(0x1105), Some(0x1F00));
+        assert_eq!(e.landing_pad_for(0x1120), None);
+        assert_eq!(e.landing_pad_for(0x1000), None);
+    }
+
+    #[test]
+    fn lookup_gap_between_entries() {
+        let mut t = UnwindTable::new();
+        t.push(entry(0x1000, 0x1100));
+        t.push(entry(0x2000, 0x2100));
+        assert!(t.lookup(0x1800).is_none());
+    }
+}

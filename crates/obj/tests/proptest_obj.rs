@@ -1,0 +1,127 @@
+//! Property tests for the binary container's data structures.
+
+use icfgp_obj::{
+    Binary, GoFuncEntry, GoFuncTable, RaMap, Section, SectionFlags, SectionKind, TrapMap,
+    UnwindEntry, UnwindTable,
+};
+use icfgp_isa::Arch;
+use icfgp_obj::RaRule;
+use proptest::prelude::*;
+
+proptest! {
+    /// RaMap serialisation round-trips and lookups agree with a naive
+    /// map for arbitrary pair sets.
+    #[test]
+    fn ra_map_roundtrip(pairs in proptest::collection::btree_map(any::<u64>(), any::<u64>(), 0..64)) {
+        let mut m = RaMap::new();
+        for (k, v) in &pairs {
+            m.insert(*k, *v);
+        }
+        let rt = RaMap::from_bytes(&m.to_bytes()).expect("roundtrip");
+        prop_assert_eq!(&rt, &m);
+        for (k, v) in &pairs {
+            prop_assert_eq!(m.translate(*k), Some(*v));
+        }
+        // A key absent from the input is absent from the map.
+        let probe = pairs.keys().copied().max().unwrap_or(0).wrapping_add(1);
+        if !pairs.contains_key(&probe) {
+            prop_assert_eq!(m.translate(probe), None);
+        }
+    }
+
+    #[test]
+    fn trap_map_roundtrip(pairs in proptest::collection::btree_map(any::<u64>(), any::<u64>(), 0..64)) {
+        let mut m = TrapMap::new();
+        for (k, v) in &pairs {
+            m.insert(*k, *v);
+        }
+        let rt = TrapMap::from_bytes(&m.to_bytes()).expect("roundtrip");
+        prop_assert_eq!(rt, m.clone());
+        for (k, v) in &pairs {
+            prop_assert_eq!(m.target(*k), Some(*v));
+        }
+    }
+
+    /// GoFuncTable `find` returns the entry whose [start, end) contains
+    /// the probe, for arbitrary non-overlapping range sets.
+    #[test]
+    fn go_table_find(starts in proptest::collection::btree_set(0u64..1_000_000, 1..32),
+                     probe in 0u64..1_100_000) {
+        let starts: Vec<u64> = starts.into_iter().collect();
+        let mut table = GoFuncTable::new();
+        let mut ranges = Vec::new();
+        for (i, w) in starts.windows(2).enumerate() {
+            let (s, next) = (w[0], w[1]);
+            let e = s + ((next - s) / 2).max(1);
+            table.push(GoFuncEntry { start: s, end: e, func_id: i as u64 + 1, frame_size: 32 });
+            ranges.push((s, e, i as u64 + 1));
+        }
+        let expected = ranges
+            .iter()
+            .find(|(s, e, _)| probe >= *s && probe < *e)
+            .map(|(_, _, id)| *id);
+        prop_assert_eq!(table.find(probe).map(|e| e.func_id), expected);
+        // Serialisation preserves semantics.
+        let rt = GoFuncTable::from_bytes(&table.to_bytes()).expect("roundtrip");
+        prop_assert_eq!(rt.find(probe).map(|e| e.func_id), expected);
+    }
+
+    /// UnwindTable lookup returns the covering entry for arbitrary
+    /// non-overlapping function ranges.
+    #[test]
+    fn unwind_lookup(starts in proptest::collection::btree_set(0u64..1_000_000, 2..32),
+                     probe in 0u64..1_100_000) {
+        let starts: Vec<u64> = starts.into_iter().collect();
+        let mut table = UnwindTable::new();
+        let mut ranges = Vec::new();
+        for w in starts.windows(2) {
+            let (s, next) = (w[0], w[1]);
+            let e = s + ((next - s) / 2).max(1);
+            table.push(UnwindEntry {
+                start: s,
+                end: e,
+                frame_size: 16,
+                ra: RaRule::StackSlot { offset: 8 },
+                call_sites: vec![],
+            });
+            ranges.push((s, e));
+        }
+        let expected = ranges.iter().find(|(s, e)| probe >= *s && probe < *e).map(|(s, _)| *s);
+        prop_assert_eq!(table.lookup(probe).map(|e| e.start), expected);
+    }
+
+    /// Section reads/writes are exact and bounds-checked.
+    #[test]
+    fn section_rw(addr in 0x1000u64..0x1100, len in 1usize..16, fill in any::<u8>()) {
+        let mut s = Section::new(
+            ".t",
+            0x1000,
+            vec![0; 0x100],
+            SectionFlags::rw(),
+            SectionKind::Data,
+        );
+        let bytes = vec![fill; len];
+        let fits = addr + len as u64 <= s.end();
+        prop_assert_eq!(s.write(addr, &bytes), fits);
+        if fits {
+            prop_assert_eq!(s.read(addr, len).unwrap(), &bytes[..]);
+        } else {
+            prop_assert!(s.read(addr, len).is_none());
+        }
+    }
+
+    /// Binary::read_u64/write_u64 round-trip anywhere inside a section.
+    #[test]
+    fn binary_u64_rw(off in 0u64..0xF8, v in any::<u64>()) {
+        let mut b = Binary::new(Arch::X64);
+        b.add_section(Section::new(
+            ".data",
+            0x2000,
+            vec![0; 0x100],
+            SectionFlags::rw(),
+            SectionKind::Data,
+        ));
+        b.write_u64(0x2000 + off, v).expect("in range");
+        prop_assert_eq!(b.read_u64(0x2000 + off).expect("readable"), v);
+    }
+}

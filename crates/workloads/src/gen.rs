@@ -1,0 +1,543 @@
+//! The deterministic program generator.
+//!
+//! # The generated ABI
+//!
+//! * arguments/returns in `r8`..`r11`, `r8` is the return value;
+//! * scratch registers `r9`..`r13` (never live across calls — callers
+//!   spill to their own frame around every call);
+//! * `r14`/`r15` are *instrumentation-reserved*: generated code never
+//!   touches them, so rewriter-emitted payloads and long-branch
+//!   sequences may clobber them freely;
+//! * frames are small (≤ 256 bytes) so RISC load/store displacements
+//!   always fit.
+
+use icfgp_asm::patterns::{
+    emit_indirect_call_via_stack, emit_indirect_tailcall, emit_switch, switch_table_item,
+    SwitchHardness, SwitchSpec,
+};
+use icfgp_asm::{
+    epilogue, prologue, BinaryBuilder, DataItem, EntryKind, FuncDef, Item, RefTarget, SectionSizes,
+    UnwindSpec,
+};
+use icfgp_isa::{Addr, AluOp, Arch, Cond, Inst, Reg, SysOp, Width};
+use icfgp_obj::{Binary, Language};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Which jump-table idiom a switch function uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwitchFlavor {
+    /// The architecture's default idiom (x64: 8-byte absolute in
+    /// `.rodata`; ppc64le: 8-byte absolute inline in `.text`; aarch64:
+    /// 1-byte scaled inline).
+    ArchDefault,
+    /// 4-byte table-relative entries in `.rodata` (position
+    /// independent; common under `-fPIC`).
+    Relative4,
+}
+
+/// Generator parameters. Everything is deterministic in `seed`.
+#[derive(Debug, Clone)]
+pub struct GenParams {
+    /// Workload name (becomes part of the report).
+    pub name: String,
+    /// RNG seed.
+    pub seed: u64,
+    /// Target architecture.
+    pub arch: Arch,
+    /// Position independent?
+    pub pie: bool,
+    /// Source languages to tag functions with (round-robin).
+    pub languages: Vec<Language>,
+    /// Leaf arithmetic kernels.
+    pub compute_funcs: usize,
+    /// Inner iterations of each kernel (hotness).
+    pub kernel_iters: u32,
+    /// Extra straight-line ALU instructions per kernel loop body
+    /// (inflates the hot-code footprint for i-cache experiments).
+    pub kernel_body: usize,
+    /// Switch/jump-table dispatch functions.
+    pub switch_funcs: usize,
+    /// Cases per switch.
+    pub switch_cases: usize,
+    /// Dispatches per call of each switch function (interpreter-style
+    /// hot dispatch loops; 1 = a single dispatch per call).
+    pub switch_inner_iters: u32,
+    /// Hardness classes assigned to switches, cycled.
+    pub switch_hardness: Vec<SwitchHardness>,
+    /// Table idiom.
+    pub switch_flavor: SwitchFlavor,
+    /// Function-pointer tables (vtable-style indirect call sites).
+    pub fnptr_tables: usize,
+    /// Methods per table.
+    pub fnptr_targets: usize,
+    /// Emit a C++-style try/throw/catch scenario.
+    pub exceptions: bool,
+    /// Throw on iterations where `arg % 16 == 0` (hot-path exceptions).
+    pub exception_rate: bool,
+    /// Emit an x64 indirect call through stack memory (the SRBI call
+    /// emulation bug trigger, §8.1).
+    pub stack_indirect_call: bool,
+    /// Tiny 2-byte functions called from the hot loop.
+    pub tiny_funcs: usize,
+    /// Frameless functions ending in indirect tail calls (the §5.1
+    /// gap-heuristic scenario).
+    pub tailcall_funcs: usize,
+    /// Outer iterations of the main workload loop.
+    pub outer_iters: u32,
+    /// Retain link-time relocations.
+    pub link_time_relocs: bool,
+    /// Symbol-versioning metadata flag.
+    pub symbol_versioning: bool,
+    /// Strip symbol names.
+    pub stripped: bool,
+    /// Extra synthetic dynamic-linking section bytes.
+    pub extra_sections: SectionSizes,
+    /// Cold filler functions (never called; inflate text size and
+    /// distance).
+    pub filler_funcs: usize,
+    /// Size class of each filler function, in instructions.
+    pub filler_insts: usize,
+}
+
+impl GenParams {
+    /// A small, fast default workload.
+    #[must_use]
+    pub fn small(name: &str, arch: Arch, seed: u64) -> GenParams {
+        GenParams {
+            name: name.to_string(),
+            seed,
+            arch,
+            pie: false,
+            languages: vec![Language::C],
+            compute_funcs: 3,
+            kernel_iters: 40,
+            kernel_body: 0,
+            switch_funcs: 2,
+            switch_cases: 6,
+            switch_inner_iters: 1,
+            switch_hardness: vec![SwitchHardness::Easy],
+            switch_flavor: SwitchFlavor::ArchDefault,
+            fnptr_tables: 1,
+            fnptr_targets: 4,
+            exceptions: false,
+            exception_rate: false,
+            stack_indirect_call: false,
+            tiny_funcs: 1,
+            tailcall_funcs: 1,
+            outer_iters: 60,
+            link_time_relocs: false,
+            symbol_versioning: false,
+            stripped: false,
+            extra_sections: SectionSizes::default(),
+            filler_funcs: 0,
+            filler_insts: 64,
+        }
+    }
+}
+
+/// A generated workload: the binary plus metadata the harness uses.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Workload name.
+    pub name: String,
+    /// The binary.
+    pub binary: Binary,
+    /// Languages present.
+    pub languages: Vec<Language>,
+}
+
+const SP_ACC: i64 = 8; // main's accumulator spill slot
+const SP_IDX: i64 = 16; // main's loop counter spill slot
+
+/// Generate a workload from `params`.
+///
+/// # Panics
+///
+/// Panics if the generated program fails to assemble — that is a bug
+/// in the generator, not an input condition.
+#[must_use]
+pub fn generate(params: &GenParams) -> Workload {
+    let arch = params.arch;
+    let mut rng = SmallRng::seed_from_u64(params.seed);
+    let mut b = BinaryBuilder::new(arch);
+    b.pie(params.pie);
+    b.link_time_relocs(params.link_time_relocs);
+    b.symbol_versioning(params.symbol_versioning);
+    b.stripped(params.stripped);
+    b.section_sizes(params.extra_sections);
+    let lang = |i: usize| params.languages[i % params.languages.len().max(1)];
+
+    // Call sites main will drive: (function name, needs_catch_wrap).
+    let mut sites: Vec<String> = Vec::new();
+
+    // ----- compute kernels --------------------------------------------
+    for i in 0..params.compute_funcs {
+        let name = format!("compute{i}");
+        let c1 = rng.gen_range(3i64..60);
+        let c2 = rng.gen_range(1i64..6);
+        let mut items = Vec::new();
+        items.push(Item::MovWide { dst: Reg(9), imm: i64::from(params.kernel_iters) });
+        items.push(Item::Label("k".into()));
+        items.push(Item::I(Inst::AluImm {
+            op: AluOp::Mul,
+            dst: Reg(8),
+            src: Reg(8),
+            imm: 3,
+        }));
+        items.push(Item::I(Inst::AluImm {
+            op: AluOp::Add,
+            dst: Reg(8),
+            src: Reg(8),
+            imm: c1 as i32,
+        }));
+        items.push(Item::I(Inst::AluImm {
+            op: AluOp::Shr,
+            dst: Reg(10),
+            src: Reg(8),
+            imm: c2 as i32,
+        }));
+        items.push(Item::I(Inst::Alu { op: AluOp::Xor, dst: Reg(8), a: Reg(8), b: Reg(10) }));
+        for j in 0..params.kernel_body {
+            let r = Reg(10 + (j % 3) as u8);
+            items.push(Item::I(Inst::AluImm {
+                op: if j % 2 == 0 { AluOp::Add } else { AluOp::Xor },
+                dst: r,
+                src: r,
+                imm: (j % 120) as i32 + 1,
+            }));
+        }
+        items.push(Item::I(Inst::AluImm { op: AluOp::Sub, dst: Reg(9), src: Reg(9), imm: 1 }));
+        items.push(Item::I(Inst::CmpImm { a: Reg(9), imm: 0 }));
+        items.push(Item::JccL(Cond::Gt, "k".into()));
+        items.extend(epilogue(arch, 0, true));
+        b.add_function(FuncDef::new(&name, lang(i), items));
+        sites.push(name);
+    }
+
+    // ----- switch dispatchers -------------------------------------------
+    for i in 0..params.switch_funcs {
+        let name = format!("dispatch{i}");
+        let hardness = params.switch_hardness[i % params.switch_hardness.len().max(1)];
+        let (entry_width, kind, inline) = match params.switch_flavor {
+            SwitchFlavor::Relative4 => (4, EntryKind::Relative, false),
+            SwitchFlavor::ArchDefault => match arch {
+                Arch::X64 => (8, EntryKind::Absolute, false),
+                Arch::Ppc64le => (8, EntryKind::Absolute, true),
+                Arch::Aarch64 => (1, EntryKind::RelativeScaled, true),
+            },
+        };
+        // Spilled-index switches need an absolute table (three-register
+        // dance); keep the generator honest about that pattern too.
+        let (entry_width, kind, inline) = if hardness == SwitchHardness::SpilledIndex {
+            (8, EntryKind::Absolute, arch != Arch::X64)
+        } else {
+            (entry_width, kind, inline)
+        };
+        let cases = params.switch_cases;
+        let mask = cases.next_power_of_two() as i32 - 1;
+        let mut items = prologue(arch, 32, true);
+        // Interpreter-style dispatch loop: r13 counts down, r8 is the
+        // evolving "opcode stream" value; each iteration dispatches.
+        items.push(Item::MovWide { dst: Reg(13), imm: i64::from(params.switch_inner_iters.max(1)) });
+        items.push(Item::Label("interp".into()));
+        items.push(Item::I(Inst::MovReg { dst: Reg(12), src: Reg(8) }));
+        // idx = arg & mask (out-of-range values hit the default).
+        items.push(Item::I(Inst::AluImm { op: AluOp::And, dst: Reg(8), src: Reg(8), imm: mask }));
+        let spec = SwitchSpec {
+            idx_reg: Reg(8),
+            table_name: format!("{name}_jt"),
+            case_labels: (0..cases).map(|c| format!("c{c}")).collect(),
+            default_label: "def".into(),
+            entry_width,
+            kind,
+            inline,
+            hardness,
+            spill_slot: 8,
+            scratch: (Reg(9), Reg(10)),
+            mem_indirect: false,
+        };
+        emit_switch(&mut items, arch, &spec);
+        for c in 0..cases {
+            items.push(Item::Label(format!("c{c}")));
+            let k = rng.gen_range(1i64..200);
+            items.push(Item::I(Inst::AluImm {
+                op: AluOp::Add,
+                dst: Reg(8),
+                src: Reg(8),
+                imm: (k + c as i64) as i32,
+            }));
+            items.push(Item::JmpL("join".into()));
+        }
+        items.push(Item::Label("def".into()));
+        items.push(Item::I(Inst::AluImm { op: AluOp::Xor, dst: Reg(8), src: Reg(8), imm: 0x55 }));
+        items.push(Item::Label("join".into()));
+        // Fold the pre-dispatch value back in and advance the stream.
+        items.push(Item::I(Inst::Alu { op: AluOp::Add, dst: Reg(8), a: Reg(8), b: Reg(12) }));
+        items.push(Item::I(Inst::AluImm { op: AluOp::Mul, dst: Reg(8), src: Reg(8), imm: 5 }));
+        items.push(Item::I(Inst::AluImm { op: AluOp::Add, dst: Reg(8), src: Reg(8), imm: 3 }));
+        items.push(Item::I(Inst::AluImm { op: AluOp::Sub, dst: Reg(13), src: Reg(13), imm: 1 }));
+        items.push(Item::I(Inst::CmpImm { a: Reg(13), imm: 0 }));
+        items.push(Item::JccL(Cond::Gt, "interp".into()));
+        items.extend(epilogue(arch, 32, true));
+        b.add_function(FuncDef::new(&name, lang(i + 1), items));
+        if !inline {
+            b.push_rodata(Some(&format!("{name}_jt")), switch_table_item(&name, &spec));
+            // A string-literal neighbour: the known data boundary that
+            // bounds table-end extension (§5.1 Assumption 2).
+            b.push_rodata(
+                Some(&format!("{name}_str")),
+                DataItem::Bytes(format!("{name}-end").into_bytes()),
+            );
+        }
+        // Wrap: dispatch is driven with the raw argument.
+        sites.push(name);
+    }
+
+    // ----- function-pointer tables -----------------------------------------
+    for t in 0..params.fnptr_tables {
+        let n = params.fnptr_targets.max(1);
+        for m in 0..n {
+            let name = format!("method{t}_{m}");
+            let k = rng.gen_range(1i64..99);
+            let mut items = vec![Item::I(Inst::AluImm {
+                op: AluOp::Add,
+                dst: Reg(8),
+                src: Reg(8),
+                imm: (k + m as i64) as i32,
+            })];
+            items.extend(epilogue(arch, 0, true));
+            b.add_function(FuncDef::new(&name, lang(t + m), items));
+        }
+        let vt_name = format!("vt{t}");
+        for m in 0..n {
+            b.push_data(
+                if m == 0 { Some(vt_name.as_str()) } else { None },
+                DataItem::Addr {
+                    target: RefTarget::Func(format!("method{t}_{m}")),
+                    delta: 0,
+                },
+            );
+        }
+        // caller: idx = arg & (n_pow2 - 1); bounded to n by a compare;
+        // loads vt[idx] and calls it.
+        let name = format!("call_vt{t}");
+        let mask = n.next_power_of_two() as i32 - 1;
+        let mut items = prologue(arch, 32, false);
+        items.push(Item::I(Inst::MovReg { dst: Reg(9), src: Reg(8) }));
+        items.push(Item::I(Inst::AluImm { op: AluOp::And, dst: Reg(9), src: Reg(9), imm: mask }));
+        items.push(Item::I(Inst::CmpImm { a: Reg(9), imm: n as i32 - 1 }));
+        items.push(Item::JccL(Cond::ULe, "ok".into()));
+        items.push(Item::I(Inst::MovImm { dst: Reg(9), imm: 0 }));
+        items.push(Item::Label("ok".into()));
+        // slot address = vt + idx*8
+        items.push(Item::LoadAddr { dst: Reg(10), target: RefTarget::Data(format!("vt{t}")), delta: 0 });
+        items.push(Item::I(Inst::Load {
+            dst: Reg(11),
+            addr: Addr::base_index(Reg(10), Reg(9), 8),
+            width: Width::W8,
+            sign: false,
+        }));
+        if arch == Arch::Ppc64le {
+            items.push(Item::I(Inst::MoveToTar { src: Reg(11) }));
+            items.push(Item::I(Inst::CallTar));
+        } else {
+            items.push(Item::I(Inst::CallReg { src: Reg(11) }));
+        }
+        items.extend(epilogue(arch, 32, false));
+        b.add_function(FuncDef::new(&name, lang(t + 2), items));
+        sites.push(name);
+    }
+
+    // ----- exceptions ----------------------------------------------------------
+    if params.exceptions {
+        let mut t = prologue(arch, 48, false);
+        // Deterministic throw cadence: a global counter, every 16th
+        // call throws.
+        t.push(Item::LoadFrom {
+            dst: Reg(9),
+            target: RefTarget::Data("exc_ctr".into()),
+            offset: 0,
+            width: Width::W8,
+            sign: false,
+            tmp: Reg(10),
+        });
+        t.push(Item::I(Inst::AluImm { op: AluOp::Add, dst: Reg(9), src: Reg(9), imm: 1 }));
+        t.push(Item::StoreTo {
+            src: Reg(9),
+            target: RefTarget::Data("exc_ctr".into()),
+            offset: 0,
+            width: Width::W8,
+            tmp: Reg(10),
+        });
+        t.push(Item::I(Inst::AluImm { op: AluOp::And, dst: Reg(9), src: Reg(9), imm: 15 }));
+        t.push(Item::I(Inst::CmpImm { a: Reg(9), imm: 0 }));
+        t.push(Item::JccL(Cond::Ne, "no_throw".into()));
+        t.push(Item::I(Inst::Sys { op: SysOp::Throw, arg: Reg(8) }));
+        t.push(Item::Label("no_throw".into()));
+        t.push(Item::I(Inst::AluImm { op: AluOp::Add, dst: Reg(8), src: Reg(8), imm: 3 }));
+        t.extend(epilogue(arch, 48, false));
+        b.add_function(
+            FuncDef::new("thrower", Language::Cpp, t)
+                .with_unwind(UnwindSpec { frame_size: 48, ra: None, call_sites: vec![] }),
+        );
+        let mut c = prologue(arch, 32, false);
+        c.push(Item::Label("try_s".into()));
+        c.push(Item::CallF("thrower".into()));
+        c.push(Item::Label("try_e".into()));
+        c.extend(epilogue(arch, 32, false));
+        c.push(Item::Label("landing".into()));
+        c.push(Item::I(Inst::AluImm { op: AluOp::Add, dst: Reg(8), src: Reg(8), imm: 1000 }));
+        c.extend(epilogue(arch, 32, false));
+        b.add_function(FuncDef::new("catcher", Language::Cpp, c).with_unwind(UnwindSpec {
+            frame_size: 32,
+            ra: None,
+            call_sites: vec![("try_s".into(), "try_e".into(), "landing".into())],
+        }));
+        b.push_data(Some("exc_ctr"), DataItem::Zeros(8));
+        sites.push("catcher".to_string());
+    }
+
+    // ----- x64 stack-indirect call (the SRBI emulation bug trigger) -------------
+    if params.stack_indirect_call {
+        let mut items = prologue(arch, 48, false);
+        emit_indirect_call_via_stack(&mut items, arch, "si_fp", 24, (Reg(9), Reg(10)));
+        items.extend(epilogue(arch, 48, false));
+        b.add_function(FuncDef::new("stack_call", lang(3), items));
+        let mut t = vec![Item::I(Inst::AluImm { op: AluOp::Add, dst: Reg(8), src: Reg(8), imm: 17 })];
+        t.extend(epilogue(arch, 0, true));
+        b.add_function(FuncDef::new("si_target", lang(3), t));
+        b.push_data(
+            Some("si_fp"),
+            DataItem::Addr { target: RefTarget::Func("si_target".into()), delta: 0 },
+        );
+        sites.push("stack_call".to_string());
+    }
+
+    // ----- tiny + tail-call functions ------------------------------------------
+    for i in 0..params.tiny_funcs {
+        let name = format!("tiny{i}");
+        let mut items = vec![Item::I(Inst::Nop)];
+        items.extend(epilogue(arch, 0, true));
+        b.add_function(FuncDef::new(&name, lang(i), items));
+        sites.push(name);
+    }
+    for i in 0..params.tailcall_funcs {
+        let name = format!("hop{i}");
+        let slot = format!("hop{i}_fp");
+        let target = format!("compute{}", i % params.compute_funcs.max(1));
+        let mut items = vec![Item::I(Inst::AluImm {
+            op: AluOp::Xor,
+            dst: Reg(8),
+            src: Reg(8),
+            imm: 0x11,
+        })];
+        emit_indirect_tailcall(&mut items, arch, &slot, (Reg(9), Reg(10)));
+        b.add_function(FuncDef::new(&name, lang(i + 4), items));
+        if params.compute_funcs > 0 {
+            b.push_data(
+                Some(&slot),
+                DataItem::Addr { target: RefTarget::Func(target), delta: 0 },
+            );
+            sites.push(name);
+        }
+    }
+
+    // ----- cold filler ------------------------------------------------------------
+    for i in 0..params.filler_funcs {
+        let name = format!("cold{i}");
+        let mut items = Vec::with_capacity(params.filler_insts + 2);
+        for j in 0..params.filler_insts {
+            let r = Reg(9 + (j % 4) as u8);
+            items.push(Item::I(Inst::AluImm {
+                op: AluOp::Add,
+                dst: r,
+                src: r,
+                imm: (j % 100) as i32,
+            }));
+        }
+        items.extend(epilogue(arch, 0, true));
+        b.add_function(FuncDef::new(&name, lang(i), items));
+    }
+
+    // ----- main -------------------------------------------------------------------
+    let mut main = prologue(arch, 64, false);
+    main.push(Item::MovWide { dst: Reg(8), imm: 0x1234_5678 }); // acc
+    main.push(Item::MovWide { dst: Reg(9), imm: i64::from(params.outer_iters) });
+    main.push(Item::Label("outer".into()));
+    main.push(spill(arch, Reg(9), SP_IDX));
+    for site in &sites {
+        // arg = acc; acc = f(arg) folded.
+        main.push(spill(arch, Reg(8), SP_ACC));
+        main.push(Item::CallF(site.clone()));
+        main.push(reload(arch, Reg(10), SP_ACC));
+        main.push(Item::I(Inst::Alu { op: AluOp::Xor, dst: Reg(8), a: Reg(8), b: Reg(10) }));
+        main.push(Item::I(Inst::AluImm { op: AluOp::Add, dst: Reg(8), src: Reg(8), imm: 1 }));
+    }
+    main.push(reload(arch, Reg(9), SP_IDX));
+    main.push(Item::I(Inst::AluImm { op: AluOp::Sub, dst: Reg(9), src: Reg(9), imm: 1 }));
+    main.push(Item::I(Inst::CmpImm { a: Reg(9), imm: 0 }));
+    main.push(Item::JccL(Cond::Gt, "outer".into()));
+    main.push(Item::I(Inst::Sys { op: SysOp::Out, arg: Reg(8) }));
+    main.push(Item::I(Inst::Halt));
+    b.add_function(FuncDef::new("main", lang(0), main));
+    b.set_entry("main");
+
+    let binary = b.build().unwrap_or_else(|e| panic!("workload {} failed to build: {e}", params.name));
+    Workload { name: params.name.clone(), binary, languages: params.languages.clone() }
+}
+
+fn spill(arch: Arch, reg: Reg, slot: i64) -> Item {
+    Item::I(Inst::Store { src: reg, addr: Addr::base_disp(arch.sp(), slot), width: Width::W8 })
+}
+
+fn reload(arch: Arch, reg: Reg, slot: i64) -> Item {
+    Item::I(Inst::Load {
+        dst: reg,
+        addr: Addr::base_disp(arch.sp(), slot),
+        width: Width::W8,
+        sign: false,
+    })
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icfgp_emu::{run, LoadOptions, Outcome};
+
+    #[test]
+    fn small_workload_runs_on_every_arch() {
+        for arch in Arch::ALL {
+            let w = generate(&GenParams::small("t", arch, 7));
+            match run(&w.binary, &LoadOptions::default()) {
+                Outcome::Halted(stats) => {
+                    assert_eq!(stats.output.len(), 1, "{arch}");
+                    assert!(stats.instructions > 1000, "{arch}: hot loop ran");
+                }
+                o => panic!("{arch}: {o:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(&GenParams::small("t", Arch::X64, 9));
+        let b = generate(&GenParams::small("t", Arch::X64, 9));
+        assert_eq!(a.binary, b.binary);
+        let c = generate(&GenParams::small("t", Arch::X64, 10));
+        assert_ne!(a.binary, c.binary, "different seed, different binary");
+    }
+
+    #[test]
+    fn exception_workload_throws_and_catches() {
+        let mut p = GenParams::small("exc", Arch::X64, 3);
+        p.exceptions = true;
+        p.outer_iters = 64;
+        let w = generate(&p);
+        match run(&w.binary, &LoadOptions::default()) {
+            Outcome::Halted(stats) => assert!(stats.throws > 0, "some iterations throw"),
+            o => panic!("{o:?}"),
+        }
+    }
+}

@@ -1,0 +1,407 @@
+//! The Go-style binary (`docker`-like): a PIE carrying its own stack
+//! unwinder.
+//!
+//! Structure (all "Go" functions share a fixed frame size so the
+//! traceback walker can step):
+//!
+//! * `go_main → go_worker1 → go_worker2 → gc_poll → go_traceback`;
+//! * `go_traceback` walks its own call stack: for every frame it calls
+//!   `go_findfunc(pc)` (panics via `Sys::Abort` on a miss — Go's
+//!   "unknown return pc") and `go_pcvalue(pc)` (frame size), folding
+//!   the function ids into an *observable* checksum;
+//! * `go_findfunc`/`go_pcvalue` linearly scan the `.pclntab` image in
+//!   memory — they are the functions §6.2 instruments with RA
+//!   translation (marked [`icfgp_obj::SymbolAttrs::is_go_traceback`]);
+//! * the `&goexit + 1` function-pointer pattern of Listing 1 is
+//!   included verbatim;
+//! * no jump tables anywhere — Go's compiler doesn't emit them, which
+//!   is why `dir` and `jt` behave identically on this binary (§8.2).
+
+use crate::gen::Workload;
+use icfgp_asm::{epilogue, prologue, BinaryBuilder, DataItem, FuncDef, Item, RefTarget};
+use icfgp_isa::{Addr, AluOp, Arch, Cond, Inst, Reg, SysOp, Width};
+use icfgp_obj::{Language, SymbolAttrs};
+
+/// Shared Go frame size.
+const F: i64 = 64;
+
+fn store(arch: Arch, reg: Reg, slot: i64) -> Item {
+    Item::I(Inst::Store { src: reg, addr: Addr::base_disp(arch.sp(), slot), width: Width::W8 })
+}
+
+fn load(arch: Arch, reg: Reg, slot: i64) -> Item {
+    Item::I(Inst::Load {
+        dst: reg,
+        addr: Addr::base_disp(arch.sp(), slot),
+        width: Width::W8,
+        sign: false,
+    })
+}
+
+/// Go call: arg goes to the caller's outgoing slot `[sp+0]`.
+fn go_call(arch: Arch, callee: &str, arg: Reg) -> Vec<Item> {
+    vec![store(arch, arg, 0), Item::CallF(callee.to_string())]
+}
+
+/// Read the incoming stack argument (post-prologue).
+fn go_arg(arch: Arch, dst: Reg) -> Item {
+    let off = if arch == Arch::X64 { F + 8 } else { F };
+    load(arch, dst, off)
+}
+
+/// Generate the docker-like Go workload.
+///
+/// # Panics
+///
+/// Panics if the generated program fails to assemble (generator bug).
+#[must_use]
+pub fn docker_like(arch: Arch, seed: u64, iters: u32) -> Workload {
+    let _ = seed; // structure is fixed; the seed names the variant
+    let mut b = BinaryBuilder::new(arch);
+    b.pie(true);
+
+    // goexit: nop at entry (the +1 skips it).
+    let mut goexit = vec![Item::I(Inst::Nop), Item::I(Inst::AluImm {
+        op: AluOp::Add,
+        dst: Reg(8),
+        src: Reg(8),
+        imm: 5,
+    })];
+    goexit.extend(epilogue(arch, 0, true));
+    b.add_function(FuncDef::new("goexit", Language::Go, goexit));
+
+    // go_worker2: computes; calls gc_poll when arg & 7 == 0.
+    let mut w2 = prologue(arch, F as u64, false);
+    w2.push(go_arg(arch, Reg(8)));
+    // Compute kernel: the bulk of a realistic service's work.
+    w2.push(Item::I(Inst::MovImm { dst: Reg(11), imm: 60 }));
+    w2.push(Item::Label("kern".into()));
+    w2.push(Item::I(Inst::AluImm { op: AluOp::Mul, dst: Reg(8), src: Reg(8), imm: 13 }));
+    w2.push(Item::I(Inst::AluImm { op: AluOp::Xor, dst: Reg(8), src: Reg(8), imm: 0x3f }));
+    w2.push(Item::I(Inst::AluImm { op: AluOp::Shr, dst: Reg(12), src: Reg(8), imm: 3 }));
+    w2.push(Item::I(Inst::Alu { op: AluOp::Add, dst: Reg(8), a: Reg(8), b: Reg(12) }));
+    w2.push(Item::I(Inst::AluImm { op: AluOp::Sub, dst: Reg(11), src: Reg(11), imm: 1 }));
+    w2.push(Item::I(Inst::CmpImm { a: Reg(11), imm: 0 }));
+    w2.push(Item::JccL(Cond::Gt, "kern".into()));
+    // GC safepoint cadence: a global allocation counter, every 4th.
+    w2.push(Item::LoadFrom {
+        dst: Reg(9),
+        target: RefTarget::Data("gc_ctr".into()),
+        offset: 0,
+        width: Width::W8,
+        sign: false,
+        tmp: Reg(10),
+    });
+    w2.push(Item::I(Inst::AluImm { op: AluOp::Add, dst: Reg(9), src: Reg(9), imm: 1 }));
+    w2.push(Item::StoreTo {
+        src: Reg(9),
+        target: RefTarget::Data("gc_ctr".into()),
+        offset: 0,
+        width: Width::W8,
+        tmp: Reg(10),
+    });
+    w2.push(Item::I(Inst::AluImm { op: AluOp::And, dst: Reg(9), src: Reg(9), imm: 3 }));
+    w2.push(Item::I(Inst::CmpImm { a: Reg(9), imm: 0 }));
+    w2.push(Item::JccL(Cond::Ne, "no_gc".into()));
+    w2.push(store(arch, Reg(8), 8));
+    w2.extend(go_call(arch, "gc_poll", Reg(8)));
+    w2.push(load(arch, Reg(9), 8));
+    w2.push(Item::I(Inst::Alu { op: AluOp::Add, dst: Reg(8), a: Reg(8), b: Reg(9) }));
+    w2.push(Item::Label("no_gc".into()));
+    w2.extend(epilogue(arch, F as u64, false));
+    b.add_function(FuncDef::new("go_worker2", Language::Go, w2));
+
+    // go_worker1: transform, call worker2, fold.
+    let mut w1 = prologue(arch, F as u64, false);
+    w1.push(go_arg(arch, Reg(8)));
+    w1.push(store(arch, Reg(8), 8));
+    w1.push(Item::I(Inst::AluImm { op: AluOp::Add, dst: Reg(8), src: Reg(8), imm: 101 }));
+    w1.extend(go_call(arch, "go_worker2", Reg(8)));
+    w1.push(load(arch, Reg(9), 8));
+    w1.push(Item::I(Inst::Alu { op: AluOp::Xor, dst: Reg(8), a: Reg(8), b: Reg(9) }));
+    w1.extend(epilogue(arch, F as u64, false));
+    b.add_function(FuncDef::new("go_worker1", Language::Go, w1));
+
+    // gc_poll: run a traceback (the GC stack scan), fold its checksum.
+    let mut gp = prologue(arch, F as u64, false);
+    gp.push(go_arg(arch, Reg(8)));
+    gp.push(store(arch, Reg(8), 8));
+    gp.extend(go_call(arch, "go_traceback", Reg(8)));
+    gp.push(load(arch, Reg(9), 8));
+    gp.push(Item::I(Inst::Alu { op: AluOp::Add, dst: Reg(8), a: Reg(8), b: Reg(9) }));
+    gp.extend(epilogue(arch, F as u64, false));
+    b.add_function(FuncDef::new("gc_poll", Language::Go, gp));
+
+    // go_traceback: walk the stack.
+    // Locals: pc -> [sp+8], sp_cursor -> [sp+16], acc -> [sp+24].
+    let mut tb = prologue(arch, F as u64, false);
+    let sp = arch.sp();
+    if arch == Arch::X64 {
+        // Own RA at [sp+F]; caller frame begins at sp+F+8.
+        tb.push(load(arch, Reg(9), F));
+        tb.push(Item::I(Inst::AluImm { op: AluOp::Add, dst: Reg(10), src: sp, imm: (F + 8) as i32 }));
+    } else {
+        // Own RA spilled by the prologue at [sp+F-8].
+        tb.push(load(arch, Reg(9), F - 8));
+        tb.push(Item::I(Inst::AluImm { op: AluOp::Add, dst: Reg(10), src: sp, imm: F as i32 }));
+    }
+    tb.push(store(arch, Reg(9), 8)); // pc
+    tb.push(store(arch, Reg(10), 16)); // sp_cursor
+    tb.push(Item::I(Inst::MovImm { dst: Reg(11), imm: 0 }));
+    tb.push(store(arch, Reg(11), 24)); // acc
+    tb.push(Item::Label("walk".into()));
+    tb.push(load(arch, Reg(9), 8));
+    tb.push(Item::I(Inst::CmpImm { a: Reg(9), imm: 0 }));
+    tb.push(Item::JccL(Cond::Eq, "done".into()));
+    // id = findfunc(pc); 0 => panic ("unknown return pc").
+    tb.extend(go_call(arch, "go_findfunc", Reg(9)));
+    tb.push(Item::I(Inst::CmpImm { a: Reg(8), imm: 0 }));
+    tb.push(Item::JccL(Cond::Ne, "found".into()));
+    tb.push(Item::I(Inst::MovImm { dst: Reg(8), imm: 0x60 })); // panic code
+    tb.push(Item::I(Inst::Sys { op: SysOp::Abort, arg: Reg(8) }));
+    tb.push(Item::Label("found".into()));
+    // acc = acc * 7 + id
+    tb.push(load(arch, Reg(11), 24));
+    tb.push(Item::I(Inst::AluImm { op: AluOp::Mul, dst: Reg(11), src: Reg(11), imm: 7 }));
+    tb.push(Item::I(Inst::Alu { op: AluOp::Add, dst: Reg(11), a: Reg(11), b: Reg(8) }));
+    tb.push(store(arch, Reg(11), 24));
+    // f = pcvalue(pc)
+    tb.push(load(arch, Reg(9), 8));
+    tb.extend(go_call(arch, "go_pcvalue", Reg(9)));
+    // step: pc = [sp_cursor + f - (risc: 8)], sp_cursor += f (+8 on x64)
+    tb.push(load(arch, Reg(10), 16));
+    tb.push(Item::I(Inst::Alu { op: AluOp::Add, dst: Reg(12), a: Reg(10), b: Reg(8) }));
+    if arch == Arch::X64 {
+        tb.push(Item::I(Inst::Load {
+            dst: Reg(9),
+            addr: Addr::base_only(Reg(12)),
+            width: Width::W8,
+            sign: false,
+        }));
+        tb.push(Item::I(Inst::AluImm { op: AluOp::Add, dst: Reg(12), src: Reg(12), imm: 8 }));
+    } else {
+        tb.push(Item::I(Inst::Load {
+            dst: Reg(9),
+            addr: Addr::base_disp(Reg(12), -8),
+            width: Width::W8,
+            sign: false,
+        }));
+    }
+    tb.push(store(arch, Reg(9), 8));
+    tb.push(store(arch, Reg(12), 16));
+    tb.push(Item::JmpL("walk".into()));
+    tb.push(Item::Label("done".into()));
+    tb.push(load(arch, Reg(8), 24));
+    tb.extend(epilogue(arch, F as u64, false));
+    b.add_function(FuncDef::new("go_traceback", Language::Go, tb));
+
+    // go_findfunc(pc): scan the pclntab image; return id or 0.
+    let traceback_attrs = SymbolAttrs { is_go_traceback: true, ..SymbolAttrs::default() };
+    let mut ff = prologue(arch, F as u64, true);
+    ff.push(go_arg(arch, Reg(8)));
+    ff.push(Item::LoadAddr { dst: Reg(9), target: RefTarget::Data("__pclntab".into()), delta: 0 });
+    ff.push(Item::I(Inst::Load {
+        dst: Reg(10),
+        addr: Addr::base_only(Reg(9)),
+        width: Width::W8,
+        sign: false,
+    })); // n
+    ff.push(Item::I(Inst::AluImm { op: AluOp::Add, dst: Reg(9), src: Reg(9), imm: 8 })); // e
+    ff.push(Item::Label("scan".into()));
+    ff.push(Item::I(Inst::CmpImm { a: Reg(10), imm: 0 }));
+    ff.push(Item::JccL(Cond::Le, "miss".into()));
+    ff.push(Item::I(Inst::Load {
+        dst: Reg(11),
+        addr: Addr::base_only(Reg(9)),
+        width: Width::W8,
+        sign: false,
+    })); // start
+    ff.push(Item::I(Inst::Load {
+        dst: Reg(12),
+        addr: Addr::base_disp(Reg(9), 8),
+        width: Width::W8,
+        sign: false,
+    })); // end
+    ff.push(Item::I(Inst::Cmp { a: Reg(8), b: Reg(11) }));
+    ff.push(Item::JccL(Cond::ULt, "next".into()));
+    ff.push(Item::I(Inst::Cmp { a: Reg(8), b: Reg(12) }));
+    ff.push(Item::JccL(Cond::UGe, "next".into()));
+    ff.push(Item::I(Inst::Load {
+        dst: Reg(8),
+        addr: Addr::base_disp(Reg(9), 16),
+        width: Width::W8,
+        sign: false,
+    })); // id
+    ff.extend(epilogue(arch, F as u64, true));
+    ff.push(Item::Label("next".into()));
+    ff.push(Item::I(Inst::AluImm { op: AluOp::Add, dst: Reg(9), src: Reg(9), imm: 32 }));
+    ff.push(Item::I(Inst::AluImm { op: AluOp::Sub, dst: Reg(10), src: Reg(10), imm: 1 }));
+    ff.push(Item::JmpL("scan".into()));
+    ff.push(Item::Label("miss".into()));
+    ff.push(Item::I(Inst::MovImm { dst: Reg(8), imm: 0 }));
+    ff.extend(epilogue(arch, F as u64, true));
+    b.add_function(FuncDef::new("go_findfunc", Language::Go, ff).with_attrs(traceback_attrs));
+
+    // go_pcvalue(pc): same scan, returning the frame size.
+    let mut pv = prologue(arch, F as u64, true);
+    pv.push(go_arg(arch, Reg(8)));
+    pv.push(Item::LoadAddr { dst: Reg(9), target: RefTarget::Data("__pclntab".into()), delta: 0 });
+    pv.push(Item::I(Inst::Load {
+        dst: Reg(10),
+        addr: Addr::base_only(Reg(9)),
+        width: Width::W8,
+        sign: false,
+    }));
+    pv.push(Item::I(Inst::AluImm { op: AluOp::Add, dst: Reg(9), src: Reg(9), imm: 8 }));
+    pv.push(Item::Label("scan".into()));
+    pv.push(Item::I(Inst::CmpImm { a: Reg(10), imm: 0 }));
+    pv.push(Item::JccL(Cond::Le, "miss".into()));
+    pv.push(Item::I(Inst::Load {
+        dst: Reg(11),
+        addr: Addr::base_only(Reg(9)),
+        width: Width::W8,
+        sign: false,
+    }));
+    pv.push(Item::I(Inst::Load {
+        dst: Reg(12),
+        addr: Addr::base_disp(Reg(9), 8),
+        width: Width::W8,
+        sign: false,
+    }));
+    pv.push(Item::I(Inst::Cmp { a: Reg(8), b: Reg(11) }));
+    pv.push(Item::JccL(Cond::ULt, "next".into()));
+    pv.push(Item::I(Inst::Cmp { a: Reg(8), b: Reg(12) }));
+    pv.push(Item::JccL(Cond::UGe, "next".into()));
+    pv.push(Item::I(Inst::Load {
+        dst: Reg(8),
+        addr: Addr::base_disp(Reg(9), 24),
+        width: Width::W8,
+        sign: false,
+    }));
+    pv.extend(epilogue(arch, F as u64, true));
+    pv.push(Item::Label("next".into()));
+    pv.push(Item::I(Inst::AluImm { op: AluOp::Add, dst: Reg(9), src: Reg(9), imm: 32 }));
+    pv.push(Item::I(Inst::AluImm { op: AluOp::Sub, dst: Reg(10), src: Reg(10), imm: 1 }));
+    pv.push(Item::JmpL("scan".into()));
+    pv.push(Item::Label("miss".into()));
+    pv.push(Item::MovWide { dst: Reg(8), imm: F });
+    pv.extend(epilogue(arch, F as u64, true));
+    b.add_function(FuncDef::new("go_pcvalue", Language::Go, pv).with_attrs(traceback_attrs));
+
+    // go_main: the Listing 1 pattern once, then the hot loop. The
+    // increment skips the nop at goexit's entry: one byte on x64, one
+    // 4-byte word on the fixed-width architectures.
+    let skip: i32 = if arch == Arch::X64 { 1 } else { 4 };
+    let mut m = prologue(arch, F as u64, false);
+    // vtab[0] = *goexit_fp + skip
+    m.push(Item::LoadFrom {
+        dst: Reg(9),
+        target: RefTarget::Data("goexit_fp".into()),
+        offset: 0,
+        width: Width::W8,
+        sign: false,
+        tmp: Reg(10),
+    });
+    m.push(Item::I(Inst::AluImm { op: AluOp::Add, dst: Reg(9), src: Reg(9), imm: skip }));
+    m.push(Item::StoreTo {
+        src: Reg(9),
+        target: RefTarget::Data("go_vtab".into()),
+        offset: 0,
+        width: Width::W8,
+        tmp: Reg(10),
+    });
+    // Call through the vtab once.
+    m.push(Item::I(Inst::MovImm { dst: Reg(8), imm: 2 }));
+    m.push(Item::LoadFrom {
+        dst: Reg(11),
+        target: RefTarget::Data("go_vtab".into()),
+        offset: 0,
+        width: Width::W8,
+        sign: false,
+        tmp: Reg(10),
+    });
+    if arch == Arch::Ppc64le {
+        m.push(Item::I(Inst::MoveToTar { src: Reg(11) }));
+        m.push(Item::I(Inst::CallTar));
+    } else {
+        m.push(Item::I(Inst::CallReg { src: Reg(11) }));
+    }
+    // Hot loop.
+    m.push(Item::MovWide { dst: Reg(9), imm: i64::from(iters) });
+    m.push(Item::Label("outer".into()));
+    m.push(store(arch, Reg(9), 16));
+    m.push(store(arch, Reg(8), 24));
+    m.extend(go_call(arch, "go_worker1", Reg(8)));
+    m.push(load(arch, Reg(10), 24));
+    m.push(Item::I(Inst::Alu { op: AluOp::Xor, dst: Reg(8), a: Reg(8), b: Reg(10) }));
+    // Hot interface-method dispatch through the function table — the
+    // unrewritten-pointer bounce that dominates §8.2's Docker overhead.
+    m.push(store(arch, Reg(8), 24));
+    m.push(Item::LoadFrom {
+        dst: Reg(11),
+        target: RefTarget::Data("go_vtab".into()),
+        offset: 0,
+        width: Width::W8,
+        sign: false,
+        tmp: Reg(10),
+    });
+    if arch == Arch::Ppc64le {
+        m.push(Item::I(Inst::MoveToTar { src: Reg(11) }));
+        m.push(Item::I(Inst::CallTar));
+    } else {
+        m.push(Item::I(Inst::CallReg { src: Reg(11) }));
+    }
+    m.push(load(arch, Reg(10), 24));
+    m.push(Item::I(Inst::Alu { op: AluOp::Add, dst: Reg(8), a: Reg(8), b: Reg(10) }));
+    m.push(load(arch, Reg(9), 16));
+    m.push(Item::I(Inst::AluImm { op: AluOp::Sub, dst: Reg(9), src: Reg(9), imm: 1 }));
+    m.push(Item::I(Inst::CmpImm { a: Reg(9), imm: 0 }));
+    m.push(Item::JccL(Cond::Gt, "outer".into()));
+    m.push(Item::I(Inst::Sys { op: SysOp::Out, arg: Reg(8) }));
+    m.push(Item::I(Inst::Halt));
+    b.add_function(FuncDef::new("go_main", Language::Go, m));
+
+    b.push_data(
+        Some("goexit_fp"),
+        DataItem::Addr { target: RefTarget::Func("goexit".into()), delta: 0 },
+    );
+    b.push_data(Some("go_vtab"), DataItem::Zeros(8));
+    b.push_data(Some("gc_ctr"), DataItem::Zeros(8));
+    b.set_go_functable(vec![
+        ("go_main".to_string(), F as u64),
+        ("go_worker1".to_string(), F as u64),
+        ("go_worker2".to_string(), F as u64),
+        ("gc_poll".to_string(), F as u64),
+        ("goexit".to_string(), 0),
+    ]);
+    b.set_entry("go_main");
+    let binary = b.build().unwrap_or_else(|e| panic!("docker-like failed to build: {e}"));
+    Workload { name: "docker-like".to_string(), binary, languages: vec![Language::Go] }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icfgp_emu::{run, LoadOptions, Outcome};
+
+    #[test]
+    fn docker_like_runs_with_tracebacks() {
+        for arch in Arch::ALL {
+            let w = docker_like(arch, 1, 40);
+            match run(&w.binary, &LoadOptions::default()) {
+                Outcome::Halted(stats) => {
+                    assert_eq!(stats.output.len(), 1, "{arch}");
+                    assert!(stats.instructions > 2000, "{arch}: tracebacks ran");
+                }
+                o => panic!("{arch}: {o:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn traceback_checksum_is_stable() {
+        let a = run(&docker_like(Arch::X64, 1, 40).binary, &LoadOptions::default());
+        let b = run(&docker_like(Arch::X64, 1, 40).binary, &LoadOptions::default());
+        assert_eq!(a.stats().output, b.stats().output);
+    }
+}

@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+//! Seeded synthetic workloads: the evaluation substrate's "SPEC CPU
+//! 2017", "Firefox", "Docker" and "libcuda" stand-ins.
+//!
+//! Every workload is produced by the deterministic generator in
+//! [`gen`], which emits exactly the compiler constructs the paper's
+//! analyses target — per-architecture jump-table idioms (including
+//! ppc64le in-code tables and aarch64 compact tables), function-pointer
+//! tables, C++-style exception scenarios, frameless indirect tail
+//! calls, spilled switch indices, tiny functions — plus a `main` that
+//! drives a hot loop over them and emits an output checksum, which is
+//! the correctness oracle for rewriting.
+//!
+//! * [`spec_suite`] — the 19 SPEC-CPU-2017-like benchmarks (8 with
+//!   Fortran components, 2 with C++ exceptions, per the paper);
+//! * [`firefox_like`] — a large shared-library-style binary with mixed
+//!   C++/Rust features and symbol versioning;
+//! * [`docker_like`] — a Go-style PIE with `.pclntab`, an in-binary
+//!   traceback runtime (`findfunc`/`pcvalue`), GC safepoints and the
+//!   `&goexit + 1` pattern;
+//! * [`driverlib_like`] — a stripped many-function library with a hot
+//!   internal synchronisation function made of tiny blocks (the
+//!   Diogenes case study).
+
+pub mod gen;
+mod gobin;
+mod named;
+
+pub use gen::{generate, GenParams, SwitchFlavor, Workload};
+pub use gobin::docker_like;
+pub use named::{driverlib_like, firefox_like, spec_params, spec_suite, switch_demo, SpecBench, SPEC_NAMES};

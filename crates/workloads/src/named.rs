@@ -1,0 +1,520 @@
+//! The named evaluation workloads: the SPEC-CPU-2017-like suite, the
+//! firefox-like library, and the driver-library for the Diogenes case
+//! study.
+
+use crate::gen::{generate, GenParams, SwitchFlavor, Workload};
+use icfgp_asm::patterns::SwitchHardness;
+use icfgp_asm::{epilogue, prologue, BinaryBuilder, FuncDef, Item, SectionSizes};
+use icfgp_isa::{Arch, Cond, Inst, Reg, SysOp};
+use icfgp_obj::Language;
+
+/// The 19 SPEC-CPU-2017-like benchmark names (627.cam4_s is excluded,
+/// as in the paper).
+pub const SPEC_NAMES: [&str; 19] = [
+    "600.perlbench_s",
+    "602.gcc_s",
+    "603.bwaves_s",
+    "605.mcf_s",
+    "607.cactuBSSN_s",
+    "619.lbm_s",
+    "620.omnetpp_s",
+    "621.wrf_s",
+    "623.xalancbmk_s",
+    "625.x264_s",
+    "628.pop2_s",
+    "631.deepsjeng_s",
+    "638.imagick_s",
+    "641.leela_s",
+    "644.nab_s",
+    "648.exchange2_s",
+    "649.fotonik3d_s",
+    "654.roms_s",
+    "657.xz_s",
+];
+
+/// One benchmark of the suite.
+#[derive(Debug, Clone)]
+pub struct SpecBench {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// The generated workload.
+    pub workload: Workload,
+}
+
+/// Languages per benchmark: 8 with Fortran components, 2 with C++
+/// exceptions (620.omnetpp, 623.xalancbmk), matching the paper's
+/// composition. The name↔feature mapping is synthetic; only the
+/// *counts* are load-bearing for the reproduction.
+fn languages_of(name: &str) -> Vec<Language> {
+    match name {
+        "603.bwaves_s" | "607.cactuBSSN_s" | "619.lbm_s" | "621.wrf_s" | "628.pop2_s"
+        | "648.exchange2_s" | "649.fotonik3d_s" | "654.roms_s" => {
+            vec![Language::Fortran, Language::C]
+        }
+        "620.omnetpp_s" | "623.xalancbmk_s" => vec![Language::Cpp],
+        "631.deepsjeng_s" | "641.leela_s" => vec![Language::Cpp, Language::C],
+        _ => vec![Language::C],
+    }
+}
+
+/// Benchmarks whose jump tables carry the deceptive-bound pattern on
+/// this architecture (different compilers emit different code — the
+/// knob that reproduces the per-architecture SRBI pass counts of
+/// Table 3: 13/15/14 passing).
+fn deceptive_on(name: &str, arch: Arch) -> bool {
+    match arch {
+        Arch::X64 => {
+            matches!(name, "602.gcc_s" | "625.x264_s" | "657.xz_s" | "641.leela_s")
+        }
+        Arch::Ppc64le => matches!(name, "602.gcc_s" | "600.perlbench_s"),
+        Arch::Aarch64 => matches!(name, "602.gcc_s" | "657.xz_s" | "638.imagick_s"),
+    }
+}
+
+/// Benchmarks with one truly unanalyzable dispatch on this
+/// architecture (bounds *our* coverage below 100%, as the ppc64le and
+/// aarch64 rows of Table 3 show).
+fn unanalyzable_on(name: &str, arch: Arch) -> bool {
+    match arch {
+        Arch::X64 => false,
+        Arch::Ppc64le => matches!(name, "607.cactuBSSN_s" | "621.wrf_s"),
+        Arch::Aarch64 => matches!(name, "628.pop2_s"),
+    }
+}
+
+/// Benchmarks whose switches spill their index (SRBI's analysis fails
+/// them — coverage loss without wrong rewriting).
+fn spilled_on(name: &str) -> bool {
+    matches!(
+        name,
+        "600.perlbench_s" | "605.mcf_s" | "631.deepsjeng_s" | "644.nab_s" | "654.roms_s"
+    )
+}
+
+/// Generator parameters for one benchmark.
+#[must_use]
+pub fn spec_params(name: &'static str, arch: Arch, pie: bool) -> GenParams {
+    let idx = SPEC_NAMES.iter().position(|n| *n == name).unwrap_or(0);
+    let seed = 0xC0FFEE ^ (idx as u64) << 8 ^ u64::from(pie);
+    let languages = languages_of(name);
+    let exceptions = languages.contains(&Language::Cpp)
+        && matches!(name, "620.omnetpp_s" | "623.xalancbmk_s");
+    // Special hardness classes go first so they are assigned even to
+    // benchmarks with few switches.
+    let mut hardness = Vec::new();
+    if deceptive_on(name, arch) {
+        hardness.push(SwitchHardness::DeceptiveBound);
+    }
+    if unanalyzable_on(name, arch) {
+        hardness.push(SwitchHardness::Unanalyzable);
+    }
+    if spilled_on(name) {
+        hardness.push(SwitchHardness::SpilledIndex);
+    }
+    hardness.push(SwitchHardness::Easy);
+    hardness.push(SwitchHardness::CopiedBound);
+    // Rough per-benchmark character: switch-heavy front-ends with
+    // interpreter-style dispatch loops, compute Fortran kernels,
+    // pointer-heavy codecs.
+    let (switches, compute, fnptr, cases, dispatch_iters) = match name {
+        "600.perlbench_s" => (6, 2, 2, 12, 40),
+        "602.gcc_s" => (8, 2, 2, 16, 40),
+        "605.mcf_s" => (2, 4, 1, 6, 4),
+        "620.omnetpp_s" | "623.xalancbmk_s" => (4, 3, 3, 8, 10),
+        "625.x264_s" | "638.imagick_s" => (3, 5, 3, 8, 4),
+        "657.xz_s" => (4, 3, 1, 6, 8),
+        "631.deepsjeng_s" | "641.leela_s" => (3, 4, 2, 8, 8),
+        _ => (2, 6, 1, 6, 1), // Fortran-ish: compute heavy
+    };
+    GenParams {
+        name: name.to_string(),
+        seed,
+        arch,
+        pie,
+        languages,
+        compute_funcs: compute,
+        kernel_iters: 60,
+        kernel_body: 0,
+        switch_funcs: switches,
+        switch_cases: cases,
+        switch_inner_iters: dispatch_iters,
+        switch_hardness: hardness,
+        switch_flavor: if pie && arch == Arch::X64 {
+            SwitchFlavor::Relative4
+        } else {
+            SwitchFlavor::ArchDefault
+        },
+        fnptr_tables: fnptr,
+        fnptr_targets: 4,
+        exceptions,
+        exception_rate: exceptions,
+        stack_indirect_call: exceptions && arch == Arch::X64,
+        tiny_funcs: 2,
+        tailcall_funcs: 2,
+        outer_iters: 50,
+        link_time_relocs: false,
+        symbol_versioning: false,
+        stripped: false,
+        extra_sections: SectionSizes { extra_dynsym: 512, extra_dynstr: 256, extra_rela: 256 },
+        filler_funcs: 6,
+        filler_insts: 48,
+    }
+}
+
+/// Generate the whole suite for one architecture.
+#[must_use]
+pub fn spec_suite(arch: Arch, pie: bool) -> Vec<SpecBench> {
+    SPEC_NAMES
+        .iter()
+        .map(|name| SpecBench { name, workload: generate(&spec_params(name, arch, pie)) })
+        .collect()
+}
+
+/// The firefox-like binary: a large mixed C++/Rust code base with
+/// symbol versioning, exceptions, destructors, and a few functions
+/// even our analysis cannot resolve (coverage just below 100%, §8.2).
+///
+/// `scale` multiplies the function counts (1 = a few hundred
+/// functions; the experiments use larger values).
+#[must_use]
+pub fn firefox_like(arch: Arch, scale: usize) -> Workload {
+    let scale = scale.max(1);
+    let mut p = GenParams {
+        name: "firefox-libxul".to_string(),
+        seed: 0xF1EF0,
+        arch,
+        pie: true,
+        languages: vec![Language::Cpp, Language::Rust, Language::C],
+        compute_funcs: 32 * scale,
+        kernel_iters: 30,
+        kernel_body: 0,
+        switch_funcs: 10 * scale,
+        switch_cases: 10,
+        switch_inner_iters: 6,
+        switch_hardness: vec![
+            SwitchHardness::Easy,
+            SwitchHardness::CopiedBound,
+            SwitchHardness::SpilledIndex,
+            SwitchHardness::Easy,
+            SwitchHardness::Easy,
+            SwitchHardness::Easy,
+            SwitchHardness::Easy,
+            SwitchHardness::Easy,
+            SwitchHardness::Easy,
+            // One in ten dispatchers is beyond any analysis: the
+            // 99.93% coverage of §8.2.
+            SwitchHardness::Unanalyzable,
+        ],
+        switch_flavor: SwitchFlavor::ArchDefault,
+        fnptr_tables: 6 * scale,
+        fnptr_targets: 6,
+        exceptions: true,
+        exception_rate: true,
+        stack_indirect_call: false,
+        tiny_funcs: 8 * scale,
+        tailcall_funcs: 4 * scale,
+        outer_iters: 40,
+        link_time_relocs: false,
+        symbol_versioning: true, // what breaks Egalito on libxul.so
+        stripped: false,
+        extra_sections: SectionSizes {
+            extra_dynsym: 16 * 1024,
+            extra_dynstr: 8 * 1024,
+            extra_rela: 8 * 1024,
+        },
+        filler_funcs: 120 * scale,
+        filler_insts: 96,
+    };
+    if arch == Arch::X64 && p.switch_flavor == SwitchFlavor::ArchDefault {
+        p.switch_flavor = SwitchFlavor::Relative4; // PIE build
+    }
+    let mut w = generate(&p);
+    w.name = "firefox-libxul".to_string();
+    w
+}
+
+/// The libcuda-like driver library for the Diogenes case study (§9):
+/// `total_funcs` mostly-cold stripped functions, `api_funcs` public
+/// entry points that call a hidden internal synchronisation function
+/// whose body is a dense chain of tiny (sub-branch-size) blocks — the
+/// trap-storm trigger for per-block placement.
+///
+/// Returns the workload plus the entry addresses of the functions
+/// Diogenes instruments (the API functions and the sync function).
+#[must_use]
+pub fn driverlib_like(arch: Arch, total_funcs: usize, api_funcs: usize) -> (Workload, Vec<u64>) {
+    let total_funcs = total_funcs.max(api_funcs + 2);
+    let mut b = BinaryBuilder::new(arch);
+    b.pie(true);
+    b.stripped(false); // keep names for the harness
+    b.symbol_versioning(true); // breaks Egalito on libcuda.so (§9)
+    // Driver libraries are densely packed: no inter-function padding,
+    // so a per-block rewriter finds no nearby scratch space.
+    b.func_align(arch.inst_align().max(1));
+
+    // The hidden synchronisation function: a spin loop over a dense
+    // chain of single-branch blocks (each conditional is its own tiny
+    // block).
+    let mut sync = prologue(arch, 32, true);
+    sync.push(Item::I(Inst::MovImm { dst: Reg(9), imm: 1 })); // single pass
+    sync.push(Item::Label("spin".into()));
+    sync.push(Item::I(Inst::CmpImm { a: Reg(8), imm: 7 }));
+    for i in 0..6 {
+        sync.push(Item::Label(format!("b{i}")));
+        sync.push(Item::JccL(Cond::Eq, "hit".into()));
+    }
+    sync.push(Item::Label("hit".into()));
+    sync.push(Item::I(Inst::AluImm {
+        op: icfgp_isa::AluOp::Add,
+        dst: Reg(8),
+        src: Reg(8),
+        imm: 1,
+    }));
+    sync.push(Item::I(Inst::AluImm {
+        op: icfgp_isa::AluOp::Sub,
+        dst: Reg(9),
+        src: Reg(9),
+        imm: 1,
+    }));
+    sync.push(Item::I(Inst::CmpImm { a: Reg(9), imm: 0 }));
+    sync.push(Item::JccL(Cond::Gt, "spin".into()));
+    sync.extend(epilogue(arch, 32, true));
+    b.add_function(FuncDef::new("cu_sync_internal", Language::C, sync));
+
+    // Public API functions: wrappers that poll the sync function in a
+    // tight loop (drivers spin on synchronisation). The block falling
+    // through each call is a 2-byte jump: under call emulation every
+    // *return* from the sync lands there, and a per-block rewriter
+    // must squeeze a trampoline into those 2 bytes — the trap-storm
+    // mechanism of §9.
+    for i in 0..api_funcs {
+        let mut f = prologue(arch, 32, false);
+        f.push(Item::I(Inst::AluImm {
+            op: icfgp_isa::AluOp::Xor,
+            dst: Reg(8),
+            src: Reg(8),
+            imm: (i % 127) as i32,
+        }));
+        f.push(Item::I(Inst::MovImm { dst: Reg(9), imm: 20 }));
+        f.push(Item::Label("poll".into()));
+        f.push(Item::I(Inst::Store {
+            src: Reg(9),
+            addr: icfgp_isa::Addr::base_disp(arch.sp(), 8),
+            width: icfgp_isa::Width::W8,
+        }));
+        f.push(Item::CallF("cu_sync_internal".into()));
+        f.push(Item::JmpL("cont0".into()));
+        f.push(Item::Label("cont0".into()));
+        f.push(Item::CallF("cu_sync_internal".into()));
+        f.push(Item::JmpL("cont".into()));
+        f.push(Item::Label("cont".into()));
+        f.push(Item::I(Inst::Load {
+            dst: Reg(9),
+            addr: icfgp_isa::Addr::base_disp(arch.sp(), 8),
+            width: icfgp_isa::Width::W8,
+            sign: false,
+        }));
+        f.push(Item::I(Inst::AluImm {
+            op: icfgp_isa::AluOp::Sub,
+            dst: Reg(9),
+            src: Reg(9),
+            imm: 1,
+        }));
+        f.push(Item::I(Inst::CmpImm { a: Reg(9), imm: 0 }));
+        f.push(Item::JccL(Cond::Gt, "poll".into()));
+        f.extend(epilogue(arch, 32, false));
+        b.add_function(FuncDef::new(format!("cuAPI{i}"), Language::C, f));
+    }
+
+    // Cold internals.
+    for i in 0..total_funcs.saturating_sub(api_funcs + 2) {
+        let mut f = Vec::with_capacity(10);
+        for j in 0..6 {
+            let r = Reg(9 + (j % 4) as u8);
+            f.push(Item::I(Inst::AluImm {
+                op: icfgp_isa::AluOp::Add,
+                dst: r,
+                src: r,
+                imm: ((i + j) % 100) as i32,
+            }));
+        }
+        f.extend(epilogue(arch, 0, true));
+        b.add_function(FuncDef::new(format!("internal{i}"), Language::C, f));
+    }
+
+    // Driver main: the Diogenes identification test loop.
+    let mut m = prologue(arch, 32, false);
+    m.push(Item::MovWide { dst: Reg(9), imm: 60 });
+    m.push(Item::Label("loop".into()));
+    m.push(Item::I(Inst::Store {
+        src: Reg(9),
+        addr: icfgp_isa::Addr::base_disp(arch.sp(), 8),
+        width: icfgp_isa::Width::W8,
+    }));
+    for i in 0..4usize {
+        m.push(Item::CallF(format!("cuAPI{}", i % api_funcs.max(1))));
+    }
+    m.push(Item::I(Inst::Load {
+        dst: Reg(9),
+        addr: icfgp_isa::Addr::base_disp(arch.sp(), 8),
+        width: icfgp_isa::Width::W8,
+        sign: false,
+    }));
+    m.push(Item::I(Inst::AluImm {
+        op: icfgp_isa::AluOp::Sub,
+        dst: Reg(9),
+        src: Reg(9),
+        imm: 1,
+    }));
+    m.push(Item::I(Inst::CmpImm { a: Reg(9), imm: 0 }));
+    m.push(Item::JccL(Cond::Gt, "loop".into()));
+    m.push(Item::I(Inst::Sys { op: SysOp::Out, arg: Reg(8) }));
+    m.push(Item::I(Inst::Halt));
+    b.add_function(FuncDef::new("main", Language::C, m));
+    b.set_entry("main");
+
+    let binary = b.build().unwrap_or_else(|e| panic!("driverlib failed to build: {e}"));
+    let mut targets: Vec<u64> = binary
+        .functions()
+        .filter(|s| s.name.starts_with("cuAPI") || s.name == "cu_sync_internal" || s.name == "main")
+        .map(|s| s.addr)
+        .collect();
+    targets.sort_unstable();
+    let w = Workload {
+        name: "libcuda-like".to_string(),
+        binary,
+        languages: vec![Language::C, Language::Cpp],
+    };
+    (w, targets)
+}
+
+/// A small demonstration binary with one easy switch whose `main`
+/// sweeps *every* table index (plus out-of-range ones). Used by the
+/// Figure 2 experiment and the examples: every table entry is
+/// exercised, so under-approximated edges are guaranteed to be hit.
+#[must_use]
+pub fn switch_demo(arch: Arch, pie: bool) -> Workload {
+    use icfgp_asm::patterns::{emit_switch, switch_table_item, SwitchSpec};
+    use icfgp_asm::{DataItem, EntryKind};
+    use icfgp_isa::{Addr, AluOp, Width};
+
+    let (width, kind, inline) = match arch {
+        Arch::X64 => (8, EntryKind::Absolute, false),
+        Arch::Ppc64le => (8, EntryKind::Absolute, true),
+        Arch::Aarch64 => (1, EntryKind::RelativeScaled, true),
+    };
+    let (width, kind) = if pie && !inline { (8, EntryKind::Absolute) } else { (width, kind) };
+    let mut b = BinaryBuilder::new(arch);
+    b.pie(pie);
+    let cases = 5usize;
+    let mut items = prologue(arch, 32, true);
+    let spec = SwitchSpec {
+        idx_reg: Reg(8),
+        table_name: "demo_jt".into(),
+        case_labels: (0..cases).map(|i| format!("case{i}")).collect(),
+        default_label: "default".into(),
+        entry_width: width,
+        kind,
+        inline,
+        hardness: SwitchHardness::Easy,
+        spill_slot: 8,
+        scratch: (Reg(9), Reg(10)),
+        mem_indirect: false,
+    };
+    emit_switch(&mut items, arch, &spec);
+    for i in 0..cases {
+        items.push(Item::Label(format!("case{i}")));
+        items.push(Item::I(Inst::MovImm { dst: Reg(8), imm: 100 + i as i64 }));
+        items.push(Item::I(Inst::Sys { op: SysOp::Out, arg: Reg(8) }));
+        items.push(Item::JmpL("end".into()));
+    }
+    items.push(Item::Label("default".into()));
+    items.push(Item::I(Inst::MovImm { dst: Reg(8), imm: -1 }));
+    items.push(Item::I(Inst::Sys { op: SysOp::Out, arg: Reg(8) }));
+    items.push(Item::Label("end".into()));
+    items.extend(epilogue(arch, 32, true));
+    b.add_function(FuncDef::new("dispatch", Language::C, items));
+    if !inline {
+        b.push_rodata(Some("demo_jt"), switch_table_item("dispatch", &spec));
+        b.push_rodata(Some("demo_jt_end"), DataItem::Zeros(16));
+    }
+    let mut main = prologue(arch, 32, false);
+    main.push(Item::I(Inst::MovImm { dst: Reg(9), imm: 0 }));
+    main.push(Item::Label("loop".into()));
+    main.push(Item::I(Inst::Store {
+        src: Reg(9),
+        addr: Addr::base_disp(arch.sp(), 8),
+        width: Width::W8,
+    }));
+    main.push(Item::I(Inst::MovReg { dst: Reg(8), src: Reg(9) }));
+    main.push(Item::CallF("dispatch".into()));
+    main.push(Item::I(Inst::Load {
+        dst: Reg(9),
+        addr: Addr::base_disp(arch.sp(), 8),
+        width: Width::W8,
+        sign: false,
+    }));
+    main.push(Item::I(Inst::AluImm { op: AluOp::Add, dst: Reg(9), src: Reg(9), imm: 1 }));
+    main.push(Item::I(Inst::CmpImm { a: Reg(9), imm: 7 }));
+    main.push(Item::JccL(Cond::Lt, "loop".into()));
+    main.push(Item::I(Inst::Halt));
+    b.add_function(FuncDef::new("main", Language::C, main));
+    b.set_entry("main");
+    let binary = b.build().unwrap_or_else(|e| panic!("switch_demo failed to build: {e}"));
+    Workload { name: "switch-demo".into(), binary, languages: vec![Language::C] }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icfgp_emu::{run, LoadOptions, Outcome};
+
+    #[test]
+    fn spec_names_count_and_composition() {
+        assert_eq!(SPEC_NAMES.len(), 19);
+        let fortran = SPEC_NAMES.iter().filter(|n| {
+            languages_of(n).contains(&Language::Fortran)
+        });
+        assert_eq!(fortran.count(), 8, "8 Fortran-containing benchmarks");
+        let exc = SPEC_NAMES
+            .iter()
+            .filter(|n| matches!(**n, "620.omnetpp_s" | "623.xalancbmk_s"))
+            .count();
+        assert_eq!(exc, 2);
+    }
+
+    #[test]
+    fn every_spec_bench_runs_on_x64() {
+        for bench in spec_suite(Arch::X64, false) {
+            match run(&bench.workload.binary, &LoadOptions::default()) {
+                Outcome::Halted(stats) => {
+                    assert!(!stats.output.is_empty(), "{}", bench.name);
+                }
+                o => panic!("{}: {o:?}", bench.name),
+            }
+        }
+    }
+
+    #[test]
+    fn firefox_like_runs() {
+        let w = firefox_like(Arch::X64, 1);
+        assert!(w.binary.meta.has_symbol_versioning);
+        assert!(w.binary.meta.has_exceptions());
+        assert!(w.binary.functions().count() > 200);
+        match run(&w.binary, &LoadOptions::default()) {
+            Outcome::Halted(stats) => assert!(!stats.output.is_empty()),
+            o => panic!("{o:?}"),
+        }
+    }
+
+    #[test]
+    fn driverlib_shape_and_run() {
+        let (w, targets) = driverlib_like(Arch::X64, 400, 30);
+        assert_eq!(w.binary.functions().count(), 400);
+        assert_eq!(targets.len(), 32, "30 APIs + sync + main");
+        match run(&w.binary, &LoadOptions::default()) {
+            Outcome::Halted(stats) => assert_eq!(stats.output.len(), 1),
+            o => panic!("{o:?}"),
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Workload-level properties: every named workload is deterministic,
+//! runnable, and carries the structural features its experiment needs.
+
+use icfgp_emu::{run, LoadOptions, Outcome};
+use icfgp_isa::Arch;
+use icfgp_obj::Language;
+use icfgp_workloads::{
+    docker_like, driverlib_like, firefox_like, spec_params, spec_suite, switch_demo, generate,
+    SPEC_NAMES,
+};
+
+#[test]
+fn suite_runs_on_all_architectures() {
+    for arch in [Arch::Ppc64le, Arch::Aarch64] {
+        for bench in spec_suite(arch, false) {
+            match run(&bench.workload.binary, &LoadOptions::default()) {
+                Outcome::Halted(s) => {
+                    assert!(!s.output.is_empty(), "{arch}/{}", bench.name);
+                    assert!(s.instructions > 500, "{arch}/{}: too trivial", bench.name);
+                }
+                o => panic!("{arch}/{}: {o:?}", bench.name),
+            }
+        }
+    }
+}
+
+#[test]
+fn pie_suite_runs_at_bias() {
+    for bench in spec_suite(Arch::X64, true).into_iter().take(5) {
+        let opts = LoadOptions { bias: 0x40_0000, ..LoadOptions::default() };
+        assert!(
+            run(&bench.workload.binary, &opts).is_success(),
+            "{} at bias",
+            bench.name
+        );
+    }
+}
+
+#[test]
+fn exception_benchmarks_throw() {
+    for name in ["620.omnetpp_s", "623.xalancbmk_s"] {
+        let w = generate(&spec_params(name, Arch::X64, false));
+        match run(&w.binary, &LoadOptions::default()) {
+            Outcome::Halted(s) => {
+                assert!(s.throws > 0, "{name} must exercise exceptions");
+                assert!(s.unwind_steps > 0, "{name}");
+            }
+            o => panic!("{name}: {o:?}"),
+        }
+        assert!(w.binary.uses_exceptions(), "{name} carries unwind call sites");
+    }
+}
+
+#[test]
+fn fortran_benchmarks_do_not_use_exceptions() {
+    let fortran: Vec<&str> = SPEC_NAMES
+        .iter()
+        .copied()
+        .filter(|n| {
+            generate(&spec_params(n, Arch::X64, false))
+                .languages
+                .contains(&Language::Fortran)
+        })
+        .collect();
+    assert_eq!(fortran.len(), 8, "the paper's Fortran count");
+    for name in fortran {
+        let w = generate(&spec_params(name, Arch::X64, false));
+        assert!(!w.binary.uses_exceptions(), "{name}");
+    }
+}
+
+#[test]
+fn docker_like_structure() {
+    let w = docker_like(Arch::X64, 1, 30);
+    assert!(w.binary.meta.pie, "Go binaries are PIE");
+    assert!(w.binary.meta.has_go_runtime());
+    let tab = w.binary.pclntab.as_ref().expect("pclntab present");
+    assert!(tab.len() >= 4, "runtime functions covered");
+    // The traceback functions are marked for §6.2 instrumentation.
+    let marked = w
+        .binary
+        .functions()
+        .filter(|f| f.attrs.is_go_traceback)
+        .count();
+    assert_eq!(marked, 2, "findfunc + pcvalue");
+    // No jump tables anywhere (dir == jt on Go, §8.2).
+    let a = icfgp_cfg::analyze(&w.binary, &icfgp_cfg::AnalysisConfig::default());
+    assert_eq!(a.funcs.values().map(|f| f.jump_tables.len()).sum::<usize>(), 0);
+}
+
+#[test]
+fn firefox_like_structure() {
+    let w = firefox_like(Arch::X64, 1);
+    assert!(w.binary.meta.pie);
+    assert!(w.binary.meta.has_symbol_versioning, "what breaks Egalito");
+    assert!(w.binary.uses_exceptions());
+    assert!(w.binary.functions().count() > 200);
+}
+
+#[test]
+fn driverlib_density() {
+    let (w, targets) = driverlib_like(Arch::X64, 500, 50);
+    // Densely packed: no padding between consecutive functions.
+    let funcs: Vec<_> = w.binary.functions().collect();
+    let padded = funcs.windows(2).filter(|p| p[1].addr > p[0].end()).count();
+    assert_eq!(padded, 0, "driver libraries are packed (no scratch padding)");
+    assert_eq!(targets.len(), 52, "APIs + sync + main");
+}
+
+#[test]
+fn switch_demo_covers_every_case() {
+    for arch in Arch::ALL {
+        let w = switch_demo(arch, false);
+        match run(&w.binary, &LoadOptions::default()) {
+            Outcome::Halted(s) => {
+                // 7 dispatches: cases 0..=4 then two out-of-range.
+                assert_eq!(s.output.len(), 7, "{arch}");
+                for c in 0..5 {
+                    assert!(s.output.contains(&(100 + c)), "{arch}: case {c} ran");
+                }
+                assert!(s.output.contains(&-1), "{arch}: default ran");
+            }
+            o => panic!("{arch}: {o:?}"),
+        }
+    }
+}

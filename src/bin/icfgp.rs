@@ -1,0 +1,222 @@
+//! The `icfgp` command-line driver: generate, analyse, rewrite and run
+//! binaries of the synthetic object format (serialised with serde/JSON).
+//!
+//! ```console
+//! $ icfgp gen --workload spec:602.gcc_s --arch x86-64 -o gcc.icfgp
+//! $ icfgp analyze gcc.icfgp
+//! $ icfgp rewrite gcc.icfgp --mode jt -o gcc.rw.icfgp
+//! $ icfgp run gcc.rw.icfgp --preload-runtime
+//! ```
+
+use incremental_cfg_patching::cfg::{analyze, AnalysisConfig, FuncStatus};
+use incremental_cfg_patching::core::{
+    Instrumentation, Points, RewriteConfig, RewriteMode, Rewriter, UnwindStrategy,
+};
+use incremental_cfg_patching::emu::{run, LoadOptions, Outcome};
+use incremental_cfg_patching::isa::Arch;
+use incremental_cfg_patching::obj::Binary;
+use incremental_cfg_patching::workloads::{
+    docker_like, firefox_like, generate, spec_params, GenParams, SPEC_NAMES,
+};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "icfgp — incremental CFG patching driver
+
+USAGE:
+  icfgp gen --workload <spec:NAME|small|firefox|docker> [--arch A] [--pie] [--seed N] -o FILE
+  icfgp analyze FILE
+  icfgp rewrite FILE --mode <dir|jt|func-ptr> [--unwind <ra|emulate|none>]
+                     [--no-poison] [--points <blocks|entries|none>] -o FILE
+  icfgp run FILE [--preload-runtime] [--bias HEX] [--fuel N]
+  icfgp list-workloads
+
+Architectures: x86-64 (default), ppc64le, aarch64."
+    );
+    ExitCode::from(2)
+}
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+fn parse_arch(args: &[String]) -> Arch {
+    match arg_value(args, "--arch").as_deref() {
+        Some("ppc64le") => Arch::Ppc64le,
+        Some("aarch64") => Arch::Aarch64,
+        _ => Arch::X64,
+    }
+}
+
+fn load_binary(path: &str) -> Result<Binary, String> {
+    let data = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
+    serde_json::from_slice(&data).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+fn save_binary(binary: &Binary, path: &str) -> Result<(), String> {
+    let data = serde_json::to_vec(binary).map_err(|e| e.to_string())?;
+    std::fs::write(path, data).map_err(|e| format!("writing {path}: {e}"))
+}
+
+fn cmd_gen(args: &[String]) -> Result<(), String> {
+    let arch = parse_arch(args);
+    let pie = has_flag(args, "--pie");
+    let seed = arg_value(args, "--seed").and_then(|s| s.parse().ok()).unwrap_or(1);
+    let out = arg_value(args, "-o").ok_or("missing -o FILE")?;
+    let spec = arg_value(args, "--workload").unwrap_or_else(|| "small".to_string());
+    let workload = if let Some(name) = spec.strip_prefix("spec:") {
+        let name = SPEC_NAMES
+            .iter()
+            .find(|n| **n == name)
+            .ok_or_else(|| format!("unknown benchmark {name}; try `icfgp list-workloads`"))?;
+        generate(&spec_params(name, arch, pie))
+    } else {
+        match spec.as_str() {
+            "small" => {
+                let mut p = GenParams::small("cli", arch, seed);
+                p.pie = pie;
+                generate(&p)
+            }
+            "firefox" => firefox_like(arch, 1),
+            "docker" => docker_like(arch, seed, 100),
+            other => return Err(format!("unknown workload {other}")),
+        }
+    };
+    save_binary(&workload.binary, &out)?;
+    println!(
+        "{}: {} functions, {} bytes loaded, arch {arch}, pie {pie} -> {out}",
+        workload.name,
+        workload.binary.functions().count(),
+        workload.binary.loaded_size()
+    );
+    Ok(())
+}
+
+fn cmd_analyze(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("missing FILE")?;
+    let binary = load_binary(path)?;
+    let a = analyze(&binary, &AnalysisConfig::default());
+    let funcs = a.funcs.len();
+    let ok = a.funcs.values().filter(|f| f.status == FuncStatus::Ok).count();
+    let blocks: usize = a.funcs.values().map(|f| f.blocks.len()).sum();
+    let tables: usize = a.funcs.values().map(|f| f.jump_tables.len()).sum();
+    let tailcalls: usize = a.funcs.values().map(|f| f.indirect_tailcalls.len()).sum();
+    println!("{path}: {} ({})", binary.arch, if binary.meta.pie { "PIE" } else { "no-PIE" });
+    println!("  functions        : {funcs} ({ok} analysable, {:.2}% coverage)", a.coverage() * 100.0);
+    println!("  basic blocks     : {blocks}");
+    println!("  jump tables      : {tables}");
+    println!("  indirect tailcalls (heuristic): {tailcalls}");
+    println!("  function-pointer defs: {}", a.fp_defs.len());
+    for f in a.funcs.values().filter(|f| f.status != FuncStatus::Ok) {
+        println!("  FAILED {}: {:?}", if f.name.is_empty() { "<stripped>" } else { &f.name }, f.status);
+    }
+    Ok(())
+}
+
+fn cmd_rewrite(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("missing FILE")?;
+    let out = arg_value(args, "-o").ok_or("missing -o FILE")?;
+    let binary = load_binary(path)?;
+    let mode = match arg_value(args, "--mode").as_deref() {
+        Some("dir") => RewriteMode::Dir,
+        Some("func-ptr") => RewriteMode::FuncPtr,
+        _ => RewriteMode::Jt,
+    };
+    let mut config = RewriteConfig::new(mode);
+    config.unwind = match arg_value(args, "--unwind").as_deref() {
+        Some("emulate") => UnwindStrategy::CallEmulation,
+        Some("none") => UnwindStrategy::None,
+        _ => UnwindStrategy::RaTranslation,
+    };
+    if has_flag(args, "--no-poison") {
+        config.poison_text = false;
+    }
+    let points = match arg_value(args, "--points").as_deref() {
+        Some("entries") => Points::FunctionEntries,
+        Some("none") => Points::None,
+        _ => Points::EveryBlock,
+    };
+    let outcome = Rewriter::new(config)
+        .rewrite(&binary, &Instrumentation::empty(points))
+        .map_err(|e| e.to_string())?;
+    save_binary(&outcome.binary, &out)?;
+    let r = &outcome.report;
+    println!("rewrote {path} -> {out} ({mode} mode)");
+    println!("  coverage   : {:.2}%", r.coverage * 100.0);
+    println!(
+        "  trampolines: {} ({} short, {} long, {} multi-hop, {} trap)",
+        r.trampolines(),
+        r.tramp_short,
+        r.tramp_long,
+        r.tramp_multi_hop,
+        r.tramp_trap
+    );
+    println!("  cloned jump tables: {}", r.cloned_tables);
+    println!("  ra-map entries    : {}", r.ra_map_entries);
+    println!("  size       : {} -> {} (+{:.2}%)", r.original_size, r.rewritten_size,
+        r.size_increase() * 100.0);
+    Ok(())
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("missing FILE")?;
+    let binary = load_binary(path)?;
+    let opts = LoadOptions {
+        preload_runtime: has_flag(args, "--preload-runtime"),
+        bias: arg_value(args, "--bias")
+            .and_then(|s| u64::from_str_radix(s.trim_start_matches("0x"), 16).ok())
+            .unwrap_or(0),
+        fuel: arg_value(args, "--fuel").and_then(|s| s.parse().ok()).unwrap_or(500_000_000),
+        ..LoadOptions::default()
+    };
+    match run(&binary, &opts) {
+        Outcome::Halted(stats) => {
+            println!("halted normally");
+            println!("  output      : {:?}", stats.output);
+            println!("  instructions: {}", stats.instructions);
+            println!("  cycles      : {}", stats.cycles);
+            println!("  icache miss : {}", stats.icache_misses);
+            println!("  traps       : {}", stats.traps);
+            println!("  unwind steps: {} (ra translations {})", stats.unwind_steps, stats.ra_translations);
+            Ok(())
+        }
+        Outcome::Crashed { reason, stats } => {
+            Err(format!("crashed after {} instructions: {reason}", stats.instructions))
+        }
+        Outcome::OutOfFuel(stats) => {
+            Err(format!("out of fuel after {} instructions", stats.instructions))
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { return usage() };
+    let rest = &args[1..];
+    let result = match cmd.as_str() {
+        "gen" => cmd_gen(rest),
+        "analyze" => cmd_analyze(rest),
+        "rewrite" => cmd_rewrite(rest),
+        "run" => cmd_run(rest),
+        "list-workloads" => {
+            println!("small  firefox  docker");
+            for n in SPEC_NAMES {
+                println!("spec:{n}");
+            }
+            Ok(())
+        }
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
