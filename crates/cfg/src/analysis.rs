@@ -66,6 +66,32 @@ impl AnalysisConfig {
             ..AnalysisConfig::default()
         }
     }
+
+    /// The maximally conservative configuration used by translation
+    /// validation (`icfgp-verify`): every indirect-target candidate is
+    /// kept live, no tail-call heuristic may explain away an
+    /// unresolved jump (the function is reported failed instead), and
+    /// no faults are injected. Over-approximating capabilities
+    /// (table-end extension, pointer-arithmetic tracking) stay on.
+    #[must_use]
+    pub fn strict() -> AnalysisConfig {
+        AnalysisConfig::default().strictened()
+    }
+
+    /// This configuration with heuristics and fault injection removed
+    /// — the strict counterpart a verifier recomputes results with,
+    /// keeping the resolution limits (`max_slice_insts`,
+    /// `max_table_entries`) identical so a clean rewrite and its
+    /// re-analysis resolve exactly the same tables.
+    #[must_use]
+    pub fn strictened(&self) -> AnalysisConfig {
+        AnalysisConfig {
+            tailcall_gap_heuristic: false,
+            tailcall_teardown_heuristic: false,
+            inject: Vec::new(),
+            ..self.clone()
+        }
+    }
 }
 
 /// Deliberate analysis faults, one per Figure 2 failure class.

@@ -28,6 +28,22 @@ impl LivenessResult {
         }
     }
 
+    /// The registers live on entry to the block, or `None` when the
+    /// block is unknown to this analysis (callers that treat unknown
+    /// blocks as fully live can keep using [`Self::is_live_in`]; the
+    /// verifier uses `None` to tell "provably live" apart from "no
+    /// information").
+    #[must_use]
+    pub fn live_in_regs(&self, block_start: u64) -> Option<Vec<Reg>> {
+        let set = *self.live_in.get(&block_start)?;
+        Some(
+            (0..self.arch.gpr_count())
+                .map(Reg)
+                .filter(|r| set & (1 << r.0) != 0)
+                .collect(),
+        )
+    }
+
     /// A register that is dead on entry to the block, usable as a
     /// trampoline scratch register. The stack pointer, the ppc64le TOC
     /// register and `r0` (the prologue scratch) are never returned.

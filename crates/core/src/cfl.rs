@@ -85,6 +85,28 @@ pub fn cfl_blocks(func: &FuncCfg, config: &RewriteConfig) -> BTreeMap<u64, CflRe
     out
 }
 
+/// [`cfl_blocks`] adjusted for table cloneability: in `jt`/`func-ptr`
+/// mode, targets of tables that *cannot* be cloned stay CFL (the table
+/// remains unmodified and dispatches into original code), while the
+/// in-place ablation (`clone_tables = false`) keeps control inside
+/// `.instr` and removes them. This is the exact CFL set the rewriter
+/// places trampolines for, shared with the `icfgp-verify` checker so
+/// both sides agree on what "complete" means.
+#[must_use]
+pub fn effective_cfl_blocks(func: &FuncCfg, config: &RewriteConfig) -> BTreeMap<u64, CflReason> {
+    let mut cfl = cfl_blocks(func, config);
+    if config.mode >= RewriteMode::Jt && config.clone_tables {
+        for desc in &func.jump_tables {
+            if !crate::relocate::table_cloneable(func, desc) {
+                for (_, target) in &desc.targets {
+                    cfl.entry(*target).or_insert(CflReason::JumpTableTarget);
+                }
+            }
+        }
+    }
+    cfl
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

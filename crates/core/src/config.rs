@@ -129,6 +129,14 @@ pub struct RewriteConfig {
     /// Multiverse-style dynamic-translation baseline) need the slack to
     /// widen those sites into translator detours. Default 0.
     pub indirect_site_padding: u64,
+    /// Attach [`RewriteArtifacts`](crate::RewriteArtifacts) (placement
+    /// plans, scratch-pool donations, clone descriptors, runtime maps)
+    /// to the [`RewriteOutcome`](crate::RewriteOutcome) so the
+    /// `icfgp-verify` translation-validation pass can check the
+    /// rewrite statically. Cheap to collect; on by default. The pass
+    /// itself is opt-in (`icfgp verify`, `icfgp rewrite --verify`, or
+    /// calling the verifier crate directly).
+    pub collect_artifacts: bool,
 }
 
 impl RewriteConfig {
@@ -147,6 +155,7 @@ impl RewriteConfig {
             instr_gap: 0x1000,
             layout: LayoutOrder::Original,
             indirect_site_padding: 0,
+            collect_artifacts: true,
         }
     }
 }

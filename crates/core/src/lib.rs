@@ -68,13 +68,13 @@ mod placement;
 mod relocate;
 mod report;
 mod rewriter;
-mod tramp;
+pub mod tramp;
 
-pub use cfl::{cfl_blocks, CflReason};
+pub use cfl::{cfl_blocks, effective_cfl_blocks, CflReason};
 pub use config::{LayoutOrder, PlacementConfig, RewriteConfig, RewriteMode, UnwindStrategy};
 pub use instrument::{Instrumentation, Payload, Points};
-pub use placement::{PlacedTrampoline, PlacementPlan, TrampolineKind};
-pub use relocate::RelocatedCode;
+pub use placement::{Patch, PlacedTrampoline, PlacementPlan, ScratchPool, TrampolineKind};
+pub use relocate::{table_cloneable, RelocatedCode};
 pub use report::{RewriteReport, SkipReason};
-pub use rewriter::{RewriteError, RewriteOutcome, Rewriter};
+pub use rewriter::{CloneSummary, RewriteArtifacts, RewriteError, RewriteOutcome, Rewriter};
 pub use tramp::trampoline_table;

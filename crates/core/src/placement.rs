@@ -82,6 +82,10 @@ pub struct PlacementPlan {
 #[derive(Debug, Clone, Default)]
 pub struct ScratchPool {
     ranges: Vec<(u64, u64)>,
+    /// Every range ever donated, in donation order. Allocation
+    /// fragments are not re-recorded, so this is the provenance log
+    /// the verifier checks island allocations against.
+    donations: Vec<(u64, u64)>,
 }
 
 impl ScratchPool {
@@ -95,7 +99,15 @@ impl ScratchPool {
     pub fn donate(&mut self, start: u64, end: u64) {
         if end > start {
             self.ranges.push((start, end));
+            self.donations.push((start, end));
         }
+    }
+
+    /// Every range ever donated (fragments returned by allocation are
+    /// subsumed by their original donation and not listed again).
+    #[must_use]
+    pub fn donations(&self) -> &[(u64, u64)] {
+        &self.donations
     }
 
     /// Total free bytes.
@@ -124,9 +136,14 @@ impl ScratchPool {
         }
         let (i, addr, _) = best?;
         let (s, e) = self.ranges.remove(i);
-        // Return the two leftover fragments.
-        self.donate(s, addr);
-        self.donate(addr + size, e);
+        // Return the two leftover fragments (without re-logging them
+        // as donations — they stay covered by the original one).
+        if addr > s {
+            self.ranges.push((s, addr));
+        }
+        if e > addr + size {
+            self.ranges.push((addr + size, e));
+        }
         Some(addr)
     }
 }

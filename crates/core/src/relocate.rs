@@ -75,7 +75,8 @@ pub struct RelocatedCode {
 /// Whether a table's base materialisation can be retargeted: its
 /// instructions must be adjacent in the instruction stream (pairs are
 /// rewritten as a unit).
-pub(crate) fn table_cloneable(func: &FuncCfg, desc: &JumpTableDesc) -> bool {
+#[must_use]
+pub fn table_cloneable(func: &FuncCfg, desc: &JumpTableDesc) -> bool {
     if desc.base_insts.is_empty() {
         // The x64 absolute-displacement memory jump: cloning rewrites
         // the displacement of the copied jump instruction itself.

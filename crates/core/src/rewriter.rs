@@ -1,14 +1,14 @@
 //! The rewriting driver: analysis → CFL blocks → relocation →
 //! trampoline placement → output binary assembly.
 
-use crate::cfl::cfl_blocks;
+use crate::cfl::effective_cfl_blocks;
 use crate::config::{RewriteConfig, RewriteMode, UnwindStrategy};
 use crate::instrument::Instrumentation;
 use crate::placement::{place_function, PlaceCtx, PlacementPlan, ScratchPool, TrampolineKind};
 use crate::relocate::{relocate, table_cloneable, RelocateInput};
 use crate::report::{RewriteReport, SkipReason};
-use icfgp_cfg::{analyze, live_in_at_blocks, FuncStatus, JumpTableDesc};
-use icfgp_obj::{names, Binary, RelocKind, Section, SectionFlags, SectionKind, TrapMap};
+use icfgp_cfg::{analyze, live_in_at_blocks, FuncStatus, TableKind};
+use icfgp_obj::{names, Binary, RaMap, RelocKind, Section, SectionFlags, SectionKind, TrapMap};
 use std::fmt;
 
 /// Rewriting failure.
@@ -59,6 +59,56 @@ pub struct RewriteOutcome {
     /// Original instruction address → relocated instruction address
     /// (needed by dynamic attach to migrate paused program counters).
     pub inst_map: std::collections::BTreeMap<u64, u64>,
+    /// Placement byproducts for the static verifier; `Some` when
+    /// [`RewriteConfig::collect_artifacts`] is set.
+    pub artifacts: Option<RewriteArtifacts>,
+}
+
+/// One cloned jump table, summarised for external consumers (the
+/// `icfgp-verify` checker): where the original lives, where the clone
+/// went and how its entries are encoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CloneSummary {
+    /// Address of the dispatching indirect jump.
+    pub jump_addr: u64,
+    /// Original table start address.
+    pub table_addr: u64,
+    /// Original entry width in bytes.
+    pub orig_entry_width: u8,
+    /// Clone entry width in bytes (compact tables are widened to 4).
+    pub clone_entry_width: u8,
+    /// Entry count (as analysed, possibly over-approximated).
+    pub count: u64,
+    /// Clone start address inside `.jt_clone`.
+    pub clone_addr: u64,
+    /// Target expression of the table.
+    pub kind: TableKind,
+    /// Whether the original table data lives inside `.text`.
+    pub in_text: bool,
+}
+
+/// Byproducts of one rewrite that a static translation-validation pass
+/// needs: per-function placement plans, the scratch-pool provenance
+/// log, clone descriptors and the runtime maps before serialisation.
+#[derive(Debug, Clone, Default)]
+pub struct RewriteArtifacts {
+    /// `(function entry, placement plan)` per instrumented function.
+    pub plans: Vec<(u64, PlacementPlan)>,
+    /// Every range donated to the scratch pool, in donation order
+    /// (inter-function padding, dead inline tables, renamed `.old.*`
+    /// sections, and per-trampoline superblock leftovers).
+    pub scratch_ranges: Vec<(u64, u64)>,
+    /// Jump-table clone descriptors (`jt`/`func-ptr` modes).
+    pub clones: Vec<CloneSummary>,
+    /// `[start, end)` of the `.instr` section.
+    pub instr_range: (u64, u64),
+    /// `[start, end)` of the `.jt_clone` region (empty when nothing
+    /// was cloned).
+    pub clone_range: (u64, u64),
+    /// The relocated→original return-address map as emitted.
+    pub ra_map: RaMap,
+    /// The trap-trampoline map as emitted.
+    pub trap_map: TrapMap,
 }
 
 /// The incremental-CFG-patching rewriter.
@@ -300,10 +350,10 @@ impl Rewriter {
         }
 
         let mut trap_map = TrapMap::new();
-        let mut all_plans: Vec<PlacementPlan> = Vec::new();
+        let mut all_plans: Vec<(u64, PlacementPlan)> = Vec::new();
         for entry in &selected {
             let f = &analysis.funcs[entry];
-            let cfl = cfl_blocks_with_cloneability(f, &self.config);
+            let cfl = effective_cfl_blocks(f, &self.config);
             report.cfl_blocks += cfl.len();
             let liveness = live_in_at_blocks(f, arch);
             let plan = place_function(
@@ -329,9 +379,9 @@ impl Rewriter {
             for (addr, target) in &plan.trap_entries {
                 trap_map.insert(*addr, *target);
             }
-            all_plans.push(plan);
+            all_plans.push((*entry, plan));
         }
-        for plan in &all_plans {
+        for (_, plan) in &all_plans {
             for patch in &plan.patches {
                 out.write(patch.addr, &patch.bytes).map_err(|e| {
                     RewriteError::Unsupported(format!("patch failed: {e}"))
@@ -398,41 +448,40 @@ impl Rewriter {
         }
         report.rewritten_size = out.loaded_size();
         debug_assert!(out.validate_layout().is_ok());
+        let artifacts = if self.config.collect_artifacts {
+            Some(RewriteArtifacts {
+                plans: all_plans,
+                scratch_ranges: pool.donations().to_vec(),
+                clones: reloc
+                    .clones
+                    .iter()
+                    .map(|c| CloneSummary {
+                        jump_addr: c.desc.jump_addr,
+                        table_addr: c.desc.table_addr,
+                        orig_entry_width: c.desc.entry_width,
+                        clone_entry_width: c.entry_width,
+                        count: c.desc.count,
+                        clone_addr: c.clone_addr,
+                        kind: c.desc.kind,
+                        in_text: c.desc.in_text,
+                    })
+                    .collect(),
+                instr_range: (instr_base, instr_base + reloc.code.len() as u64),
+                clone_range: (clone_base, clone_base + clone_size),
+                ra_map: reloc.ra_map.clone(),
+                trap_map: trap_map.clone(),
+            })
+        } else {
+            None
+        };
         Ok(RewriteOutcome {
             binary: out,
             report,
             block_map: reloc.block_map,
             inst_map: reloc.inst_map,
+            artifacts,
         })
     }
-}
-
-/// CFL blocks, treating uncloneable tables as unmodified (their
-/// targets stay CFL even in `jt`/`func-ptr` mode).
-fn cfl_blocks_with_cloneability(
-    func: &icfgp_cfg::FuncCfg,
-    config: &RewriteConfig,
-) -> std::collections::BTreeMap<u64, crate::cfl::CflReason> {
-    let mut cfl = cfl_blocks(func, config);
-    if config.mode >= RewriteMode::Jt {
-        let uncloneable: Vec<&JumpTableDesc> = func
-            .jump_tables
-            .iter()
-            .filter(|d| !table_cloneable(func, d) || !config.clone_tables)
-            .collect();
-        for desc in uncloneable {
-            // In-place rewriting (clone_tables = false) keeps control
-            // inside `.instr`, so targets are not CFL then; truly
-            // uncloneable tables stay unmodified and their targets are
-            // CFL.
-            if config.clone_tables {
-                for (_, target) in &desc.targets {
-                    cfl.entry(*target).or_insert(crate::cfl::CflReason::JumpTableTarget);
-                }
-            }
-        }
-    }
-    cfl
 }
 
 fn align_up(v: u64, a: u64) -> u64 {

@@ -54,6 +54,36 @@ impl AddrMap {
         }
         Some(map)
     }
+
+    /// Keys recorded more than once with *different* values — a
+    /// malformed table (the runtime lookup would pick one
+    /// arbitrarily). Duplicate identical pairs are tolerated.
+    fn conflicting_keys(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        for w in self.pairs.windows(2) {
+            if w[0].0 == w[1].0 && w[0].1 != w[1].1 && out.last() != Some(&w[0].0) {
+                out.push(w[0].0);
+            }
+        }
+        out
+    }
+
+    /// Values shared by entries with *distinct* keys (the map is not
+    /// injective). Harmless for some producers (payload insertion can
+    /// split one original return address across two relocated sites),
+    /// so callers usually report these as warnings.
+    fn colliding_values(&self) -> Vec<u64> {
+        let mut keys_of: std::collections::BTreeMap<u64, std::collections::BTreeSet<u64>> =
+            std::collections::BTreeMap::new();
+        for (k, v) in &self.pairs {
+            keys_of.entry(*v).or_default().insert(*k);
+        }
+        keys_of
+            .into_iter()
+            .filter(|(_, ks)| ks.len() > 1)
+            .map(|(v, _)| v)
+            .collect()
+    }
 }
 
 /// Relocated→original return-address map (`.ra_map` contents).
@@ -105,6 +135,26 @@ impl RaMap {
     pub fn from_bytes(bytes: &[u8]) -> Option<RaMap> {
         AddrMap::from_bytes(bytes).map(RaMap)
     }
+
+    /// The sorted `(relocated, original)` pairs.
+    #[must_use]
+    pub fn pairs(&self) -> &[(u64, u64)] {
+        &self.0.pairs
+    }
+
+    /// Relocated addresses recorded more than once with different
+    /// originals — a malformed map.
+    #[must_use]
+    pub fn conflicting_keys(&self) -> Vec<u64> {
+        self.0.conflicting_keys()
+    }
+
+    /// Original addresses reached from more than one distinct
+    /// relocated address (the map is not injective).
+    #[must_use]
+    pub fn colliding_values(&self) -> Vec<u64> {
+        self.0.colliding_values()
+    }
 }
 
 /// Trap-trampoline→target map (`.trap_map` contents).
@@ -153,6 +203,26 @@ impl TrapMap {
     #[must_use]
     pub fn from_bytes(bytes: &[u8]) -> Option<TrapMap> {
         AddrMap::from_bytes(bytes).map(TrapMap)
+    }
+
+    /// The sorted `(trap address, target)` pairs.
+    #[must_use]
+    pub fn pairs(&self) -> &[(u64, u64)] {
+        &self.0.pairs
+    }
+
+    /// Trap addresses recorded more than once with different targets —
+    /// a malformed map.
+    #[must_use]
+    pub fn conflicting_keys(&self) -> Vec<u64> {
+        self.0.conflicting_keys()
+    }
+
+    /// Targets shared by more than one distinct trap address (the map
+    /// is not injective).
+    #[must_use]
+    pub fn colliding_values(&self) -> Vec<u64> {
+        self.0.colliding_values()
     }
 }
 

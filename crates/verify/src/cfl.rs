@@ -1,0 +1,82 @@
+//! CFL-completeness checks: every block where original-code execution
+//! can land must have a trampoline.
+//!
+//! The verifier independently recomputes the maximally conservative
+//! CFL set from a *strict* re-analysis of the original binary
+//! (heuristics off, injected faults cleared) and compares it with the
+//! trampolines the rewriter actually placed. A CFL block with no
+//! trampoline is the under-approximation failure class (§5.1 /
+//! Figure 2): execution would land in poisoned original code.
+//! Trampolines beyond the strict set are over-approximation — safe but
+//! wasteful — and are reported as warnings.
+
+use crate::report::{Check, Severity, VerifyReport};
+use icfgp_cfg::{BinaryAnalysis, FuncStatus};
+use icfgp_core::{effective_cfl_blocks, RewriteArtifacts, RewriteConfig, RewriteOutcome, SkipReason};
+use std::collections::BTreeSet;
+
+/// Check trampoline coverage of the strict CFL set, per function.
+pub fn check_cfl(
+    outcome: &RewriteOutcome,
+    artifacts: &RewriteArtifacts,
+    strict: &BinaryAnalysis,
+    config: &RewriteConfig,
+    report: &mut VerifyReport,
+) {
+    for (entry, plan) in &artifacts.plans {
+        let Some(func) = strict.funcs.get(entry).filter(|f| f.status == FuncStatus::Ok) else {
+            report.functions_skipped += 1;
+            report.push(
+                Severity::Info,
+                Check::SkippedFunction,
+                *entry,
+                "strict re-analysis cannot handle this function; CFL completeness not checked"
+                    .into(),
+            );
+            continue;
+        };
+        report.functions_checked += 1;
+        let expected = effective_cfl_blocks(func, config);
+        let placed: BTreeSet<u64> = plan.trampolines.iter().map(|t| t.block).collect();
+        for (addr, reason) in &expected {
+            if !placed.contains(addr) {
+                report.push(
+                    Severity::Error,
+                    Check::CflCompleteness,
+                    *addr,
+                    format!("CFL block {addr:#x} ({reason:?}) has no trampoline"),
+                );
+            }
+        }
+        if !config.placement.every_block {
+            for addr in &placed {
+                if !expected.contains_key(addr) {
+                    report.push(
+                        Severity::Warning,
+                        Check::OverApproximation,
+                        *addr,
+                        format!(
+                            "trampoline at {addr:#x} covers a block that is not CFL under \
+                             strict analysis"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+    // Functions the rewriter itself skipped on analysis failure: not an
+    // unsoundness (§4.3 — calls into them are caught by entry
+    // trampolines of *other* functions staying intact), but worth
+    // surfacing.
+    for (entry, reason) in &outcome.report.skipped {
+        if let SkipReason::AnalysisFailed(why) = reason {
+            report.functions_skipped += 1;
+            report.push(
+                Severity::Info,
+                Check::SkippedFunction,
+                *entry,
+                format!("rewriter skipped this function: {why}"),
+            );
+        }
+    }
+}

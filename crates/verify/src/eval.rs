@@ -1,0 +1,231 @@
+//! Symbolic evaluation of trampoline byte sequences.
+//!
+//! A trampoline is a short straight-line sequence ending in an
+//! unconditional transfer (§7, Table 2). This module decodes the
+//! patched bytes and re-derives, from the encodings alone:
+//!
+//! * where the sequence transfers control, and
+//! * which registers it leaves modified (a register that is saved to
+//!   memory before being overwritten and reloaded before the final
+//!   transfer is *not* clobbered — the ppc64le save/restore form).
+//!
+//! The evaluator is deliberately conservative: any instruction whose
+//! effect on the transfer target cannot be derived constant-folds to
+//! "unknown", and an indirect transfer through an unknown register is
+//! an error, not a guess.
+
+use icfgp_isa::{decode, AluOp, Arch, Inst, Reg};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Where a trampoline sequence transfers control.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transfer {
+    /// Unconditional transfer to a statically known address.
+    Jump(u64),
+    /// Trap instruction (the runtime finishes the transfer through
+    /// `.trap_map`).
+    Trap,
+}
+
+/// The derived effect of one trampoline sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeqEffect {
+    /// The terminal control transfer.
+    pub transfer: Transfer,
+    /// Registers whose value at the transfer differs from their value
+    /// at sequence entry (save/restored registers excluded).
+    pub clobbered: BTreeSet<Reg>,
+}
+
+/// Symbolically evaluate the byte sequence at `base`.
+///
+/// `toc` is the load-time value of the ppc64le TOC register (`r2`),
+/// needed to resolve the TOC-relative long form.
+///
+/// # Errors
+///
+/// A human-readable reason when the sequence does not decode, falls
+/// through its end, or transfers through a register whose value the
+/// evaluation cannot derive.
+pub fn eval_sequence(
+    arch: Arch,
+    base: u64,
+    bytes: &[u8],
+    toc: Option<u64>,
+) -> Result<SeqEffect, String> {
+    let mut consts: BTreeMap<Reg, u64> = BTreeMap::new();
+    let mut clobbered: BTreeSet<Reg> = BTreeSet::new();
+    let mut saved: BTreeSet<Reg> = BTreeSet::new();
+    let mut tar: Option<u64> = None;
+    let mut off = 0usize;
+    while off < bytes.len() {
+        let addr = base + off as u64;
+        let (inst, len) = decode(&bytes[off..], arch)
+            .map_err(|e| format!("undecodable byte at {addr:#x}: {e}"))?;
+        off += len;
+        // A value becomes unknown-but-modified unless proven otherwise.
+        let mut def = |reg: Reg,
+                       value: Option<u64>,
+                       consts: &mut BTreeMap<Reg, u64>,
+                       clobbered: &mut BTreeSet<Reg>| {
+            clobbered.insert(reg);
+            match value {
+                Some(v) => {
+                    consts.insert(reg, v);
+                }
+                None => {
+                    consts.remove(&reg);
+                }
+            }
+        };
+        match inst {
+            Inst::Nop => {}
+            Inst::Trap => {
+                return Ok(SeqEffect { transfer: Transfer::Trap, clobbered });
+            }
+            Inst::Jump { offset } => {
+                return Ok(SeqEffect {
+                    transfer: Transfer::Jump(addr.wrapping_add_signed(offset)),
+                    clobbered,
+                });
+            }
+            Inst::JumpReg { src } => {
+                let target = consts.get(&src).copied().ok_or_else(|| {
+                    format!("indirect jump at {addr:#x} through unknown register r{}", src.0)
+                })?;
+                return Ok(SeqEffect { transfer: Transfer::Jump(target), clobbered });
+            }
+            Inst::JumpTar => {
+                let target = tar.ok_or_else(|| {
+                    format!("bctar at {addr:#x} with unknown target register")
+                })?;
+                return Ok(SeqEffect { transfer: Transfer::Jump(target), clobbered });
+            }
+            Inst::MoveToTar { src } => {
+                tar = consts.get(&src).copied();
+            }
+            Inst::AdrPage { dst, page_delta } => {
+                let value = (addr & !0xFFF).wrapping_add_signed(page_delta << 12);
+                def(dst, Some(value), &mut consts, &mut clobbered);
+            }
+            Inst::AddShl16 { dst, src, imm } => {
+                let base_val = if arch.toc() == Some(src) {
+                    toc
+                } else {
+                    consts.get(&src).copied()
+                };
+                let value = base_val.map(|b| b.wrapping_add_signed(i64::from(imm) << 16));
+                def(dst, value, &mut consts, &mut clobbered);
+            }
+            Inst::AddImm16 { dst, src, imm } => {
+                let value =
+                    consts.get(&src).map(|b| b.wrapping_add_signed(i64::from(imm)));
+                def(dst, value, &mut consts, &mut clobbered);
+            }
+            Inst::AluImm { op: AluOp::Add, dst, src, imm } => {
+                let value =
+                    consts.get(&src).map(|b| b.wrapping_add_signed(i64::from(imm)));
+                def(dst, value, &mut consts, &mut clobbered);
+            }
+            Inst::Store { src, .. } => {
+                // A spill of a still-original value: a later reload
+                // makes any intervening overwrite a non-clobber.
+                if !clobbered.contains(&src) {
+                    saved.insert(src);
+                }
+            }
+            Inst::Load { dst, .. } => {
+                if saved.contains(&dst) {
+                    // Restore: the register holds its entry value again
+                    // (we do not model the memory slot's address — the
+                    // placement emitter only pairs one spill with one
+                    // reload per sequence).
+                    clobbered.remove(&dst);
+                    consts.remove(&dst);
+                } else {
+                    def(dst, None, &mut consts, &mut clobbered);
+                }
+            }
+            other if other.is_control_flow() => {
+                return Err(format!(
+                    "unexpected control-flow instruction {other:?} at {addr:#x} inside a trampoline"
+                ));
+            }
+            other => {
+                if let Some(dst) = other.def_reg() {
+                    def(dst, None, &mut consts, &mut clobbered);
+                }
+            }
+        }
+    }
+    Err(format!("sequence at {base:#x} falls through its end without a transfer"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icfgp_core::tramp;
+
+    #[test]
+    fn short_branch_evaluates_to_target() {
+        for arch in [Arch::X64, Arch::Ppc64le, Arch::Aarch64] {
+            let bytes = tramp::short_branch(arch, 0x1000, 0x1080).unwrap();
+            let e = eval_sequence(arch, 0x1000, &bytes, None).unwrap();
+            assert_eq!(e.transfer, Transfer::Jump(0x1080), "{arch:?}");
+            assert!(e.clobbered.is_empty());
+        }
+    }
+
+    #[test]
+    fn x64_near_branch_evaluates_to_target() {
+        let bytes = tramp::near_branch_x64(0x1000, 0x4000_0000).unwrap();
+        let e = eval_sequence(Arch::X64, 0x1000, &bytes, None).unwrap();
+        assert_eq!(e.transfer, Transfer::Jump(0x4000_0000));
+        assert!(e.clobbered.is_empty());
+    }
+
+    #[test]
+    fn ppc_long_form_with_scratch_clobbers_it() {
+        let toc = 0x40_8000u64;
+        let bytes =
+            tramp::long_branch(Arch::Ppc64le, 0x1000, 0x4000_0000, Some(toc), Some(Reg(9)))
+                .unwrap();
+        let e = eval_sequence(Arch::Ppc64le, 0x1000, &bytes, Some(toc)).unwrap();
+        assert_eq!(e.transfer, Transfer::Jump(0x4000_0000));
+        assert_eq!(e.clobbered.into_iter().collect::<Vec<_>>(), vec![Reg(9)]);
+    }
+
+    #[test]
+    fn ppc_save_restore_form_clobbers_nothing() {
+        let toc = 0x40_8000u64;
+        let bytes =
+            tramp::long_branch(Arch::Ppc64le, 0x1000, 0x4000_0000, Some(toc), None).unwrap();
+        let e = eval_sequence(Arch::Ppc64le, 0x1000, &bytes, Some(toc)).unwrap();
+        assert_eq!(e.transfer, Transfer::Jump(0x4000_0000));
+        assert!(e.clobbered.is_empty(), "r12 is spilled and reloaded");
+    }
+
+    #[test]
+    fn aarch_long_form_evaluates_page_arithmetic() {
+        let bytes =
+            tramp::long_branch(Arch::Aarch64, 0x1000, 0x123_4560, None, Some(Reg(17))).unwrap();
+        let e = eval_sequence(Arch::Aarch64, 0x1000, &bytes, None).unwrap();
+        assert_eq!(e.transfer, Transfer::Jump(0x123_4560));
+        assert_eq!(e.clobbered.into_iter().collect::<Vec<_>>(), vec![Reg(17)]);
+    }
+
+    #[test]
+    fn trap_is_a_trap() {
+        for arch in [Arch::X64, Arch::Ppc64le, Arch::Aarch64] {
+            let bytes = tramp::trap_trampoline(arch);
+            let e = eval_sequence(arch, 0x1000, &bytes, None).unwrap();
+            assert_eq!(e.transfer, Transfer::Trap, "{arch:?}");
+        }
+    }
+
+    #[test]
+    fn fallthrough_is_an_error() {
+        let bytes = icfgp_isa::encode(&Inst::Nop, Arch::X64).unwrap();
+        assert!(eval_sequence(Arch::X64, 0x1000, &bytes, None).is_err());
+    }
+}

@@ -1,0 +1,222 @@
+//! Runtime-map well-formedness: `.ra_map` and `.trap_map` must parse,
+//! round-trip, agree with the rewriter's in-memory state, be injective
+//! where the runtime needs them to be, and point at the right regions.
+
+use crate::report::{Check, Severity, VerifyReport};
+use icfgp_core::{RewriteArtifacts, RewriteConfig, RewriteOutcome, TrampolineKind, UnwindStrategy};
+use icfgp_obj::{names, RaMap, TrapMap};
+use std::collections::BTreeSet;
+
+/// Check both runtime maps.
+pub fn check_maps(
+    outcome: &RewriteOutcome,
+    artifacts: &RewriteArtifacts,
+    config: &RewriteConfig,
+    report: &mut VerifyReport,
+) {
+    check_ra_map(outcome, artifacts, config, report);
+    check_trap_map(outcome, artifacts, report);
+}
+
+fn check_ra_map(
+    outcome: &RewriteOutcome,
+    artifacts: &RewriteArtifacts,
+    config: &RewriteConfig,
+    report: &mut VerifyReport,
+) {
+    let sec = outcome.binary.section(names::RA_MAP);
+    if config.unwind == UnwindStrategy::None {
+        return;
+    }
+    let Some(sec) = sec else {
+        if !artifacts.ra_map.is_empty() {
+            report.push(
+                Severity::Error,
+                Check::MapWellFormed,
+                0,
+                format!(
+                    "rewriter recorded {} return-address pairs but emitted no `.ra_map`",
+                    artifacts.ra_map.len()
+                ),
+            );
+        }
+        return;
+    };
+    let Some(parsed) = RaMap::from_bytes(sec.data()) else {
+        report.push(
+            Severity::Error,
+            Check::MapWellFormed,
+            sec.addr(),
+            "`.ra_map` does not parse".into(),
+        );
+        return;
+    };
+    if parsed != artifacts.ra_map {
+        report.push(
+            Severity::Error,
+            Check::MapWellFormed,
+            sec.addr(),
+            "emitted `.ra_map` disagrees with the rewriter's records".into(),
+        );
+    }
+    if parsed.to_bytes() != sec.data() {
+        report.push(
+            Severity::Error,
+            Check::MapWellFormed,
+            sec.addr(),
+            "`.ra_map` does not round-trip (trailing or non-canonical bytes)".into(),
+        );
+    }
+    for k in parsed.conflicting_keys() {
+        report.push(
+            Severity::Error,
+            Check::MapWellFormed,
+            k,
+            format!("`.ra_map` maps relocated address {k:#x} to two different originals"),
+        );
+    }
+    for v in parsed.colliding_values() {
+        // Legitimate when payload insertion splits one original call
+        // site, so a warning, not an error.
+        report.push(
+            Severity::Warning,
+            Check::MapWellFormed,
+            v,
+            format!("`.ra_map` is not injective: original {v:#x} has several relocated keys"),
+        );
+    }
+    let (ilo, ihi) = artifacts.instr_range;
+    let new_region_start = artifacts.clone_range.0.min(ilo);
+    for (k, v) in parsed.pairs() {
+        // Keys are *return* addresses, so the end of `.instr` is a
+        // legal key (a call as the very last relocated instruction).
+        if !(ilo..=ihi).contains(k) {
+            report.push(
+                Severity::Error,
+                Check::MapWellFormed,
+                *k,
+                format!("`.ra_map` key {k:#x} is outside `.instr`"),
+            );
+        }
+        if *v >= new_region_start {
+            report.push(
+                Severity::Error,
+                Check::MapWellFormed,
+                *v,
+                format!("`.ra_map` value {v:#x} is not an original-code address"),
+            );
+        }
+    }
+}
+
+fn check_trap_map(
+    outcome: &RewriteOutcome,
+    artifacts: &RewriteArtifacts,
+    report: &mut VerifyReport,
+) {
+    let sec = outcome.binary.section(names::TRAP_MAP);
+    let Some(sec) = sec else {
+        if !artifacts.trap_map.is_empty() {
+            report.push(
+                Severity::Error,
+                Check::MapWellFormed,
+                0,
+                format!(
+                    "rewriter recorded {} trap entries but emitted no `.trap_map`",
+                    artifacts.trap_map.len()
+                ),
+            );
+        }
+        return;
+    };
+    let Some(parsed) = TrapMap::from_bytes(sec.data()) else {
+        report.push(
+            Severity::Error,
+            Check::MapWellFormed,
+            sec.addr(),
+            "`.trap_map` does not parse".into(),
+        );
+        return;
+    };
+    if parsed != artifacts.trap_map {
+        report.push(
+            Severity::Error,
+            Check::MapWellFormed,
+            sec.addr(),
+            "emitted `.trap_map` disagrees with the rewriter's records".into(),
+        );
+    }
+    if parsed.to_bytes() != sec.data() {
+        report.push(
+            Severity::Error,
+            Check::MapWellFormed,
+            sec.addr(),
+            "`.trap_map` does not round-trip".into(),
+        );
+    }
+    for k in parsed.conflicting_keys() {
+        report.push(
+            Severity::Error,
+            Check::MapWellFormed,
+            k,
+            format!("`.trap_map` maps trap {k:#x} to two different targets"),
+        );
+    }
+    // The trap handler resolves a faulting PC to exactly one target, so
+    // keys must be the exact set of trap-trampoline blocks.
+    let trap_blocks: BTreeSet<u64> = artifacts
+        .plans
+        .iter()
+        .flat_map(|(_, plan)| {
+            plan.trampolines
+                .iter()
+                .filter(|t| t.kind == TrampolineKind::Trap)
+                .map(|t| t.block)
+        })
+        .collect();
+    let keys: BTreeSet<u64> = parsed.pairs().iter().map(|(k, _)| *k).collect();
+    for k in keys.difference(&trap_blocks) {
+        report.push(
+            Severity::Error,
+            Check::MapWellFormed,
+            *k,
+            format!("`.trap_map` entry {k:#x} has no trap trampoline"),
+        );
+    }
+    for b in trap_blocks.difference(&keys) {
+        report.push(
+            Severity::Error,
+            Check::MapWellFormed,
+            *b,
+            format!("trap trampoline at {b:#x} is missing from `.trap_map`"),
+        );
+    }
+    let (ilo, ihi) = artifacts.instr_range;
+    let new_region_start = artifacts.clone_range.0.min(ilo);
+    for (k, v) in parsed.pairs() {
+        if *k >= new_region_start {
+            report.push(
+                Severity::Error,
+                Check::MapWellFormed,
+                *k,
+                format!("`.trap_map` key {k:#x} is not an original-code address"),
+            );
+        }
+        if !(ilo..ihi).contains(v) {
+            report.push(
+                Severity::Error,
+                Check::MapWellFormed,
+                *v,
+                format!("`.trap_map` target {v:#x} is outside `.instr`"),
+            );
+        }
+        if outcome.block_map.get(k) != Some(v) {
+            report.push(
+                Severity::Error,
+                Check::MapWellFormed,
+                *k,
+                format!("`.trap_map` target for {k:#x} disagrees with the block map"),
+            );
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Diagnostics and the verification report.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "lowercase")]
+pub enum Severity {
+    /// Expected limitation, reported for visibility (e.g. a function
+    /// the strict re-analysis cannot handle).
+    Info,
+    /// Wasteful but safe (e.g. over-approximation: extra trampolines
+    /// or surplus clone entries).
+    Warning,
+    /// The rewrite is unsound: some execution of the original program
+    /// is not preserved.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Which check produced a diagnostic (the check catalogue; see
+/// DESIGN.md for the mapping to the paper's failure classes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case")]
+pub enum Check {
+    /// Two patches write overlapping byte ranges.
+    PatchOverlap,
+    /// An inline patch spills past its trampoline superblock budget.
+    PatchBudget,
+    /// A patch lands on bytes never donated to the scratch pool.
+    ScratchProvenance,
+    /// A trampoline does not transfer to its recorded target, or the
+    /// encoded form cannot reach it.
+    TrampReach,
+    /// A trampoline clobbers a register that is live-in at its block.
+    TrampClobber,
+    /// A control-flow-landing block has no trampoline (the
+    /// under-approximation failure class).
+    CflCompleteness,
+    /// A runtime map (`.ra_map`, `.trap_map`) or table clone is
+    /// malformed or disagrees with the rewriter's own records.
+    MapWellFormed,
+    /// Coverage beyond the strict CFL set (the over-approximation
+    /// class: safe, but wastes space and may pessimise placement).
+    OverApproximation,
+    /// A function was skipped — by the rewriter (analysis failure) or
+    /// by the verifier (strict re-analysis failure).
+    SkippedFunction,
+}
+
+impl fmt::Display for Check {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Check::PatchOverlap => "patch-overlap",
+            Check::PatchBudget => "patch-budget",
+            Check::ScratchProvenance => "scratch-provenance",
+            Check::TrampReach => "tramp-reach",
+            Check::TrampClobber => "tramp-clobber",
+            Check::CflCompleteness => "cfl-completeness",
+            Check::MapWellFormed => "map-well-formed",
+            Check::OverApproximation => "over-approximation",
+            Check::SkippedFunction => "skipped-function",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Diagnostic {
+    /// Severity class.
+    pub severity: Severity,
+    /// Which check fired.
+    pub check: Check,
+    /// The address the finding is about (block, patch, table or map
+    /// entry address, depending on the check).
+    pub addr: u64,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: [{}] {:#x}: {}",
+            self.severity, self.check, self.addr, self.message
+        )
+    }
+}
+
+/// The full verification result.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VerifyReport {
+    /// All findings, in check order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Functions whose placement plans were checked.
+    pub functions_checked: usize,
+    /// Functions skipped (rewriter analysis failure or strict
+    /// re-analysis failure).
+    pub functions_skipped: usize,
+    /// Trampolines whose encodings were re-evaluated.
+    pub trampolines_checked: usize,
+    /// Byte patches checked for overlap/budget/provenance.
+    pub patches_checked: usize,
+    /// Jump-table clones checked entry by entry.
+    pub clones_checked: usize,
+}
+
+impl VerifyReport {
+    /// Record a finding.
+    pub fn push(&mut self, severity: Severity, check: Check, addr: u64, message: String) {
+        self.diagnostics.push(Diagnostic { severity, check, addr, message });
+    }
+
+    /// Error-severity findings.
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.severity == Severity::Error)
+    }
+
+    /// Warning-severity findings.
+    pub fn warnings(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.severity == Severity::Warning)
+    }
+
+    /// Whether the rewrite verified with zero errors (warnings and
+    /// infos allowed).
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.errors().count() == 0
+    }
+
+    /// Serialise the report as pretty-printed JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `serde_json` serialisation failures (practically
+    /// unreachable for this type).
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_orders_by_badness() {
+        assert!(Severity::Info < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+    }
+
+    #[test]
+    fn report_json_roundtrip() {
+        let mut r = VerifyReport::default();
+        r.push(Severity::Error, Check::CflCompleteness, 0x1000, "missed".into());
+        let json = r.to_json().unwrap();
+        assert!(json.contains("cfl-completeness"));
+        assert!(json.contains("error"));
+        let back: VerifyReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn is_clean_ignores_warnings() {
+        let mut r = VerifyReport::default();
+        r.push(Severity::Warning, Check::OverApproximation, 0x2000, "extra".into());
+        r.push(Severity::Info, Check::SkippedFunction, 0x3000, "skipped".into());
+        assert!(r.is_clean());
+        r.push(Severity::Error, Check::PatchOverlap, 0x4000, "overlap".into());
+        assert!(!r.is_clean());
+    }
+}

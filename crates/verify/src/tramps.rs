@@ -1,0 +1,275 @@
+//! Trampoline-soundness checks: every installed trampoline must
+//! transfer to its block's relocated copy, its encoded form must
+//! actually reach that far, and it must not modify registers that are
+//! live on entry to the block.
+
+use crate::eval::{eval_sequence, Transfer};
+use crate::report::{Check, Severity, VerifyReport};
+use icfgp_cfg::{live_in_at_blocks, BinaryAnalysis, FuncStatus, LivenessResult};
+use icfgp_core::tramp;
+use icfgp_core::{Patch, RewriteArtifacts, RewriteOutcome, TrampolineKind};
+use icfgp_isa::Arch;
+use icfgp_obj::Binary;
+
+/// Check every trampoline in every placement plan.
+pub fn check_trampolines(
+    original: &Binary,
+    outcome: &RewriteOutcome,
+    artifacts: &RewriteArtifacts,
+    strict: &BinaryAnalysis,
+    report: &mut VerifyReport,
+) {
+    let arch = original.arch;
+    for (entry, plan) in &artifacts.plans {
+        // Liveness from the strict re-analysis; `None` when the strict
+        // pass cannot analyse the function (clobber checks are then
+        // skipped — reported separately as a skipped function).
+        let liveness: Option<LivenessResult> = strict
+            .funcs
+            .get(entry)
+            .filter(|f| f.status == FuncStatus::Ok)
+            .map(|f| live_in_at_blocks(f, arch));
+        for t in &plan.trampolines {
+            report.trampolines_checked += 1;
+            // Target agreement with the relocation map.
+            match outcome.block_map.get(&t.block) {
+                Some(relocated) if *relocated == t.target => {}
+                Some(relocated) => report.push(
+                    Severity::Error,
+                    Check::TrampReach,
+                    t.block,
+                    format!(
+                        "trampoline target {:#x} disagrees with the block map ({relocated:#x})",
+                        t.target
+                    ),
+                ),
+                None => report.push(
+                    Severity::Error,
+                    Check::TrampReach,
+                    t.block,
+                    format!("trampoline targets {:#x} but the block was never relocated", t.target),
+                ),
+            }
+            let (lo, hi) = artifacts.instr_range;
+            if !(lo..hi).contains(&t.target) {
+                report.push(
+                    Severity::Error,
+                    Check::TrampReach,
+                    t.block,
+                    format!(
+                        "trampoline target {:#x} is outside `.instr` [{lo:#x}, {hi:#x})",
+                        t.target
+                    ),
+                );
+            }
+            let Some(patch) = plan.patches.iter().find(|p| p.addr == t.block) else {
+                report.push(
+                    Severity::Error,
+                    Check::TrampReach,
+                    t.block,
+                    "no patch installed at the trampoline block".into(),
+                );
+                continue;
+            };
+            let mut clobbered = Vec::new();
+            match t.kind {
+                TrampolineKind::Short => {
+                    if patch.bytes.len() > arch.short_branch_len() {
+                        report.push(
+                            Severity::Error,
+                            Check::TrampReach,
+                            t.block,
+                            format!(
+                                "short trampoline is {} bytes (form is {})",
+                                patch.bytes.len(),
+                                arch.short_branch_len()
+                            ),
+                        );
+                    }
+                    if (t.target as i64 - t.block as i64).abs() > arch.short_branch_reach() {
+                        report.push(
+                            Severity::Error,
+                            Check::TrampReach,
+                            t.block,
+                            format!(
+                                "short form cannot span {:#x} -> {:#x} (reach {:#x})",
+                                t.block,
+                                t.target,
+                                arch.short_branch_reach()
+                            ),
+                        );
+                    }
+                    eval_to(arch, patch, t.target, original.toc_base, &mut clobbered, report);
+                }
+                TrampolineKind::Long { saves_reg } => {
+                    let want = tramp::long_branch_len(arch, saves_reg);
+                    if patch.bytes.len() != want {
+                        report.push(
+                            Severity::Error,
+                            Check::TrampReach,
+                            t.block,
+                            format!(
+                                "long trampoline is {} bytes (form is {want})",
+                                patch.bytes.len()
+                            ),
+                        );
+                    }
+                    check_long_reach(arch, t.block, t.target, original.toc_base, report);
+                    eval_to(arch, patch, t.target, original.toc_base, &mut clobbered, report);
+                }
+                TrampolineKind::MultiHop { island } => {
+                    if (island as i64 - t.block as i64).abs() > arch.short_branch_reach() {
+                        report.push(
+                            Severity::Error,
+                            Check::TrampReach,
+                            t.block,
+                            format!(
+                                "multi-hop island {island:#x} is beyond short reach of {:#x}",
+                                t.block
+                            ),
+                        );
+                    }
+                    eval_to(arch, patch, island, original.toc_base, &mut clobbered, report);
+                    if let Some(ip) = plan.patches.iter().find(|p| p.addr == island) {
+                        check_long_reach(arch, island, t.target, original.toc_base, report);
+                        eval_to(arch, ip, t.target, original.toc_base, &mut clobbered, report);
+                    } else {
+                        report.push(
+                            Severity::Error,
+                            Check::TrampReach,
+                            t.block,
+                            format!("multi-hop island {island:#x} has no patch"),
+                        );
+                    }
+                }
+                TrampolineKind::Trap => {
+                    if patch.bytes.len() != arch.trap_len() {
+                        report.push(
+                            Severity::Error,
+                            Check::TrampReach,
+                            t.block,
+                            format!("trap trampoline is {} bytes", patch.bytes.len()),
+                        );
+                    }
+                    match eval_sequence(arch, patch.addr, &patch.bytes, original.toc_base) {
+                        Ok(e) if e.transfer == Transfer::Trap => {}
+                        Ok(_) => report.push(
+                            Severity::Error,
+                            Check::TrampReach,
+                            t.block,
+                            "trap trampoline bytes are not a trap instruction".into(),
+                        ),
+                        Err(msg) => {
+                            report.push(Severity::Error, Check::TrampReach, t.block, msg);
+                        }
+                    }
+                    if artifacts.trap_map.target(t.block) != Some(t.target) {
+                        report.push(
+                            Severity::Error,
+                            Check::TrampReach,
+                            t.block,
+                            format!(
+                                "`.trap_map` does not transfer {:#x} to {:#x}",
+                                t.block, t.target
+                            ),
+                        );
+                    }
+                }
+            }
+            // Clobber check against strict live-in sets. `live_in_regs`
+            // is `None` for blocks the strict CFG does not contain
+            // (e.g. blocks that only exist under an over-approximated
+            // table) — those are skipped, not assumed fully live.
+            if let Some(lv) = &liveness {
+                if let Some(live) = lv.live_in_regs(t.block) {
+                    let bad: Vec<String> = clobbered
+                        .iter()
+                        .filter(|r| live.contains(r))
+                        .map(|r| format!("r{}", r.0))
+                        .collect();
+                    if !bad.is_empty() {
+                        report.push(
+                            Severity::Error,
+                            Check::TrampClobber,
+                            t.block,
+                            format!(
+                                "trampoline clobbers live-in register(s) {}",
+                                bad.join(", ")
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Evaluate one sequence and require it to jump to `want`; clobbered
+/// registers accumulate into `clobbered`.
+fn eval_to(
+    arch: Arch,
+    patch: &Patch,
+    want: u64,
+    toc: Option<u64>,
+    clobbered: &mut Vec<icfgp_isa::Reg>,
+    report: &mut VerifyReport,
+) {
+    match eval_sequence(arch, patch.addr, &patch.bytes, toc) {
+        Ok(e) => {
+            clobbered.extend(e.clobbered);
+            match e.transfer {
+                Transfer::Jump(got) if got == want => {}
+                Transfer::Jump(got) => report.push(
+                    Severity::Error,
+                    Check::TrampReach,
+                    patch.addr,
+                    format!("sequence transfers to {got:#x}, expected {want:#x}"),
+                ),
+                Transfer::Trap => report.push(
+                    Severity::Error,
+                    Check::TrampReach,
+                    patch.addr,
+                    format!("sequence traps, expected a jump to {want:#x}"),
+                ),
+            }
+        }
+        Err(msg) => report.push(Severity::Error, Check::TrampReach, patch.addr, msg),
+    }
+}
+
+/// Re-check the long form's reach limit for `from -> to`.
+fn check_long_reach(
+    arch: Arch,
+    from: u64,
+    to: u64,
+    toc: Option<u64>,
+    report: &mut VerifyReport,
+) {
+    let delta = match arch {
+        // The ppc64le long form is TOC-relative, not PC-relative.
+        Arch::Ppc64le => match toc {
+            Some(t) => to as i64 - t as i64,
+            None => {
+                report.push(
+                    Severity::Error,
+                    Check::TrampReach,
+                    from,
+                    "ppc64le long trampoline in a binary with no TOC".into(),
+                );
+                return;
+            }
+        },
+        Arch::X64 | Arch::Aarch64 => to as i64 - from as i64,
+    };
+    if delta.abs() > arch.long_branch_reach() {
+        report.push(
+            Severity::Error,
+            Check::TrampReach,
+            from,
+            format!(
+                "long form cannot span {from:#x} -> {to:#x} (reach {:#x})",
+                arch.long_branch_reach()
+            ),
+        );
+    }
+}

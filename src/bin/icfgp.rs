@@ -5,6 +5,7 @@
 //! $ icfgp gen --workload spec:602.gcc_s --arch x86-64 -o gcc.icfgp
 //! $ icfgp analyze gcc.icfgp
 //! $ icfgp rewrite gcc.icfgp --mode jt -o gcc.rw.icfgp
+//! $ icfgp verify gcc.icfgp --mode jt
 //! $ icfgp run gcc.rw.icfgp --preload-runtime
 //! ```
 
@@ -15,8 +16,10 @@ use incremental_cfg_patching::core::{
 use incremental_cfg_patching::emu::{run, LoadOptions, Outcome};
 use incremental_cfg_patching::isa::Arch;
 use incremental_cfg_patching::obj::Binary;
+use incremental_cfg_patching::verify::verify_rewrite;
 use incremental_cfg_patching::workloads::{
-    docker_like, firefox_like, generate, spec_params, GenParams, SPEC_NAMES,
+    docker_like, driverlib_like, firefox_like, generate, spec_params, switch_demo, GenParams,
+    SPEC_NAMES,
 };
 use std::process::ExitCode;
 
@@ -25,10 +28,13 @@ fn usage() -> ExitCode {
         "icfgp — incremental CFG patching driver
 
 USAGE:
-  icfgp gen --workload <spec:NAME|small|firefox|docker> [--arch A] [--pie] [--seed N] -o FILE
+  icfgp gen --workload <spec:NAME|small|firefox|docker|driverlib|switch_demo>
+            [--arch A] [--pie] [--seed N] -o FILE
   icfgp analyze FILE
   icfgp rewrite FILE --mode <dir|jt|func-ptr> [--unwind <ra|emulate|none>]
-                     [--no-poison] [--points <blocks|entries|none>] -o FILE
+                     [--no-poison] [--points <blocks|entries|none>] [--verify] -o FILE
+  icfgp verify FILE [--mode <dir|jt|func-ptr>] [--unwind <ra|emulate|none>]
+                    [--no-poison] [--points <blocks|entries|none>] [--json]
   icfgp run FILE [--preload-runtime] [--bias HEX] [--fuel N]
   icfgp list-workloads
 
@@ -84,6 +90,8 @@ fn cmd_gen(args: &[String]) -> Result<(), String> {
             }
             "firefox" => firefox_like(arch, 1),
             "docker" => docker_like(arch, seed, 100),
+            "driverlib" => driverlib_like(arch, 400, 30).0,
+            "switch_demo" | "switch-demo" => switch_demo(arch, pie),
             other => return Err(format!("unknown workload {other}")),
         }
     };
@@ -118,10 +126,8 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_rewrite(args: &[String]) -> Result<(), String> {
-    let path = args.first().ok_or("missing FILE")?;
-    let out = arg_value(args, "-o").ok_or("missing -o FILE")?;
-    let binary = load_binary(path)?;
+/// Parse the rewrite options shared by `rewrite` and `verify`.
+fn parse_rewrite_config(args: &[String]) -> (RewriteConfig, Points) {
     let mode = match arg_value(args, "--mode").as_deref() {
         Some("dir") => RewriteMode::Dir,
         Some("func-ptr") => RewriteMode::FuncPtr,
@@ -141,7 +147,16 @@ fn cmd_rewrite(args: &[String]) -> Result<(), String> {
         Some("none") => Points::None,
         _ => Points::EveryBlock,
     };
-    let outcome = Rewriter::new(config)
+    (config, points)
+}
+
+fn cmd_rewrite(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("missing FILE")?;
+    let out = arg_value(args, "-o").ok_or("missing -o FILE")?;
+    let binary = load_binary(path)?;
+    let (config, points) = parse_rewrite_config(args);
+    let mode = config.mode;
+    let outcome = Rewriter::new(config.clone())
         .rewrite(&binary, &Instrumentation::empty(points))
         .map_err(|e| e.to_string())?;
     save_binary(&outcome.binary, &out)?;
@@ -160,7 +175,58 @@ fn cmd_rewrite(args: &[String]) -> Result<(), String> {
     println!("  ra-map entries    : {}", r.ra_map_entries);
     println!("  size       : {} -> {} (+{:.2}%)", r.original_size, r.rewritten_size,
         r.size_increase() * 100.0);
+    if has_flag(args, "--verify") {
+        let report = verify_rewrite(&binary, &outcome, &config).map_err(|e| e.to_string())?;
+        for d in &report.diagnostics {
+            println!("  {d}");
+        }
+        let errors = report.errors().count();
+        println!(
+            "  verify     : {} error(s), {} warning(s) over {} trampolines, {} patches, {} clones",
+            errors,
+            report.warnings().count(),
+            report.trampolines_checked,
+            report.patches_checked,
+            report.clones_checked
+        );
+        if errors > 0 {
+            return Err(format!("verification found {errors} error(s)"));
+        }
+    }
     Ok(())
+}
+
+fn cmd_verify(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("missing FILE")?;
+    let binary = load_binary(path)?;
+    let (config, points) = parse_rewrite_config(args);
+    let outcome = Rewriter::new(config.clone())
+        .rewrite(&binary, &Instrumentation::empty(points))
+        .map_err(|e| e.to_string())?;
+    let report = verify_rewrite(&binary, &outcome, &config).map_err(|e| e.to_string())?;
+    if has_flag(args, "--json") {
+        println!("{}", report.to_json().map_err(|e| e.to_string())?);
+    } else {
+        for d in &report.diagnostics {
+            println!("{d}");
+        }
+        println!(
+            "{path}: {} mode, {} function(s) checked ({} skipped), {} trampoline(s), \
+             {} patch(es), {} clone(s)",
+            config.mode,
+            report.functions_checked,
+            report.functions_skipped,
+            report.trampolines_checked,
+            report.patches_checked,
+            report.clones_checked
+        );
+    }
+    let errors = report.errors().count();
+    if errors > 0 {
+        Err(format!("verification found {errors} error(s)"))
+    } else {
+        Ok(())
+    }
 }
 
 fn cmd_run(args: &[String]) -> Result<(), String> {
@@ -202,9 +268,10 @@ fn main() -> ExitCode {
         "gen" => cmd_gen(rest),
         "analyze" => cmd_analyze(rest),
         "rewrite" => cmd_rewrite(rest),
+        "verify" => cmd_verify(rest),
         "run" => cmd_run(rest),
         "list-workloads" => {
-            println!("small  firefox  docker");
+            println!("small  firefox  docker  driverlib  switch_demo");
             for n in SPEC_NAMES {
                 println!("spec:{n}");
             }

@@ -20,6 +20,9 @@
 //!   BOLT-like rewriters for comparison.
 //! * [`workloads`] — seeded synthetic workloads (SPEC-2017-like suite,
 //!   firefox-like, Go/docker-like, driver-library binaries).
+//! * [`verify`] — the static translation-validation pass: patch
+//!   integrity, trampoline soundness, CFL completeness and runtime-map
+//!   well-formedness checks over a rewrite outcome.
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour.
 
@@ -30,4 +33,5 @@ pub use icfgp_core as core;
 pub use icfgp_emu as emu;
 pub use icfgp_isa as isa;
 pub use icfgp_obj as obj;
+pub use icfgp_verify as verify;
 pub use icfgp_workloads as workloads;

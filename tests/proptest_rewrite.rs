@@ -8,6 +8,7 @@ use incremental_cfg_patching::core::{
 };
 use incremental_cfg_patching::emu::{run, LoadOptions, Outcome};
 use incremental_cfg_patching::isa::Arch;
+use incremental_cfg_patching::verify::verify_rewrite;
 use incremental_cfg_patching::workloads::{generate, GenParams, SwitchFlavor};
 use incremental_cfg_patching::asm::patterns::SwitchHardness;
 use proptest::prelude::*;
@@ -125,5 +126,21 @@ proptest! {
         );
         // Every relocated block has a mapping.
         prop_assert!(!out.block_map.is_empty());
+    }
+
+    /// The static verifier accepts every clean rewrite: zero
+    /// error-severity diagnostics in any mode on any workload
+    /// (warnings — e.g. conservative over-coverage — are allowed).
+    #[test]
+    fn clean_rewrites_statically_verify(params in arb_params(), mode in arb_mode()) {
+        let config = RewriteConfig::new(mode);
+        let w = generate(&params);
+        let out = Rewriter::new(config.clone())
+            .rewrite(&w.binary, &Instrumentation::empty(Points::EveryBlock))
+            .map_err(|e| TestCaseError::fail(format!("rewrite failed: {e}")))?;
+        let report = verify_rewrite(&w.binary, &out, &config)
+            .map_err(|e| TestCaseError::fail(format!("verify failed to run: {e}")))?;
+        let errors: Vec<_> = report.errors().collect();
+        prop_assert!(errors.is_empty(), "{}: verifier rejected a clean rewrite: {:#?}", mode, errors);
     }
 }

@@ -1,0 +1,137 @@
+//! The static verifier against the paper's Figure 2 failure classes,
+//! via injected analysis faults:
+//!
+//! * **under-approximated jump table** (catastrophic) — the verifier
+//!   must *reject* the rewrite with a `cfl-completeness` error naming
+//!   the missed target;
+//! * **over-approximated jump table** (wasteful but safe) — the
+//!   verifier must *accept* the rewrite (zero errors) while flagging
+//!   the surplus coverage as warnings;
+//! * **analysis failure** (§4.3 partial instrumentation) — a skipped
+//!   function is an info diagnostic, never an error.
+//!
+//! Everything runs across all three rewriting modes and all three
+//! architectures, statically — no emulation involved.
+
+use incremental_cfg_patching::cfg::{analyze, AnalysisConfig, InjectedFault};
+use incremental_cfg_patching::core::{
+    Instrumentation, Points, RewriteConfig, RewriteMode, Rewriter,
+};
+use incremental_cfg_patching::isa::Arch;
+use incremental_cfg_patching::obj::Binary;
+use incremental_cfg_patching::verify::{verify_rewrite, Check, Severity, VerifyReport};
+use incremental_cfg_patching::workloads::switch_demo;
+
+const ARCHES: [Arch; 3] = [Arch::X64, Arch::Ppc64le, Arch::Aarch64];
+const MODES: [RewriteMode; 3] = [RewriteMode::Dir, RewriteMode::Jt, RewriteMode::FuncPtr];
+
+/// The demo binary plus its dispatch function's table facts (from a
+/// clean analysis): function entry, jump address, entry count, and the
+/// target the *last* entry dispatches to.
+fn demo(arch: Arch) -> (Binary, u64, u64, u64, u64) {
+    let bin = switch_demo(arch, false).binary;
+    let entry = bin.function_named("dispatch").expect("demo has dispatch").addr;
+    let analysis = analyze(&bin, &AnalysisConfig::default());
+    let desc = analysis.funcs[&entry].jump_tables.first().expect("dispatch has a table").clone();
+    let (_, last_target) = *desc
+        .targets
+        .iter()
+        .find(|(i, _)| *i == desc.count - 1)
+        .expect("last entry is a valid target");
+    (bin, entry, desc.jump_addr, desc.count, last_target)
+}
+
+fn rewrite_and_verify(bin: &Binary, config: &RewriteConfig) -> VerifyReport {
+    let outcome = Rewriter::new(config.clone())
+        .rewrite(bin, &Instrumentation::empty(Points::EveryBlock))
+        .expect("rewrite succeeds even under injected faults");
+    verify_rewrite(bin, &outcome, config).expect("artifacts collected")
+}
+
+#[test]
+fn under_approximated_table_is_rejected() {
+    for arch in ARCHES {
+        let (bin, _, jump_addr, _, dropped) = demo(arch);
+        for mode in MODES {
+            let mut config = RewriteConfig::new(mode);
+            config.analysis.inject =
+                vec![InjectedFault::UnderApproximateTable { jump_addr, drop: 1 }];
+            let report = rewrite_and_verify(&bin, &config);
+            let errors: Vec<_> = report.errors().collect();
+            assert!(
+                !errors.is_empty(),
+                "{arch:?}/{mode}: under-approximation must be rejected"
+            );
+            let needle = format!("{dropped:#x}");
+            let named = errors
+                .iter()
+                .any(|d| d.check == Check::CflCompleteness && d.message.contains(&needle));
+            assert!(
+                named,
+                "{arch:?}/{mode}: expected a cfl-completeness error naming {dropped:#x}, \
+                 got {errors:#?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn over_approximated_table_is_accepted_with_warnings() {
+    for arch in ARCHES {
+        let (bin, _, jump_addr, _, _) = demo(arch);
+        for mode in MODES {
+            let mut config = RewriteConfig::new(mode);
+            config.analysis.inject =
+                vec![InjectedFault::OverApproximateTable { jump_addr, extra: 2 }];
+            let report = rewrite_and_verify(&bin, &config);
+            let errors: Vec<_> = report.errors().collect();
+            assert!(
+                errors.is_empty(),
+                "{arch:?}/{mode}: over-approximation is safe, got {errors:#?}"
+            );
+            assert!(
+                report.warnings().any(|d| d.check == Check::OverApproximation),
+                "{arch:?}/{mode}: surplus coverage must be flagged as a warning"
+            );
+        }
+    }
+}
+
+#[test]
+fn failed_function_is_skipped_not_rejected() {
+    for arch in ARCHES {
+        let (bin, entry, _, _, _) = demo(arch);
+        for mode in MODES {
+            let mut config = RewriteConfig::new(mode);
+            config.analysis.inject = vec![InjectedFault::FailFunction { entry }];
+            let report = rewrite_and_verify(&bin, &config);
+            let errors: Vec<_> = report.errors().collect();
+            assert!(
+                errors.is_empty(),
+                "{arch:?}/{mode}: a skipped function is not an unsoundness, got {errors:#?}"
+            );
+            assert!(
+                report.diagnostics.iter().any(|d| {
+                    d.severity == Severity::Info
+                        && d.check == Check::SkippedFunction
+                        && d.addr == entry
+                }),
+                "{arch:?}/{mode}: the skip must be surfaced as an info diagnostic"
+            );
+        }
+    }
+}
+
+#[test]
+fn clean_demo_rewrite_verifies_with_zero_errors() {
+    for arch in ARCHES {
+        let (bin, _, _, _, _) = demo(arch);
+        for mode in MODES {
+            let config = RewriteConfig::new(mode);
+            let report = rewrite_and_verify(&bin, &config);
+            let errors: Vec<_> = report.errors().collect();
+            assert!(errors.is_empty(), "{arch:?}/{mode}: clean rewrite, got {errors:#?}");
+            assert!(report.trampolines_checked > 0);
+        }
+    }
+}
