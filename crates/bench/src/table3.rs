@@ -47,12 +47,12 @@ pub fn table3(arch: Arch, approaches: &[Approach]) -> Vec<Table3Row> {
             if approach.needs_pie() { &suite_pie } else { &suite };
         // Fan benchmarks out over worker threads.
         let results: Vec<(String, Result<EvalResult, crate::EvalError>)> =
-            crossbeam::thread::scope(|scope| {
+            std::thread::scope(|scope| {
                 let chunks: Vec<_> = benches.chunks(benches.len().div_ceil(workers)).collect();
                 let handles: Vec<_> = chunks
                     .into_iter()
                     .map(|chunk| {
-                        scope.spawn(move |_| {
+                        scope.spawn(move || {
                             chunk
                                 .iter()
                                 .map(|bench| {
@@ -67,8 +67,7 @@ pub fn table3(arch: Arch, approaches: &[Approach]) -> Vec<Table3Row> {
                     })
                     .collect();
                 handles.into_iter().flat_map(|h| h.join().expect("worker")).collect()
-            })
-            .expect("scope");
+            });
 
         let mut overheads = Vec::new();
         let mut coverages = Vec::new();

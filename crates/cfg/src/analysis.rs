@@ -6,7 +6,10 @@ use crate::funcptr::{self, FpDef};
 use crate::jumptable::{analyze_jump, JtFail, SliceCtx};
 use icfgp_isa::{decode, AluOp, Arch, Inst, Reg};
 use icfgp_obj::{Binary, Symbol};
+use serde::{Deserialize, Serialize};
+use std::cell::Cell;
 use std::collections::{BTreeMap, BTreeSet, HashSet};
+use std::fmt;
 
 /// Analysis capability knobs.
 ///
@@ -118,6 +121,20 @@ pub enum InjectedFault {
         /// Number of fake targets to add.
         extra: u64,
     },
+    /// Panic inside the analysis of the function at `entry` — models a
+    /// latent analysis bug. [`analyze`] isolates it per function, so
+    /// the rest of the binary still analyses.
+    PanicFunction {
+        /// Entry address of the victim function.
+        entry: u64,
+    },
+    /// Make the rewriter's liveness oracle claim every register is
+    /// dead in the function at `entry` (corrupt scratch-register
+    /// selection; the verifier's strict liveness catches clobbers).
+    CorruptLiveness {
+        /// Entry address of the victim function.
+        entry: u64,
+    },
 }
 
 /// Analysis verdict for one function.
@@ -130,8 +147,10 @@ pub enum FuncStatus {
     Failed(AnalysisFailure),
 }
 
-/// What went wrong during analysis.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// What went wrong during analysis. Serialises cleanly so rewrite
+/// reports and verify JSON carry the typed reason instead of a
+/// `Debug`-formatted string.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum AnalysisFailure {
     /// An intra-procedural indirect jump could not be resolved and the
     /// tail-call heuristics did not apply.
@@ -146,6 +165,24 @@ pub enum AnalysisFailure {
     },
     /// Failure injected by the harness.
     Injected,
+    /// The per-function analysis panicked and was caught by the
+    /// isolation boundary in [`analyze`].
+    Panicked,
+}
+
+impl fmt::Display for AnalysisFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisFailure::JumpTableUnresolved { jump_addr } => {
+                write!(f, "unresolved indirect jump at {jump_addr:#x}")
+            }
+            AnalysisFailure::DecodeError { addr } => {
+                write!(f, "undecodable instruction at {addr:#x}")
+            }
+            AnalysisFailure::Injected => f.write_str("injected analysis failure"),
+            AnalysisFailure::Panicked => f.write_str("analysis panicked (isolated)"),
+        }
+    }
 }
 
 /// Binary-level analysis result.
@@ -217,10 +254,19 @@ pub fn analyze(binary: &Binary, config: &AnalysisConfig) -> BinaryAnalysis {
     }
 
     // Pass 2: full per-function analysis; discovered tables feed the
-    // boundary set for later functions.
+    // boundary set for later functions. Each function runs behind a
+    // panic isolation boundary: a latent analysis bug (modelled by
+    // `InjectedFault::PanicFunction`) turns into a per-function
+    // `AnalysisFailure::Panicked` instead of aborting the whole pass.
+    install_quiet_panic_hook();
     let mut funcs = BTreeMap::new();
     for sym in binary.functions() {
-        let cfg = analyze_function(binary, sym, config, &boundaries);
+        IN_ANALYSIS.with(|c| c.set(true));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            analyze_function(binary, sym, config, &boundaries)
+        }));
+        IN_ANALYSIS.with(|c| c.set(false));
+        let cfg = result.unwrap_or_else(|_| panicked_func_cfg(sym));
         for jt in &cfg.jump_tables {
             boundaries.insert(jt.table_addr);
         }
@@ -245,6 +291,50 @@ pub fn analyze(binary: &Binary, config: &AnalysisConfig) -> BinaryAnalysis {
         }
     }
     BinaryAnalysis { funcs, fp_defs, boundaries }
+}
+
+thread_local! {
+    /// Set while a function is being analysed under the panic
+    /// isolation boundary; the hook suppresses panic noise for those.
+    static IN_ANALYSIS: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Chain a panic hook that stays silent for panics caught by the
+/// per-function isolation boundary and defers to the previous hook
+/// otherwise. Installed once per process.
+fn install_quiet_panic_hook() {
+    static HOOK: std::sync::Once = std::sync::Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !IN_ANALYSIS.with(Cell::get) {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// The stand-in CFG recorded when a function's analysis panicked: no
+/// blocks, no instructions, status [`AnalysisFailure::Panicked`]. The
+/// rewriter treats it like any other failed function (§4.3).
+fn panicked_func_cfg(sym: &Symbol) -> FuncCfg {
+    FuncCfg {
+        name: sym.name.clone(),
+        entry: sym.addr,
+        start: sym.addr,
+        end: sym.end(),
+        blocks: BTreeMap::new(),
+        insts: BTreeMap::new(),
+        jump_tables: Vec::new(),
+        indirect_tailcalls: Vec::new(),
+        tail_calls: Vec::new(),
+        call_sites: Vec::new(),
+        landing_pads: Vec::new(),
+        inline_data: Vec::new(),
+        has_indirect_calls: false,
+        fp_landing_targets: Vec::new(),
+        status: FuncStatus::Failed(AnalysisFailure::Panicked),
+    }
 }
 
 /// Traverse reachable code from `entry` (plus `extra_starts`),
@@ -395,6 +485,15 @@ pub fn analyze_function(
         .any(|f| matches!(f, InjectedFault::FailFunction { entry } if *entry == sym.addr))
     {
         status = FuncStatus::Failed(AnalysisFailure::Injected);
+    }
+    // Injected analysis bug: panic mid-analysis. `analyze` catches it
+    // at the per-function isolation boundary.
+    if config
+        .inject
+        .iter()
+        .any(|f| matches!(f, InjectedFault::PanicFunction { entry } if *entry == sym.addr))
+    {
+        panic!("injected analysis panic at {:#x}", sym.addr);
     }
 
     // Landing pads are traversal roots: the language runtime jumps to

@@ -17,6 +17,16 @@ pub struct LivenessResult {
 }
 
 impl LivenessResult {
+    /// A deliberately wrong result claiming every register is dead in
+    /// every block of `func`. Backs the chaos layer's corrupt-liveness
+    /// fault (`InjectedFault::CorruptLiveness`): trampolines may then
+    /// pick a live scratch register, which the verifier's *strict*
+    /// liveness recomputation flags as a clobber.
+    #[must_use]
+    pub fn assume_all_dead(func: &FuncCfg, arch: Arch) -> LivenessResult {
+        LivenessResult { live_in: func.blocks.keys().map(|k| (*k, 0)).collect(), arch }
+    }
+
     /// Whether `reg` may be read before being written when control
     /// enters the block at `block_start`. Unknown blocks are fully
     /// live (conservative).

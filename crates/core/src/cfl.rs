@@ -12,7 +12,7 @@
 //! | function entry blocks | kept — §4.3 needs entry trampolines so calls from *failed* functions keep instrumentation integrity |
 //! | exception landing pads | kept — the unwinder resumes at original-code addresses |
 
-use crate::config::{RewriteConfig, RewriteMode, UnwindStrategy};
+use crate::config::{FuncMode, RewriteConfig, RewriteMode, UnwindStrategy};
 use icfgp_cfg::{EdgeKind, FuncCfg};
 use std::collections::BTreeMap;
 
@@ -45,7 +45,15 @@ pub enum CflReason {
 #[must_use]
 pub fn cfl_blocks(func: &FuncCfg, config: &RewriteConfig) -> BTreeMap<u64, CflReason> {
     let mut out = BTreeMap::new();
-    if config.placement.every_block {
+    let fmode = config.func_mode(func.entry);
+    let Some(mode) = fmode.rewrite_mode() else {
+        // Demoted to skip: not relocated, no trampolines.
+        return out;
+    };
+    if config.placement.every_block || fmode == FuncMode::TrapOnly {
+        // Trap-only functions trampoline at *every* known block: the
+        // original code stays live, so any block reachable through
+        // unknown edges must still redirect into `.instr` when hit.
         for start in func.blocks.keys() {
             out.insert(*start, CflReason::EveryBlock);
         }
@@ -65,7 +73,7 @@ pub fn cfl_blocks(func: &FuncCfg, config: &RewriteConfig) -> BTreeMap<u64, CflRe
         out.entry(*t).or_insert(CflReason::FunctionPointerTarget);
     }
     // Jump-table targets, unless the tables are cloned.
-    if config.mode == RewriteMode::Dir {
+    if mode == RewriteMode::Dir {
         for jt in &func.jump_tables {
             for (_, target) in &jt.targets {
                 out.entry(*target).or_insert(CflReason::JumpTableTarget);
@@ -95,7 +103,9 @@ pub fn cfl_blocks(func: &FuncCfg, config: &RewriteConfig) -> BTreeMap<u64, CflRe
 #[must_use]
 pub fn effective_cfl_blocks(func: &FuncCfg, config: &RewriteConfig) -> BTreeMap<u64, CflReason> {
     let mut cfl = cfl_blocks(func, config);
-    if config.mode >= RewriteMode::Jt && config.clone_tables {
+    if config.clone_tables
+        && matches!(config.rewrite_mode_for(func.entry), Some(m) if m >= RewriteMode::Jt)
+    {
         for desc in &func.jump_tables {
             if !crate::relocate::table_cloneable(func, desc) {
                 for (_, target) in &desc.targets {

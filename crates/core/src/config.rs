@@ -1,7 +1,9 @@
 //! Rewriting configuration.
 
+use crate::fault::FaultPlan;
 use icfgp_cfg::AnalysisConfig;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// The three incremental rewriting modes (§3): each mode rewrites one
@@ -28,6 +30,117 @@ impl fmt::Display for RewriteMode {
             RewriteMode::FuncPtr => "func-ptr",
         };
         f.write_str(s)
+    }
+}
+
+/// Per-function rewriting mode — one rung of the graceful-degradation
+/// ladder. Ordered by how much of the function is rewritten:
+///
+/// `Full(FuncPtr) > Full(Jt) > Full(Dir) > TrapOnly > Skip`
+///
+/// `TrapOnly` relocates the function like `dir` mode but leaves the
+/// original bytes **unpoisoned** and installs a trap trampoline at
+/// every known block: even if analysis under-approximated the block
+/// set, execution landing at an undiscovered block runs the intact
+/// original code (and bounces into `.instr` at the next known block),
+/// and trap trampolines clobber no registers. It is the sturdiest rung
+/// that still instruments the function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FuncMode {
+    /// The function is fully rewritten at the given mode (poisoned
+    /// original bytes, best-form trampolines).
+    Full(RewriteMode),
+    /// Relocated like `dir` mode, original bytes kept executable,
+    /// trap-only trampolines at every known block.
+    TrapOnly,
+    /// The function is left completely untouched.
+    Skip,
+}
+
+impl FuncMode {
+    /// Ladder height: `Skip` = 0 up to `Full(FuncPtr)` = 4.
+    #[must_use]
+    pub fn rank(self) -> u8 {
+        match self {
+            FuncMode::Skip => 0,
+            FuncMode::TrapOnly => 1,
+            FuncMode::Full(RewriteMode::Dir) => 2,
+            FuncMode::Full(RewriteMode::Jt) => 3,
+            FuncMode::Full(RewriteMode::FuncPtr) => 4,
+        }
+    }
+
+    /// The next rung down, or `None` from `Skip`.
+    #[must_use]
+    pub fn lower(self) -> Option<FuncMode> {
+        match self {
+            FuncMode::Full(RewriteMode::FuncPtr) => Some(FuncMode::Full(RewriteMode::Jt)),
+            FuncMode::Full(RewriteMode::Jt) => Some(FuncMode::Full(RewriteMode::Dir)),
+            FuncMode::Full(RewriteMode::Dir) => Some(FuncMode::TrapOnly),
+            FuncMode::TrapOnly => Some(FuncMode::Skip),
+            FuncMode::Skip => None,
+        }
+    }
+
+    /// The [`RewriteMode`] the relocation machinery applies for this
+    /// rung (`TrapOnly` behaves like `dir`); `None` for `Skip`.
+    #[must_use]
+    pub fn rewrite_mode(self) -> Option<RewriteMode> {
+        match self {
+            FuncMode::Full(m) => Some(m),
+            FuncMode::TrapOnly => Some(RewriteMode::Dir),
+            FuncMode::Skip => None,
+        }
+    }
+}
+
+impl PartialOrd for FuncMode {
+    fn partial_cmp(&self, other: &FuncMode) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for FuncMode {
+    fn cmp(&self, other: &FuncMode) -> std::cmp::Ordering {
+        self.rank().cmp(&other.rank())
+    }
+}
+
+impl fmt::Display for FuncMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FuncMode::Full(m) => write!(f, "{m}"),
+            FuncMode::TrapOnly => f.write_str("trap-only"),
+            FuncMode::Skip => f.write_str("skip"),
+        }
+    }
+}
+
+/// Error budget for graceful degradation: how far below `floor` the
+/// per-function outcomes may sink before the rewrite as a whole is
+/// declared failed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DegradationPolicy {
+    /// Functions achieving a mode below this rung count against the
+    /// budget.
+    pub floor: FuncMode,
+    /// Maximum fraction (0.0–1.0) of selected functions allowed below
+    /// `floor`.
+    pub max_below_floor: f64,
+}
+
+impl Default for DegradationPolicy {
+    fn default() -> DegradationPolicy {
+        DegradationPolicy { floor: FuncMode::Full(RewriteMode::Dir), max_below_floor: 0.25 }
+    }
+}
+
+impl DegradationPolicy {
+    /// Whether `below_floor` functions out of `total` exceed the
+    /// budget.
+    #[must_use]
+    pub fn exceeded(&self, below_floor: usize, total: usize) -> bool {
+        total > 0 && below_floor as f64 > self.max_below_floor * total as f64
     }
 }
 
@@ -70,6 +183,10 @@ pub struct PlacementConfig {
     /// scratch pool — part of §2.2's "identify more code bytes that can
     /// be safely reused"; mainstream rewriters only used padding.
     pub reuse_block_leftovers: bool,
+    /// Place a trap trampoline at every CFL block regardless of
+    /// budget or reach (the [`FuncMode::TrapOnly`] rung: traps
+    /// overwrite the fewest bytes and clobber no registers).
+    pub force_trap: bool,
 }
 
 impl Default for PlacementConfig {
@@ -81,6 +198,7 @@ impl Default for PlacementConfig {
             multi_hop: true,
             every_block: false,
             reuse_block_leftovers: true,
+            force_trap: false,
         }
     }
 }
@@ -137,6 +255,18 @@ pub struct RewriteConfig {
     /// itself is opt-in (`icfgp verify`, `icfgp rewrite --verify`, or
     /// calling the verifier crate directly).
     pub collect_artifacts: bool,
+    /// Per-function mode overrides (the degradation ladder's state).
+    /// Functions not listed here use [`RewriteConfig::mode`]. The
+    /// rewriter, relocation engine, CFL computation and verifier all
+    /// consult this map through [`RewriteConfig::func_mode`], so both
+    /// sides of translation validation agree on what each function was
+    /// supposed to get.
+    pub func_modes: BTreeMap<u64, FuncMode>,
+    /// Deterministic fault-injection plan, armed against the binary
+    /// before rewriting (the chaos layer). `None` injects nothing.
+    pub fault_plan: Option<FaultPlan>,
+    /// Error budget for graceful degradation.
+    pub degradation: DegradationPolicy,
 }
 
 impl RewriteConfig {
@@ -156,7 +286,44 @@ impl RewriteConfig {
             layout: LayoutOrder::Original,
             indirect_site_padding: 0,
             collect_artifacts: true,
+            func_modes: BTreeMap::new(),
+            fault_plan: None,
+            degradation: DegradationPolicy::default(),
         }
+    }
+
+    /// The effective mode of the function at `entry`.
+    #[must_use]
+    pub fn func_mode(&self, entry: u64) -> FuncMode {
+        self.func_modes.get(&entry).copied().unwrap_or(FuncMode::Full(self.mode))
+    }
+
+    /// The [`RewriteMode`] the relocation machinery applies to the
+    /// function at `entry`; `None` when the function is skipped.
+    #[must_use]
+    pub fn rewrite_mode_for(&self, entry: u64) -> Option<RewriteMode> {
+        self.func_mode(entry).rewrite_mode()
+    }
+
+    /// Whether the function at `entry` is on the trap-only rung.
+    #[must_use]
+    pub fn is_trap_only(&self, entry: u64) -> bool {
+        self.func_mode(entry) == FuncMode::TrapOnly
+    }
+
+    /// The placement configuration for the function at `entry`:
+    /// trap-only functions force trap trampolines at every block and
+    /// never donate their (still live) block leftovers to the scratch
+    /// pool.
+    #[must_use]
+    pub fn placement_for(&self, entry: u64) -> PlacementConfig {
+        let mut p = self.placement;
+        if self.is_trap_only(entry) {
+            p.every_block = true;
+            p.force_trap = true;
+            p.reuse_block_leftovers = false;
+        }
+        p
     }
 }
 

@@ -63,6 +63,7 @@
 mod cfl;
 mod config;
 pub mod dynamic;
+mod fault;
 mod instrument;
 mod placement;
 mod relocate;
@@ -71,7 +72,11 @@ mod rewriter;
 pub mod tramp;
 
 pub use cfl::{cfl_blocks, effective_cfl_blocks, CflReason};
-pub use config::{LayoutOrder, PlacementConfig, RewriteConfig, RewriteMode, UnwindStrategy};
+pub use config::{
+    DegradationPolicy, FuncMode, LayoutOrder, PlacementConfig, RewriteConfig, RewriteMode,
+    UnwindStrategy,
+};
+pub use fault::FaultPlan;
 pub use instrument::{Instrumentation, Payload, Points};
 pub use placement::{Patch, PlacedTrampoline, PlacementPlan, ScratchPool, TrampolineKind};
 pub use relocate::{table_cloneable, RelocatedCode};

@@ -195,6 +195,14 @@ pub(crate) fn place_function(ctx: &PlaceCtx<'_>, pool: &mut ScratchPool) -> Plac
             // instrumented functions); skip defensively.
             continue;
         };
+        // Forced trap placement (trap-only degradation rung): traps
+        // never clobber registers and fit any budget, so a function
+        // with corrupt liveness or broken budgets still redirects
+        // every block safely through the signal handler.
+        if ctx.placement.force_trap {
+            trap(&mut plan, arch, *start, *budget_end, reason, target);
+            continue;
+        }
         let budget = budget_end - start;
         let scratch = ctx.liveness.scratch_reg_at(*start);
         let short = tramp::short_branch(arch, *start, target);

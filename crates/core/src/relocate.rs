@@ -19,7 +19,7 @@
 //!   address; jump" (§2.3) — optionally reproducing the historical
 //!   stack-indirect bug.
 
-use crate::config::{LayoutOrder, RewriteConfig, RewriteMode, UnwindStrategy};
+use crate::config::{FuncMode, LayoutOrder, RewriteConfig, RewriteMode, UnwindStrategy};
 use crate::instrument::{Instrumentation, Payload};
 use crate::rewriter::RewriteError;
 use icfgp_cfg::{BinaryAnalysis, FpDefSite, FuncCfg, FuncStatus, JumpTableDesc};
@@ -159,7 +159,11 @@ pub(crate) fn relocate(input: &RelocateInput<'_>) -> Result<RelocatedCode, Rewri
         .analysis
         .funcs
         .values()
-        .filter(|f| f.status == FuncStatus::Ok && input.instr.points.selects_function(f.entry))
+        .filter(|f| {
+            f.status == FuncStatus::Ok
+                && input.instr.points.selects_function(f.entry)
+                && config.func_mode(f.entry) != FuncMode::Skip
+        })
         .collect();
     if config.layout == LayoutOrder::ReverseFunctions {
         selected.reverse();
@@ -179,9 +183,17 @@ pub(crate) fn relocate(input: &RelocateInput<'_>) -> Result<RelocatedCode, Rewri
     // ----- assign clone addresses --------------------------------------
     let mut clones: Vec<TableClone> = Vec::new();
     let mut clone_index: HashMap<u64, usize> = HashMap::new(); // jump_addr -> idx
-    if config.mode >= RewriteMode::Jt && config.clone_tables {
+    if config.clone_tables {
         let mut cursor = input.clone_base;
-        for func in &selected {
+        // Walk in analysis order (matches the rewriter's clone-sizing
+        // loop) so assigned addresses agree with the reserved layout.
+        for func in input.analysis.funcs.values() {
+            if func.status != FuncStatus::Ok
+                || !input.instr.points.selects_function(func.entry)
+                || !matches!(config.rewrite_mode_for(func.entry), Some(m) if m >= RewriteMode::Jt)
+            {
+                continue;
+            }
             for desc in &func.jump_tables {
                 if !table_cloneable(func, desc) {
                     continue;
@@ -230,10 +242,21 @@ pub(crate) fn relocate(input: &RelocateInput<'_>) -> Result<RelocatedCode, Rewri
         }
         let mut fp_site: HashMap<u64, (u64, i64, bool)> = HashMap::new(); // first inst -> (fn, delta, pair)
         let mut fp_covered: HashMap<u64, ()> = HashMap::new();
-        if config.mode == RewriteMode::FuncPtr {
+        if config.mode == RewriteMode::FuncPtr
+            && config.rewrite_mode_for(func.entry) == Some(RewriteMode::FuncPtr)
+        {
             for def in &input.analysis.fp_defs {
                 let FpDefSite::CodeImm { inst_addr, pair_first } = def.site else { continue };
                 if inst_addr < func.start || inst_addr >= func.end {
+                    continue;
+                }
+                // Keep pointers into demoted functions aimed at their
+                // (intact) original code.
+                let owner = input
+                    .analysis
+                    .func_at(def.target_fn.wrapping_add_signed(def.delta))
+                    .map_or(def.target_fn, |f| f.entry);
+                if config.rewrite_mode_for(owner) != Some(RewriteMode::FuncPtr) {
                     continue;
                 }
                 if base_covered.contains_key(&inst_addr) {
@@ -644,8 +667,11 @@ pub(crate) fn relocate(input: &RelocateInput<'_>) -> Result<RelocatedCode, Rewri
         filled.push(TableClone { bytes, reloc_slots, ..clone });
     }
     // In-place ablation: overwrite the original table instead.
-    if config.mode >= RewriteMode::Jt && !config.clone_tables {
+    if !config.clone_tables {
         for func in &selected {
+            if !matches!(config.rewrite_mode_for(func.entry), Some(m) if m >= RewriteMode::Jt) {
+                continue;
+            }
             for desc in &func.jump_tables {
                 if !table_cloneable(func, desc) {
                     continue;

@@ -1,14 +1,20 @@
 //! Rewriting statistics.
 
+use icfgp_cfg::AnalysisFailure;
 use serde::{Deserialize, Serialize};
 
 /// Why a function was left untouched.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum SkipReason {
-    /// Binary analysis reported failure (§4.3: graceful skip).
-    AnalysisFailed(String),
+    /// Binary analysis reported failure (§4.3: graceful skip), with
+    /// the typed reason.
+    AnalysisFailed(AnalysisFailure),
     /// The user's point selection excluded it.
     NotSelected,
+    /// The degradation ladder assigned [`FuncMode::Skip`]
+    /// (`crate::FuncMode::Skip`): every sturdier rung failed
+    /// verification for this function.
+    Demoted,
 }
 
 /// What the rewriter did, in numbers.

@@ -2,13 +2,14 @@
 //! trampoline placement → output binary assembly.
 
 use crate::cfl::effective_cfl_blocks;
-use crate::config::{RewriteConfig, RewriteMode, UnwindStrategy};
+use crate::config::{FuncMode, RewriteConfig, RewriteMode, UnwindStrategy};
 use crate::instrument::Instrumentation;
 use crate::placement::{place_function, PlaceCtx, PlacementPlan, ScratchPool, TrampolineKind};
 use crate::relocate::{relocate, table_cloneable, RelocateInput};
 use crate::report::{RewriteReport, SkipReason};
-use icfgp_cfg::{analyze, live_in_at_blocks, FuncStatus, TableKind};
+use icfgp_cfg::{analyze, live_in_at_blocks, FuncStatus, LivenessResult, TableKind};
 use icfgp_obj::{names, Binary, RaMap, RelocKind, Section, SectionFlags, SectionKind, TrapMap};
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// Rewriting failure.
@@ -109,6 +110,10 @@ pub struct RewriteArtifacts {
     pub ra_map: RaMap,
     /// The trap-trampoline map as emitted.
     pub trap_map: TrapMap,
+    /// The mode each point-selected function was actually rewritten
+    /// under (analysis failures appear as [`FuncMode::Skip`]). The
+    /// degradation ladder reads this to build dispositions.
+    pub func_modes: BTreeMap<u64, FuncMode>,
 }
 
 /// The incremental-CFG-patching rewriter.
@@ -159,9 +164,13 @@ impl Rewriter {
         // Clones first (their total size is known before relocation).
         let clone_base = region_start;
         let mut clone_size = 0u64;
-        if self.config.mode >= RewriteMode::Jt && self.config.clone_tables {
+        if self.config.clone_tables {
             for func in analysis.funcs.values() {
                 if func.status != FuncStatus::Ok || !instr.points.selects_function(func.entry) {
+                    continue;
+                }
+                if !matches!(self.config.rewrite_mode_for(func.entry), Some(m) if m >= RewriteMode::Jt)
+                {
                     continue;
                 }
                 for desc in &func.jump_tables {
@@ -255,6 +264,16 @@ impl Rewriter {
         if self.config.mode == RewriteMode::FuncPtr {
             for def in &analysis.fp_defs {
                 let icfgp_cfg::FpDefSite::DataSlot { addr } = def.site else { continue };
+                // Pointers into a ladder-demoted function stay
+                // unrewritten: its original code is intact (not
+                // poisoned below `func-ptr` semantics) only when the
+                // owner itself still runs at `func-ptr`.
+                let owner = analysis
+                    .func_at(def.target_fn.wrapping_add_signed(def.delta))
+                    .map_or(def.target_fn, |f| f.entry);
+                if self.config.rewrite_mode_for(owner) != Some(RewriteMode::FuncPtr) {
+                    continue;
+                }
                 let relocated = reloc
                     .block_map
                     .get(&def.target_fn.wrapping_add_signed(def.delta))
@@ -291,11 +310,21 @@ impl Rewriter {
         let selected: Vec<u64> = analysis
             .funcs
             .values()
-            .filter(|f| f.status == FuncStatus::Ok && instr.points.selects_function(f.entry))
+            .filter(|f| {
+                f.status == FuncStatus::Ok
+                    && instr.points.selects_function(f.entry)
+                    && self.config.func_mode(f.entry) != FuncMode::Skip
+            })
             .map(|f| f.entry)
             .collect();
         if self.config.poison_text {
             for entry in &selected {
+                // Trap-only functions keep their original code live:
+                // unknown blocks (under-approximated analysis) execute
+                // the pristine bytes in place.
+                if self.config.is_trap_only(*entry) {
+                    continue;
+                }
                 let f = &analysis.funcs[entry];
                 // Poison code bytes, but never in-code jump-table data:
                 // dir mode (and uncloneable tables) still read it.
@@ -330,8 +359,12 @@ impl Rewriter {
                 }
             }
         }
-        if self.config.mode >= RewriteMode::Jt && self.config.clone_tables {
+        if self.config.clone_tables {
             for entry in &selected {
+                if !matches!(self.config.rewrite_mode_for(*entry), Some(m) if m >= RewriteMode::Jt)
+                {
+                    continue;
+                }
                 let f = &analysis.funcs[entry];
                 for desc in &f.jump_tables {
                     if desc.in_text && table_cloneable(f, desc) {
@@ -355,7 +388,14 @@ impl Rewriter {
             let f = &analysis.funcs[entry];
             let cfl = effective_cfl_blocks(f, &self.config);
             report.cfl_blocks += cfl.len();
-            let liveness = live_in_at_blocks(f, arch);
+            let liveness = if self.config.analysis.inject.iter().any(
+                |i| matches!(i, icfgp_cfg::InjectedFault::CorruptLiveness { entry } if *entry == f.entry),
+            ) {
+                LivenessResult::assume_all_dead(f, arch)
+            } else {
+                live_in_at_blocks(f, arch)
+            };
+            let pcfg = self.config.placement_for(*entry);
             let plan = place_function(
                 &PlaceCtx {
                     arch,
@@ -364,7 +404,7 @@ impl Rewriter {
                     block_map: &reloc.block_map,
                     liveness: &liveness,
                     toc: binary.toc_base,
-                    placement: &self.config.placement,
+                    placement: &pcfg,
                 },
                 &mut pool,
             );
@@ -438,10 +478,13 @@ impl Rewriter {
         for f in analysis.funcs.values() {
             match &f.status {
                 FuncStatus::Failed(fail) => {
-                    report.skipped.push((f.entry, SkipReason::AnalysisFailed(format!("{fail:?}"))));
+                    report.skipped.push((f.entry, SkipReason::AnalysisFailed(fail.clone())));
                 }
                 FuncStatus::Ok if !instr.points.selects_function(f.entry) => {
                     report.skipped.push((f.entry, SkipReason::NotSelected));
+                }
+                FuncStatus::Ok if self.config.func_mode(f.entry) == FuncMode::Skip => {
+                    report.skipped.push((f.entry, SkipReason::Demoted));
                 }
                 FuncStatus::Ok => {}
             }
@@ -470,6 +513,19 @@ impl Rewriter {
                 clone_range: (clone_base, clone_base + clone_size),
                 ra_map: reloc.ra_map.clone(),
                 trap_map: trap_map.clone(),
+                func_modes: analysis
+                    .funcs
+                    .values()
+                    .filter(|f| instr.points.selects_function(f.entry))
+                    .map(|f| {
+                        let mode = if f.status == FuncStatus::Ok {
+                            self.config.func_mode(f.entry)
+                        } else {
+                            FuncMode::Skip
+                        };
+                        (f.entry, mode)
+                    })
+                    .collect(),
             })
         } else {
             None

@@ -12,7 +12,9 @@
 
 use crate::report::{Check, Severity, VerifyReport};
 use icfgp_cfg::{BinaryAnalysis, FuncStatus};
-use icfgp_core::{effective_cfl_blocks, RewriteArtifacts, RewriteConfig, RewriteOutcome, SkipReason};
+use icfgp_core::{
+    effective_cfl_blocks, FuncMode, RewriteArtifacts, RewriteConfig, RewriteOutcome, SkipReason,
+};
 use std::collections::BTreeSet;
 
 /// Check trampoline coverage of the strict CFL set, per function.
@@ -36,19 +38,37 @@ pub fn check_cfl(
             continue;
         };
         report.functions_checked += 1;
+        let trap_only = config.func_mode(*entry) == FuncMode::TrapOnly;
         let expected = effective_cfl_blocks(func, config);
         let placed: BTreeSet<u64> = plan.trampolines.iter().map(|t| t.block).collect();
         for (addr, reason) in &expected {
             if !placed.contains(addr) {
-                report.push(
-                    Severity::Error,
-                    Check::CflCompleteness,
-                    *addr,
-                    format!("CFL block {addr:#x} ({reason:?}) has no trampoline"),
-                );
+                if trap_only {
+                    // Trap-only degradation keeps the original code
+                    // unpoisoned: a block the (faulty) rewrite-time
+                    // analysis missed executes pristine original bytes
+                    // until the next known block start traps into
+                    // `.instr`. Sound, but coverage degrades.
+                    report.push(
+                        Severity::Warning,
+                        Check::CflCompleteness,
+                        *addr,
+                        format!(
+                            "trap-only function: CFL block {addr:#x} ({reason:?}) has no \
+                             trampoline; original code runs unobserved until the next trap"
+                        ),
+                    );
+                } else {
+                    report.push(
+                        Severity::Error,
+                        Check::CflCompleteness,
+                        *addr,
+                        format!("CFL block {addr:#x} ({reason:?}) has no trampoline"),
+                    );
+                }
             }
         }
-        if !config.placement.every_block {
+        if !config.placement.every_block && !trap_only {
             for addr in &placed {
                 if !expected.contains_key(addr) {
                     report.push(
@@ -69,14 +89,26 @@ pub fn check_cfl(
     // trampolines of *other* functions staying intact), but worth
     // surfacing.
     for (entry, reason) in &outcome.report.skipped {
-        if let SkipReason::AnalysisFailed(why) = reason {
-            report.functions_skipped += 1;
-            report.push(
-                Severity::Info,
-                Check::SkippedFunction,
-                *entry,
-                format!("rewriter skipped this function: {why}"),
-            );
+        match reason {
+            SkipReason::AnalysisFailed(why) => {
+                report.functions_skipped += 1;
+                report.push(
+                    Severity::Info,
+                    Check::SkippedFunction,
+                    *entry,
+                    format!("rewriter skipped this function: {why}"),
+                );
+            }
+            SkipReason::Demoted => {
+                report.functions_skipped += 1;
+                report.push(
+                    Severity::Info,
+                    Check::SkippedFunction,
+                    *entry,
+                    "degradation ladder demoted this function to skip".into(),
+                );
+            }
+            SkipReason::NotSelected => {}
         }
     }
 }

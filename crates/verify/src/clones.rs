@@ -19,7 +19,7 @@ pub fn check_clones(
     config: &RewriteConfig,
     report: &mut VerifyReport,
 ) {
-    if config.mode < RewriteMode::Jt || !config.clone_tables {
+    if !config.clone_tables {
         return;
     }
     let instrumented: Vec<u64> = artifacts.plans.iter().map(|(e, _)| *e).collect();
@@ -29,8 +29,13 @@ pub fn check_clones(
         check_placement(original, outcome, artifacts, c, jt_clone, report);
     }
     // Coverage + content, per strict table of each instrumented
-    // function the strict pass can analyse.
+    // function the strict pass can analyse. Functions the ladder
+    // demoted below `jt` keep their original (uncloned) tables; their
+    // targets are covered by the CFL-completeness check instead.
     for entry in &instrumented {
+        if !matches!(config.rewrite_mode_for(*entry), Some(m) if m >= RewriteMode::Jt) {
+            continue;
+        }
         let Some(func) = strict.funcs.get(entry).filter(|f| f.status == FuncStatus::Ok) else {
             continue;
         };

@@ -44,12 +44,16 @@
 mod cfl;
 mod clones;
 mod eval;
+mod ladder;
 mod maps;
 mod patches;
 mod report;
 mod tramps;
 
 pub use eval::{eval_sequence, SeqEffect, Transfer};
+pub use ladder::{
+    rewrite_with_ladder, FuncDisposition, LadderError, LadderOutcome, LadderStep, MAX_ROUNDS,
+};
 pub use report::{Check, Diagnostic, Severity, VerifyReport};
 
 use icfgp_cfg::analyze;

@@ -9,14 +9,15 @@
 //! $ icfgp run gcc.rw.icfgp --preload-runtime
 //! ```
 
+use incremental_cfg_patching::chaos::{parse_floor, run_campaign, CampaignConfig, CaseStatus};
 use incremental_cfg_patching::cfg::{analyze, AnalysisConfig, FuncStatus};
 use incremental_cfg_patching::core::{
-    Instrumentation, Points, RewriteConfig, RewriteMode, Rewriter, UnwindStrategy,
+    FaultPlan, Instrumentation, Points, RewriteConfig, RewriteMode, UnwindStrategy,
 };
 use incremental_cfg_patching::emu::{run, LoadOptions, Outcome};
 use incremental_cfg_patching::isa::Arch;
 use incremental_cfg_patching::obj::Binary;
-use incremental_cfg_patching::verify::verify_rewrite;
+use incremental_cfg_patching::verify::rewrite_with_ladder;
 use incremental_cfg_patching::workloads::{
     docker_like, driverlib_like, firefox_like, generate, spec_params, switch_demo, GenParams,
     SPEC_NAMES,
@@ -32,15 +33,27 @@ USAGE:
             [--arch A] [--pie] [--seed N] -o FILE
   icfgp analyze FILE
   icfgp rewrite FILE --mode <dir|jt|func-ptr> [--unwind <ra|emulate|none>]
-                     [--no-poison] [--points <blocks|entries|none>] [--verify] -o FILE
+                     [--no-poison] [--points <blocks|entries|none>]
+                     [--fault-seed N] [--intensity <none|quiet|standard|aggressive>]
+                     [--floor <dir|jt|func-ptr|trap-only|skip>] [--budget FRAC] -o FILE
   icfgp verify FILE [--mode <dir|jt|func-ptr>] [--unwind <ra|emulate|none>]
-                    [--no-poison] [--points <blocks|entries|none>] [--json]
+                    [--no-poison] [--points <blocks|entries|none>]
+                    [--fault-seed N] [--intensity I] [--floor F] [--budget FRAC] [--json]
   icfgp run FILE [--preload-runtime] [--bias HEX] [--fuel N]
+  icfgp chaos [--seeds N] [--workloads A,B] [--arch A] [--mode M]
+              [--intensity I] [--floor F] [--budget FRAC] [--json]
   icfgp list-workloads
+
+`rewrite` and `verify` run the degradation ladder: on per-function
+verification failure the function steps down func-ptr → jt → dir →
+trap-only → skip until the rewrite verifies with zero errors.
+
+EXIT CODES: 0 clean, 1 degraded within budget, 2 budget exceeded
+(chaos: any case failed), 3 internal error, 64 usage.
 
 Architectures: x86-64 (default), ppc64le, aarch64."
     );
-    ExitCode::from(2)
+    ExitCode::from(64)
 }
 
 fn arg_value(args: &[String], flag: &str) -> Option<String> {
@@ -127,7 +140,7 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
 }
 
 /// Parse the rewrite options shared by `rewrite` and `verify`.
-fn parse_rewrite_config(args: &[String]) -> (RewriteConfig, Points) {
+fn parse_rewrite_config(args: &[String]) -> Result<(RewriteConfig, Points), String> {
     let mode = match arg_value(args, "--mode").as_deref() {
         Some("dir") => RewriteMode::Dir,
         Some("func-ptr") => RewriteMode::FuncPtr,
@@ -142,25 +155,84 @@ fn parse_rewrite_config(args: &[String]) -> (RewriteConfig, Points) {
     if has_flag(args, "--no-poison") {
         config.poison_text = false;
     }
+    if let Some(seed) = arg_value(args, "--fault-seed") {
+        let seed: u64 = seed.parse().map_err(|_| format!("bad --fault-seed {seed}"))?;
+        let intensity =
+            arg_value(args, "--intensity").unwrap_or_else(|| "standard".to_string());
+        config.fault_plan = Some(
+            FaultPlan::named(&intensity, seed)
+                .ok_or_else(|| format!("unknown --intensity {intensity}"))?,
+        );
+    }
+    if let Some(floor) = arg_value(args, "--floor") {
+        config.degradation.floor = parse_floor(&floor)?;
+    }
+    if let Some(budget) = arg_value(args, "--budget") {
+        config.degradation.max_below_floor =
+            budget.parse().map_err(|_| format!("bad --budget {budget}"))?;
+    }
     let points = match arg_value(args, "--points").as_deref() {
         Some("entries") => Points::FunctionEntries,
         Some("none") => Points::None,
         _ => Points::EveryBlock,
     };
-    (config, points)
+    Ok((config, points))
 }
 
-fn cmd_rewrite(args: &[String]) -> Result<(), String> {
+/// Run the degradation ladder and print the per-function dispositions.
+/// Returns the ladder outcome plus the process exit code under the
+/// 0/1/2 contract.
+fn run_ladder(
+    binary: &Binary,
+    config: &RewriteConfig,
+    points: Points,
+) -> Result<(incremental_cfg_patching::verify::LadderOutcome, u8), String> {
+    let ladder = rewrite_with_ladder(binary, config, &Instrumentation::empty(points))
+        .map_err(|e| e.to_string())?;
+    let code = if ladder.budget_exceeded {
+        2
+    } else if ladder.fully_clean() {
+        0
+    } else {
+        1
+    };
+    Ok((ladder, code))
+}
+
+fn print_dispositions(ladder: &incremental_cfg_patching::verify::LadderOutcome) {
+    for d in ladder.degraded() {
+        let why = d
+            .steps
+            .last()
+            .map_or_else(
+                || {
+                    d.failure
+                        .as_ref()
+                        .map_or_else(|| "demoted".to_string(), |f| f.to_string())
+                },
+                |s| s.reason.clone(),
+            );
+        println!("  degraded {:#x}: {} -> {} ({why})", d.entry, d.requested, d.achieved);
+    }
+    println!(
+        "  ladder     : {} round(s), {} function(s), {} degraded, {} below floor{}",
+        ladder.rounds,
+        ladder.dispositions.len(),
+        ladder.degraded().count(),
+        ladder.below_floor,
+        if ladder.budget_exceeded { " — BUDGET EXCEEDED" } else { "" }
+    );
+}
+
+fn cmd_rewrite(args: &[String]) -> Result<u8, String> {
     let path = args.first().ok_or("missing FILE")?;
     let out = arg_value(args, "-o").ok_or("missing -o FILE")?;
     let binary = load_binary(path)?;
-    let (config, points) = parse_rewrite_config(args);
+    let (config, points) = parse_rewrite_config(args)?;
     let mode = config.mode;
-    let outcome = Rewriter::new(config.clone())
-        .rewrite(&binary, &Instrumentation::empty(points))
-        .map_err(|e| e.to_string())?;
-    save_binary(&outcome.binary, &out)?;
-    let r = &outcome.report;
+    let (ladder, code) = run_ladder(&binary, &config, points)?;
+    save_binary(&ladder.outcome.binary, &out)?;
+    let r = &ladder.outcome.report;
     println!("rewrote {path} -> {out} ({mode} mode)");
     println!("  coverage   : {:.2}%", r.coverage * 100.0);
     println!(
@@ -175,35 +247,24 @@ fn cmd_rewrite(args: &[String]) -> Result<(), String> {
     println!("  ra-map entries    : {}", r.ra_map_entries);
     println!("  size       : {} -> {} (+{:.2}%)", r.original_size, r.rewritten_size,
         r.size_increase() * 100.0);
-    if has_flag(args, "--verify") {
-        let report = verify_rewrite(&binary, &outcome, &config).map_err(|e| e.to_string())?;
-        for d in &report.diagnostics {
-            println!("  {d}");
-        }
-        let errors = report.errors().count();
-        println!(
-            "  verify     : {} error(s), {} warning(s) over {} trampolines, {} patches, {} clones",
-            errors,
-            report.warnings().count(),
-            report.trampolines_checked,
-            report.patches_checked,
-            report.clones_checked
-        );
-        if errors > 0 {
-            return Err(format!("verification found {errors} error(s)"));
-        }
-    }
-    Ok(())
+    println!(
+        "  verify     : {} error(s), {} warning(s) over {} trampolines, {} patches, {} clones",
+        ladder.verify.errors().count(),
+        ladder.verify.warnings().count(),
+        ladder.verify.trampolines_checked,
+        ladder.verify.patches_checked,
+        ladder.verify.clones_checked
+    );
+    print_dispositions(&ladder);
+    Ok(code)
 }
 
-fn cmd_verify(args: &[String]) -> Result<(), String> {
+fn cmd_verify(args: &[String]) -> Result<u8, String> {
     let path = args.first().ok_or("missing FILE")?;
     let binary = load_binary(path)?;
-    let (config, points) = parse_rewrite_config(args);
-    let outcome = Rewriter::new(config.clone())
-        .rewrite(&binary, &Instrumentation::empty(points))
-        .map_err(|e| e.to_string())?;
-    let report = verify_rewrite(&binary, &outcome, &config).map_err(|e| e.to_string())?;
+    let (config, points) = parse_rewrite_config(args)?;
+    let (ladder, code) = run_ladder(&binary, &config, points)?;
+    let report = &ladder.verify;
     if has_flag(args, "--json") {
         println!("{}", report.to_json().map_err(|e| e.to_string())?);
     } else {
@@ -220,13 +281,73 @@ fn cmd_verify(args: &[String]) -> Result<(), String> {
             report.patches_checked,
             report.clones_checked
         );
+        print_dispositions(&ladder);
     }
-    let errors = report.errors().count();
-    if errors > 0 {
-        Err(format!("verification found {errors} error(s)"))
+    Ok(code)
+}
+
+fn cmd_chaos(args: &[String]) -> Result<u8, String> {
+    let mut config = CampaignConfig::default();
+    if let Some(n) = arg_value(args, "--seeds") {
+        let n: u64 = n.parse().map_err(|_| format!("bad --seeds {n}"))?;
+        config.seeds = (1..=n).collect();
+    }
+    if let Some(w) = arg_value(args, "--workloads") {
+        config.workloads = w.split(',').map(str::to_string).collect();
+    }
+    if has_flag(args, "--arch") {
+        config.arches = vec![parse_arch(args)];
+    }
+    if let Some(m) = arg_value(args, "--mode") {
+        config.modes = vec![match m.as_str() {
+            "dir" => RewriteMode::Dir,
+            "jt" => RewriteMode::Jt,
+            "func-ptr" => RewriteMode::FuncPtr,
+            other => return Err(format!("unknown --mode {other}")),
+        }];
+    }
+    if let Some(i) = arg_value(args, "--intensity") {
+        if FaultPlan::named(&i, 0).is_none() {
+            return Err(format!("unknown --intensity {i}"));
+        }
+        config.intensity = i;
+    }
+    if let Some(floor) = arg_value(args, "--floor") {
+        config.policy.floor = parse_floor(&floor)?;
+    }
+    if let Some(budget) = arg_value(args, "--budget") {
+        config.policy.max_below_floor =
+            budget.parse().map_err(|_| format!("bad --budget {budget}"))?;
+    }
+    let json = has_flag(args, "--json");
+    let report = run_campaign(&config, |case| {
+        if !json {
+            let note = match &case.status {
+                CaseStatus::LadderFailed(w) | CaseStatus::EmulationDiverged(w) => {
+                    format!(" ({w})")
+                }
+                _ => String::new(),
+            };
+            println!(
+                "{}/{}/{} seed {}: {}{note} [{} round(s), {}/{} degraded]",
+                case.workload,
+                case.arch,
+                case.mode,
+                case.seed,
+                case.status.cell(),
+                case.rounds,
+                case.degraded_funcs,
+                case.funcs,
+            );
+        }
+    })?;
+    if json {
+        println!("{}", serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?);
     } else {
-        Ok(())
+        println!();
+        println!("{}", report.render_matrix(&config.seeds));
     }
+    Ok(report.exit_code())
 }
 
 fn cmd_run(args: &[String]) -> Result<(), String> {
@@ -265,25 +386,26 @@ fn main() -> ExitCode {
     let Some(cmd) = args.first() else { return usage() };
     let rest = &args[1..];
     let result = match cmd.as_str() {
-        "gen" => cmd_gen(rest),
-        "analyze" => cmd_analyze(rest),
+        "gen" => cmd_gen(rest).map(|()| 0),
+        "analyze" => cmd_analyze(rest).map(|()| 0),
         "rewrite" => cmd_rewrite(rest),
         "verify" => cmd_verify(rest),
-        "run" => cmd_run(rest),
+        "run" => cmd_run(rest).map(|()| 0),
+        "chaos" => cmd_chaos(rest),
         "list-workloads" => {
             println!("small  firefox  docker  driverlib  switch_demo");
             for n in SPEC_NAMES {
                 println!("spec:{n}");
             }
-            Ok(())
+            Ok(0)
         }
         _ => return usage(),
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => ExitCode::from(code),
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(3)
         }
     }
 }

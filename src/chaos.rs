@@ -1,0 +1,401 @@
+//! Chaos campaigns: sweep fault seeds over workloads and prove the
+//! degradation ladder always lands on a verified, behaviourally
+//! equivalent binary.
+//!
+//! A campaign is the cartesian product of workloads × architectures ×
+//! rewriting modes × fault seeds. Each case arms a seeded
+//! [`FaultPlan`], runs the rewrite through
+//! [`rewrite_with_ladder`](icfgp_verify::rewrite_with_ladder), and
+//! judges the result against two oracles:
+//!
+//! 1. **static** — the final round's [`icfgp_verify`] report must have
+//!    zero errors (the ladder guarantees this or errors out);
+//! 2. **dynamic** — the rewritten binary must emulate equivalently to
+//!    the original (same outcome class, same output stream).
+//!
+//! The per-case verdicts roll up into a [`CampaignReport`] whose
+//! matrix rendering and worst-case exit code back the `icfgp chaos`
+//! subcommand and the CI `chaos-smoke` job.
+
+use icfgp_core::{
+    DegradationPolicy, FaultPlan, FuncMode, Instrumentation, Points, RewriteConfig, RewriteMode,
+};
+use icfgp_emu::{run, LoadOptions, Outcome};
+use icfgp_isa::Arch;
+use icfgp_obj::Binary;
+use icfgp_verify::{rewrite_with_ladder, LadderError};
+use icfgp_workloads::{generate, spec_params, switch_demo, GenParams, SPEC_NAMES};
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// What a chaos campaign should sweep.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Workload names (`small`, `switch_demo`, `spec:NAME`).
+    pub workloads: Vec<String>,
+    /// Architectures to cover.
+    pub arches: Vec<Arch>,
+    /// Requested rewriting modes.
+    pub modes: Vec<RewriteMode>,
+    /// Fault seeds; each seed is one independent fault plan.
+    pub seeds: Vec<u64>,
+    /// Fault-plan intensity (`none`/`quiet`/`standard`/`aggressive`).
+    pub intensity: String,
+    /// Degradation policy applied to every case.
+    pub policy: DegradationPolicy,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> CampaignConfig {
+        CampaignConfig {
+            workloads: vec!["small".into(), "switch_demo".into()],
+            arches: vec![Arch::X64, Arch::Ppc64le, Arch::Aarch64],
+            modes: vec![RewriteMode::Dir, RewriteMode::Jt, RewriteMode::FuncPtr],
+            seeds: (1..=8).collect(),
+            intensity: "standard".into(),
+            policy: DegradationPolicy::default(),
+        }
+    }
+}
+
+/// Per-case verdict, from best to worst.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case", tag = "kind", content = "detail")]
+pub enum CaseStatus {
+    /// Every function achieved its requested mode; verify clean;
+    /// emulation equivalent.
+    Clean,
+    /// Some functions degraded or were analysis-skipped, within the
+    /// error budget; verify clean; emulation equivalent.
+    Degraded,
+    /// The ladder converged but more functions fell below the policy
+    /// floor than the budget allows.
+    BudgetExceeded,
+    /// The ladder could not produce a verified rewrite at all.
+    LadderFailed(String),
+    /// The rewritten binary did not emulate equivalently.
+    EmulationDiverged(String),
+}
+
+impl CaseStatus {
+    /// Campaign exit-code contribution: 0 clean, 1 degraded (budget
+    /// verdicts included — on a heavily faulted small workload an
+    /// exceeded budget is the policy *working*, reported in the
+    /// matrix), 2 for real robustness failures: no verified rewrite
+    /// produced, or behavioural divergence.
+    #[must_use]
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            CaseStatus::Clean => 0,
+            CaseStatus::Degraded | CaseStatus::BudgetExceeded => 1,
+            CaseStatus::LadderFailed(_) | CaseStatus::EmulationDiverged(_) => 2,
+        }
+    }
+
+    /// One-character matrix cell.
+    #[must_use]
+    pub fn cell(&self) -> char {
+        match self {
+            CaseStatus::Clean => '.',
+            CaseStatus::Degraded => 'd',
+            CaseStatus::BudgetExceeded => 'B',
+            CaseStatus::LadderFailed(_) => 'L',
+            CaseStatus::EmulationDiverged(_) => 'X',
+        }
+    }
+}
+
+/// One campaign case result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CaseResult {
+    /// Workload name.
+    pub workload: String,
+    /// Architecture.
+    pub arch: String,
+    /// Requested mode.
+    pub mode: String,
+    /// Fault seed.
+    pub seed: u64,
+    /// Verdict.
+    pub status: CaseStatus,
+    /// Ladder rounds executed (0 when the ladder failed).
+    pub rounds: usize,
+    /// Point-selected functions in the case.
+    pub funcs: usize,
+    /// Functions that ended below their requested mode.
+    pub degraded_funcs: usize,
+    /// Functions below the policy floor.
+    pub below_floor: usize,
+}
+
+/// Aggregated campaign results.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CampaignReport {
+    /// Every case, in sweep order.
+    pub cases: Vec<CaseResult>,
+}
+
+impl CampaignReport {
+    /// Worst exit code across all cases (the campaign verdict).
+    #[must_use]
+    pub fn exit_code(&self) -> u8 {
+        self.cases.iter().map(|c| c.status.exit_code()).max().unwrap_or(0)
+    }
+
+    /// Count of cases with the given exit contribution.
+    #[must_use]
+    pub fn count(&self, code: u8) -> usize {
+        self.cases.iter().filter(|c| c.status.exit_code() == code).count()
+    }
+
+    /// Render the robustness matrix: one row per
+    /// (workload, arch, mode), one cell per seed.
+    #[must_use]
+    pub fn render_matrix(&self, seeds: &[u64]) -> String {
+        let mut out = String::new();
+        let mut header = format!("{:<34}", "workload/arch/mode");
+        for s in seeds {
+            let _ = write!(header, "{s:>3}");
+        }
+        out.push_str(&header);
+        out.push('\n');
+        let mut rows: Vec<String> = Vec::new();
+        for c in &self.cases {
+            let row = format!("{}/{}/{}", c.workload, c.arch, c.mode);
+            if !rows.contains(&row) {
+                rows.push(row);
+            }
+        }
+        for row in rows {
+            let _ = write!(out, "{row:<34}");
+            for s in seeds {
+                let cell = self
+                    .cases
+                    .iter()
+                    .find(|c| {
+                        format!("{}/{}/{}", c.workload, c.arch, c.mode) == row && c.seed == *s
+                    })
+                    .map_or(' ', |c| c.status.cell());
+                let _ = write!(out, "{cell:>3}");
+            }
+            out.push('\n');
+        }
+        let _ = write!(
+            out,
+            "{} case(s): {} clean, {} degraded, {} failed   \
+             (. clean, d degraded, B budget exceeded, L ladder failed, X emulation diverged)",
+            self.cases.len(),
+            self.count(0),
+            self.count(1),
+            self.count(2),
+        );
+        out
+    }
+}
+
+/// Build the named workload for `arch`. Supports the same names as
+/// `icfgp gen` minus the ones that need extra parameters.
+///
+/// # Errors
+///
+/// A message naming the unknown workload.
+pub fn build_workload(name: &str, arch: Arch) -> Result<Binary, String> {
+    if let Some(spec) = name.strip_prefix("spec:") {
+        let spec = SPEC_NAMES
+            .iter()
+            .find(|n| **n == spec)
+            .ok_or_else(|| format!("unknown SPEC benchmark {spec}"))?;
+        return Ok(generate(&spec_params(spec, arch, false)).binary);
+    }
+    match name {
+        "small" => Ok(generate(&GenParams::small("chaos", arch, 3)).binary),
+        "switch_demo" | "switch-demo" => Ok(switch_demo(arch, false).binary),
+        other => Err(format!("unknown workload {other}")),
+    }
+}
+
+/// Run one chaos case: arm the fault plan, ladder to a verified
+/// rewrite, and emulate both binaries.
+#[must_use]
+pub fn run_case(
+    binary: &Binary,
+    mode: RewriteMode,
+    seed: u64,
+    intensity: &str,
+    policy: &DegradationPolicy,
+) -> (CaseStatus, usize, usize, usize, usize) {
+    let mut config = RewriteConfig::new(mode);
+    config.fault_plan = FaultPlan::named(intensity, seed);
+    config.degradation = *policy;
+    let ladder = match rewrite_with_ladder(binary, &config, &Instrumentation::empty(Points::EveryBlock))
+    {
+        Ok(l) => l,
+        Err(e @ (LadderError::Rewrite(_) | LadderError::Verify(_) | LadderError::NoConvergence { .. })) => {
+            return (CaseStatus::LadderFailed(e.to_string()), 0, 0, 0, 0);
+        }
+    };
+    let funcs = ladder.dispositions.len();
+    let degraded = ladder.degraded().count();
+    let stats = (ladder.rounds, funcs, degraded, ladder.below_floor);
+    if let Err(why) = emulates_equivalently(binary, &ladder.outcome.binary) {
+        return (CaseStatus::EmulationDiverged(why), stats.0, stats.1, stats.2, stats.3);
+    }
+    let status = if ladder.budget_exceeded {
+        CaseStatus::BudgetExceeded
+    } else if ladder.fully_clean()
+        && ladder.dispositions.iter().all(|d| d.failure.is_none())
+    {
+        CaseStatus::Clean
+    } else {
+        CaseStatus::Degraded
+    };
+    (status, stats.0, stats.1, stats.2, stats.3)
+}
+
+/// Dynamic oracle: same outcome class and same output stream.
+///
+/// # Errors
+///
+/// A human-readable description of the divergence.
+pub fn emulates_equivalently(original: &Binary, rewritten: &Binary) -> Result<(), String> {
+    let orig = run(original, &LoadOptions::default());
+    let new = run(
+        rewritten,
+        &LoadOptions { preload_runtime: true, ..LoadOptions::default() },
+    );
+    match (&orig, &new) {
+        (Outcome::Halted(a), Outcome::Halted(b)) => {
+            if a.output == b.output {
+                Ok(())
+            } else {
+                Err(format!("output diverged: {:?} vs {:?}", a.output, b.output))
+            }
+        }
+        (Outcome::Crashed { reason: ra, .. }, Outcome::Crashed { reason: rb, .. }) => {
+            // Both crash: same failure class is equivalent enough for
+            // crashy workloads.
+            let _ = (ra, rb);
+            Ok(())
+        }
+        (Outcome::OutOfFuel(_), Outcome::OutOfFuel(_)) => Ok(()),
+        (a, b) => Err(format!(
+            "outcome class diverged: original {} vs rewritten {}",
+            outcome_name(a),
+            outcome_name(b)
+        )),
+    }
+}
+
+fn outcome_name(o: &Outcome) -> &'static str {
+    match o {
+        Outcome::Halted(_) => "halted",
+        Outcome::Crashed { .. } => "crashed",
+        Outcome::OutOfFuel(_) => "out-of-fuel",
+    }
+}
+
+/// Run the full campaign. `progress` is called after each case (the
+/// CLI prints a line; tests pass a no-op).
+///
+/// # Errors
+///
+/// A message naming an unknown workload; fault and rewrite problems
+/// are per-case verdicts, not campaign errors.
+pub fn run_campaign(
+    config: &CampaignConfig,
+    mut progress: impl FnMut(&CaseResult),
+) -> Result<CampaignReport, String> {
+    let mut report = CampaignReport::default();
+    for wl in &config.workloads {
+        for arch in &config.arches {
+            let binary = build_workload(wl, *arch)?;
+            for mode in &config.modes {
+                for seed in &config.seeds {
+                    let (status, rounds, funcs, degraded_funcs, below_floor) =
+                        run_case(&binary, *mode, *seed, &config.intensity, &config.policy);
+                    let case = CaseResult {
+                        workload: wl.clone(),
+                        arch: arch.to_string(),
+                        mode: mode.to_string(),
+                        seed: *seed,
+                        status,
+                        rounds,
+                        funcs,
+                        degraded_funcs,
+                        below_floor,
+                    };
+                    progress(&case);
+                    report.cases.push(case);
+                }
+            }
+        }
+    }
+    Ok(report)
+}
+
+/// Parse a `--floor` CLI value.
+///
+/// # Errors
+///
+/// A message listing the accepted values.
+pub fn parse_floor(s: &str) -> Result<FuncMode, String> {
+    match s {
+        "dir" => Ok(FuncMode::Full(RewriteMode::Dir)),
+        "jt" => Ok(FuncMode::Full(RewriteMode::Jt)),
+        "func-ptr" => Ok(FuncMode::Full(RewriteMode::FuncPtr)),
+        "trap-only" => Ok(FuncMode::TrapOnly),
+        "skip" => Ok(FuncMode::Skip),
+        other => Err(format!(
+            "unknown floor {other}; expected dir|jt|func-ptr|trap-only|skip"
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn campaign_smoke_x64() {
+        let config = CampaignConfig {
+            workloads: vec!["switch_demo".into()],
+            arches: vec![Arch::X64],
+            modes: vec![RewriteMode::Jt],
+            seeds: vec![1, 2],
+            ..CampaignConfig::default()
+        };
+        let report = run_campaign(&config, |_| {}).unwrap();
+        assert_eq!(report.cases.len(), 2);
+        assert!(report.exit_code() <= 1, "{}", report.render_matrix(&config.seeds));
+        let matrix = report.render_matrix(&config.seeds);
+        assert!(matrix.contains("switch_demo/x86-64/jt"), "{matrix}");
+    }
+
+    #[test]
+    fn case_status_exit_codes() {
+        assert_eq!(CaseStatus::Clean.exit_code(), 0);
+        assert_eq!(CaseStatus::Degraded.exit_code(), 1);
+        assert_eq!(CaseStatus::BudgetExceeded.exit_code(), 1);
+        assert_eq!(CaseStatus::LadderFailed("x".into()).exit_code(), 2);
+        assert_eq!(CaseStatus::EmulationDiverged("x".into()).exit_code(), 2);
+    }
+
+    #[test]
+    fn report_serialises() {
+        let mut r = CampaignReport::default();
+        r.cases.push(CaseResult {
+            workload: "small".into(),
+            arch: "x86-64".into(),
+            mode: "jt".into(),
+            seed: 1,
+            status: CaseStatus::Degraded,
+            rounds: 3,
+            funcs: 10,
+            degraded_funcs: 2,
+            below_floor: 1,
+        });
+        let json = serde_json::to_string(&r).unwrap();
+        let back: CampaignReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+    }
+}

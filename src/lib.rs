@@ -26,6 +26,8 @@
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour.
 
+pub mod chaos;
+
 pub use icfgp_asm as asm;
 pub use icfgp_baselines as baselines;
 pub use icfgp_cfg as cfg;

@@ -1,0 +1,164 @@
+//! The CLI exit-code contract (satellite of the robustness PR):
+//!
+//! | code | meaning                                             |
+//! |------|-----------------------------------------------------|
+//! | 0    | fully clean — every function at its requested mode  |
+//! | 1    | degraded, but within the error budget               |
+//! | 2    | degradation budget exceeded                         |
+//! | 3    | internal error (bad file, rewrite failure, ...)     |
+//! | 64   | usage error                                         |
+//!
+//! The fault seeds below were chosen empirically: `switch_demo` on
+//! x86-64 with `--fault-seed 1` (standard intensity) degrades one of
+//! its two functions, which exceeds the default 25% budget but fits a
+//! budget of 1.0.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn icfgp() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_icfgp"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("icfgp-exit-{}-{name}", std::process::id()))
+}
+
+fn gen_switch_demo() -> PathBuf {
+    let raw = tmp("sd.json");
+    let out = icfgp()
+        .args(["gen", "--workload", "switch_demo", "--arch", "x86-64", "-o"])
+        .arg(&raw)
+        .output()
+        .expect("gen runs");
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    raw
+}
+
+#[test]
+fn clean_rewrite_exits_zero() {
+    let raw = gen_switch_demo();
+    let rw = tmp("clean.json");
+    let out = icfgp()
+        .args(["rewrite"])
+        .arg(&raw)
+        .args(["--mode", "jt", "-o"])
+        .arg(&rw)
+        .output()
+        .expect("rewrite runs");
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let _ = std::fs::remove_file(&raw);
+    let _ = std::fs::remove_file(&rw);
+}
+
+#[test]
+fn degraded_within_budget_exits_one() {
+    let raw = gen_switch_demo();
+    let rw = tmp("degraded.json");
+    let out = icfgp()
+        .args(["rewrite"])
+        .arg(&raw)
+        .args(["--mode", "jt", "--fault-seed", "1", "--budget", "1.0", "-o"])
+        .arg(&rw)
+        .output()
+        .expect("rewrite runs");
+    assert_eq!(out.status.code(), Some(1), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("degraded"), "{text}");
+    // Degraded output still verifies with zero errors.
+    assert!(text.contains("verify     : 0 error(s)"), "{text}");
+    let _ = std::fs::remove_file(&raw);
+    let _ = std::fs::remove_file(&rw);
+}
+
+#[test]
+fn budget_exceeded_exits_two() {
+    let raw = gen_switch_demo();
+    let rw = tmp("exceeded.json");
+    let out = icfgp()
+        .args(["rewrite"])
+        .arg(&raw)
+        // Default budget: 25% below a dir floor; one degraded function
+        // out of two blows it.
+        .args(["--mode", "jt", "--fault-seed", "1", "-o"])
+        .arg(&rw)
+        .output()
+        .expect("rewrite runs");
+    assert_eq!(out.status.code(), Some(2), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("BUDGET EXCEEDED"));
+    let _ = std::fs::remove_file(&raw);
+    let _ = std::fs::remove_file(&rw);
+}
+
+#[test]
+fn verify_honours_the_same_contract() {
+    let raw = gen_switch_demo();
+    let clean = icfgp()
+        .args(["verify"])
+        .arg(&raw)
+        .args(["--mode", "jt"])
+        .output()
+        .expect("verify runs");
+    assert_eq!(clean.status.code(), Some(0), "{}", String::from_utf8_lossy(&clean.stderr));
+    let degraded = icfgp()
+        .args(["verify"])
+        .arg(&raw)
+        .args(["--mode", "jt", "--fault-seed", "1", "--budget", "1.0"])
+        .output()
+        .expect("verify runs");
+    assert_eq!(
+        degraded.status.code(),
+        Some(1),
+        "{}",
+        String::from_utf8_lossy(&degraded.stderr)
+    );
+    let _ = std::fs::remove_file(&raw);
+}
+
+#[test]
+fn internal_error_exits_three() {
+    let out = icfgp()
+        .args(["verify", "/nonexistent/icfgp-exit-code-test.json"])
+        .output()
+        .expect("verify runs");
+    assert_eq!(out.status.code(), Some(3));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error"));
+}
+
+#[test]
+fn usage_error_exits_sixty_four() {
+    let out = icfgp().arg("frobnicate").output().expect("runs");
+    assert_eq!(out.status.code(), Some(64));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
+
+    let noargs = icfgp().output().expect("runs");
+    assert_eq!(noargs.status.code(), Some(64));
+}
+
+#[test]
+fn chaos_smoke_reports_no_failures() {
+    let out = icfgp()
+        .args([
+            "chaos",
+            "--seeds",
+            "2",
+            "--workloads",
+            "switch_demo",
+            "--arch",
+            "x86-64",
+            "--mode",
+            "jt",
+        ])
+        .output()
+        .expect("chaos runs");
+    // 0 or 1 acceptable (clean / degraded-or-budget); 2 means a ladder
+    // failure or emulation divergence — a real robustness bug.
+    assert!(
+        matches!(out.status.code(), Some(0 | 1)),
+        "exit {:?}: {}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("0 failed"), "{text}");
+}

@@ -36,7 +36,15 @@ fn gen_analyze_rewrite_run_pipeline() {
         .arg(&rewritten)
         .output()
         .expect("rewrite runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    // 0 = fully clean, 1 = degraded within budget (spec workloads contain
+    // deliberately unanalysable functions, which the ladder records as
+    // degraded-to-skip).
+    assert!(
+        matches!(out.status.code(), Some(0 | 1)),
+        "exit {:?}: {}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("trampolines"));
 
     // The original and the rewritten binary produce the same output.

@@ -1,0 +1,112 @@
+//! Properties of the degradation ladder under fault injection:
+//!
+//! 1. **Monotonicity** — the achieved per-function mode never exceeds
+//!    the requested one, and every recorded ladder step strictly
+//!    descends.
+//! 2. **Soundness** — whatever the ladder settles on verifies with
+//!    zero error-severity diagnostics.
+//! 3. **Equivalence** — the (possibly degraded) rewritten binary
+//!    emulates identically to the original, across fault seeds,
+//!    intensities, workloads, modes and architectures.
+
+use incremental_cfg_patching::core::{
+    FaultPlan, Instrumentation, Points, RewriteConfig, RewriteMode,
+};
+use incremental_cfg_patching::emu::{run, LoadOptions, Outcome};
+use incremental_cfg_patching::isa::Arch;
+use incremental_cfg_patching::verify::rewrite_with_ladder;
+use incremental_cfg_patching::workloads::{generate, GenParams};
+use proptest::prelude::*;
+
+fn arb_arch() -> impl Strategy<Value = Arch> {
+    prop_oneof![Just(Arch::X64), Just(Arch::Ppc64le), Just(Arch::Aarch64)]
+}
+
+fn arb_mode() -> impl Strategy<Value = RewriteMode> {
+    prop_oneof![Just(RewriteMode::Dir), Just(RewriteMode::Jt), Just(RewriteMode::FuncPtr)]
+}
+
+fn arb_intensity() -> impl Strategy<Value = &'static str> {
+    prop_oneof![Just("quiet"), Just("standard"), Just("aggressive")]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn ladder_is_monotone_and_preserves_behaviour(
+        arch in arb_arch(),
+        mode in arb_mode(),
+        wl_seed in 0u64..500,
+        fault_seed in 0u64..1_000,
+        intensity in arb_intensity(),
+    ) {
+        let w = generate(&GenParams::small("ladder", arch, wl_seed));
+        let expected = match run(&w.binary, &LoadOptions::default()) {
+            Outcome::Halted(s) => s.output,
+            o => return Err(TestCaseError::fail(format!("workload invalid: {o:?}"))),
+        };
+
+        let mut config = RewriteConfig::new(mode);
+        config.fault_plan = FaultPlan::named(intensity, fault_seed);
+        // A tolerant budget: the property under test is soundness of
+        // whatever the ladder achieves, not the policy verdict.
+        config.degradation.max_below_floor = 1.0;
+
+        let ladder = rewrite_with_ladder(
+            &w.binary,
+            &config,
+            &Instrumentation::empty(Points::EveryBlock),
+        )
+        .map_err(|e| TestCaseError::fail(format!("ladder failed: {e}")))?;
+
+        // 1. Monotone: achieved ≤ requested, steps strictly descend.
+        for d in &ladder.dispositions {
+            prop_assert!(
+                d.achieved <= d.requested,
+                "{:#x}: achieved {} above requested {}",
+                d.entry, d.achieved, d.requested
+            );
+            for pair in d.steps.windows(2) {
+                prop_assert!(
+                    pair[1].from < pair[0].from,
+                    "{:#x}: non-descending ladder steps",
+                    d.entry
+                );
+            }
+        }
+
+        // 2. Sound: the settled rewrite verifies with zero errors.
+        let errors: Vec<_> = ladder.verify.errors().collect();
+        prop_assert!(
+            errors.is_empty(),
+            "{mode}/{intensity} seed {fault_seed}: verify rejected: {errors:#?}"
+        );
+
+        // 3. Equivalent: the degraded binary behaves like the original.
+        let opts = LoadOptions { preload_runtime: true, ..LoadOptions::default() };
+        match run(&ladder.outcome.binary, &opts) {
+            Outcome::Halted(s) => prop_assert_eq!(s.output, expected),
+            o => return Err(TestCaseError::fail(format!(
+                "{mode}/{intensity} seed {fault_seed}: rewritten failed: {o:?}"
+            ))),
+        }
+    }
+
+    /// The fault plan itself is deterministic: the same seed yields the
+    /// same dispositions twice.
+    #[test]
+    fn ladder_is_deterministic(fault_seed in 0u64..1_000) {
+        let w = generate(&GenParams::small("ladder-det", Arch::X64, 7));
+        let mut config = RewriteConfig::new(RewriteMode::FuncPtr);
+        config.fault_plan = FaultPlan::named("aggressive", fault_seed);
+        config.degradation.max_below_floor = 1.0;
+        let instr = Instrumentation::empty(Points::EveryBlock);
+        let a = rewrite_with_ladder(&w.binary, &config, &instr)
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+        let b = rewrite_with_ladder(&w.binary, &config, &instr)
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+        prop_assert_eq!(a.dispositions, b.dispositions);
+        prop_assert_eq!(a.rounds, b.rounds);
+    }
+}

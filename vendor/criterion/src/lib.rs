@@ -1,0 +1,125 @@
+//! Offline stand-in for `criterion`.
+//!
+//! A minimal wall-clock benchmark harness with the same calling
+//! conventions the workspace's `[[bench]]` targets use
+//! (`benchmark_group`, `sample_size`, `throughput`, `bench_function`,
+//! `criterion_group!`/`criterion_main!`). No statistics beyond
+//! mean/min over the configured sample count.
+
+use std::time::{Duration, Instant};
+
+/// Top-level harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _parent: self, name: name.into(), sample_size: 20, throughput: None }
+    }
+}
+
+/// Units processed per iteration, for rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher { samples: Vec::new(), per_sample: self.sample_size };
+        f(&mut bencher);
+        report(&self.name, &id, &bencher.samples, self.throughput);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; `iter` runs and times the routine.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    per_sample: usize,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // One warm-up run, then timed samples.
+        std::hint::black_box(routine());
+        for _ in 0..self.per_sample {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn report(group: &str, id: &str, samples: &[Duration], throughput: Option<Throughput>) {
+    if samples.is_empty() {
+        println!("{group}/{id}: no samples");
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let min = samples.iter().min().copied().unwrap_or_default();
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => {
+            format!(" ({:.1} Melem/s)", n as f64 / mean.as_secs_f64() / 1e6)
+        }
+        Throughput::Bytes(n) => {
+            format!(" ({:.1} MiB/s)", n as f64 / mean.as_secs_f64() / (1024.0 * 1024.0))
+        }
+    });
+    println!(
+        "{group}/{id}: mean {mean:?}, min {min:?} over {} samples{}",
+        samples.len(),
+        rate.unwrap_or_default()
+    );
+}
+
+/// Prevent the optimiser from discarding a value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,173 @@
+//! Offline stand-in for `rand` 0.8.
+//!
+//! Implements the slice of the `rand` API this workspace uses —
+//! `SmallRng::seed_from_u64` plus `Rng::gen_range` over half-open
+//! integer ranges — **bit-exactly** compatible with `rand` 0.8 on
+//! 64-bit platforms, so seeded workload generation reproduces the same
+//! binaries as the original dependency:
+//!
+//! * `SmallRng` is xoshiro256++, seeded from a `u64` via SplitMix64
+//!   (the same override `rand` ships);
+//! * `gen_range` uses the widening-multiply rejection scheme of
+//!   `UniformInt::sample_single`.
+
+use std::ops::Range;
+
+/// Core generator interface.
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+/// Seedable construction.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// User-facing sampling interface.
+pub trait Rng: RngCore {
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// A full-range `u64` (the only `gen` shape the uniform sampler needs).
+    fn gen_u64(&mut self) -> u64
+    where
+        Self: Sized,
+    {
+        self.next_u64()
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Ranges a `T` can be uniformly sampled from.
+pub trait SampleRange<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Uniform sample in `[0, len)` via 128-bit widening multiply with
+/// rejection — identical to `rand` 0.8's `UniformInt::sample_single`
+/// for 64-bit output types.
+fn sample_u64_below<R: RngCore + ?Sized>(rng: &mut R, len: u64) -> u64 {
+    debug_assert!(len > 0);
+    let zone = (len << len.leading_zeros()).wrapping_sub(1);
+    loop {
+        let v = rng.next_u64();
+        let m = u128::from(v) * u128::from(len);
+        let lo = m as u64;
+        if lo <= zone {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let len = (self.end as $u).wrapping_sub(self.start as $u) as u64;
+                let offset = sample_u64_below(rng, len) as $u;
+                (self.start as $u).wrapping_add(offset) as $t
+            }
+        }
+    )*};
+}
+impl_sample_range!(
+    i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize,
+    u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize
+);
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++ — what `rand` 0.8's `SmallRng` is on 64-bit.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        /// SplitMix64 expansion of a `u64` seed, exactly as `rand` 0.8
+        /// overrides `seed_from_u64` for xoshiro256++.
+        fn seed_from_u64(mut state: u64) -> SmallRng {
+            const PHI: u64 = 0x9e37_79b9_7f4a_7c15;
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                state = state.wrapping_add(PHI);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                *slot = z ^ (z >> 31);
+            }
+            SmallRng { s }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let result =
+                self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    /// Reference values computed from `rand` 0.8.5's
+    /// `SmallRng::seed_from_u64(0)` (xoshiro256++ + SplitMix64).
+    #[test]
+    fn seed_zero_matches_rand_08() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let first = rng.next_u64();
+        let second = rng.next_u64();
+        // SplitMix64(0) expands to these four state words:
+        //   s = [e220a8397b1dcdaf, 6e789e6aa1b965f4, 06c45d188009454f, f88bb8a8724c81ec]
+        // and the first xoshiro256++ output is
+        //   rotl(s0 + s3, 23) + s0.
+        let s0 = 0xe220_a839_7b1d_cdafu64;
+        let s3 = 0xf88b_b8a8_724c_81ecu64;
+        assert_eq!(first, s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0));
+        assert_ne!(first, second);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3i64..60);
+            assert!((3..60).contains(&v));
+            let u = rng.gen_range(0u64..17);
+            assert!(u < 17);
+            let neg = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&neg));
+        }
+    }
+}

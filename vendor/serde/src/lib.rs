@@ -1,0 +1,482 @@
+//! Offline stand-in for `serde`.
+//!
+//! The container registry this workspace builds against is not
+//! reachable from the build environment, so the handful of external
+//! crates are vendored as minimal API-compatible implementations. This
+//! one replaces `serde` with a concrete `Value`-tree data model: types
+//! serialise into a [`Value`] and deserialise back out of one, and the
+//! companion `serde_json` stand-in maps `Value` to and from JSON text.
+//!
+//! Only the surface this repository uses is implemented: the
+//! `Serialize`/`Deserialize` derives (via the sibling `serde_derive`
+//! stand-in), primitives, strings, tuples, `Option`, `Vec`,
+//! `BTreeMap`/`BTreeSet`, and the `rename_all` container attribute.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// The serialisation data model: a JSON-shaped tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Int(i64),
+    UInt(u64),
+    Float(f64),
+    Str(String),
+    Arr(Vec<Value>),
+    /// Key order is preserved (declaration order under derive).
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    #[must_use]
+    pub fn as_obj(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Obj(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    #[must_use]
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Unsigned view of a numeric value.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::UInt(u) => Some(*u),
+            Value::Int(i) if *i >= 0 => Some(*i as u64),
+            _ => None,
+        }
+    }
+
+    /// Signed view of a numeric value.
+    #[must_use]
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::UInt(u) if *u <= i64::MAX as u64 => Some(*u as i64),
+            _ => None,
+        }
+    }
+
+    /// Float view of a numeric value.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(*f),
+            Value::Int(i) => Some(*i as f64),
+            Value::UInt(u) => Some(*u as f64),
+            _ => None,
+        }
+    }
+
+    /// Object field lookup.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_obj().and_then(|o| o.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+}
+
+/// Deserialisation failure: a message describing the mismatch.
+#[derive(Debug, Clone)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    pub fn custom(msg: impl Into<String>) -> DeError {
+        DeError { msg: msg.into() }
+    }
+
+    #[must_use]
+    pub fn expected(what: &str, ty: &str) -> DeError {
+        DeError { msg: format!("expected {what} while deserialising {ty}") }
+    }
+
+    #[must_use]
+    pub fn unknown_variant(variant: &str, ty: &str) -> DeError {
+        DeError { msg: format!("unknown {ty} variant `{variant}`") }
+    }
+
+    #[must_use]
+    pub fn missing_field(name: &str) -> DeError {
+        DeError { msg: format!("missing field `{name}`") }
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Serialise into the [`Value`] data model.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Deserialise out of the [`Value`] data model.
+pub trait Deserialize: Sized {
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+
+    /// Value to use for a missing struct field (`None` means the field
+    /// is required; `Option<T>` overrides this to default to `None`).
+    #[doc(hidden)]
+    fn absent() -> Option<Self> {
+        None
+    }
+}
+
+/// Look a struct field up by name (used by the derive).
+#[doc(hidden)]
+pub fn field<T: Deserialize>(obj: &[(String, Value)], name: &str) -> Result<T, DeError> {
+    match obj.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => T::from_value(v),
+        None => T::absent().ok_or_else(|| DeError::missing_field(name)),
+    }
+}
+
+/// Stringified map keys (JSON objects only allow string keys).
+pub trait KeyCodec: Sized {
+    fn encode_key(&self) -> String;
+    fn decode_key(s: &str) -> Result<Self, DeError>;
+}
+
+// ------------------------------------------------------------- primitives
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<bool, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(DeError::expected("bool", "bool")),
+        }
+    }
+}
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(u64::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<$t, DeError> {
+                let u = v.as_u64().ok_or_else(|| {
+                    DeError::expected("unsigned integer", stringify!($t))
+                })?;
+                <$t>::try_from(u).map_err(|_| DeError::expected("in-range integer", stringify!($t)))
+            }
+        }
+        impl KeyCodec for $t {
+            fn encode_key(&self) -> String {
+                self.to_string()
+            }
+            fn decode_key(s: &str) -> Result<$t, DeError> {
+                s.parse().map_err(|_| DeError::expected("integer key", stringify!($t)))
+            }
+        }
+    )*};
+}
+impl_uint!(u8, u16, u32, u64);
+
+impl Serialize for usize {
+    fn to_value(&self) -> Value {
+        Value::UInt(*self as u64)
+    }
+}
+
+impl Deserialize for usize {
+    fn from_value(v: &Value) -> Result<usize, DeError> {
+        let u = v.as_u64().ok_or_else(|| DeError::expected("unsigned integer", "usize"))?;
+        usize::try_from(u).map_err(|_| DeError::expected("in-range integer", "usize"))
+    }
+}
+
+impl KeyCodec for usize {
+    fn encode_key(&self) -> String {
+        self.to_string()
+    }
+    fn decode_key(s: &str) -> Result<usize, DeError> {
+        s.parse().map_err(|_| DeError::expected("integer key", "usize"))
+    }
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(i64::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<$t, DeError> {
+                let i = v.as_i64().ok_or_else(|| {
+                    DeError::expected("integer", stringify!($t))
+                })?;
+                <$t>::try_from(i).map_err(|_| DeError::expected("in-range integer", stringify!($t)))
+            }
+        }
+        impl KeyCodec for $t {
+            fn encode_key(&self) -> String {
+                self.to_string()
+            }
+            fn decode_key(s: &str) -> Result<$t, DeError> {
+                s.parse().map_err(|_| DeError::expected("integer key", stringify!($t)))
+            }
+        }
+    )*};
+}
+impl_int!(i8, i16, i32, i64);
+
+impl Serialize for isize {
+    fn to_value(&self) -> Value {
+        Value::Int(*self as i64)
+    }
+}
+
+impl Deserialize for isize {
+    fn from_value(v: &Value) -> Result<isize, DeError> {
+        let i = v.as_i64().ok_or_else(|| DeError::expected("integer", "isize"))?;
+        isize::try_from(i).map_err(|_| DeError::expected("in-range integer", "isize"))
+    }
+}
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Float(f64::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<$t, DeError> {
+                v.as_f64()
+                    .map(|f| f as $t)
+                    .ok_or_else(|| DeError::expected("number", stringify!($t)))
+            }
+        }
+    )*};
+}
+impl_float!(f32, f64);
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<char, DeError> {
+        let s = v.as_str().ok_or_else(|| DeError::expected("string", "char"))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::expected("single-character string", "char")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<String, DeError> {
+        v.as_str().map(str::to_string).ok_or_else(|| DeError::expected("string", "String"))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for &'static str {
+    fn from_value(v: &Value) -> Result<&'static str, DeError> {
+        // Static string fields only appear in small fixed tables
+        // (e.g. branch-form specs); leaking the handful of parsed
+        // copies is deliberate and bounded.
+        let s = v.as_str().ok_or_else(|| DeError::expected("string", "&str"))?;
+        Ok(Box::leak(s.to_string().into_boxed_str()))
+    }
+}
+
+impl KeyCodec for String {
+    fn encode_key(&self) -> String {
+        self.clone()
+    }
+    fn decode_key(s: &str) -> Result<String, DeError> {
+        Ok(s.to_string())
+    }
+}
+
+// ------------------------------------------------------------- containers
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Option<T>, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+
+    fn absent() -> Option<Option<T>> {
+        Some(None)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Vec<T>, DeError> {
+        v.as_arr()
+            .ok_or_else(|| DeError::expected("array", "Vec"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Default + Copy, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<[T; N], DeError> {
+        let arr = v.as_arr().ok_or_else(|| DeError::expected("array", "array"))?;
+        if arr.len() != N {
+            return Err(DeError::expected("fixed-length array", "array"));
+        }
+        let mut out = [T::default(); N];
+        for (slot, item) in out.iter_mut().zip(arr) {
+            *slot = T::from_value(item)?;
+        }
+        Ok(out)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($t:ident . $idx:tt),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Arr(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<($($t,)+), DeError> {
+                let arr = v.as_arr().ok_or_else(|| DeError::expected("array", "tuple"))?;
+                let expect = 0usize $(+ { let _ = $idx; 1 })+;
+                if arr.len() != expect {
+                    return Err(DeError::expected("tuple-length array", "tuple"));
+                }
+                Ok(($($t::from_value(&arr[$idx])?,)+))
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+impl<K: KeyCodec + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Obj(self.iter().map(|(k, v)| (k.encode_key(), v.to_value())).collect())
+    }
+}
+
+impl<K: KeyCodec + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<BTreeMap<K, V>, DeError> {
+        v.as_obj()
+            .ok_or_else(|| DeError::expected("object", "BTreeMap"))?
+            .iter()
+            .map(|(k, v)| Ok((K::decode_key(k)?, V::from_value(v)?)))
+            .collect()
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn from_value(v: &Value) -> Result<BTreeSet<T>, DeError> {
+        v.as_arr()
+            .ok_or_else(|| DeError::expected("array", "BTreeSet"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Value, DeError> {
+        Ok(v.clone())
+    }
+}

@@ -1,0 +1,485 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Derives the `serde::Serialize`/`serde::Deserialize` traits of the
+//! in-tree `serde` crate (a `Value`-tree data model) without pulling in
+//! `syn`/`quote`: the item is parsed directly from the `proc_macro`
+//! token stream and the impl is emitted as source text. Supports the
+//! shapes this workspace uses — named/tuple/unit structs and enums
+//! with unit, tuple and struct variants — plus the container attribute
+//! `#[serde(rename_all = "lowercase"|"UPPERCASE"|"snake_case"|"kebab-case")]`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+struct Input {
+    name: String,
+    rename_all: Option<String>,
+    kind: Kind,
+}
+
+enum Kind {
+    /// Named-field struct (field names in declaration order).
+    Named(Vec<String>),
+    /// Tuple struct with the given arity.
+    Tuple(usize),
+    /// Unit struct.
+    Unit,
+    /// Enum (variants in declaration order).
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Input) -> String) -> TokenStream {
+    match parse_input(input) {
+        Ok(item) => gen(&item).parse().expect("generated impl parses"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().expect("error parses"),
+    }
+}
+
+// ---------------------------------------------------------------- parsing
+
+type Iter = Peekable<proc_macro::token_stream::IntoIter>;
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let mut iter: Iter = input.into_iter().peekable();
+    let mut rename_all = None;
+    skip_attrs(&mut iter, &mut rename_all);
+    skip_visibility(&mut iter);
+    let item_kind = expect_ident(&mut iter)?;
+    let name = expect_ident(&mut iter)?;
+    if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!("serde stand-in: generic type `{name}` is not supported"));
+    }
+    let kind = match item_kind.as_str() {
+        "struct" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Named(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::Unit,
+            _ => return Err(format!("serde stand-in: unsupported struct body for `{name}`")),
+        },
+        "enum" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream())?)
+            }
+            _ => return Err(format!("serde stand-in: malformed enum `{name}`")),
+        },
+        other => return Err(format!("serde stand-in: cannot derive for `{other}` items")),
+    };
+    Ok(Input { name, rename_all, kind })
+}
+
+fn expect_ident(iter: &mut Iter) -> Result<String, String> {
+    match iter.next() {
+        Some(TokenTree::Ident(id)) => Ok(id.to_string()),
+        other => Err(format!("serde stand-in: expected identifier, found {other:?}")),
+    }
+}
+
+/// Skip leading attributes; record `#[serde(rename_all = "...")]`.
+fn skip_attrs(iter: &mut Iter, rename_all: &mut Option<String>) {
+    while matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        iter.next();
+        if let Some(TokenTree::Group(g)) = iter.next() {
+            scan_attr(g.stream(), rename_all);
+        }
+    }
+}
+
+/// Inspect one attribute body (`serde(...)`, `doc = "..."`, ...).
+fn scan_attr(attr: TokenStream, rename_all: &mut Option<String>) {
+    let mut iter = attr.into_iter();
+    match iter.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return,
+    }
+    let Some(TokenTree::Group(args)) = iter.next() else { return };
+    let mut inner = args.stream().into_iter();
+    while let Some(tok) = inner.next() {
+        if matches!(&tok, TokenTree::Ident(id) if id.to_string() == "rename_all") {
+            // `rename_all = "style"`
+            if matches!(inner.next(), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+                if let Some(TokenTree::Literal(lit)) = inner.next() {
+                    *rename_all = Some(lit.to_string().trim_matches('"').to_string());
+                }
+            }
+        }
+    }
+}
+
+fn skip_visibility(iter: &mut Iter) {
+    if matches!(iter.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        iter.next();
+        if matches!(
+            iter.peek(),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            iter.next();
+        }
+    }
+}
+
+/// Field names of a `{ ... }` struct body. Types are skipped with
+/// angle-bracket depth tracking so generic arguments' commas do not
+/// split fields.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut iter: Iter = body.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        let mut ignored = None;
+        skip_attrs(&mut iter, &mut ignored);
+        skip_visibility(&mut iter);
+        match iter.next() {
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            None => break,
+            other => return Err(format!("serde stand-in: expected field name, found {other:?}")),
+        }
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("serde stand-in: expected `:`, found {other:?}")),
+        }
+        // Skip the type up to the next top-level comma.
+        let mut depth = 0i32;
+        loop {
+            match iter.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => depth -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 0 => {
+                    iter.next();
+                    break;
+                }
+                None => break,
+                _ => {}
+            }
+            iter.next();
+        }
+        if iter.peek().is_none() {
+            break;
+        }
+    }
+    Ok(fields)
+}
+
+/// Arity of a `( ... )` tuple-struct/variant body.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut commas = 0usize;
+    let mut any = false;
+    let mut trailing_comma = false;
+    for tok in body {
+        any = true;
+        trailing_comma = false;
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    commas += 1;
+                    trailing_comma = true;
+                }
+                _ => {}
+            }
+        }
+    }
+    if !any {
+        0
+    } else if trailing_comma {
+        commas
+    } else {
+        commas + 1
+    }
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut iter: Iter = body.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        let mut ignored = None;
+        skip_attrs(&mut iter, &mut ignored);
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("serde stand-in: expected variant, found {other:?}")),
+        };
+        let shape = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                iter.next();
+                Shape::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                iter.next();
+                Shape::Named(fields)
+            }
+            _ => Shape::Unit,
+        };
+        // Skip any explicit discriminant, up to the separating comma.
+        loop {
+            match iter.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' => break,
+                None => break,
+                _ => {}
+            }
+        }
+        variants.push(Variant { name, shape });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------- renaming
+
+fn rename(style: Option<&str>, name: &str) -> String {
+    match style {
+        Some("lowercase") => name.to_lowercase(),
+        Some("UPPERCASE") => name.to_uppercase(),
+        Some("snake_case") => camel_to(name, '_'),
+        Some("kebab-case") => camel_to(name, '-'),
+        _ => name.to_string(),
+    }
+}
+
+fn camel_to(name: &str, sep: char) -> String {
+    let mut out = String::new();
+    for (i, ch) in name.chars().enumerate() {
+        if ch.is_ascii_uppercase() {
+            if i > 0 {
+                out.push(sep);
+            }
+            out.push(ch.to_ascii_lowercase());
+        } else {
+            out.push(ch);
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------- serialize
+
+fn gen_serialize(item: &Input) -> String {
+    let name = &item.name;
+    let style = item.rename_all.as_deref();
+    let body = match &item.kind {
+        Kind::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    let key = rename(style, f);
+                    format!(
+                        "(::std::string::String::from({key:?}), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Obj(vec![{}])", entries.join(", "))
+        }
+        Kind::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::Tuple(n) => {
+            let entries: Vec<String> =
+                (0..*n).map(|i| format!("::serde::Serialize::to_value(&self.{i})")).collect();
+            format!("::serde::Value::Arr(vec![{}])", entries.join(", "))
+        }
+        Kind::Unit => "::serde::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let tag = rename(style, &v.name);
+                    match &v.shape {
+                        Shape::Unit => format!(
+                            "{name}::{v} => ::serde::Value::Str(\
+                             ::std::string::String::from({tag:?}))",
+                            v = v.name
+                        ),
+                        Shape::Tuple(1) => format!(
+                            "{name}::{v}(__f0) => ::serde::Value::Obj(vec![(\
+                             ::std::string::String::from({tag:?}), \
+                             ::serde::Serialize::to_value(__f0))])",
+                            v = v.name
+                        ),
+                        Shape::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let vals: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(__f{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{v}({binds}) => ::serde::Value::Obj(vec![(\
+                                 ::std::string::String::from({tag:?}), \
+                                 ::serde::Value::Arr(vec![{vals}]))])",
+                                v = v.name,
+                                binds = binds.join(", "),
+                                vals = vals.join(", ")
+                            )
+                        }
+                        Shape::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from({f:?}), \
+                                         ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{v} {{ {binds} }} => ::serde::Value::Obj(vec![(\
+                                 ::std::string::String::from({tag:?}), \
+                                 ::serde::Value::Obj(vec![{entries}]))])",
+                                v = v.name,
+                                entries = entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Serialize for {name} {{ \
+         fn to_value(&self) -> ::serde::Value {{ {body} }} }}"
+    )
+}
+
+// -------------------------------------------------------------- deserialize
+
+fn gen_deserialize(item: &Input) -> String {
+    let name = &item.name;
+    let style = item.rename_all.as_deref();
+    let body = match &item.kind {
+        Kind::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    let key = rename(style, f);
+                    format!("{f}: ::serde::field(__obj, {key:?})?")
+                })
+                .collect();
+            format!(
+                "let __obj = __v.as_obj().ok_or_else(|| \
+                 ::serde::DeError::expected(\"object\", {name:?}))?; \
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Kind::Tuple(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))"
+        ),
+        Kind::Tuple(n) => {
+            let vals: Vec<String> =
+                (0..*n).map(|i| format!("::serde::Deserialize::from_value(&__arr[{i}])?")).collect();
+            format!(
+                "let __arr = __v.as_arr().ok_or_else(|| \
+                 ::serde::DeError::expected(\"array\", {name:?}))?; \
+                 if __arr.len() != {n} {{ return ::std::result::Result::Err(\
+                 ::serde::DeError::expected(\"{n}-element array\", {name:?})); }} \
+                 ::std::result::Result::Ok({name}({}))",
+                vals.join(", ")
+            )
+        }
+        Kind::Unit => format!("let _ = __v; ::std::result::Result::Ok({name})"),
+        Kind::Enum(variants) => gen_enum_deserialize(name, style, variants),
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Deserialize for {name} {{ \
+         fn from_value(__v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::DeError> {{ {body} }} }}"
+    )
+}
+
+fn gen_enum_deserialize(name: &str, style: Option<&str>, variants: &[Variant]) -> String {
+    let unit: Vec<&Variant> = variants.iter().filter(|v| matches!(v.shape, Shape::Unit)).collect();
+    let data: Vec<&Variant> = variants.iter().filter(|v| !matches!(v.shape, Shape::Unit)).collect();
+
+    // `"Tag"` form for unit variants.
+    let mut str_arm = String::new();
+    for v in &unit {
+        let tag = rename(style, &v.name);
+        str_arm.push_str(&format!(
+            "if __s == {tag:?} {{ return ::std::result::Result::Ok({name}::{v}); }} ",
+            v = v.name
+        ));
+    }
+    str_arm.push_str(&format!(
+        "::std::result::Result::Err(::serde::DeError::unknown_variant(__s, {name:?}))"
+    ));
+
+    // `{"Tag": payload}` form for data variants.
+    let mut obj_arm = String::new();
+    for v in &data {
+        let tag = rename(style, &v.name);
+        let build = match &v.shape {
+            Shape::Unit => unreachable!(),
+            Shape::Tuple(1) => format!(
+                "::std::result::Result::Ok({name}::{v}(\
+                 ::serde::Deserialize::from_value(__inner)?))",
+                v = v.name
+            ),
+            Shape::Tuple(n) => {
+                let vals: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&__arr[{i}])?"))
+                    .collect();
+                format!(
+                    "let __arr = __inner.as_arr().ok_or_else(|| \
+                     ::serde::DeError::expected(\"array\", {name:?}))?; \
+                     if __arr.len() != {n} {{ return ::std::result::Result::Err(\
+                     ::serde::DeError::expected(\"{n}-element array\", {name:?})); }} \
+                     ::std::result::Result::Ok({name}::{v}({vals}))",
+                    v = v.name,
+                    vals = vals.join(", ")
+                )
+            }
+            Shape::Named(fields) => {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| format!("{f}: ::serde::field(__fields, {f:?})?"))
+                    .collect();
+                format!(
+                    "let __fields = __inner.as_obj().ok_or_else(|| \
+                     ::serde::DeError::expected(\"object\", {name:?}))?; \
+                     ::std::result::Result::Ok({name}::{v} {{ {inits} }})",
+                    v = v.name,
+                    inits = inits.join(", ")
+                )
+            }
+        };
+        obj_arm.push_str(&format!("if __k == {tag:?} {{ {build} }} else "));
+    }
+    obj_arm.push_str(&format!(
+        "{{ ::std::result::Result::Err(::serde::DeError::unknown_variant(__k, {name:?})) }}"
+    ));
+    let inner_bind = if data.is_empty() { "_" } else { "__inner" };
+
+    format!(
+        "match __v {{ \
+         ::serde::Value::Str(__s) => {{ let __s = __s.as_str(); {str_arm} }} \
+         ::serde::Value::Obj(__o) if __o.len() == 1 => {{ \
+         let (__k, {inner_bind}) = &__o[0]; let __k = __k.as_str(); {obj_arm} }} \
+         _ => ::std::result::Result::Err(\
+         ::serde::DeError::expected(\"string or single-key object\", {name:?})) }}"
+    )
+}
