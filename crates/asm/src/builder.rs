@@ -644,7 +644,7 @@ impl BinaryBuilder {
                             )?;
                         }
                         if self.arch.is_fixed_width() {
-                            while (addr + bytes.len() as u64) % 4 != 0 {
+                            while !(addr + bytes.len() as u64).is_multiple_of(4) {
                                 bytes.push(0);
                             }
                         }

@@ -117,7 +117,7 @@ pub fn instruction_patching(binary: &Binary) -> Result<E9Outcome, RewriteError> 
                 stubs.extend_from_slice(&back);
             }
             // Keep RISC alignment between stubs.
-            while stubs.len() as u64 % arch.inst_align() != 0 {
+            while !(stubs.len() as u64).is_multiple_of(arch.inst_align()) {
                 stubs.push(nop[0]);
             }
         }

@@ -227,7 +227,7 @@ pub fn multiverse(
                     _ => unreachable!("filtered above"),
                 }
                 stubs.extend_from_slice(&stub);
-                while stubs.len() as u64 % arch.inst_align() != 0 {
+                while !(stubs.len() as u64).is_multiple_of(arch.inst_align()) {
                     stubs.push(0);
                 }
                 translated_sites += 1;

@@ -33,13 +33,14 @@ pub struct Table3Row {
 
 /// Run the Table 3 experiment for one architecture.
 ///
-/// Benchmarks are distributed over a scoped thread pool; everything is
-/// deterministic regardless of scheduling.
+/// Benchmarks are distributed over the shared
+/// [`icfgp_core::pool`] worker pool; everything is deterministic
+/// regardless of scheduling.
 #[must_use]
 pub fn table3(arch: Arch, approaches: &[Approach]) -> Vec<Table3Row> {
     let suite = spec_suite(arch, false);
     let suite_pie = spec_suite(arch, true);
-    let workers = std::thread::available_parallelism().map_or(4, usize::from).min(16);
+    let workers = icfgp_core::pool::default_threads();
 
     let mut rows = Vec::new();
     for &approach in approaches {
@@ -47,26 +48,9 @@ pub fn table3(arch: Arch, approaches: &[Approach]) -> Vec<Table3Row> {
             if approach.needs_pie() { &suite_pie } else { &suite };
         // Fan benchmarks out over worker threads.
         let results: Vec<(String, Result<EvalResult, crate::EvalError>)> =
-            std::thread::scope(|scope| {
-                let chunks: Vec<_> = benches.chunks(benches.len().div_ceil(workers)).collect();
-                let handles: Vec<_> = chunks
-                    .into_iter()
-                    .map(|chunk| {
-                        scope.spawn(move || {
-                            chunk
-                                .iter()
-                                .map(|bench| {
-                                    let base = baseline_stats(&bench.workload.binary);
-                                    (
-                                        bench.name.to_string(),
-                                        evaluate(&bench.workload.binary, approach, &base),
-                                    )
-                                })
-                                .collect::<Vec<_>>()
-                        })
-                    })
-                    .collect();
-                handles.into_iter().flat_map(|h| h.join().expect("worker")).collect()
+            icfgp_core::pool::map(workers, benches, |_, bench| {
+                let base = baseline_stats(&bench.workload.binary);
+                (bench.name.to_string(), evaluate(&bench.workload.binary, approach, &base))
             });
 
         let mut overheads = Vec::new();

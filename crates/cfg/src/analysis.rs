@@ -10,13 +10,14 @@ use serde::{Deserialize, Serialize};
 use std::cell::Cell;
 use std::collections::{BTreeMap, BTreeSet, HashSet};
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
 /// Analysis capability knobs.
 ///
 /// [`AnalysisConfig::default`] is the paper's improved analysis;
 /// [`AnalysisConfig::srbi`] models the weaker analysis of
 /// Dyninst-10.2/SRBI, which drives the coverage gap in Table 3.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct AnalysisConfig {
     /// Track values through stack spill/reload pairs during slicing.
     pub track_spills: bool,
@@ -95,10 +96,37 @@ impl AnalysisConfig {
             ..self.clone()
         }
     }
+
+    /// This configuration with the injected faults restricted to those
+    /// that can affect the analysis of code in `[start, end)`. Every
+    /// fault is anchored to an address ([`InjectedFault::anchor`]):
+    /// function faults to the victim entry, table faults to the
+    /// dispatching jump. Analysing a function under its slice produces
+    /// the same [`FuncCfg`] as under the full configuration, which is
+    /// what makes per-function analysis results content-addressable.
+    #[must_use]
+    pub fn slice_for(&self, start: u64, end: u64) -> AnalysisConfig {
+        let mut sliced = self.clone();
+        sliced.inject.retain(|f| {
+            let a = f.anchor();
+            a >= start && a < end
+        });
+        sliced
+    }
+
+    /// A stable fingerprint over every analysis-relevant knob
+    /// (including the injected faults). Two configurations with equal
+    /// fingerprints analyse identically.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.hash(&mut h);
+        h.finish()
+    }
 }
 
 /// Deliberate analysis faults, one per Figure 2 failure class.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum InjectedFault {
     /// Make analysis of the function at `entry` report failure.
     FailFunction {
@@ -135,6 +163,21 @@ pub enum InjectedFault {
         /// Entry address of the victim function.
         entry: u64,
     },
+}
+
+impl InjectedFault {
+    /// The address this fault is anchored to: faults only perturb the
+    /// analysis (or liveness) of the function containing it.
+    #[must_use]
+    pub fn anchor(&self) -> u64 {
+        match self {
+            InjectedFault::FailFunction { entry }
+            | InjectedFault::PanicFunction { entry }
+            | InjectedFault::CorruptLiveness { entry } => *entry,
+            InjectedFault::UnderApproximateTable { jump_addr, .. }
+            | InjectedFault::OverApproximateTable { jump_addr, .. } => *jump_addr,
+        }
+    }
 }
 
 /// Analysis verdict for one function.
@@ -186,7 +229,7 @@ impl fmt::Display for AnalysisFailure {
 }
 
 /// Binary-level analysis result.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BinaryAnalysis {
     /// Per-function CFGs, keyed by entry address.
     pub funcs: BTreeMap<u64, FuncCfg>,
@@ -221,10 +264,37 @@ impl BinaryAnalysis {
 
 /// Analyse a whole binary: every function plus (optionally reusable)
 /// function-pointer definitions.
+///
+/// This is the sequential reference driver; it composes the staged
+/// entry points [`prepass_boundaries`], [`analyze_function_isolated`]
+/// and [`assemble_analysis`] that the incremental/parallel engine in
+/// `icfgp-core` reuses. Each function is analysed against the
+/// boundaries known so far: the pass-1 set plus the jump tables
+/// discovered in every *earlier* (lower-address) function. Any driver
+/// reproducing that per-function prefix produces identical results.
 #[must_use]
 pub fn analyze(binary: &Binary, config: &AnalysisConfig) -> BinaryAnalysis {
-    // Pass 1: traverse everything without jump-table resolution to
-    // collect the data-access boundaries extension relies on.
+    let mut boundaries = prepass_boundaries(binary);
+
+    // Pass 2: full per-function analysis; discovered tables feed the
+    // boundary set for later functions.
+    let mut funcs = BTreeMap::new();
+    for sym in binary.functions() {
+        let cfg = analyze_function_isolated(binary, sym, config, &boundaries);
+        for jt in &cfg.jump_tables {
+            boundaries.insert(jt.table_addr);
+        }
+        funcs.insert(sym.addr, cfg);
+    }
+
+    assemble_analysis(binary, config, funcs, boundaries)
+}
+
+/// Pass 1 of [`analyze`]: traverse everything without jump-table
+/// resolution to collect the data-access boundaries table-end
+/// extension relies on. Depends only on the binary.
+#[must_use]
+pub fn prepass_boundaries(binary: &Binary) -> BTreeSet<u64> {
     let mut boundaries: BTreeSet<u64> = BTreeSet::new();
     for sym in binary.functions() {
         let insts = traverse(binary, sym.addr, (sym.addr, sym.end()), &[], None);
@@ -252,27 +322,41 @@ pub fn analyze(binary: &Binary, config: &AnalysisConfig) -> BinaryAnalysis {
         boundaries.insert(sec.addr());
         boundaries.insert(sec.end());
     }
+    boundaries
+}
 
-    // Pass 2: full per-function analysis; discovered tables feed the
-    // boundary set for later functions. Each function runs behind a
-    // panic isolation boundary: a latent analysis bug (modelled by
-    // `InjectedFault::PanicFunction`) turns into a per-function
-    // `AnalysisFailure::Panicked` instead of aborting the whole pass.
+/// Analyse one function behind the panic isolation boundary: a latent
+/// analysis bug (modelled by [`InjectedFault::PanicFunction`]) turns
+/// into a per-function [`AnalysisFailure::Panicked`] instead of
+/// aborting the whole pass. Safe to call from worker threads — the
+/// quiet hook keys off a thread-local.
+#[must_use]
+pub fn analyze_function_isolated(
+    binary: &Binary,
+    sym: &Symbol,
+    config: &AnalysisConfig,
+    boundaries: &BTreeSet<u64>,
+) -> FuncCfg {
     install_quiet_panic_hook();
-    let mut funcs = BTreeMap::new();
-    for sym in binary.functions() {
-        IN_ANALYSIS.with(|c| c.set(true));
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            analyze_function(binary, sym, config, &boundaries)
-        }));
-        IN_ANALYSIS.with(|c| c.set(false));
-        let cfg = result.unwrap_or_else(|_| panicked_func_cfg(sym));
-        for jt in &cfg.jump_tables {
-            boundaries.insert(jt.table_addr);
-        }
-        funcs.insert(sym.addr, cfg);
-    }
+    IN_ANALYSIS.with(|c| c.set(true));
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        analyze_function(binary, sym, config, boundaries)
+    }));
+    IN_ANALYSIS.with(|c| c.set(false));
+    result.unwrap_or_else(|_| panicked_func_cfg(sym))
+}
 
+/// The final stage of [`analyze`]: binary-level function-pointer
+/// analysis plus the block splits it induces, assembled into a
+/// [`BinaryAnalysis`]. `funcs` must hold every function's CFG and
+/// `boundaries` the fixpoint boundary set.
+#[must_use]
+pub fn assemble_analysis(
+    binary: &Binary,
+    config: &AnalysisConfig,
+    mut funcs: BTreeMap<u64, FuncCfg>,
+    boundaries: BTreeSet<u64>,
+) -> BinaryAnalysis {
     let fp_defs = funcptr::analyze_function_pointers(binary, &funcs, config);
 
     // Function-pointer arithmetic (`&f + delta`) makes mid-function

@@ -408,7 +408,7 @@ fn finish_table(
         }
         let target = kind.target_of(v, table_addr);
         let (fs, fe) = ctx.func_range;
-        let aligned = target % ctx.binary.arch.inst_align() == 0;
+        let aligned = target.is_multiple_of(ctx.binary.arch.inst_align());
         if target >= fs && target < fe && aligned {
             targets.push((i, target));
         }

@@ -43,8 +43,8 @@ mod jumptable;
 mod liveness;
 
 pub use analysis::{
-    analyze, analyze_function, AddrConstEvent, AnalysisConfig, AnalysisFailure, BinaryAnalysis,
-    FuncStatus, InjectedFault,
+    analyze, analyze_function, analyze_function_isolated, assemble_analysis, prepass_boundaries,
+    AddrConstEvent, AnalysisConfig, AnalysisFailure, BinaryAnalysis, FuncStatus, InjectedFault,
 };
 pub use block::{Block, Edge, EdgeKind, FuncCfg};
 pub use funcptr::{FpDef, FpDefSite};

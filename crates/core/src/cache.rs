@@ -1,0 +1,570 @@
+//! The incremental rewrite cache (the "analyse once, rewrite cheaply"
+//! engine).
+//!
+//! Every expensive per-function artefact of the pipeline is memoised
+//! in a [`RewriteCache`] under a **content-addressed key**:
+//!
+//! * per-function CFGs — keyed by `(binary fingerprint, function
+//!   range, function bytes, fault-sliced analysis config, boundary
+//!   prefix)`, so a fault injected into one function never invalidates
+//!   its neighbours and a degradation-ladder round re-analyses
+//!   nothing;
+//! * relocation *fragments* (address-independent per-function entry
+//!   lists, sized) — keyed by the CFG identity plus the rewrite-config
+//!   bits relocation reads and the function's ladder rung;
+//! * emitted per-function code — keyed by the fragment identity plus
+//!   its layout inputs (base address, resolved branch targets, clone
+//!   addresses);
+//! * liveness results, the boundary pre-pass, and whole
+//!   [`BinaryAnalysis`] results.
+//!
+//! There is no explicit invalidation: demoting a function on the
+//! ladder changes its keys (a miss) while every untouched function
+//! keeps hitting. [`analyze_incremental`] is the parallel analysis
+//! driver; it reproduces the sequential [`icfgp_cfg::analyze`] result
+//! exactly (see its docs for the replay argument).
+//!
+//! All fingerprints use the zero-keyed [`DefaultHasher`], which is
+//! deterministic within and across processes for a given Rust
+//! release; keys are 64-bit, so a cross-content collision is
+//! astronomically unlikely but not impossible — acceptable for a
+//! cache whose inputs are not adversarial.
+
+use crate::pool;
+use crate::relocate::{EmittedFunc, FuncFragment};
+use crate::rewriter::RewriteError;
+use icfgp_cfg::{
+    analyze_function_isolated, assemble_analysis, prepass_boundaries, AnalysisConfig,
+    BinaryAnalysis, FuncCfg, LivenessResult,
+};
+use icfgp_obj::Binary;
+use serde::Serialize;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Hit/miss counters for one cached stage of the rewrite pipeline.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct StageStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to compute.
+    pub misses: u64,
+}
+
+impl StageStats {
+    pub(crate) fn record(&mut self, hit: bool) {
+        if hit {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
+    }
+
+    /// Total lookups.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of lookups served from the cache (0.0 when idle).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.total() as f64
+        }
+    }
+}
+
+/// Wall-clock nanoseconds spent in each rewrite stage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct StageTimings {
+    /// Binary analysis (or its cache lookup).
+    pub analysis_ns: u64,
+    /// Relocation: fragments, layout, emission, clone fill.
+    pub relocate_ns: u64,
+    /// Trampoline placement over the shared scratch pool.
+    pub placement_ns: u64,
+    /// Output-binary assembly (sections, maps, report).
+    pub assemble_ns: u64,
+    /// End-to-end rewrite time.
+    pub total_ns: u64,
+}
+
+/// Cache-hit and timing counters for one rewrite, attached to
+/// [`RewriteOutcome`](crate::RewriteOutcome) and printed by
+/// `icfgp rewrite --stats`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+pub struct RewriteStats {
+    /// Worker threads the rewrite ran with.
+    pub threads: usize,
+    /// The whole [`BinaryAnalysis`] was served from the cache.
+    pub analysis_memo_hit: bool,
+    /// Parallel-analysis replay rounds (0 on a memo hit).
+    pub analysis_rounds: u32,
+    /// Per-function CFG analyses.
+    pub func_analyses: StageStats,
+    /// Per-function relocation fragments.
+    pub fragments: StageStats,
+    /// Per-function code emissions.
+    pub emits: StageStats,
+    /// Per-function liveness results.
+    pub liveness: StageStats,
+    /// Stage wall-clock timings.
+    pub timings: StageTimings,
+}
+
+/// Hash a `Hash` value with the deterministic zero-keyed hasher.
+pub(crate) fn hash_of<T: Hash + ?Sized>(v: &T) -> u64 {
+    let mut h = DefaultHasher::new();
+    v.hash(&mut h);
+    h.finish()
+}
+
+/// splitmix64 — used for the order-independent (XOR-folded) boundary
+/// set hash, where each element must be well mixed on its own.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// A key guaranteed never to collide with any content-derived key:
+/// used as a fallback when a key input is unavailable, forcing a
+/// cache miss instead of a wrong hit.
+pub(crate) fn unique_key() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    // Fold a process-unique counter so even two caches never share it.
+    mix(NEXT.fetch_add(1, Ordering::Relaxed)) ^ 0xDEAD_BEEF_0BAD_CAFE
+}
+
+/// A content fingerprint of a whole binary (all sections, symbols,
+/// relocations and metadata), via its structural `Hash`. Every
+/// per-item cache key folds this in, so a cache can be shared across
+/// binaries without cross-talk. Cheap enough to recompute per rewrite
+/// (it is the memo-lookup cost on a fully warm cache).
+#[must_use]
+pub fn binary_fingerprint(binary: &Binary) -> u64 {
+    hash_of(binary)
+}
+
+/// The boundary pre-pass result with its XOR-folded element hash.
+struct Prepass {
+    set: BTreeSet<u64>,
+    hash: u64,
+}
+
+/// A memoised whole-binary analysis.
+#[derive(Clone)]
+struct AnalysisMemo {
+    analysis: Arc<BinaryAnalysis>,
+    func_keys: Arc<BTreeMap<u64, u64>>,
+    rounds: u32,
+}
+
+#[derive(Default)]
+struct Maps {
+    prepass: HashMap<u64, Arc<Prepass>>,
+    analyses: HashMap<(u64, u64), AnalysisMemo>,
+    funcs: HashMap<u64, Arc<FuncCfg>>,
+    liveness: HashMap<u64, Arc<LivenessResult>>,
+    fragments: HashMap<u64, Arc<FuncFragment>>,
+    emits: HashMap<u64, Arc<EmittedFunc>>,
+}
+
+/// The content-addressed rewrite cache. Cheap to create, safe to
+/// share across threads, rewrites, ladder rounds and fault seeds —
+/// keys are self-describing, so reuse never changes results, only
+/// how fast they arrive.
+#[derive(Default)]
+pub struct RewriteCache {
+    inner: Mutex<Maps>,
+}
+
+impl std::fmt::Debug for RewriteCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let m = self.inner.lock().expect("cache poisoned");
+        f.debug_struct("RewriteCache")
+            .field("analyses", &m.analyses.len())
+            .field("funcs", &m.funcs.len())
+            .field("fragments", &m.fragments.len())
+            .field("emits", &m.emits.len())
+            .field("liveness", &m.liveness.len())
+            .finish()
+    }
+}
+
+impl RewriteCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> RewriteCache {
+        RewriteCache::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Maps> {
+        self.inner.lock().expect("cache poisoned")
+    }
+
+    fn prepass(&self, binary_fp: u64, binary: &Binary) -> Arc<Prepass> {
+        if let Some(p) = self.lock().prepass.get(&binary_fp) {
+            return p.clone();
+        }
+        let set = prepass_boundaries(binary);
+        let hash = set.iter().fold(0u64, |h, &a| h ^ mix(a));
+        let p = Arc::new(Prepass { set, hash });
+        self.lock()
+            .prepass
+            .entry(binary_fp)
+            .or_insert_with(|| p.clone())
+            .clone()
+    }
+
+    /// Look up or compute a per-function CFG. Returns `(result, hit)`.
+    pub(crate) fn func(&self, key: u64, compute: impl FnOnce() -> FuncCfg) -> (Arc<FuncCfg>, bool) {
+        if let Some(v) = self.lock().funcs.get(&key) {
+            return (v.clone(), true);
+        }
+        let v = Arc::new(compute());
+        (
+            self.lock()
+                .funcs
+                .entry(key)
+                .or_insert_with(|| v.clone())
+                .clone(),
+            false,
+        )
+    }
+
+    /// Look up or compute a per-function liveness result.
+    pub(crate) fn liveness(
+        &self,
+        key: u64,
+        compute: impl FnOnce() -> LivenessResult,
+    ) -> (Arc<LivenessResult>, bool) {
+        if let Some(v) = self.lock().liveness.get(&key) {
+            return (v.clone(), true);
+        }
+        let v = Arc::new(compute());
+        (
+            self.lock()
+                .liveness
+                .entry(key)
+                .or_insert_with(|| v.clone())
+                .clone(),
+            false,
+        )
+    }
+
+    /// Look up or build a per-function relocation fragment. Errors are
+    /// not cached (they abort the rewrite anyway).
+    pub(crate) fn fragment(
+        &self,
+        key: u64,
+        compute: impl FnOnce() -> Result<FuncFragment, RewriteError>,
+    ) -> Result<(Arc<FuncFragment>, bool), RewriteError> {
+        if let Some(v) = self.lock().fragments.get(&key) {
+            return Ok((v.clone(), true));
+        }
+        let v = Arc::new(compute()?);
+        Ok((
+            self.lock()
+                .fragments
+                .entry(key)
+                .or_insert_with(|| v.clone())
+                .clone(),
+            false,
+        ))
+    }
+
+    /// Look up or emit one function's relocated code.
+    pub(crate) fn emit(
+        &self,
+        key: u64,
+        compute: impl FnOnce() -> Result<EmittedFunc, RewriteError>,
+    ) -> Result<(Arc<EmittedFunc>, bool), RewriteError> {
+        if let Some(v) = self.lock().emits.get(&key) {
+            return Ok((v.clone(), true));
+        }
+        let v = Arc::new(compute()?);
+        Ok((
+            self.lock()
+                .emits
+                .entry(key)
+                .or_insert_with(|| v.clone())
+                .clone(),
+            false,
+        ))
+    }
+
+    fn analysis_memo(&self, binary_fp: u64, config_fp: u64) -> Option<AnalysisMemo> {
+        let m = self.lock();
+        m.analyses.get(&(binary_fp, config_fp)).cloned()
+    }
+
+    fn store_analysis(
+        &self,
+        binary_fp: u64,
+        config_fp: u64,
+        analysis: Arc<BinaryAnalysis>,
+        func_keys: Arc<BTreeMap<u64, u64>>,
+        rounds: u32,
+    ) {
+        self.lock()
+            .analyses
+            .entry((binary_fp, config_fp))
+            .or_insert(AnalysisMemo {
+                analysis,
+                func_keys,
+                rounds,
+            });
+    }
+}
+
+/// The result of [`analyze_incremental`]: the analysis plus the cache
+/// identities the relocation stages key off.
+pub struct AnalysisRun {
+    /// The whole-binary analysis (identical to
+    /// [`icfgp_cfg::analyze`]'s result).
+    pub analysis: Arc<BinaryAnalysis>,
+    /// Per-function cache identity: function entry address → the key
+    /// its CFG was cached under. Downstream fragment/emit keys derive
+    /// from these.
+    pub func_keys: Arc<BTreeMap<u64, u64>>,
+    /// The whole analysis was served from the memo.
+    pub memo_hit: bool,
+    /// Replay rounds run (0 on a memo hit).
+    pub rounds: u32,
+    /// Per-function analysis hits/misses.
+    pub func_stats: StageStats,
+}
+
+/// Analyse `binary` incrementally and in parallel, reproducing the
+/// sequential [`icfgp_cfg::analyze`] result **exactly**.
+///
+/// The sequential driver analyses functions in symbol order, and
+/// function *i* sees the boundary set "pre-pass ∪ jump tables of
+/// functions 0..i-1". This driver replays that prefix by iteration:
+/// each round it computes every function's prefix-boundary snapshot
+/// from the results known so far, re-analyses (in parallel, through
+/// the per-function cache) exactly the functions whose snapshot hash
+/// changed, and stops when nothing changed. By induction, after round
+/// *k* the first *k* functions hold their final (sequential) results,
+/// so the loop converges to the unique sequential solution; in
+/// practice it takes two analysis rounds plus one check round,
+/// because table addresses discovered in round one rarely change.
+#[must_use]
+pub fn analyze_incremental(
+    binary: &Binary,
+    config: &AnalysisConfig,
+    cache: &RewriteCache,
+    threads: usize,
+) -> AnalysisRun {
+    let binary_fp = binary_fingerprint(binary);
+    let config_fp = config.fingerprint();
+    if let Some(memo) = cache.analysis_memo(binary_fp, config_fp) {
+        return AnalysisRun {
+            analysis: memo.analysis,
+            func_keys: memo.func_keys,
+            memo_hit: true,
+            rounds: memo.rounds,
+            func_stats: StageStats::default(),
+        };
+    }
+    let pre = cache.prepass(binary_fp, binary);
+    let syms: Vec<&icfgp_obj::Symbol> = binary.functions().collect();
+    let n = syms.len();
+
+    // The boundary-independent part of each function's key.
+    let statics: Vec<u64> = syms
+        .iter()
+        .map(|s| {
+            let mut h = DefaultHasher::new();
+            0xFC01u64.hash(&mut h);
+            binary_fp.hash(&mut h);
+            s.addr.hash(&mut h);
+            s.size.hash(&mut h);
+            h.write(binary.read(s.addr, s.size as usize).unwrap_or(&[]));
+            config.slice_for(s.addr, s.end()).fingerprint().hash(&mut h);
+            h.finish()
+        })
+        .collect();
+
+    let mut results: Vec<Option<Arc<FuncCfg>>> = vec![None; n];
+    let mut analyzed: Vec<Option<u64>> = vec![None; n];
+    let mut func_stats = StageStats::default();
+    let mut rounds = 0u32;
+    let final_set: BTreeSet<u64>;
+    loop {
+        // Prefix snapshots from the results known so far. Consecutive
+        // functions between table discoveries share one Arc'd set.
+        let mut set = pre.set.clone();
+        let mut h = pre.hash;
+        let mut shared: Option<Arc<BTreeSet<u64>>> = None;
+        let mut snaps: Vec<Option<(Arc<BTreeSet<u64>>, u64)>> = vec![None; n];
+        let mut work: Vec<usize> = Vec::new();
+        for i in 0..n {
+            if analyzed[i] != Some(h) {
+                let arc = match &shared {
+                    Some(a) => a.clone(),
+                    None => {
+                        let a = Arc::new(set.clone());
+                        shared = Some(a.clone());
+                        a
+                    }
+                };
+                snaps[i] = Some((arc, h));
+                work.push(i);
+            }
+            if let Some(cfg) = &results[i] {
+                for jt in &cfg.jump_tables {
+                    if set.insert(jt.table_addr) {
+                        h ^= mix(jt.table_addr);
+                        shared = None;
+                    }
+                }
+            }
+        }
+        if work.is_empty() {
+            final_set = set;
+            break;
+        }
+        rounds += 1;
+        let outs = pool::map(threads, &work, |_, &i| {
+            let (snap, input_hash) = snaps[i].as_ref().expect("snapshot for work item");
+            let mut k = DefaultHasher::new();
+            statics[i].hash(&mut k);
+            input_hash.hash(&mut k);
+            cache.func(k.finish(), || {
+                analyze_function_isolated(binary, syms[i], config, snap)
+            })
+        });
+        for (&i, (cfg, hit)) in work.iter().zip(outs) {
+            func_stats.record(hit);
+            analyzed[i] = Some(snaps[i].as_ref().expect("snapshot").1);
+            results[i] = Some(cfg);
+        }
+        assert!(rounds <= n as u32 + 1, "prefix replay failed to converge");
+    }
+
+    let funcs: BTreeMap<u64, FuncCfg> = syms
+        .iter()
+        .zip(&results)
+        .map(|(s, r)| (s.addr, (**r.as_ref().expect("analysed")).clone()))
+        .collect();
+    let func_keys: BTreeMap<u64, u64> = syms
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let mut k = DefaultHasher::new();
+            statics[i].hash(&mut k);
+            analyzed[i].expect("analysed").hash(&mut k);
+            (s.addr, k.finish())
+        })
+        .collect();
+    let analysis = Arc::new(assemble_analysis(binary, config, funcs, final_set));
+    let func_keys = Arc::new(func_keys);
+    cache.store_analysis(
+        binary_fp,
+        config_fp,
+        analysis.clone(),
+        func_keys.clone(),
+        rounds,
+    );
+    AnalysisRun {
+        analysis,
+        func_keys,
+        memo_hit: false,
+        rounds,
+        func_stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icfgp_cfg::analyze;
+    use icfgp_isa::Arch;
+
+    fn workload(name: &str, arch: Arch) -> Binary {
+        match name {
+            "small" => {
+                icfgp_workloads::generate(&icfgp_workloads::GenParams::small("cache", arch, 5))
+                    .binary
+            }
+            _ => icfgp_workloads::switch_demo(arch, false).binary,
+        }
+    }
+
+    #[test]
+    fn incremental_matches_sequential() {
+        for arch in [Arch::X64, Arch::Aarch64, Arch::Ppc64le] {
+            for name in ["small", "switch"] {
+                let bin = workload(name, arch);
+                let config = AnalysisConfig::default();
+                let cache = RewriteCache::new();
+                for threads in [1, 4] {
+                    let run = analyze_incremental(&bin, &config, &cache, threads);
+                    let seq = analyze(&bin, &config);
+                    assert_eq!(*run.analysis, seq, "{name}/{arch}/{threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn second_run_hits_the_memo() {
+        let bin = workload("small", Arch::X64);
+        let config = AnalysisConfig::default();
+        let cache = RewriteCache::new();
+        let cold = analyze_incremental(&bin, &config, &cache, 4);
+        assert!(!cold.memo_hit);
+        assert!(cold.func_stats.misses > 0);
+        let warm = analyze_incremental(&bin, &config, &cache, 4);
+        assert!(warm.memo_hit);
+        assert_eq!(*cold.analysis, *warm.analysis);
+    }
+
+    #[test]
+    fn faulted_function_does_not_invalidate_neighbours() {
+        use icfgp_cfg::InjectedFault;
+        let bin = workload("small", Arch::X64);
+        let cache = RewriteCache::new();
+        let clean = AnalysisConfig::default();
+        let cold = analyze_incremental(&bin, &clean, &cache, 4);
+        // A victim without jump tables leaves the boundary prefix of
+        // every later function unchanged.
+        let victim = cold
+            .analysis
+            .funcs
+            .values()
+            .find(|f| f.jump_tables.is_empty())
+            .expect("has a table-free function")
+            .entry;
+        let mut faulty = clean.clone();
+        faulty
+            .inject
+            .push(InjectedFault::FailFunction { entry: victim });
+        let run = analyze_incremental(&bin, &faulty, &cache, 4);
+        // Different config fingerprint: no memo hit, but every function
+        // except the victim is served from the per-function cache (the
+        // victim can miss once per replay round).
+        assert!(!run.memo_hit);
+        assert!(run.func_stats.misses <= u64::from(run.rounds));
+        assert!(run.func_stats.hits > 0);
+    }
+
+    #[test]
+    fn fingerprints_are_content_addressed() {
+        let a = workload("small", Arch::X64);
+        let b = workload("small", Arch::X64);
+        let c = workload("switch", Arch::X64);
+        assert_eq!(binary_fingerprint(&a), binary_fingerprint(&b));
+        assert_ne!(binary_fingerprint(&a), binary_fingerprint(&c));
+        assert_ne!(unique_key(), unique_key());
+    }
+}

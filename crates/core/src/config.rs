@@ -163,7 +163,7 @@ pub enum UnwindStrategy {
 
 /// Trampoline placement options (the §4/§7 machinery, individually
 /// switchable for the ablation benches).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct PlacementConfig {
     /// Extend CFL blocks over following scratch blocks into
     /// trampoline superblocks.
@@ -205,7 +205,7 @@ impl Default for PlacementConfig {
 
 /// Order in which relocated code is laid out in `.instr` — the §8.3
 /// BOLT-comparison transforms.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum LayoutOrder {
     /// Original address order.
     Original,

@@ -25,7 +25,7 @@
 //!   `.instr` gap beyond the short-branch reach.
 
 use crate::config::RewriteConfig;
-use icfgp_cfg::{analyze, FuncStatus, InjectedFault};
+use icfgp_cfg::{FuncStatus, InjectedFault};
 use icfgp_obj::Binary;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -141,13 +141,32 @@ impl FaultPlan {
     /// pick victims and fill `config` with injections and stress
     /// knobs. Deterministic in `(self, binary)`.
     pub fn arm(&self, binary: &Binary, config: &mut RewriteConfig) {
+        self.arm_cached(binary, config, &crate::cache::RewriteCache::new());
+    }
+
+    /// [`FaultPlan::arm`] through a [`crate::cache::RewriteCache`]: the
+    /// victim-picking clean analysis is served from the cache when a
+    /// previous seed (or rewrite) already analysed this binary. The
+    /// injections chosen are identical to [`FaultPlan::arm`].
+    pub fn arm_cached(
+        &self,
+        binary: &Binary,
+        config: &mut RewriteConfig,
+        cache: &crate::cache::RewriteCache,
+    ) {
         let mut rng = SmallRng::seed_from_u64(self.seed);
         fn chance(rng: &mut SmallRng, p: f64) -> bool {
             p > 0.0 && rng.gen_range(0u64..10_000) < (p * 10_000.0) as u64
         }
         let mut clean = config.analysis.clone();
         clean.inject.clear();
-        let analysis = analyze(binary, &clean);
+        let run = crate::cache::analyze_incremental(
+            binary,
+            &clean,
+            cache,
+            crate::pool::default_threads(),
+        );
+        let analysis = &*run.analysis;
         let mut inject: Vec<InjectedFault> = Vec::new();
         for func in analysis.funcs.values() {
             if func.status != FuncStatus::Ok {

@@ -4,7 +4,7 @@ use icfgp_isa::{Inst, Reg};
 use std::collections::BTreeSet;
 
 /// Where to instrument.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Points {
     /// Relocate everything but insert no payload anywhere.
     None,
@@ -44,7 +44,7 @@ impl Points {
 }
 
 /// What to insert at each point.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Payload {
     /// Nothing — still forces relocation and trampoline placement
     /// (the paper's "empty instrumentation").
@@ -62,7 +62,7 @@ pub enum Payload {
 }
 
 /// A complete instrumentation request.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Instrumentation {
     /// Where to instrument.
     pub points: Points,

@@ -60,17 +60,23 @@
 //! # }
 //! ```
 
+pub mod cache;
 mod cfl;
 mod config;
 pub mod dynamic;
 mod fault;
 mod instrument;
 mod placement;
+pub mod pool;
 mod relocate;
 mod report;
 mod rewriter;
 pub mod tramp;
 
+pub use cache::{
+    analyze_incremental, binary_fingerprint, AnalysisRun, RewriteCache, RewriteStats, StageStats,
+    StageTimings,
+};
 pub use cfl::{cfl_blocks, effective_cfl_blocks, CflReason};
 pub use config::{
     DegradationPolicy, FuncMode, LayoutOrder, PlacementConfig, RewriteConfig, RewriteMode,

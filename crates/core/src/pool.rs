@@ -1,0 +1,136 @@
+//! The shared scoped-thread worker pool.
+//!
+//! One pool implementation serves every fan-out site in the workspace:
+//! the incremental rewrite engine (per-function analysis, fragment
+//! building, emission) and the benchmark harness (`icfgp-bench`
+//! Table 3). Work is distributed by an atomic cursor — idle workers
+//! steal the next unclaimed item — so load balances dynamically, while
+//! results are returned **in item order**, which keeps every consumer
+//! deterministic regardless of scheduling or thread count.
+//!
+//! The worker count defaults to [`std::thread::available_parallelism`]
+//! capped at 16 and can be overridden with the `ICFGP_THREADS`
+//! environment variable (values are clamped to `1..=16`).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Hard cap on worker threads.
+pub const MAX_THREADS: usize = 16;
+
+/// The default worker count: the `ICFGP_THREADS` environment override
+/// when set (clamped to `1..=`[`MAX_THREADS`]), otherwise
+/// `available_parallelism` capped at [`MAX_THREADS`].
+#[must_use]
+pub fn default_threads() -> usize {
+    if let Some(n) = threads_from_env(std::env::var("ICFGP_THREADS").ok().as_deref()) {
+        return n;
+    }
+    std::thread::available_parallelism()
+        .map_or(4, usize::from)
+        .min(MAX_THREADS)
+}
+
+/// Parse an `ICFGP_THREADS`-style override. `None` for unset, empty or
+/// unparsable values; parsed values are clamped to
+/// `1..=`[`MAX_THREADS`].
+#[must_use]
+pub fn threads_from_env(value: Option<&str>) -> Option<usize> {
+    let n: usize = value?.trim().parse().ok()?;
+    Some(n.clamp(1, MAX_THREADS))
+}
+
+/// Run `f` over every item of `items` on up to `threads` scoped worker
+/// threads and return the results in item order.
+///
+/// Items are claimed through a shared atomic cursor (work stealing by
+/// self-scheduling): a fast worker drains more items than a slow one,
+/// but the output `Vec` is always `[f(0, &items[0]), f(1, &items[1]),
+/// ...]` — callers observe identical results for any thread count.
+/// With `threads <= 1` or fewer than two items everything runs on the
+/// calling thread. A panicking `f` propagates to the caller.
+pub fn map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = threads.clamp(1, MAX_THREADS).min(items.len());
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    let slot_ptr = SendPtr(slots.as_mut_ptr());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let cursor = &cursor;
+                let f = &f;
+                let slot_ptr = &slot_ptr;
+                scope.spawn(move || loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    let r = f(i, &items[i]);
+                    // SAFETY: each index is claimed by exactly one
+                    // worker (fetch_add), so writes are disjoint, and
+                    // `slots` outlives the scope.
+                    unsafe { *slot_ptr.0.add(i) = Some(r) };
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("pool worker panicked");
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every slot filled"))
+        .collect()
+}
+
+/// A raw pointer wrapper that is `Sync` so workers can write disjoint
+/// result slots without locking.
+struct SendPtr<R>(*mut Option<R>);
+unsafe impl<R: Send> Sync for SendPtr<R> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        for threads in [1, 2, 8, 16] {
+            let out = map(threads, &items, |i, v| (i as u64) * 1000 + v * 2);
+            let expect: Vec<u64> = (0..100).map(|v| v * 1000 + v * 2).collect();
+            assert_eq!(out, expect, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn map_handles_empty_and_single() {
+        let none: Vec<u32> = Vec::new();
+        assert!(map(8, &none, |_, v| *v).is_empty());
+        assert_eq!(map(8, &[7u32], |_, v| v + 1), vec![8]);
+    }
+
+    #[test]
+    fn env_override_parses_and_clamps() {
+        assert_eq!(threads_from_env(None), None);
+        assert_eq!(threads_from_env(Some("")), None);
+        assert_eq!(threads_from_env(Some("banana")), None);
+        assert_eq!(threads_from_env(Some("4")), Some(4));
+        assert_eq!(threads_from_env(Some(" 8 ")), Some(8));
+        assert_eq!(threads_from_env(Some("0")), Some(1));
+        assert_eq!(threads_from_env(Some("999")), Some(MAX_THREADS));
+    }
+
+    #[test]
+    fn default_threads_in_range() {
+        let n = default_threads();
+        assert!((1..=MAX_THREADS).contains(&n));
+    }
+}

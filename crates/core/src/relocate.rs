@@ -18,14 +18,32 @@
 //!   "materialise original return address; set it as the return
 //!   address; jump" (§2.3) — optionally reproducing the historical
 //!   stack-indirect bug.
+//!
+//! # Incremental pipeline
+//!
+//! Relocation runs in four stages. Per-function **fragments** (entry
+//! lists with sizes and fragment-relative offsets) are built in
+//! parallel through the content-addressed [`crate::cache`]; a cheap
+//! sequential **layout** pass places fragments back to back (exactly
+//! reproducing the historical single-cursor layout, so output bytes
+//! are identical for any thread count) and assigns clone addresses
+//! and counter slots; **emission** encodes each function in parallel,
+//! again through the cache; a final sequential pass fills the table
+//! clones. Fragments are address-independent, so a warm cache turns a
+//! re-rewrite into layout plus memcpy.
 
+use crate::cache::{hash_of, unique_key, RewriteCache, StageStats};
 use crate::config::{FuncMode, LayoutOrder, RewriteConfig, RewriteMode, UnwindStrategy};
 use crate::instrument::{Instrumentation, Payload};
+use crate::pool;
 use crate::rewriter::RewriteError;
 use icfgp_cfg::{BinaryAnalysis, FpDefSite, FuncCfg, FuncStatus, JumpTableDesc};
 use icfgp_isa::{encode, Addr, AluOp, Arch, Cond, Inst, Reg, SysOp, Width};
 use icfgp_obj::{Binary, RaMap};
+use std::collections::hash_map::DefaultHasher;
 use std::collections::{BTreeMap, HashMap};
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 /// Instrumentation-reserved scratch register for emitted sequences.
 const RESERVED: Reg = Reg(15);
@@ -104,11 +122,16 @@ enum BKind {
 enum RKind {
     Copy(Inst),
     Payload(Inst),
+    /// A per-block execution counter; the slot index is local to the
+    /// fragment (the layout pass assigns each function a slot base).
     CounterPayload { slot: usize },
     GoRaPayload,
     BranchOrig { bkind: BKind, orig_target: u64, far: bool },
     PcRelData { inst: Inst, orig_addr: u64 },
     PcRelPage { page_value: u64, dst: Reg },
+    /// The clone index is local to the function (its cloneable tables
+    /// in `jump_tables` order); emission receives the per-function
+    /// clone address slice.
     JtBase { inst: Inst, clone_idx: usize, pair: bool },
     /// A memory-indirect table jump whose displacement is retargeted to
     /// the clone (`jmp [idx*8 + table]` → `jmp [idx*8 + clone]`).
@@ -128,6 +151,8 @@ struct REntry {
     /// Extra original instruction consumed by a pair rewrite.
     orig_extra: Option<(u64, u8)>,
     kind: RKind,
+    /// Offset from the fragment base (which layout keeps
+    /// instruction-aligned, preserving per-entry alignment).
     new_addr: u64,
     size: u64,
 }
@@ -144,10 +169,42 @@ pub(crate) struct RelocateInput<'a> {
     pub instr_base: u64,
     /// Emit the buggy call emulation for stack-indirect calls.
     pub emulation_stack_bug: bool,
+    /// Per-function analysis cache identities (from
+    /// [`crate::cache::analyze_incremental`]); fragment and emission
+    /// keys derive from them.
+    pub func_keys: &'a BTreeMap<u64, u64>,
 }
 
-/// Relocate all selected functions.
-pub(crate) fn relocate(input: &RelocateInput<'_>) -> Result<RelocatedCode, RewriteError> {
+/// An address-independent per-function relocation recipe: the sized
+/// entry list, with offsets relative to the fragment base.
+#[derive(Debug, Clone)]
+pub(crate) struct FuncFragment {
+    entries: Vec<REntry>,
+    /// Original block start → index of the block's first entry.
+    block_starts: Vec<(u64, usize)>,
+    /// Counter payload slots used (local numbering from 0).
+    counter_slots: usize,
+    /// Fragment size in bytes.
+    size: u64,
+}
+
+/// One function's emitted relocated code plus its return-address map
+/// contributions (absolute addresses — the emission key folds in the
+/// fragment base).
+#[derive(Debug, Clone)]
+pub(crate) struct EmittedFunc {
+    bytes: Vec<u8>,
+    /// (relocated RA, original RA) pairs, in entry order.
+    ra_pairs: Vec<(u64, u64)>,
+}
+
+/// Relocate all selected functions. Returns the relocated code plus
+/// (fragment, emission) cache counters.
+pub(crate) fn relocate(
+    input: &RelocateInput<'_>,
+    cache: &RewriteCache,
+    threads: usize,
+) -> Result<(RelocatedCode, StageStats, StageStats), RewriteError> {
     let binary = input.binary;
     let arch = binary.arch;
     let config = input.config;
@@ -169,7 +226,6 @@ pub(crate) fn relocate(input: &RelocateInput<'_>) -> Result<RelocatedCode, Rewri
         selected.reverse();
     }
     let relocated_ranges: Vec<(u64, u64)> = selected.iter().map(|f| (f.start, f.end)).collect();
-    let is_relocated = |addr: u64| relocated_ranges.iter().any(|(s, e)| addr >= *s && addr < *e);
 
     // Far-branch decision for branches from `.instr` back to original
     // code (conservative span estimate; only matters on RISC).
@@ -180,9 +236,26 @@ pub(crate) fn relocate(input: &RelocateInput<'_>) -> Result<RelocatedCode, Rewri
         span as i64 > arch.short_branch_reach() - (1 << 20)
     };
 
+    // ----- build fragments (parallel, cached) --------------------------
+    let instr_fp = hash_of(input.instr);
+    let keyed: Vec<(&FuncCfg, u64)> = selected
+        .iter()
+        .map(|f| (*f, fragment_key(input, f, instr_fp, far_to_orig, &relocated_ranges)))
+        .collect();
+    let frag_results = pool::map(threads, &keyed, |_, (func, key)| {
+        cache.fragment(*key, || build_fragment(input, func, far_to_orig, &relocated_ranges))
+    });
+    let mut frag_stats = StageStats::default();
+    let mut frags: Vec<Arc<FuncFragment>> = Vec::with_capacity(keyed.len());
+    for r in frag_results {
+        let (frag, hit) = r?;
+        frag_stats.record(hit);
+        frags.push(frag);
+    }
+
     // ----- assign clone addresses --------------------------------------
     let mut clones: Vec<TableClone> = Vec::new();
-    let mut clone_index: HashMap<u64, usize> = HashMap::new(); // jump_addr -> idx
+    let mut func_clone_addrs: HashMap<u64, Vec<u64>> = HashMap::new(); // entry -> clone addrs
     if config.clone_tables {
         let mut cursor = input.clone_base;
         // Walk in analysis order (matches the rewriter's clone-sizing
@@ -194,13 +267,14 @@ pub(crate) fn relocate(input: &RelocateInput<'_>) -> Result<RelocatedCode, Rewri
             {
                 continue;
             }
+            let mut addrs: Vec<u64> = Vec::new();
             for desc in &func.jump_tables {
                 if !table_cloneable(func, desc) {
                     continue;
                 }
                 let entry_width = desc.entry_width.max(4);
                 cursor = align_up(cursor, u64::from(entry_width));
-                clone_index.insert(desc.jump_addr, clones.len());
+                addrs.push(cursor);
                 clones.push(TableClone {
                     desc: desc.clone(),
                     clone_addr: cursor,
@@ -210,364 +284,46 @@ pub(crate) fn relocate(input: &RelocateInput<'_>) -> Result<RelocatedCode, Rewri
                 });
                 cursor += desc.count * u64::from(entry_width);
             }
-        }
-    }
-
-    // ----- build entries -------------------------------------------------
-    let mut entries: Vec<REntry> = Vec::new();
-    let mut block_starts: Vec<(u64, usize)> = Vec::new(); // orig block -> entry idx
-    let mut counter_slots = 0usize;
-    let go_payload = config.unwind == UnwindStrategy::RaTranslation && binary.pclntab.is_some();
-
-    for func in &selected {
-        // Per-function rewrite site maps.
-        let mut base_site: HashMap<u64, (usize, bool)> = HashMap::new(); // first inst -> (clone idx, pair)
-        let mut base_covered: HashMap<u64, usize> = HashMap::new(); // any base inst -> clone idx
-        let mut widen_site: HashMap<u64, usize> = HashMap::new(); // load addr -> clone idx
-        let mut memjump_site: HashMap<u64, usize> = HashMap::new();
-        for desc in &func.jump_tables {
-            let Some(&idx) = clone_index.get(&desc.jump_addr) else { continue };
-            if desc.base_insts.is_empty() {
-                // Displacement-form memory jump.
-                memjump_site.insert(desc.jump_addr, idx);
-                continue;
-            }
-            base_site.insert(desc.base_insts[0], (idx, desc.base_insts.len() == 2));
-            for a in &desc.base_insts {
-                base_covered.insert(*a, idx);
-            }
-            if desc.entry_width < 4 {
-                widen_site.insert(desc.load_addr, idx);
-            }
-        }
-        let mut fp_site: HashMap<u64, (u64, i64, bool)> = HashMap::new(); // first inst -> (fn, delta, pair)
-        let mut fp_covered: HashMap<u64, ()> = HashMap::new();
-        if config.mode == RewriteMode::FuncPtr
-            && config.rewrite_mode_for(func.entry) == Some(RewriteMode::FuncPtr)
-        {
-            for def in &input.analysis.fp_defs {
-                let FpDefSite::CodeImm { inst_addr, pair_first } = def.site else { continue };
-                if inst_addr < func.start || inst_addr >= func.end {
-                    continue;
-                }
-                // Keep pointers into demoted functions aimed at their
-                // (intact) original code.
-                let owner = input
-                    .analysis
-                    .func_at(def.target_fn.wrapping_add_signed(def.delta))
-                    .map_or(def.target_fn, |f| f.entry);
-                if config.rewrite_mode_for(owner) != Some(RewriteMode::FuncPtr) {
-                    continue;
-                }
-                if base_covered.contains_key(&inst_addr) {
-                    continue;
-                }
-                match pair_first {
-                    Some(first) => {
-                        // Pairs must be adjacent to rewrite as a unit.
-                        let adjacent = func
-                            .insts
-                            .get(&first)
-                            .is_some_and(|(_, l)| first + u64::from(*l) == inst_addr);
-                        if adjacent && !base_covered.contains_key(&first) {
-                            fp_site.insert(first, (def.target_fn, def.delta, true));
-                            fp_covered.insert(first, ());
-                            fp_covered.insert(inst_addr, ());
-                        }
-                    }
-                    None => {
-                        fp_site.insert(inst_addr, (def.target_fn, def.delta, false));
-                        fp_covered.insert(inst_addr, ());
-                    }
-                }
-            }
-        }
-
-        let mut blocks: Vec<u64> = func.blocks.keys().copied().collect();
-        if config.layout == LayoutOrder::ReverseBlocks {
-            blocks.reverse();
-        }
-        for (bi, bstart) in blocks.iter().copied().enumerate() {
-            let block = &func.blocks[&bstart];
-            block_starts.push((bstart, entries.len()));
-            let mut block_has_leader_entry = false;
-            // Go traceback RA-translation instrumentation at the
-            // entries of findfunc/pcvalue analogs (§6.2).
-            if go_payload && bstart == func.entry {
-                if let Some(sym) = binary.function_starting_at(func.entry) {
-                    if sym.attrs.is_go_traceback {
-                        entries.push(REntry {
-                            orig: None,
-                            orig_extra: None,
-                            kind: RKind::GoRaPayload,
-                            new_addr: 0,
-                            size: 0,
-                        });
-                        block_has_leader_entry = true;
-                    }
-                }
-            }
-            if input.instr.points.selects_block(func.entry, bstart) {
-                match &input.instr.payload {
-                    Payload::Empty => {}
-                    Payload::Insts(insts) => {
-                        for inst in insts {
-                            entries.push(REntry {
-                                orig: None,
-                                orig_extra: None,
-                                kind: RKind::Payload(inst.clone()),
-                                new_addr: 0,
-                                size: 0,
-                            });
-                        }
-                    }
-                    Payload::BlockCounter { .. } => {
-                        entries.push(REntry {
-                            orig: None,
-                            orig_extra: None,
-                            kind: RKind::CounterPayload { slot: counter_slots },
-                            new_addr: 0,
-                            size: 0,
-                        });
-                        counter_slots += 1;
-                    }
-                }
-            }
-            let _ = block_has_leader_entry;
-
-            // Block instructions.
-            let mut skip_next: Option<u64> = None;
-            for (addr, (inst, len)) in func.insts.range(block.start..block.end) {
-                if skip_next == Some(*addr) {
-                    skip_next = None;
-                    continue;
-                }
-                let orig = Some((*addr, *len));
-                // Jump-table base retarget?
-                if let Some((idx, pair)) = base_site.get(addr) {
-                    let mut orig_extra = None;
-                    if *pair {
-                        let second = addr + u64::from(*len);
-                        if let Some((_, l2)) = func.insts.get(&second) {
-                            orig_extra = Some((second, *l2));
-                            skip_next = Some(second);
-                        }
-                    }
-                    entries.push(REntry {
-                        orig,
-                        orig_extra,
-                        kind: RKind::JtBase { inst: inst.clone(), clone_idx: *idx, pair: *pair },
-                        new_addr: 0,
-                        size: 0,
-                    });
-                    continue;
-                }
-                if base_covered.contains_key(addr) {
-                    // Second instruction of a base pair: consumed above.
-                    continue;
-                }
-                // Function-pointer materialisation retarget?
-                if let Some((target_fn, delta, pair)) = fp_site.get(addr) {
-                    let mut orig_extra = None;
-                    if *pair {
-                        let second = addr + u64::from(*len);
-                        if let Some((_, l2)) = func.insts.get(&second) {
-                            orig_extra = Some((second, *l2));
-                            skip_next = Some(second);
-                        }
-                    }
-                    entries.push(REntry {
-                        orig,
-                        orig_extra,
-                        kind: RKind::FpImm {
-                            inst: inst.clone(),
-                            target_fn: *target_fn,
-                            delta: *delta,
-                            pair: *pair,
-                        },
-                        new_addr: 0,
-                        size: 0,
-                    });
-                    continue;
-                }
-                if fp_covered.contains_key(addr) {
-                    continue;
-                }
-                // Displacement-form memory-indirect table jump?
-                if let Some(idx) = memjump_site.get(addr) {
-                    entries.push(REntry {
-                        orig,
-                        orig_extra: None,
-                        kind: RKind::JtMemJump { inst: inst.clone(), clone_idx: *idx },
-                        new_addr: 0,
-                        size: 0,
-                    });
-                    continue;
-                }
-                // Widened compact-table load?
-                if widen_site.contains_key(addr) {
-                    entries.push(REntry {
-                        orig,
-                        orig_extra: None,
-                        kind: RKind::JtLoadWiden { inst: inst.clone() },
-                        new_addr: 0,
-                        size: 0,
-                    });
-                    continue;
-                }
-                // Calls under emulation.
-                if inst.is_call() && config.unwind == UnwindStrategy::CallEmulation {
-                    let direct_target = inst.direct_offset().map(|o| addr.wrapping_add_signed(o));
-                    let far = direct_target.is_some_and(|t| !is_relocated(t)) && far_to_orig;
-                    let pad_after = config.indirect_site_padding > 0 && inst.is_indirect();
-                    entries.push(REntry {
-                        orig,
-                        orig_extra: None,
-                        kind: RKind::EmulatedCall {
-                            call: inst.clone(),
-                            orig_ret: addr + u64::from(*len),
-                            direct_target,
-                            far,
-                        },
-                        new_addr: 0,
-                        size: 0,
-                    });
-                    if pad_after {
-                        entries.push(REntry {
-                            orig: None,
-                            orig_extra: None,
-                            kind: RKind::Pad(config.indirect_site_padding),
-                            new_addr: 0,
-                            size: 0,
-                        });
-                    }
-                    continue;
-                }
-                // Direct branches / calls.
-                if let Some(off) = inst.direct_offset() {
-                    let orig_target = addr.wrapping_add_signed(off);
-                    let bkind = match inst {
-                        Inst::Call { .. } => BKind::Call,
-                        Inst::JumpCond { cond, .. } => BKind::Cond(*cond),
-                        _ => BKind::Jump,
-                    };
-                    let far = far_to_orig && !is_relocated(orig_target);
-                    if far && matches!(bkind, BKind::Cond(_)) {
-                        return Err(RewriteError::Unsupported(
-                            "conditional branch to unrelocated far target".to_string(),
-                        ));
-                    }
-                    entries.push(REntry {
-                        orig,
-                        orig_extra: None,
-                        kind: RKind::BranchOrig { bkind, orig_target, far },
-                        new_addr: 0,
-                        size: 0,
-                    });
-                    continue;
-                }
-                // PC-relative data / pages.
-                let pcrel = match inst {
-                    Inst::Load { addr: a, .. }
-                    | Inst::Store { addr: a, .. }
-                    | Inst::Lea { addr: a, .. }
-                    | Inst::JumpMem { addr: a }
-                    | Inst::CallMem { addr: a } => a.pc_rel,
-                    _ => false,
-                };
-                if pcrel {
-                    entries.push(REntry {
-                        orig,
-                        orig_extra: None,
-                        kind: RKind::PcRelData { inst: inst.clone(), orig_addr: *addr },
-                        new_addr: 0,
-                        size: 0,
-                    });
-                    continue;
-                }
-                if let Inst::AdrPage { dst, page_delta } = inst {
-                    let page_value = (addr & !0xFFF).wrapping_add_signed(page_delta << 12);
-                    entries.push(REntry {
-                        orig,
-                        orig_extra: None,
-                        kind: RKind::PcRelPage { page_value, dst: *dst },
-                        new_addr: 0,
-                        size: 0,
-                    });
-                    continue;
-                }
-                let pad_after = config.indirect_site_padding > 0 && inst.is_indirect();
-                entries.push(REntry {
-                    orig,
-                    orig_extra: None,
-                    kind: RKind::Copy(inst.clone()),
-                    new_addr: 0,
-                    size: 0,
-                });
-                if pad_after {
-                    entries.push(REntry {
-                        orig: None,
-                        orig_extra: None,
-                        kind: RKind::Pad(config.indirect_site_padding),
-                        new_addr: 0,
-                        size: 0,
-                    });
-                }
-            }
-            // Fall-through repair: when the physically-next emitted
-            // block is not this block's fall-through successor (block
-            // reordering, or gaps), make the fall-through explicit.
-            let falls = func
-                .insts
-                .range(block.start..block.end)
-                .next_back()
-                .is_some_and(|(_, (inst, _))| inst.falls_through());
-            let next_emitted = blocks.get(bi + 1).copied();
-            if falls && next_emitted != Some(block.end) {
-                entries.push(REntry {
-                    orig: None,
-                    orig_extra: None,
-                    kind: RKind::BranchOrig {
-                        bkind: BKind::Jump,
-                        orig_target: block.end,
-                        far: far_to_orig && !is_relocated(block.end),
-                    },
-                    new_addr: 0,
-                    size: 0,
-                });
+            if !addrs.is_empty() {
+                func_clone_addrs.insert(func.entry, addrs);
             }
         }
     }
 
-    // ----- sizing pass -----------------------------------------------------
+    // ----- layout (sequential, cheap) ----------------------------------
+    // Functions arrive in address order and entries ascend within a
+    // fragment, so both maps are built from already-sorted pairs —
+    // collect + from_iter bulk-builds the trees instead of paying a
+    // tree insert per instruction on every (warm) rewrite.
+    let mut inst_pairs: Vec<(u64, u64)> = Vec::new();
+    let mut block_pairs: Vec<(u64, u64)> = Vec::new();
+    let mut placed: Vec<(u64, usize)> = Vec::with_capacity(frags.len()); // (base, slot base)
     let mut cursor = input.instr_base;
-    for e in &mut entries {
-        // Keep RISC alignment.
-        cursor = align_up(cursor, arch.inst_align());
-        e.new_addr = cursor;
-        e.size = entry_size(&e.kind, arch, pie)?;
-        cursor += e.size;
+    let mut slot_cursor = 0usize;
+    for frag in &frags {
+        let base = align_up(cursor, arch.inst_align());
+        for e in &frag.entries {
+            if let Some((a, _)) = e.orig {
+                inst_pairs.push((a, base + e.new_addr));
+            }
+            if let Some((a, _)) = e.orig_extra {
+                // Second member of a pair: lands mid-entry; map to the
+                // entry start (good enough for fp deltas).
+                inst_pairs.push((a, base + e.new_addr));
+            }
+        }
+        for (bstart, idx) in &frag.block_starts {
+            block_pairs.push((*bstart, base + frag.entries[*idx].new_addr));
+        }
+        placed.push((base, slot_cursor));
+        slot_cursor += frag.counter_slots;
+        cursor = base + frag.size;
     }
+    let inst_map: BTreeMap<u64, u64> = inst_pairs.into_iter().collect();
+    let block_map: BTreeMap<u64, u64> = block_pairs.into_iter().collect();
     let instr_end = cursor;
+    let counter_slots = slot_cursor;
     let icounters_base = align_up(instr_end, 0x1000);
-
-    // Maps.
-    let mut inst_map: BTreeMap<u64, u64> = BTreeMap::new();
-    for e in &entries {
-        if let Some((a, _)) = e.orig {
-            inst_map.insert(a, e.new_addr);
-        }
-        if let Some((a, l)) = e.orig_extra {
-            // Second member of a pair: lands mid-entry; map to the
-            // entry start (good enough for fp deltas).
-            let _ = l;
-            inst_map.insert(a, e.new_addr);
-        }
-    }
-    let mut block_map: BTreeMap<u64, u64> = BTreeMap::new();
-    for (bstart, idx) in &block_starts {
-        block_map.insert(*bstart, entries[*idx].new_addr);
-    }
 
     let resolve = |orig: u64| -> u64 {
         if let Some(v) = block_map.get(&orig) {
@@ -579,59 +335,66 @@ pub(crate) fn relocate(input: &RelocateInput<'_>) -> Result<RelocatedCode, Rewri
         orig
     };
 
-    // ----- emit pass ---------------------------------------------------------
+    // ----- emit (parallel, cached) -------------------------------------
+    let empty_addrs: Vec<u64> = Vec::new();
+    let emit_jobs: Vec<(usize, u64)> = keyed
+        .iter()
+        .enumerate()
+        .map(|(i, (func, fkey))| {
+            let (base, slot_base) = placed[i];
+            let clone_addrs = func_clone_addrs.get(&func.entry).unwrap_or(&empty_addrs);
+            let key = emit_key(
+                *fkey,
+                &frags[i],
+                base,
+                slot_base,
+                icounters_base,
+                clone_addrs,
+                &resolve,
+                input.emulation_stack_bug,
+            );
+            (i, key)
+        })
+        .collect();
+    let emit_results = pool::map(threads, &emit_jobs, |_, &(i, key)| {
+        let (base, slot_base) = placed[i];
+        let clone_addrs = func_clone_addrs.get(&keyed[i].0.entry).unwrap_or(&empty_addrs);
+        cache.emit(key, || {
+            emit_func(
+                &frags[i],
+                base,
+                arch,
+                pie,
+                toc,
+                &resolve,
+                clone_addrs,
+                slot_base,
+                icounters_base,
+                input.emulation_stack_bug,
+            )
+        })
+    });
+
+    // ----- merge (deterministic, address order of the layout) ----------
+    let nop = encode(&Inst::Nop, arch).expect("nop");
     let mut code: Vec<u8> = Vec::with_capacity((instr_end - input.instr_base) as usize);
     let mut ra_map = RaMap::new();
-    let nop = encode(&Inst::Nop, arch).expect("nop");
-    for e in &entries {
-        // Alignment padding between entries.
-        while input.instr_base + code.len() as u64 != e.new_addr {
+    let mut emit_stats = StageStats::default();
+    for (i, r) in emit_results.into_iter().enumerate() {
+        let (emitted, hit) = r?;
+        emit_stats.record(hit);
+        let (base, _) = placed[i];
+        // Alignment padding between fragments.
+        while input.instr_base + code.len() as u64 != base {
             code.extend_from_slice(&nop);
         }
-        let bytes = emit_entry(
-            e,
-            arch,
-            pie,
-            toc,
-            &resolve,
-            &clones,
-            icounters_base,
-            input.emulation_stack_bug,
-        )?;
-        debug_assert!(
-            bytes.len() as u64 <= e.size,
-            "entry emitted {} > sized {} for {:?}",
-            bytes.len(),
-            e.size,
-            e.kind
-        );
-        let mut bytes = bytes;
-        while (bytes.len() as u64) < e.size {
-            bytes.extend_from_slice(&nop);
-        }
-        bytes.truncate(e.size as usize);
-        code.extend_from_slice(&bytes);
-        // RA map entries: real calls and throw sites.
-        match &e.kind {
-            RKind::BranchOrig { bkind: BKind::Call, .. } => {
-                let (oa, ol) = e.orig.expect("calls have originals");
-                ra_map.insert(e.new_addr + e.size, oa + u64::from(ol));
-            }
-            RKind::Copy(inst) if inst.is_call() => {
-                let (oa, ol) = e.orig.expect("calls have originals");
-                ra_map.insert(e.new_addr + e.size, oa + u64::from(ol));
-            }
-            // Throw sites are recorded under *both* unwind strategies:
-            // in the real system `__cxa_throw` is itself entered by an
-            // (emulated or real) call, so its frame is attributable;
-            // our Throw-as-instruction model needs the site mapped.
-            RKind::Copy(Inst::Sys { op: SysOp::Throw, .. }) => {
-                let (oa, _) = e.orig.expect("throws have originals");
-                ra_map.insert(e.new_addr, oa);
-            }
-            _ => {}
+        debug_assert_eq!(emitted.bytes.len() as u64, frags[i].size);
+        code.extend_from_slice(&emitted.bytes);
+        for (ra, oa) in &emitted.ra_pairs {
+            ra_map.insert(*ra, *oa);
         }
     }
+    debug_assert_eq!(input.instr_base + code.len() as u64, instr_end);
 
     // ----- fill clones --------------------------------------------------------
     let mut inplace_table_writes = Vec::new();
@@ -695,18 +458,550 @@ pub(crate) fn relocate(input: &RelocateInput<'_>) -> Result<RelocatedCode, Rewri
         }
     }
 
-    Ok(RelocatedCode {
-        code,
-        base: input.instr_base,
-        block_map,
-        inst_map,
-        ra_map,
-        clones: filled,
-        clone_base: input.clone_base,
-        counter_slots,
-        icounters_base,
-        inplace_table_writes,
-    })
+    Ok((
+        RelocatedCode {
+            code,
+            base: input.instr_base,
+            block_map,
+            inst_map,
+            ra_map,
+            clones: filled,
+            clone_base: input.clone_base,
+            counter_slots,
+            icounters_base,
+            inplace_table_writes,
+        },
+        frag_stats,
+        emit_stats,
+    ))
+}
+
+/// The content-addressed identity of one function's fragment: the
+/// cached CFG identity, the ladder rung, every rewrite-config bit the
+/// fragment build reads, the instrumentation request, and the
+/// cross-function inputs (function-pointer sites with their owners'
+/// rungs; the relocated ranges when far-branch decisions apply).
+fn fragment_key(
+    input: &RelocateInput<'_>,
+    func: &FuncCfg,
+    instr_fp: u64,
+    far_to_orig: bool,
+    relocated_ranges: &[(u64, u64)],
+) -> u64 {
+    let config = input.config;
+    let func_key = input.func_keys.get(&func.entry).copied().unwrap_or_else(unique_key);
+    let mut h = DefaultHasher::new();
+    0xF7A6u64.hash(&mut h);
+    func_key.hash(&mut h);
+    func.fp_landing_targets.hash(&mut h);
+    config.func_mode(func.entry).hash(&mut h);
+    config.mode.hash(&mut h);
+    config.unwind.hash(&mut h);
+    config.clone_tables.hash(&mut h);
+    config.layout.hash(&mut h);
+    config.indirect_site_padding.hash(&mut h);
+    instr_fp.hash(&mut h);
+    far_to_orig.hash(&mut h);
+    if far_to_orig {
+        // Only far decisions read the relocated set; keeping it out of
+        // the key otherwise lets ladder demotions leave other
+        // functions' fragments warm.
+        relocated_ranges.hash(&mut h);
+    }
+    if config.mode == RewriteMode::FuncPtr
+        && config.rewrite_mode_for(func.entry) == Some(RewriteMode::FuncPtr)
+    {
+        for def in &input.analysis.fp_defs {
+            let FpDefSite::CodeImm { inst_addr, pair_first } = def.site else { continue };
+            if inst_addr < func.start || inst_addr >= func.end {
+                continue;
+            }
+            let owner = input
+                .analysis
+                .func_at(def.target_fn.wrapping_add_signed(def.delta))
+                .map_or(def.target_fn, |f| f.entry);
+            inst_addr.hash(&mut h);
+            def.target_fn.hash(&mut h);
+            def.delta.hash(&mut h);
+            pair_first.hash(&mut h);
+            (config.rewrite_mode_for(owner) == Some(RewriteMode::FuncPtr)).hash(&mut h);
+        }
+    }
+    h.finish()
+}
+
+/// The identity of one function's emission: its fragment plus every
+/// layout-dependent input the encoder reads (base address, counter
+/// slot base, clone addresses, resolved branch targets).
+#[allow(clippy::too_many_arguments)]
+fn emit_key(
+    frag_key: u64,
+    frag: &FuncFragment,
+    base: u64,
+    slot_base: usize,
+    icounters_base: u64,
+    clone_addrs: &[u64],
+    resolve: &(impl Fn(u64) -> u64 + Sync),
+    emulation_stack_bug: bool,
+) -> u64 {
+    let mut h = DefaultHasher::new();
+    0xE317u64.hash(&mut h);
+    frag_key.hash(&mut h);
+    base.hash(&mut h);
+    slot_base.hash(&mut h);
+    icounters_base.hash(&mut h);
+    clone_addrs.hash(&mut h);
+    emulation_stack_bug.hash(&mut h);
+    for e in &frag.entries {
+        match &e.kind {
+            RKind::BranchOrig { orig_target, .. } => resolve(*orig_target).hash(&mut h),
+            RKind::FpImm { target_fn, delta, .. } => {
+                resolve(target_fn.wrapping_add_signed(*delta)).hash(&mut h);
+            }
+            RKind::EmulatedCall { direct_target: Some(t), .. } => resolve(*t).hash(&mut h),
+            _ => {}
+        }
+    }
+    h.finish()
+}
+
+/// Build one function's fragment: classify every instruction of every
+/// block into relocation entries and size them. Pure in the function's
+/// CFG, its ladder rung, the config bits hashed by [`fragment_key`]
+/// and (on RISC) the relocated ranges.
+fn build_fragment(
+    input: &RelocateInput<'_>,
+    func: &FuncCfg,
+    far_to_orig: bool,
+    relocated_ranges: &[(u64, u64)],
+) -> Result<FuncFragment, RewriteError> {
+    let binary = input.binary;
+    let arch = binary.arch;
+    let config = input.config;
+    let pie = binary.meta.pie;
+    let is_relocated = |addr: u64| relocated_ranges.iter().any(|(s, e)| addr >= *s && addr < *e);
+    let go_payload = config.unwind == UnwindStrategy::RaTranslation && binary.pclntab.is_some();
+
+    // Local clone indices: the function's cloneable tables in
+    // `jump_tables` order, mirroring the global assignment walk.
+    let mut local_clone_idx: HashMap<u64, usize> = HashMap::new(); // jump_addr -> local idx
+    if config.clone_tables
+        && matches!(config.rewrite_mode_for(func.entry), Some(m) if m >= RewriteMode::Jt)
+    {
+        let mut next = 0usize;
+        for desc in &func.jump_tables {
+            if table_cloneable(func, desc) {
+                local_clone_idx.insert(desc.jump_addr, next);
+                next += 1;
+            }
+        }
+    }
+
+    let mut entries: Vec<REntry> = Vec::new();
+    let mut block_starts: Vec<(u64, usize)> = Vec::new();
+    let mut counter_slots = 0usize;
+
+    // Per-function rewrite site maps.
+    let mut base_site: HashMap<u64, (usize, bool)> = HashMap::new(); // first inst -> (clone idx, pair)
+    let mut base_covered: HashMap<u64, usize> = HashMap::new(); // any base inst -> clone idx
+    let mut widen_site: HashMap<u64, usize> = HashMap::new(); // load addr -> clone idx
+    let mut memjump_site: HashMap<u64, usize> = HashMap::new();
+    for desc in &func.jump_tables {
+        let Some(&idx) = local_clone_idx.get(&desc.jump_addr) else { continue };
+        if desc.base_insts.is_empty() {
+            // Displacement-form memory jump.
+            memjump_site.insert(desc.jump_addr, idx);
+            continue;
+        }
+        base_site.insert(desc.base_insts[0], (idx, desc.base_insts.len() == 2));
+        for a in &desc.base_insts {
+            base_covered.insert(*a, idx);
+        }
+        if desc.entry_width < 4 {
+            widen_site.insert(desc.load_addr, idx);
+        }
+    }
+    let mut fp_site: HashMap<u64, (u64, i64, bool)> = HashMap::new(); // first inst -> (fn, delta, pair)
+    let mut fp_covered: HashMap<u64, ()> = HashMap::new();
+    if config.mode == RewriteMode::FuncPtr
+        && config.rewrite_mode_for(func.entry) == Some(RewriteMode::FuncPtr)
+    {
+        for def in &input.analysis.fp_defs {
+            let FpDefSite::CodeImm { inst_addr, pair_first } = def.site else { continue };
+            if inst_addr < func.start || inst_addr >= func.end {
+                continue;
+            }
+            // Keep pointers into demoted functions aimed at their
+            // (intact) original code.
+            let owner = input
+                .analysis
+                .func_at(def.target_fn.wrapping_add_signed(def.delta))
+                .map_or(def.target_fn, |f| f.entry);
+            if config.rewrite_mode_for(owner) != Some(RewriteMode::FuncPtr) {
+                continue;
+            }
+            if base_covered.contains_key(&inst_addr) {
+                continue;
+            }
+            match pair_first {
+                Some(first) => {
+                    // Pairs must be adjacent to rewrite as a unit.
+                    let adjacent = func
+                        .insts
+                        .get(&first)
+                        .is_some_and(|(_, l)| first + u64::from(*l) == inst_addr);
+                    if adjacent && !base_covered.contains_key(&first) {
+                        fp_site.insert(first, (def.target_fn, def.delta, true));
+                        fp_covered.insert(first, ());
+                        fp_covered.insert(inst_addr, ());
+                    }
+                }
+                None => {
+                    fp_site.insert(inst_addr, (def.target_fn, def.delta, false));
+                    fp_covered.insert(inst_addr, ());
+                }
+            }
+        }
+    }
+
+    let mut blocks: Vec<u64> = func.blocks.keys().copied().collect();
+    if config.layout == LayoutOrder::ReverseBlocks {
+        blocks.reverse();
+    }
+    for (bi, bstart) in blocks.iter().copied().enumerate() {
+        let block = &func.blocks[&bstart];
+        block_starts.push((bstart, entries.len()));
+        let mut block_has_leader_entry = false;
+        // Go traceback RA-translation instrumentation at the
+        // entries of findfunc/pcvalue analogs (§6.2).
+        if go_payload && bstart == func.entry {
+            if let Some(sym) = binary.function_starting_at(func.entry) {
+                if sym.attrs.is_go_traceback {
+                    entries.push(REntry {
+                        orig: None,
+                        orig_extra: None,
+                        kind: RKind::GoRaPayload,
+                        new_addr: 0,
+                        size: 0,
+                    });
+                    block_has_leader_entry = true;
+                }
+            }
+        }
+        if input.instr.points.selects_block(func.entry, bstart) {
+            match &input.instr.payload {
+                Payload::Empty => {}
+                Payload::Insts(insts) => {
+                    for inst in insts {
+                        entries.push(REntry {
+                            orig: None,
+                            orig_extra: None,
+                            kind: RKind::Payload(inst.clone()),
+                            new_addr: 0,
+                            size: 0,
+                        });
+                    }
+                }
+                Payload::BlockCounter { .. } => {
+                    entries.push(REntry {
+                        orig: None,
+                        orig_extra: None,
+                        kind: RKind::CounterPayload { slot: counter_slots },
+                        new_addr: 0,
+                        size: 0,
+                    });
+                    counter_slots += 1;
+                }
+            }
+        }
+        let _ = block_has_leader_entry;
+
+        // Block instructions.
+        let mut skip_next: Option<u64> = None;
+        for (addr, (inst, len)) in func.insts.range(block.start..block.end) {
+            if skip_next == Some(*addr) {
+                skip_next = None;
+                continue;
+            }
+            let orig = Some((*addr, *len));
+            // Jump-table base retarget?
+            if let Some((idx, pair)) = base_site.get(addr) {
+                let mut orig_extra = None;
+                if *pair {
+                    let second = addr + u64::from(*len);
+                    if let Some((_, l2)) = func.insts.get(&second) {
+                        orig_extra = Some((second, *l2));
+                        skip_next = Some(second);
+                    }
+                }
+                entries.push(REntry {
+                    orig,
+                    orig_extra,
+                    kind: RKind::JtBase { inst: inst.clone(), clone_idx: *idx, pair: *pair },
+                    new_addr: 0,
+                    size: 0,
+                });
+                continue;
+            }
+            if base_covered.contains_key(addr) {
+                // Second instruction of a base pair: consumed above.
+                continue;
+            }
+            // Function-pointer materialisation retarget?
+            if let Some((target_fn, delta, pair)) = fp_site.get(addr) {
+                let mut orig_extra = None;
+                if *pair {
+                    let second = addr + u64::from(*len);
+                    if let Some((_, l2)) = func.insts.get(&second) {
+                        orig_extra = Some((second, *l2));
+                        skip_next = Some(second);
+                    }
+                }
+                entries.push(REntry {
+                    orig,
+                    orig_extra,
+                    kind: RKind::FpImm {
+                        inst: inst.clone(),
+                        target_fn: *target_fn,
+                        delta: *delta,
+                        pair: *pair,
+                    },
+                    new_addr: 0,
+                    size: 0,
+                });
+                continue;
+            }
+            if fp_covered.contains_key(addr) {
+                continue;
+            }
+            // Displacement-form memory-indirect table jump?
+            if let Some(idx) = memjump_site.get(addr) {
+                entries.push(REntry {
+                    orig,
+                    orig_extra: None,
+                    kind: RKind::JtMemJump { inst: inst.clone(), clone_idx: *idx },
+                    new_addr: 0,
+                    size: 0,
+                });
+                continue;
+            }
+            // Widened compact-table load?
+            if widen_site.contains_key(addr) {
+                entries.push(REntry {
+                    orig,
+                    orig_extra: None,
+                    kind: RKind::JtLoadWiden { inst: inst.clone() },
+                    new_addr: 0,
+                    size: 0,
+                });
+                continue;
+            }
+            // Calls under emulation.
+            if inst.is_call() && config.unwind == UnwindStrategy::CallEmulation {
+                let direct_target = inst.direct_offset().map(|o| addr.wrapping_add_signed(o));
+                let far = direct_target.is_some_and(|t| !is_relocated(t)) && far_to_orig;
+                let pad_after = config.indirect_site_padding > 0 && inst.is_indirect();
+                entries.push(REntry {
+                    orig,
+                    orig_extra: None,
+                    kind: RKind::EmulatedCall {
+                        call: inst.clone(),
+                        orig_ret: addr + u64::from(*len),
+                        direct_target,
+                        far,
+                    },
+                    new_addr: 0,
+                    size: 0,
+                });
+                if pad_after {
+                    entries.push(REntry {
+                        orig: None,
+                        orig_extra: None,
+                        kind: RKind::Pad(config.indirect_site_padding),
+                        new_addr: 0,
+                        size: 0,
+                    });
+                }
+                continue;
+            }
+            // Direct branches / calls.
+            if let Some(off) = inst.direct_offset() {
+                let orig_target = addr.wrapping_add_signed(off);
+                let bkind = match inst {
+                    Inst::Call { .. } => BKind::Call,
+                    Inst::JumpCond { cond, .. } => BKind::Cond(*cond),
+                    _ => BKind::Jump,
+                };
+                let far = far_to_orig && !is_relocated(orig_target);
+                if far && matches!(bkind, BKind::Cond(_)) {
+                    return Err(RewriteError::Unsupported(
+                        "conditional branch to unrelocated far target".to_string(),
+                    ));
+                }
+                entries.push(REntry {
+                    orig,
+                    orig_extra: None,
+                    kind: RKind::BranchOrig { bkind, orig_target, far },
+                    new_addr: 0,
+                    size: 0,
+                });
+                continue;
+            }
+            // PC-relative data / pages.
+            let pcrel = match inst {
+                Inst::Load { addr: a, .. }
+                | Inst::Store { addr: a, .. }
+                | Inst::Lea { addr: a, .. }
+                | Inst::JumpMem { addr: a }
+                | Inst::CallMem { addr: a } => a.pc_rel,
+                _ => false,
+            };
+            if pcrel {
+                entries.push(REntry {
+                    orig,
+                    orig_extra: None,
+                    kind: RKind::PcRelData { inst: inst.clone(), orig_addr: *addr },
+                    new_addr: 0,
+                    size: 0,
+                });
+                continue;
+            }
+            if let Inst::AdrPage { dst, page_delta } = inst {
+                let page_value = (addr & !0xFFF).wrapping_add_signed(page_delta << 12);
+                entries.push(REntry {
+                    orig,
+                    orig_extra: None,
+                    kind: RKind::PcRelPage { page_value, dst: *dst },
+                    new_addr: 0,
+                    size: 0,
+                });
+                continue;
+            }
+            let pad_after = config.indirect_site_padding > 0 && inst.is_indirect();
+            entries.push(REntry {
+                orig,
+                orig_extra: None,
+                kind: RKind::Copy(inst.clone()),
+                new_addr: 0,
+                size: 0,
+            });
+            if pad_after {
+                entries.push(REntry {
+                    orig: None,
+                    orig_extra: None,
+                    kind: RKind::Pad(config.indirect_site_padding),
+                    new_addr: 0,
+                    size: 0,
+                });
+            }
+        }
+        // Fall-through repair: when the physically-next emitted
+        // block is not this block's fall-through successor (block
+        // reordering, or gaps), make the fall-through explicit.
+        let falls = func
+            .insts
+            .range(block.start..block.end)
+            .next_back()
+            .is_some_and(|(_, (inst, _))| inst.falls_through());
+        let next_emitted = blocks.get(bi + 1).copied();
+        if falls && next_emitted != Some(block.end) {
+            entries.push(REntry {
+                orig: None,
+                orig_extra: None,
+                kind: RKind::BranchOrig {
+                    bkind: BKind::Jump,
+                    orig_target: block.end,
+                    far: far_to_orig && !is_relocated(block.end),
+                },
+                new_addr: 0,
+                size: 0,
+            });
+        }
+    }
+
+    // ----- sizing (fragment-relative) ----------------------------------
+    let mut cursor = 0u64;
+    for e in &mut entries {
+        // Keep RISC alignment (the fragment base is aligned by layout).
+        cursor = align_up(cursor, arch.inst_align());
+        e.new_addr = cursor;
+        e.size = entry_size(&e.kind, arch, pie)?;
+        cursor += e.size;
+    }
+
+    Ok(FuncFragment { entries, block_starts, counter_slots, size: cursor })
+}
+
+/// Emit one function's fragment at `base`, padding per-entry alignment
+/// gaps with nops, and collect its RA-map pairs.
+#[allow(clippy::too_many_arguments)]
+fn emit_func(
+    frag: &FuncFragment,
+    base: u64,
+    arch: Arch,
+    pie: bool,
+    toc: Option<u64>,
+    resolve: &(impl Fn(u64) -> u64 + Sync),
+    clone_addrs: &[u64],
+    slot_base: usize,
+    icounters_base: u64,
+    emulation_stack_bug: bool,
+) -> Result<EmittedFunc, RewriteError> {
+    let nop = encode(&Inst::Nop, arch).expect("nop");
+    let mut bytes: Vec<u8> = Vec::with_capacity(frag.size as usize);
+    let mut ra_pairs: Vec<(u64, u64)> = Vec::new();
+    for e in &frag.entries {
+        // Alignment padding between entries.
+        while (bytes.len() as u64) != e.new_addr {
+            bytes.extend_from_slice(&nop);
+        }
+        let at = base + e.new_addr;
+        let mut out = emit_entry(
+            e,
+            at,
+            arch,
+            pie,
+            toc,
+            resolve,
+            clone_addrs,
+            slot_base,
+            icounters_base,
+            emulation_stack_bug,
+        )?;
+        debug_assert!(
+            out.len() as u64 <= e.size,
+            "entry emitted {} > sized {} for {:?}",
+            out.len(),
+            e.size,
+            e.kind
+        );
+        while (out.len() as u64) < e.size {
+            out.extend_from_slice(&nop);
+        }
+        out.truncate(e.size as usize);
+        bytes.extend_from_slice(&out);
+        // RA map entries: real calls and throw sites.
+        match &e.kind {
+            RKind::BranchOrig { bkind: BKind::Call, .. } => {
+                let (oa, ol) = e.orig.expect("calls have originals");
+                ra_pairs.push((at + e.size, oa + u64::from(ol)));
+            }
+            RKind::Copy(inst) if inst.is_call() => {
+                let (oa, ol) = e.orig.expect("calls have originals");
+                ra_pairs.push((at + e.size, oa + u64::from(ol)));
+            }
+            // Throw sites are recorded under *both* unwind strategies:
+            // in the real system `__cxa_throw` is itself entered by an
+            // (emulated or real) call, so its frame is attributable;
+            // our Throw-as-instruction model needs the site mapped.
+            RKind::Copy(Inst::Sys { op: SysOp::Throw, .. }) => {
+                let (oa, _) = e.orig.expect("throws have originals");
+                ra_pairs.push((at, oa));
+            }
+            _ => {}
+        }
+    }
+    Ok(EmittedFunc { bytes, ra_pairs })
 }
 
 fn read_entry_raw(binary: &Binary, desc: &JumpTableDesc, i: u64) -> i64 {
@@ -892,11 +1187,13 @@ fn materialize(
 #[allow(clippy::too_many_arguments)]
 fn emit_entry(
     e: &REntry,
+    at: u64,
     arch: Arch,
     pie: bool,
     toc: Option<u64>,
-    resolve: &dyn Fn(u64) -> u64,
-    clones: &[TableClone],
+    resolve: &(impl Fn(u64) -> u64 + Sync),
+    clone_addrs: &[u64],
+    slot_base: usize,
     icounters_base: u64,
     emulation_stack_bug: bool,
 ) -> Result<Vec<u8>, RewriteError> {
@@ -912,11 +1209,11 @@ fn emit_entry(
         RKind::Pad(_) => {}
         RKind::Copy(inst) | RKind::Payload(inst) => enc(inst, &mut out)?,
         RKind::CounterPayload { slot } => {
-            let slot_addr = icounters_base + 8 * *slot as u64;
+            let slot_addr = icounters_base + 8 * (slot_base + *slot) as u64;
             let (r1, r2) = (Reg(14), RESERVED);
             if x64 {
                 // Two pc-relative accesses around an add.
-                let load_at = e.new_addr;
+                let load_at = at;
                 enc(
                     &Inst::Load {
                         dst: r1,
@@ -927,7 +1224,7 @@ fn emit_entry(
                     &mut out,
                 )?;
                 enc(&Inst::AluImm { op: AluOp::Add, dst: r1, src: r1, imm: 1 }, &mut out)?;
-                let store_at = e.new_addr + out.len() as u64;
+                let store_at = at + out.len() as u64;
                 enc(
                     &Inst::Store {
                         src: r1,
@@ -937,7 +1234,7 @@ fn emit_entry(
                     &mut out,
                 )?;
             } else {
-                materialize(&mut out, arch, pie, toc, r2, slot_addr, e.new_addr)?;
+                materialize(&mut out, arch, pie, toc, r2, slot_addr, at)?;
                 enc(
                     &Inst::Load { dst: r1, addr: Addr::base_only(r2), width: Width::W8, sign: false },
                     &mut out,
@@ -961,7 +1258,7 @@ fn emit_entry(
         }
         RKind::BranchOrig { bkind, orig_target, far } => {
             let target = resolve(*orig_target);
-            let offset = target as i64 - e.new_addr as i64;
+            let offset = target as i64 - at as i64;
             if !*far {
                 let inst = match bkind {
                     BKind::Jump => Inst::Jump { offset },
@@ -971,7 +1268,7 @@ fn emit_entry(
                 enc(&inst, &mut out)?;
             } else {
                 // Far form back into original code (RISC only).
-                materialize(&mut out, arch, pie, toc, RESERVED, target, e.new_addr)?;
+                materialize(&mut out, arch, pie, toc, RESERVED, target, at)?;
                 match (arch, bkind) {
                     (Arch::Ppc64le, BKind::Jump) => {
                         enc(&Inst::MoveToTar { src: RESERVED }, &mut out)?;
@@ -994,7 +1291,7 @@ fn emit_entry(
         RKind::PcRelData { inst, orig_addr } => {
             let retarget = |a: &Addr| -> Addr {
                 let target = orig_addr.wrapping_add_signed(a.disp);
-                Addr::pc_rel(target as i64 - e.new_addr as i64)
+                Addr::pc_rel(target as i64 - at as i64)
             };
             let new_inst = match inst {
                 Inst::Load { dst, addr, width, sign } => {
@@ -1011,15 +1308,15 @@ fn emit_entry(
             enc(&new_inst, &mut out)?;
         }
         RKind::PcRelPage { page_value, dst } => {
-            let page_delta = (*page_value as i64 >> 12) - (e.new_addr as i64 >> 12);
+            let page_delta = (*page_value as i64 >> 12) - (at as i64 >> 12);
             enc(&Inst::AdrPage { dst: *dst, page_delta }, &mut out)?;
         }
         RKind::JtBase { inst, clone_idx, .. } => {
-            let clone = &clones[*clone_idx];
+            let clone_addr = clone_addrs[*clone_idx];
             let dst = inst.def_reg().ok_or_else(|| {
                 RewriteError::Unsupported("jump-table base without destination".into())
             })?;
-            materialize(&mut out, arch, pie, toc, dst, clone.clone_addr, e.new_addr)?;
+            materialize(&mut out, arch, pie, toc, dst, clone_addr, at)?;
         }
         RKind::JtLoadWiden { inst } => {
             let Inst::Load { dst, addr, .. } = inst else {
@@ -1034,7 +1331,7 @@ fn emit_entry(
                 return Err(RewriteError::Unsupported("mem-jump retarget".into()));
             };
             let mut a = *addr;
-            a.disp = clones[*clone_idx].clone_addr as i64;
+            a.disp = clone_addrs[*clone_idx] as i64;
             enc(&Inst::JumpMem { addr: a }, &mut out)?;
         }
         RKind::FpImm { inst, target_fn, delta, .. } => {
@@ -1043,7 +1340,7 @@ fn emit_entry(
             })?;
             let relocated = resolve(target_fn.wrapping_add_signed(*delta));
             let value = relocated.wrapping_add_signed(-*delta);
-            materialize(&mut out, arch, pie, toc, dst, value, e.new_addr)?;
+            materialize(&mut out, arch, pie, toc, dst, value, at)?;
         }
         RKind::EmulatedCall { call, orig_ret, direct_target, far } => {
             if x64 {
@@ -1052,8 +1349,8 @@ fn emit_entry(
                 match call {
                     Inst::Call { .. } => {
                         let target = resolve(direct_target.expect("direct call"));
-                        let at = e.new_addr + out.len() as u64;
-                        let bytes = crate::tramp::near_branch_x64(at, target)
+                        let jump_at = at + out.len() as u64;
+                        let bytes = crate::tramp::near_branch_x64(jump_at, target)
                             .map_err(|err| RewriteError::Encode(err.to_string()))?;
                         out.extend_from_slice(&bytes);
                     }
@@ -1069,23 +1366,23 @@ fn emit_entry(
                         if a.pc_rel {
                             let (oa, _) = e.orig.expect("mem call has original");
                             let target = oa.wrapping_add_signed(a.disp);
-                            let at = e.new_addr + out.len() as u64;
-                            a = Addr::pc_rel(target as i64 - at as i64);
+                            let jump_at = at + out.len() as u64;
+                            a = Addr::pc_rel(target as i64 - jump_at as i64);
                         }
                         enc(&Inst::JumpMem { addr: a }, &mut out)?;
                     }
                     _ => return Err(RewriteError::Unsupported("emulated call form".into())),
                 }
             } else {
-                materialize(&mut out, arch, pie, toc, RESERVED, *orig_ret, e.new_addr)?;
+                materialize(&mut out, arch, pie, toc, RESERVED, *orig_ret, at)?;
                 enc(&Inst::MoveToLr { src: RESERVED }, &mut out)?;
                 match call {
                     Inst::Call { .. } => {
                         let target = resolve(direct_target.expect("direct call"));
                         if *far {
                             // Far jump through tar / register.
-                            let at = e.new_addr + out.len() as u64;
-                            materialize(&mut out, arch, pie, toc, Reg(12), target, at)?;
+                            let jump_at = at + out.len() as u64;
+                            materialize(&mut out, arch, pie, toc, Reg(12), target, jump_at)?;
                             if arch == Arch::Ppc64le {
                                 enc(&Inst::MoveToTar { src: Reg(12) }, &mut out)?;
                                 enc(&Inst::JumpTar, &mut out)?;
@@ -1093,8 +1390,8 @@ fn emit_entry(
                                 enc(&Inst::JumpReg { src: Reg(12) }, &mut out)?;
                             }
                         } else {
-                            let at = e.new_addr + out.len() as u64;
-                            enc(&Inst::Jump { offset: target as i64 - at as i64 }, &mut out)?;
+                            let jump_at = at + out.len() as u64;
+                            enc(&Inst::Jump { offset: target as i64 - jump_at as i64 }, &mut out)?;
                         }
                     }
                     Inst::CallTar => enc(&Inst::JumpTar, &mut out)?,

@@ -1,16 +1,19 @@
 //! The rewriting driver: analysis → CFL blocks → relocation →
 //! trampoline placement → output binary assembly.
 
+use crate::cache::{analyze_incremental, hash_of, RewriteCache, RewriteStats, StageStats};
 use crate::cfl::effective_cfl_blocks;
 use crate::config::{FuncMode, RewriteConfig, RewriteMode, UnwindStrategy};
 use crate::instrument::Instrumentation;
 use crate::placement::{place_function, PlaceCtx, PlacementPlan, ScratchPool, TrampolineKind};
+use crate::pool;
 use crate::relocate::{relocate, table_cloneable, RelocateInput};
 use crate::report::{RewriteReport, SkipReason};
-use icfgp_cfg::{analyze, live_in_at_blocks, FuncStatus, LivenessResult, TableKind};
+use icfgp_cfg::{live_in_at_blocks, FuncStatus, LivenessResult, TableKind};
 use icfgp_obj::{names, Binary, RaMap, RelocKind, Section, SectionFlags, SectionKind, TrapMap};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::time::Instant;
 
 /// Rewriting failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -63,6 +66,9 @@ pub struct RewriteOutcome {
     /// Placement byproducts for the static verifier; `Some` when
     /// [`RewriteConfig::collect_artifacts`] is set.
     pub artifacts: Option<RewriteArtifacts>,
+    /// Cache hit/miss counters and per-stage wall-clock timings for
+    /// this rewrite (`icfgp rewrite --stats`).
+    pub stats: RewriteStats,
 }
 
 /// One cloned jump table, summarised for external consumers (the
@@ -120,6 +126,9 @@ pub struct RewriteArtifacts {
 #[derive(Debug, Clone)]
 pub struct Rewriter {
     config: RewriteConfig,
+    /// Worker threads for the parallel analysis/relocation stages.
+    /// Output bytes are identical for any value (§layout determinism).
+    threads: usize,
     /// Reproduce the historical SRBI bug: call emulation does not
     /// adjust stack-relative indirect call operands after pushing the
     /// return address.
@@ -127,10 +136,11 @@ pub struct Rewriter {
 }
 
 impl Rewriter {
-    /// A rewriter with the given configuration.
+    /// A rewriter with the given configuration, using
+    /// [`pool::default_threads`] workers (`ICFGP_THREADS` override).
     #[must_use]
     pub fn new(config: RewriteConfig) -> Rewriter {
-        Rewriter { config, emulation_stack_bug: false }
+        Rewriter { config, threads: pool::default_threads(), emulation_stack_bug: false }
     }
 
     /// The configuration.
@@ -139,7 +149,28 @@ impl Rewriter {
         &self.config
     }
 
+    /// Override the worker-thread count (clamped to
+    /// `1..=`[`pool::MAX_THREADS`]). The thread count never changes the
+    /// output bytes, only how fast they are produced, so it is a
+    /// rewriter property rather than part of [`RewriteConfig`] (and
+    /// never enters cache keys).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Rewriter {
+        self.threads = threads.clamp(1, pool::MAX_THREADS);
+        self
+    }
+
+    /// The worker-thread count.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
     /// Rewrite `binary` under the instrumentation request.
+    ///
+    /// Equivalent to [`Rewriter::rewrite_cached`] with a fresh
+    /// single-use cache (the per-function stages still run in
+    /// parallel; nothing is reused across calls).
     ///
     /// # Errors
     ///
@@ -152,11 +183,34 @@ impl Rewriter {
         binary: &Binary,
         instr: &Instrumentation,
     ) -> Result<RewriteOutcome, RewriteError> {
+        self.rewrite_cached(binary, instr, &RewriteCache::new())
+    }
+
+    /// Rewrite `binary`, memoising per-function analysis, relocation
+    /// fragments, emitted code and liveness in `cache`. Passing the
+    /// same cache across rewrites of related inputs (ladder rounds,
+    /// fault seeds, incremental re-rewrites) skips all per-function
+    /// work whose inputs did not change; results are byte-identical
+    /// to a cold [`Rewriter::rewrite`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Rewriter::rewrite`].
+    pub fn rewrite_cached(
+        &self,
+        binary: &Binary,
+        instr: &Instrumentation,
+        cache: &RewriteCache,
+    ) -> Result<RewriteOutcome, RewriteError> {
+        let t_total = Instant::now();
         instr
             .validate()
             .map_err(|inst| RewriteError::BadPayload(inst.to_string()))?;
         let arch = binary.arch;
-        let analysis = analyze(binary, &self.config.analysis);
+        let t_analysis = Instant::now();
+        let run = analyze_incremental(binary, &self.config.analysis, cache, self.threads);
+        let analysis_ns = t_analysis.elapsed().as_nanos() as u64;
+        let analysis = &*run.analysis;
 
         // ----- region layout ------------------------------------------
         let region_start =
@@ -184,15 +238,22 @@ impl Rewriter {
         let instr_base = align_up(clone_base + clone_size, 0x1000);
 
         // ----- relocation ----------------------------------------------
-        let reloc = relocate(&RelocateInput {
-            binary,
-            analysis: &analysis,
-            config: &self.config,
-            instr,
-            clone_base,
-            instr_base,
-            emulation_stack_bug: self.emulation_stack_bug,
-        })?;
+        let t_relocate = Instant::now();
+        let (reloc, frag_stats, emit_stats) = relocate(
+            &RelocateInput {
+                binary,
+                analysis,
+                config: &self.config,
+                instr,
+                clone_base,
+                instr_base,
+                emulation_stack_bug: self.emulation_stack_bug,
+                func_keys: &run.func_keys,
+            },
+            cache,
+            self.threads,
+        )?;
+        let relocate_ns = t_relocate.elapsed().as_nanos() as u64;
 
         // ----- assemble the output binary --------------------------------
         let mut out = binary.clone();
@@ -382,19 +443,33 @@ impl Rewriter {
             }
         }
 
+        let t_placement = Instant::now();
         let mut trap_map = TrapMap::new();
         let mut all_plans: Vec<(u64, PlacementPlan)> = Vec::new();
+        let mut liveness_stats = StageStats::default();
         for entry in &selected {
             let f = &analysis.funcs[entry];
             let cfl = effective_cfl_blocks(f, &self.config);
             report.cfl_blocks += cfl.len();
-            let liveness = if self.config.analysis.inject.iter().any(
+            let corrupt = self.config.analysis.inject.iter().any(
                 |i| matches!(i, icfgp_cfg::InjectedFault::CorruptLiveness { entry } if *entry == f.entry),
-            ) {
-                LivenessResult::assume_all_dead(f, arch)
-            } else {
-                live_in_at_blocks(f, arch)
-            };
+            );
+            // Liveness is pure in the (assembled) CFG, so keying on the
+            // analysis identity plus the fp-landing splits suffices.
+            let func_key = run
+                .func_keys
+                .get(entry)
+                .copied()
+                .unwrap_or_else(crate::cache::unique_key);
+            let lkey = hash_of(&(0x11FEu64, func_key, &f.fp_landing_targets, corrupt));
+            let (liveness, hit) = cache.liveness(lkey, || {
+                if corrupt {
+                    LivenessResult::assume_all_dead(f, arch)
+                } else {
+                    live_in_at_blocks(f, arch)
+                }
+            });
+            liveness_stats.record(hit);
             let pcfg = self.config.placement_for(*entry);
             let plan = place_function(
                 &PlaceCtx {
@@ -428,6 +503,7 @@ impl Rewriter {
                 })?;
             }
         }
+        let placement_ns = t_placement.elapsed().as_nanos() as u64;
 
         // ----- runtime maps --------------------------------------------------
         let mut map_end = scratch_end;
@@ -530,12 +606,30 @@ impl Rewriter {
         } else {
             None
         };
+        let total_ns = t_total.elapsed().as_nanos() as u64;
+        let stats = RewriteStats {
+            threads: self.threads,
+            analysis_memo_hit: run.memo_hit,
+            analysis_rounds: run.rounds,
+            func_analyses: run.func_stats,
+            fragments: frag_stats,
+            emits: emit_stats,
+            liveness: liveness_stats,
+            timings: crate::cache::StageTimings {
+                analysis_ns,
+                relocate_ns,
+                placement_ns,
+                assemble_ns: total_ns.saturating_sub(analysis_ns + relocate_ns + placement_ns),
+                total_ns,
+            },
+        };
         Ok(RewriteOutcome {
             binary: out,
             report,
             block_map: reloc.block_map,
             inst_map: reloc.inst_map,
             artifacts,
+            stats,
         })
     }
 }

@@ -49,7 +49,7 @@ impl ICache {
         assert!(cfg.line.is_power_of_two() && cfg.line > 0, "line must be a power of two");
         assert!(cfg.ways > 0 && cfg.size > 0, "non-zero geometry");
         let lines = cfg.size / cfg.line;
-        assert!(lines % cfg.ways == 0, "ways must divide line count");
+        assert!(lines.is_multiple_of(cfg.ways), "ways must divide line count");
         let sets = (lines / cfg.ways) as usize;
         ICache {
             cfg,

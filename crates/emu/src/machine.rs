@@ -379,7 +379,7 @@ impl Machine {
         if self.stats.instructions >= self.fuel {
             return Some(Outcome::OutOfFuel(std::mem::take(&mut self.stats)));
         }
-        if self.arch.is_fixed_width() && self.pc % 4 != 0 {
+        if self.arch.is_fixed_width() && !self.pc.is_multiple_of(4) {
             return Some(self.crash(CrashReason::MisalignedPc { pc: self.pc }));
         }
         let (inst, len) = match self.fetch_decode() {

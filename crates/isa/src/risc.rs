@@ -226,7 +226,7 @@ fn encode_word(inst: &Inst, arch: Arch) -> Result<u32, EncodeError> {
                 if !matches!(addr.scale, 1 | 2 | 4 | 8) {
                     return Err(EncodeError::BadAddressingMode { arch, what: "scale" });
                 }
-                let scale_log2 = u32::from(addr.scale.trailing_zeros());
+                let scale_log2 = addr.scale.trailing_zeros();
                 op8(
                     OP_LOAD_IDX,
                     (d << 19)
@@ -259,7 +259,7 @@ fn encode_word(inst: &Inst, arch: Arch) -> Result<u32, EncodeError> {
                 if !matches!(addr.scale, 1 | 2 | 4 | 8) {
                     return Err(EncodeError::BadAddressingMode { arch, what: "scale" });
                 }
-                let scale_log2 = u32::from(addr.scale.trailing_zeros());
+                let scale_log2 = addr.scale.trailing_zeros();
                 op8(
                     OP_STORE_IDX,
                     (s << 19)

@@ -12,7 +12,7 @@ use std::collections::BTreeSet;
 use std::fmt;
 
 /// Executable or shared library.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum BinaryKind {
     /// A main executable with an entry point.
     Exec,
@@ -23,7 +23,7 @@ pub enum BinaryKind {
 /// Binary-level metadata: which language features and relocation
 /// classes are present. These flags gate which rewriters can process
 /// the binary at all (Table 1 of the paper).
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Metadata {
     /// Position-independent (loader may rebase; RELATIVE relocations
     /// describe every absolute address slot).
@@ -81,7 +81,7 @@ impl fmt::Display for ObjError {
 impl std::error::Error for ObjError {}
 
 /// A complete binary: the rewriter's input and output type.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Binary {
     /// Target architecture.
     pub arch: Arch,

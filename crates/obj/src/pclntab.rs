@@ -14,7 +14,7 @@
 use serde::{Deserialize, Serialize};
 
 /// One function's entry in the Go-style table.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct GoFuncEntry {
     /// Function start address (link-time).
     pub start: u64,
@@ -27,7 +27,7 @@ pub struct GoFuncEntry {
 }
 
 /// The whole table, sorted by start address.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct GoFuncTable {
     entries: Vec<GoFuncEntry>,
 }

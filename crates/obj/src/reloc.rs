@@ -17,7 +17,7 @@ pub enum RelocKind {
 }
 
 /// One relocation record.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Relocation {
     /// Virtual address of the 8-byte slot being relocated.
     pub at: u64,

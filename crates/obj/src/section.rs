@@ -95,7 +95,7 @@ impl SectionFlags {
 }
 
 /// A named byte range at a fixed link-time virtual address.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Section {
     name: String,
     addr: u64,

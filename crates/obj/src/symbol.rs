@@ -32,7 +32,7 @@ pub enum SymbolKind {
 }
 
 /// Per-function attributes that analyses and the emulator consult.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct SymbolAttrs {
     /// Function may participate in C++-style exception handling
     /// (has unwind call-site entries with landing pads).
@@ -48,7 +48,7 @@ pub struct SymbolAttrs {
 }
 
 /// A named address range in the binary.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Symbol {
     /// Symbol name; empty for stripped locals.
     pub name: String,

@@ -10,7 +10,7 @@ use serde::{Deserialize, Serialize};
 
 /// Where a frame's return address lives while the function is on the
 /// stack (post-prologue).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum RaRule {
     /// RISC leaf functions: the return address is still in `lr`.
     LinkRegister,
@@ -24,7 +24,7 @@ pub enum RaRule {
 /// One exception call-site record (LSDA analog): calls within
 /// `[start, end)` whose exceptions this frame can catch resume at
 /// `landing_pad`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct CallSiteEntry {
     /// Start of the covered call-site range (link-time address).
     pub start: u64,
@@ -35,7 +35,7 @@ pub struct CallSiteEntry {
 }
 
 /// Unwind recipe for one function.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct UnwindEntry {
     /// Function start (link-time address).
     pub start: u64,
@@ -70,7 +70,7 @@ impl UnwindEntry {
 
 /// The whole `.eh_frame` analog: per-function unwind recipes, sorted by
 /// start address.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct UnwindTable {
     entries: Vec<UnwindEntry>,
 }

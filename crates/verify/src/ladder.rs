@@ -26,7 +26,8 @@
 use crate::{verify_rewrite, VerifyError, VerifyReport};
 use icfgp_cfg::AnalysisFailure;
 use icfgp_core::{
-    FuncMode, Instrumentation, RewriteConfig, RewriteError, RewriteOutcome, Rewriter, SkipReason,
+    FuncMode, Instrumentation, RewriteCache, RewriteConfig, RewriteError, RewriteOutcome,
+    RewriteStats, Rewriter, SkipReason,
 };
 use icfgp_obj::Binary;
 use serde::{Deserialize, Serialize};
@@ -79,6 +80,10 @@ pub struct LadderOutcome {
     pub below_floor: usize,
     /// Whether `below_floor` exceeds the configured error budget.
     pub budget_exceeded: bool,
+    /// Per-round cache counters and timings, in round order. With a
+    /// shared [`RewriteCache`], rounds after the first re-analyse
+    /// nothing and re-rewrite only the demoted functions.
+    pub round_stats: Vec<RewriteStats>,
 }
 
 impl LadderOutcome {
@@ -157,18 +162,41 @@ pub fn rewrite_with_ladder(
     config: &RewriteConfig,
     instr: &Instrumentation,
 ) -> Result<LadderOutcome, LadderError> {
+    rewrite_with_ladder_cached(binary, config, instr, &RewriteCache::new())
+}
+
+/// [`rewrite_with_ladder`] with an explicit [`RewriteCache`].
+///
+/// The cache is shared across every round: demoting a function changes
+/// only that function's cache keys, so each subsequent round re-does
+/// per-function work for the demoted functions alone and serves every
+/// untouched function from the cache (analysis is shared wholesale —
+/// ladder rungs never change the [`icfgp_cfg::AnalysisConfig`]). Pass
+/// the same cache across seeds or related binaries to share further.
+///
+/// # Errors
+///
+/// As [`rewrite_with_ladder`].
+pub fn rewrite_with_ladder_cached(
+    binary: &Binary,
+    config: &RewriteConfig,
+    instr: &Instrumentation,
+    cache: &RewriteCache,
+) -> Result<LadderOutcome, LadderError> {
     let mut cfg = config.clone();
     cfg.collect_artifacts = true;
     if let Some(plan) = cfg.fault_plan.clone() {
-        plan.arm(binary, &mut cfg);
+        plan.arm_cached(binary, &mut cfg, cache);
     }
     let mut steps: BTreeMap<u64, Vec<LadderStep>> = BTreeMap::new();
+    let mut round_stats: Vec<RewriteStats> = Vec::new();
 
     for round in 1..=MAX_ROUNDS {
-        let outcome = Rewriter::new(cfg.clone()).rewrite(binary, instr)?;
+        let outcome = Rewriter::new(cfg.clone()).rewrite_cached(binary, instr, cache)?;
+        round_stats.push(outcome.stats);
         let verify = verify_rewrite(binary, &outcome, &cfg)?;
         if verify.is_clean() {
-            return Ok(finish(config, &cfg, outcome, verify, steps, round));
+            return Ok(finish(config, &cfg, outcome, verify, steps, round, round_stats));
         }
 
         // Attribute each error to the function it belongs to.
@@ -252,6 +280,7 @@ fn finish(
     verify: VerifyReport,
     mut steps: BTreeMap<u64, Vec<LadderStep>>,
     rounds: usize,
+    round_stats: Vec<RewriteStats>,
 ) -> LadderOutcome {
     let artifacts = outcome.artifacts.as_ref().expect("collect_artifacts forced on");
     let failures: BTreeMap<u64, AnalysisFailure> = outcome
@@ -301,7 +330,15 @@ fn finish(
         .count();
     let budget_exceeded =
         final_cfg.degradation.exceeded(below_floor, dispositions.len());
-    LadderOutcome { outcome, verify, dispositions, rounds, below_floor, budget_exceeded }
+    LadderOutcome {
+        outcome,
+        verify,
+        dispositions,
+        rounds,
+        below_floor,
+        budget_exceeded,
+        round_stats,
+    }
 }
 
 #[cfg(test)]

@@ -176,15 +176,11 @@ pub fn generate(params: &GenParams) -> Workload {
         let name = format!("compute{i}");
         let c1 = rng.gen_range(3i64..60);
         let c2 = rng.gen_range(1i64..6);
-        let mut items = Vec::new();
-        items.push(Item::MovWide { dst: Reg(9), imm: i64::from(params.kernel_iters) });
-        items.push(Item::Label("k".into()));
-        items.push(Item::I(Inst::AluImm {
-            op: AluOp::Mul,
-            dst: Reg(8),
-            src: Reg(8),
-            imm: 3,
-        }));
+        let mut items = vec![
+            Item::MovWide { dst: Reg(9), imm: i64::from(params.kernel_iters) },
+            Item::Label("k".into()),
+            Item::I(Inst::AluImm { op: AluOp::Mul, dst: Reg(8), src: Reg(8), imm: 3 }),
+        ];
         items.push(Item::I(Inst::AluImm {
             op: AluOp::Add,
             dst: Reg(8),

@@ -1,0 +1,275 @@
+//! `icfgp bench-rewrite`: cold vs warm vs parallel rewrite timing over
+//! named workloads.
+//!
+//! Three measurements per workload, all producing **byte-identical**
+//! binaries (asserted, not assumed):
+//!
+//! 1. **cold serial** — fresh [`RewriteCache`], one worker thread: the
+//!    sequential baseline;
+//! 2. **cold parallel** — fresh cache, default worker pool: what
+//!    parallelism alone buys;
+//! 3. **warm** — re-rewrite through the now-populated cache: what the
+//!    incremental engine buys when nothing changed.
+//!
+//! A fourth measurement runs the degradation ladder under a seeded
+//! fault plan with a shared cache and reports per-round times: round 1
+//! pays the cold cost, later rounds re-do only the demoted functions.
+//!
+//! Results are printed as a table and written to `BENCH_rewrite.json`.
+
+use icfgp_core::{Instrumentation, Points, RewriteCache, RewriteConfig, RewriteMode, Rewriter};
+use icfgp_isa::Arch;
+use icfgp_obj::Binary;
+use icfgp_verify::rewrite_with_ladder_cached;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// One workload's measurements.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorkloadBench {
+    /// Workload name (as accepted by [`crate::chaos::build_workload`]).
+    pub workload: String,
+    /// Architecture.
+    pub arch: String,
+    /// Point-selected functions rewritten.
+    pub funcs: usize,
+    /// Cold rewrite wall time, one worker thread (ms).
+    pub cold_serial_ms: f64,
+    /// Cold rewrite wall time, default worker pool (ms).
+    pub cold_parallel_ms: f64,
+    /// Warm re-rewrite wall time through the populated cache (ms).
+    pub warm_ms: f64,
+    /// `cold_serial_ms / cold_parallel_ms`.
+    pub parallel_speedup: f64,
+    /// `cold_parallel_ms / warm_ms`.
+    pub warm_speedup: f64,
+    /// Functions per second in the cold parallel rewrite.
+    pub funcs_per_sec: f64,
+    /// Fragment+emit cache hit rate of the warm rewrite (1.0 = every
+    /// per-function stage served from cache).
+    pub warm_hit_rate: f64,
+    /// All three rewrites produced byte-identical binaries.
+    pub byte_identical: bool,
+    /// Ladder rounds under the seeded fault plan.
+    pub ladder_rounds: usize,
+    /// Wall time of ladder round 1 (cold) in ms.
+    pub ladder_cold_round_ms: f64,
+    /// Mean wall time of ladder rounds ≥ 2 (warm) in ms; 0 when the
+    /// ladder converged in one round.
+    pub ladder_warm_round_ms: f64,
+    /// `ladder_cold_round_ms / ladder_warm_round_ms` (0 when no warm
+    /// rounds ran).
+    pub ladder_round_speedup: f64,
+}
+
+/// The whole benchmark result (`BENCH_rewrite.json`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Worker threads used by the parallel runs.
+    pub threads: usize,
+    /// Quick mode (CI smoke) or full sweep.
+    pub quick: bool,
+    /// Per-workload measurements.
+    pub workloads: Vec<WorkloadBench>,
+}
+
+fn ms(d: std::time::Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// Benchmark one workload. The fault seed drives the ladder
+/// measurement; the plain rewrites run un-faulted.
+fn bench_one(name: &str, arch: Arch, binary: &Binary, seed: u64) -> WorkloadBench {
+    let instr = Instrumentation::empty(Points::EveryBlock);
+    let config = RewriteConfig::new(RewriteMode::FuncPtr);
+
+    // Cold, one thread.
+    let serial = Rewriter::new(config.clone()).with_threads(1);
+    let t = Instant::now();
+    let out_serial = serial.rewrite(binary, &instr).expect("serial rewrite");
+    let cold_serial = t.elapsed();
+
+    // Cold, parallel, fresh cache (kept for the warm run).
+    let parallel = Rewriter::new(config.clone());
+    let cache = RewriteCache::new();
+    let t = Instant::now();
+    let out_cold = parallel
+        .rewrite_cached(binary, &instr, &cache)
+        .expect("cold rewrite");
+    let cold_parallel = t.elapsed();
+
+    // Warm: everything per-function should come from the cache.
+    let t = Instant::now();
+    let out_warm = parallel
+        .rewrite_cached(binary, &instr, &cache)
+        .expect("warm rewrite");
+    let warm = t.elapsed();
+
+    let byte_identical = out_serial.binary == out_cold.binary && out_cold.binary == out_warm.binary;
+    let warm_hits = out_warm.stats.fragments.hits + out_warm.stats.emits.hits;
+    let warm_total = out_warm.stats.fragments.total() + out_warm.stats.emits.total();
+    let warm_hit_rate = if warm_total == 0 {
+        1.0
+    } else {
+        warm_hits as f64 / warm_total as f64
+    };
+
+    // Ladder under faults, shared cache across rounds.
+    let mut faulted = config.clone();
+    faulted.fault_plan = icfgp_core::FaultPlan::named("standard", seed);
+    let ladder_cache = RewriteCache::new();
+    let ladder = rewrite_with_ladder_cached(binary, &faulted, &instr, &ladder_cache);
+    let (ladder_rounds, ladder_cold_round_ms, ladder_warm_round_ms) = match &ladder {
+        Ok(l) => {
+            let cold = l
+                .round_stats
+                .first()
+                .map_or(0.0, |s| s.timings.total_ns as f64 / 1e6);
+            let warm_rounds = &l.round_stats[1..];
+            let warm = if warm_rounds.is_empty() {
+                0.0
+            } else {
+                warm_rounds
+                    .iter()
+                    .map(|s| s.timings.total_ns as f64 / 1e6)
+                    .sum::<f64>()
+                    / warm_rounds.len() as f64
+            };
+            (l.rounds, cold, warm)
+        }
+        Err(_) => (0, 0.0, 0.0),
+    };
+    let ladder_round_speedup = if ladder_warm_round_ms > 0.0 {
+        ladder_cold_round_ms / ladder_warm_round_ms
+    } else {
+        0.0
+    };
+
+    WorkloadBench {
+        workload: name.to_string(),
+        arch: arch.to_string(),
+        funcs: out_cold.report.instrumented_funcs,
+        cold_serial_ms: ms(cold_serial),
+        cold_parallel_ms: ms(cold_parallel),
+        warm_ms: ms(warm),
+        parallel_speedup: ms(cold_serial) / ms(cold_parallel).max(1e-9),
+        warm_speedup: ms(cold_parallel) / ms(warm).max(1e-9),
+        funcs_per_sec: out_cold.report.instrumented_funcs as f64
+            / cold_parallel.as_secs_f64().max(1e-9),
+        warm_hit_rate,
+        byte_identical,
+        ladder_rounds,
+        ladder_cold_round_ms,
+        ladder_warm_round_ms,
+        ladder_round_speedup,
+    }
+}
+
+/// Run the benchmark over the standard workload list.
+///
+/// `quick` restricts the sweep to one small workload per arch for the
+/// CI smoke job; the full run adds the larger generated binaries.
+///
+/// # Errors
+///
+/// A message naming an unknown workload (should not happen with the
+/// built-in lists).
+pub fn run_bench(quick: bool) -> Result<BenchReport, String> {
+    let cases: Vec<(&str, Arch)> = if quick {
+        vec![("switch_demo", Arch::X64), ("small", Arch::X64)]
+    } else {
+        vec![
+            ("switch_demo", Arch::X64),
+            ("small", Arch::X64),
+            ("small", Arch::Aarch64),
+            ("small", Arch::Ppc64le),
+            ("spec:602.gcc_s", Arch::X64),
+            ("spec:605.mcf_s", Arch::X64),
+            ("firefox", Arch::X64),
+            ("driverlib", Arch::X64),
+        ]
+    };
+    let mut workloads = Vec::new();
+    for (name, arch) in cases {
+        let binary = crate::chaos::build_workload(name, arch)?;
+        workloads.push(bench_one(name, arch, &binary, 3));
+    }
+    Ok(BenchReport {
+        threads: icfgp_core::Rewriter::new(RewriteConfig::new(RewriteMode::Dir)).threads(),
+        quick,
+        workloads,
+    })
+}
+
+impl BenchReport {
+    /// Render the human-readable table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<22} {:>6} {:>10} {:>10} {:>9} {:>7} {:>7} {:>9} {:>7} {:>9}",
+            "workload/arch",
+            "funcs",
+            "cold1 ms",
+            "coldN ms",
+            "warm ms",
+            "par x",
+            "warm x",
+            "f/s",
+            "rounds",
+            "ladder x"
+        );
+        for w in &self.workloads {
+            let _ =
+                writeln!(
+                out,
+                "{:<22} {:>6} {:>10.2} {:>10.2} {:>9.2} {:>7.2} {:>7.1} {:>9.0} {:>7} {:>9.1}{}",
+                format!("{}/{}", w.workload, w.arch),
+                w.funcs,
+                w.cold_serial_ms,
+                w.cold_parallel_ms,
+                w.warm_ms,
+                w.parallel_speedup,
+                w.warm_speedup,
+                w.funcs_per_sec,
+                w.ladder_rounds,
+                w.ladder_round_speedup,
+                if w.byte_identical { "" } else { "  !! OUTPUT DIVERGED" },
+            );
+        }
+        let _ = write!(
+            out,
+            "({} worker thread(s); all runs byte-identical unless flagged)",
+            self.threads
+        );
+        out
+    }
+
+    /// Every workload produced byte-identical outputs across serial,
+    /// parallel and warm runs.
+    #[must_use]
+    pub fn all_identical(&self) -> bool {
+        self.workloads.iter().all(|w| w.byte_identical)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_bench_runs_and_is_byte_identical() {
+        let report = run_bench(true).unwrap();
+        assert_eq!(report.workloads.len(), 2);
+        assert!(report.all_identical(), "{}", report.render());
+        for w in &report.workloads {
+            assert!(w.funcs > 0);
+            assert!(w.warm_hit_rate > 0.99, "warm run must hit the cache: {w:?}");
+        }
+        let json = serde_json::to_string(&report).unwrap();
+        let back: BenchReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.workloads.len(), report.workloads.len());
+    }
+}

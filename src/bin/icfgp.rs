@@ -35,18 +35,23 @@ USAGE:
   icfgp rewrite FILE --mode <dir|jt|func-ptr> [--unwind <ra|emulate|none>]
                      [--no-poison] [--points <blocks|entries|none>]
                      [--fault-seed N] [--intensity <none|quiet|standard|aggressive>]
-                     [--floor <dir|jt|func-ptr|trap-only|skip>] [--budget FRAC] -o FILE
+                     [--floor <dir|jt|func-ptr|trap-only|skip>] [--budget FRAC]
+                     [--stats] -o FILE
   icfgp verify FILE [--mode <dir|jt|func-ptr>] [--unwind <ra|emulate|none>]
                     [--no-poison] [--points <blocks|entries|none>]
                     [--fault-seed N] [--intensity I] [--floor F] [--budget FRAC] [--json]
   icfgp run FILE [--preload-runtime] [--bias HEX] [--fuel N]
   icfgp chaos [--seeds N] [--workloads A,B] [--arch A] [--mode M]
               [--intensity I] [--floor F] [--budget FRAC] [--json]
+  icfgp bench-rewrite [--quick] [-o FILE]   (default FILE: BENCH_rewrite.json)
   icfgp list-workloads
 
 `rewrite` and `verify` run the degradation ladder: on per-function
 verification failure the function steps down func-ptr → jt → dir →
 trap-only → skip until the rewrite verifies with zero errors.
+`rewrite --stats` prints per-round cache hit/miss counters and stage
+timings from the incremental engine; `ICFGP_THREADS=N` overrides the
+worker-pool width (output bytes are identical for any N).
 
 EXIT CODES: 0 clean, 1 degraded within budget, 2 budget exceeded
 (chaos: any case failed), 3 internal error, 64 usage.
@@ -224,6 +229,47 @@ fn print_dispositions(ladder: &incremental_cfg_patching::verify::LadderOutcome) 
     );
 }
 
+/// Print the per-round incremental-engine counters (`rewrite --stats`).
+fn print_stats(round_stats: &[incremental_cfg_patching::core::RewriteStats]) {
+    fn stage(name: &str, s: &incremental_cfg_patching::core::StageStats) -> String {
+        format!("{name} {}/{} hit ({:.0}%)", s.hits, s.total(), s.hit_rate() * 100.0)
+    }
+    for (i, s) in round_stats.iter().enumerate() {
+        println!(
+            "  stats r{:<2}: {} thread(s), analysis {} ({} round(s)), {}, {}, {}, {}",
+            i + 1,
+            s.threads,
+            if s.analysis_memo_hit { "memoised" } else { "computed" },
+            s.analysis_rounds,
+            stage("funcs", &s.func_analyses),
+            stage("frags", &s.fragments),
+            stage("emits", &s.emits),
+            stage("live", &s.liveness),
+        );
+        let t = &s.timings;
+        println!(
+            "             analysis {:.2}ms, relocate {:.2}ms, placement {:.2}ms, \
+             assemble {:.2}ms, total {:.2}ms",
+            t.analysis_ns as f64 / 1e6,
+            t.relocate_ns as f64 / 1e6,
+            t.placement_ns as f64 / 1e6,
+            t.assemble_ns as f64 / 1e6,
+            t.total_ns as f64 / 1e6,
+        );
+    }
+}
+
+fn cmd_bench_rewrite(args: &[String]) -> Result<u8, String> {
+    let quick = has_flag(args, "--quick");
+    let out = arg_value(args, "-o").unwrap_or_else(|| "BENCH_rewrite.json".to_string());
+    let report = incremental_cfg_patching::bench_rewrite::run_bench(quick)?;
+    println!("{}", report.render());
+    let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+    std::fs::write(&out, json).map_err(|e| format!("writing {out}: {e}"))?;
+    println!("wrote {out}");
+    Ok(if report.all_identical() { 0 } else { 2 })
+}
+
 fn cmd_rewrite(args: &[String]) -> Result<u8, String> {
     let path = args.first().ok_or("missing FILE")?;
     let out = arg_value(args, "-o").ok_or("missing -o FILE")?;
@@ -256,6 +302,9 @@ fn cmd_rewrite(args: &[String]) -> Result<u8, String> {
         ladder.verify.clones_checked
     );
     print_dispositions(&ladder);
+    if has_flag(args, "--stats") {
+        print_stats(&ladder.round_stats);
+    }
     Ok(code)
 }
 
@@ -392,6 +441,7 @@ fn main() -> ExitCode {
         "verify" => cmd_verify(rest),
         "run" => cmd_run(rest).map(|()| 0),
         "chaos" => cmd_chaos(rest),
+        "bench-rewrite" => cmd_bench_rewrite(rest),
         "list-workloads" => {
             println!("small  firefox  docker  driverlib  switch_demo");
             for n in SPEC_NAMES {

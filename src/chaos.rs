@@ -18,13 +18,17 @@
 //! subcommand and the CI `chaos-smoke` job.
 
 use icfgp_core::{
-    DegradationPolicy, FaultPlan, FuncMode, Instrumentation, Points, RewriteConfig, RewriteMode,
+    DegradationPolicy, FaultPlan, FuncMode, Instrumentation, Points, RewriteCache, RewriteConfig,
+    RewriteMode,
 };
 use icfgp_emu::{run, LoadOptions, Outcome};
 use icfgp_isa::Arch;
 use icfgp_obj::Binary;
-use icfgp_verify::{rewrite_with_ladder, LadderError};
-use icfgp_workloads::{generate, spec_params, switch_demo, GenParams, SPEC_NAMES};
+use icfgp_verify::{rewrite_with_ladder_cached, LadderError};
+use icfgp_workloads::{
+    docker_like, driverlib_like, firefox_like, generate, spec_params, switch_demo, GenParams,
+    SPEC_NAMES,
+};
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 
@@ -210,12 +214,21 @@ pub fn build_workload(name: &str, arch: Arch) -> Result<Binary, String> {
     match name {
         "small" => Ok(generate(&GenParams::small("chaos", arch, 3)).binary),
         "switch_demo" | "switch-demo" => Ok(switch_demo(arch, false).binary),
+        "firefox" => Ok(firefox_like(arch, 1).binary),
+        "docker" => Ok(docker_like(arch, 3, 100).binary),
+        "driverlib" => Ok(driverlib_like(arch, 400, 30).0.binary),
         other => Err(format!("unknown workload {other}")),
     }
 }
 
 /// Run one chaos case: arm the fault plan, ladder to a verified
 /// rewrite, and emulate both binaries.
+///
+/// `cache` memoises per-function analysis and rewrite work. The
+/// campaign driver shares one cache per (workload, arch): the clean
+/// victim-picking analysis is computed once per binary, and fault
+/// seeds re-do per-function work only for the functions their
+/// injections actually touch.
 #[must_use]
 pub fn run_case(
     binary: &Binary,
@@ -223,12 +236,17 @@ pub fn run_case(
     seed: u64,
     intensity: &str,
     policy: &DegradationPolicy,
+    cache: &RewriteCache,
 ) -> (CaseStatus, usize, usize, usize, usize) {
     let mut config = RewriteConfig::new(mode);
     config.fault_plan = FaultPlan::named(intensity, seed);
     config.degradation = *policy;
-    let ladder = match rewrite_with_ladder(binary, &config, &Instrumentation::empty(Points::EveryBlock))
-    {
+    let ladder = match rewrite_with_ladder_cached(
+        binary,
+        &config,
+        &Instrumentation::empty(Points::EveryBlock),
+        cache,
+    ) {
         Ok(l) => l,
         Err(e @ (LadderError::Rewrite(_) | LadderError::Verify(_) | LadderError::NoConvergence { .. })) => {
             return (CaseStatus::LadderFailed(e.to_string()), 0, 0, 0, 0);
@@ -309,10 +327,13 @@ pub fn run_campaign(
     for wl in &config.workloads {
         for arch in &config.arches {
             let binary = build_workload(wl, *arch)?;
+            // One cache per binary: modes and seeds share analysis and
+            // any per-function rewrite work their faults leave intact.
+            let cache = RewriteCache::new();
             for mode in &config.modes {
                 for seed in &config.seeds {
                     let (status, rounds, funcs, degraded_funcs, below_floor) =
-                        run_case(&binary, *mode, *seed, &config.intensity, &config.policy);
+                        run_case(&binary, *mode, *seed, &config.intensity, &config.policy, &cache);
                     let case = CaseResult {
                         workload: wl.clone(),
                         arch: arch.to_string(),

@@ -4,7 +4,7 @@
 //! block-counter payload as well as the empty one.
 
 use incremental_cfg_patching::core::{
-    Instrumentation, Points, RewriteConfig, RewriteMode, Rewriter,
+    FaultPlan, Instrumentation, Points, RewriteCache, RewriteConfig, RewriteMode, Rewriter,
 };
 use incremental_cfg_patching::emu::{run, LoadOptions, Outcome};
 use incremental_cfg_patching::isa::Arch;
@@ -142,5 +142,53 @@ proptest! {
             .map_err(|e| TestCaseError::fail(format!("verify failed to run: {e}")))?;
         let errors: Vec<_> = report.errors().collect();
         prop_assert!(errors.is_empty(), "{}: verifier rejected a clean rewrite: {:#?}", mode, errors);
+    }
+
+    /// The incremental engine is a pure optimisation: a warm-cache
+    /// re-rewrite is byte-identical to the cold rewrite it memoised,
+    /// and both match the uncached path — including under injected
+    /// analysis faults, which must fingerprint into the cache keys.
+    #[test]
+    fn warm_cache_rewrites_are_byte_identical(params in arb_params(), mode in arb_mode(),
+                                              seed in 0u64..1_000) {
+        let w = generate(&params);
+        let mut config = RewriteConfig::new(mode);
+        let plan = FaultPlan::quiet(seed);
+        plan.arm(&w.binary, &mut config);
+        let instr = Instrumentation::empty(Points::EveryBlock);
+        let rewriter = Rewriter::new(config);
+        let uncached = rewriter.rewrite(&w.binary, &instr)
+            .map_err(|e| TestCaseError::fail(format!("uncached rewrite failed: {e}")))?;
+        let cache = RewriteCache::new();
+        let cold = rewriter.rewrite_cached(&w.binary, &instr, &cache)
+            .map_err(|e| TestCaseError::fail(format!("cold rewrite failed: {e}")))?;
+        let warm = rewriter.rewrite_cached(&w.binary, &instr, &cache)
+            .map_err(|e| TestCaseError::fail(format!("warm rewrite failed: {e}")))?;
+        prop_assert_eq!(&uncached.binary, &cold.binary, "cold cached != uncached");
+        prop_assert_eq!(&cold.binary, &warm.binary, "warm != cold");
+        // The warm run must actually have been served from the cache.
+        prop_assert!(warm.stats.analysis_memo_hit, "warm run re-analysed the binary");
+        prop_assert_eq!(warm.stats.fragments.misses, 0, "warm run rebuilt fragments");
+        prop_assert_eq!(warm.stats.emits.misses, 0, "warm run re-emitted code");
+    }
+
+    /// Thread count never leaks into the output: a single-threaded
+    /// rewrite and an 8-way parallel rewrite of the same binary are
+    /// byte-identical, across arches, modes and fault seeds.
+    #[test]
+    fn parallel_rewrites_are_deterministic(params in arb_params(), mode in arb_mode(),
+                                           seed in 0u64..1_000) {
+        let w = generate(&params);
+        let mut config = RewriteConfig::new(mode);
+        FaultPlan::quiet(seed).arm(&w.binary, &mut config);
+        let instr = Instrumentation::empty(Points::EveryBlock);
+        let one = Rewriter::new(config.clone()).with_threads(1)
+            .rewrite(&w.binary, &instr)
+            .map_err(|e| TestCaseError::fail(format!("1-thread rewrite failed: {e}")))?;
+        let eight = Rewriter::new(config).with_threads(8)
+            .rewrite(&w.binary, &instr)
+            .map_err(|e| TestCaseError::fail(format!("8-thread rewrite failed: {e}")))?;
+        prop_assert_eq!(&one.binary, &eight.binary, "thread count changed the output");
+        prop_assert_eq!(one.report.instrumented_funcs, eight.report.instrumented_funcs);
     }
 }
