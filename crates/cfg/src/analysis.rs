@@ -181,7 +181,7 @@ impl InjectedFault {
 }
 
 /// Analysis verdict for one function.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum FuncStatus {
     /// CFG is complete enough to rewrite.
     Ok,

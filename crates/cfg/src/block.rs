@@ -3,10 +3,11 @@
 use crate::analysis::FuncStatus;
 use crate::jumptable::JumpTableDesc;
 use icfgp_isa::Inst;
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Why one block flows to another.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum EdgeKind {
     /// Straight-line continuation.
     FallThrough,
@@ -21,7 +22,7 @@ pub enum EdgeKind {
 }
 
 /// A control-flow edge.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Edge {
     /// Destination block start address.
     pub target: u64,
@@ -31,7 +32,7 @@ pub struct Edge {
 
 /// A basic block: `[start, end)` with at most one control-flow
 /// instruction, at the end.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Block {
     /// First instruction address.
     pub start: u64,
@@ -60,7 +61,7 @@ impl Block {
 }
 
 /// The analysis result for one function.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FuncCfg {
     /// Function name (may be empty for stripped binaries).
     pub name: String,

@@ -11,10 +11,11 @@
 use crate::analysis::AnalysisConfig;
 use icfgp_isa::{AluOp, Cond, Inst, Reg};
 use icfgp_obj::Binary;
+use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// The recovered target expression `tar(x)` of a jump table.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum TableKind {
     /// `tar(x) = x` — absolute entries.
     Absolute,
@@ -55,7 +56,7 @@ impl TableKind {
 }
 
 /// A resolved jump table.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct JumpTableDesc {
     /// Address of the indirect jump instruction.
     pub jump_addr: u64,
@@ -88,7 +89,7 @@ pub struct JumpTableDesc {
 }
 
 /// Why the slice failed.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum JtFail {
     /// The value flowing into the jump doesn't match any dispatch
     /// pattern.

@@ -4,13 +4,14 @@
 
 use crate::block::FuncCfg;
 use icfgp_isa::{Arch, Reg};
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Bitmask register set (bit *i* = `r<i>`).
 type RegSet = u64;
 
 /// Per-block live-in sets.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct LivenessResult {
     live_in: BTreeMap<u64, RegSet>,
     arch: Arch,

@@ -29,16 +29,39 @@
 //! release; keys are 64-bit, so a cross-content collision is
 //! astronomically unlikely but not impossible — acceptable for a
 //! cache whose inputs are not adversarial.
+//!
+//! # Persistence and cross-binary sharing
+//!
+//! A cache may be backed by a crash-safe on-disk
+//! [`CacheStore`](crate::store::CacheStore)
+//! ([`RewriteCache::with_store`]): every stage lookup falls through to
+//! the store on an in-memory miss, and computed entries are buffered
+//! for the store's next flush. Store damage of any kind degrades to a
+//! recompute, never to different bytes.
+//!
+//! Function-analysis entries are keyed on the *function's own
+//! analysis inputs* (its address range and bytes, the environment
+//! skeleton, the sliced config, the boundary prefix) rather than the
+//! whole-binary fingerprint, so unchanged functions keep hitting
+//! across edits to *other* functions — including across processes and
+//! across different binaries sharing code. Whatever those inputs
+//! cannot capture (jump-table data bytes live outside the function
+//! range) is recorded as an explicit dependency read-set
+//! ([`FuncDep`]) and re-validated against the binary at every lookup;
+//! a failed validation is a miss. Downstream fragment/emit/liveness
+//! keys additionally fold the whole-binary fingerprint, so only the
+//! analysis stage shares across binaries.
 
 use crate::pool;
 use crate::relocate::{EmittedFunc, FuncFragment};
 use crate::rewriter::RewriteError;
+use crate::store::{CacheStore, Stage, StoreStats};
 use icfgp_cfg::{
     analyze_function_isolated, assemble_analysis, prepass_boundaries, AnalysisConfig,
-    BinaryAnalysis, FuncCfg, LivenessResult,
+    BinaryAnalysis, FuncCfg, FuncStatus, LivenessResult,
 };
 use icfgp_obj::Binary;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::hash::{Hash, Hasher};
@@ -116,6 +139,9 @@ pub struct RewriteStats {
     pub liveness: StageStats,
     /// Stage wall-clock timings.
     pub timings: StageTimings,
+    /// Persistent-store activity during this rewrite (all zero when no
+    /// store is attached).
+    pub store: StoreStats,
 }
 
 /// Hash a `Hash` value with the deterministic zero-keyed hasher.
@@ -153,6 +179,105 @@ pub fn binary_fingerprint(binary: &Binary) -> u64 {
     hash_of(binary)
 }
 
+/// The *environment* fingerprint a per-function analysis runs under:
+/// everything `analyze_function_isolated` can observe about the binary
+/// **outside** the function's own byte range, other than raw data
+/// bytes (those are covered by [`FuncDep::Bytes`]). That is: the
+/// architecture, PIE-ness, the TOC base, the Go line table, and the
+/// section skeleton (ranges and flags — `section_at` classification
+/// queries). Unwind entries are folded per function (analysis only
+/// reads the entries inside the function's range), so one function's
+/// unwind edit does not invalidate its neighbours. Two binaries with
+/// equal environment fingerprints analyse a byte-identical function
+/// at the same address identically, which is what lets analysis
+/// entries be shared across binaries.
+fn env_fingerprint(binary: &Binary) -> u64 {
+    let mut h = DefaultHasher::new();
+    0xE4F1u64.hash(&mut h);
+    binary.arch.hash(&mut h);
+    binary.meta.hash(&mut h);
+    binary.toc_base.hash(&mut h);
+    binary.pclntab.hash(&mut h);
+    for s in binary.sections() {
+        s.addr().hash(&mut h);
+        s.end().hash(&mut h);
+        s.flags().hash(&mut h);
+    }
+    h.finish()
+}
+
+/// One recorded out-of-range read of a cached function analysis — the
+/// part of its input the content-addressed key cannot see. Persisted
+/// alongside the CFG and re-validated against the binary at every
+/// lookup; any mismatch turns the lookup into a miss.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+enum FuncDep {
+    /// The analysis read `[addr, addr+len)` (jump-table data, including
+    /// the one-entry extension probe) and saw bytes hashing to `hash`.
+    Bytes {
+        /// Read start address.
+        addr: u64,
+        /// Read length in bytes.
+        len: u64,
+        /// `hash_of` of `binary.read(addr, len).ok()` — unmapped reads
+        /// only match unmapped reads.
+        hash: u64,
+    },
+    /// The analysis outcome could depend on reads the key does not
+    /// enumerate (failed analyses, unresolved jumps): only the exact
+    /// same binary may reuse it.
+    BinaryExact {
+        /// Whole-binary fingerprint.
+        fp: u64,
+    },
+}
+
+/// The dependency read-set of one analysed function (see [`FuncDep`]).
+fn func_deps(binary: &Binary, binary_fp: u64, cfg: &FuncCfg) -> Vec<FuncDep> {
+    let mut deps = Vec::new();
+    if cfg.status != FuncStatus::Ok {
+        // The failure path may have read anything; pin to this binary.
+        deps.push(FuncDep::BinaryExact { fp: binary_fp });
+        return deps;
+    }
+    for jt in &cfg.jump_tables {
+        if jt.in_text && jt.table_addr >= cfg.start && jt.table_addr < cfg.end {
+            continue; // table data inside the function range: keyed already
+        }
+        // Cover the resolved entries plus the slicer's one-entry
+        // extension probe past the end.
+        let len = (jt.count + 1) * u64::from(jt.entry_width);
+        let hash = hash_of(&binary.read(jt.table_addr, len as usize).ok());
+        deps.push(FuncDep::Bytes { addr: jt.table_addr, len, hash });
+    }
+    deps
+}
+
+/// Whether a cached analysis' recorded reads still hold against
+/// `binary`.
+fn deps_hold(deps: &[FuncDep], binary: &Binary, binary_fp: u64) -> bool {
+    deps.iter().all(|d| match d {
+        FuncDep::Bytes { addr, len, hash } => {
+            hash_of(&binary.read(*addr, *len as usize).ok()) == *hash
+        }
+        FuncDep::BinaryExact { fp } => *fp == binary_fp,
+    })
+}
+
+/// The persisted form of one function-analysis entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct FuncPayload {
+    cfg: FuncCfg,
+    deps: Vec<FuncDep>,
+}
+
+/// An in-memory function-analysis entry: the CFG plus its read-set.
+#[derive(Clone)]
+struct FuncEntry {
+    cfg: Arc<FuncCfg>,
+    deps: Arc<Vec<FuncDep>>,
+}
+
 /// The boundary pre-pass result with its XOR-folded element hash.
 struct Prepass {
     set: BTreeSet<u64>,
@@ -171,7 +296,7 @@ struct AnalysisMemo {
 struct Maps {
     prepass: HashMap<u64, Arc<Prepass>>,
     analyses: HashMap<(u64, u64), AnalysisMemo>,
-    funcs: HashMap<u64, Arc<FuncCfg>>,
+    funcs: HashMap<u64, FuncEntry>,
     liveness: HashMap<u64, Arc<LivenessResult>>,
     fragments: HashMap<u64, Arc<FuncFragment>>,
     emits: HashMap<u64, Arc<EmittedFunc>>,
@@ -180,10 +305,12 @@ struct Maps {
 /// The content-addressed rewrite cache. Cheap to create, safe to
 /// share across threads, rewrites, ladder rounds and fault seeds —
 /// keys are self-describing, so reuse never changes results, only
-/// how fast they arrive.
+/// how fast they arrive. Optionally backed by a persistent
+/// [`CacheStore`] ([`RewriteCache::with_store`]).
 #[derive(Default)]
 pub struct RewriteCache {
     inner: Mutex<Maps>,
+    store: Option<Arc<CacheStore>>,
 }
 
 impl std::fmt::Debug for RewriteCache {
@@ -206,8 +333,56 @@ impl RewriteCache {
         RewriteCache::default()
     }
 
+    /// An empty in-memory cache backed by a persistent store: lookups
+    /// fall through to the store, computed entries are buffered for
+    /// its next [`CacheStore::flush`].
+    #[must_use]
+    pub fn with_store(store: Arc<CacheStore>) -> RewriteCache {
+        RewriteCache { inner: Mutex::new(Maps::default()), store: Some(store) }
+    }
+
+    /// The attached persistent store, if any.
+    #[must_use]
+    pub fn store(&self) -> Option<&Arc<CacheStore>> {
+        self.store.as_ref()
+    }
+
+    /// Flush the attached store (no-op without one). Returns the
+    /// number of records persisted.
+    pub fn flush_store(&self) -> usize {
+        self.store.as_ref().map_or(0, |s| s.flush())
+    }
+
+    /// Counter snapshot of the attached store (zeroes without one).
+    #[must_use]
+    pub fn store_stats(&self) -> StoreStats {
+        self.store.as_ref().map_or_else(StoreStats::default, |s| s.stats())
+    }
+
     fn lock(&self) -> std::sync::MutexGuard<'_, Maps> {
         self.inner.lock().expect("cache poisoned")
+    }
+
+    /// Persisted-store lookup: decode failures quarantine the record
+    /// and count as a miss, never an error.
+    fn store_get<T: serde::Deserialize>(&self, stage: Stage, key: u64) -> Option<T> {
+        let store = self.store.as_ref()?;
+        let payload = store.get(stage, key)?;
+        match serde_json::from_slice(&payload) {
+            Ok(v) => Some(v),
+            Err(e) => {
+                store.quarantine_record(stage, key, &format!("{e:?}"));
+                None
+            }
+        }
+    }
+
+    fn store_put<T: Serialize>(&self, stage: Stage, key: u64, value: &T) {
+        if let Some(store) = &self.store {
+            if let Ok(bytes) = serde_json::to_vec(value) {
+                store.put(stage, key, bytes);
+            }
+        }
     }
 
     fn prepass(&self, binary_fp: u64, binary: &Binary) -> Arc<Prepass> {
@@ -225,19 +400,49 @@ impl RewriteCache {
     }
 
     /// Look up or compute a per-function CFG. Returns `(result, hit)`.
-    pub(crate) fn func(&self, key: u64, compute: impl FnOnce() -> FuncCfg) -> (Arc<FuncCfg>, bool) {
-        if let Some(v) = self.lock().funcs.get(&key) {
-            return (v.clone(), true);
+    ///
+    /// Keys are *weak* — they omit whatever the analysis read outside
+    /// the function's byte range — so every candidate (in-memory or
+    /// persisted) carries its [`FuncDep`] read-set and is validated
+    /// against `binary` before being returned; a stale candidate is
+    /// evicted and recomputed.
+    pub(crate) fn func(
+        &self,
+        key: u64,
+        binary: &Binary,
+        binary_fp: u64,
+        compute: impl FnOnce() -> FuncCfg,
+    ) -> (Arc<FuncCfg>, bool) {
+        {
+            let mut m = self.lock();
+            if let Some(e) = m.funcs.get(&key) {
+                if deps_hold(&e.deps, binary, binary_fp) {
+                    return (e.cfg.clone(), true);
+                }
+                m.funcs.remove(&key);
+            }
         }
-        let v = Arc::new(compute());
-        (
-            self.lock()
-                .funcs
-                .entry(key)
-                .or_insert_with(|| v.clone())
-                .clone(),
-            false,
-        )
+        if let Some(p) = self.store_get::<FuncPayload>(Stage::Func, key) {
+            if deps_hold(&p.deps, binary, binary_fp) {
+                let entry = FuncEntry { cfg: Arc::new(p.cfg), deps: Arc::new(p.deps) };
+                let got = self
+                    .lock()
+                    .funcs
+                    .entry(key)
+                    .or_insert_with(|| entry.clone())
+                    .clone();
+                return (got.cfg, true);
+            }
+            // A different binary legitimately reusing the weak key:
+            // not corruption, just a miss (the recompute replaces it).
+        }
+        let cfg = compute();
+        let deps = func_deps(binary, binary_fp, &cfg);
+        self.store_put(Stage::Func, key, &FuncPayload { cfg: cfg.clone(), deps: deps.clone() });
+        let entry = FuncEntry { cfg: Arc::new(cfg), deps: Arc::new(deps) };
+        let mut m = self.lock();
+        let got = m.funcs.entry(key).or_insert(entry).clone();
+        (got.cfg, false)
     }
 
     /// Look up or compute a per-function liveness result.
@@ -249,7 +454,15 @@ impl RewriteCache {
         if let Some(v) = self.lock().liveness.get(&key) {
             return (v.clone(), true);
         }
+        if let Some(v) = self.store_get::<LivenessResult>(Stage::Liveness, key) {
+            let v = Arc::new(v);
+            return (
+                self.lock().liveness.entry(key).or_insert_with(|| v.clone()).clone(),
+                true,
+            );
+        }
         let v = Arc::new(compute());
+        self.store_put(Stage::Liveness, key, &*v);
         (
             self.lock()
                 .liveness
@@ -270,7 +483,15 @@ impl RewriteCache {
         if let Some(v) = self.lock().fragments.get(&key) {
             return Ok((v.clone(), true));
         }
+        if let Some(v) = self.store_get::<FuncFragment>(Stage::Fragment, key) {
+            let v = Arc::new(v);
+            return Ok((
+                self.lock().fragments.entry(key).or_insert_with(|| v.clone()).clone(),
+                true,
+            ));
+        }
         let v = Arc::new(compute()?);
+        self.store_put(Stage::Fragment, key, &*v);
         Ok((
             self.lock()
                 .fragments
@@ -290,7 +511,15 @@ impl RewriteCache {
         if let Some(v) = self.lock().emits.get(&key) {
             return Ok((v.clone(), true));
         }
+        if let Some(v) = self.store_get::<EmittedFunc>(Stage::Emit, key) {
+            let v = Arc::new(v);
+            return Ok((
+                self.lock().emits.entry(key).or_insert_with(|| v.clone()).clone(),
+                true,
+            ));
+        }
         let v = Arc::new(compute()?);
+        self.store_put(Stage::Emit, key, &*v);
         Ok((
             self.lock()
                 .emits
@@ -376,20 +605,30 @@ pub fn analyze_incremental(
         };
     }
     let pre = cache.prepass(binary_fp, binary);
+    let env_fp = env_fingerprint(binary);
     let syms: Vec<&icfgp_obj::Symbol> = binary.functions().collect();
     let n = syms.len();
 
-    // The boundary-independent part of each function's key.
+    // The boundary-independent part of each function's key: the
+    // function's own analysis inputs, *not* the whole-binary
+    // fingerprint — so entries survive edits to other functions and
+    // can be shared across binaries (out-of-range data reads are
+    // covered by the entry's [`FuncDep`] read-set instead).
     let statics: Vec<u64> = syms
         .iter()
         .map(|s| {
             let mut h = DefaultHasher::new();
-            0xFC01u64.hash(&mut h);
-            binary_fp.hash(&mut h);
+            0xFC02u64.hash(&mut h);
+            env_fp.hash(&mut h);
             s.addr.hash(&mut h);
             s.size.hash(&mut h);
             h.write(binary.read(s.addr, s.size as usize).unwrap_or(&[]));
             config.slice_for(s.addr, s.end()).fingerprint().hash(&mut h);
+            for e in binary.unwind.entries() {
+                if e.start >= s.addr && e.start < s.end() {
+                    e.hash(&mut h);
+                }
+            }
             h.finish()
         })
         .collect();
@@ -439,7 +678,7 @@ pub fn analyze_incremental(
             let mut k = DefaultHasher::new();
             statics[i].hash(&mut k);
             input_hash.hash(&mut k);
-            cache.func(k.finish(), || {
+            cache.func(k.finish(), binary, binary_fp, || {
                 analyze_function_isolated(binary, syms[i], config, snap)
             })
         });
@@ -456,13 +695,20 @@ pub fn analyze_incremental(
         .zip(&results)
         .map(|(s, r)| (s.addr, (**r.as_ref().expect("analysed")).clone()))
         .collect();
+    // Downstream (fragment/emit/liveness) identities fold the
+    // whole-binary fingerprint back in: two binaries may share a weak
+    // analysis key while their CFGs differ (the read-set arbitrates at
+    // lookup time), and nothing below the analysis stage re-validates
+    // read-sets — so everything below stays strictly per-binary.
     let func_keys: BTreeMap<u64, u64> = syms
         .iter()
         .enumerate()
         .map(|(i, s)| {
             let mut k = DefaultHasher::new();
+            0xFC03u64.hash(&mut k);
             statics[i].hash(&mut k);
             analyzed[i].expect("analysed").hash(&mut k);
+            binary_fp.hash(&mut k);
             (s.addr, k.finish())
         })
         .collect();

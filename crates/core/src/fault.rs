@@ -60,6 +60,17 @@ pub struct FaultPlan {
     /// Push `.instr` beyond the architecture's short-branch reach so
     /// short trampolines cannot reach it directly.
     pub exhaust_reach: bool,
+    /// Probability a persistent-store flush writes a torn (truncated
+    /// mid-record) segment. Store faults damage persistence only — the
+    /// cache recomputes through them, so output bytes never change.
+    pub store_torn_write: f64,
+    /// Probability a flushed store segment gets one bit flipped.
+    pub store_bit_flip: f64,
+    /// Probability a store segment load is cut short (short read).
+    pub store_short_read: f64,
+    /// Probability a store flush simulates writer-lock contention and
+    /// defers (records stay pending).
+    pub store_lock_contention: f64,
 }
 
 impl FaultPlan {
@@ -76,6 +87,10 @@ impl FaultPlan {
             shrink_budgets: false,
             starve_scratch: false,
             exhaust_reach: false,
+            store_torn_write: 0.0,
+            store_bit_flip: 0.0,
+            store_short_read: 0.0,
+            store_lock_contention: 0.0,
         }
     }
 
@@ -88,6 +103,9 @@ impl FaultPlan {
             drop_table_targets: 0.10,
             add_table_targets: 0.10,
             corrupt_liveness: 0.05,
+            store_torn_write: 0.05,
+            store_bit_flip: 0.05,
+            store_short_read: 0.05,
             ..FaultPlan::none(seed)
         }
     }
@@ -105,6 +123,10 @@ impl FaultPlan {
             shrink_budgets: seed.is_multiple_of(2),
             starve_scratch: seed.is_multiple_of(3),
             exhaust_reach: !seed.is_multiple_of(2),
+            store_torn_write: 0.15,
+            store_bit_flip: 0.10,
+            store_short_read: 0.10,
+            store_lock_contention: 0.10,
             ..FaultPlan::none(seed)
         }
     }
@@ -121,6 +143,10 @@ impl FaultPlan {
             shrink_budgets: true,
             starve_scratch: true,
             exhaust_reach: true,
+            store_torn_write: 0.50,
+            store_bit_flip: 0.25,
+            store_short_read: 0.25,
+            store_lock_contention: 0.25,
             ..FaultPlan::none(seed)
         }
     }
@@ -134,6 +160,19 @@ impl FaultPlan {
             "standard" => Some(FaultPlan::standard(seed)),
             "aggressive" => Some(FaultPlan::aggressive(seed)),
             _ => None,
+        }
+    }
+
+    /// The I/O fault classes of this plan, in the form
+    /// [`crate::store::CacheStore::arm_faults`] takes.
+    #[must_use]
+    pub fn store_faults(&self) -> crate::store::StoreFaults {
+        crate::store::StoreFaults {
+            seed: self.seed,
+            torn_write: self.store_torn_write,
+            bit_flip: self.store_bit_flip,
+            short_read: self.store_short_read,
+            lock_contention: self.store_lock_contention,
         }
     }
 
@@ -211,6 +250,9 @@ impl FaultPlan {
             // `.instr` directly, long forms and islands still can.
             let gap = binary.arch.short_branch_reach() as u64 + (32 << 20);
             config.instr_gap = config.instr_gap.max(gap);
+        }
+        if let Some(store) = cache.store() {
+            store.arm_faults(self.store_faults());
         }
     }
 }

@@ -71,6 +71,7 @@ pub mod pool;
 mod relocate;
 mod report;
 mod rewriter;
+pub mod store;
 pub mod tramp;
 
 pub use cache::{
@@ -88,4 +89,8 @@ pub use placement::{Patch, PlacedTrampoline, PlacementPlan, ScratchPool, Trampol
 pub use relocate::{table_cloneable, RelocatedCode};
 pub use report::{RewriteReport, SkipReason};
 pub use rewriter::{CloneSummary, RewriteArtifacts, RewriteError, RewriteOutcome, Rewriter};
+pub use store::{
+    CacheStore, CorruptKind, Stage, StoreEvent, StoreEventKind, StoreFaults, StoreStats,
+    StoreVerifyReport,
+};
 pub use tramp::trampoline_table;

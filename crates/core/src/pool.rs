@@ -10,7 +10,10 @@
 //!
 //! The worker count defaults to [`std::thread::available_parallelism`]
 //! capped at 16 and can be overridden with the `ICFGP_THREADS`
-//! environment variable (values are clamped to `1..=16`).
+//! environment variable. `ICFGP_THREADS` must be an integer in
+//! `1..=16`; `0` and garbage are rejected with an error (the CLI
+//! exits with usage code 64) rather than silently defaulted, and
+//! values above the cap are clamped to 16.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -18,25 +21,48 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 pub const MAX_THREADS: usize = 16;
 
 /// The default worker count: the `ICFGP_THREADS` environment override
-/// when set (clamped to `1..=`[`MAX_THREADS`]), otherwise
-/// `available_parallelism` capped at [`MAX_THREADS`].
+/// when valid, otherwise `available_parallelism` capped at
+/// [`MAX_THREADS`]. An *invalid* override (zero, garbage) also falls
+/// back, with a one-line warning on stderr — library callers keep
+/// working; the CLI validates the variable up front via
+/// [`threads_from_env`] and refuses to start instead.
 #[must_use]
 pub fn default_threads() -> usize {
-    if let Some(n) = threads_from_env(std::env::var("ICFGP_THREADS").ok().as_deref()) {
-        return n;
+    match threads_from_env(std::env::var("ICFGP_THREADS").ok().as_deref()) {
+        Ok(Some(n)) => return n,
+        Ok(None) => {}
+        Err(e) => eprintln!("warning: {e}; using the automatic thread count"),
     }
     std::thread::available_parallelism()
         .map_or(4, usize::from)
         .min(MAX_THREADS)
 }
 
-/// Parse an `ICFGP_THREADS`-style override. `None` for unset, empty or
-/// unparsable values; parsed values are clamped to
-/// `1..=`[`MAX_THREADS`].
-#[must_use]
-pub fn threads_from_env(value: Option<&str>) -> Option<usize> {
-    let n: usize = value?.trim().parse().ok()?;
-    Some(n.clamp(1, MAX_THREADS))
+/// Parse an `ICFGP_THREADS`-style override.
+///
+/// `Ok(None)` for unset or empty values (no override); parsed values
+/// are clamped to at most [`MAX_THREADS`].
+///
+/// # Errors
+///
+/// A usage message for `0` and non-integer values — an explicit but
+/// invalid override must be reported, not silently replaced with a
+/// default the user did not ask for.
+pub fn threads_from_env(value: Option<&str>) -> Result<Option<usize>, String> {
+    let Some(raw) = value else { return Ok(None) };
+    let raw = raw.trim();
+    if raw.is_empty() {
+        return Ok(None);
+    }
+    match raw.parse::<usize>() {
+        Ok(0) => Err(format!(
+            "ICFGP_THREADS must be between 1 and {MAX_THREADS}, got 0"
+        )),
+        Ok(n) => Ok(Some(n.min(MAX_THREADS))),
+        Err(_) => Err(format!(
+            "ICFGP_THREADS must be an integer between 1 and {MAX_THREADS}, got {raw:?}"
+        )),
+    }
 }
 
 /// Run `f` over every item of `items` on up to `threads` scoped worker
@@ -118,14 +144,18 @@ mod tests {
     }
 
     #[test]
-    fn env_override_parses_and_clamps() {
-        assert_eq!(threads_from_env(None), None);
-        assert_eq!(threads_from_env(Some("")), None);
-        assert_eq!(threads_from_env(Some("banana")), None);
-        assert_eq!(threads_from_env(Some("4")), Some(4));
-        assert_eq!(threads_from_env(Some(" 8 ")), Some(8));
-        assert_eq!(threads_from_env(Some("0")), Some(1));
-        assert_eq!(threads_from_env(Some("999")), Some(MAX_THREADS));
+    fn env_override_parses_clamps_and_rejects() {
+        assert_eq!(threads_from_env(None), Ok(None));
+        assert_eq!(threads_from_env(Some("")), Ok(None));
+        assert_eq!(threads_from_env(Some("  ")), Ok(None));
+        assert_eq!(threads_from_env(Some("4")), Ok(Some(4)));
+        assert_eq!(threads_from_env(Some(" 8 ")), Ok(Some(8)));
+        assert_eq!(threads_from_env(Some("999")), Ok(Some(MAX_THREADS)));
+        // Explicit-but-invalid overrides are errors, not silent defaults.
+        assert!(threads_from_env(Some("0")).is_err());
+        assert!(threads_from_env(Some("banana")).is_err());
+        assert!(threads_from_env(Some("-2")).is_err());
+        assert!(threads_from_env(Some("1.5")).is_err());
     }
 
     #[test]

@@ -40,6 +40,7 @@ use crate::rewriter::RewriteError;
 use icfgp_cfg::{BinaryAnalysis, FpDefSite, FuncCfg, FuncStatus, JumpTableDesc};
 use icfgp_isa::{encode, Addr, AluOp, Arch, Cond, Inst, Reg, SysOp, Width};
 use icfgp_obj::{Binary, RaMap};
+use serde::{Deserialize, Serialize};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{BTreeMap, HashMap};
 use std::hash::{Hash, Hasher};
@@ -111,14 +112,14 @@ pub fn table_cloneable(func: &FuncCfg, desc: &JumpTableDesc) -> bool {
     desc.base_insts[1] == first + u64::from(*len)
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 enum BKind {
     Jump,
     Cond(Cond),
     Call,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 enum RKind {
     Copy(Inst),
     Payload(Inst),
@@ -144,7 +145,7 @@ enum RKind {
     Pad(u64),
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct REntry {
     /// Original (addr, len); `None` for payload entries.
     orig: Option<(u64, u8)>,
@@ -177,7 +178,7 @@ pub(crate) struct RelocateInput<'a> {
 
 /// An address-independent per-function relocation recipe: the sized
 /// entry list, with offsets relative to the fragment base.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub(crate) struct FuncFragment {
     entries: Vec<REntry>,
     /// Original block start → index of the block's first entry.
@@ -191,7 +192,7 @@ pub(crate) struct FuncFragment {
 /// One function's emitted relocated code plus its return-address map
 /// contributions (absolute addresses — the emission key folds in the
 /// fragment base).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub(crate) struct EmittedFunc {
     bytes: Vec<u8>,
     /// (relocated RA, original RA) pairs, in entry order.

@@ -203,6 +203,7 @@ impl Rewriter {
         cache: &RewriteCache,
     ) -> Result<RewriteOutcome, RewriteError> {
         let t_total = Instant::now();
+        let store_before = cache.store_stats();
         instr
             .validate()
             .map_err(|inst| RewriteError::BadPayload(inst.to_string()))?;
@@ -622,6 +623,7 @@ impl Rewriter {
                 assemble_ns: total_ns.saturating_sub(analysis_ns + relocate_ns + placement_ns),
                 total_ns,
             },
+            store: cache.store_stats().delta_since(&store_before),
         };
         Ok(RewriteOutcome {
             binary: out,

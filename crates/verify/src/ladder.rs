@@ -196,6 +196,11 @@ pub fn rewrite_with_ladder_cached(
         round_stats.push(outcome.stats);
         let verify = verify_rewrite(binary, &outcome, &cfg)?;
         if verify.is_clean() {
+            // Persist everything this ladder computed (no-op without
+            // an attached store) before handing the outcome back, so a
+            // later process starts warm even if this one never exits
+            // cleanly.
+            cache.flush_store();
             return Ok(finish(config, &cfg, outcome, verify, steps, round, round_stats));
         }
 

@@ -9,15 +9,20 @@
 //! 2. **cold parallel** — fresh cache, default worker pool: what
 //!    parallelism alone buys;
 //! 3. **warm** — re-rewrite through the now-populated cache: what the
-//!    incremental engine buys when nothing changed.
+//!    incremental engine buys when nothing changed;
+//! 4. **persisted** — flush the cache to an on-disk store, reopen it
+//!    in a fresh cache (a new process, in effect) and re-rewrite: what
+//!    `--cache-dir` buys across invocations.
 //!
-//! A fourth measurement runs the degradation ladder under a seeded
+//! A fifth measurement runs the degradation ladder under a seeded
 //! fault plan with a shared cache and reports per-round times: round 1
 //! pays the cold cost, later rounds re-do only the demoted functions.
 //!
 //! Results are printed as a table and written to `BENCH_rewrite.json`.
 
-use icfgp_core::{Instrumentation, Points, RewriteCache, RewriteConfig, RewriteMode, Rewriter};
+use icfgp_core::{
+    CacheStore, Instrumentation, Points, RewriteCache, RewriteConfig, RewriteMode, Rewriter,
+};
 use icfgp_isa::Arch;
 use icfgp_obj::Binary;
 use icfgp_verify::rewrite_with_ladder_cached;
@@ -48,7 +53,15 @@ pub struct WorkloadBench {
     /// Fragment+emit cache hit rate of the warm rewrite (1.0 = every
     /// per-function stage served from cache).
     pub warm_hit_rate: f64,
-    /// All three rewrites produced byte-identical binaries.
+    /// Warm-from-disk rewrite wall time: a fresh cache attached to the
+    /// persisted store (ms). Includes store lookups, not the open/scan.
+    pub persisted_ms: f64,
+    /// Persisted-store hit rate of the warm-from-disk rewrite.
+    pub persisted_hit_rate: f64,
+    /// Records the persisted run quarantined (0 on a healthy store).
+    pub persisted_quarantined: u64,
+    /// All rewrites (serial, parallel, warm, persisted) produced
+    /// byte-identical binaries.
     pub byte_identical: bool,
     /// Ladder rounds under the seeded fault plan.
     pub ladder_rounds: usize,
@@ -105,7 +118,38 @@ fn bench_one(name: &str, arch: Arch, binary: &Binary, seed: u64) -> WorkloadBenc
         .expect("warm rewrite");
     let warm = t.elapsed();
 
-    let byte_identical = out_serial.binary == out_cold.binary && out_cold.binary == out_warm.binary;
+    // Persisted: flush everything the cold run computed into a fresh
+    // store directory, reopen it in a brand-new cache (simulating a
+    // second process with `--cache-dir`), and rewrite again.
+    let store_dir = std::env::temp_dir().join(format!(
+        "icfgp-bench-store-{}-{}-{}",
+        std::process::id(),
+        name.replace([':', '.'], "_"),
+        arch
+    ));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    {
+        let persist = RewriteCache::with_store(std::sync::Arc::new(CacheStore::open(&store_dir)));
+        let _ = parallel
+            .rewrite_cached(binary, &instr, &persist)
+            .expect("persist rewrite");
+        persist.flush_store();
+        // Dropping `persist` releases the writer lock.
+    }
+    let disk = RewriteCache::with_store(std::sync::Arc::new(CacheStore::open(&store_dir)));
+    let t = Instant::now();
+    let out_disk = parallel
+        .rewrite_cached(binary, &instr, &disk)
+        .expect("persisted rewrite");
+    let persisted = t.elapsed();
+    let persisted_hit_rate = out_disk.stats.store.hit_rate();
+    let persisted_quarantined = out_disk.stats.store.quarantined_records
+        + out_disk.stats.store.quarantined_segments;
+    let _ = std::fs::remove_dir_all(&store_dir);
+
+    let byte_identical = out_serial.binary == out_cold.binary
+        && out_cold.binary == out_warm.binary
+        && out_cold.binary == out_disk.binary;
     let warm_hits = out_warm.stats.fragments.hits + out_warm.stats.emits.hits;
     let warm_total = out_warm.stats.fragments.total() + out_warm.stats.emits.total();
     let warm_hit_rate = if warm_total == 0 {
@@ -152,6 +196,9 @@ fn bench_one(name: &str, arch: Arch, binary: &Binary, seed: u64) -> WorkloadBenc
         cold_serial_ms: ms(cold_serial),
         cold_parallel_ms: ms(cold_parallel),
         warm_ms: ms(warm),
+        persisted_ms: ms(persisted),
+        persisted_hit_rate,
+        persisted_quarantined,
         parallel_speedup: ms(cold_serial) / ms(cold_parallel).max(1e-9),
         warm_speedup: ms(cold_parallel) / ms(warm).max(1e-9),
         funcs_per_sec: out_cold.report.instrumented_funcs as f64
@@ -209,14 +256,16 @@ impl BenchReport {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "{:<22} {:>6} {:>10} {:>10} {:>9} {:>7} {:>7} {:>9} {:>7} {:>9}",
+            "{:<22} {:>6} {:>10} {:>10} {:>9} {:>9} {:>7} {:>7} {:>7} {:>9} {:>7} {:>9}",
             "workload/arch",
             "funcs",
             "cold1 ms",
             "coldN ms",
             "warm ms",
+            "disk ms",
             "par x",
             "warm x",
+            "disk %",
             "f/s",
             "rounds",
             "ladder x"
@@ -225,14 +274,16 @@ impl BenchReport {
             let _ =
                 writeln!(
                 out,
-                "{:<22} {:>6} {:>10.2} {:>10.2} {:>9.2} {:>7.2} {:>7.1} {:>9.0} {:>7} {:>9.1}{}",
+                "{:<22} {:>6} {:>10.2} {:>10.2} {:>9.2} {:>9.2} {:>7.2} {:>7.1} {:>7.0} {:>9.0} {:>7} {:>9.1}{}",
                 format!("{}/{}", w.workload, w.arch),
                 w.funcs,
                 w.cold_serial_ms,
                 w.cold_parallel_ms,
                 w.warm_ms,
+                w.persisted_ms,
                 w.parallel_speedup,
                 w.warm_speedup,
+                w.persisted_hit_rate * 100.0,
                 w.funcs_per_sec,
                 w.ladder_rounds,
                 w.ladder_round_speedup,
@@ -267,6 +318,11 @@ mod tests {
         for w in &report.workloads {
             assert!(w.funcs > 0);
             assert!(w.warm_hit_rate > 0.99, "warm run must hit the cache: {w:?}");
+            assert!(
+                w.persisted_hit_rate > 0.0,
+                "warm-from-disk run must hit the persisted store: {w:?}"
+            );
+            assert_eq!(w.persisted_quarantined, 0, "healthy store must not quarantine: {w:?}");
         }
         let json = serde_json::to_string(&report).unwrap();
         let back: BenchReport = serde_json::from_str(&json).unwrap();

@@ -12,17 +12,20 @@
 use incremental_cfg_patching::chaos::{parse_floor, run_campaign, CampaignConfig, CaseStatus};
 use incremental_cfg_patching::cfg::{analyze, AnalysisConfig, FuncStatus};
 use incremental_cfg_patching::core::{
-    FaultPlan, Instrumentation, Points, RewriteConfig, RewriteMode, UnwindStrategy,
+    pool, store, CacheStore, CorruptKind, FaultPlan, Instrumentation, Points, RewriteCache,
+    RewriteConfig, RewriteMode, UnwindStrategy,
 };
 use incremental_cfg_patching::emu::{run, LoadOptions, Outcome};
 use incremental_cfg_patching::isa::Arch;
 use incremental_cfg_patching::obj::Binary;
-use incremental_cfg_patching::verify::rewrite_with_ladder;
+use incremental_cfg_patching::verify::rewrite_with_ladder_cached;
 use incremental_cfg_patching::workloads::{
     docker_like, driverlib_like, firefox_like, generate, spec_params, switch_demo, GenParams,
     SPEC_NAMES,
 };
+use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -36,13 +39,16 @@ USAGE:
                      [--no-poison] [--points <blocks|entries|none>]
                      [--fault-seed N] [--intensity <none|quiet|standard|aggressive>]
                      [--floor <dir|jt|func-ptr|trap-only|skip>] [--budget FRAC]
-                     [--stats] -o FILE
+                     [--cache-dir DIR] [--stats] -o FILE
   icfgp verify FILE [--mode <dir|jt|func-ptr>] [--unwind <ra|emulate|none>]
                     [--no-poison] [--points <blocks|entries|none>]
-                    [--fault-seed N] [--intensity I] [--floor F] [--budget FRAC] [--json]
+                    [--fault-seed N] [--intensity I] [--floor F] [--budget FRAC]
+                    [--cache-dir DIR] [--json]
   icfgp run FILE [--preload-runtime] [--bias HEX] [--fuel N]
   icfgp chaos [--seeds N] [--workloads A,B] [--arch A] [--mode M]
-              [--intensity I] [--floor F] [--budget FRAC] [--json]
+              [--intensity I] [--floor F] [--budget FRAC] [--cache-dir DIR] [--json]
+  icfgp cache <stats|verify|clear> --cache-dir DIR
+  icfgp cache corrupt --cache-dir DIR --kind <bit-flip|truncate|stale-version> [--seed N]
   icfgp bench-rewrite [--quick] [-o FILE]   (default FILE: BENCH_rewrite.json)
   icfgp list-workloads
 
@@ -51,7 +57,15 @@ verification failure the function steps down func-ptr → jt → dir →
 trap-only → skip until the rewrite verifies with zero errors.
 `rewrite --stats` prints per-round cache hit/miss counters and stage
 timings from the incremental engine; `ICFGP_THREADS=N` overrides the
-worker-pool width (output bytes are identical for any N).
+worker-pool width (output bytes are identical for any N; invalid
+values are rejected with exit code 64).
+
+`--cache-dir DIR` (or `ICFGP_CACHE_DIR`) attaches a crash-safe
+persistent rewrite cache: entries are warmed from DIR on start and
+flushed back on exit. Corrupt or unreadable records are quarantined
+and recomputed — output bytes are identical to a cold run. `icfgp
+cache verify` integrity-checks every record; `corrupt` deliberately
+damages a store for testing.
 
 EXIT CODES: 0 clean, 1 degraded within budget, 2 budget exceeded
 (chaos: any case failed), 3 internal error, 64 usage.
@@ -67,6 +81,55 @@ fn arg_value(args: &[String], flag: &str) -> Option<String> {
 
 fn has_flag(args: &[String], flag: &str) -> bool {
     args.iter().any(|a| a == flag)
+}
+
+/// The persistent-store directory: `--cache-dir DIR` wins, then the
+/// `ICFGP_CACHE_DIR` environment variable, else no store.
+fn cache_dir(args: &[String]) -> Option<PathBuf> {
+    arg_value(args, "--cache-dir")
+        .or_else(|| std::env::var("ICFGP_CACHE_DIR").ok())
+        .filter(|s| !s.trim().is_empty())
+        .map(PathBuf::from)
+}
+
+/// Build the rewrite cache for a command: attached to the persistent
+/// store when a cache dir is configured, plain in-memory otherwise.
+fn open_cache(args: &[String]) -> RewriteCache {
+    match cache_dir(args) {
+        Some(dir) => {
+            let store = Arc::new(CacheStore::open(&dir));
+            for e in store.events() {
+                eprintln!("cache-store: {e}");
+            }
+            RewriteCache::with_store(store)
+        }
+        None => RewriteCache::new(),
+    }
+}
+
+/// Flush the attached store (if any) and report what was persisted
+/// plus any integrity events the run produced. `quiet` suppresses the
+/// stdout summary (JSON output modes); events still go to stderr.
+fn finish_cache(cache: &RewriteCache, quiet: bool) {
+    let Some(store) = cache.store() else { return };
+    let seen: usize = store.events().len();
+    let flushed = cache.flush_store();
+    for e in store.events().iter().skip(seen) {
+        eprintln!("cache-store: {e}");
+    }
+    if quiet {
+        return;
+    }
+    let s = store.stats();
+    println!(
+        "  cache store: {} — {} hit / {} miss persisted, {} record(s) flushed, \
+         {} quarantined",
+        store.dir().display(),
+        s.hits,
+        s.misses,
+        flushed,
+        s.quarantined_records + s.quarantined_segments,
+    );
 }
 
 fn parse_arch(args: &[String]) -> Arch {
@@ -191,8 +254,9 @@ fn run_ladder(
     binary: &Binary,
     config: &RewriteConfig,
     points: Points,
+    cache: &RewriteCache,
 ) -> Result<(incremental_cfg_patching::verify::LadderOutcome, u8), String> {
-    let ladder = rewrite_with_ladder(binary, config, &Instrumentation::empty(points))
+    let ladder = rewrite_with_ladder_cached(binary, config, &Instrumentation::empty(points), cache)
         .map_err(|e| e.to_string())?;
     let code = if ladder.budget_exceeded {
         2
@@ -256,6 +320,17 @@ fn print_stats(round_stats: &[incremental_cfg_patching::core::RewriteStats]) {
             t.assemble_ns as f64 / 1e6,
             t.total_ns as f64 / 1e6,
         );
+        if s.store.total() > 0 || s.store.quarantined_records > 0 {
+            println!(
+                "             persisted: {}/{} hit ({:.0}%), {} quarantined record(s), \
+                 {} quarantined segment(s)",
+                s.store.hits,
+                s.store.total(),
+                s.store.hit_rate() * 100.0,
+                s.store.quarantined_records,
+                s.store.quarantined_segments,
+            );
+        }
     }
 }
 
@@ -276,7 +351,8 @@ fn cmd_rewrite(args: &[String]) -> Result<u8, String> {
     let binary = load_binary(path)?;
     let (config, points) = parse_rewrite_config(args)?;
     let mode = config.mode;
-    let (ladder, code) = run_ladder(&binary, &config, points)?;
+    let cache = open_cache(args);
+    let (ladder, code) = run_ladder(&binary, &config, points, &cache)?;
     save_binary(&ladder.outcome.binary, &out)?;
     let r = &ladder.outcome.report;
     println!("rewrote {path} -> {out} ({mode} mode)");
@@ -305,6 +381,7 @@ fn cmd_rewrite(args: &[String]) -> Result<u8, String> {
     if has_flag(args, "--stats") {
         print_stats(&ladder.round_stats);
     }
+    finish_cache(&cache, false);
     Ok(code)
 }
 
@@ -312,7 +389,8 @@ fn cmd_verify(args: &[String]) -> Result<u8, String> {
     let path = args.first().ok_or("missing FILE")?;
     let binary = load_binary(path)?;
     let (config, points) = parse_rewrite_config(args)?;
-    let (ladder, code) = run_ladder(&binary, &config, points)?;
+    let cache = open_cache(args);
+    let (ladder, code) = run_ladder(&binary, &config, points, &cache)?;
     let report = &ladder.verify;
     if has_flag(args, "--json") {
         println!("{}", report.to_json().map_err(|e| e.to_string())?);
@@ -332,6 +410,7 @@ fn cmd_verify(args: &[String]) -> Result<u8, String> {
         );
         print_dispositions(&ladder);
     }
+    finish_cache(&cache, has_flag(args, "--json"));
     Ok(code)
 }
 
@@ -368,6 +447,7 @@ fn cmd_chaos(args: &[String]) -> Result<u8, String> {
         config.policy.max_below_floor =
             budget.parse().map_err(|_| format!("bad --budget {budget}"))?;
     }
+    config.cache_dir = cache_dir(args);
     let json = has_flag(args, "--json");
     let report = run_campaign(&config, |case| {
         if !json {
@@ -397,6 +477,98 @@ fn cmd_chaos(args: &[String]) -> Result<u8, String> {
         println!("{}", report.render_matrix(&config.seeds));
     }
     Ok(report.exit_code())
+}
+
+/// `icfgp cache <stats|verify|clear|corrupt>` — offline maintenance of
+/// a persistent store directory.
+fn cmd_cache(args: &[String]) -> Result<u8, String> {
+    let sub = args.first().ok_or("missing cache subcommand (stats|verify|clear|corrupt)")?;
+    let dir = cache_dir(&args[1..])
+        .ok_or("missing --cache-dir DIR (or set ICFGP_CACHE_DIR)")?;
+    match sub.as_str() {
+        "stats" => {
+            // Open read-only-ish (we do take the lock briefly) to count
+            // usable records; the advisory index supplies segment info.
+            let store = CacheStore::open(&dir);
+            let s = store.stats();
+            println!("{}:", dir.display());
+            println!(
+                "  segments   : {} loaded, {} quarantined",
+                s.segments_loaded, s.quarantined_segments
+            );
+            println!(
+                "  records    : {} usable, {} quarantined",
+                s.records_loaded, s.quarantined_records
+            );
+            for (stage, n) in store.entry_counts() {
+                println!("    {:<9}: {n}", stage.name());
+            }
+            match CacheStore::read_index(&dir) {
+                Some(index) => {
+                    let bytes: u64 = index.segments.iter().map(|s| s.bytes).sum();
+                    println!(
+                        "  index      : {} segment(s), {bytes} byte(s), \
+                         format v{} epoch {}",
+                        index.segments.len(),
+                        index.version,
+                        index.key_epoch
+                    );
+                }
+                None => println!("  index      : absent"),
+            }
+            for e in store.events() {
+                println!("  event      : {e}");
+            }
+            Ok(0)
+        }
+        "verify" => {
+            let report = store::verify_dir(&dir);
+            println!("{}:", dir.display());
+            println!(
+                "  {} segment(s), {} valid record(s), {} byte(s)",
+                report.segments, report.valid_records, report.total_bytes
+            );
+            for p in &report.problems {
+                println!("  problem: {p}");
+            }
+            if !report.index_consistent {
+                println!("  problem: advisory index stale or missing");
+            }
+            if report.quarantined_files > 0 {
+                println!("  {} quarantined file(s) present", report.quarantined_files);
+            }
+            if report.is_clean() {
+                println!("  store is clean");
+                Ok(0)
+            } else {
+                println!(
+                    "  store is damaged: {} corrupt record(s), {} bad segment(s), \
+                     {} truncated",
+                    report.corrupt_records, report.bad_segments, report.truncated_segments
+                );
+                Ok(1)
+            }
+        }
+        "clear" => {
+            let removed = store::clear_dir(&dir).map_err(|e| format!("clearing: {e}"))?;
+            println!("{}: removed {removed} file(s)", dir.display());
+            Ok(0)
+        }
+        "corrupt" => {
+            let kind = arg_value(args, "--kind")
+                .ok_or("missing --kind <bit-flip|truncate|stale-version>")?;
+            let kind = CorruptKind::parse(&kind)
+                .ok_or_else(|| format!("unknown --kind {kind}"))?;
+            let seed = arg_value(args, "--seed")
+                .map(|s| s.parse::<u64>().map_err(|_| format!("bad --seed {s}")))
+                .transpose()?
+                .unwrap_or(1);
+            let what = store::corrupt_dir(&dir, kind, seed)?;
+            println!("{}: {what}", dir.display());
+            Ok(0)
+        }
+        other => Err(format!("unknown cache subcommand {other}")),
+    }
 }
 
 fn cmd_run(args: &[String]) -> Result<(), String> {
@@ -431,6 +603,15 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
 }
 
 fn main() -> ExitCode {
+    // An explicit-but-invalid ICFGP_THREADS override is a usage error:
+    // refuse to start rather than silently running with a thread count
+    // the user did not ask for.
+    if let Err(e) =
+        pool::threads_from_env(std::env::var("ICFGP_THREADS").ok().as_deref())
+    {
+        eprintln!("error: {e}");
+        return ExitCode::from(64);
+    }
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else { return usage() };
     let rest = &args[1..];
@@ -441,6 +622,7 @@ fn main() -> ExitCode {
         "verify" => cmd_verify(rest),
         "run" => cmd_run(rest).map(|()| 0),
         "chaos" => cmd_chaos(rest),
+        "cache" => cmd_cache(rest),
         "bench-rewrite" => cmd_bench_rewrite(rest),
         "list-workloads" => {
             println!("small  firefox  docker  driverlib  switch_demo");

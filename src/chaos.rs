@@ -18,8 +18,8 @@
 //! subcommand and the CI `chaos-smoke` job.
 
 use icfgp_core::{
-    DegradationPolicy, FaultPlan, FuncMode, Instrumentation, Points, RewriteCache, RewriteConfig,
-    RewriteMode,
+    CacheStore, DegradationPolicy, FaultPlan, FuncMode, Instrumentation, Points, RewriteCache,
+    RewriteConfig, RewriteMode, StoreStats,
 };
 use icfgp_emu::{run, LoadOptions, Outcome};
 use icfgp_isa::Arch;
@@ -47,6 +47,12 @@ pub struct CampaignConfig {
     pub intensity: String,
     /// Degradation policy applied to every case.
     pub policy: DegradationPolicy,
+    /// Persistent-store directory shared by every case. When set, each
+    /// case's fault plan also arms the store's I/O fault hooks (torn
+    /// writes, bit flips, short reads, lock contention), so the
+    /// campaign exercises the persistence layer under the same oracle:
+    /// store damage may cost recomputes, never output bytes.
+    pub cache_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for CampaignConfig {
@@ -58,6 +64,7 @@ impl Default for CampaignConfig {
             seeds: (1..=8).collect(),
             intensity: "standard".into(),
             policy: DegradationPolicy::default(),
+            cache_dir: None,
         }
     }
 }
@@ -137,6 +144,11 @@ pub struct CaseResult {
 pub struct CampaignReport {
     /// Every case, in sweep order.
     pub cases: Vec<CaseResult>,
+    /// Persistent-store counters over the whole campaign (`None` when
+    /// the campaign ran without a cache directory). Quarantines here
+    /// are *expected* under store fault injection — the exit code only
+    /// reflects rewrite/emulation verdicts.
+    pub store: Option<StoreStats>,
 }
 
 impl CampaignReport {
@@ -193,6 +205,21 @@ impl CampaignReport {
             self.count(1),
             self.count(2),
         );
+        if let Some(s) = &self.store {
+            let _ = write!(
+                out,
+                "\nstore: {} hit / {} miss persisted, {} flushed record(s), \
+                 {} quarantined record(s), {} quarantined segment(s), \
+                 {} lock timeout(s), {} I/O error(s)",
+                s.hits,
+                s.misses,
+                s.flushed_records,
+                s.quarantined_records,
+                s.quarantined_segments,
+                s.lock_timeouts,
+                s.io_errors,
+            );
+        }
         out
     }
 }
@@ -324,12 +351,19 @@ pub fn run_campaign(
     mut progress: impl FnMut(&CaseResult),
 ) -> Result<CampaignReport, String> {
     let mut report = CampaignReport::default();
+    // One persistent store for the whole campaign (content-addressed
+    // keys make sharing across workloads safe); each per-binary cache
+    // attaches to it.
+    let store = config.cache_dir.as_deref().map(|d| std::sync::Arc::new(CacheStore::open(d)));
     for wl in &config.workloads {
         for arch in &config.arches {
             let binary = build_workload(wl, *arch)?;
             // One cache per binary: modes and seeds share analysis and
             // any per-function rewrite work their faults leave intact.
-            let cache = RewriteCache::new();
+            let cache = match &store {
+                Some(s) => RewriteCache::with_store(s.clone()),
+                None => RewriteCache::new(),
+            };
             for mode in &config.modes {
                 for seed in &config.seeds {
                     let (status, rounds, funcs, degraded_funcs, below_floor) =
@@ -349,7 +383,16 @@ pub fn run_campaign(
                     report.cases.push(case);
                 }
             }
+            // Persist what this binary's sweep computed before moving
+            // on, so a crash mid-campaign still leaves a warm store.
+            cache.flush_store();
         }
+    }
+    if let Some(store) = &store {
+        // Disarm fault hooks left by the final case and flush clean.
+        store.arm_faults(icfgp_core::StoreFaults::default());
+        store.flush();
+        report.store = Some(store.stats());
     }
     Ok(report)
 }

@@ -162,3 +162,114 @@ fn chaos_smoke_reports_no_failures() {
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("0 failed"), "{text}");
 }
+
+#[test]
+fn invalid_icfgp_threads_is_a_usage_error() {
+    for bad in ["0", "banana", "-3", "1.5"] {
+        let out = icfgp()
+            .env("ICFGP_THREADS", bad)
+            .arg("list-workloads")
+            .output()
+            .expect("runs");
+        assert_eq!(
+            out.status.code(),
+            Some(64),
+            "ICFGP_THREADS={bad} must be rejected: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("ICFGP_THREADS"),
+            "error must name the variable"
+        );
+    }
+    // Valid and empty values still work (empty = no override).
+    for ok in ["1", "16", "999", ""] {
+        let out = icfgp()
+            .env("ICFGP_THREADS", ok)
+            .arg("list-workloads")
+            .output()
+            .expect("runs");
+        assert_eq!(out.status.code(), Some(0), "ICFGP_THREADS={ok:?} must be accepted");
+    }
+}
+
+#[test]
+fn cache_verify_contract_clean_then_damaged() {
+    let raw = gen_switch_demo();
+    let rw = tmp("cache-rw.json");
+    let dir = tmp("cache-store");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Populate the store with a rewrite, then verify: clean, exit 0.
+    let out = icfgp()
+        .args(["rewrite"])
+        .arg(&raw)
+        .args(["--mode", "jt", "--cache-dir"])
+        .arg(&dir)
+        .arg("-o")
+        .arg(&rw)
+        .output()
+        .expect("rewrite runs");
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let clean = icfgp()
+        .args(["cache", "verify", "--cache-dir"])
+        .arg(&dir)
+        .output()
+        .expect("cache verify runs");
+    assert_eq!(clean.status.code(), Some(0), "{}", String::from_utf8_lossy(&clean.stdout));
+    assert!(String::from_utf8_lossy(&clean.stdout).contains("store is clean"));
+
+    // Damage it: verify reports the corruption with exit 1 ...
+    let corrupt = icfgp()
+        .args(["cache", "corrupt", "--cache-dir"])
+        .arg(&dir)
+        .args(["--kind", "bit-flip", "--seed", "7"])
+        .output()
+        .expect("cache corrupt runs");
+    assert_eq!(corrupt.status.code(), Some(0), "{}", String::from_utf8_lossy(&corrupt.stderr));
+    let damaged = icfgp()
+        .args(["cache", "verify", "--cache-dir"])
+        .arg(&dir)
+        .output()
+        .expect("cache verify runs");
+    assert_eq!(damaged.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&damaged.stdout).contains("damaged"));
+
+    // ... but a rewrite through the damaged store still exits 0 and
+    // produces the same bytes (quarantine + recompute, not failure).
+    let rw2 = tmp("cache-rw2.json");
+    let out = icfgp()
+        .args(["rewrite"])
+        .arg(&raw)
+        .args(["--mode", "jt", "--cache-dir"])
+        .arg(&dir)
+        .arg("-o")
+        .arg(&rw2)
+        .output()
+        .expect("rewrite runs");
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    assert_eq!(
+        std::fs::read(&rw).unwrap(),
+        std::fs::read(&rw2).unwrap(),
+        "corrupt store must not change output bytes"
+    );
+
+    // `cache clear` empties the directory; a fresh verify is clean.
+    let clear = icfgp()
+        .args(["cache", "clear", "--cache-dir"])
+        .arg(&dir)
+        .output()
+        .expect("cache clear runs");
+    assert_eq!(clear.status.code(), Some(0));
+    let empty = icfgp()
+        .args(["cache", "verify", "--cache-dir"])
+        .arg(&dir)
+        .output()
+        .expect("cache verify runs");
+    assert_eq!(empty.status.code(), Some(0), "{}", String::from_utf8_lossy(&empty.stdout));
+
+    let _ = std::fs::remove_file(&raw);
+    let _ = std::fs::remove_file(&rw);
+    let _ = std::fs::remove_file(&rw2);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,107 @@
+//! The persistent store's headline property (acceptance criterion of
+//! the crash-safe cache PR): **for any workload and any injected store
+//! corruption, a warm run from the (possibly corrupted) persisted
+//! cache produces output bytes identical to a cold run, and corrupted
+//! records are quarantined — never returned as hits.**
+
+use incremental_cfg_patching::core::{
+    store, CacheStore, CorruptKind, Instrumentation, Points, RewriteCache, RewriteConfig,
+    RewriteMode, Rewriter,
+};
+use incremental_cfg_patching::isa::Arch;
+use incremental_cfg_patching::workloads::{generate, GenParams};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn arb_arch() -> impl Strategy<Value = Arch> {
+    prop_oneof![Just(Arch::X64), Just(Arch::Ppc64le), Just(Arch::Aarch64)]
+}
+
+fn arb_mode() -> impl Strategy<Value = RewriteMode> {
+    prop_oneof![Just(RewriteMode::Dir), Just(RewriteMode::Jt), Just(RewriteMode::FuncPtr)]
+}
+
+fn arb_kind() -> impl Strategy<Value = CorruptKind> {
+    prop_oneof![
+        Just(CorruptKind::BitFlip),
+        Just(CorruptKind::Truncate),
+        Just(CorruptKind::StaleVersion),
+    ]
+}
+
+fn arb_params() -> impl Strategy<Value = GenParams> {
+    (arb_arch(), 0u64..500, 1usize..3, 0usize..3, 2usize..6).prop_map(
+        |(arch, seed, compute, switches, cases)| {
+            let mut p = GenParams::small("propstore", arch, seed);
+            p.compute_funcs = compute;
+            p.switch_funcs = switches;
+            p.switch_cases = cases;
+            p.outer_iters = 16;
+            p
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn corrupted_store_never_changes_output_bytes(
+        params in arb_params(),
+        mode in arb_mode(),
+        kind in arb_kind(),
+        corrupt_seed in 0u64..1_000,
+    ) {
+        let w = generate(&params);
+        let rw = Rewriter::new(RewriteConfig::new(mode));
+        let instr = Instrumentation::empty(Points::EveryBlock);
+
+        let cold = rw
+            .rewrite_cached(&w.binary, &instr, &RewriteCache::new())
+            .map_err(|e| TestCaseError::fail(format!("cold rewrite failed: {e}")))?;
+
+        let dir = std::env::temp_dir().join(format!(
+            "icfgp-propstore-{}-{}-{corrupt_seed}",
+            std::process::id(),
+            params.seed
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Populate and persist (a first `icfgp` invocation).
+        {
+            let cache = RewriteCache::with_store(Arc::new(CacheStore::open(&dir)));
+            let _ = rw
+                .rewrite_cached(&w.binary, &instr, &cache)
+                .map_err(|e| TestCaseError::fail(format!("populate rewrite failed: {e}")))?;
+            prop_assert!(cache.flush_store() > 0, "populate run must persist records");
+        }
+
+        // Damage the store on disk.
+        let what = store::corrupt_dir(&dir, kind, corrupt_seed)
+            .map_err(TestCaseError::fail)?;
+
+        // Warm run over the damaged store (a second invocation).
+        let store = Arc::new(CacheStore::open(&dir));
+        let cache = RewriteCache::with_store(store.clone());
+        let warm = rw
+            .rewrite_cached(&w.binary, &instr, &cache)
+            .map_err(|e| TestCaseError::fail(format!("warm rewrite failed ({what}): {e}")))?;
+
+        prop_assert_eq!(
+            &cold.binary, &warm.binary,
+            "output bytes diverged after store corruption ({})", what
+        );
+        // The damage was detected, not served: at least one record or
+        // segment is quarantined (open-time and lookup-time combined).
+        let s = store.stats();
+        prop_assert!(
+            s.quarantined_records + s.quarantined_segments >= 1,
+            "corruption must quarantine something ({}): {:?}", what, s
+        );
+        // And an offline verify sees the same damage.
+        let report = store::verify_dir(&dir);
+        prop_assert!(!report.is_clean(), "verify_dir must flag the damage ({})", what);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

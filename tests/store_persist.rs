@@ -1,0 +1,209 @@
+//! Persistent-store integration tests (tentpole of the crash-safe
+//! cache PR):
+//!
+//! * a warm run from a persisted store is byte-identical to a cold run
+//!   and actually hits the store;
+//! * two *different* binaries sharing functions share persisted
+//!   function-analysis entries (cross-binary sharing);
+//! * a crash at **every write boundary** of a flushed segment — record
+//!   frame edges, mid-frame, mid-payload, and before the final rename —
+//!   leaves a store the next run loads cleanly, with byte-identical
+//!   output.
+
+use incremental_cfg_patching::core::{
+    CacheStore, Instrumentation, Points, RewriteCache, RewriteConfig, RewriteMode, Rewriter,
+};
+use incremental_cfg_patching::workloads::{generate, GenParams};
+use incremental_cfg_patching::isa::Arch;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("icfgp-persist-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn small_binary(seed: u64) -> incremental_cfg_patching::obj::Binary {
+    generate(&GenParams::small("persist", Arch::X64, seed)).binary
+}
+
+fn rewriter() -> Rewriter {
+    Rewriter::new(RewriteConfig::new(RewriteMode::Jt))
+}
+
+fn instr() -> Instrumentation {
+    Instrumentation::empty(Points::EveryBlock)
+}
+
+#[test]
+fn warm_from_disk_is_byte_identical_and_hits() {
+    let dir = tmp_dir("warm");
+    let binary = small_binary(7);
+    let rw = rewriter();
+
+    let cold = rw.rewrite_cached(&binary, &instr(), &RewriteCache::new()).expect("cold");
+
+    {
+        let cache = RewriteCache::with_store(Arc::new(CacheStore::open(&dir)));
+        let _ = rw.rewrite_cached(&binary, &instr(), &cache).expect("populate");
+        assert!(cache.flush_store() > 0, "populate run must persist records");
+    }
+
+    let cache = RewriteCache::with_store(Arc::new(CacheStore::open(&dir)));
+    let warm = rw.rewrite_cached(&binary, &instr(), &cache).expect("warm");
+    assert_eq!(cold.binary, warm.binary, "warm-from-disk output must match cold");
+    assert!(warm.stats.store.hits > 0, "warm run must hit the store: {:?}", warm.stats.store);
+    assert_eq!(warm.stats.store.quarantined_records, 0);
+    assert_eq!(
+        warm.stats.func_analyses.misses, 0,
+        "every function analysis must be served from the store"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cross_binary_sharing_hits_function_analysis() {
+    let dir = tmp_dir("xbin");
+    // Two binaries that differ ONLY in `main`'s loop bound (one
+    // immediate): every other function has identical bytes at
+    // identical addresses — the shape of identical runtime/library
+    // functions linked into different binaries.
+    let mut p1 = GenParams::small("xbin", Arch::X64, 5);
+    p1.outer_iters = 24;
+    let mut p2 = p1.clone();
+    p2.outer_iters = 25;
+    let b1 = generate(&p1).binary;
+    let b2 = generate(&p2).binary;
+    assert_ne!(b1, b2, "the two binaries must differ");
+    let n = b2.functions().count();
+    assert!(n > 2);
+
+    let rw = rewriter();
+    let cold2 = rw.rewrite_cached(&b2, &instr(), &RewriteCache::new()).expect("cold b2");
+
+    {
+        let cache = RewriteCache::with_store(Arc::new(CacheStore::open(&dir)));
+        let _ = rw.rewrite_cached(&b1, &instr(), &cache).expect("populate with b1");
+        cache.flush_store();
+    }
+
+    let cache = RewriteCache::with_store(Arc::new(CacheStore::open(&dir)));
+    let out2 = rw.rewrite_cached(&b2, &instr(), &cache).expect("b2 through b1's store");
+    assert_eq!(cold2.binary, out2.binary, "sharing must not change output bytes");
+    // Analysis entries are keyed per function, so everything except
+    // the edited `main` is served from the other binary's store.
+    assert!(
+        out2.stats.func_analyses.hits >= (n as u64) - 1,
+        "expected >= {} shared analysis hits, got {:?}",
+        n - 1,
+        out2.stats.func_analyses
+    );
+    assert!(
+        out2.stats.func_analyses.misses >= 1,
+        "the edited function must be recomputed: {:?}",
+        out2.stats.func_analyses
+    );
+    // Downstream stages fold the whole-binary fingerprint: no sharing.
+    assert_eq!(out2.stats.emits.hits, 0, "emit entries must stay per-binary");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Parse the record-frame boundaries of a segment image:
+/// `header | (tag u8 · key u64 · len u32 · checksum u64 · payload)*`.
+fn frame_boundaries(data: &[u8]) -> Vec<usize> {
+    const HEADER_LEN: usize = 20;
+    const FRAME_LEN: usize = 21;
+    let mut cuts = vec![HEADER_LEN];
+    let mut at = HEADER_LEN;
+    while at + FRAME_LEN <= data.len() {
+        let len = u32::from_le_bytes(data[at + 9..at + 13].try_into().unwrap()) as usize;
+        at += FRAME_LEN + len;
+        cuts.push(at.min(data.len()));
+        if at >= data.len() {
+            break;
+        }
+    }
+    cuts
+}
+
+#[test]
+fn crash_at_every_write_boundary_recovers_cleanly() {
+    let populate_dir = tmp_dir("crash-populate");
+    let binary = small_binary(11);
+    let rw = rewriter();
+    let cold = rw.rewrite_cached(&binary, &instr(), &RewriteCache::new()).expect("cold");
+
+    {
+        let cache = RewriteCache::with_store(Arc::new(CacheStore::open(&populate_dir)));
+        let _ = rw.rewrite_cached(&binary, &instr(), &cache).expect("populate");
+        cache.flush_store();
+    }
+    let seg_name = std::fs::read_dir(&populate_dir)
+        .unwrap()
+        .flatten()
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .find(|n| n.starts_with("seg-") && n.ends_with(".seg"))
+        .expect("one segment flushed");
+    let seg = std::fs::read(populate_dir.join(&seg_name)).unwrap();
+
+    // Every interesting crash point: nothing written, a torn header,
+    // each record boundary, and several mid-frame / mid-payload cuts
+    // around each boundary.
+    let mut cuts: Vec<usize> = vec![0, 1, 7, 19];
+    for b in frame_boundaries(&seg) {
+        for delta in [0usize, 1, 5, 13, 20, 40] {
+            cuts.push(b.saturating_sub(delta));
+            cuts.push((b + delta).min(seg.len()));
+        }
+    }
+    cuts.sort_unstable();
+    cuts.dedup();
+
+    let crash_dir = tmp_dir("crash-replay");
+    for cut in cuts {
+        let _ = std::fs::remove_dir_all(&crash_dir);
+        std::fs::create_dir_all(&crash_dir).unwrap();
+        // The crash left a prefix of the segment visible...
+        std::fs::write(crash_dir.join(&seg_name), &seg[..cut]).unwrap();
+        // ...plus an unfinished temp file from the interrupted rename.
+        std::fs::write(
+            crash_dir.join(format!("tmp-9999-{seg_name}")),
+            &seg[..cut / 2],
+        )
+        .unwrap();
+        let cache = RewriteCache::with_store(Arc::new(CacheStore::open(&crash_dir)));
+        let out = rw
+            .rewrite_cached(&binary, &instr(), &cache)
+            .unwrap_or_else(|e| panic!("rewrite after crash at byte {cut} failed: {e}"));
+        assert_eq!(
+            cold.binary, out.binary,
+            "crash at byte {cut}: warm output must equal cold output"
+        );
+        assert!(
+            !crash_dir.join(format!("tmp-9999-{seg_name}")).exists(),
+            "crash at byte {cut}: temp leftovers must be reaped"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&populate_dir);
+    let _ = std::fs::remove_dir_all(&crash_dir);
+}
+
+#[test]
+fn interrupted_flush_keeps_records_pending_and_retries() {
+    use incremental_cfg_patching::core::StoreFaults;
+    let dir = tmp_dir("retry");
+    let binary = small_binary(13);
+    let rw = rewriter();
+    let store = Arc::new(CacheStore::open(&dir));
+    let cache = RewriteCache::with_store(store.clone());
+    let _ = rw.rewrite_cached(&binary, &instr(), &cache).expect("populate");
+    // First flush attempt hits injected lock contention: deferred.
+    store.arm_faults(StoreFaults { seed: 1, lock_contention: 1.0, ..StoreFaults::default() });
+    assert_eq!(cache.flush_store(), 0, "contended flush must defer, not tear");
+    assert!(store.pending_len() > 0, "deferred records must stay pending");
+    // Retry without the fault: everything lands.
+    store.arm_faults(StoreFaults::default());
+    assert!(cache.flush_store() > 0, "retry must persist the deferred records");
+    let _ = std::fs::remove_dir_all(&dir);
+}
