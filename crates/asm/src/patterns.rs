@@ -34,6 +34,24 @@ pub enum SwitchHardness {
     /// catastrophic Figure 2 class, and how the weaker baseline
     /// produces wrong rewrites instead of clean failures.
     DeceptiveBound,
+    /// [`SwitchHardness::SpilledIndex`] plus a store through a *copy*
+    /// of the stack pointer sitting between the spill and its reload.
+    /// The store hits a different slot at runtime (behaviour is
+    /// unchanged), but the slicer cannot prove it disjoint, so the
+    /// reconnected chain is honestly marked
+    /// `BoundEvidence::CmpTracked { alias_hazard: true }` — the
+    /// soundness auditor's `ICFGP-A002` trigger.
+    AliasedSpill,
+}
+
+impl SwitchHardness {
+    /// Whether the index value round-trips through a stack slot before
+    /// the table load (these forms need an absolute table: the spill
+    /// dance consumes the third scratch register).
+    #[must_use]
+    pub fn spills_index(self) -> bool {
+        matches!(self, SwitchHardness::SpilledIndex | SwitchHardness::AliasedSpill)
+    }
 }
 
 /// A switch statement to emit.
@@ -76,7 +94,7 @@ pub struct SwitchSpec {
 /// `spec.table_name` — use [`switch_table_item`].
 pub fn emit_switch(items: &mut Vec<Item>, arch: Arch, spec: &SwitchSpec) {
     assert!(
-        spec.hardness != SwitchHardness::SpilledIndex || spec.kind == EntryKind::Absolute,
+        !spec.hardness.spills_index() || spec.kind == EntryKind::Absolute,
         "spilled-index switches need a third scratch register for non-absolute tables"
     );
     let (rt, rv) = spec.scratch;
@@ -121,7 +139,7 @@ pub fn emit_switch(items: &mut Vec<Item>, arch: Arch, spec: &SwitchSpec) {
 
     // Index register actually used by the load.
     let mut use_idx = idx;
-    if spec.hardness == SwitchHardness::SpilledIndex {
+    if spec.hardness.spills_index() {
         let sp = arch.sp();
         items.push(Item::I(Inst::Store {
             src: idx,
@@ -130,6 +148,18 @@ pub fn emit_switch(items: &mut Vec<Item>, arch: Arch, spec: &SwitchSpec) {
         }));
         // Clobber the original so a naive slicer can't shortcut.
         items.push(Item::I(Inst::MovImm { dst: idx, imm: 0 }));
+        if spec.hardness == SwitchHardness::AliasedSpill {
+            // A store through a copy of sp into the *next* slot: the
+            // spill slot is untouched at runtime, but the slicer sees
+            // a store it cannot prove disjoint sitting between the
+            // spill and the reload, and flags the alias hazard.
+            items.push(Item::I(Inst::MovReg { dst: rv, src: sp }));
+            items.push(Item::I(Inst::Store {
+                src: idx,
+                addr: Addr::base_disp(rv, spec.spill_slot + 8),
+                width: Width::W8,
+            }));
+        }
         items.push(Item::I(Inst::Load {
             dst: rv,
             addr: Addr::base_disp(sp, spec.spill_slot),

@@ -1,0 +1,761 @@
+#![warn(missing_docs)]
+//! The whole-binary static soundness auditor (`icfgp-audit`).
+//!
+//! The paper's failure-mode analysis (§4.3, Figure 2) separates the
+//! safe failure classes — reported failure, over-approximation — from
+//! the one catastrophic class, *under-approximation*, which silently
+//! produces wrong instrumentation. The rewriting pipeline discovers
+//! under-approximation reactively: a rewrite round fails
+//! `icfgp-verify` and the degradation ladder demotes the function.
+//! This crate moves that discovery *before* rewriting: a conservative
+//! re-analysis over `icfgp-cfg` results classifies, per function, the
+//! evidence behind each analysis the selected mode depends on, and
+//! emits structured diagnostics with stable lint codes:
+//!
+//! | code | meaning | severity |
+//! |------|---------|----------|
+//! | `ICFGP-A001` | unproven jump-table bound (table-end extension or over-approximated entries) | over-approx |
+//! | `ICFGP-A002` | under-approximation risk on an indirect branch (missing targets vs. the conservative re-analysis, or an alias-hazardous bound connection) | under-approx-risk |
+//! | `ICFGP-A003` | escaping function pointer without relocation evidence (word-scan match, memory escape, `&f+delta` arithmetic) | under-approx-risk |
+//! | `ICFGP-A004` | liveness evidence invalidated (scratch-register selection untrustworthy) | under-approx-risk |
+//! | `ICFGP-A005` | analysis evidence diverges from the conservative re-analysis (function-level) | unknown |
+//! | `ICFGP-A010` | trampoline reach/budget feasibility cannot be statically justified | unknown |
+//!
+//! Each finding carries a severity on the verdict lattice
+//! `proven < over-approx < under-approx-risk < unknown`, the owning
+//! function, an address, and a human-readable explanation. The
+//! per-function verdict under a mode is the worst severity among the
+//! findings *relevant* to that mode; relevance is monotone
+//! (`dir ⊆ jt ⊆ func-ptr`), so demanding more of the analysis never
+//! hides a finding.
+//!
+//! The verdict lattice feeds predictive mode gating in `icfgp-core`:
+//! the rewriter starts each function at the highest ladder rung whose
+//! relevant evidence is at worst over-approximate, instead of
+//! demoting reactively round by round.
+
+use icfgp_cfg::{
+    analyze, AnalysisConfig, BoundEvidence, FpDefSite, FpEvidence, FuncStatus, InjectedFault,
+    JumpTableDesc,
+};
+use icfgp_obj::Binary;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+mod render;
+mod sarif;
+
+pub use render::render_text;
+pub use sarif::to_sarif;
+
+/// The audit verdict lattice, ordered best to worst.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(rename_all = "kebab-case")]
+pub enum AuditSeverity {
+    /// Every piece of evidence the mode depends on is proven.
+    Proven,
+    /// The analysis over-approximates: wasteful (extra trampolines,
+    /// surplus clone entries) but safe.
+    OverApprox,
+    /// The analysis may under-approximate: the catastrophic class —
+    /// rewriting at a rung that depends on this evidence risks silent
+    /// miscompilation.
+    UnderApproxRisk,
+    /// No usable evidence either way (analysis failure, un-auditable
+    /// placement stress).
+    Unknown,
+}
+
+impl fmt::Display for AuditSeverity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AuditSeverity::Proven => "proven",
+            AuditSeverity::OverApprox => "over-approx",
+            AuditSeverity::UnderApproxRisk => "under-approx-risk",
+            AuditSeverity::Unknown => "unknown",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The rewriting modes the auditor grades evidence against (mirror of
+/// `icfgp-core`'s `RewriteMode`, kept separate so the dependency
+/// points from the rewriter to the auditor).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case")]
+pub enum AuditMode {
+    /// Direct control flow only.
+    Dir,
+    /// Plus jump-table cloning.
+    Jt,
+    /// Plus function-pointer rewriting.
+    FuncPtr,
+}
+
+impl fmt::Display for AuditMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AuditMode::Dir => "dir",
+            AuditMode::Jt => "jt",
+            AuditMode::FuncPtr => "func-ptr",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Stable lint codes (`ICFGP-Axxx`). Codes are append-only: a
+/// published code never changes meaning.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum LintCode {
+    /// Unproven jump-table bound: the entry count comes from
+    /// table-end extension or exceeds what the conservative
+    /// re-analysis proves.
+    A001,
+    /// Under-approximation risk on an indirect branch: the active
+    /// analysis resolves fewer targets than the conservative
+    /// re-analysis, or the bound connection crosses an aliased spill
+    /// slot.
+    A002,
+    /// Escaping function pointer without relocation evidence: a
+    /// word-scan match, a materialised pointer stored to memory, or
+    /// `&f + delta` arithmetic.
+    A003,
+    /// Liveness evidence invalidated: scratch-register selection for
+    /// this function cannot be trusted.
+    A004,
+    /// Function-level divergence between the active analysis and the
+    /// conservative re-analysis (either side fails where the other
+    /// succeeds).
+    A005,
+    /// Trampoline reach/budget feasibility cannot be statically
+    /// justified for this function.
+    A010,
+}
+
+impl LintCode {
+    /// The stable diagnostic identifier, e.g. `"ICFGP-A001"`.
+    #[must_use]
+    pub fn id(self) -> &'static str {
+        match self {
+            LintCode::A001 => "ICFGP-A001",
+            LintCode::A002 => "ICFGP-A002",
+            LintCode::A003 => "ICFGP-A003",
+            LintCode::A004 => "ICFGP-A004",
+            LintCode::A005 => "ICFGP-A005",
+            LintCode::A010 => "ICFGP-A010",
+        }
+    }
+
+    /// Short rule name (SARIF `rules[].shortDescription`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            LintCode::A001 => "unproven jump-table bound",
+            LintCode::A002 => "under-approximation risk on indirect branch",
+            LintCode::A003 => "escaping function pointer without relocation evidence",
+            LintCode::A004 => "liveness evidence invalidated",
+            LintCode::A005 => "analysis divergence from conservative re-analysis",
+            LintCode::A010 => "infeasible trampoline reach/budget",
+        }
+    }
+
+    /// Whether findings with this code affect rewriting at `mode`.
+    /// Relevance is monotone: `dir`-relevant codes are `jt`-relevant,
+    /// and `jt`-relevant codes are `func-ptr`-relevant.
+    #[must_use]
+    pub fn relevant_to(self, mode: AuditMode) -> bool {
+        match self {
+            // Missing CFL targets, corrupt liveness, analysis
+            // divergence and placement stress endanger every rung.
+            LintCode::A002 | LintCode::A004 | LintCode::A005 | LintCode::A010 => true,
+            // An unproven bound only matters once the table is cloned.
+            LintCode::A001 => mode >= AuditMode::Jt,
+            // Pointer evidence only matters when pointers are rewritten.
+            LintCode::A003 => mode >= AuditMode::FuncPtr,
+        }
+    }
+
+    /// Every code, in id order.
+    pub const ALL: [LintCode; 6] = [
+        LintCode::A001,
+        LintCode::A002,
+        LintCode::A003,
+        LintCode::A004,
+        LintCode::A005,
+        LintCode::A010,
+    ];
+}
+
+impl fmt::Display for LintCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// One audit finding.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AuditFinding {
+    /// Stable lint code.
+    pub code: LintCode,
+    /// Verdict-lattice severity.
+    pub severity: AuditSeverity,
+    /// Entry address of the owning function.
+    pub func_entry: u64,
+    /// Name of the owning function (may be empty when stripped).
+    pub func_name: String,
+    /// The address the finding is about (jump, slot, or entry).
+    pub addr: u64,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for AuditFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: [{}] {} at {:#x}: {}",
+            self.severity,
+            self.code,
+            if self.func_name.is_empty() { "<anon>" } else { &self.func_name },
+            self.addr,
+            self.message
+        )
+    }
+}
+
+/// Verdict counts over the audited functions, per mode.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VerdictCounts {
+    /// Functions whose relevant evidence is fully proven.
+    pub proven: u64,
+    /// Worst relevant finding is over-approximation.
+    pub over_approx: u64,
+    /// Worst relevant finding is under-approximation risk.
+    pub under_approx_risk: u64,
+    /// Worst relevant finding is unknown.
+    pub unknown: u64,
+}
+
+impl VerdictCounts {
+    /// Total audited functions.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.proven + self.over_approx + self.under_approx_risk + self.unknown
+    }
+}
+
+impl fmt::Display for VerdictCounts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} proven, {} over-approx, {} under-approx-risk, {} unknown",
+            self.proven, self.over_approx, self.under_approx_risk, self.unknown
+        )
+    }
+}
+
+/// Placement feasibility inputs the caller (which knows the placement
+/// configuration) hands the auditor for the `ICFGP-A010` check.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReachCheck {
+    /// Gap between the original image and `.instr` (drives the branch
+    /// reach trampolines need).
+    pub instr_gap: u64,
+    /// Trampoline budgets are artificially shrunk (placement stress).
+    pub budgets_shrunk: bool,
+    /// The scratch pool is starved (placement stress).
+    pub scratch_starved: bool,
+    /// Long-branch reach is exhausted (placement stress).
+    pub reach_exhausted: bool,
+}
+
+impl ReachCheck {
+    /// Whether any stress flag invalidates static placement reasoning.
+    #[must_use]
+    pub fn stressed(&self) -> bool {
+        self.budgets_shrunk || self.scratch_starved || self.reach_exhausted
+    }
+}
+
+/// The full audit result. Findings are mode-agnostic; use
+/// [`AuditReport::findings_for`], [`AuditReport::verdict`] and
+/// [`AuditReport::counts`] to view them through a mode's relevance
+/// filter.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AuditReport {
+    /// All findings, sorted by function then address then code.
+    pub findings: Vec<AuditFinding>,
+    /// Audited functions: entry address → name.
+    pub functions: BTreeMap<u64, String>,
+}
+
+impl AuditReport {
+    /// Findings relevant when rewriting at `mode`.
+    pub fn findings_for(&self, mode: AuditMode) -> impl Iterator<Item = &AuditFinding> {
+        self.findings.iter().filter(move |f| f.code.relevant_to(mode))
+    }
+
+    /// The per-function verdict under `mode`: the worst severity among
+    /// relevant findings, `Proven` when there are none, `Unknown` for
+    /// functions that were never audited.
+    #[must_use]
+    pub fn verdict(&self, entry: u64, mode: AuditMode) -> AuditSeverity {
+        if !self.functions.contains_key(&entry) {
+            return AuditSeverity::Unknown;
+        }
+        self.findings_for(mode)
+            .filter(|f| f.func_entry == entry)
+            .map(|f| f.severity)
+            .max()
+            .unwrap_or(AuditSeverity::Proven)
+    }
+
+    /// Entry addresses of functions proven sound under `mode`.
+    #[must_use]
+    pub fn proven_functions(&self, mode: AuditMode) -> BTreeSet<u64> {
+        self.functions
+            .keys()
+            .copied()
+            .filter(|e| self.verdict(*e, mode) == AuditSeverity::Proven)
+            .collect()
+    }
+
+    /// Verdict counts under `mode`.
+    #[must_use]
+    pub fn counts(&self, mode: AuditMode) -> VerdictCounts {
+        let mut c = VerdictCounts::default();
+        for entry in self.functions.keys() {
+            match self.verdict(*entry, mode) {
+                AuditSeverity::Proven => c.proven += 1,
+                AuditSeverity::OverApprox => c.over_approx += 1,
+                AuditSeverity::UnderApproxRisk => c.under_approx_risk += 1,
+                AuditSeverity::Unknown => c.unknown += 1,
+            }
+        }
+        c
+    }
+
+    /// Whether the audit produced zero findings relevant to `mode`
+    /// (the CLI's exit-0 condition).
+    #[must_use]
+    pub fn is_clean(&self, mode: AuditMode) -> bool {
+        self.findings_for(mode).next().is_none()
+    }
+
+    /// Serialise as pretty-printed JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `serde_json` serialisation failures (practically
+    /// unreachable for this type).
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
+    }
+
+    fn push(
+        &mut self,
+        code: LintCode,
+        severity: AuditSeverity,
+        func_entry: u64,
+        addr: u64,
+        message: String,
+    ) {
+        let func_name = self.functions.get(&func_entry).cloned().unwrap_or_default();
+        self.findings.push(AuditFinding { code, severity, func_entry, func_name, addr, message });
+    }
+}
+
+/// The conservative oracle configuration: the active configuration
+/// with heuristics and fault injection removed (exactly what
+/// `icfgp-verify` recomputes results with) plus every sound slicing
+/// capability enabled, so the oracle resolves at least as much as any
+/// weakened active configuration.
+#[must_use]
+fn oracle_config(config: &AnalysisConfig) -> AnalysisConfig {
+    let mut oracle = config.strictened();
+    oracle.track_spills = true;
+    oracle.funcptr_arith_tracking = true;
+    oracle
+}
+
+/// Audit `binary` as it would be analysed under `config`.
+///
+/// Runs the analysis twice — once under the active configuration
+/// (including any injected faults), once under the conservative
+/// oracle — and grades the divergence plus the evidence provenance
+/// recorded by `icfgp-cfg` (bound evidence, function-pointer
+/// evidence). `reach` carries the placement feasibility inputs for
+/// the `ICFGP-A010` check; `None` skips it.
+#[must_use]
+pub fn audit_binary(
+    binary: &Binary,
+    config: &AnalysisConfig,
+    reach: Option<&ReachCheck>,
+) -> AuditReport {
+    let oracle_cfg = oracle_config(config);
+    let active = analyze(binary, config);
+    let oracle = analyze(binary, &oracle_cfg);
+
+    let mut report = AuditReport {
+        findings: Vec::new(),
+        functions: oracle.funcs.values().map(|f| (f.entry, f.name.clone())).collect(),
+    };
+
+    for func in oracle.funcs.values() {
+        let entry = func.entry;
+        let active_func = active.funcs.get(&entry);
+
+        // Function-level divergence (A005).
+        match (&func.status, active_func.map(|f| &f.status)) {
+            (FuncStatus::Failed(why), _) => {
+                report.push(
+                    LintCode::A005,
+                    AuditSeverity::Unknown,
+                    entry,
+                    entry,
+                    format!("conservative re-analysis cannot validate this function: {why}"),
+                );
+                continue;
+            }
+            (FuncStatus::Ok, Some(FuncStatus::Failed(why))) => {
+                report.push(
+                    LintCode::A005,
+                    AuditSeverity::Unknown,
+                    entry,
+                    entry,
+                    format!(
+                        "active analysis fails where the conservative re-analysis succeeds: {why}"
+                    ),
+                );
+                continue;
+            }
+            (FuncStatus::Ok, None) => {
+                report.push(
+                    LintCode::A005,
+                    AuditSeverity::Unknown,
+                    entry,
+                    entry,
+                    "function absent from the active analysis".to_string(),
+                );
+                continue;
+            }
+            (FuncStatus::Ok, Some(FuncStatus::Ok)) => {}
+        }
+        let active_func = active_func.expect("checked above");
+
+        // Per-table evidence and divergence (A001/A002).
+        let active_tables: BTreeMap<u64, &JumpTableDesc> =
+            active_func.jump_tables.iter().map(|t| (t.jump_addr, t)).collect();
+        for jt in &func.jump_tables {
+            grade_table_evidence(&mut report, entry, jt);
+            match active_tables.get(&jt.jump_addr) {
+                None => {
+                    report.push(
+                        LintCode::A002,
+                        AuditSeverity::UnderApproxRisk,
+                        entry,
+                        jt.jump_addr,
+                        format!(
+                            "active analysis resolves no table for the indirect branch the \
+                             conservative re-analysis bounds to {} entries",
+                            jt.count
+                        ),
+                    );
+                }
+                Some(at) => {
+                    let oracle_targets: BTreeSet<u64> =
+                        jt.targets.iter().map(|(_, t)| *t).collect();
+                    let active_targets: BTreeSet<u64> =
+                        at.targets.iter().map(|(_, t)| *t).collect();
+                    let missing = oracle_targets.difference(&active_targets).count();
+                    let extra = active_targets.difference(&oracle_targets).count();
+                    if missing > 0 {
+                        report.push(
+                            LintCode::A002,
+                            AuditSeverity::UnderApproxRisk,
+                            entry,
+                            jt.jump_addr,
+                            format!(
+                                "active analysis drops {missing} of {} proven table targets \
+                                 (under-approximation)",
+                                oracle_targets.len()
+                            ),
+                        );
+                    } else if extra > 0 || at.count > jt.count {
+                        report.push(
+                            LintCode::A001,
+                            AuditSeverity::OverApprox,
+                            entry,
+                            jt.jump_addr,
+                            format!(
+                                "active analysis over-approximates the table ({extra} extra \
+                                 targets, count {} vs. proven {})",
+                                at.count, jt.count
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+        // Tables only the active analysis claims: over-approximation.
+        for at in &active_func.jump_tables {
+            if !func.jump_tables.iter().any(|t| t.jump_addr == at.jump_addr) {
+                report.push(
+                    LintCode::A001,
+                    AuditSeverity::OverApprox,
+                    entry,
+                    at.jump_addr,
+                    "active analysis resolves a table the conservative re-analysis does not"
+                        .to_string(),
+                );
+            }
+        }
+    }
+
+    // Function-pointer evidence (A003), attributed to the pointed-to
+    // function: rewriting *its* entry relies on this definition being
+    // sound and complete.
+    for def in &oracle.fp_defs {
+        let addr = match def.site {
+            FpDefSite::DataSlot { addr } => addr,
+            FpDefSite::CodeImm { inst_addr, .. } => inst_addr,
+        };
+        match def.evidence {
+            FpEvidence::Relocation => {}
+            FpEvidence::WordScan => {
+                report.push(
+                    LintCode::A003,
+                    AuditSeverity::UnderApproxRisk,
+                    def.target_fn,
+                    addr,
+                    "function pointer found by bare word scan, not relocation evidence: \
+                     the slot may be unrelated data, and real definitions stored at run \
+                     time are invisible"
+                        .to_string(),
+                );
+            }
+            FpEvidence::CodeMaterialisation { escapes } => {
+                if escapes {
+                    report.push(
+                        LintCode::A003,
+                        AuditSeverity::UnderApproxRisk,
+                        def.target_fn,
+                        addr,
+                        "materialised function pointer escapes to memory: its consumers \
+                         cannot be enumerated statically"
+                            .to_string(),
+                    );
+                }
+                if def.delta != 0 {
+                    report.push(
+                        LintCode::A003,
+                        AuditSeverity::UnderApproxRisk,
+                        def.target_fn,
+                        addr,
+                        format!(
+                            "pointer arithmetic (&f + {}) targets a mid-function address; \
+                             downstream consumers are only partially tracked",
+                            def.delta
+                        ),
+                    );
+                }
+            }
+        }
+        if def.delta != 0 && matches!(def.site, FpDefSite::DataSlot { .. }) {
+            report.push(
+                LintCode::A003,
+                AuditSeverity::UnderApproxRisk,
+                def.target_fn,
+                addr,
+                format!(
+                    "data-slot pointer is consumed through arithmetic (&f + {}); the \
+                     rewritten value must compensate",
+                    def.delta
+                ),
+            );
+        }
+    }
+
+    // Injected analysis faults (the chaos layer) invalidate evidence
+    // at their anchors; liveness corruption (A004) is invisible to the
+    // table comparison, so the injection list is graded directly.
+    for fault in &config.inject {
+        let anchor = fault.anchor();
+        let entry = oracle.func_at(anchor).map_or(anchor, |f| f.entry);
+        match fault {
+            InjectedFault::UnderApproximateTable { jump_addr, drop } => {
+                report.push(
+                    LintCode::A002,
+                    AuditSeverity::UnderApproxRisk,
+                    entry,
+                    *jump_addr,
+                    format!("table evidence invalidated: {drop} entries dropped at this branch"),
+                );
+            }
+            InjectedFault::OverApproximateTable { jump_addr, extra } => {
+                report.push(
+                    LintCode::A001,
+                    AuditSeverity::OverApprox,
+                    entry,
+                    *jump_addr,
+                    format!("table evidence inflated: {extra} infeasible targets added"),
+                );
+            }
+            InjectedFault::CorruptLiveness { entry: e } => {
+                report.push(
+                    LintCode::A004,
+                    AuditSeverity::UnderApproxRisk,
+                    *e,
+                    *e,
+                    "liveness oracle corrupted: scratch-register selection untrustworthy"
+                        .to_string(),
+                );
+            }
+            InjectedFault::FailFunction { entry: e } | InjectedFault::PanicFunction { entry: e } => {
+                report.push(
+                    LintCode::A005,
+                    AuditSeverity::Unknown,
+                    *e,
+                    *e,
+                    "analysis failure injected at this function".to_string(),
+                );
+            }
+        }
+    }
+
+    // Placement feasibility (A010): when the caller reports placement
+    // stress, no function's trampoline budget or reach is statically
+    // justified.
+    if let Some(reach) = reach {
+        if reach.stressed() {
+            let mut what = Vec::new();
+            if reach.budgets_shrunk {
+                what.push("budgets shrunk");
+            }
+            if reach.scratch_starved {
+                what.push("scratch pool starved");
+            }
+            if reach.reach_exhausted {
+                what.push("long-branch reach exhausted");
+            }
+            let what = what.join(", ");
+            for func in oracle.funcs.values() {
+                if func.status == FuncStatus::Ok {
+                    report.push(
+                        LintCode::A010,
+                        AuditSeverity::Unknown,
+                        func.entry,
+                        func.entry,
+                        format!("trampoline placement cannot be statically justified: {what}"),
+                    );
+                }
+            }
+        }
+    }
+
+    // Dedup (the injection grading and the divergence comparison can
+    // flag the same site) and order deterministically.
+    report
+        .findings
+        .sort_by(|a, b| (a.func_entry, a.addr, a.code, &a.message).cmp(&(b.func_entry, b.addr, b.code, &b.message)));
+    report.findings.dedup_by(|a, b| {
+        (a.code, a.func_entry, a.addr) == (b.code, b.func_entry, b.addr)
+    });
+    report
+}
+
+/// Grade the evidence provenance recorded on one (oracle-resolved)
+/// jump table.
+fn grade_table_evidence(report: &mut AuditReport, entry: u64, jt: &JumpTableDesc) {
+    match jt.bound {
+        BoundEvidence::CmpDirect => {}
+        BoundEvidence::CmpTracked { spilled, alias_hazard } => {
+            if alias_hazard {
+                report.push(
+                    LintCode::A002,
+                    AuditSeverity::UnderApproxRisk,
+                    entry,
+                    jt.jump_addr,
+                    format!(
+                        "bound check connected through an aliased {} slot: an intervening \
+                         store the slicer cannot disambiguate may change the index",
+                        if spilled { "spill" } else { "copy" }
+                    ),
+                );
+            }
+        }
+        BoundEvidence::Extended => {
+            report.push(
+                LintCode::A001,
+                AuditSeverity::OverApprox,
+                entry,
+                jt.jump_addr,
+                format!(
+                    "no bound check connected; count {} comes from table-end extension \
+                     (over-approximated, never under-approximated)",
+                    jt.count
+                ),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_lattice_orders() {
+        assert!(AuditSeverity::Proven < AuditSeverity::OverApprox);
+        assert!(AuditSeverity::OverApprox < AuditSeverity::UnderApproxRisk);
+        assert!(AuditSeverity::UnderApproxRisk < AuditSeverity::Unknown);
+    }
+
+    #[test]
+    fn relevance_is_monotone_across_modes() {
+        for code in LintCode::ALL {
+            assert!(
+                !code.relevant_to(AuditMode::Dir) || code.relevant_to(AuditMode::Jt),
+                "{code}: dir-relevant must be jt-relevant"
+            );
+            assert!(
+                !code.relevant_to(AuditMode::Jt) || code.relevant_to(AuditMode::FuncPtr),
+                "{code}: jt-relevant must be func-ptr-relevant"
+            );
+        }
+    }
+
+    #[test]
+    fn report_json_roundtrip() {
+        let mut r = AuditReport::default();
+        r.functions.insert(0x1000, "f".to_string());
+        r.push(
+            LintCode::A002,
+            AuditSeverity::UnderApproxRisk,
+            0x1000,
+            0x1010,
+            "dropped targets".to_string(),
+        );
+        let json = r.to_json().unwrap();
+        assert!(json.contains("A002"));
+        let back: AuditReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn verdict_defaults() {
+        let mut r = AuditReport::default();
+        r.functions.insert(0x1000, "f".to_string());
+        assert_eq!(r.verdict(0x1000, AuditMode::FuncPtr), AuditSeverity::Proven);
+        assert_eq!(r.verdict(0x9999, AuditMode::Dir), AuditSeverity::Unknown);
+        r.push(LintCode::A003, AuditSeverity::UnderApproxRisk, 0x1000, 0x2000, "fp".to_string());
+        // A003 is only relevant once pointers are rewritten.
+        assert_eq!(r.verdict(0x1000, AuditMode::Jt), AuditSeverity::Proven);
+        assert_eq!(r.verdict(0x1000, AuditMode::FuncPtr), AuditSeverity::UnderApproxRisk);
+    }
+}

@@ -1,0 +1,47 @@
+//! Human-readable rendering of an audit report.
+
+use crate::{AuditMode, AuditReport};
+use std::fmt::Write as _;
+
+/// Render the findings relevant to `mode` as text, one finding per
+/// line, followed by the verdict counts.
+#[must_use]
+pub fn render_text(report: &AuditReport, mode: AuditMode) -> String {
+    let mut out = String::new();
+    for f in report.findings_for(mode) {
+        let _ = writeln!(out, "{f}");
+    }
+    let counts = report.counts(mode);
+    let _ = writeln!(
+        out,
+        "audited {} function(s) for mode {mode}: {counts}",
+        report.functions.len()
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AuditFinding, AuditSeverity, LintCode};
+
+    #[test]
+    fn text_render_filters_by_mode() {
+        let mut r = AuditReport::default();
+        r.functions.insert(0x40, "f".to_string());
+        r.findings.push(AuditFinding {
+            code: LintCode::A003,
+            severity: AuditSeverity::UnderApproxRisk,
+            func_entry: 0x40,
+            func_name: "f".to_string(),
+            addr: 0x44,
+            message: "escape".to_string(),
+        });
+        let dir = render_text(&r, AuditMode::Dir);
+        assert!(!dir.contains("ICFGP-A003"), "{dir}");
+        assert!(dir.contains("1 proven"), "{dir}");
+        let fp = render_text(&r, AuditMode::FuncPtr);
+        assert!(fp.contains("ICFGP-A003"), "{fp}");
+        assert!(fp.contains("1 under-approx-risk"), "{fp}");
+    }
+}

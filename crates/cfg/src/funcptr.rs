@@ -23,7 +23,30 @@ use crate::analysis::{collect_addr_consts, AnalysisConfig};
 use crate::block::FuncCfg;
 use icfgp_isa::{AluOp, Inst};
 use icfgp_obj::{Binary, SectionKind};
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+
+/// The evidence class behind a function-pointer definition — the
+/// provenance the soundness auditor (`icfgp-audit`) grades for
+/// `ICFGP-A003`. Trust order: `Relocation` (link-time ground truth) >
+/// `CodeMaterialisation` without escape > `WordScan` and escaping
+/// materialisations (the value's uses cannot be enumerated).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FpEvidence {
+    /// A RELATIVE relocation slot: link-time ground truth.
+    Relocation,
+    /// A bare data word whose value happens to equal a function entry
+    /// (the non-PIE scan): the word may be an integer that collides
+    /// with a code address.
+    WordScan,
+    /// A code-side materialisation of the entry address.
+    CodeMaterialisation {
+        /// The materialised value is subsequently stored to memory, so
+        /// its consumers cannot be enumerated statically — the pointer
+        /// *escapes*.
+        escapes: bool,
+    },
+}
 
 /// Where a function pointer is defined.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,6 +78,8 @@ pub struct FpDef {
     /// `relocated(target_fn + delta) - delta` so consumers that add
     /// `delta` land on a real relocated instruction.
     pub delta: i64,
+    /// Evidence provenance of this definition (see [`FpEvidence`]).
+    pub evidence: FpEvidence,
 }
 
 /// Find all function-pointer definitions in the binary.
@@ -79,6 +104,7 @@ pub fn analyze_function_pointers(
                     site: FpDefSite::DataSlot { addr: reloc.at },
                     target_fn: reloc.addend,
                     delta: 0,
+                    evidence: FpEvidence::Relocation,
                 });
             }
         }
@@ -102,6 +128,7 @@ pub fn analyze_function_pointers(
                             site: FpDefSite::DataSlot { addr },
                             target_fn: v,
                             delta: 0,
+                            evidence: FpEvidence::WordScan,
                         });
                     }
                 }
@@ -129,10 +156,12 @@ pub fn analyze_function_pointers(
             if config.funcptr_arith_tracking {
                 delta = forward_delta(&func.insts, ev.inst_addr, ev.reg);
             }
+            let escapes = escapes_to_memory(&func.insts, ev.inst_addr, ev.reg);
             defs.push(FpDef {
                 site: FpDefSite::CodeImm { inst_addr: ev.inst_addr, pair_first: ev.pair_first },
                 target_fn: ev.value,
                 delta,
+                evidence: FpEvidence::CodeMaterialisation { escapes },
             });
         }
     }
@@ -180,6 +209,28 @@ pub fn analyze_function_pointers(
     });
     defs.dedup();
     defs
+}
+
+/// Forward scan: does the value in `reg` (as of just after
+/// `from_addr`) get stored to memory before the register is
+/// redefined? A stored function-pointer value escapes the slice — its
+/// consumers cannot be enumerated statically.
+fn escapes_to_memory(
+    insts: &BTreeMap<u64, (Inst, u8)>,
+    from_addr: u64,
+    reg: icfgp_isa::Reg,
+) -> bool {
+    for (_, (inst, _)) in insts.range(from_addr + 1..).take(8) {
+        match inst {
+            Inst::Store { src, .. } if *src == reg => return true,
+            _ => {
+                if inst.def_reg() == Some(reg) {
+                    return false;
+                }
+            }
+        }
+    }
+    false
 }
 
 /// Forward-slice `reg` from just after `from_addr`: accumulate

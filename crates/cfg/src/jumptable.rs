@@ -55,6 +55,32 @@ impl TableKind {
     }
 }
 
+/// How a table's entry count was established — the evidence
+/// provenance the soundness auditor (`icfgp-audit`) grades. The
+/// lattice order of trust is `CmpDirect` > `CmpTracked` (weaker the
+/// more indirection, catastrophically weaker with an alias hazard) >
+/// `Extended` (no bound proof at all, over-approximated by
+/// construction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BoundEvidence {
+    /// A `cmp`/unsigned-branch pair over the index register itself.
+    CmpDirect,
+    /// The bound check was connected through register copies and/or
+    /// stack spill slots.
+    CmpTracked {
+        /// The def-use chain crossed a stack spill/reload pair.
+        spilled: bool,
+        /// A store the slicer cannot disambiguate sits between the
+        /// spill and the reload it connected: the reloaded value may
+        /// not be the spilled one (aliased slot), so the recovered
+        /// bound may be wrong — the under-approximation hazard.
+        alias_hazard: bool,
+    },
+    /// No bound check was connected; the count comes from table-end
+    /// extension to the nearest known data boundary.
+    Extended,
+}
+
 /// A resolved jump table.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct JumpTableDesc {
@@ -71,6 +97,8 @@ pub struct JumpTableDesc {
     /// Whether the count came from table-end extension rather than a
     /// recovered bound check (over-approximation possible).
     pub extended: bool,
+    /// Evidence provenance of `count` (see [`BoundEvidence`]).
+    pub bound: BoundEvidence,
     /// Addresses of the instructions that materialise the table base —
     /// the instructions cloning overwrites to reference the new table.
     pub base_insts: Vec<u64>,
@@ -129,7 +157,14 @@ impl<'a> SliceCtx<'a> {
     /// Follow copies and (optionally) stack spill/reload chains to the
     /// canonical source of a register value: `(register, def site)`,
     /// with `None` when the value comes from outside the slice window.
-    fn resolve_origin(&self, reg: Reg, addr: u64, depth: usize) -> (Reg, Option<u64>) {
+    /// `flags` accumulates the evidence provenance of the chain.
+    fn resolve_origin(
+        &self,
+        reg: Reg,
+        addr: u64,
+        depth: usize,
+        flags: &mut OriginFlags,
+    ) -> (Reg, Option<u64>) {
         if depth == 0 {
             return (reg, None);
         }
@@ -137,7 +172,10 @@ impl<'a> SliceCtx<'a> {
             return (reg, None);
         };
         match def {
-            Inst::MovReg { src, .. } => self.resolve_origin(*src, def_addr, depth - 1),
+            Inst::MovReg { src, .. } => {
+                flags.copied = true;
+                self.resolve_origin(*src, def_addr, depth - 1, flags)
+            }
             Inst::Load { addr: a, width, .. }
                 if self.config.track_spills
                     && *width == icfgp_isa::Width::W8
@@ -145,25 +183,33 @@ impl<'a> SliceCtx<'a> {
                     && a.index.is_none() =>
             {
                 // Reload from a spill slot: find the matching store.
+                // Any intervening store the slicer cannot prove
+                // disjoint from the slot is an alias hazard — the
+                // connected store may not be the value's real source.
+                flags.spilled = true;
                 let slot = a.disp;
-                let store = self
-                    .insts
-                    .range(..def_addr)
-                    .rev()
-                    .take(self.config.max_slice_insts)
-                    .find_map(|(sa, (inst, _))| match inst {
-                        Inst::Store { src, addr: st, width }
-                            if *width == icfgp_isa::Width::W8
-                                && st.base == Some(self.binary.arch.sp())
-                                && st.index.is_none()
-                                && st.disp == slot =>
-                        {
-                            Some((*sa, *src))
-                        }
-                        _ => None,
-                    });
+                let sp = self.binary.arch.sp();
+                let mut store = None;
+                for (sa, (inst, _)) in
+                    self.insts.range(..def_addr).rev().take(self.config.max_slice_insts)
+                {
+                    let Inst::Store { src, addr: st, width } = inst else { continue };
+                    if *width == icfgp_isa::Width::W8
+                        && st.base == Some(sp)
+                        && st.index.is_none()
+                        && st.disp == slot
+                    {
+                        store = Some((*sa, *src));
+                        break;
+                    }
+                    let provably_disjoint =
+                        st.base == Some(sp) && st.index.is_none() && st.disp != slot;
+                    if !provably_disjoint {
+                        flags.alias_hazard = true;
+                    }
+                }
                 match store {
-                    Some((sa, src)) => self.resolve_origin(src, sa, depth - 1),
+                    Some((sa, src)) => self.resolve_origin(src, sa, depth - 1, flags),
                     None => (reg, Some(def_addr)),
                 }
             }
@@ -216,8 +262,11 @@ impl<'a> SliceCtx<'a> {
 
     /// Find the bound check guarding index register `idx`: a
     /// `cmp idx, N` + unsigned-above conditional before `jump_addr`.
-    fn find_bound(&self, idx: Reg, jump_addr: u64) -> Option<u64> {
-        let idx_origin = self.resolve_origin(idx, jump_addr, 8);
+    /// Returns the bound plus the evidence provenance of the
+    /// connection.
+    fn find_bound(&self, idx: Reg, jump_addr: u64) -> Option<(u64, BoundEvidence)> {
+        let mut idx_flags = OriginFlags::default();
+        let idx_origin = self.resolve_origin(idx, jump_addr, 8, &mut idx_flags);
         let mut saw_cond = false;
         for (addr, (inst, _)) in
             self.insts.range(..jump_addr).rev().take(self.config.max_slice_insts)
@@ -226,9 +275,18 @@ impl<'a> SliceCtx<'a> {
                 Inst::JumpCond { cond: Cond::UGt, .. } => saw_cond = true,
                 Inst::JumpCond { cond: Cond::UGe, .. } => saw_cond = true,
                 Inst::CmpImm { a, imm } if saw_cond => {
-                    let origin = self.resolve_origin(*a, *addr, 8);
+                    let mut flags = idx_flags;
+                    let origin = self.resolve_origin(*a, *addr, 8, &mut flags);
                     if origin == idx_origin {
-                        return Some(*imm as u64 + 1);
+                        let evidence = if flags.copied || flags.spilled {
+                            BoundEvidence::CmpTracked {
+                                spilled: flags.spilled,
+                                alias_hazard: flags.alias_hazard,
+                            }
+                        } else {
+                            BoundEvidence::CmpDirect
+                        };
+                        return Some((*imm as u64 + 1, evidence));
                     }
                     // A bound check over an unrelated register: the
                     // slice cannot connect it; keep scanning.
@@ -238,6 +296,18 @@ impl<'a> SliceCtx<'a> {
         }
         None
     }
+}
+
+/// Accumulated provenance of an origin-resolution chain.
+#[derive(Debug, Default, Clone, Copy)]
+struct OriginFlags {
+    /// The chain crossed a register copy.
+    copied: bool,
+    /// The chain crossed a stack spill/reload pair.
+    spilled: bool,
+    /// A store the slicer cannot disambiguate sat between a spill and
+    /// its connected reload.
+    alias_hazard: bool,
 }
 
 /// Analyse the indirect jump at `jump_addr`.
@@ -372,8 +442,8 @@ fn finish_table(
     let kind = kind_hint.unwrap_or(TableKind::Absolute);
 
     // Entry count: recovered bound check, else table-end extension.
-    let (count, extended) = match ctx.find_bound(index_reg, jump_addr) {
-        Some(n) => (n.min(ctx.config.max_table_entries), false),
+    let (count, extended, bound) = match ctx.find_bound(index_reg, jump_addr) {
+        Some((n, evidence)) => (n.min(ctx.config.max_table_entries), false, evidence),
         None if ctx.config.table_end_extension => {
             let next = ctx
                 .boundaries
@@ -385,7 +455,7 @@ fn finish_table(
             if n == 0 {
                 return Err(JtFail::NoBound);
             }
-            (n.min(ctx.config.max_table_entries), true)
+            (n.min(ctx.config.max_table_entries), true, BoundEvidence::Extended)
         }
         None => return Err(JtFail::NoBound),
     };
@@ -433,6 +503,7 @@ fn finish_table(
         kind,
         count,
         extended,
+        bound,
         base_insts,
         load_addr,
         index_reg,

@@ -47,6 +47,6 @@ pub use analysis::{
     AddrConstEvent, AnalysisConfig, AnalysisFailure, BinaryAnalysis, FuncStatus, InjectedFault,
 };
 pub use block::{Block, Edge, EdgeKind, FuncCfg};
-pub use funcptr::{FpDef, FpDefSite};
-pub use jumptable::{JumpTableDesc, TableKind};
+pub use funcptr::{FpDef, FpDefSite, FpEvidence};
+pub use jumptable::{BoundEvidence, JumpTableDesc, TableKind};
 pub use liveness::{live_in_at_blocks, LivenessResult};

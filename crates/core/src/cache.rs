@@ -33,8 +33,7 @@
 //! # Persistence and cross-binary sharing
 //!
 //! A cache may be backed by a crash-safe on-disk
-//! [`CacheStore`](crate::store::CacheStore)
-//! ([`RewriteCache::with_store`]): every stage lookup falls through to
+//! [`CacheStore`] ([`RewriteCache::with_store`]): every stage lookup falls through to
 //! the store on an in-memory miss, and computed entries are buffered
 //! for the store's next flush. Store damage of any kind degrades to a
 //! recompute, never to different bytes.
@@ -47,7 +46,7 @@
 //! across different binaries sharing code. Whatever those inputs
 //! cannot capture (jump-table data bytes live outside the function
 //! range) is recorded as an explicit dependency read-set
-//! ([`FuncDep`]) and re-validated against the binary at every lookup;
+//! (`FuncDep`) and re-validated against the binary at every lookup;
 //! a failed validation is a miss. Downstream fragment/emit/liveness
 //! keys additionally fold the whole-binary fingerprint, so only the
 //! analysis stage shares across binaries.
@@ -300,6 +299,7 @@ struct Maps {
     liveness: HashMap<u64, Arc<LivenessResult>>,
     fragments: HashMap<u64, Arc<FuncFragment>>,
     emits: HashMap<u64, Arc<EmittedFunc>>,
+    audits: HashMap<u64, Arc<icfgp_audit::AuditReport>>,
 }
 
 /// The content-addressed rewrite cache. Cheap to create, safe to
@@ -322,6 +322,7 @@ impl std::fmt::Debug for RewriteCache {
             .field("fragments", &m.fragments.len())
             .field("emits", &m.emits.len())
             .field("liveness", &m.liveness.len())
+            .field("audits", &m.audits.len())
             .finish()
     }
 }
@@ -528,6 +529,33 @@ impl RewriteCache {
                 .clone(),
             false,
         ))
+    }
+
+    /// Look up or compute a whole-binary audit report (predictive
+    /// gating). Memoised in memory and — like every other stage —
+    /// persisted through the attached store, under [`Stage::Audit`].
+    /// Returns `(report, hit)`.
+    pub fn audit(
+        &self,
+        key: u64,
+        compute: impl FnOnce() -> icfgp_audit::AuditReport,
+    ) -> (Arc<icfgp_audit::AuditReport>, bool) {
+        if let Some(v) = self.lock().audits.get(&key) {
+            return (v.clone(), true);
+        }
+        if let Some(v) = self.store_get::<icfgp_audit::AuditReport>(Stage::Audit, key) {
+            let v = Arc::new(v);
+            return (
+                self.lock().audits.entry(key).or_insert_with(|| v.clone()).clone(),
+                true,
+            );
+        }
+        let v = Arc::new(compute());
+        self.store_put(Stage::Audit, key, &*v);
+        (
+            self.lock().audits.entry(key).or_insert_with(|| v.clone()).clone(),
+            false,
+        )
     }
 
     fn analysis_memo(&self, binary_fp: u64, config_fp: u64) -> Option<AnalysisMemo> {

@@ -267,6 +267,13 @@ pub struct RewriteConfig {
     pub fault_plan: Option<FaultPlan>,
     /// Error budget for graceful degradation.
     pub degradation: DegradationPolicy,
+    /// Run the static soundness audit (`icfgp-audit`) before rewriting
+    /// and start each function at the highest ladder rung its evidence
+    /// justifies (predictive mode gating, `icfgp rewrite
+    /// --audit-gate`). Consulted by the degradation-ladder driver in
+    /// `icfgp-verify` after the fault plan is armed, so the audit sees
+    /// the injected faults it must predict.
+    pub audit_gate: bool,
 }
 
 impl RewriteConfig {
@@ -289,6 +296,7 @@ impl RewriteConfig {
             func_modes: BTreeMap::new(),
             fault_plan: None,
             degradation: DegradationPolicy::default(),
+            audit_gate: false,
         }
     }
 

@@ -1,0 +1,216 @@
+//! Predictive mode gating: choose each function's *starting*
+//! degradation-ladder rung from the audit verdict lattice.
+//!
+//! Without gating, the ladder discovers under-approximation
+//! reactively: rewrite, fail `icfgp-verify`, demote one rung, repeat —
+//! a function whose jump-table evidence is broken at `func-ptr` burns
+//! a round per rung on its way down. [`apply_audit_gate`] runs the
+//! whole-binary static soundness audit (`icfgp-audit`) *before* the
+//! first rewrite and installs per-function starting rungs, so the
+//! ladder starts at a statically justified height and converges in
+//! measurably fewer rounds.
+//!
+//! The gate only acts on [`AuditSeverity::UnderApproxRisk`]:
+//! over-approximation is wasteful but safe (demoting for it would
+//! trade correct instrumentation away for nothing), and `Unknown`
+//! covers functions the auditor cannot see into at all (analysis
+//! failures, placement stress) — those the reactive ladder handles
+//! with full information. This keeps clean binaries completely
+//! ungated: every `proven`/`over-approx` function starts at the
+//! requested mode.
+//!
+//! Audit reports are memoised through the [`RewriteCache`] (and its
+//! persistent store, under `Stage::Audit`), keyed on the binary
+//! fingerprint, the *armed* analysis configuration and the placement
+//! stress inputs — a ladder re-run or a chaos campaign retry reuses
+//! the report instead of re-analysing.
+
+use crate::cache::{binary_fingerprint, RewriteCache};
+use crate::config::{FuncMode, RewriteConfig, RewriteMode};
+use icfgp_audit::{
+    audit_binary, AuditMode, AuditReport, AuditSeverity, ReachCheck, VerdictCounts,
+};
+use icfgp_obj::Binary;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::BTreeMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// The audit-mode view of a rewriting mode.
+#[must_use]
+pub fn audit_mode_of(mode: RewriteMode) -> AuditMode {
+    match mode {
+        RewriteMode::Dir => AuditMode::Dir,
+        RewriteMode::Jt => AuditMode::Jt,
+        RewriteMode::FuncPtr => AuditMode::FuncPtr,
+    }
+}
+
+/// The placement-feasibility inputs of a configuration, in the form
+/// the auditor's `ICFGP-A010` check takes: the fault plan's placement
+/// stress knobs plus the `.instr` gap.
+#[must_use]
+pub fn reach_check_of(config: &RewriteConfig) -> ReachCheck {
+    let plan = config.fault_plan.as_ref();
+    ReachCheck {
+        instr_gap: config.instr_gap,
+        budgets_shrunk: plan.is_some_and(|p| p.shrink_budgets),
+        scratch_starved: plan.is_some_and(|p| p.starve_scratch),
+        reach_exhausted: plan.is_some_and(|p| p.exhaust_reach),
+    }
+}
+
+/// The audit-report cache key: binary content, armed analysis
+/// configuration (fault injections change what the audit must
+/// predict), and the placement stress inputs.
+fn audit_key(binary_fp: u64, config: &RewriteConfig, reach: &ReachCheck) -> u64 {
+    let mut h = DefaultHasher::new();
+    0xA0D1u64.hash(&mut h);
+    binary_fp.hash(&mut h);
+    config.analysis.fingerprint().hash(&mut h);
+    reach.instr_gap.hash(&mut h);
+    reach.budgets_shrunk.hash(&mut h);
+    reach.scratch_starved.hash(&mut h);
+    reach.reach_exhausted.hash(&mut h);
+    h.finish()
+}
+
+/// What the gate did: the audit verdicts and every starting-rung
+/// override it installed.
+#[derive(Debug, Clone)]
+pub struct GateSummary {
+    /// The audit report the gate consulted.
+    pub report: Arc<AuditReport>,
+    /// The report was served from the cache (in-memory or persisted).
+    pub cache_hit: bool,
+    /// Verdict counts under the requested rewriting mode.
+    pub counts: VerdictCounts,
+    /// Functions whose starting rung was lowered: entry address → the
+    /// statically justified rung.
+    pub gated: BTreeMap<u64, FuncMode>,
+}
+
+/// Audit `binary` (memoised through `cache`) and install into
+/// `config.func_modes` a statically justified *starting* rung for
+/// every function whose relevant evidence carries under-approximation
+/// risk.
+///
+/// Per function, the gate walks down from the currently configured
+/// rung while the rung is a `Full` mode whose relevant verdict is
+/// [`AuditSeverity::UnderApproxRisk`]; the walk floors at
+/// [`FuncMode::TrapOnly`], the sturdiest rung that still instruments
+/// (it tolerates under-approximated block sets by construction, so no
+/// static evidence can disqualify it). A function whose only risk is
+/// function-pointer evidence therefore starts at `Full(Jt)` under a
+/// `func-ptr` request; a function with broken table evidence starts at
+/// `TrapOnly`.
+///
+/// Call *after* the fault plan is armed: the audit grades
+/// `config.analysis.inject`, so it predicts exactly the faults the
+/// rewrite will experience.
+pub fn apply_audit_gate(
+    binary: &Binary,
+    config: &mut RewriteConfig,
+    cache: &RewriteCache,
+) -> GateSummary {
+    let reach = reach_check_of(config);
+    let key = audit_key(binary_fingerprint(binary), config, &reach);
+    let analysis = config.analysis.clone();
+    let (report, cache_hit) =
+        cache.audit(key, || audit_binary(binary, &analysis, Some(&reach)));
+    let mut gated = BTreeMap::new();
+    for &entry in report.functions.keys() {
+        let start = config.func_mode(entry);
+        let mut rung = start;
+        while let FuncMode::Full(m) = rung {
+            if report.verdict(entry, audit_mode_of(m)) == AuditSeverity::UnderApproxRisk {
+                rung = rung.lower().expect("Full rungs always have a lower rung");
+            } else {
+                break;
+            }
+        }
+        if rung != start {
+            config.func_modes.insert(entry, rung);
+            gated.insert(entry, rung);
+        }
+    }
+    GateSummary {
+        counts: report.counts(audit_mode_of(config.mode)),
+        report,
+        cache_hit,
+        gated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icfgp_cfg::InjectedFault;
+    use icfgp_isa::Arch;
+
+    fn workload() -> icfgp_obj::Binary {
+        // PIE: function-pointer definitions carry relocation evidence,
+        // so a clean binary audits proven (non-PIE word-scan defs are
+        // honestly flagged A003 and would gate func-ptr mode down).
+        let mut params = icfgp_workloads::GenParams::small("gate", Arch::X64, 5);
+        params.pie = true;
+        icfgp_workloads::generate(&params).binary
+    }
+
+    #[test]
+    fn clean_binary_is_not_gated() {
+        let bin = workload();
+        let mut config = RewriteConfig::new(RewriteMode::FuncPtr);
+        let cache = RewriteCache::new();
+        let summary = apply_audit_gate(&bin, &mut config, &cache);
+        assert!(
+            summary.gated.is_empty(),
+            "no under-approximation risk, no gating: {:?}",
+            summary.gated
+        );
+        assert!(config.func_modes.is_empty());
+    }
+
+    #[test]
+    fn injected_under_approximation_gates_to_trap_only() {
+        let bin = workload();
+        let cache = RewriteCache::new();
+        let clean = crate::cache::analyze_incremental(
+            &bin,
+            &icfgp_cfg::AnalysisConfig::default(),
+            &cache,
+            1,
+        );
+        let (entry, jump_addr) = clean
+            .analysis
+            .funcs
+            .values()
+            .find_map(|f| f.jump_tables.first().map(|jt| (f.entry, jt.jump_addr)))
+            .expect("workload has a jump table");
+        let mut config = RewriteConfig::new(RewriteMode::FuncPtr);
+        config
+            .analysis
+            .inject
+            .push(InjectedFault::UnderApproximateTable { jump_addr, drop: 1 });
+        let summary = apply_audit_gate(&bin, &mut config, &cache);
+        // A002 is relevant at every Full rung, so the victim lands on
+        // the trap-only floor in one step instead of three reactive
+        // demotion rounds.
+        assert_eq!(summary.gated.get(&entry), Some(&FuncMode::TrapOnly));
+        assert_eq!(config.func_mode(entry), FuncMode::TrapOnly);
+        assert_eq!(summary.counts.under_approx_risk, 1);
+    }
+
+    #[test]
+    fn second_gate_hits_the_cache() {
+        let bin = workload();
+        let cache = RewriteCache::new();
+        let mut a = RewriteConfig::new(RewriteMode::Jt);
+        let cold = apply_audit_gate(&bin, &mut a, &cache);
+        assert!(!cold.cache_hit);
+        let mut b = RewriteConfig::new(RewriteMode::Jt);
+        let warm = apply_audit_gate(&bin, &mut b, &cache);
+        assert!(warm.cache_hit);
+        assert_eq!(*cold.report, *warm.report);
+    }
+}

@@ -65,6 +65,7 @@ mod cfl;
 mod config;
 pub mod dynamic;
 mod fault;
+pub mod gate;
 mod instrument;
 mod placement;
 pub mod pool;
@@ -84,13 +85,14 @@ pub use config::{
     UnwindStrategy,
 };
 pub use fault::FaultPlan;
+pub use gate::{apply_audit_gate, audit_mode_of, reach_check_of, GateSummary};
 pub use instrument::{Instrumentation, Payload, Points};
 pub use placement::{Patch, PlacedTrampoline, PlacementPlan, ScratchPool, TrampolineKind};
 pub use relocate::{table_cloneable, RelocatedCode};
 pub use report::{RewriteReport, SkipReason};
 pub use rewriter::{CloneSummary, RewriteArtifacts, RewriteError, RewriteOutcome, Rewriter};
 pub use store::{
-    CacheStore, CorruptKind, Stage, StoreEvent, StoreEventKind, StoreFaults, StoreStats,
-    StoreVerifyReport,
+    CacheStore, CompactReport, CorruptKind, Stage, StoreEvent, StoreEventKind, StoreFaults,
+    StoreStats, StoreVerifyReport,
 };
 pub use tramp::trampoline_table;

@@ -11,9 +11,9 @@ pub enum SkipReason {
     AnalysisFailed(AnalysisFailure),
     /// The user's point selection excluded it.
     NotSelected,
-    /// The degradation ladder assigned [`FuncMode::Skip`]
-    /// (`crate::FuncMode::Skip`): every sturdier rung failed
-    /// verification for this function.
+    /// The degradation ladder assigned
+    /// [`FuncMode::Skip`](crate::FuncMode::Skip): every sturdier rung
+    /// failed verification for this function.
     Demoted,
 }
 

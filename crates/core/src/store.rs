@@ -1,4 +1,5 @@
-//! Crash-safe persistent backing store for [`RewriteCache`].
+//! Crash-safe persistent backing store for
+//! [`RewriteCache`](crate::cache::RewriteCache).
 //!
 //! The in-process cache memoises per-function analysis, liveness,
 //! relocation fragments and emitted code under content-addressed
@@ -70,9 +71,12 @@ const MAGIC: &[u8; 8] = b"ICFGPST\x01";
 pub const FORMAT_VERSION: u32 = 1;
 /// Cache-key derivation epoch. Keys come from the standard library's
 /// `DefaultHasher`, which is stable within one Rust release; bump this
-/// when the key derivation in `cache.rs` changes so stale stores are
-/// quarantined instead of silently never hitting.
-pub const KEY_EPOCH: u64 = 2;
+/// when the key derivation in `cache.rs` changes — or when a persisted
+/// payload type changes shape (epoch 3: `JumpTableDesc` gained bound
+/// evidence, `FpDef` gained pointer evidence) — so stale stores are
+/// quarantined instead of silently never hitting or mass-failing
+/// decode.
+pub const KEY_EPOCH: u64 = 3;
 /// Segment header length: magic + version + epoch.
 const HEADER_LEN: usize = 8 + 4 + 8;
 /// Per-record frame length before the payload: tag + key + len + checksum.
@@ -94,11 +98,14 @@ pub enum Stage {
     Fragment,
     /// Per-function emitted code.
     Emit,
+    /// Whole-binary audit reports (predictive mode gating).
+    Audit,
 }
 
 impl Stage {
     /// Every stage, in tag order.
-    pub const ALL: [Stage; 4] = [Stage::Func, Stage::Liveness, Stage::Fragment, Stage::Emit];
+    pub const ALL: [Stage; 5] =
+        [Stage::Func, Stage::Liveness, Stage::Fragment, Stage::Emit, Stage::Audit];
 
     fn tag(self) -> u8 {
         match self {
@@ -106,6 +113,7 @@ impl Stage {
             Stage::Liveness => 2,
             Stage::Fragment => 3,
             Stage::Emit => 4,
+            Stage::Audit => 5,
         }
     }
 
@@ -115,6 +123,7 @@ impl Stage {
             2 => Some(Stage::Liveness),
             3 => Some(Stage::Fragment),
             4 => Some(Stage::Emit),
+            5 => Some(Stage::Audit),
             _ => None,
         }
     }
@@ -127,6 +136,7 @@ impl Stage {
             Stage::Liveness => "liveness",
             Stage::Fragment => "fragment",
             Stage::Emit => "emit",
+            Stage::Audit => "audit",
         }
     }
 }
@@ -201,7 +211,10 @@ impl std::fmt::Display for StoreEvent {
 pub struct StoreStats {
     /// Lookups served from the persisted store.
     pub hits: u64,
-    /// Persisted lookups that found nothing usable.
+    /// Persisted lookups that found nothing. A lookup whose payload was
+    /// present but unusable counts under `quarantined_records` instead,
+    /// never here — hits, misses and lookup-time quarantines are
+    /// disjoint.
     pub misses: u64,
     /// Records loaded from disk (across all loads/reloads).
     pub records_loaded: u64,
@@ -533,7 +546,7 @@ impl CacheStore {
                     return true;
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
-                    if self.lock_is_stale(&path) {
+                    if lock_file_is_stale(&path) {
                         let _ = std::fs::remove_file(&path);
                         self.event(
                             StoreEventKind::StaleLockBroken,
@@ -557,28 +570,6 @@ impl CacheStore {
                     return false;
                 }
             }
-        }
-    }
-
-    fn lock_is_stale(&self, path: &Path) -> bool {
-        // Linux: the owner PID is recorded in the lock file; a dead
-        // owner means the lock is stale.
-        if let Ok(content) = std::fs::read_to_string(path) {
-            if let Ok(pid) = content.trim().parse::<u32>() {
-                // A live owner (including another store in this very
-                // process) is never stale.
-                if cfg!(target_os = "linux") {
-                    return !Path::new(&format!("/proc/{pid}")).exists();
-                }
-            }
-        }
-        // Elsewhere (or unreadable): fall back to age.
-        match std::fs::metadata(path).and_then(|m| m.modified()) {
-            Ok(mtime) => match mtime.elapsed() {
-                Ok(age) => age > Duration::from_secs(600),
-                Err(_) => false,
-            },
-            Err(_) => false,
         }
     }
 
@@ -751,13 +742,14 @@ impl CacheStore {
 
     /// Record a lookup whose payload was present but unusable
     /// (deserialisation failure, dependency-validation mismatch from a
-    /// *corrupt* source). Converts the earlier hit into a quarantine.
+    /// *corrupt* source). Converts the earlier hit into a quarantine —
+    /// and only a quarantine: folding it into `misses` as well would
+    /// double-count the lookup in every stats rollup.
     pub(crate) fn quarantine_record(&self, stage: Stage, key: u64, why: &str) {
         let mut inner = self.inner.lock().expect("store poisoned");
         inner.records.remove(&(stage, key));
         drop(inner);
         self.counters.hits.fetch_sub(1, Ordering::Relaxed);
-        self.counters.misses.fetch_add(1, Ordering::Relaxed);
         self.counters.quarantined_records.fetch_add(1, Ordering::Relaxed);
         self.event(
             StoreEventKind::DecodeFailure,
@@ -896,38 +888,11 @@ impl CacheStore {
     }
 
     fn write_atomically(&self, name: &str, body: &[u8]) -> std::io::Result<()> {
-        let tmp = self.dir.join(format!("tmp-{}-{name}", std::process::id()));
-        let path = self.dir.join(name);
-        {
-            let mut f = std::fs::File::create(&tmp)?;
-            f.write_all(body)?;
-            f.sync_all()?;
-        }
-        std::fs::rename(&tmp, &path)
+        write_atomic(&self.dir, name, body)
     }
 
     fn write_index(&self) {
-        let mut index = StoreIndex {
-            version: FORMAT_VERSION,
-            key_epoch: KEY_EPOCH,
-            segments: Vec::new(),
-        };
-        for name in Self::segment_names(&self.dir) {
-            let path = self.dir.join(&name);
-            let Ok(data) = std::fs::read(&path) else { continue };
-            let records = match scan_segment(&data) {
-                SegmentScan::Records { records, .. } => records.len() as u64,
-                SegmentScan::BadHeader(_) => 0,
-            };
-            index.segments.push(SegmentSummary {
-                name,
-                records,
-                bytes: data.len() as u64,
-                checksum: checksum64(&[&data]),
-            });
-        }
-        let Ok(json) = serde_json::to_vec(&index) else { return };
-        if let Err(e) = self.write_atomically("INDEX", &json) {
+        if let Err(e) = write_index_file(&self.dir) {
             self.counters.io_errors.fetch_add(1, Ordering::Relaxed);
             self.event(StoreEventKind::IoError, format!("index: {e}"));
         }
@@ -949,6 +914,65 @@ impl Drop for CacheStore {
         }
         self.release_lock();
     }
+}
+
+/// Whether a `LOCK` file belongs to a dead owner. On Linux the owner
+/// PID is recorded in the file; elsewhere (or when unreadable) fall
+/// back to age.
+fn lock_file_is_stale(path: &Path) -> bool {
+    if let Ok(content) = std::fs::read_to_string(path) {
+        if let Ok(pid) = content.trim().parse::<u32>() {
+            // A live owner (including another store in this very
+            // process) is never stale.
+            if cfg!(target_os = "linux") {
+                return !Path::new(&format!("/proc/{pid}")).exists();
+            }
+        }
+    }
+    match std::fs::metadata(path).and_then(|m| m.modified()) {
+        Ok(mtime) => match mtime.elapsed() {
+            Ok(age) => age > Duration::from_secs(600),
+            Err(_) => false,
+        },
+        Err(_) => false,
+    }
+}
+
+/// Write `body` to `dir/name` via a temp file and atomic rename.
+fn write_atomic(dir: &Path, name: &str, body: &[u8]) -> std::io::Result<()> {
+    let tmp = dir.join(format!("tmp-{}-{name}", std::process::id()));
+    let path = dir.join(name);
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(body)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, &path)
+}
+
+/// Rebuild the advisory `INDEX` from the segment files on disk.
+fn write_index_file(dir: &Path) -> std::io::Result<()> {
+    let mut index = StoreIndex {
+        version: FORMAT_VERSION,
+        key_epoch: KEY_EPOCH,
+        segments: Vec::new(),
+    };
+    for name in CacheStore::segment_names(dir) {
+        let Ok(data) = std::fs::read(dir.join(&name)) else { continue };
+        let records = match scan_segment(&data) {
+            SegmentScan::Records { records, .. } => records.len() as u64,
+            SegmentScan::BadHeader(_) => 0,
+        };
+        index.segments.push(SegmentSummary {
+            name,
+            records,
+            bytes: data.len() as u64,
+            checksum: checksum64(&[&data]),
+        });
+    }
+    let json = serde_json::to_vec(&index)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, format!("{e:?}")))?;
+    write_atomic(dir, "INDEX", &json)
 }
 
 fn encode_record(out: &mut Vec<u8>, stage: Stage, key: u64, payload: &[u8]) {
@@ -1145,6 +1169,138 @@ pub fn clear_dir(dir: &Path) -> Result<usize, std::io::Error> {
         }
     }
     Ok(removed)
+}
+
+/// Result of [`compact_dir`]: every live record rewritten into one
+/// fresh segment, with superseded duplicates, corrupt records, bad
+/// segments and quarantined files dropped.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CompactReport {
+    /// Segment files present before compaction.
+    pub segments_before: u64,
+    /// Live records carried into the fresh segment.
+    pub records_kept: u64,
+    /// Records dropped because a later segment held the same key
+    /// (last-writer-wins, the same rule a load applies).
+    pub superseded_dropped: u64,
+    /// Records dropped by checksum failure.
+    pub corrupt_dropped: u64,
+    /// Whole segments dropped (bad header, version or epoch).
+    pub bad_segments_dropped: u64,
+    /// `*.quarantined` files deleted.
+    pub quarantined_files_removed: u64,
+    /// Total segment bytes before compaction.
+    pub bytes_before: u64,
+    /// Bytes of the single fresh segment (0 when nothing was live).
+    pub bytes_after: u64,
+}
+
+/// Compact the store at `dir`: merge every live record
+/// (last-writer-wins across segments) into one fresh segment, publish
+/// it atomically, then delete the old segments, quarantined files and
+/// stale temp files, and rebuild the advisory index.
+///
+/// Takes the writer lock for the duration — compaction must not race a
+/// flushing writer. Crash-safe at every step: the fresh segment is
+/// published (rename) *above* the old ones before anything is deleted,
+/// so a crash in between leaves duplicates that the normal
+/// last-writer-wins load resolves to the same records.
+///
+/// # Errors
+///
+/// A message when the lock is held by a live writer or I/O fails.
+pub fn compact_dir(dir: &Path) -> Result<CompactReport, String> {
+    let lock_path = dir.join("LOCK");
+    let deadline = Instant::now() + lock_timeout();
+    loop {
+        match std::fs::OpenOptions::new().write(true).create_new(true).open(&lock_path) {
+            Ok(mut f) => {
+                let _ = writeln!(f, "{}", std::process::id());
+                break;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                if lock_file_is_stale(&lock_path) {
+                    let _ = std::fs::remove_file(&lock_path);
+                    continue;
+                }
+                if Instant::now() >= deadline {
+                    return Err(format!(
+                        "{}: store locked by another process",
+                        dir.display()
+                    ));
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                // No store directory at all: nothing to compact.
+                return Ok(CompactReport::default());
+            }
+            Err(e) => return Err(format!("{}: lock: {e}", dir.display())),
+        }
+    }
+    let result = compact_locked(dir);
+    let _ = std::fs::remove_file(&lock_path);
+    result
+}
+
+fn compact_locked(dir: &Path) -> Result<CompactReport, String> {
+    let names = CacheStore::segment_names(dir);
+    let mut report =
+        CompactReport { segments_before: names.len() as u64, ..CompactReport::default() };
+    // Merge all valid records; later segments supersede earlier ones.
+    let mut live: HashMap<(Stage, u64), Vec<u8>> = HashMap::new();
+    for name in &names {
+        let data = std::fs::read(dir.join(name)).map_err(|e| format!("read {name}: {e}"))?;
+        report.bytes_before += data.len() as u64;
+        match scan_segment(&data) {
+            SegmentScan::BadHeader(_) => report.bad_segments_dropped += 1,
+            SegmentScan::Records { records, corrupt_records, .. } => {
+                report.corrupt_dropped += corrupt_records;
+                for (stage, key, payload) in records {
+                    if live.insert((stage, key), payload).is_some() {
+                        report.superseded_dropped += 1;
+                    }
+                }
+            }
+        }
+    }
+    report.records_kept = live.len() as u64;
+    if !live.is_empty() {
+        let next = names
+            .iter()
+            .filter_map(|n| n[4..10].parse::<u64>().ok())
+            .max()
+            .map_or(0, |n| n + 1);
+        let new_name = format!("seg-{next:06}.seg");
+        let mut body = Vec::with_capacity(1 << 16);
+        body.extend_from_slice(MAGIC);
+        body.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        body.extend_from_slice(&KEY_EPOCH.to_le_bytes());
+        let mut entries: Vec<((Stage, u64), Vec<u8>)> = live.into_iter().collect();
+        entries.sort_by_key(|e| (e.0 .0.tag(), e.0 .1));
+        for ((stage, key), payload) in &entries {
+            encode_record(&mut body, *stage, *key, payload);
+        }
+        report.bytes_after = body.len() as u64;
+        write_atomic(dir, &new_name, &body).map_err(|e| format!("write {new_name}: {e}"))?;
+    }
+    for name in &names {
+        let _ = std::fs::remove_file(dir.join(name));
+    }
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for entry in entries.flatten() {
+            let n = entry.file_name().to_string_lossy().into_owned();
+            if n.ends_with(".quarantined") {
+                if std::fs::remove_file(entry.path()).is_ok() {
+                    report.quarantined_files_removed += 1;
+                }
+            } else if n.starts_with("tmp-") {
+                let _ = std::fs::remove_file(entry.path());
+            }
+        }
+    }
+    write_index_file(dir).map_err(|e| format!("index: {e}"))?;
+    Ok(report)
 }
 
 /// Deterministic store corruption for tests and the CI corruption
@@ -1373,6 +1529,109 @@ mod tests {
         assert!(!dirty.is_clean());
         assert!(clear_dir(&dir).unwrap() >= 1);
         assert_eq!(CacheStore::segment_names(&dir).len(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A hand-built segment image (bypasses the put-dedup so tests can
+    /// create cross-segment duplicates the way concurrent writers do).
+    fn raw_segment(records: &[(Stage, u64, &[u8])]) -> Vec<u8> {
+        let mut body = Vec::new();
+        body.extend_from_slice(MAGIC);
+        body.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        body.extend_from_slice(&KEY_EPOCH.to_le_bytes());
+        for (stage, key, payload) in records {
+            encode_record(&mut body, *stage, *key, payload);
+        }
+        body
+    }
+
+    #[test]
+    fn compact_merges_last_writer_wins_and_drops_quarantined() {
+        let dir = tmp_dir("compact");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("seg-000000.seg"),
+            raw_segment(&[(Stage::Func, 1, b"old"), (Stage::Func, 2, b"keep2")]),
+        )
+        .unwrap();
+        std::fs::write(
+            dir.join("seg-000001.seg"),
+            raw_segment(&[(Stage::Func, 1, b"new"), (Stage::Audit, 9, b"report")]),
+        )
+        .unwrap();
+        std::fs::write(dir.join("seg-000007.seg.quarantined"), b"junk").unwrap();
+        let report = compact_dir(&dir).unwrap();
+        assert_eq!(report.segments_before, 2);
+        assert_eq!(report.records_kept, 3);
+        assert_eq!(report.superseded_dropped, 1);
+        assert_eq!(report.quarantined_files_removed, 1);
+        assert!(report.bytes_after < report.bytes_before);
+        // Exactly one fresh segment, numbered above the old ones.
+        assert_eq!(CacheStore::segment_names(&dir), vec!["seg-000002.seg".to_string()]);
+        let check = verify_dir(&dir);
+        assert!(check.is_clean(), "{check:?}");
+        assert!(check.index_consistent);
+        // Last writer won.
+        let store = CacheStore::open(&dir);
+        assert_eq!(store.get(Stage::Func, 1).as_deref(), Some(&b"new"[..]));
+        assert_eq!(store.get(Stage::Func, 2).as_deref(), Some(&b"keep2"[..]));
+        assert_eq!(store.get(Stage::Audit, 9).as_deref(), Some(&b"report"[..]));
+        drop(store);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compact_drops_corrupt_records() {
+        let dir = tmp_dir("compact-corrupt");
+        {
+            let store = CacheStore::open(&dir);
+            for k in 0..6u64 {
+                store.put(Stage::Fragment, k, format!("payload-{k}").into_bytes());
+            }
+            store.flush();
+        }
+        corrupt_dir(&dir, CorruptKind::BitFlip, 42).unwrap();
+        let report = compact_dir(&dir).unwrap();
+        assert!(
+            report.records_kept < 6,
+            "corrupt/torn records must not survive compaction: {report:?}"
+        );
+        assert!(verify_dir(&dir).is_clean());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compact_refuses_while_locked() {
+        let dir = tmp_dir("compact-locked");
+        let writer = CacheStore::open(&dir);
+        assert!(writer.is_writer());
+        std::env::set_var("ICFGP_STORE_LOCK_MS", "50");
+        let err = compact_dir(&dir);
+        std::env::remove_var("ICFGP_STORE_LOCK_MS");
+        assert!(err.is_err(), "compaction must not race a live writer");
+        drop(writer);
+        assert!(compact_dir(&dir).is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn quarantined_lookup_is_not_also_a_miss() {
+        let dir = tmp_dir("quarantine-count");
+        let store = CacheStore::open(&dir);
+        store.put(Stage::Func, 5, b"payload".to_vec());
+        store.flush();
+        assert_eq!(store.get(Stage::Func, 5).as_deref(), Some(&b"payload"[..]));
+        // Simulate the cache layer hitting an undecodable payload.
+        store.quarantine_record(Stage::Func, 5, "decode failure (test)");
+        let s = store.stats();
+        assert_eq!(s.hits, 0, "the hit was retracted");
+        assert_eq!(s.misses, 0, "a quarantine is not a miss");
+        assert_eq!(s.quarantined_records, 1);
+        assert_eq!(s.total(), 0);
+        // The record is gone from the loaded set: the next lookup is a
+        // genuine miss.
+        assert!(store.get(Stage::Func, 5).is_none());
+        assert_eq!(store.stats().misses, 1);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

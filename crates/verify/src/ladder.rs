@@ -26,8 +26,8 @@
 use crate::{verify_rewrite, VerifyError, VerifyReport};
 use icfgp_cfg::AnalysisFailure;
 use icfgp_core::{
-    FuncMode, Instrumentation, RewriteCache, RewriteConfig, RewriteError, RewriteOutcome,
-    RewriteStats, Rewriter, SkipReason,
+    apply_audit_gate, FuncMode, GateSummary, Instrumentation, RewriteCache, RewriteConfig,
+    RewriteError, RewriteOutcome, RewriteStats, Rewriter, SkipReason,
 };
 use icfgp_obj::Binary;
 use serde::{Deserialize, Serialize};
@@ -84,6 +84,10 @@ pub struct LadderOutcome {
     /// shared [`RewriteCache`], rounds after the first re-analyse
     /// nothing and re-rewrite only the demoted functions.
     pub round_stats: Vec<RewriteStats>,
+    /// The predictive-gate summary, when `config.audit_gate` was set:
+    /// the audit verdicts and every starting rung the gate installed
+    /// before round one.
+    pub gate: Option<GateSummary>,
 }
 
 impl LadderOutcome {
@@ -188,6 +192,12 @@ pub fn rewrite_with_ladder_cached(
     if let Some(plan) = cfg.fault_plan.clone() {
         plan.arm_cached(binary, &mut cfg, cache);
     }
+    // Predictive gating runs *after* the fault plan is armed, so the
+    // audit grades the injected faults the verifier will catch and the
+    // ladder starts each function at a statically justified rung.
+    let gate = cfg
+        .audit_gate
+        .then(|| apply_audit_gate(binary, &mut cfg, cache));
     let mut steps: BTreeMap<u64, Vec<LadderStep>> = BTreeMap::new();
     let mut round_stats: Vec<RewriteStats> = Vec::new();
 
@@ -201,7 +211,7 @@ pub fn rewrite_with_ladder_cached(
             // later process starts warm even if this one never exits
             // cleanly.
             cache.flush_store();
-            return Ok(finish(config, &cfg, outcome, verify, steps, round, round_stats));
+            return Ok(finish(config, &cfg, outcome, verify, steps, round, round_stats, gate));
         }
 
         // Attribute each error to the function it belongs to.
@@ -278,6 +288,7 @@ pub fn rewrite_with_ladder_cached(
 
 /// Build the final outcome: dispositions from the last round's
 /// artifacts and skip records, plus the policy verdict.
+#[allow(clippy::too_many_arguments)]
 fn finish(
     requested_cfg: &RewriteConfig,
     final_cfg: &RewriteConfig,
@@ -286,6 +297,7 @@ fn finish(
     mut steps: BTreeMap<u64, Vec<LadderStep>>,
     rounds: usize,
     round_stats: Vec<RewriteStats>,
+    gate: Option<GateSummary>,
 ) -> LadderOutcome {
     let artifacts = outcome.artifacts.as_ref().expect("collect_artifacts forced on");
     let failures: BTreeMap<u64, AnalysisFailure> = outcome
@@ -343,6 +355,7 @@ fn finish(
         below_floor,
         budget_exceeded,
         round_stats,
+        gate,
     }
 }
 

@@ -5,7 +5,7 @@
 //! rewritten binaries and diffing their traces. This crate adds the
 //! complementary *static* check — a translation-validation pass that
 //! takes the original [`Binary`] plus the
-//! [`RewriteOutcome`](icfgp_core::RewriteOutcome) and proves four
+//! [`RewriteOutcome`] and proves four
 //! properties without executing anything:
 //!
 //! 1. **Patch integrity** ([`Check::PatchOverlap`],

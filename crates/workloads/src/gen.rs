@@ -71,6 +71,12 @@ pub struct GenParams {
     pub fnptr_tables: usize,
     /// Methods per table.
     pub fnptr_targets: usize,
+    /// Functions that materialise a function pointer, *store it to a
+    /// stack slot*, reload it and call through it. The pointer escapes
+    /// the definition slice (`FpEvidence::CodeMaterialisation {
+    /// escapes: true }`) — the soundness auditor's `ICFGP-A003`
+    /// trigger. Requires at least one compute kernel to point at.
+    pub fnptr_escapes: usize,
     /// Emit a C++-style try/throw/catch scenario.
     pub exceptions: bool,
     /// Throw on iterations where `arg % 16 == 0` (hot-path exceptions).
@@ -120,6 +126,7 @@ impl GenParams {
             switch_flavor: SwitchFlavor::ArchDefault,
             fnptr_tables: 1,
             fnptr_targets: 4,
+            fnptr_escapes: 0,
             exceptions: false,
             exception_rate: false,
             stack_indirect_call: false,
@@ -225,7 +232,7 @@ pub fn generate(params: &GenParams) -> Workload {
         };
         // Spilled-index switches need an absolute table (three-register
         // dance); keep the generator honest about that pattern too.
-        let (entry_width, kind, inline) = if hardness == SwitchHardness::SpilledIndex {
+        let (entry_width, kind, inline) = if hardness.spills_index() {
             (8, EntryKind::Absolute, arch != Arch::X64)
         } else {
             (entry_width, kind, inline)
@@ -342,6 +349,45 @@ pub fn generate(params: &GenParams) -> Workload {
         }
         items.extend(epilogue(arch, 32, false));
         b.add_function(FuncDef::new(&name, lang(t + 2), items));
+        sites.push(name);
+    }
+
+    // ----- memory-escaping function pointers --------------------------------
+    assert!(
+        params.fnptr_escapes == 0 || params.compute_funcs > 0,
+        "fnptr_escapes needs a compute kernel to point at"
+    );
+    for e in 0..params.fnptr_escapes {
+        let target = format!("compute{}", e % params.compute_funcs.max(1));
+        let name = format!("escape{e}");
+        let mut items = prologue(arch, 32, false);
+        // Materialise &target, park it in a frame slot, reload and
+        // call through it: the pointer's consumers are behind memory,
+        // so the definition escapes the analysis slice.
+        items.push(Item::LoadAddr {
+            dst: Reg(10),
+            target: RefTarget::Func(target),
+            delta: 0,
+        });
+        items.push(Item::I(Inst::Store {
+            src: Reg(10),
+            addr: Addr::base_disp(arch.sp(), 8),
+            width: Width::W8,
+        }));
+        items.push(Item::I(Inst::Load {
+            dst: Reg(11),
+            addr: Addr::base_disp(arch.sp(), 8),
+            width: Width::W8,
+            sign: false,
+        }));
+        if arch == Arch::Ppc64le {
+            items.push(Item::I(Inst::MoveToTar { src: Reg(11) }));
+            items.push(Item::I(Inst::CallTar));
+        } else {
+            items.push(Item::I(Inst::CallReg { src: Reg(11) }));
+        }
+        items.extend(epilogue(arch, 32, false));
+        b.add_function(FuncDef::new(&name, lang(e + 3), items));
         sites.push(name);
     }
 

@@ -146,6 +146,7 @@ pub fn spec_params(name: &'static str, arch: Arch, pie: bool) -> GenParams {
         },
         fnptr_tables: fnptr,
         fnptr_targets: 4,
+        fnptr_escapes: 0,
         exceptions,
         exception_rate: exceptions,
         stack_indirect_call: exceptions && arch == Arch::X64,
@@ -208,6 +209,7 @@ pub fn firefox_like(arch: Arch, scale: usize) -> Workload {
         switch_flavor: SwitchFlavor::ArchDefault,
         fnptr_tables: 6 * scale,
         fnptr_targets: 6,
+        fnptr_escapes: scale,
         exceptions: true,
         exception_rate: true,
         stack_indirect_call: false,

@@ -9,11 +9,12 @@
 //! $ icfgp run gcc.rw.icfgp --preload-runtime
 //! ```
 
+use incremental_cfg_patching::audit::{render_text, to_sarif};
 use incremental_cfg_patching::chaos::{parse_floor, run_campaign, CampaignConfig, CaseStatus};
 use incremental_cfg_patching::cfg::{analyze, AnalysisConfig, FuncStatus};
 use incremental_cfg_patching::core::{
-    pool, store, CacheStore, CorruptKind, FaultPlan, Instrumentation, Points, RewriteCache,
-    RewriteConfig, RewriteMode, UnwindStrategy,
+    apply_audit_gate, audit_mode_of, pool, store, CacheStore, CorruptKind, FaultPlan,
+    Instrumentation, Points, RewriteCache, RewriteConfig, RewriteMode, UnwindStrategy,
 };
 use incremental_cfg_patching::emu::{run, LoadOptions, Outcome};
 use incremental_cfg_patching::isa::Arch;
@@ -35,11 +36,13 @@ USAGE:
   icfgp gen --workload <spec:NAME|small|firefox|docker|driverlib|switch_demo>
             [--arch A] [--pie] [--seed N] -o FILE
   icfgp analyze FILE
+  icfgp audit FILE [--mode <dir|jt|func-ptr>] [--format <text|json|sarif>]
+                   [--fault-seed N] [--intensity I] [--cache-dir DIR]
   icfgp rewrite FILE --mode <dir|jt|func-ptr> [--unwind <ra|emulate|none>]
                      [--no-poison] [--points <blocks|entries|none>]
                      [--fault-seed N] [--intensity <none|quiet|standard|aggressive>]
                      [--floor <dir|jt|func-ptr|trap-only|skip>] [--budget FRAC]
-                     [--cache-dir DIR] [--stats] -o FILE
+                     [--audit-gate] [--cache-dir DIR] [--stats] -o FILE
   icfgp verify FILE [--mode <dir|jt|func-ptr>] [--unwind <ra|emulate|none>]
                     [--no-poison] [--points <blocks|entries|none>]
                     [--fault-seed N] [--intensity I] [--floor F] [--budget FRAC]
@@ -47,14 +50,23 @@ USAGE:
   icfgp run FILE [--preload-runtime] [--bias HEX] [--fuel N]
   icfgp chaos [--seeds N] [--workloads A,B] [--arch A] [--mode M]
               [--intensity I] [--floor F] [--budget FRAC] [--cache-dir DIR] [--json]
-  icfgp cache <stats|verify|clear> --cache-dir DIR
+  icfgp cache <stats|verify|clear|compact> --cache-dir DIR
   icfgp cache corrupt --cache-dir DIR --kind <bit-flip|truncate|stale-version> [--seed N]
   icfgp bench-rewrite [--quick] [-o FILE]   (default FILE: BENCH_rewrite.json)
   icfgp list-workloads
 
+`audit` runs the whole-binary static soundness audit (lint codes
+ICFGP-A001..A010, severity proven < over-approx < under-approx-risk <
+unknown) without rewriting; `--format sarif` emits SARIF 2.1.0. Exit
+codes: 0 clean, 1 findings, 64 usage.
+
 `rewrite` and `verify` run the degradation ladder: on per-function
 verification failure the function steps down func-ptr → jt → dir →
 trap-only → skip until the rewrite verifies with zero errors.
+`--audit-gate` runs the audit first and starts each function at the
+statically justified rung, cutting demotion rounds. `cache compact`
+rewrites a store directory into a single fresh segment, dropping
+superseded and quarantined records.
 `rewrite --stats` prints per-round cache hit/miss counters and stage
 timings from the incremental engine; `ICFGP_THREADS=N` overrides the
 worker-pool width (output bytes are identical for any N; invalid
@@ -239,6 +251,9 @@ fn parse_rewrite_config(args: &[String]) -> Result<(RewriteConfig, Points), Stri
         config.degradation.max_below_floor =
             budget.parse().map_err(|_| format!("bad --budget {budget}"))?;
     }
+    if has_flag(args, "--audit-gate") {
+        config.audit_gate = true;
+    }
     let points = match arg_value(args, "--points").as_deref() {
         Some("entries") => Points::FunctionEntries,
         Some("none") => Points::None,
@@ -334,6 +349,56 @@ fn print_stats(round_stats: &[incremental_cfg_patching::core::RewriteStats]) {
     }
 }
 
+/// Print the predictive-gate summary a gated ladder run carries.
+fn print_gate(ladder: &incremental_cfg_patching::verify::LadderOutcome) {
+    let Some(gate) = &ladder.gate else { return };
+    println!(
+        "  audit gate : {} — {} function(s) pre-gated{}",
+        gate.counts,
+        gate.gated.len(),
+        if gate.cache_hit { " (report cached)" } else { "" }
+    );
+}
+
+/// `icfgp audit FILE` — run the static soundness audit and report
+/// findings without rewriting. Exit 0 clean, 1 findings, 64 usage.
+fn cmd_audit(args: &[String]) -> Result<u8, String> {
+    let Some(path) = args.first() else {
+        eprintln!("error: missing FILE (icfgp audit FILE [--mode M] [--format text|json|sarif])");
+        return Ok(64);
+    };
+    let format = arg_value(args, "--format").unwrap_or_else(|| "text".to_string());
+    if !matches!(format.as_str(), "text" | "json" | "sarif") {
+        eprintln!("error: unknown --format {format} (expected text|json|sarif)");
+        return Ok(64);
+    }
+    let binary = load_binary(path)?;
+    let (config, _) = parse_rewrite_config(args)?;
+    let mode = audit_mode_of(config.mode);
+    let cache = open_cache(args);
+    let mut cfg = config;
+    if let Some(plan) = cfg.fault_plan.clone() {
+        // Audit the same faulted analysis a rewrite would see.
+        plan.arm_cached(&binary, &mut cfg, &cache);
+    }
+    // The gate path memoises the report through the cache (and its
+    // persistent store); the installed func modes are discarded.
+    let summary = apply_audit_gate(&binary, &mut cfg, &cache);
+    let report = &summary.report;
+    match format.as_str() {
+        "json" => println!("{}", report.to_json().map_err(|e| e.to_string())?),
+        "sarif" => println!("{}", to_sarif(report, mode, path)),
+        _ => {
+            print!("{}", render_text(report, mode));
+            if summary.cache_hit {
+                println!("  (report served from cache)");
+            }
+        }
+    }
+    finish_cache(&cache, format != "text");
+    Ok(u8::from(!report.is_clean(mode)))
+}
+
 fn cmd_bench_rewrite(args: &[String]) -> Result<u8, String> {
     let quick = has_flag(args, "--quick");
     let out = arg_value(args, "-o").unwrap_or_else(|| "BENCH_rewrite.json".to_string());
@@ -378,6 +443,7 @@ fn cmd_rewrite(args: &[String]) -> Result<u8, String> {
         ladder.verify.clones_checked
     );
     print_dispositions(&ladder);
+    print_gate(&ladder);
     if has_flag(args, "--stats") {
         print_stats(&ladder.round_stats);
     }
@@ -409,6 +475,7 @@ fn cmd_verify(args: &[String]) -> Result<u8, String> {
             report.clones_checked
         );
         print_dispositions(&ladder);
+        print_gate(&ladder);
     }
     finish_cache(&cache, has_flag(args, "--json"));
     Ok(code)
@@ -482,7 +549,8 @@ fn cmd_chaos(args: &[String]) -> Result<u8, String> {
 /// `icfgp cache <stats|verify|clear|corrupt>` — offline maintenance of
 /// a persistent store directory.
 fn cmd_cache(args: &[String]) -> Result<u8, String> {
-    let sub = args.first().ok_or("missing cache subcommand (stats|verify|clear|corrupt)")?;
+    let sub =
+        args.first().ok_or("missing cache subcommand (stats|verify|clear|compact|corrupt)")?;
     let dir = cache_dir(&args[1..])
         .ok_or("missing --cache-dir DIR (or set ICFGP_CACHE_DIR)")?;
     match sub.as_str() {
@@ -554,6 +622,21 @@ fn cmd_cache(args: &[String]) -> Result<u8, String> {
             println!("{}: removed {removed} file(s)", dir.display());
             Ok(0)
         }
+        "compact" => {
+            let r = store::compact_dir(&dir)?;
+            println!("{}:", dir.display());
+            println!(
+                "  records    : {} kept, {} superseded dropped, {} corrupt dropped",
+                r.records_kept, r.superseded_dropped, r.corrupt_dropped
+            );
+            println!(
+                "  segments   : {} compacted ({} unreadable dropped), \
+                 {} quarantined file(s) removed",
+                r.segments_before, r.bad_segments_dropped, r.quarantined_files_removed
+            );
+            println!("  bytes      : {} -> {}", r.bytes_before, r.bytes_after);
+            Ok(0)
+        }
         "corrupt" => {
             let kind = arg_value(args, "--kind")
                 .ok_or("missing --kind <bit-flip|truncate|stale-version>")?;
@@ -618,6 +701,7 @@ fn main() -> ExitCode {
     let result = match cmd.as_str() {
         "gen" => cmd_gen(rest).map(|()| 0),
         "analyze" => cmd_analyze(rest).map(|()| 0),
+        "audit" => cmd_audit(rest),
         "rewrite" => cmd_rewrite(rest),
         "verify" => cmd_verify(rest),
         "run" => cmd_run(rest).map(|()| 0),

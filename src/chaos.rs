@@ -18,8 +18,8 @@
 //! subcommand and the CI `chaos-smoke` job.
 
 use icfgp_core::{
-    CacheStore, DegradationPolicy, FaultPlan, FuncMode, Instrumentation, Points, RewriteCache,
-    RewriteConfig, RewriteMode, StoreStats,
+    apply_audit_gate, audit_mode_of, CacheStore, DegradationPolicy, FaultPlan, FuncMode,
+    Instrumentation, Points, RewriteCache, RewriteConfig, RewriteMode, StoreStats,
 };
 use icfgp_emu::{run, LoadOptions, Outcome};
 use icfgp_isa::Arch;
@@ -116,6 +116,28 @@ impl CaseStatus {
     }
 }
 
+/// The static-audit cross-check for one case: verdict counts under the
+/// requested mode, plus the soundness comparison against the ladder.
+///
+/// The comparison is the campaign's third oracle: a function the
+/// auditor grades `proven` must never need a verify-forced demotion —
+/// [`CaseAudit::demoted_proven`] counts violations and is expected to
+/// be zero in every case.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CaseAudit {
+    /// Functions whose relevant evidence is fully proven.
+    pub proven: u64,
+    /// Worst relevant finding is over-approximation.
+    pub over_approx: u64,
+    /// Worst relevant finding is under-approximation risk.
+    pub under_approx_risk: u64,
+    /// Worst relevant finding is unknown.
+    pub unknown: u64,
+    /// Verify-forced ladder demotions that landed on an audited-proven
+    /// function (an audit soundness violation; always expected 0).
+    pub demoted_proven: u64,
+}
+
 /// One campaign case result.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CaseResult {
@@ -137,6 +159,8 @@ pub struct CaseResult {
     pub degraded_funcs: usize,
     /// Functions below the policy floor.
     pub below_floor: usize,
+    /// Static-audit verdicts and the verify-vs-audit cross-check.
+    pub audit: CaseAudit,
 }
 
 /// Aggregated campaign results.
@@ -162,6 +186,22 @@ impl CampaignReport {
     #[must_use]
     pub fn count(&self, code: u8) -> usize {
         self.cases.iter().filter(|c| c.status.exit_code() == code).count()
+    }
+
+    /// Audit verdicts summed over every case. `demoted_proven` being
+    /// non-zero means the static auditor certified a function the
+    /// verifier then demoted — a soundness bug worth failing CI over.
+    #[must_use]
+    pub fn audit_totals(&self) -> CaseAudit {
+        let mut t = CaseAudit::default();
+        for c in &self.cases {
+            t.proven += c.audit.proven;
+            t.over_approx += c.audit.over_approx;
+            t.under_approx_risk += c.audit.under_approx_risk;
+            t.unknown += c.audit.unknown;
+            t.demoted_proven += c.audit.demoted_proven;
+        }
+        t
     }
 
     /// Render the robustness matrix: one row per
@@ -204,6 +244,17 @@ impl CampaignReport {
             self.count(0),
             self.count(1),
             self.count(2),
+        );
+        let audit = self.audit_totals();
+        let _ = write!(
+            out,
+            "\naudit: {} proven, {} over-approx, {} under-approx-risk, {} unknown \
+             verdict(s) across cases; {} verify-forced demotion(s) on proven functions",
+            audit.proven,
+            audit.over_approx,
+            audit.under_approx_risk,
+            audit.unknown,
+            audit.demoted_proven,
         );
         if let Some(s) = &self.store {
             let _ = write!(
@@ -264,10 +315,28 @@ pub fn run_case(
     intensity: &str,
     policy: &DegradationPolicy,
     cache: &RewriteCache,
-) -> (CaseStatus, usize, usize, usize, usize) {
+) -> (CaseStatus, usize, usize, usize, usize, CaseAudit) {
     let mut config = RewriteConfig::new(mode);
     config.fault_plan = FaultPlan::named(intensity, seed);
     config.degradation = *policy;
+    // Static audit of the same faulted analysis the ladder will see.
+    // The gate's func-mode installs land in a throwaway clone: chaos
+    // keeps the ladder reactive so the cross-check below compares
+    // independent oracles. The report is memoised through `cache`, and
+    // its key excludes the mode — the three mode sweeps share one
+    // audit per (binary, seed).
+    let mut audit_cfg = config.clone();
+    if let Some(plan) = audit_cfg.fault_plan.clone() {
+        plan.arm_cached(binary, &mut audit_cfg, cache);
+    }
+    let gate = apply_audit_gate(binary, &mut audit_cfg, cache);
+    let mut audit = CaseAudit {
+        proven: gate.counts.proven,
+        over_approx: gate.counts.over_approx,
+        under_approx_risk: gate.counts.under_approx_risk,
+        unknown: gate.counts.unknown,
+        demoted_proven: 0,
+    };
     let ladder = match rewrite_with_ladder_cached(
         binary,
         &config,
@@ -276,14 +345,22 @@ pub fn run_case(
     ) {
         Ok(l) => l,
         Err(e @ (LadderError::Rewrite(_) | LadderError::Verify(_) | LadderError::NoConvergence { .. })) => {
-            return (CaseStatus::LadderFailed(e.to_string()), 0, 0, 0, 0);
+            return (CaseStatus::LadderFailed(e.to_string()), 0, 0, 0, 0, audit);
         }
     };
+    // Third oracle: every verify-forced demotion must land on a
+    // function the auditor did *not* grade proven.
+    let proven = gate.report.proven_functions(audit_mode_of(mode));
+    audit.demoted_proven = ladder
+        .dispositions
+        .iter()
+        .filter(|d| !d.steps.is_empty() && proven.contains(&d.entry))
+        .count() as u64;
     let funcs = ladder.dispositions.len();
     let degraded = ladder.degraded().count();
     let stats = (ladder.rounds, funcs, degraded, ladder.below_floor);
     if let Err(why) = emulates_equivalently(binary, &ladder.outcome.binary) {
-        return (CaseStatus::EmulationDiverged(why), stats.0, stats.1, stats.2, stats.3);
+        return (CaseStatus::EmulationDiverged(why), stats.0, stats.1, stats.2, stats.3, audit);
     }
     let status = if ladder.budget_exceeded {
         CaseStatus::BudgetExceeded
@@ -294,7 +371,7 @@ pub fn run_case(
     } else {
         CaseStatus::Degraded
     };
-    (status, stats.0, stats.1, stats.2, stats.3)
+    (status, stats.0, stats.1, stats.2, stats.3, audit)
 }
 
 /// Dynamic oracle: same outcome class and same output stream.
@@ -366,7 +443,7 @@ pub fn run_campaign(
             };
             for mode in &config.modes {
                 for seed in &config.seeds {
-                    let (status, rounds, funcs, degraded_funcs, below_floor) =
+                    let (status, rounds, funcs, degraded_funcs, below_floor, audit) =
                         run_case(&binary, *mode, *seed, &config.intensity, &config.policy, &cache);
                     let case = CaseResult {
                         workload: wl.clone(),
@@ -378,6 +455,7 @@ pub fn run_campaign(
                         funcs,
                         degraded_funcs,
                         below_floor,
+                        audit,
                     };
                     progress(&case);
                     report.cases.push(case);
@@ -433,6 +511,12 @@ mod tests {
         assert!(report.exit_code() <= 1, "{}", report.render_matrix(&config.seeds));
         let matrix = report.render_matrix(&config.seeds);
         assert!(matrix.contains("switch_demo/x86-64/jt"), "{matrix}");
+        // The third oracle: the auditor graded every case, and no
+        // verify-forced demotion landed on a proven function.
+        let audit = report.audit_totals();
+        assert!(audit.proven + audit.over_approx + audit.under_approx_risk + audit.unknown > 0);
+        assert_eq!(audit.demoted_proven, 0, "{matrix}");
+        assert!(matrix.contains("audit:"), "{matrix}");
     }
 
     #[test]
@@ -457,6 +541,13 @@ mod tests {
             funcs: 10,
             degraded_funcs: 2,
             below_floor: 1,
+            audit: CaseAudit {
+                proven: 7,
+                over_approx: 1,
+                under_approx_risk: 2,
+                unknown: 0,
+                demoted_proven: 0,
+            },
         });
         let json = serde_json::to_string(&r).unwrap();
         let back: CampaignReport = serde_json::from_str(&json).unwrap();

@@ -23,6 +23,9 @@
 //! * [`verify`] — the static translation-validation pass: patch
 //!   integrity, trampoline soundness, CFL completeness and runtime-map
 //!   well-formedness checks over a rewrite outcome.
+//! * [`audit`] — the whole-binary static soundness auditor: lint codes
+//!   over indirect-control-flow evidence, SARIF output, and the
+//!   verdict lattice that drives predictive mode gating.
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour.
 
@@ -30,6 +33,7 @@ pub mod bench_rewrite;
 pub mod chaos;
 
 pub use icfgp_asm as asm;
+pub use icfgp_audit as audit;
 pub use icfgp_baselines as baselines;
 pub use icfgp_cfg as cfg;
 pub use icfgp_core as core;

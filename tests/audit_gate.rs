@@ -1,0 +1,191 @@
+//! Acceptance criteria for predictive mode gating (`--audit-gate`):
+//!
+//! 1. **Fewer rounds** — on switch-heavy and fn-ptr-heavy workloads
+//!    with injected under-approximation faults, the audit-gated ladder
+//!    converges in *strictly fewer* demotion rounds than the ungated
+//!    ladder (asserted via `LadderOutcome::rounds` and the per-round
+//!    `RewriteStats`).
+//! 2. **Same destination** — gating changes *when* functions reach
+//!    their sustainable rung, never *where*: achieved per-function
+//!    modes match between the two runs, and both verify clean.
+//! 3. **Cross-check** — every function the gated ladder still demotes
+//!    reactively is non-`proven` in the audit report (the auditor
+//!    never vouches for a function the verifier then rejects).
+//! 4. **Behaviour** — the gated rewrite emulates identically to the
+//!    original binary.
+
+use incremental_cfg_patching::audit::AuditMode;
+use incremental_cfg_patching::cfg::{analyze, AnalysisConfig, InjectedFault};
+use incremental_cfg_patching::core::{Instrumentation, Points, RewriteConfig, RewriteMode};
+use incremental_cfg_patching::emu::{run, LoadOptions, Outcome};
+use incremental_cfg_patching::isa::Arch;
+use incremental_cfg_patching::obj::Binary;
+use incremental_cfg_patching::verify::{rewrite_with_ladder, LadderOutcome};
+use incremental_cfg_patching::workloads::{generate, GenParams};
+use std::collections::BTreeMap;
+
+/// A switch-heavy workload: several interpreter-style dispatchers, so
+/// under-approximated tables hit multiple functions.
+fn switch_heavy(arch: Arch) -> Binary {
+    let mut p = GenParams::small("audit-gate-switch", arch, 11);
+    p.pie = true;
+    p.switch_funcs = 4;
+    p.switch_cases = 6;
+    generate(&p).binary
+}
+
+/// A fn-ptr-heavy workload: more vtables and targets than compute
+/// kernels. PIE, so clean function-pointer evidence is relocation-
+/// backed and the only risk is what we inject.
+fn fnptr_heavy(arch: Arch) -> Binary {
+    let mut p = GenParams::small("audit-gate-fnptr", arch, 23);
+    p.pie = true;
+    p.fnptr_tables = 3;
+    p.fnptr_targets = 4;
+    generate(&p).binary
+}
+
+/// Every jump-table dispatch address in the binary, per a clean
+/// analysis.
+fn jump_addrs(bin: &Binary) -> Vec<u64> {
+    let analysis = analyze(bin, &AnalysisConfig::default());
+    let mut addrs: Vec<u64> = analysis
+        .funcs
+        .values()
+        .flat_map(|f| f.jump_tables.iter().map(|jt| jt.jump_addr))
+        .collect();
+    addrs.sort_unstable();
+    addrs
+}
+
+/// Run the ladder twice over the same faulted configuration — ungated,
+/// then audit-gated — and return both outcomes.
+fn ladder_pair(bin: &Binary, faults: Vec<InjectedFault>) -> (LadderOutcome, LadderOutcome) {
+    let instr = Instrumentation::empty(Points::EveryBlock);
+    let mut config = RewriteConfig::new(RewriteMode::FuncPtr);
+    config.analysis.inject = faults;
+    // Tolerant budget: the property under test is convergence speed,
+    // not the degradation-policy verdict.
+    config.degradation.max_below_floor = 1.0;
+    let ungated = rewrite_with_ladder(bin, &config, &instr).expect("ungated ladder converges");
+    config.audit_gate = true;
+    let gated = rewrite_with_ladder(bin, &config, &instr).expect("gated ladder converges");
+    (ungated, gated)
+}
+
+/// The shared assertions: strictly fewer rounds, identical achieved
+/// modes, clean verification, and the auditor/verifier cross-check.
+fn assert_gate_wins(label: &str, ungated: &LadderOutcome, gated: &LadderOutcome) {
+    assert!(ungated.gate.is_none(), "{label}: ungated run must not audit");
+    let summary = gated.gate.as_ref().expect("gated run carries its gate summary");
+    assert!(
+        summary.counts.under_approx_risk > 0,
+        "{label}: the injected faults must surface as under-approximation risk, got {}",
+        summary.counts
+    );
+    assert!(!summary.gated.is_empty(), "{label}: the gate must install starting rungs");
+
+    // 1. Strictly fewer demotion rounds, and the round counters agree.
+    assert!(
+        gated.rounds < ungated.rounds,
+        "{label}: gated ladder took {} rounds, ungated {} — gating must be strictly faster",
+        gated.rounds,
+        ungated.rounds
+    );
+    assert_eq!(gated.round_stats.len(), gated.rounds);
+    assert_eq!(ungated.round_stats.len(), ungated.rounds);
+
+    // 2. Same destination: per-function achieved modes match.
+    let modes = |o: &LadderOutcome| -> BTreeMap<u64, _> {
+        o.dispositions.iter().map(|d| (d.entry, d.achieved)).collect()
+    };
+    assert_eq!(
+        modes(gated),
+        modes(ungated),
+        "{label}: gating may only change the path, not the achieved rungs"
+    );
+    assert!(gated.verify.errors().next().is_none(), "{label}: gated result must verify");
+    assert!(ungated.verify.errors().next().is_none(), "{label}: ungated result must verify");
+
+    // 3. Cross-check: reactive demotions only ever hit non-proven
+    // functions — the auditor never vouches for a verifier reject.
+    let proven = summary.report.proven_functions(AuditMode::FuncPtr);
+    for d in &gated.dispositions {
+        if !d.steps.is_empty() {
+            assert!(
+                !proven.contains(&d.entry),
+                "{label}: {:#x} was audited proven yet reactively demoted",
+                d.entry
+            );
+        }
+    }
+}
+
+#[test]
+fn gated_ladder_beats_ungated_on_switch_heavy_workload() {
+    for arch in [Arch::X64, Arch::Aarch64] {
+        let bin = switch_heavy(arch);
+        let addrs = jump_addrs(&bin);
+        assert!(addrs.len() >= 4, "workload must be switch-heavy, found {addrs:?}");
+        let faults = addrs
+            .iter()
+            .map(|&jump_addr| InjectedFault::UnderApproximateTable { jump_addr, drop: 1 })
+            .collect();
+        let (ungated, gated) = ladder_pair(&bin, faults);
+        assert_gate_wins(&format!("switch-heavy/{arch:?}"), &ungated, &gated);
+    }
+}
+
+#[test]
+fn gated_ladder_beats_ungated_on_fnptr_heavy_workload() {
+    let bin = fnptr_heavy(Arch::X64);
+    // Sanity: the workload really is fn-ptr-heavy (3 vtables × 4
+    // targets), and still carries interpreter dispatchers whose
+    // tables we under-approximate.
+    for t in 0..3 {
+        assert!(bin.function_named(&format!("call_vt{t}")).is_some());
+    }
+    let addrs = jump_addrs(&bin);
+    assert!(!addrs.is_empty(), "workload must carry dispatch tables");
+    let faults = addrs
+        .iter()
+        .map(|&jump_addr| InjectedFault::UnderApproximateTable { jump_addr, drop: 1 })
+        .collect();
+    let (ungated, gated) = ladder_pair(&bin, faults);
+    assert_gate_wins("fnptr-heavy", &ungated, &gated);
+}
+
+#[test]
+fn gated_rewrite_preserves_behaviour() {
+    let bin = switch_heavy(Arch::X64);
+    let expected = match run(&bin, &LoadOptions::default()) {
+        Outcome::Halted(s) => s.output,
+        o => panic!("workload invalid: {o:?}"),
+    };
+    let addrs = jump_addrs(&bin);
+    let faults = addrs
+        .iter()
+        .map(|&jump_addr| InjectedFault::UnderApproximateTable { jump_addr, drop: 1 })
+        .collect();
+    let (_, gated) = ladder_pair(&bin, faults);
+    let opts = LoadOptions { preload_runtime: true, ..LoadOptions::default() };
+    match run(&gated.outcome.binary, &opts) {
+        Outcome::Halted(s) => assert_eq!(s.output, expected),
+        o => panic!("gated rewrite diverged: {o:?}"),
+    }
+}
+
+#[test]
+fn clean_workload_is_not_gated_and_takes_one_round() {
+    let bin = fnptr_heavy(Arch::X64);
+    let (ungated, gated) = ladder_pair(&bin, Vec::new());
+    assert_eq!(ungated.rounds, 1);
+    assert_eq!(gated.rounds, 1);
+    let summary = gated.gate.as_ref().expect("gate summary");
+    assert!(
+        summary.gated.is_empty(),
+        "clean PIE workload must not be gated: {:?}",
+        summary.gated
+    );
+    assert_eq!(summary.counts.under_approx_risk, 0);
+}

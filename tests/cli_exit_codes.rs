@@ -194,6 +194,135 @@ fn invalid_icfgp_threads_is_a_usage_error() {
 }
 
 #[test]
+fn audit_contract_clean_findings_usage() {
+    let raw = gen_switch_demo();
+
+    // Clean workload: every function proven, exit 0.
+    let clean = icfgp()
+        .args(["audit"])
+        .arg(&raw)
+        .args(["--mode", "jt"])
+        .output()
+        .expect("audit runs");
+    assert_eq!(clean.status.code(), Some(0), "{}", String::from_utf8_lossy(&clean.stderr));
+    let text = String::from_utf8_lossy(&clean.stdout);
+    assert!(text.contains("proven"), "{text}");
+
+    // The same fault seed that degrades the rewrite produces findings:
+    // exit 1 and at least one ICFGP-A lint on stdout.
+    let findings = icfgp()
+        .args(["audit"])
+        .arg(&raw)
+        .args(["--mode", "jt", "--fault-seed", "1"])
+        .output()
+        .expect("audit runs");
+    assert_eq!(findings.status.code(), Some(1), "{}", String::from_utf8_lossy(&findings.stderr));
+    assert!(String::from_utf8_lossy(&findings.stdout).contains("ICFGP-A"));
+
+    // Usage errors: missing FILE and unknown --format are both 64.
+    let nofile = icfgp().arg("audit").output().expect("runs");
+    assert_eq!(nofile.status.code(), Some(64));
+    let badfmt = icfgp()
+        .args(["audit"])
+        .arg(&raw)
+        .args(["--format", "yaml"])
+        .output()
+        .expect("runs");
+    assert_eq!(badfmt.status.code(), Some(64));
+    assert!(String::from_utf8_lossy(&badfmt.stderr).contains("--format"));
+
+    // A missing file is an internal error (3), not a usage error.
+    let gone = icfgp()
+        .args(["audit", "/nonexistent/icfgp-audit-test.json"])
+        .output()
+        .expect("runs");
+    assert_eq!(gone.status.code(), Some(3));
+
+    let _ = std::fs::remove_file(&raw);
+}
+
+#[test]
+fn audit_gate_converges_faster_and_is_reported() {
+    let raw = gen_switch_demo();
+    let rw = tmp("gated.json");
+    // Same seed as `degraded_within_budget_exits_one`: degraded but
+    // within a 1.0 budget, so the gated run still exits 1 — and the
+    // disposition summary now carries the gate line.
+    let out = icfgp()
+        .args(["rewrite"])
+        .arg(&raw)
+        .args(["--mode", "jt", "--fault-seed", "1", "--budget", "1.0", "--audit-gate", "-o"])
+        .arg(&rw)
+        .output()
+        .expect("rewrite runs");
+    assert_eq!(out.status.code(), Some(1), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("audit gate"), "{text}");
+    let _ = std::fs::remove_file(&raw);
+    let _ = std::fs::remove_file(&rw);
+}
+
+#[test]
+fn cache_compact_shrinks_a_cleared_quarantine() {
+    let raw = gen_switch_demo();
+    let rw = tmp("compact-rw.json");
+    let dir = tmp("compact-store");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Two rewrites append two generations of segments; corrupt in
+    // between so compaction has quarantine leftovers to sweep.
+    for _ in 0..2 {
+        let out = icfgp()
+            .args(["rewrite"])
+            .arg(&raw)
+            .args(["--mode", "jt", "--cache-dir"])
+            .arg(&dir)
+            .arg("-o")
+            .arg(&rw)
+            .output()
+            .expect("rewrite runs");
+        assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    }
+    let out = icfgp()
+        .args(["cache", "compact", "--cache-dir"])
+        .arg(&dir)
+        .output()
+        .expect("cache compact runs");
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("kept"), "{text}");
+
+    // The compacted store still verifies clean and still serves hits.
+    let verify = icfgp()
+        .args(["cache", "verify", "--cache-dir"])
+        .arg(&dir)
+        .output()
+        .expect("cache verify runs");
+    assert_eq!(verify.status.code(), Some(0), "{}", String::from_utf8_lossy(&verify.stdout));
+    let rw2 = tmp("compact-rw2.json");
+    let out = icfgp()
+        .args(["rewrite"])
+        .arg(&raw)
+        .args(["--mode", "jt", "--cache-dir"])
+        .arg(&dir)
+        .arg("-o")
+        .arg(&rw2)
+        .output()
+        .expect("rewrite runs");
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    assert_eq!(
+        std::fs::read(&rw).unwrap(),
+        std::fs::read(&rw2).unwrap(),
+        "compaction must not change rewrite output"
+    );
+
+    let _ = std::fs::remove_file(&raw);
+    let _ = std::fs::remove_file(&rw);
+    let _ = std::fs::remove_file(&rw2);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn cache_verify_contract_clean_then_damaged() {
     let raw = gen_switch_demo();
     let rw = tmp("cache-rw.json");

@@ -71,6 +71,48 @@ fn gen_analyze_rewrite_run_pipeline() {
 }
 
 #[test]
+fn audit_emits_wellformed_sarif() {
+    let raw = tmp("sarif-raw.json");
+    let out = icfgp()
+        .args(["gen", "--workload", "switch_demo", "--arch", "x86-64", "-o"])
+        .arg(&raw)
+        .output()
+        .expect("gen runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let out = icfgp()
+        .args(["audit"])
+        .arg(&raw)
+        .args(["--mode", "func-ptr", "--format", "sarif", "--fault-seed", "1"])
+        .output()
+        .expect("audit runs");
+    // Findings exist under this seed, so the exit code is 1 — but the
+    // SARIF on stdout must still be complete and well-formed.
+    assert_eq!(out.status.code(), Some(1), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    let sarif: serde::Value = serde_json::from_str(text.trim()).expect("stdout parses as JSON");
+    assert_eq!(sarif.get("version").and_then(serde::Value::as_str), Some("2.1.0"), "{text}");
+    let results = sarif
+        .get("runs")
+        .and_then(serde::Value::as_arr)
+        .and_then(<[serde::Value]>::first)
+        .and_then(|run| run.get("results"))
+        .and_then(serde::Value::as_arr)
+        .expect("results array");
+    assert!(!results.is_empty(), "faulted audit must carry results: {text}");
+    assert!(
+        results.iter().all(|r| {
+            r.get("ruleId")
+                .and_then(serde::Value::as_str)
+                .is_some_and(|id| id.starts_with("ICFGP-A"))
+        }),
+        "{text}"
+    );
+
+    let _ = std::fs::remove_file(&raw);
+}
+
+#[test]
 fn run_reports_crash_as_failure() {
     // A rewritten (poisoned) binary run *without* the runtime library
     // may still work when no traps exist; instead corrupt the file to

@@ -1,0 +1,210 @@
+//! Properties of the whole-binary soundness auditor, exercised over
+//! the adversarial generator knobs (aliased spilled indices,
+//! memory-escaping function pointers) and injected fault plans:
+//!
+//! 1. **Monotonicity** — per-function verdicts never improve as the
+//!    requested mode widens (`dir` ≤ `jt` ≤ `func-ptr`), because a
+//!    wider mode can only make more findings relevant.
+//! 2. **No false assurance** — a function the auditor grades `proven`
+//!    is never the subject of a verifier error: every error that maps
+//!    to an original function lands on a non-proven one.
+
+use incremental_cfg_patching::audit::{audit_binary, AuditMode, AuditSeverity, LintCode};
+use incremental_cfg_patching::core::{
+    apply_audit_gate, FaultPlan, FuncMode, Instrumentation, Points, RewriteCache, RewriteConfig,
+    RewriteMode, Rewriter,
+};
+use incremental_cfg_patching::emu::{run, LoadOptions, Outcome};
+use incremental_cfg_patching::isa::Arch;
+use incremental_cfg_patching::verify::verify_rewrite;
+use incremental_cfg_patching::asm::patterns::SwitchHardness;
+use incremental_cfg_patching::workloads::{generate, GenParams};
+use proptest::prelude::*;
+
+/// A workload exercising both adversarial knobs: aliased spilled
+/// switch indices and memory-escaping function pointers.
+fn adversarial(name: &str, arch: Arch, seed: u64, pie: bool) -> GenParams {
+    let mut p = GenParams::small(name, arch, seed);
+    p.pie = pie;
+    p.switch_funcs = 3;
+    p.switch_hardness = vec![
+        SwitchHardness::Easy,
+        SwitchHardness::AliasedSpill,
+        SwitchHardness::SpilledIndex,
+    ];
+    p.fnptr_escapes = 2;
+    p
+}
+
+fn arb_arch() -> impl Strategy<Value = Arch> {
+    prop_oneof![Just(Arch::X64), Just(Arch::Ppc64le), Just(Arch::Aarch64)]
+}
+
+fn arb_intensity() -> impl Strategy<Value = &'static str> {
+    prop_oneof![Just("none"), Just("quiet"), Just("standard")]
+}
+
+const MODES: [AuditMode; 3] = [AuditMode::Dir, AuditMode::Jt, AuditMode::FuncPtr];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn audit_verdicts_are_monotone_across_modes(
+        arch in arb_arch(),
+        wl_seed in 0u64..200,
+        pie in any::<bool>(),
+        intensity in arb_intensity(),
+        fault_seed in 0u64..1_000,
+    ) {
+        let bin = generate(&adversarial("audit-mono", arch, wl_seed, pie)).binary;
+        let mut config = RewriteConfig::new(RewriteMode::FuncPtr);
+        let cache = RewriteCache::new();
+        if let Some(plan) = FaultPlan::named(intensity, fault_seed) {
+            plan.arm_cached(&bin, &mut config, &cache);
+        }
+        let report = audit_binary(&bin, &config.analysis, None);
+        for &entry in report.functions.keys() {
+            let v: Vec<AuditSeverity> =
+                MODES.iter().map(|m| report.verdict(entry, *m)).collect();
+            prop_assert!(
+                v[0] <= v[1] && v[1] <= v[2],
+                "{entry:#x}: verdicts not monotone across modes: {v:?}"
+            );
+        }
+        // The relevant finding *sets* are monotone too, not just the
+        // per-function maxima.
+        let count = |m| report.findings_for(m).count();
+        prop_assert!(count(AuditMode::Dir) <= count(AuditMode::Jt));
+        prop_assert!(count(AuditMode::Jt) <= count(AuditMode::FuncPtr));
+    }
+
+    #[test]
+    fn proven_functions_never_fail_verify(
+        arch in arb_arch(),
+        wl_seed in 0u64..200,
+        pie in any::<bool>(),
+        intensity in arb_intensity(),
+        fault_seed in 0u64..1_000,
+    ) {
+        let bin = generate(&adversarial("audit-proven", arch, wl_seed, pie)).binary;
+        let mut config = RewriteConfig::new(RewriteMode::FuncPtr);
+        config.collect_artifacts = true;
+        let cache = RewriteCache::new();
+        if let Some(plan) = FaultPlan::named(intensity, fault_seed) {
+            plan.arm_cached(&bin, &mut config, &cache);
+        }
+        let report = audit_binary(&bin, &config.analysis, None);
+        let outcome = Rewriter::new(config.clone())
+            .rewrite(&bin, &Instrumentation::empty(Points::EveryBlock))
+            .map_err(|e| TestCaseError::fail(format!("rewrite failed: {e}")))?;
+        let verify = verify_rewrite(&bin, &outcome, &config).expect("artifacts collected");
+        for d in verify.errors() {
+            if let Some(f) = bin.function_at(d.addr) {
+                prop_assert!(
+                    report.verdict(f.addr, AuditMode::FuncPtr) != AuditSeverity::Proven,
+                    "{}/{intensity} seed {fault_seed}: verifier error at {:#x} in \
+                     audited-proven function {:#x} ({:?})",
+                    arch_name(arch), d.addr, f.addr, d.check
+                );
+            }
+        }
+    }
+}
+
+fn arch_name(arch: Arch) -> &'static str {
+    match arch {
+        Arch::X64 => "x64",
+        Arch::Ppc64le => "ppc64le",
+        Arch::Aarch64 => "aarch64",
+    }
+}
+
+/// The aliased-spill knob produces exactly the evidence the auditor
+/// keys `ICFGP-A002` on, without breaking the rewrite itself.
+#[test]
+fn aliased_spill_switch_is_flagged_but_rewrites_cleanly() {
+    for arch in [Arch::X64, Arch::Ppc64le, Arch::Aarch64] {
+        let mut p = GenParams::small("aliased", arch, 5);
+        p.pie = true;
+        p.switch_funcs = 1;
+        p.switch_hardness = vec![SwitchHardness::AliasedSpill];
+        let bin = generate(&p).binary;
+        let entry = bin.function_named("dispatch0").expect("dispatcher").addr;
+
+        let config = RewriteConfig::new(RewriteMode::FuncPtr);
+        let report = audit_binary(&bin, &config.analysis, None);
+        assert!(
+            report
+                .findings_for(AuditMode::Jt)
+                .any(|f| f.code == LintCode::A002 && f.func_entry == entry),
+            "{arch:?}: aliased spill must surface as A002, got {report:?}"
+        );
+        assert_eq!(report.verdict(entry, AuditMode::Jt), AuditSeverity::UnderApproxRisk);
+
+        // The hazard is a *risk*, not a defect: the rewrite still
+        // verifies and behaves identically.
+        let expected = match run(&bin, &LoadOptions::default()) {
+            Outcome::Halted(s) => s.output,
+            o => panic!("{arch:?}: workload invalid: {o:?}"),
+        };
+        let mut config = config;
+        config.collect_artifacts = true;
+        let outcome = Rewriter::new(config.clone())
+            .rewrite(&bin, &Instrumentation::empty(Points::EveryBlock))
+            .expect("rewrite");
+        let verify = verify_rewrite(&bin, &outcome, &config).expect("artifacts");
+        assert!(verify.errors().next().is_none(), "{arch:?}: clean rewrite must verify");
+        let opts = LoadOptions { preload_runtime: true, ..LoadOptions::default() };
+        match run(&outcome.binary, &opts) {
+            Outcome::Halted(s) => assert_eq!(s.output, expected, "{arch:?}"),
+            o => panic!("{arch:?}: rewritten failed: {o:?}"),
+        }
+    }
+}
+
+/// The escape knob produces `ICFGP-A003` on the *pointed-to* function,
+/// and the predictive gate demotes it from `func-ptr` to `jt` — while
+/// the workload still runs correctly through the rewrite.
+#[test]
+fn escaping_fnptr_is_flagged_and_gated_to_jt() {
+    for arch in [Arch::X64, Arch::Ppc64le, Arch::Aarch64] {
+        let mut p = GenParams::small("escapes", arch, 9);
+        p.pie = true;
+        p.fnptr_escapes = 2;
+        let bin = generate(&p).binary;
+        // escape0/escape1 point at compute0/compute1 — the A003
+        // findings attribute to the *targets*.
+        let target = bin.function_named("compute0").expect("kernel").addr;
+
+        let mut config = RewriteConfig::new(RewriteMode::FuncPtr);
+        let cache = RewriteCache::new();
+        let summary = apply_audit_gate(&bin, &mut config, &cache);
+        assert!(
+            summary
+                .report
+                .findings_for(AuditMode::FuncPtr)
+                .any(|f| f.code == LintCode::A003 && f.func_entry == target),
+            "{arch:?}: escaping pointer must surface as A003 on its target"
+        );
+        assert_eq!(
+            summary.gated.get(&target),
+            Some(&FuncMode::Full(RewriteMode::Jt)),
+            "{arch:?}: A003 is a func-ptr-only risk; the gate stops at jt"
+        );
+
+        // End-to-end: the (gated) rewrite still behaves identically.
+        let expected = match run(&bin, &LoadOptions::default()) {
+            Outcome::Halted(s) => s.output,
+            o => panic!("{arch:?}: workload invalid: {o:?}"),
+        };
+        let outcome = Rewriter::new(config)
+            .rewrite(&bin, &Instrumentation::empty(Points::EveryBlock))
+            .expect("rewrite");
+        let opts = LoadOptions { preload_runtime: true, ..LoadOptions::default() };
+        match run(&outcome.binary, &opts) {
+            Outcome::Halted(s) => assert_eq!(s.output, expected, "{arch:?}"),
+            o => panic!("{arch:?}: rewritten failed: {o:?}"),
+        }
+    }
+}

@@ -63,6 +63,62 @@ fn warm_from_disk_is_byte_identical_and_hits() {
 }
 
 #[test]
+fn quarantined_lookups_are_not_double_counted() {
+    use incremental_cfg_patching::core::{store::corrupt_dir, CorruptKind};
+    let populate_dir = tmp_dir("disjoint-populate");
+    let binary = small_binary(17);
+    let rw = rewriter();
+
+    // Populate, then measure a clean warm run: it fixes the total
+    // persisted-lookup count for this (binary, config).
+    {
+        let cache = RewriteCache::with_store(Arc::new(CacheStore::open(&populate_dir)));
+        let _ = rw.rewrite_cached(&binary, &instr(), &cache).expect("populate");
+        assert!(cache.flush_store() > 0);
+    }
+    let cache = RewriteCache::with_store(Arc::new(CacheStore::open(&populate_dir)));
+    let clean = rw.rewrite_cached(&binary, &instr(), &cache).expect("clean warm").stats.store;
+    assert_eq!(clean.quarantined_records, 0, "{clean:?}");
+    let total = clean.hits + clean.misses;
+
+    // Damage a segment each way; the warm run over the damaged store
+    // must still account for exactly `total` lookups across the two
+    // lookup buckets — hits, misses and quarantines are disjoint, so a
+    // record rejected by the corruption checks costs one miss and one
+    // quarantine count, never a miss *and* an extra lookup entry.
+    for (kind, seed) in
+        [(CorruptKind::BitFlip, 3), (CorruptKind::Truncate, 5), (CorruptKind::StaleVersion, 7)]
+    {
+        let dir = tmp_dir("disjoint-damaged");
+        std::fs::create_dir_all(&dir).unwrap();
+        for entry in std::fs::read_dir(&populate_dir).unwrap().flatten() {
+            std::fs::copy(entry.path(), dir.join(entry.file_name())).unwrap();
+        }
+        corrupt_dir(&dir, kind, seed).expect("corrupt");
+        let store = Arc::new(CacheStore::open(&dir));
+        let cache = RewriteCache::with_store(store.clone());
+        let out = rw.rewrite_cached(&binary, &instr(), &cache).expect("damaged warm");
+        // Damage is caught at load time (checksum / header checks), so
+        // it shows in the store's cumulative counters, not in the
+        // rewrite-window delta.
+        let s = store.stats();
+        assert!(
+            s.quarantined_records + s.quarantined_segments > 0,
+            "{kind:?}: damage must be detected: {s:?}"
+        );
+        let d = out.stats.store;
+        assert_eq!(
+            d.hits + d.misses,
+            total,
+            "{kind:?}: lookup count must be conserved (disjoint buckets): \
+             clean {clean:?} vs damaged {d:?}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    let _ = std::fs::remove_dir_all(&populate_dir);
+}
+
+#[test]
 fn cross_binary_sharing_hits_function_analysis() {
     let dir = tmp_dir("xbin");
     // Two binaries that differ ONLY in `main`'s loop bound (one
