@@ -625,6 +625,23 @@ pub fn audit_binary(
                     "analysis failure injected at this function".to_string(),
                 );
             }
+            InjectedFault::StallFunction { entry: e, units } => {
+                // A stall only matters when it blows the watchdog
+                // budget; below it, analysis completes normally.
+                if *units > config.max_work_units {
+                    report.push(
+                        LintCode::A005,
+                        AuditSeverity::Unknown,
+                        *e,
+                        *e,
+                        format!(
+                            "stalled analysis injected: {units} work unit(s) exceed the \
+                             {}-unit watchdog budget",
+                            config.max_work_units
+                        ),
+                    );
+                }
+            }
         }
     }
 

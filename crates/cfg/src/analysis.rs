@@ -38,9 +38,28 @@ pub struct AnalysisConfig {
     pub max_slice_insts: usize,
     /// Cap on (possibly extended) table sizes.
     pub max_table_entries: u64,
+    /// Watchdog work-unit budget for one function's analysis: the
+    /// fixpoint driver charges one unit per traversed instruction per
+    /// round plus [`AnalysisConfig::max_slice_insts`] units per
+    /// jump-table slice. Exceeding it aborts the function with
+    /// [`AnalysisFailure::Budget`] — demote, never hang. The unit
+    /// ledger is deterministic, so budget verdicts are cacheable and
+    /// identical warm or cold.
+    pub max_work_units: u64,
+    /// Optional wall-clock deadline (milliseconds) for one function's
+    /// analysis, checked cooperatively at fixpoint-round boundaries.
+    /// Unlike the work-unit budget this is *not* deterministic across
+    /// machines or runs; leave it `None` when byte-reproducibility of
+    /// degradation decisions matters.
+    pub func_timeout_ms: Option<u64>,
     /// Faults to inject for the Figure 2 failure-mode experiment.
     pub inject: Vec<InjectedFault>,
 }
+
+/// Default per-function analysis work-unit budget. Generous: real
+/// workloads stay orders of magnitude below it; only a pathological
+/// function (or an injected [`InjectedFault::StallFunction`]) trips it.
+pub const DEFAULT_WORK_UNITS: u64 = 1 << 20;
 
 impl Default for AnalysisConfig {
     fn default() -> AnalysisConfig {
@@ -52,6 +71,8 @@ impl Default for AnalysisConfig {
             funcptr_arith_tracking: true,
             max_slice_insts: 48,
             max_table_entries: 1024,
+            max_work_units: DEFAULT_WORK_UNITS,
+            func_timeout_ms: None,
             inject: Vec::new(),
         }
     }
@@ -163,6 +184,18 @@ pub enum InjectedFault {
         /// Entry address of the victim function.
         entry: u64,
     },
+    /// Burn `units` deterministic work units before analysing the
+    /// function at `entry` — models a pathological function whose
+    /// analysis blows up. With `units` above
+    /// [`AnalysisConfig::max_work_units`] the watchdog fires and the
+    /// function degrades with [`AnalysisFailure::Budget`] instead of
+    /// hanging the pipeline.
+    StallFunction {
+        /// Entry address of the victim function.
+        entry: u64,
+        /// Work units charged up front.
+        units: u64,
+    },
 }
 
 impl InjectedFault {
@@ -173,7 +206,8 @@ impl InjectedFault {
         match self {
             InjectedFault::FailFunction { entry }
             | InjectedFault::PanicFunction { entry }
-            | InjectedFault::CorruptLiveness { entry } => *entry,
+            | InjectedFault::CorruptLiveness { entry }
+            | InjectedFault::StallFunction { entry, .. } => *entry,
             InjectedFault::UnderApproximateTable { jump_addr, .. }
             | InjectedFault::OverApproximateTable { jump_addr, .. } => *jump_addr,
         }
@@ -211,6 +245,18 @@ pub enum AnalysisFailure {
     /// The per-function analysis panicked and was caught by the
     /// isolation boundary in [`analyze`].
     Panicked,
+    /// The watchdog fired: analysis exceeded its work-unit budget or
+    /// wall-clock deadline and was aborted (demoted, never hung).
+    Budget {
+        /// Units spent when the watchdog fired: work units, or
+        /// milliseconds when `wall_clock` is set.
+        spent: u64,
+        /// The configured limit in the same unit as `spent`.
+        limit: u64,
+        /// `true` when the (nondeterministic) wall-clock deadline
+        /// fired rather than the deterministic work-unit budget.
+        wall_clock: bool,
+    },
 }
 
 impl fmt::Display for AnalysisFailure {
@@ -224,6 +270,16 @@ impl fmt::Display for AnalysisFailure {
             }
             AnalysisFailure::Injected => f.write_str("injected analysis failure"),
             AnalysisFailure::Panicked => f.write_str("analysis panicked (isolated)"),
+            AnalysisFailure::Budget { spent, limit, wall_clock } => {
+                if *wall_clock {
+                    write!(f, "analysis deadline exceeded: {spent} ms over the {limit} ms limit")
+                } else {
+                    write!(
+                        f,
+                        "analysis budget exceeded: {spent} work units over the {limit}-unit budget"
+                    )
+                }
+            }
         }
     }
 }
@@ -402,6 +458,13 @@ fn install_quiet_panic_hook() {
 /// blocks, no instructions, status [`AnalysisFailure::Panicked`]. The
 /// rewriter treats it like any other failed function (§4.3).
 fn panicked_func_cfg(sym: &Symbol) -> FuncCfg {
+    failed_func_cfg(sym, AnalysisFailure::Panicked)
+}
+
+/// A stub CFG carrying only a failure status — shared by the panic
+/// isolation boundary and the analysis watchdog. No blocks and no
+/// instructions: the function is skipped wholesale.
+fn failed_func_cfg(sym: &Symbol, failure: AnalysisFailure) -> FuncCfg {
     FuncCfg {
         name: sym.name.clone(),
         entry: sym.addr,
@@ -417,7 +480,7 @@ fn panicked_func_cfg(sym: &Symbol) -> FuncCfg {
         inline_data: Vec::new(),
         has_indirect_calls: false,
         fp_landing_targets: Vec::new(),
-        status: FuncStatus::Failed(AnalysisFailure::Panicked),
+        status: FuncStatus::Failed(failure),
     }
 }
 
@@ -590,6 +653,25 @@ pub fn analyze_function(
         .flat_map(|e| e.call_sites.iter().map(|cs| cs.landing_pad))
         .collect();
 
+    // Watchdog ledger: deterministic work units, plus an optional
+    // cooperative wall-clock deadline. An injected stall charges its
+    // units up front, so chaos can provoke the budget reproducibly.
+    let mut work: u64 = 0;
+    for f in &config.inject {
+        if let InjectedFault::StallFunction { entry, units } = f {
+            if *entry == sym.addr {
+                work = work.saturating_add(*units);
+            }
+        }
+    }
+    let started = std::time::Instant::now();
+    if work > config.max_work_units {
+        return failed_func_cfg(
+            sym,
+            AnalysisFailure::Budget { spent: work, limit: config.max_work_units, wall_clock: false },
+        );
+    }
+
     // Iterate traversal + jump-table resolution to a fixpoint.
     let mut extra_starts: Vec<u64> = landing_pads.clone();
     let mut jump_tables = Vec::new();
@@ -599,7 +681,27 @@ pub fn analyze_function(
     let mut insts;
     let mut local_boundaries = boundaries.clone();
     loop {
+        if let Some(ms) = config.func_timeout_ms {
+            let elapsed = u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX);
+            if elapsed > ms {
+                return failed_func_cfg(
+                    sym,
+                    AnalysisFailure::Budget { spent: elapsed, limit: ms, wall_clock: true },
+                );
+            }
+        }
         insts = traverse(binary, sym.addr, range, &extra_starts, Some(&mut decode_failure));
+        work = work.saturating_add(insts.len() as u64);
+        if work > config.max_work_units {
+            return failed_func_cfg(
+                sym,
+                AnalysisFailure::Budget {
+                    spent: work,
+                    limit: config.max_work_units,
+                    wall_clock: false,
+                },
+            );
+        }
         let pending: Vec<u64> = insts
             .iter()
             .filter(|(_, (i, _))| {
@@ -613,6 +715,17 @@ pub fn analyze_function(
         }
         let mut progressed = false;
         for jump_addr in pending {
+            work = work.saturating_add(config.max_slice_insts as u64);
+            if work > config.max_work_units {
+                return failed_func_cfg(
+                    sym,
+                    AnalysisFailure::Budget {
+                        spent: work,
+                        limit: config.max_work_units,
+                        wall_clock: false,
+                    },
+                );
+            }
             analyzed_jumps.insert(jump_addr);
             let ctx = SliceCtx {
                 insts: &insts,

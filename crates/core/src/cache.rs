@@ -138,9 +138,32 @@ pub struct RewriteStats {
     pub liveness: StageStats,
     /// Stage wall-clock timings.
     pub timings: StageTimings,
+    /// The five slowest functions this rewrite touched, as
+    /// `(entry, total_ns)` across analysis + fragment + emit, sorted
+    /// slowest first and zero-padded — `rewrite --stats` prints these
+    /// so watchdog budgets can be tuned against real offenders.
+    pub slowest: [(u64, u64); 5],
     /// Persistent-store activity during this rewrite (all zero when no
     /// store is attached).
     pub store: StoreStats,
+}
+
+/// Fold per-function `(entry, ns)` samples into the top-5 `slowest`
+/// array (summing samples for the same entry first).
+#[must_use]
+pub fn slowest_of(samples: &[(u64, u64)]) -> [(u64, u64); 5] {
+    let mut per_func: BTreeMap<u64, u64> = BTreeMap::new();
+    for &(entry, ns) in samples {
+        *per_func.entry(entry).or_insert(0) += ns;
+    }
+    let mut all: Vec<(u64, u64)> = per_func.into_iter().collect();
+    // Slowest first; ties broken by entry address for determinism.
+    all.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    let mut top = [(0u64, 0u64); 5];
+    for (slot, &(entry, ns)) in top.iter_mut().zip(all.iter()) {
+        *slot = (entry, ns);
+    }
+    top
 }
 
 /// Hash a `Hash` value with the deterministic zero-keyed hasher.
@@ -598,6 +621,10 @@ pub struct AnalysisRun {
     pub rounds: u32,
     /// Per-function analysis hits/misses.
     pub func_stats: StageStats,
+    /// Per-function analysis wall time `(entry, ns)`, one sample per
+    /// analysed work item (empty on a memo hit). Feeds the
+    /// `rewrite --stats` `slowest:` line.
+    pub func_times: Vec<(u64, u64)>,
 }
 
 /// Analyse `binary` incrementally and in parallel, reproducing the
@@ -630,6 +657,7 @@ pub fn analyze_incremental(
             memo_hit: true,
             rounds: memo.rounds,
             func_stats: StageStats::default(),
+            func_times: Vec::new(),
         };
     }
     let pre = cache.prepass(binary_fp, binary);
@@ -664,6 +692,7 @@ pub fn analyze_incremental(
     let mut results: Vec<Option<Arc<FuncCfg>>> = vec![None; n];
     let mut analyzed: Vec<Option<u64>> = vec![None; n];
     let mut func_stats = StageStats::default();
+    let mut func_times: Vec<(u64, u64)> = Vec::new();
     let mut rounds = 0u32;
     let final_set: BTreeSet<u64>;
     loop {
@@ -706,12 +735,15 @@ pub fn analyze_incremental(
             let mut k = DefaultHasher::new();
             statics[i].hash(&mut k);
             input_hash.hash(&mut k);
-            cache.func(k.finish(), binary, binary_fp, || {
+            let started = std::time::Instant::now();
+            let out = cache.func(k.finish(), binary, binary_fp, || {
                 analyze_function_isolated(binary, syms[i], config, snap)
-            })
+            });
+            (out, u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX))
         });
-        for (&i, (cfg, hit)) in work.iter().zip(outs) {
+        for (&i, ((cfg, hit), ns)) in work.iter().zip(outs) {
             func_stats.record(hit);
+            func_times.push((syms[i].addr, ns));
             analyzed[i] = Some(snaps[i].as_ref().expect("snapshot").1);
             results[i] = Some(cfg);
         }
@@ -755,6 +787,7 @@ pub fn analyze_incremental(
         memo_hit: false,
         rounds,
         func_stats,
+        func_times,
     }
 }
 

@@ -20,6 +20,9 @@
 //! * `add_table_targets` — over-approximation, wasteful but safe;
 //! * `corrupt_liveness` — a wrong scratch-register oracle, so long
 //!   trampolines may clobber live registers;
+//! * `stall_function` — a pathological function whose analysis blows
+//!   past its work-unit budget, so the watchdog demotes it
+//!   (`AnalysisFailure::Budget`) instead of hanging;
 //! * `shrink_budgets` / `starve_scratch` / `exhaust_reach` — placement
 //!   stress: no superblocks, no scratch sources (so no islands), and a
 //!   `.instr` gap beyond the short-branch reach.
@@ -51,6 +54,16 @@ pub struct FaultPlan {
     /// Probability a function's liveness oracle claims every register
     /// dead.
     pub corrupt_liveness: f64,
+    /// Probability a function's analysis stalls: it is charged
+    /// [`FaultPlan::stall_units`] watchdog work units up front, which
+    /// (when above `AnalysisConfig::max_work_units`) deterministically
+    /// trips the analysis watchdog (`AnalysisFailure::Budget`).
+    #[serde(default)]
+    pub stall_function: f64,
+    /// Work units an injected stall charges (see
+    /// [`FaultPlan::stall_function`]).
+    #[serde(default)]
+    pub stall_units: u64,
     /// Disable trampoline superblocks (shrinks every inline budget to
     /// the CFL block itself).
     pub shrink_budgets: bool,
@@ -84,6 +97,8 @@ impl FaultPlan {
             drop_table_targets: 0.0,
             add_table_targets: 0.0,
             corrupt_liveness: 0.0,
+            stall_function: 0.0,
+            stall_units: 0,
             shrink_budgets: false,
             starve_scratch: false,
             exhaust_reach: false,
@@ -140,6 +155,10 @@ impl FaultPlan {
             drop_table_targets: 0.75,
             add_table_targets: 0.50,
             corrupt_liveness: 0.50,
+            // Well past the default 2^20-unit analysis budget: a drawn
+            // stall always trips the watchdog.
+            stall_function: 0.10,
+            stall_units: 1 << 22,
             shrink_budgets: true,
             starve_scratch: true,
             exhaust_reach: true,
@@ -216,6 +235,8 @@ impl FaultPlan {
                 inject.push(InjectedFault::FailFunction { entry });
             } else if chance(&mut rng, self.panic_function) {
                 inject.push(InjectedFault::PanicFunction { entry });
+            } else if chance(&mut rng, self.stall_function) {
+                inject.push(InjectedFault::StallFunction { entry, units: self.stall_units });
             }
             if chance(&mut rng, self.corrupt_liveness) {
                 inject.push(InjectedFault::CorruptLiveness { entry });

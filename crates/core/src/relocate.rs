@@ -199,13 +199,15 @@ pub(crate) struct EmittedFunc {
     ra_pairs: Vec<(u64, u64)>,
 }
 
-/// Relocate all selected functions. Returns the relocated code plus
-/// (fragment, emission) cache counters.
+/// Relocate all selected functions. Returns the relocated code, the
+/// (fragment, emission) cache counters, and per-function wall-time
+/// samples `(entry, ns)` for the `--stats` slowest-function line.
+#[allow(clippy::type_complexity)]
 pub(crate) fn relocate(
     input: &RelocateInput<'_>,
     cache: &RewriteCache,
     threads: usize,
-) -> Result<(RelocatedCode, StageStats, StageStats), RewriteError> {
+) -> Result<(RelocatedCode, StageStats, StageStats, Vec<(u64, u64)>), RewriteError> {
     let binary = input.binary;
     let arch = binary.arch;
     let config = input.config;
@@ -244,13 +246,18 @@ pub(crate) fn relocate(
         .map(|f| (*f, fragment_key(input, f, instr_fp, far_to_orig, &relocated_ranges)))
         .collect();
     let frag_results = pool::map(threads, &keyed, |_, (func, key)| {
-        cache.fragment(*key, || build_fragment(input, func, far_to_orig, &relocated_ranges))
+        let started = std::time::Instant::now();
+        let out =
+            cache.fragment(*key, || build_fragment(input, func, far_to_orig, &relocated_ranges));
+        (out, u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX))
     });
     let mut frag_stats = StageStats::default();
+    let mut func_times: Vec<(u64, u64)> = Vec::with_capacity(keyed.len() * 2);
     let mut frags: Vec<Arc<FuncFragment>> = Vec::with_capacity(keyed.len());
-    for r in frag_results {
+    for ((func, _), (r, ns)) in keyed.iter().zip(frag_results) {
         let (frag, hit) = r?;
         frag_stats.record(hit);
+        func_times.push((func.entry, ns));
         frags.push(frag);
     }
 
@@ -360,7 +367,8 @@ pub(crate) fn relocate(
     let emit_results = pool::map(threads, &emit_jobs, |_, &(i, key)| {
         let (base, slot_base) = placed[i];
         let clone_addrs = func_clone_addrs.get(&keyed[i].0.entry).unwrap_or(&empty_addrs);
-        cache.emit(key, || {
+        let started = std::time::Instant::now();
+        let out = cache.emit(key, || {
             emit_func(
                 &frags[i],
                 base,
@@ -373,7 +381,8 @@ pub(crate) fn relocate(
                 icounters_base,
                 input.emulation_stack_bug,
             )
-        })
+        });
+        (out, u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX))
     });
 
     // ----- merge (deterministic, address order of the layout) ----------
@@ -381,9 +390,10 @@ pub(crate) fn relocate(
     let mut code: Vec<u8> = Vec::with_capacity((instr_end - input.instr_base) as usize);
     let mut ra_map = RaMap::new();
     let mut emit_stats = StageStats::default();
-    for (i, r) in emit_results.into_iter().enumerate() {
+    for (i, (r, ns)) in emit_results.into_iter().enumerate() {
         let (emitted, hit) = r?;
         emit_stats.record(hit);
+        func_times.push((keyed[i].0.entry, ns));
         let (base, _) = placed[i];
         // Alignment padding between fragments.
         while input.instr_base + code.len() as u64 != base {
@@ -474,6 +484,7 @@ pub(crate) fn relocate(
         },
         frag_stats,
         emit_stats,
+        func_times,
     ))
 }
 

@@ -240,7 +240,7 @@ impl Rewriter {
 
         // ----- relocation ----------------------------------------------
         let t_relocate = Instant::now();
-        let (reloc, frag_stats, emit_stats) = relocate(
+        let (reloc, frag_stats, emit_stats, reloc_times) = relocate(
             &RelocateInput {
                 binary,
                 analysis,
@@ -622,6 +622,11 @@ impl Rewriter {
                 placement_ns,
                 assemble_ns: total_ns.saturating_sub(analysis_ns + relocate_ns + placement_ns),
                 total_ns,
+            },
+            slowest: {
+                let mut samples = run.func_times.clone();
+                samples.extend_from_slice(&reloc_times);
+                crate::cache::slowest_of(&samples)
             },
             store: cache.store_stats().delta_since(&store_before),
         };

@@ -73,14 +73,16 @@ pub const FORMAT_VERSION: u32 = 1;
 /// `DefaultHasher`, which is stable within one Rust release; bump this
 /// when the key derivation in `cache.rs` changes — or when a persisted
 /// payload type changes shape (epoch 3: `JumpTableDesc` gained bound
-/// evidence, `FpDef` gained pointer evidence) — so stale stores are
+/// evidence, `FpDef` gained pointer evidence; epoch 4:
+/// `AnalysisFailure` gained the watchdog `Budget` variant and
+/// `AnalysisConfig` gained budget knobs) — so stale stores are
 /// quarantined instead of silently never hitting or mass-failing
 /// decode.
-pub const KEY_EPOCH: u64 = 3;
+pub const KEY_EPOCH: u64 = 4;
 /// Segment header length: magic + version + epoch.
-const HEADER_LEN: usize = 8 + 4 + 8;
+pub(crate) const HEADER_LEN: usize = 8 + 4 + 8;
 /// Per-record frame length before the payload: tag + key + len + checksum.
-const FRAME_LEN: usize = 1 + 8 + 4 + 8;
+pub(crate) const FRAME_LEN: usize = 1 + 8 + 4 + 8;
 /// Upper bound on a single record payload (corrupt length fields must
 /// not cause huge allocations).
 const MAX_PAYLOAD: u32 = 256 << 20;
@@ -232,6 +234,10 @@ pub struct StoreStats {
     pub io_errors: u64,
     /// Writer-lock acquisition timeouts.
     pub lock_timeouts: u64,
+    /// Transient-failure retries run by the backoff policy (contended
+    /// flushes re-attempted, short reads re-read).
+    #[serde(default)]
+    pub retries: u64,
 }
 
 impl StoreStats {
@@ -249,6 +255,7 @@ impl StoreStats {
             flushes: self.flushes - earlier.flushes,
             io_errors: self.io_errors - earlier.io_errors,
             lock_timeouts: self.lock_timeouts - earlier.lock_timeouts,
+            retries: self.retries - earlier.retries,
         }
     }
 
@@ -368,6 +375,14 @@ struct Inner {
     events: Vec<StoreEvent>,
     events_dropped: u64,
     faults: Option<(StoreFaults, FaultRng)>,
+    retry: crate::retry::RetryPolicy,
+}
+
+/// Outcome of one flush attempt: finished (possibly with nothing to
+/// do), or failed transiently and worth a retry.
+enum FlushOnce {
+    Done(usize),
+    Transient,
 }
 
 /// Counter block (atomics so the hot lookup path never takes the big
@@ -384,6 +399,7 @@ struct Counters {
     flushes: AtomicU64,
     io_errors: AtomicU64,
     lock_timeouts: AtomicU64,
+    retries: AtomicU64,
 }
 
 /// The crash-safe persistent rewrite-cache store. Open one per cache
@@ -410,14 +426,37 @@ impl std::fmt::Debug for CacheStore {
     }
 }
 
+/// Parse an environment variable holding a millisecond count, following
+/// the `ICFGP_THREADS` contract: unset, empty, or whitespace-only means
+/// "no override" (`Ok(None)`); anything else must parse as a
+/// non-negative integer or the value is a usage error naming the
+/// variable. The CLI validates with this up front and exits 64 on
+/// `Err`; library callers fall back to their default.
+///
+/// # Errors
+///
+/// A usage message naming `var` when `raw` is non-empty but not a
+/// non-negative integer.
+pub fn env_millis(var: &str, raw: Option<&str>) -> Result<Option<u64>, String> {
+    let Some(raw) = raw else { return Ok(None) };
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return Ok(None);
+    }
+    trimmed
+        .parse::<u64>()
+        .map(Some)
+        .map_err(|_| format!("{var} must be a non-negative integer (milliseconds), got {raw:?}"))
+}
+
 /// The writer-lock acquisition timeout: `ICFGP_STORE_LOCK_MS`
-/// (milliseconds), default 2000.
+/// (milliseconds), default 2000. Invalid values fall back to the
+/// default here; the CLI rejects them up front with usage exit 64 via
+/// [`env_millis`].
 #[must_use]
 pub fn lock_timeout() -> Duration {
-    let ms = std::env::var("ICFGP_STORE_LOCK_MS")
-        .ok()
-        .and_then(|v| v.trim().parse::<u64>().ok())
-        .unwrap_or(2000);
+    let raw = std::env::var("ICFGP_STORE_LOCK_MS").ok();
+    let ms = env_millis("ICFGP_STORE_LOCK_MS", raw.as_deref()).ok().flatten().unwrap_or(2000);
     Duration::from_millis(ms)
 }
 
@@ -450,6 +489,13 @@ impl CacheStore {
         store.writer = store.acquire_lock(lock_wait);
         if store.writer {
             store.reap_temp_files();
+            let swept = sweep_stale_quarantine(dir);
+            if swept > 0 {
+                store.event(
+                    StoreEventKind::Quarantined,
+                    format!("swept {swept} stale-epoch quarantined file(s)"),
+                );
+            }
         }
         store.load_all();
         store.event(
@@ -490,7 +536,21 @@ impl CacheStore {
             flushes: self.counters.flushes.load(Ordering::Relaxed),
             io_errors: self.counters.io_errors.load(Ordering::Relaxed),
             lock_timeouts: self.counters.lock_timeouts.load(Ordering::Relaxed),
+            retries: self.counters.retries.load(Ordering::Relaxed),
         }
+    }
+
+    /// Replace the transient-failure retry policy (default: the
+    /// [`RetryPolicy`](crate::retry::RetryPolicy) default, three
+    /// attempts with jittered backoff).
+    /// Chaos campaigns re-seed it from the fault-plan seed so delay
+    /// schedules replay exactly.
+    pub fn set_retry_policy(&self, policy: crate::retry::RetryPolicy) {
+        self.inner.lock().expect("store poisoned").retry = policy;
+    }
+
+    fn retry_policy(&self) -> crate::retry::RetryPolicy {
+        self.inner.lock().expect("store poisoned").retry
     }
 
     /// Structured events so far (bounded; overflow is dropped oldest).
@@ -636,35 +696,54 @@ impl CacheStore {
 
     fn load_segment(&self, name: &str) {
         let path = self.dir.join(name);
-        let mut data = match std::fs::read(&path) {
-            Ok(d) => d,
-            Err(e) => {
-                self.counters.io_errors.fetch_add(1, Ordering::Relaxed);
-                self.event(StoreEventKind::IoError, format!("read {name}: {e}"));
-                return;
-            }
-        };
-        // Injected short read: drop a suffix before parsing.
-        let short = {
-            let mut inner = self.inner.lock().expect("store poisoned");
-            match &mut inner.faults {
-                Some((f, rng)) if !data.is_empty() => {
-                    if rng.chance(f.short_read) {
-                        Some(rng.below(data.len() as u64) as usize)
-                    } else {
-                        None
-                    }
+        // Short reads are transient: re-read up to the retry budget
+        // before accepting a torn view of the segment.
+        let policy = self.retry_policy();
+        let attempts = policy.max_attempts.max(1);
+        let mut attempt = 0;
+        let data = loop {
+            let mut data = match std::fs::read(&path) {
+                Ok(d) => d,
+                Err(e) => {
+                    self.counters.io_errors.fetch_add(1, Ordering::Relaxed);
+                    self.event(StoreEventKind::IoError, format!("read {name}: {e}"));
+                    return;
                 }
-                _ => None,
+            };
+            // Injected short read: drop a suffix before parsing.
+            let short = {
+                let mut inner = self.inner.lock().expect("store poisoned");
+                match &mut inner.faults {
+                    Some((f, rng)) if !data.is_empty() => {
+                        if rng.chance(f.short_read) {
+                            Some(rng.below(data.len() as u64) as usize)
+                        } else {
+                            None
+                        }
+                    }
+                    _ => None,
+                }
+            };
+            let Some(keep) = short else { break data };
+            if attempt + 1 >= attempts {
+                data.truncate(keep);
+                self.event(
+                    StoreEventKind::FaultInjected,
+                    format!("short read of {name}: kept {keep} byte(s)"),
+                );
+                break data;
             }
-        };
-        if let Some(keep) = short {
-            data.truncate(keep);
+            attempt += 1;
+            self.counters.retries.fetch_add(1, Ordering::Relaxed);
             self.event(
                 StoreEventKind::FaultInjected,
-                format!("short read of {name}: kept {keep} byte(s)"),
+                format!("short read of {name}: re-reading (attempt {})", attempt + 1),
             );
-        }
+            let delay = policy.delay_ms(attempt);
+            if delay > 0 {
+                std::thread::sleep(Duration::from_millis(delay));
+            }
+        };
         match scan_segment(&data) {
             SegmentScan::BadHeader(reason) => {
                 self.counters.quarantined_segments.fetch_add(1, Ordering::Relaxed);
@@ -781,16 +860,42 @@ impl CacheStore {
     /// Write every pending record into a fresh segment (temp file +
     /// atomic rename) and update the advisory index. Returns the
     /// number of records persisted; 0 when there is nothing pending,
-    /// the store is read-only, or an injected/real failure deferred
-    /// the flush (records stay pending — never lost, never torn).
+    /// the store is read-only, or a failure deferred the flush
+    /// (records stay pending — never lost, never torn). Transient
+    /// failures — lock contention, I/O errors — are retried with
+    /// jittered backoff up to the [`RetryPolicy`] attempt budget
+    /// before deferring.
+    ///
+    /// [`RetryPolicy`]: crate::retry::RetryPolicy
     pub fn flush(&self) -> usize {
         if self.disabled || !self.writer {
             return 0;
         }
+        let policy = self.retry_policy();
+        let attempts = policy.max_attempts.max(1);
+        for attempt in 0..attempts {
+            match self.flush_once() {
+                FlushOnce::Done(n) => return n,
+                FlushOnce::Transient => {
+                    if attempt + 1 == attempts {
+                        return 0; // budget exhausted: defer to a later flush
+                    }
+                    self.counters.retries.fetch_add(1, Ordering::Relaxed);
+                    let delay = policy.delay_ms(attempt + 1);
+                    if delay > 0 {
+                        std::thread::sleep(Duration::from_millis(delay));
+                    }
+                }
+            }
+        }
+        0
+    }
+
+    fn flush_once(&self) -> FlushOnce {
         let (pending, torn_at, flip) = {
             let mut inner = self.inner.lock().expect("store poisoned");
             if inner.pending.is_empty() {
-                return 0;
+                return FlushOnce::Done(0);
             }
             // Injected lock contention: behave exactly like a writer
             // that lost the lock — defer, keep pending.
@@ -816,7 +921,7 @@ impl CacheStore {
                     StoreEventKind::FaultInjected,
                     "injected lock contention: flush deferred".to_string(),
                 );
-                return 0;
+                return FlushOnce::Transient;
             }
             (std::mem::take(&mut inner.pending), torn_at, flip)
         };
@@ -873,16 +978,16 @@ impl CacheStore {
                     format!("{records} record(s) -> {name}"),
                 );
                 self.write_index();
-                records
+                FlushOnce::Done(records)
             }
             Err(e) => {
-                // Put the records back; a later flush can retry.
+                // Put the records back; a retry or later flush re-takes them.
                 let mut inner = self.inner.lock().expect("store poisoned");
                 inner.pending.extend(pending);
                 drop(inner);
                 self.counters.io_errors.fetch_add(1, Ordering::Relaxed);
                 self.event(StoreEventKind::IoError, format!("flush {name}: {e}"));
-                0
+                FlushOnce::Transient
             }
         }
     }
@@ -976,12 +1081,67 @@ fn write_index_file(dir: &Path) -> std::io::Result<()> {
 }
 
 fn encode_record(out: &mut Vec<u8>, stage: Stage, key: u64, payload: &[u8]) {
-    out.push(stage.tag());
+    encode_frame(out, stage.tag(), key, payload);
+}
+
+/// Append one checksummed record frame (`tag ‖ key ‖ len ‖ checksum ‖
+/// payload`, all little-endian) — the framing shared by store segments
+/// and run journals.
+pub(crate) fn encode_frame(out: &mut Vec<u8>, tag: u8, key: u64, payload: &[u8]) {
+    out.push(tag);
     out.extend_from_slice(&key.to_le_bytes());
     out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-    let sum = checksum64(&[&[stage.tag()], &key.to_le_bytes(), payload]);
+    let sum = checksum64(&[&[tag], &key.to_le_bytes(), payload]);
     out.extend_from_slice(&sum.to_le_bytes());
     out.extend_from_slice(payload);
+}
+
+/// Result of [`scan_frames`]: validated frames plus damage counts.
+pub(crate) struct FrameScan {
+    /// `(tag, key, payload)` for every checksum-valid frame, in order.
+    pub frames: Vec<(u8, u64, Vec<u8>)>,
+    /// Frames with intact framing but a failed checksum (skipped).
+    pub corrupt: u64,
+    /// The tail was dropped: short frame, unknown tag, or implausible
+    /// length — framing is untrustworthy past that point.
+    pub truncated: bool,
+}
+
+/// Scan `data` (any file header already stripped by the caller) as a
+/// sequence of checksummed frames. `valid_tag` bounds the tag space:
+/// an unknown tag ends the scan, because framing past it cannot be
+/// trusted.
+pub(crate) fn scan_frames(data: &[u8], valid_tag: impl Fn(u8) -> bool) -> FrameScan {
+    let mut frames = Vec::new();
+    let mut corrupt = 0u64;
+    let mut truncated = false;
+    let mut at = 0usize;
+    while at < data.len() {
+        if data.len() - at < FRAME_LEN {
+            truncated = true;
+            break;
+        }
+        let tag = data[at];
+        let key = u64::from_le_bytes(data[at + 1..at + 9].try_into().expect("8 bytes"));
+        let len = u32::from_le_bytes(data[at + 9..at + 13].try_into().expect("4 bytes"));
+        let sum = u64::from_le_bytes(data[at + 13..at + 21].try_into().expect("8 bytes"));
+        if !valid_tag(tag) {
+            truncated = true;
+            break;
+        }
+        if len > MAX_PAYLOAD || data.len() - at - FRAME_LEN < len as usize {
+            truncated = true;
+            break;
+        }
+        let payload = &data[at + FRAME_LEN..at + FRAME_LEN + len as usize];
+        if checksum64(&[&[tag], &key.to_le_bytes(), payload]) == sum {
+            frames.push((tag, key, payload.to_vec()));
+        } else {
+            corrupt += 1;
+        }
+        at += FRAME_LEN + len as usize;
+    }
+    FrameScan { frames, corrupt, truncated }
 }
 
 enum SegmentScan {
@@ -1014,37 +1174,16 @@ fn scan_segment(data: &[u8]) -> SegmentScan {
     if epoch != KEY_EPOCH {
         return SegmentScan::BadHeader(format!("key epoch {epoch} (expected {KEY_EPOCH})"));
     }
-    let mut records = Vec::new();
-    let mut corrupt = 0u64;
-    let mut truncated = false;
-    let mut at = HEADER_LEN;
-    while at < data.len() {
-        if data.len() - at < FRAME_LEN {
-            truncated = true;
-            break;
-        }
-        let tag = data[at];
-        let key = u64::from_le_bytes(data[at + 1..at + 9].try_into().expect("8 bytes"));
-        let len = u32::from_le_bytes(data[at + 9..at + 13].try_into().expect("4 bytes"));
-        let sum = u64::from_le_bytes(data[at + 13..at + 21].try_into().expect("8 bytes"));
-        let Some(stage) = Stage::from_tag(tag) else {
-            // Unknown tag: framing is untrustworthy from here on.
-            truncated = true;
-            break;
-        };
-        if len > MAX_PAYLOAD || data.len() - at - FRAME_LEN < len as usize {
-            truncated = true;
-            break;
-        }
-        let payload = &data[at + FRAME_LEN..at + FRAME_LEN + len as usize];
-        if checksum64(&[&[tag], &key.to_le_bytes(), payload]) == sum {
-            records.push((stage, key, payload.to_vec()));
-        } else {
-            corrupt += 1;
-        }
-        at += FRAME_LEN + len as usize;
-    }
-    SegmentScan::Records { records, corrupt_records: corrupt, truncated }
+    let scan = scan_frames(&data[HEADER_LEN..], |tag| Stage::from_tag(tag).is_some());
+    let records = scan
+        .frames
+        .into_iter()
+        .map(|(tag, key, payload)| {
+            let stage = Stage::from_tag(tag).expect("tag validated by scan_frames");
+            (stage, key, payload)
+        })
+        .collect();
+    SegmentScan::Records { records, corrupt_records: scan.corrupt, truncated: scan.truncated }
 }
 
 // ----- offline maintenance (icfgp cache …) -------------------------------
@@ -1065,6 +1204,10 @@ pub struct StoreVerifyReport {
     pub truncated_segments: u64,
     /// Previously-quarantined segment files present.
     pub quarantined_files: u64,
+    /// Total bytes held by quarantined files (bounded by sweeps at
+    /// writer open, `cache compact` and `cache clear`).
+    #[serde(default)]
+    pub quarantined_bytes: u64,
     /// The advisory index matches the segment files.
     pub index_consistent: bool,
     /// Total store size in bytes (segments + index).
@@ -1129,6 +1272,9 @@ pub fn verify_dir(dir: &Path) -> StoreVerifyReport {
             let n = entry.file_name().to_string_lossy().into_owned();
             if n.ends_with(".quarantined") {
                 report.quarantined_files += 1;
+                if let Ok(m) = entry.metadata() {
+                    report.quarantined_bytes += m.len();
+                }
             }
             if n == "INDEX" {
                 if let Ok(m) = entry.metadata() {
@@ -1141,6 +1287,59 @@ pub fn verify_dir(dir: &Path) -> StoreVerifyReport {
         report.index_consistent = false;
     }
     report
+}
+
+/// Count the `*.quarantined` files in `dir` and their total bytes
+/// (read-only; `icfgp cache stats` reports this so quarantine growth
+/// is observable).
+#[must_use]
+pub fn quarantine_usage(dir: &Path) -> (u64, u64) {
+    let mut files = 0u64;
+    let mut bytes = 0u64;
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for entry in entries.flatten() {
+            let n = entry.file_name().to_string_lossy().into_owned();
+            if n.ends_with(".quarantined") {
+                files += 1;
+                if let Ok(m) = entry.metadata() {
+                    bytes += m.len();
+                }
+            }
+        }
+    }
+    (files, bytes)
+}
+
+/// Delete `*.quarantined` files whose embedded header belongs to an
+/// older format version or key epoch, or is unreadable. Such files
+/// exist only for post-mortem inspection, and once the epoch has moved
+/// on there is nothing left to learn from them — without a sweep they
+/// accumulate forever. Current-epoch quarantined files (recent damage)
+/// are kept for inspection until `cache compact`/`clear` removes every
+/// quarantined file. Runs at writer open. Returns the number removed.
+pub fn sweep_stale_quarantine(dir: &Path) -> u64 {
+    let mut removed = 0u64;
+    let Ok(entries) = std::fs::read_dir(dir) else { return 0 };
+    for entry in entries.flatten() {
+        let n = entry.file_name().to_string_lossy().into_owned();
+        if !n.ends_with(".quarantined") {
+            continue;
+        }
+        let stale = match std::fs::read(entry.path()) {
+            Ok(data) => {
+                data.len() < HEADER_LEN
+                    || &data[..8] != MAGIC
+                    || u32::from_le_bytes(data[8..12].try_into().expect("4 bytes"))
+                        != FORMAT_VERSION
+                    || u64::from_le_bytes(data[12..20].try_into().expect("8 bytes")) != KEY_EPOCH
+            }
+            Err(_) => true,
+        };
+        if stale && std::fs::remove_file(entry.path()).is_ok() {
+            removed += 1;
+        }
+    }
+    removed
 }
 
 /// Delete every store file in `dir` (segments, index, quarantined

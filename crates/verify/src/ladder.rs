@@ -25,6 +25,7 @@
 
 use crate::{verify_rewrite, VerifyError, VerifyReport};
 use icfgp_cfg::AnalysisFailure;
+use icfgp_core::journal::{JournalDemotion, JournalReplay, RoundRecord, RunJournal};
 use icfgp_core::{
     apply_audit_gate, FuncMode, GateSummary, Instrumentation, RewriteCache, RewriteConfig,
     RewriteError, RewriteOutcome, RewriteStats, Rewriter, SkipReason,
@@ -88,6 +89,11 @@ pub struct LadderOutcome {
     /// the audit verdicts and every starting rung the gate installed
     /// before round one.
     pub gate: Option<GateSummary>,
+    /// Rounds replayed from a journal instead of executed (0 for a
+    /// cold run). `rounds` includes them, so a resumed run reports the
+    /// same total as its uninterrupted twin while having executed only
+    /// `rounds - resumed_rounds` of them.
+    pub resumed_rounds: usize,
 }
 
 impl LadderOutcome {
@@ -119,6 +125,16 @@ pub enum LadderError {
         /// The error diagnostics that remained.
         remaining_errors: Vec<String>,
     },
+    /// The run was deliberately aborted by the supervisor's
+    /// [`Supervisor::abort_after_rounds`] knob after journaling and
+    /// flushing — the chaos kill campaign's in-process stand-in for
+    /// SIGKILL at a journal boundary. Resume with the journal to
+    /// finish the run.
+    Interrupted {
+        /// Total rounds journaled (replayed + executed) before the
+        /// abort.
+        rounds: usize,
+    },
 }
 
 impl fmt::Display for LadderError {
@@ -130,6 +146,10 @@ impl fmt::Display for LadderError {
                 f,
                 "ladder did not converge after {rounds} rounds; {} unattributable error(s)",
                 remaining_errors.len()
+            ),
+            LadderError::Interrupted { rounds } => write!(
+                f,
+                "run interrupted after {rounds} journaled round(s); resume to finish"
             ),
         }
     }
@@ -187,6 +207,53 @@ pub fn rewrite_with_ladder_cached(
     instr: &Instrumentation,
     cache: &RewriteCache,
 ) -> Result<LadderOutcome, LadderError> {
+    rewrite_with_ladder_supervised(binary, config, instr, cache, &Supervisor::default())
+}
+
+/// Supervision controls for [`rewrite_with_ladder_supervised`]. The
+/// default supervisor journals nothing, resumes nothing, and never
+/// aborts — identical to [`rewrite_with_ladder_cached`].
+#[derive(Debug, Default)]
+pub struct Supervisor<'a> {
+    /// Append one [`RoundRecord`] per completed round (after the
+    /// round's store flush) and a completion record at the end.
+    /// Journal I/O failures are absorbed — supervision is best-effort
+    /// and must never fail an otherwise sound rewrite.
+    pub journal: Option<&'a RunJournal>,
+    /// Replay these journaled rounds instead of executing them: their
+    /// demotions are applied to the starting configuration and their
+    /// steps folded into the dispositions, so a resumed run converges
+    /// to byte-identical output and identical [`FuncDisposition`]s.
+    /// The caller is responsible for fingerprint-matching the journal
+    /// to `(binary, config)` first.
+    pub resume: Option<&'a JournalReplay>,
+    /// Abort with [`LadderError::Interrupted`] after this many rounds
+    /// have been executed *in this process* — each already journaled
+    /// and flushed, so the abort lands exactly at a journal boundary
+    /// (the chaos kill campaign's deterministic stand-in for SIGKILL).
+    pub abort_after_rounds: Option<usize>,
+}
+
+/// [`rewrite_with_ladder_cached`] under a [`Supervisor`]: per-round
+/// journaling + store flushing, resume-from-journal, and deterministic
+/// abort for kill campaigns.
+///
+/// Every round — not just the clean last one — flushes the attached
+/// store before its journal record is written, so a run killed at any
+/// journal boundary leaves a warm store and a resumed run re-does
+/// strictly less work than a cold one.
+///
+/// # Errors
+///
+/// As [`rewrite_with_ladder`], plus [`LadderError::Interrupted`] when
+/// the supervisor's abort knob fires.
+pub fn rewrite_with_ladder_supervised(
+    binary: &Binary,
+    config: &RewriteConfig,
+    instr: &Instrumentation,
+    cache: &RewriteCache,
+    supervisor: &Supervisor<'_>,
+) -> Result<LadderOutcome, LadderError> {
     let mut cfg = config.clone();
     cfg.collect_artifacts = true;
     if let Some(plan) = cfg.fault_plan.clone() {
@@ -201,7 +268,23 @@ pub fn rewrite_with_ladder_cached(
     let mut steps: BTreeMap<u64, Vec<LadderStep>> = BTreeMap::new();
     let mut round_stats: Vec<RewriteStats> = Vec::new();
 
-    for round in 1..=MAX_ROUNDS {
+    // Replay journaled rounds: the demotions they recorded are applied
+    // up front (over the gate's starting rungs, exactly as the
+    // interrupted run applied them), and the loop continues from the
+    // next round number.
+    let replayed = supervisor.resume.map_or(0, |r| r.rounds.len());
+    if let Some(replay) = supervisor.resume {
+        for d in replay.demotions() {
+            steps.entry(d.entry).or_default().push(LadderStep {
+                from: d.from,
+                to: d.to,
+                reason: d.reason.clone(),
+            });
+            cfg.func_modes.insert(d.entry, d.to);
+        }
+    }
+
+    for round in replayed + 1..=MAX_ROUNDS {
         let outcome = Rewriter::new(cfg.clone()).rewrite_cached(binary, instr, cache)?;
         round_stats.push(outcome.stats);
         let verify = verify_rewrite(binary, &outcome, &cfg)?;
@@ -211,7 +294,26 @@ pub fn rewrite_with_ladder_cached(
             // later process starts warm even if this one never exits
             // cleanly.
             cache.flush_store();
-            return Ok(finish(config, &cfg, outcome, verify, steps, round, round_stats, gate));
+            if let Some(journal) = supervisor.journal {
+                // The clean round gets a (demotion-free) record of its
+                // own before the completion marker, so a journal's
+                // round count always matches the run's and a load can
+                // cross-check the completion record against it.
+                let _ = journal
+                    .append_round(&RoundRecord { round: round as u32, demotions: Vec::new() });
+                let _ = journal.append_complete(round as u32);
+            }
+            return Ok(finish(
+                config,
+                &cfg,
+                outcome,
+                verify,
+                steps,
+                round,
+                round_stats,
+                gate,
+                replayed,
+            ));
         }
 
         // Attribute each error to the function it belongs to.
@@ -260,6 +362,7 @@ pub fn rewrite_with_ladder_cached(
         // Lower each victim one rung; a victim already at skip cannot
         // go lower.
         let mut lowered = false;
+        let mut demotions: Vec<JournalDemotion> = Vec::new();
         for (entry, reason) in victims {
             let cur = cfg.func_mode(entry);
             let Some(next) = cur.lower() else {
@@ -269,7 +372,8 @@ pub fn rewrite_with_ladder_cached(
             steps
                 .entry(entry)
                 .or_default()
-                .push(LadderStep { from: cur, to: next, reason });
+                .push(LadderStep { from: cur, to: next, reason: reason.clone() });
+            demotions.push(JournalDemotion { entry, from: cur, to: next, reason });
             cfg.func_modes.insert(entry, next);
             lowered = true;
         }
@@ -278,6 +382,20 @@ pub fn rewrite_with_ladder_cached(
                 rounds: round,
                 remaining_errors: unattributed,
             });
+        }
+        // Persist the round's per-function results *before* journaling
+        // it: a journal record must never acknowledge work the store
+        // has not seen, or a resume would redo it (correct, but not
+        // "strictly fewer functions").
+        cache.flush_store();
+        if let Some(journal) = supervisor.journal {
+            let _ = journal.append_round(&RoundRecord {
+                round: round as u32,
+                demotions,
+            });
+        }
+        if supervisor.abort_after_rounds.is_some_and(|k| round - replayed >= k) {
+            return Err(LadderError::Interrupted { rounds: round });
         }
     }
     Err(LadderError::NoConvergence {
@@ -298,6 +416,7 @@ fn finish(
     rounds: usize,
     round_stats: Vec<RewriteStats>,
     gate: Option<GateSummary>,
+    resumed_rounds: usize,
 ) -> LadderOutcome {
     let artifacts = outcome.artifacts.as_ref().expect("collect_artifacts forced on");
     let failures: BTreeMap<u64, AnalysisFailure> = outcome
@@ -356,6 +475,7 @@ fn finish(
         budget_exceeded,
         round_stats,
         gate,
+        resumed_rounds,
     }
 }
 

@@ -10,16 +10,19 @@
 //! ```
 
 use incremental_cfg_patching::audit::{render_text, to_sarif};
-use incremental_cfg_patching::chaos::{parse_floor, run_campaign, CampaignConfig, CaseStatus};
+use incremental_cfg_patching::chaos::{
+    parse_floor, run_campaign, run_kill_campaign, CampaignConfig, CaseStatus, KillCampaignConfig,
+};
 use incremental_cfg_patching::cfg::{analyze, AnalysisConfig, FuncStatus};
 use incremental_cfg_patching::core::{
-    apply_audit_gate, audit_mode_of, pool, store, CacheStore, CorruptKind, FaultPlan,
-    Instrumentation, Points, RewriteCache, RewriteConfig, RewriteMode, UnwindStrategy,
+    apply_audit_gate, audit_mode_of, binary_fingerprint, config_fingerprint, pool, store,
+    CacheStore, CorruptKind, FaultPlan, Instrumentation, Points, RewriteCache, RewriteConfig,
+    RewriteMode, RunJournal, UnwindStrategy,
 };
 use incremental_cfg_patching::emu::{run, LoadOptions, Outcome};
 use incremental_cfg_patching::isa::Arch;
 use incremental_cfg_patching::obj::Binary;
-use incremental_cfg_patching::verify::rewrite_with_ladder_cached;
+use incremental_cfg_patching::verify::{rewrite_with_ladder_supervised, Supervisor};
 use incremental_cfg_patching::workloads::{
     docker_like, driverlib_like, firefox_like, generate, spec_params, switch_demo, GenParams,
     SPEC_NAMES,
@@ -42,14 +45,16 @@ USAGE:
                      [--no-poison] [--points <blocks|entries|none>]
                      [--fault-seed N] [--intensity <none|quiet|standard|aggressive>]
                      [--floor <dir|jt|func-ptr|trap-only|skip>] [--budget FRAC]
-                     [--audit-gate] [--cache-dir DIR] [--stats] -o FILE
+                     [--audit-gate] [--cache-dir DIR] [--stats]
+                     [--func-timeout-ms N] [--journal FILE [--resume]] -o FILE
   icfgp verify FILE [--mode <dir|jt|func-ptr>] [--unwind <ra|emulate|none>]
                     [--no-poison] [--points <blocks|entries|none>]
                     [--fault-seed N] [--intensity I] [--floor F] [--budget FRAC]
                     [--cache-dir DIR] [--json]
   icfgp run FILE [--preload-runtime] [--bias HEX] [--fuel N]
   icfgp chaos [--seeds N] [--workloads A,B] [--arch A] [--mode M]
-              [--intensity I] [--floor F] [--budget FRAC] [--cache-dir DIR] [--json]
+              [--intensity I] [--floor F] [--budget FRAC] [--cache-dir DIR]
+              [--kill-resume] [--json]
   icfgp cache <stats|verify|clear|compact> --cache-dir DIR
   icfgp cache corrupt --cache-dir DIR --kind <bit-flip|truncate|stale-version> [--seed N]
   icfgp bench-rewrite [--quick] [-o FILE]   (default FILE: BENCH_rewrite.json)
@@ -67,10 +72,21 @@ trap-only → skip until the rewrite verifies with zero errors.
 statically justified rung, cutting demotion rounds. `cache compact`
 rewrites a store directory into a single fresh segment, dropping
 superseded and quarantined records.
-`rewrite --stats` prints per-round cache hit/miss counters and stage
-timings from the incremental engine; `ICFGP_THREADS=N` overrides the
-worker-pool width (output bytes are identical for any N; invalid
-values are rejected with exit code 64).
+`rewrite --stats` prints per-round cache hit/miss counters, stage
+timings and the five slowest functions; `ICFGP_THREADS=N` overrides
+the worker-pool width (output bytes are identical for any N; invalid
+values are rejected with exit code 64, as are non-integer
+`ICFGP_STORE_LOCK_MS` / `ICFGP_FUNC_TIMEOUT_MS` values).
+
+`--func-timeout-ms N` (or `ICFGP_FUNC_TIMEOUT_MS`) arms the
+per-function watchdog: a function whose analysis overruns the budget
+is skipped with a typed Budget failure and degrades through the
+ladder instead of hanging the run. `--journal FILE` records each
+ladder round durably; after a crash or kill, rerunning with
+`--resume` replays the journal and redoes only the unfinished rounds,
+producing byte-identical output. `chaos --kill-resume` sweeps every
+journal boundary of each case with a kill + resume and checks that
+oracle.
 
 `--cache-dir DIR` (or `ICFGP_CACHE_DIR`) attaches a crash-safe
 persistent rewrite cache: entries are warmed from DIR on start and
@@ -254,6 +270,18 @@ fn parse_rewrite_config(args: &[String]) -> Result<(RewriteConfig, Points), Stri
     if has_flag(args, "--audit-gate") {
         config.audit_gate = true;
     }
+    // Watchdog: the flag wins, then ICFGP_FUNC_TIMEOUT_MS (validated
+    // at startup), else the work-unit ledger alone bounds analysis.
+    config.analysis.func_timeout_ms = match arg_value(args, "--func-timeout-ms") {
+        Some(ms) => {
+            Some(ms.parse().map_err(|_| format!("bad --func-timeout-ms {ms}"))?)
+        }
+        None => store::env_millis(
+            "ICFGP_FUNC_TIMEOUT_MS",
+            std::env::var("ICFGP_FUNC_TIMEOUT_MS").ok().as_deref(),
+        )
+        .unwrap_or(None),
+    };
     let points = match arg_value(args, "--points").as_deref() {
         Some("entries") => Points::FunctionEntries,
         Some("none") => Points::None,
@@ -270,9 +298,16 @@ fn run_ladder(
     config: &RewriteConfig,
     points: Points,
     cache: &RewriteCache,
+    supervisor: &Supervisor<'_>,
 ) -> Result<(incremental_cfg_patching::verify::LadderOutcome, u8), String> {
-    let ladder = rewrite_with_ladder_cached(binary, config, &Instrumentation::empty(points), cache)
-        .map_err(|e| e.to_string())?;
+    let ladder = rewrite_with_ladder_supervised(
+        binary,
+        config,
+        &Instrumentation::empty(points),
+        cache,
+        supervisor,
+    )
+    .map_err(|e| e.to_string())?;
     let code = if ladder.budget_exceeded {
         2
     } else if ladder.fully_clean() {
@@ -335,6 +370,15 @@ fn print_stats(round_stats: &[incremental_cfg_patching::core::RewriteStats]) {
             t.assemble_ns as f64 / 1e6,
             t.total_ns as f64 / 1e6,
         );
+        let slow: Vec<String> = s
+            .slowest
+            .iter()
+            .filter(|(_, ns)| *ns > 0)
+            .map(|(entry, ns)| format!("{entry:#x} {:.2}ms", *ns as f64 / 1e6))
+            .collect();
+        if !slow.is_empty() {
+            println!("             slowest: {}", slow.join(", "));
+        }
         if s.store.total() > 0 || s.store.quarantined_records > 0 {
             println!(
                 "             persisted: {}/{} hit ({:.0}%), {} quarantined record(s), \
@@ -413,11 +457,56 @@ fn cmd_bench_rewrite(args: &[String]) -> Result<u8, String> {
 fn cmd_rewrite(args: &[String]) -> Result<u8, String> {
     let path = args.first().ok_or("missing FILE")?;
     let out = arg_value(args, "-o").ok_or("missing -o FILE")?;
+    let journal_path = arg_value(args, "--journal").map(PathBuf::from);
+    let resume = has_flag(args, "--resume");
+    if resume && journal_path.is_none() {
+        eprintln!("error: --resume requires --journal FILE");
+        return Ok(64);
+    }
     let binary = load_binary(path)?;
     let (config, points) = parse_rewrite_config(args)?;
     let mode = config.mode;
+    let bfp = binary_fingerprint(&binary);
+    let cfp = config_fingerprint(&config);
+    // `--resume` replays the journal's completed rounds instead of
+    // executing them; it refuses a journal recorded for a different
+    // binary or configuration, which would silently diverge.
+    let replay = match (&journal_path, resume) {
+        (Some(p), true) => {
+            let r = RunJournal::load(p)?;
+            if r.header.binary_fp != bfp || r.header.config_fp != cfp {
+                return Err(format!(
+                    "{}: journal was recorded for a different binary or configuration; \
+                     refusing to resume",
+                    p.display()
+                ));
+            }
+            Some(r)
+        }
+        _ => None,
+    };
+    let journal = match &journal_path {
+        Some(p) => {
+            let j = RunJournal::create(p, bfp, cfp)
+                .map_err(|e| format!("journal {}: {e}", p.display()))?;
+            // Re-append the replayed rounds, so a resumed run that is
+            // itself killed leaves a journal the next resume can use.
+            if let Some(r) = &replay {
+                for round in &r.rounds {
+                    j.append_round(round).map_err(|e| format!("journal {}: {e}", p.display()))?;
+                }
+            }
+            Some(j)
+        }
+        None => None,
+    };
+    let supervisor = Supervisor {
+        journal: journal.as_ref(),
+        resume: replay.as_ref(),
+        abort_after_rounds: None,
+    };
     let cache = open_cache(args);
-    let (ladder, code) = run_ladder(&binary, &config, points, &cache)?;
+    let (ladder, code) = run_ladder(&binary, &config, points, &cache, &supervisor)?;
     save_binary(&ladder.outcome.binary, &out)?;
     let r = &ladder.outcome.report;
     println!("rewrote {path} -> {out} ({mode} mode)");
@@ -444,6 +533,13 @@ fn cmd_rewrite(args: &[String]) -> Result<u8, String> {
     );
     print_dispositions(&ladder);
     print_gate(&ladder);
+    if ladder.resumed_rounds > 0 {
+        println!(
+            "  resumed    : {} journaled round(s) replayed, {} executed",
+            ladder.resumed_rounds,
+            ladder.rounds - ladder.resumed_rounds
+        );
+    }
     if has_flag(args, "--stats") {
         print_stats(&ladder.round_stats);
     }
@@ -456,7 +552,7 @@ fn cmd_verify(args: &[String]) -> Result<u8, String> {
     let binary = load_binary(path)?;
     let (config, points) = parse_rewrite_config(args)?;
     let cache = open_cache(args);
-    let (ladder, code) = run_ladder(&binary, &config, points, &cache)?;
+    let (ladder, code) = run_ladder(&binary, &config, points, &cache, &Supervisor::default())?;
     let report = &ladder.verify;
     if has_flag(args, "--json") {
         println!("{}", report.to_json().map_err(|e| e.to_string())?);
@@ -481,7 +577,77 @@ fn cmd_verify(args: &[String]) -> Result<u8, String> {
     Ok(code)
 }
 
+/// `icfgp chaos --kill-resume` — sweep every journal boundary of each
+/// case with a deterministic kill + resume and check byte-identity.
+fn cmd_chaos_kill(args: &[String]) -> Result<u8, String> {
+    let mut config = KillCampaignConfig::default();
+    if let Some(n) = arg_value(args, "--seeds") {
+        let n: u64 = n.parse().map_err(|_| format!("bad --seeds {n}"))?;
+        config.seeds = (1..=n).collect();
+    }
+    if let Some(w) = arg_value(args, "--workloads") {
+        config.workloads = w.split(',').map(str::to_string).collect();
+    }
+    if has_flag(args, "--arch") {
+        config.arches = vec![parse_arch(args)];
+    }
+    if let Some(m) = arg_value(args, "--mode") {
+        config.modes = vec![match m.as_str() {
+            "dir" => RewriteMode::Dir,
+            "jt" => RewriteMode::Jt,
+            "func-ptr" => RewriteMode::FuncPtr,
+            other => return Err(format!("unknown --mode {other}")),
+        }];
+    }
+    if let Some(i) = arg_value(args, "--intensity") {
+        if FaultPlan::named(&i, 0).is_none() {
+            return Err(format!("unknown --intensity {i}"));
+        }
+        config.intensity = i;
+    }
+    if let Some(floor) = arg_value(args, "--floor") {
+        config.policy.floor = parse_floor(&floor)?;
+    }
+    if let Some(budget) = arg_value(args, "--budget") {
+        config.policy.max_below_floor =
+            budget.parse().map_err(|_| format!("bad --budget {budget}"))?;
+    }
+    if let Some(dir) = cache_dir(args) {
+        config.dir = dir;
+    }
+    let json = has_flag(args, "--json");
+    let report = run_kill_campaign(&config, |case| {
+        if !json {
+            println!(
+                "{}/{}/{} seed {}: {} [{} round(s), {} kill point(s)]{}",
+                case.workload,
+                case.arch,
+                case.mode,
+                case.seed,
+                if case.passed { "ok" } else { "FAILED" },
+                case.rounds,
+                case.kill_points,
+                if case.detail.is_empty() {
+                    String::new()
+                } else {
+                    format!(" — {}", case.detail)
+                },
+            );
+        }
+    })?;
+    if json {
+        println!("{}", serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?);
+    } else {
+        println!();
+        println!("{}", report.render());
+    }
+    Ok(report.exit_code())
+}
+
 fn cmd_chaos(args: &[String]) -> Result<u8, String> {
+    if has_flag(args, "--kill-resume") {
+        return cmd_chaos_kill(args);
+    }
     let mut config = CampaignConfig::default();
     if let Some(n) = arg_value(args, "--seeds") {
         let n: u64 = n.parse().map_err(|_| format!("bad --seeds {n}"))?;
@@ -568,6 +734,8 @@ fn cmd_cache(args: &[String]) -> Result<u8, String> {
                 "  records    : {} usable, {} quarantined",
                 s.records_loaded, s.quarantined_records
             );
+            let (qfiles, qbytes) = store::quarantine_usage(&dir);
+            println!("  quarantine : {qfiles} file(s), {qbytes} byte(s) on disk");
             for (stage, n) in store.entry_counts() {
                 println!("    {:<9}: {n}", stage.name());
             }
@@ -694,6 +862,14 @@ fn main() -> ExitCode {
     {
         eprintln!("error: {e}");
         return ExitCode::from(64);
+    }
+    // Same contract for the millisecond knobs: an explicit-but-invalid
+    // override refuses to start instead of silently using a default.
+    for var in ["ICFGP_STORE_LOCK_MS", "ICFGP_FUNC_TIMEOUT_MS"] {
+        if let Err(e) = store::env_millis(var, std::env::var(var).ok().as_deref()) {
+            eprintln!("error: {e}");
+            return ExitCode::from(64);
+        }
     }
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else { return usage() };

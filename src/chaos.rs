@@ -18,19 +18,24 @@
 //! subcommand and the CI `chaos-smoke` job.
 
 use icfgp_core::{
-    apply_audit_gate, audit_mode_of, CacheStore, DegradationPolicy, FaultPlan, FuncMode,
-    Instrumentation, Points, RewriteCache, RewriteConfig, RewriteMode, StoreStats,
+    apply_audit_gate, audit_mode_of, binary_fingerprint, config_fingerprint, CacheStore,
+    DegradationPolicy, FaultPlan, FuncMode, Instrumentation, Points, RewriteCache, RewriteConfig,
+    RewriteMode, RewriteStats, RunJournal, StoreStats,
 };
 use icfgp_emu::{run, LoadOptions, Outcome};
 use icfgp_isa::Arch;
 use icfgp_obj::Binary;
-use icfgp_verify::{rewrite_with_ladder_cached, LadderError};
+use icfgp_verify::{
+    rewrite_with_ladder_cached, rewrite_with_ladder_supervised, LadderError, Supervisor,
+};
 use icfgp_workloads::{
     docker_like, driverlib_like, firefox_like, generate, spec_params, switch_demo, GenParams,
     SPEC_NAMES,
 };
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// What a chaos campaign should sweep.
 #[derive(Debug, Clone)]
@@ -344,7 +349,9 @@ pub fn run_case(
         cache,
     ) {
         Ok(l) => l,
-        Err(e @ (LadderError::Rewrite(_) | LadderError::Verify(_) | LadderError::NoConvergence { .. })) => {
+        // No supervisor is attached here, so `Interrupted` cannot
+        // occur; any error means the ladder produced no rewrite.
+        Err(e) => {
             return (CaseStatus::LadderFailed(e.to_string()), 0, 0, 0, 0, audit);
         }
     };
@@ -475,6 +482,386 @@ pub fn run_campaign(
     Ok(report)
 }
 
+/// What a kill-and-resume campaign should sweep.
+///
+/// Unlike [`CampaignConfig`] the scratch directory is mandatory: every
+/// kill point gets its own persistent store + journal, because the
+/// whole point is proving what survives on disk.
+#[derive(Debug, Clone)]
+pub struct KillCampaignConfig {
+    /// Workload names (`small`, `switch_demo`, `spec:NAME`).
+    pub workloads: Vec<String>,
+    /// Architectures to cover.
+    pub arches: Vec<Arch>,
+    /// Requested rewriting modes.
+    pub modes: Vec<RewriteMode>,
+    /// Fault seeds; each seed is one independent fault plan.
+    pub seeds: Vec<u64>,
+    /// Fault-plan intensity (`none`/`quiet`/`standard`/`aggressive`).
+    pub intensity: String,
+    /// Degradation policy applied to every case.
+    pub policy: DegradationPolicy,
+    /// Scratch directory; each (case, kill point) uses a fresh
+    /// subdirectory for its store and journal.
+    pub dir: PathBuf,
+}
+
+impl Default for KillCampaignConfig {
+    fn default() -> KillCampaignConfig {
+        KillCampaignConfig {
+            workloads: vec!["small".into()],
+            arches: vec![Arch::X64],
+            // Under the standard plan, `small` ladders through 3 (jt)
+            // and 4 (func-ptr) rounds on most seeds — real kill points,
+            // not trivial one-round passes.
+            modes: vec![RewriteMode::Jt, RewriteMode::FuncPtr],
+            seeds: vec![2, 3],
+            intensity: "standard".into(),
+            policy: DegradationPolicy::default(),
+            dir: std::env::temp_dir().join(format!("icfgp-kill-{}", std::process::id())),
+        }
+    }
+}
+
+/// One kill-and-resume case: every journal boundary of one
+/// (workload, arch, mode, seed) run, each killed and resumed.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KillCaseResult {
+    /// Workload name.
+    pub workload: String,
+    /// Architecture.
+    pub arch: String,
+    /// Requested mode.
+    pub mode: String,
+    /// Fault seed.
+    pub seed: u64,
+    /// Rounds the uninterrupted reference run executed.
+    pub rounds: usize,
+    /// Kill points exercised (`rounds - 1`; 0 when the reference
+    /// converged in one round and the case passes trivially).
+    pub kill_points: usize,
+    /// Every kill point resumed to byte-identical output, identical
+    /// dispositions, and strictly fewer stage misses than cold.
+    pub passed: bool,
+    /// The first failure, or a note for trivial passes.
+    pub detail: String,
+    /// Stage misses (analysis + fragment + emit + liveness) of the
+    /// cold reference run.
+    pub cold_misses: u64,
+    /// Worst resumed-run stage-miss total across all kill points
+    /// (must stay below `cold_misses` — resume redoes strictly less).
+    pub max_resumed_misses: u64,
+}
+
+/// Aggregated kill-and-resume campaign results.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KillReport {
+    /// Every case, in sweep order.
+    pub cases: Vec<KillCaseResult>,
+}
+
+impl KillReport {
+    /// Campaign verdict: 0 when every kill point resumed correctly,
+    /// 2 when any byte-identity / disposition / warm-start oracle
+    /// failed (a robustness failure, same class as a ladder failure).
+    #[must_use]
+    pub fn exit_code(&self) -> u8 {
+        if self.cases.iter().all(|c| c.passed) {
+            0
+        } else {
+            2
+        }
+    }
+
+    /// Render the per-case table and verdict line.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for c in &self.cases {
+            let _ = writeln!(
+                out,
+                "{:<34} seed {:>3}  {} round(s), {} kill point(s): {}{}",
+                format!("{}/{}/{}", c.workload, c.arch, c.mode),
+                c.seed,
+                c.rounds,
+                c.kill_points,
+                if c.passed { "ok" } else { "FAILED" },
+                if c.detail.is_empty() {
+                    format!(
+                        " (misses {} cold / {} worst resumed)",
+                        c.cold_misses, c.max_resumed_misses
+                    )
+                } else {
+                    format!(" — {}", c.detail)
+                },
+            );
+        }
+        let failed = self.cases.iter().filter(|c| !c.passed).count();
+        let _ = write!(
+            out,
+            "{} kill-and-resume case(s): {} passed, {} failed",
+            self.cases.len(),
+            self.cases.len() - failed,
+            failed,
+        );
+        out
+    }
+}
+
+/// Stage misses a run had to compute (everything not served from the
+/// in-memory cache or the persistent store).
+fn stage_misses(stats: &[RewriteStats]) -> u64 {
+    stats
+        .iter()
+        .map(|s| {
+            s.func_analyses.misses + s.fragments.misses + s.emits.misses + s.liveness.misses
+        })
+        .sum()
+}
+
+/// Run one kill-and-resume case.
+///
+/// First an uninterrupted supervised run establishes the reference
+/// (output bytes, dispositions, cold stage-miss count, round count).
+/// Then for every journal boundary `k` in `1..rounds`, a fresh store
+/// directory hosts a run aborted after `k` rounds (the deterministic
+/// stand-in for SIGKILL — the abort lands after the round's store
+/// flush and journal append, exactly the state a kill leaves behind),
+/// and a second process-equivalent (fresh store handle, journal
+/// replay) resumes it. The oracles:
+///
+/// 1. resumed output bytes == reference output bytes;
+/// 2. resumed [`icfgp_verify::FuncDisposition`]s == reference's;
+/// 3. resumed total rounds == reference rounds, with exactly `k`
+///    replayed;
+/// 4. the resumed run's stage misses stay strictly below the cold
+///    reference's — resume redoes strictly less work.
+#[must_use]
+#[allow(clippy::too_many_lines, clippy::too_many_arguments)]
+pub fn run_kill_case(
+    binary: &Binary,
+    workload: &str,
+    arch: Arch,
+    mode: RewriteMode,
+    seed: u64,
+    intensity: &str,
+    policy: &DegradationPolicy,
+    dir: &Path,
+) -> KillCaseResult {
+    let mut config = RewriteConfig::new(mode);
+    config.fault_plan = FaultPlan::named(intensity, seed);
+    config.degradation = *policy;
+    let instr = Instrumentation::empty(Points::EveryBlock);
+    let bfp = binary_fingerprint(binary);
+    let cfp = config_fingerprint(&config);
+    let label = format!("{workload}-{arch}-{mode}-{seed}");
+    let mut result = KillCaseResult {
+        workload: workload.into(),
+        arch: arch.to_string(),
+        mode: mode.to_string(),
+        seed,
+        rounds: 0,
+        kill_points: 0,
+        passed: false,
+        detail: String::new(),
+        cold_misses: 0,
+        max_resumed_misses: 0,
+    };
+
+    // Reference: one uninterrupted, journaled, store-backed run.
+    let ref_dir = dir.join(format!("{label}-ref"));
+    let ref_journal = ref_dir.join("run.journal");
+    let reference = {
+        let store = Arc::new(CacheStore::open(&ref_dir));
+        let cache = RewriteCache::with_store(store);
+        let journal = match RunJournal::create(&ref_journal, bfp, cfp) {
+            Ok(j) => j,
+            Err(e) => {
+                result.detail = format!("reference journal: {e}");
+                return result;
+            }
+        };
+        let sup = Supervisor { journal: Some(&journal), ..Supervisor::default() };
+        match rewrite_with_ladder_supervised(binary, &config, &instr, &cache, &sup) {
+            Ok(l) => l,
+            Err(e) => {
+                result.detail = format!("reference ladder: {e}");
+                return result;
+            }
+        }
+    };
+    result.rounds = reference.rounds;
+    result.cold_misses = stage_misses(&reference.round_stats);
+    let ref_bytes = serde_json::to_vec(&reference.outcome.binary).unwrap_or_default();
+    // The reference journal must read back as a completed run.
+    match RunJournal::load(&ref_journal) {
+        Ok(r) if r.complete && r.rounds.len() == reference.rounds => {}
+        Ok(r) => {
+            result.detail = format!(
+                "reference journal incomplete: {} round(s), complete={}",
+                r.rounds.len(),
+                r.complete
+            );
+            return result;
+        }
+        Err(e) => {
+            result.detail = format!("reference journal load: {e}");
+            return result;
+        }
+    }
+    if let Err(why) = emulates_equivalently(binary, &reference.outcome.binary) {
+        result.detail = format!("reference emulation: {why}");
+        return result;
+    }
+    if reference.rounds <= 1 {
+        result.passed = true;
+        result.detail = "converged in one round; no kill points".into();
+        return result;
+    }
+    result.kill_points = reference.rounds - 1;
+
+    for k in 1..reference.rounds {
+        let case_dir = dir.join(format!("{label}-k{k}"));
+        let journal_path = case_dir.join("run.journal");
+        // The run that dies: abort after k journaled-and-flushed
+        // rounds, then drop every handle (the kill).
+        {
+            let store = Arc::new(CacheStore::open(&case_dir));
+            let cache = RewriteCache::with_store(store.clone());
+            let journal = match RunJournal::create(&journal_path, bfp, cfp) {
+                Ok(j) => j,
+                Err(e) => {
+                    result.detail = format!("kill point {k}: journal: {e}");
+                    return result;
+                }
+            };
+            let sup = Supervisor {
+                journal: Some(&journal),
+                abort_after_rounds: Some(k),
+                ..Supervisor::default()
+            };
+            match rewrite_with_ladder_supervised(binary, &config, &instr, &cache, &sup) {
+                Err(LadderError::Interrupted { rounds }) if rounds == k => {}
+                Err(e) => {
+                    result.detail = format!("kill point {k}: expected interrupt, got: {e}");
+                    return result;
+                }
+                Ok(_) => {
+                    result.detail =
+                        format!("kill point {k}: run finished instead of aborting");
+                    return result;
+                }
+            }
+            // Clear any injected-fault backlog so the disk state is
+            // exactly "everything the journal acknowledged": the
+            // supervised ladder flushed each round, but injected lock
+            // contention may have deferred records past the retry
+            // budget.
+            store.arm_faults(icfgp_core::StoreFaults::default());
+            store.flush();
+        }
+        // The resume: a fresh process-equivalent loads the journal and
+        // the warm store and picks up at round k+1.
+        let replay = match RunJournal::load(&journal_path) {
+            Ok(r) => r,
+            Err(e) => {
+                result.detail = format!("kill point {k}: journal load: {e}");
+                return result;
+            }
+        };
+        if replay.complete
+            || replay.rounds.len() != k
+            || replay.header.binary_fp != bfp
+            || replay.header.config_fp != cfp
+        {
+            result.detail = format!(
+                "kill point {k}: journal replay mismatch ({} round(s), complete={})",
+                replay.rounds.len(),
+                replay.complete
+            );
+            return result;
+        }
+        let resumed = {
+            let store = Arc::new(CacheStore::open(&case_dir));
+            let cache = RewriteCache::with_store(store);
+            let sup = Supervisor { resume: Some(&replay), ..Supervisor::default() };
+            match rewrite_with_ladder_supervised(binary, &config, &instr, &cache, &sup) {
+                Ok(l) => l,
+                Err(e) => {
+                    result.detail = format!("kill point {k}: resume ladder: {e}");
+                    return result;
+                }
+            }
+        };
+        if serde_json::to_vec(&resumed.outcome.binary).unwrap_or_default() != ref_bytes {
+            result.detail = format!("kill point {k}: resumed bytes diverge from reference");
+            return result;
+        }
+        if resumed.dispositions != reference.dispositions {
+            result.detail =
+                format!("kill point {k}: resumed dispositions diverge from reference");
+            return result;
+        }
+        if resumed.rounds != reference.rounds || resumed.resumed_rounds != k {
+            result.detail = format!(
+                "kill point {k}: resumed {} of {} round(s), expected {} of {}",
+                resumed.resumed_rounds, resumed.rounds, k, reference.rounds
+            );
+            return result;
+        }
+        let resumed_misses = stage_misses(&resumed.round_stats);
+        result.max_resumed_misses = result.max_resumed_misses.max(resumed_misses);
+        if resumed_misses >= result.cold_misses {
+            result.detail = format!(
+                "kill point {k}: resume recomputed {resumed_misses} stage(s), \
+                 no better than the cold run's {}",
+                result.cold_misses
+            );
+            return result;
+        }
+    }
+    result.passed = true;
+    result
+}
+
+/// Run the full kill-and-resume campaign. `progress` is called after
+/// each case.
+///
+/// # Errors
+///
+/// A message naming an unknown workload or an unusable scratch
+/// directory; per-kill-point oracle failures are case verdicts.
+pub fn run_kill_campaign(
+    config: &KillCampaignConfig,
+    mut progress: impl FnMut(&KillCaseResult),
+) -> Result<KillReport, String> {
+    std::fs::create_dir_all(&config.dir)
+        .map_err(|e| format!("create {}: {e}", config.dir.display()))?;
+    let mut report = KillReport::default();
+    for wl in &config.workloads {
+        for arch in &config.arches {
+            let binary = build_workload(wl, *arch)?;
+            for mode in &config.modes {
+                for seed in &config.seeds {
+                    let case = run_kill_case(
+                        &binary,
+                        wl,
+                        *arch,
+                        *mode,
+                        *seed,
+                        &config.intensity,
+                        &config.policy,
+                        &config.dir,
+                    );
+                    progress(&case);
+                    report.cases.push(case);
+                }
+            }
+        }
+    }
+    Ok(report)
+}
+
 /// Parse a `--floor` CLI value.
 ///
 /// # Errors
@@ -517,6 +904,35 @@ mod tests {
         assert!(audit.proven + audit.over_approx + audit.under_approx_risk + audit.unknown > 0);
         assert_eq!(audit.demoted_proven, 0, "{matrix}");
         assert!(matrix.contains("audit:"), "{matrix}");
+    }
+
+    #[test]
+    fn kill_campaign_smoke_x64() {
+        let dir = std::env::temp_dir()
+            .join(format!("icfgp-kill-smoke-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = KillCampaignConfig {
+            workloads: vec!["small".into()],
+            arches: vec![Arch::X64],
+            modes: vec![RewriteMode::Jt],
+            seeds: vec![2],
+            intensity: "standard".into(),
+            dir: dir.clone(),
+            ..KillCampaignConfig::default()
+        };
+        let report = run_kill_campaign(&config, |_| {}).unwrap();
+        assert_eq!(report.cases.len(), 1);
+        assert_eq!(report.exit_code(), 0, "{}", report.render());
+        // Standard seed 2 demotes at least one function on `small`, so
+        // the case exercises real kill points, not the trivial path.
+        let case = &report.cases[0];
+        assert!(case.rounds > 1, "{}", report.render());
+        assert!(case.kill_points >= 1, "{}", report.render());
+        assert!(case.max_resumed_misses < case.cold_misses, "{}", report.render());
+        let json = serde_json::to_string(&report).unwrap();
+        let back: KillReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(report, back);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -194,6 +194,143 @@ fn invalid_icfgp_threads_is_a_usage_error() {
 }
 
 #[test]
+fn invalid_millisecond_env_vars_are_usage_errors() {
+    // ICFGP_STORE_LOCK_MS and ICFGP_FUNC_TIMEOUT_MS follow the same
+    // contract as ICFGP_THREADS: explicit garbage refuses to start
+    // with exit 64 and an error naming the variable; valid values and
+    // empty (= unset) are accepted.
+    for var in ["ICFGP_STORE_LOCK_MS", "ICFGP_FUNC_TIMEOUT_MS"] {
+        for bad in ["banana", "-5", "1.5", "10ms"] {
+            let out = icfgp()
+                .env(var, bad)
+                .arg("list-workloads")
+                .output()
+                .expect("runs");
+            assert_eq!(
+                out.status.code(),
+                Some(64),
+                "{var}={bad} must be rejected: {}",
+                String::from_utf8_lossy(&out.stderr)
+            );
+            assert!(
+                String::from_utf8_lossy(&out.stderr).contains(var),
+                "error must name {var}"
+            );
+        }
+        for ok in ["0", "50", "2000", "", "  "] {
+            let out = icfgp()
+                .env(var, ok)
+                .arg("list-workloads")
+                .output()
+                .expect("runs");
+            assert_eq!(out.status.code(), Some(0), "{var}={ok:?} must be accepted");
+        }
+    }
+}
+
+#[test]
+fn resume_contract_journal_required_and_byte_identical() {
+    let raw = gen_switch_demo();
+    let rw = tmp("resume-rw.json");
+    let rw2 = tmp("resume-rw2.json");
+    let journal = tmp("resume.journal");
+    let dir = tmp("resume-store");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // --resume without --journal is a usage error.
+    let out = icfgp()
+        .args(["rewrite"])
+        .arg(&raw)
+        .args(["--mode", "jt", "--resume", "-o"])
+        .arg(&rw)
+        .output()
+        .expect("rewrite runs");
+    assert_eq!(out.status.code(), Some(64), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--journal"));
+
+    // A journaled run followed by --resume replays the journal and
+    // produces byte-identical output under the same exit contract.
+    let first = icfgp()
+        .args(["rewrite"])
+        .arg(&raw)
+        .args(["--mode", "jt", "--fault-seed", "1", "--budget", "1.0", "--journal"])
+        .arg(&journal)
+        .args(["--cache-dir"])
+        .arg(&dir)
+        .arg("-o")
+        .arg(&rw)
+        .output()
+        .expect("rewrite runs");
+    assert_eq!(first.status.code(), Some(1), "{}", String::from_utf8_lossy(&first.stderr));
+    let resumed = icfgp()
+        .args(["rewrite"])
+        .arg(&raw)
+        .args(["--mode", "jt", "--fault-seed", "1", "--budget", "1.0", "--journal"])
+        .arg(&journal)
+        .args(["--resume", "--cache-dir"])
+        .arg(&dir)
+        .arg("-o")
+        .arg(&rw2)
+        .output()
+        .expect("rewrite runs");
+    assert_eq!(resumed.status.code(), Some(1), "{}", String::from_utf8_lossy(&resumed.stderr));
+    assert!(
+        String::from_utf8_lossy(&resumed.stdout).contains("resumed"),
+        "{}",
+        String::from_utf8_lossy(&resumed.stdout)
+    );
+    assert_eq!(
+        std::fs::read(&rw).unwrap(),
+        std::fs::read(&rw2).unwrap(),
+        "resume must not change output bytes"
+    );
+
+    // Resuming under a different configuration refuses (exit 3): the
+    // journal's config fingerprint no longer matches.
+    let mismatched = icfgp()
+        .args(["rewrite"])
+        .arg(&raw)
+        .args(["--mode", "dir", "--journal"])
+        .arg(&journal)
+        .args(["--resume", "-o"])
+        .arg(&rw2)
+        .output()
+        .expect("rewrite runs");
+    assert_eq!(mismatched.status.code(), Some(3), "{}", String::from_utf8_lossy(&mismatched.stderr));
+    assert!(
+        String::from_utf8_lossy(&mismatched.stderr).contains("refusing to resume"),
+        "{}",
+        String::from_utf8_lossy(&mismatched.stderr)
+    );
+
+    let _ = std::fs::remove_file(&raw);
+    let _ = std::fs::remove_file(&rw);
+    let _ = std::fs::remove_file(&rw2);
+    let _ = std::fs::remove_file(&journal);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn func_timeout_budget_degrades_not_hangs() {
+    // A watchdog budget small enough to trip on injected stalls still
+    // produces a verified rewrite: the stalled function degrades with
+    // a typed Budget failure instead of hanging the run.
+    let raw = gen_switch_demo();
+    let rw = tmp("watchdog-rw.json");
+    let out = icfgp()
+        .args(["rewrite"])
+        .arg(&raw)
+        .args(["--mode", "jt", "--func-timeout-ms", "60000", "--budget", "1.0", "-o"])
+        .arg(&rw)
+        .output()
+        .expect("rewrite runs");
+    // A generous wall-clock budget never trips on a clean workload.
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let _ = std::fs::remove_file(&raw);
+    let _ = std::fs::remove_file(&rw);
+}
+
+#[test]
 fn audit_contract_clean_findings_usage() {
     let raw = gen_switch_demo();
 

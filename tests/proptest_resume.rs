@@ -1,0 +1,133 @@
+//! Crash-resume equivalence (satellite of the supervised-rewriting
+//! PR): killing a journaled ladder run at *any* journal boundary and
+//! resuming it must reproduce the uninterrupted run exactly —
+//!
+//! 1. **Byte identity** — the resumed outcome's binary serialises to
+//!    the same bytes as the uninterrupted reference;
+//! 2. **Disposition identity** — per-function `FuncDisposition`
+//!    records (achieved modes, ladder steps, failures) are equal;
+//! 3. **Accounting** — the resumed run reports the same total round
+//!    count, with exactly the killed rounds replayed;
+//!
+//! across workload seeds, rewrite modes, fault seeds and thread
+//! counts. Kills are the supervisor's deterministic abort, which
+//! lands after a round's store flush + journal append — exactly the
+//! disk state SIGKILL leaves behind.
+
+use incremental_cfg_patching::core::{
+    binary_fingerprint, config_fingerprint, CacheStore, FaultPlan, Instrumentation, Points,
+    RewriteCache, RewriteConfig, RewriteMode, RunJournal,
+};
+use incremental_cfg_patching::isa::Arch;
+use incremental_cfg_patching::verify::{rewrite_with_ladder_supervised, LadderError, Supervisor};
+use incremental_cfg_patching::workloads::{generate, GenParams};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn arb_mode() -> impl Strategy<Value = RewriteMode> {
+    prop_oneof![Just(RewriteMode::Dir), Just(RewriteMode::Jt), Just(RewriteMode::FuncPtr)]
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "icfgp-resume-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn kill_at_any_boundary_resumes_byte_identical(
+        mode in arb_mode(),
+        wl_seed in 0u64..200,
+        fault_seed in 0u64..500,
+        threads in 1usize..5,
+    ) {
+        // This binary holds a single sequential proptest, so the
+        // process-global override cannot race another test. Byte
+        // identity must hold for any worker count.
+        std::env::set_var("ICFGP_THREADS", threads.to_string());
+        let w = generate(&GenParams::small("resume", Arch::X64, wl_seed));
+        let mut config = RewriteConfig::new(mode);
+        // Standard intensity forces multi-round ladders on most seeds;
+        // single-round cases exercise the trivial no-kill-point path.
+        config.fault_plan = FaultPlan::named("standard", fault_seed);
+        config.degradation.max_below_floor = 1.0;
+        let instr = Instrumentation::empty(Points::EveryBlock);
+        let bfp = binary_fingerprint(&w.binary);
+        let cfp = config_fingerprint(&config);
+
+        // Uninterrupted reference, journaled and store-backed like the
+        // runs under test.
+        let scratch = tmp_dir(&format!("{mode}-{wl_seed}-{fault_seed}-{threads}"));
+        let ref_dir = scratch.join("ref");
+        let reference = {
+            let store = Arc::new(CacheStore::open(&ref_dir));
+            let cache = RewriteCache::with_store(store);
+            let journal = RunJournal::create(&ref_dir.join("run.journal"), bfp, cfp)
+                .map_err(|e| TestCaseError::fail(e.to_string()))?;
+            let sup = Supervisor { journal: Some(&journal), ..Supervisor::default() };
+            rewrite_with_ladder_supervised(&w.binary, &config, &instr, &cache, &sup)
+                .map_err(|e| TestCaseError::fail(format!("reference ladder: {e}")))?
+        };
+        let ref_bytes = serde_json::to_vec(&reference.outcome.binary).unwrap();
+
+        for k in 1..reference.rounds {
+            let case_dir = scratch.join(format!("k{k}"));
+            let journal_path = case_dir.join("run.journal");
+            {
+                let store = Arc::new(CacheStore::open(&case_dir));
+                let cache = RewriteCache::with_store(store);
+                let journal = RunJournal::create(&journal_path, bfp, cfp)
+                    .map_err(|e| TestCaseError::fail(e.to_string()))?;
+                let sup = Supervisor {
+                    journal: Some(&journal),
+                    abort_after_rounds: Some(k),
+                    ..Supervisor::default()
+                };
+                match rewrite_with_ladder_supervised(&w.binary, &config, &instr, &cache, &sup) {
+                    Err(LadderError::Interrupted { rounds }) => prop_assert_eq!(rounds, k),
+                    other => {
+                        return Err(TestCaseError::fail(format!(
+                            "kill point {k}: expected interrupt, got {other:?}"
+                        )))
+                    }
+                }
+            }
+            let replay = RunJournal::load(&journal_path)
+                .map_err(|e| TestCaseError::fail(format!("kill point {k}: {e}")))?;
+            prop_assert_eq!(replay.rounds.len(), k, "journal must hold the killed rounds");
+            prop_assert!(!replay.complete, "a killed run must not read as complete");
+            prop_assert_eq!(replay.header.binary_fp, bfp);
+            prop_assert_eq!(replay.header.config_fp, cfp);
+            let resumed = {
+                let store = Arc::new(CacheStore::open(&case_dir));
+                let cache = RewriteCache::with_store(store);
+                let sup = Supervisor { resume: Some(&replay), ..Supervisor::default() };
+                rewrite_with_ladder_supervised(&w.binary, &config, &instr, &cache, &sup)
+                    .map_err(|e| TestCaseError::fail(format!("kill point {k}: resume: {e}")))?
+            };
+            prop_assert_eq!(
+                serde_json::to_vec(&resumed.outcome.binary).unwrap(),
+                ref_bytes.clone(),
+                "kill point {}: resumed bytes diverge",
+                k
+            );
+            prop_assert_eq!(
+                &resumed.dispositions,
+                &reference.dispositions,
+                "kill point {}: resumed dispositions diverge",
+                k
+            );
+            prop_assert_eq!(resumed.rounds, reference.rounds);
+            prop_assert_eq!(resumed.resumed_rounds, k);
+        }
+        let _ = std::fs::remove_dir_all(&scratch);
+    }
+}
