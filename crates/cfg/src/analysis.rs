@@ -215,7 +215,7 @@ impl InjectedFault {
 }
 
 /// Analysis verdict for one function.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum FuncStatus {
     /// CFG is complete enough to rewrite.
     Ok,
@@ -227,7 +227,7 @@ pub enum FuncStatus {
 /// What went wrong during analysis. Serialises cleanly so rewrite
 /// reports and verify JSON carry the typed reason instead of a
 /// `Debug`-formatted string.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum AnalysisFailure {
     /// An intra-procedural indirect jump could not be resolved and the
     /// tail-call heuristics did not apply.

@@ -22,7 +22,7 @@ pub enum EdgeKind {
 }
 
 /// A control-flow edge.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Edge {
     /// Destination block start address.
     pub target: u64,
@@ -32,7 +32,7 @@ pub struct Edge {
 
 /// A basic block: `[start, end)` with at most one control-flow
 /// instruction, at the end.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Hash, Serialize, Deserialize)]
 pub struct Block {
     /// First instruction address.
     pub start: u64,
@@ -61,7 +61,7 @@ impl Block {
 }
 
 /// The analysis result for one function.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Hash, Serialize, Deserialize)]
 pub struct FuncCfg {
     /// Function name (may be empty for stripped binaries).
     pub name: String,

@@ -15,7 +15,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// The recovered target expression `tar(x)` of a jump table.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum TableKind {
     /// `tar(x) = x` — absolute entries.
     Absolute,
@@ -61,7 +61,7 @@ impl TableKind {
 /// more indirection, catastrophically weaker with an alias hazard) >
 /// `Extended` (no bound proof at all, over-approximated by
 /// construction).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum BoundEvidence {
     /// A `cmp`/unsigned-branch pair over the index register itself.
     CmpDirect,
@@ -82,7 +82,7 @@ pub enum BoundEvidence {
 }
 
 /// A resolved jump table.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Hash, Serialize, Deserialize)]
 pub struct JumpTableDesc {
     /// Address of the indirect jump instruction.
     pub jump_addr: u64,

@@ -47,12 +47,27 @@
 //! cannot capture (jump-table data bytes live outside the function
 //! range) is recorded as an explicit dependency read-set
 //! (`FuncDep`) and re-validated against the binary at every lookup;
-//! a failed validation is a miss. Downstream fragment/emit/liveness
-//! keys additionally fold the whole-binary fingerprint, so only the
-//! analysis stage shares across binaries.
+//! a failed validation is a miss.
+//!
+//! Fragment and emit entries share across binaries too: their keys
+//! derive from the weak per-function analysis identity plus a content
+//! fingerprint of the analysed CFG itself (so two binaries whose
+//! out-of-range table data differs get different keys, with no
+//! read-set to arbitrate), and the cached artefacts are
+//! position-independent — fragments always were, and emissions are
+//! canonical base-0 bytes plus a patch-point list the relocation
+//! fix-up pass re-applies under the real layout (see the `relocate`
+//! module). Each candidate still carries its
+//! fingerprint and is re-validated per lookup, mirroring the analysis
+//! path: a mismatch can only mean a logically corrupted record, which
+//! is quarantined and recomputed. Liveness stays per-binary.
+//!
+//! Hits whose record was first computed for a *different* binary are
+//! counted separately ([`StageStats::shared`]), so `--stats` and the
+//! fleet bench can show how much cross-binary reuse happened.
 
 use crate::pool;
-use crate::relocate::{EmittedFunc, FuncFragment};
+use crate::relocate::{FuncFragment, RelocEmit};
 use crate::rewriter::RewriteError;
 use crate::store::{CacheStore, Stage, StoreStats};
 use icfgp_cfg::{
@@ -74,6 +89,10 @@ pub struct StageStats {
     pub hits: u64,
     /// Lookups that had to compute.
     pub misses: u64,
+    /// The subset of `hits` whose cached record was first computed for
+    /// a *different* binary (cross-binary weak-key reuse). Zero for
+    /// stages that never share across binaries.
+    pub shared: u64,
 }
 
 impl StageStats {
@@ -82,6 +101,15 @@ impl StageStats {
             self.hits += 1;
         } else {
             self.misses += 1;
+        }
+    }
+
+    /// Record a lookup that can distinguish cross-binary (shared)
+    /// hits from same-binary ones.
+    pub(crate) fn record_lookup(&mut self, lk: Lookup) {
+        self.record(lk.hit);
+        if lk.hit && lk.shared {
+            self.shared += 1;
         }
     }
 
@@ -201,6 +229,33 @@ pub fn binary_fingerprint(binary: &Binary) -> u64 {
     hash_of(binary)
 }
 
+/// A content fingerprint of one analysed CFG, **excluding the
+/// function name**. Fragment construction never reads the name, so a
+/// renamed-but-otherwise-identical function (the common case across
+/// near-identical fleet binaries) fingerprints equal and shares its
+/// fragment. Folded into the fragment key — a cached payload whose
+/// recorded fingerprint disagrees with the key's can only be
+/// corruption, and quarantines.
+pub(crate) fn cfg_fingerprint(cfg: &FuncCfg) -> u64 {
+    let mut h = DefaultHasher::new();
+    0xCF97u64.hash(&mut h);
+    cfg.entry.hash(&mut h);
+    cfg.start.hash(&mut h);
+    cfg.end.hash(&mut h);
+    cfg.blocks.hash(&mut h);
+    cfg.insts.hash(&mut h);
+    cfg.jump_tables.hash(&mut h);
+    cfg.indirect_tailcalls.hash(&mut h);
+    cfg.tail_calls.hash(&mut h);
+    cfg.call_sites.hash(&mut h);
+    cfg.landing_pads.hash(&mut h);
+    cfg.inline_data.hash(&mut h);
+    cfg.has_indirect_calls.hash(&mut h);
+    cfg.fp_landing_targets.hash(&mut h);
+    cfg.status.hash(&mut h);
+    h.finish()
+}
+
 /// The *environment* fingerprint a per-function analysis runs under:
 /// everything `analyze_function_isolated` can observe about the binary
 /// **outside** the function's own byte range, other than raw data
@@ -291,6 +346,9 @@ fn deps_hold(deps: &[FuncDep], binary: &Binary, binary_fp: u64) -> bool {
 struct FuncPayload {
     cfg: FuncCfg,
     deps: Vec<FuncDep>,
+    /// Fingerprint of the binary this entry was first computed for —
+    /// only used to classify a hit as cross-binary (shared).
+    origin_fp: u64,
 }
 
 /// An in-memory function-analysis entry: the CFG plus its read-set.
@@ -298,6 +356,77 @@ struct FuncPayload {
 struct FuncEntry {
     cfg: Arc<FuncCfg>,
     deps: Arc<Vec<FuncDep>>,
+    origin_fp: u64,
+}
+
+/// How a lookup was served: from the cache or computed, and whether
+/// the cached record originated from a different binary.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct Lookup {
+    pub(crate) hit: bool,
+    pub(crate) shared: bool,
+}
+
+impl Lookup {
+    fn hit(origin_fp: u64, binary_fp: u64) -> Lookup {
+        Lookup { hit: true, shared: origin_fp != binary_fp }
+    }
+
+    const MISS: Lookup = Lookup { hit: false, shared: false };
+}
+
+/// The persisted form of one relocation fragment: the fragment plus
+/// the CFG content fingerprint it was built from. The fingerprint is
+/// folded into the fragment key, so a well-formed record always
+/// matches — re-validation at lookup (mirroring the analysis path)
+/// catches logically corrupted records, which are quarantined and
+/// recomputed instead of mis-relocating.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct FragPayload {
+    frag: FuncFragment,
+    cfg_fp: u64,
+    origin_fp: u64,
+}
+
+/// An in-memory fragment entry (see [`FragPayload`]).
+#[derive(Clone)]
+struct FragEntry {
+    frag: Arc<FuncFragment>,
+    cfg_fp: u64,
+    origin_fp: u64,
+}
+
+/// The persisted form of one canonical (position-independent)
+/// emission. Validated against its fragment at every lookup.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct EmitPayload {
+    emit: RelocEmit,
+    origin_fp: u64,
+}
+
+/// An in-memory emission entry (see [`EmitPayload`]).
+#[derive(Clone)]
+struct EmitEntry {
+    emit: Arc<RelocEmit>,
+    origin_fp: u64,
+}
+
+/// An armed corrupt-patch-point fault (chaos): probability of
+/// deterministically corrupting a fragment/emit record as it is read
+/// back from the persistent store, *after* checksum validation — the
+/// logical-corruption class the per-lookup re-validation must catch.
+#[derive(Debug, Clone, Copy)]
+struct PatchFault {
+    seed: u64,
+    probability: f64,
+}
+
+impl PatchFault {
+    /// Deterministic per-key draw (same key always draws the same).
+    fn fires(&self, key: u64) -> bool {
+        self.probability > 0.0
+            && mix(self.seed ^ key) % 10_000 < (self.probability * 10_000.0) as u64
+    }
 }
 
 /// The boundary pre-pass result with its XOR-folded element hash.
@@ -311,6 +440,7 @@ struct Prepass {
 struct AnalysisMemo {
     analysis: Arc<BinaryAnalysis>,
     func_keys: Arc<BTreeMap<u64, u64>>,
+    weak_keys: Arc<BTreeMap<u64, u64>>,
     rounds: u32,
 }
 
@@ -320,8 +450,8 @@ struct Maps {
     analyses: HashMap<(u64, u64), AnalysisMemo>,
     funcs: HashMap<u64, FuncEntry>,
     liveness: HashMap<u64, Arc<LivenessResult>>,
-    fragments: HashMap<u64, Arc<FuncFragment>>,
-    emits: HashMap<u64, Arc<EmittedFunc>>,
+    fragments: HashMap<u64, FragEntry>,
+    emits: HashMap<u64, EmitEntry>,
     audits: HashMap<u64, Arc<icfgp_audit::AuditReport>>,
 }
 
@@ -334,6 +464,9 @@ struct Maps {
 pub struct RewriteCache {
     inner: Mutex<Maps>,
     store: Option<Arc<CacheStore>>,
+    /// Chaos: corrupt fragment/emit records read back from the store
+    /// (armed by [`crate::FaultPlan::arm_cached`]).
+    patch_fault: Mutex<Option<PatchFault>>,
 }
 
 impl std::fmt::Debug for RewriteCache {
@@ -362,7 +495,30 @@ impl RewriteCache {
     /// its next [`CacheStore::flush`].
     #[must_use]
     pub fn with_store(store: Arc<CacheStore>) -> RewriteCache {
-        RewriteCache { inner: Mutex::new(Maps::default()), store: Some(store) }
+        RewriteCache {
+            inner: Mutex::new(Maps::default()),
+            store: Some(store),
+            patch_fault: Mutex::new(None),
+        }
+    }
+
+    /// Chaos: with probability `probability` (deterministic per key,
+    /// seeded), corrupt each fragment/emit record as it is read back
+    /// from the persistent store — after the store's checksum passes,
+    /// so only the per-lookup re-validation stands between the
+    /// corrupted patch list and a mis-fixed-up branch. A detected
+    /// corruption quarantines the record and recomputes; output bytes
+    /// never change.
+    pub fn arm_patch_corruption(&self, seed: u64, probability: f64) {
+        *self.patch_fault.lock().expect("fault poisoned") =
+            Some(PatchFault { seed, probability });
+    }
+
+    fn patch_fault_fires(&self, key: u64) -> bool {
+        self.patch_fault
+            .lock()
+            .expect("fault poisoned")
+            .is_some_and(|f| f.fires(key))
     }
 
     /// The attached persistent store, if any.
@@ -436,37 +592,45 @@ impl RewriteCache {
         binary: &Binary,
         binary_fp: u64,
         compute: impl FnOnce() -> FuncCfg,
-    ) -> (Arc<FuncCfg>, bool) {
+    ) -> (Arc<FuncCfg>, Lookup) {
         {
             let mut m = self.lock();
             if let Some(e) = m.funcs.get(&key) {
                 if deps_hold(&e.deps, binary, binary_fp) {
-                    return (e.cfg.clone(), true);
+                    return (e.cfg.clone(), Lookup::hit(e.origin_fp, binary_fp));
                 }
                 m.funcs.remove(&key);
             }
         }
         if let Some(p) = self.store_get::<FuncPayload>(Stage::Func, key) {
             if deps_hold(&p.deps, binary, binary_fp) {
-                let entry = FuncEntry { cfg: Arc::new(p.cfg), deps: Arc::new(p.deps) };
+                let entry = FuncEntry {
+                    cfg: Arc::new(p.cfg),
+                    deps: Arc::new(p.deps),
+                    origin_fp: p.origin_fp,
+                };
                 let got = self
                     .lock()
                     .funcs
                     .entry(key)
                     .or_insert_with(|| entry.clone())
                     .clone();
-                return (got.cfg, true);
+                return (got.cfg, Lookup::hit(got.origin_fp, binary_fp));
             }
             // A different binary legitimately reusing the weak key:
             // not corruption, just a miss (the recompute replaces it).
         }
         let cfg = compute();
         let deps = func_deps(binary, binary_fp, &cfg);
-        self.store_put(Stage::Func, key, &FuncPayload { cfg: cfg.clone(), deps: deps.clone() });
-        let entry = FuncEntry { cfg: Arc::new(cfg), deps: Arc::new(deps) };
+        self.store_put(
+            Stage::Func,
+            key,
+            &FuncPayload { cfg: cfg.clone(), deps: deps.clone(), origin_fp: binary_fp },
+        );
+        let entry = FuncEntry { cfg: Arc::new(cfg), deps: Arc::new(deps), origin_fp: binary_fp };
         let mut m = self.lock();
         let got = m.funcs.entry(key).or_insert(entry).clone();
-        (got.cfg, false)
+        (got.cfg, Lookup::MISS)
     }
 
     /// Look up or compute a per-function liveness result.
@@ -499,58 +663,134 @@ impl RewriteCache {
 
     /// Look up or build a per-function relocation fragment. Errors are
     /// not cached (they abort the rewrite anyway).
+    ///
+    /// The key is position-independent and shared across binaries;
+    /// `cfg_fp` (the CFG content fingerprint folded into the key) is
+    /// re-validated against every candidate. A well-formed record
+    /// always matches, so a mismatch means logical corruption: the
+    /// record is quarantined and the fragment recomputed — output
+    /// bytes never change.
     pub(crate) fn fragment(
         &self,
         key: u64,
+        cfg_fp: u64,
+        binary_fp: u64,
         compute: impl FnOnce() -> Result<FuncFragment, RewriteError>,
-    ) -> Result<(Arc<FuncFragment>, bool), RewriteError> {
-        if let Some(v) = self.lock().fragments.get(&key) {
-            return Ok((v.clone(), true));
+    ) -> Result<(Arc<FuncFragment>, Lookup), RewriteError> {
+        {
+            let mut m = self.lock();
+            if let Some(e) = m.fragments.get(&key) {
+                if e.cfg_fp == cfg_fp {
+                    return Ok((e.frag.clone(), Lookup::hit(e.origin_fp, binary_fp)));
+                }
+                m.fragments.remove(&key);
+            }
         }
-        if let Some(v) = self.store_get::<FuncFragment>(Stage::Fragment, key) {
-            let v = Arc::new(v);
-            return Ok((
-                self.lock().fragments.entry(key).or_insert_with(|| v.clone()).clone(),
-                true,
-            ));
+        if let Some(mut p) = self.store_get::<FragPayload>(Stage::Fragment, key) {
+            if self.patch_fault_fires(key) {
+                // Injected logical corruption: flip the validation
+                // fingerprint so the record no longer matches its key.
+                p.cfg_fp ^= 1;
+            }
+            if p.cfg_fp == cfg_fp {
+                let entry = FragEntry {
+                    frag: Arc::new(p.frag),
+                    cfg_fp: p.cfg_fp,
+                    origin_fp: p.origin_fp,
+                };
+                let got = self
+                    .lock()
+                    .fragments
+                    .entry(key)
+                    .or_insert_with(|| entry.clone())
+                    .clone();
+                return Ok((got.frag, Lookup::hit(got.origin_fp, binary_fp)));
+            }
+            if let Some(store) = &self.store {
+                store.quarantine_record(
+                    Stage::Fragment,
+                    key,
+                    "fragment failed CFG-fingerprint re-validation",
+                );
+            }
         }
         let v = Arc::new(compute()?);
-        self.store_put(Stage::Fragment, key, &*v);
+        self.store_put(
+            Stage::Fragment,
+            key,
+            &FragPayload { frag: (*v).clone(), cfg_fp, origin_fp: binary_fp },
+        );
+        let entry = FragEntry { frag: v, cfg_fp, origin_fp: binary_fp };
         Ok((
             self.lock()
                 .fragments
                 .entry(key)
-                .or_insert_with(|| v.clone())
-                .clone(),
-            false,
+                .or_insert_with(|| entry.clone())
+                .clone()
+                .frag,
+            Lookup::MISS,
         ))
     }
 
-    /// Look up or emit one function's relocated code.
+    /// Look up or emit one function's canonical (position-independent)
+    /// relocated code. `validate` re-checks a candidate's patch-point
+    /// list against the fragment it will be fixed up with — a failure
+    /// means a logically corrupted record, which is quarantined and
+    /// recomputed (never silently mis-fixed-up).
     pub(crate) fn emit(
         &self,
         key: u64,
-        compute: impl FnOnce() -> Result<EmittedFunc, RewriteError>,
-    ) -> Result<(Arc<EmittedFunc>, bool), RewriteError> {
-        if let Some(v) = self.lock().emits.get(&key) {
-            return Ok((v.clone(), true));
+        binary_fp: u64,
+        validate: impl Fn(&RelocEmit) -> bool,
+        compute: impl FnOnce() -> Result<RelocEmit, RewriteError>,
+    ) -> Result<(Arc<RelocEmit>, Lookup), RewriteError> {
+        {
+            let mut m = self.lock();
+            if let Some(e) = m.emits.get(&key) {
+                if validate(&e.emit) {
+                    return Ok((e.emit.clone(), Lookup::hit(e.origin_fp, binary_fp)));
+                }
+                m.emits.remove(&key);
+            }
         }
-        if let Some(v) = self.store_get::<EmittedFunc>(Stage::Emit, key) {
-            let v = Arc::new(v);
-            return Ok((
-                self.lock().emits.entry(key).or_insert_with(|| v.clone()).clone(),
-                true,
-            ));
+        if let Some(mut p) = self.store_get::<EmitPayload>(Stage::Emit, key) {
+            if self.patch_fault_fires(key) {
+                p.emit.corrupt_one_patch_point();
+            }
+            if validate(&p.emit) {
+                let entry = EmitEntry { emit: Arc::new(p.emit), origin_fp: p.origin_fp };
+                let got = self
+                    .lock()
+                    .emits
+                    .entry(key)
+                    .or_insert_with(|| entry.clone())
+                    .clone();
+                return Ok((got.emit, Lookup::hit(got.origin_fp, binary_fp)));
+            }
+            if let Some(store) = &self.store {
+                store.quarantine_record(
+                    Stage::Emit,
+                    key,
+                    "emission failed patch-point re-validation",
+                );
+            }
         }
         let v = Arc::new(compute()?);
-        self.store_put(Stage::Emit, key, &*v);
+        debug_assert!(validate(&v), "freshly computed emission must validate");
+        self.store_put(
+            Stage::Emit,
+            key,
+            &EmitPayload { emit: (*v).clone(), origin_fp: binary_fp },
+        );
+        let entry = EmitEntry { emit: v, origin_fp: binary_fp };
         Ok((
             self.lock()
                 .emits
                 .entry(key)
-                .or_insert_with(|| v.clone())
-                .clone(),
-            false,
+                .or_insert_with(|| entry.clone())
+                .clone()
+                .emit,
+            Lookup::MISS,
         ))
     }
 
@@ -592,6 +832,7 @@ impl RewriteCache {
         config_fp: u64,
         analysis: Arc<BinaryAnalysis>,
         func_keys: Arc<BTreeMap<u64, u64>>,
+        weak_keys: Arc<BTreeMap<u64, u64>>,
         rounds: u32,
     ) {
         self.lock()
@@ -600,6 +841,7 @@ impl RewriteCache {
             .or_insert(AnalysisMemo {
                 analysis,
                 func_keys,
+                weak_keys,
                 rounds,
             });
     }
@@ -612,9 +854,16 @@ pub struct AnalysisRun {
     /// [`icfgp_cfg::analyze`]'s result).
     pub analysis: Arc<BinaryAnalysis>,
     /// Per-function cache identity: function entry address → the key
-    /// its CFG was cached under. Downstream fragment/emit keys derive
-    /// from these.
+    /// its CFG was cached under, with the whole-binary fingerprint
+    /// folded in. Liveness keys derive from these (strictly
+    /// per-binary).
     pub func_keys: Arc<BTreeMap<u64, u64>>,
+    /// The *weak* per-function identities: like [`AnalysisRun::func_keys`]
+    /// but without the whole-binary fingerprint, so they agree across
+    /// binaries sharing a function's bytes, address and environment.
+    /// Fragment and emit keys derive from these (plus a CFG content
+    /// fingerprint that arbitrates what the weak identity cannot see).
+    pub weak_keys: Arc<BTreeMap<u64, u64>>,
     /// The whole analysis was served from the memo.
     pub memo_hit: bool,
     /// Replay rounds run (0 on a memo hit).
@@ -654,6 +903,7 @@ pub fn analyze_incremental(
         return AnalysisRun {
             analysis: memo.analysis,
             func_keys: memo.func_keys,
+            weak_keys: memo.weak_keys,
             memo_hit: true,
             rounds: memo.rounds,
             func_stats: StageStats::default(),
@@ -741,8 +991,8 @@ pub fn analyze_incremental(
             });
             (out, u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX))
         });
-        for (&i, ((cfg, hit), ns)) in work.iter().zip(outs) {
-            func_stats.record(hit);
+        for (&i, ((cfg, lookup), ns)) in work.iter().zip(outs) {
+            func_stats.record_lookup(lookup);
             func_times.push((syms[i].addr, ns));
             analyzed[i] = Some(snaps[i].as_ref().expect("snapshot").1);
             results[i] = Some(cfg);
@@ -755,11 +1005,12 @@ pub fn analyze_incremental(
         .zip(&results)
         .map(|(s, r)| (s.addr, (**r.as_ref().expect("analysed")).clone()))
         .collect();
-    // Downstream (fragment/emit/liveness) identities fold the
-    // whole-binary fingerprint back in: two binaries may share a weak
-    // analysis key while their CFGs differ (the read-set arbitrates at
-    // lookup time), and nothing below the analysis stage re-validates
-    // read-sets — so everything below stays strictly per-binary.
+    // The liveness identity folds the whole-binary fingerprint back
+    // in (strictly per-binary); the weak identity leaves it out so
+    // fragment/emit keys agree across binaries. Two binaries may
+    // share a weak key while their CFGs differ (out-of-range table
+    // data) — the fragment key folds a CFG content fingerprint on
+    // top, so that divergence never aliases.
     let func_keys: BTreeMap<u64, u64> = syms
         .iter()
         .enumerate()
@@ -772,18 +1023,32 @@ pub fn analyze_incremental(
             (s.addr, k.finish())
         })
         .collect();
+    let weak_keys: BTreeMap<u64, u64> = syms
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let mut k = DefaultHasher::new();
+            0xFC04u64.hash(&mut k);
+            statics[i].hash(&mut k);
+            analyzed[i].expect("analysed").hash(&mut k);
+            (s.addr, k.finish())
+        })
+        .collect();
     let analysis = Arc::new(assemble_analysis(binary, config, funcs, final_set));
     let func_keys = Arc::new(func_keys);
+    let weak_keys = Arc::new(weak_keys);
     cache.store_analysis(
         binary_fp,
         config_fp,
         analysis.clone(),
         func_keys.clone(),
+        weak_keys.clone(),
         rounds,
     );
     AnalysisRun {
         analysis,
         func_keys,
+        weak_keys,
         memo_hit: false,
         rounds,
         func_stats,

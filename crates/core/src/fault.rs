@@ -84,6 +84,13 @@ pub struct FaultPlan {
     /// Probability a store flush simulates writer-lock contention and
     /// defers (records stay pending).
     pub store_lock_contention: f64,
+    /// Probability a store-decoded shared fragment/emission payload is
+    /// corrupted in a way its frame checksum cannot see (a patch-point
+    /// offset flip, a stale CFG fingerprint). Exercises the per-lookup
+    /// re-validation: the payload must quarantine and recompute, never
+    /// mis-fix-up a span — output bytes never change.
+    #[serde(default)]
+    pub corrupt_patch_point: f64,
 }
 
 impl FaultPlan {
@@ -106,6 +113,7 @@ impl FaultPlan {
             store_bit_flip: 0.0,
             store_short_read: 0.0,
             store_lock_contention: 0.0,
+            corrupt_patch_point: 0.0,
         }
     }
 
@@ -121,6 +129,7 @@ impl FaultPlan {
             store_torn_write: 0.05,
             store_bit_flip: 0.05,
             store_short_read: 0.05,
+            corrupt_patch_point: 0.05,
             ..FaultPlan::none(seed)
         }
     }
@@ -142,6 +151,7 @@ impl FaultPlan {
             store_bit_flip: 0.10,
             store_short_read: 0.10,
             store_lock_contention: 0.10,
+            corrupt_patch_point: 0.10,
             ..FaultPlan::none(seed)
         }
     }
@@ -166,6 +176,7 @@ impl FaultPlan {
             store_bit_flip: 0.25,
             store_short_read: 0.25,
             store_lock_contention: 0.25,
+            corrupt_patch_point: 0.30,
             ..FaultPlan::none(seed)
         }
     }
@@ -274,6 +285,9 @@ impl FaultPlan {
         }
         if let Some(store) = cache.store() {
             store.arm_faults(self.store_faults());
+        }
+        if self.corrupt_patch_point > 0.0 {
+            cache.arm_patch_corruption(self.seed, self.corrupt_patch_point);
         }
     }
 }

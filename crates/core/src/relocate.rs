@@ -31,8 +31,24 @@
 //! again through the cache; a final sequential pass fills the table
 //! clones. Fragments are address-independent, so a warm cache turns a
 //! re-rewrite into layout plus memcpy.
+//!
+//! # Position-independent emissions
+//!
+//! The emit stage caches a **canonical** emission ([`RelocEmit`]):
+//! the fragment encoded at base 0 with every layout-dependent entry
+//! (branches, pc-relative data, table bases, counters, emulated
+//! calls) left as a nop-filled span recorded in a patch-point list.
+//! Both fragment and canonical-emission identities derive from the
+//! *weak* per-function analysis key (environment × bytes × config —
+//! no whole-binary fingerprint, no layout base), so they hit across
+//! near-identical binaries and across layout shifts within one
+//! binary. A cheap sequential [`fixup`] pass re-encodes just the
+//! patch spans against the real base/clone/counter addresses and the
+//! resolve map — running the same per-entry encoder a cold emission
+//! runs, so fixed-up shared bytes are identical to a cold rewrite by
+//! construction.
 
-use crate::cache::{hash_of, unique_key, RewriteCache, StageStats};
+use crate::cache::{cfg_fingerprint, hash_of, unique_key, RewriteCache, StageStats};
 use crate::config::{FuncMode, LayoutOrder, RewriteConfig, RewriteMode, UnwindStrategy};
 use crate::instrument::{Instrumentation, Payload};
 use crate::pool;
@@ -170,10 +186,11 @@ pub(crate) struct RelocateInput<'a> {
     pub instr_base: u64,
     /// Emit the buggy call emulation for stack-indirect calls.
     pub emulation_stack_bug: bool,
-    /// Per-function analysis cache identities (from
+    /// Weak (cross-binary) per-function analysis identities (from
     /// [`crate::cache::analyze_incremental`]); fragment and emission
-    /// keys derive from them.
-    pub func_keys: &'a BTreeMap<u64, u64>,
+    /// keys derive from these so relocation work is shared across
+    /// near-identical binaries.
+    pub weak_keys: &'a BTreeMap<u64, u64>,
 }
 
 /// An address-independent per-function relocation recipe: the sized
@@ -190,13 +207,116 @@ pub(crate) struct FuncFragment {
 }
 
 /// One function's emitted relocated code plus its return-address map
-/// contributions (absolute addresses — the emission key folds in the
-/// fragment base).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+/// contributions (absolute addresses, produced by [`fixup`] — never
+/// cached).
+#[derive(Debug, Clone)]
 pub(crate) struct EmittedFunc {
     bytes: Vec<u8>,
     /// (relocated RA, original RA) pairs, in entry order.
     ra_pairs: Vec<(u64, u64)>,
+}
+
+/// How a patch span's bytes depend on the final layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub(crate) enum PatchKind {
+    /// Re-encoded against the span's own final address (pc-relative
+    /// data references, page materialisations).
+    SelfRel,
+    /// Re-encoded against another function's or block's resolved
+    /// address (branches, fp materialisations, emulated calls).
+    TargetRel,
+    /// Re-encoded against an assigned jump-table clone address.
+    TableSlot,
+    /// Re-encoded against the assigned `.icounters` slot address.
+    CounterSlot,
+}
+
+/// One layout-dependent span of a canonical emission.
+#[derive(Debug, Clone, Hash, Serialize, Deserialize)]
+pub(crate) struct PatchPoint {
+    /// Index of the fragment entry the span belongs to.
+    entry_idx: usize,
+    /// Span offset from the fragment base (== the entry's `new_addr`).
+    off: u64,
+    /// Span width in bytes (== the entry's sized length).
+    width: u64,
+    /// Dependency class (validated against the entry's kind).
+    kind: PatchKind,
+}
+
+/// The cached, position-independent emission of one fragment: the
+/// bytes as emitted at base 0 with every layout-dependent span
+/// nop-filled, plus the patch-point list [`fixup`] re-encodes. Shared
+/// across binaries (weak-keyed), so a decoded payload re-validates
+/// structurally against the fragment on every lookup; a mismatch can
+/// only be corruption and quarantines rather than mis-fixing a span.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct RelocEmit {
+    bytes: Vec<u8>,
+    patches: Vec<PatchPoint>,
+    /// Self-fingerprint over `(bytes, patches)`, checked on decode.
+    self_fp: u64,
+}
+
+/// The patch class a fragment entry needs, `None` when its encoding
+/// is position-independent (cached verbatim in the canonical bytes).
+fn patch_kind_of(kind: &RKind) -> Option<PatchKind> {
+    match kind {
+        RKind::PcRelData { .. } | RKind::PcRelPage { .. } => Some(PatchKind::SelfRel),
+        RKind::BranchOrig { .. } | RKind::FpImm { .. } | RKind::EmulatedCall { .. } => {
+            Some(PatchKind::TargetRel)
+        }
+        RKind::JtBase { .. } | RKind::JtMemJump { .. } => Some(PatchKind::TableSlot),
+        RKind::CounterPayload { .. } => Some(PatchKind::CounterSlot),
+        RKind::Copy(_)
+        | RKind::Payload(_)
+        | RKind::GoRaPayload
+        | RKind::JtLoadWiden { .. }
+        | RKind::Pad(_) => None,
+    }
+}
+
+impl RelocEmit {
+    fn fingerprint(bytes: &[u8], patches: &[PatchPoint]) -> u64 {
+        let mut h = DefaultHasher::new();
+        0x5E1F_F21Du64.hash(&mut h);
+        h.write(bytes);
+        patches.hash(&mut h);
+        h.finish()
+    }
+
+    /// Whether this decoded emission structurally belongs to `frag`:
+    /// byte length, self-fingerprint, and a patch point per
+    /// layout-dependent entry, in order, with matching spans. Run on
+    /// every cache lookup before any fix-up; failure quarantines.
+    pub(crate) fn validates(&self, frag: &FuncFragment) -> bool {
+        if self.bytes.len() as u64 != frag.size
+            || self.self_fp != Self::fingerprint(&self.bytes, &self.patches)
+        {
+            return false;
+        }
+        let mut want = frag.entries.iter().enumerate().filter_map(|(i, e)| {
+            patch_kind_of(&e.kind).map(|k| (i, e.new_addr, e.size, k))
+        });
+        for p in &self.patches {
+            match want.next() {
+                Some((i, off, width, kind))
+                    if p.entry_idx == i && p.off == off && p.width == width && p.kind == kind => {}
+                _ => return false,
+            }
+        }
+        want.next().is_none()
+    }
+
+    /// Deterministically corrupt one patch point (or the fingerprint
+    /// when there are none) — the chaos-fault hook for exercising the
+    /// quarantine path.
+    pub(crate) fn corrupt_one_patch_point(&mut self) {
+        match self.patches.first_mut() {
+            Some(p) => p.off ^= 1,
+            None => self.self_fp ^= 1,
+        }
+    }
 }
 
 /// Relocate all selected functions. Returns the relocated code, the
@@ -240,23 +360,28 @@ pub(crate) fn relocate(
     };
 
     // ----- build fragments (parallel, cached) --------------------------
+    let binary_fp = crate::cache::binary_fingerprint(binary);
     let instr_fp = hash_of(input.instr);
-    let keyed: Vec<(&FuncCfg, u64)> = selected
+    let keyed: Vec<(&FuncCfg, u64, u64)> = selected
         .iter()
-        .map(|f| (*f, fragment_key(input, f, instr_fp, far_to_orig, &relocated_ranges)))
+        .map(|f| {
+            let cfg_fp = cfg_fingerprint(f);
+            (*f, fragment_key(input, f, cfg_fp, instr_fp, far_to_orig, &relocated_ranges), cfg_fp)
+        })
         .collect();
-    let frag_results = pool::map(threads, &keyed, |_, (func, key)| {
+    let frag_results = pool::map(threads, &keyed, |_, (func, key, cfg_fp)| {
         let started = std::time::Instant::now();
-        let out =
-            cache.fragment(*key, || build_fragment(input, func, far_to_orig, &relocated_ranges));
+        let out = cache.fragment(*key, *cfg_fp, binary_fp, || {
+            build_fragment(input, func, far_to_orig, &relocated_ranges)
+        });
         (out, u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX))
     });
     let mut frag_stats = StageStats::default();
     let mut func_times: Vec<(u64, u64)> = Vec::with_capacity(keyed.len() * 2);
     let mut frags: Vec<Arc<FuncFragment>> = Vec::with_capacity(keyed.len());
-    for ((func, _), (r, ns)) in keyed.iter().zip(frag_results) {
-        let (frag, hit) = r?;
-        frag_stats.record(hit);
+    for ((func, _, _), (r, ns)) in keyed.iter().zip(frag_results) {
+        let (frag, lookup) = r?;
+        frag_stats.record_lookup(lookup);
         func_times.push((func.entry, ns));
         frags.push(frag);
     }
@@ -343,45 +468,35 @@ pub(crate) fn relocate(
         orig
     };
 
-    // ----- emit (parallel, cached) -------------------------------------
+    // ----- emit (parallel, cached canonical + per-function fix-up) -----
     let empty_addrs: Vec<u64> = Vec::new();
     let emit_jobs: Vec<(usize, u64)> = keyed
         .iter()
         .enumerate()
-        .map(|(i, (func, fkey))| {
-            let (base, slot_base) = placed[i];
-            let clone_addrs = func_clone_addrs.get(&func.entry).unwrap_or(&empty_addrs);
-            let key = emit_key(
-                *fkey,
-                &frags[i],
-                base,
-                slot_base,
-                icounters_base,
-                clone_addrs,
-                &resolve,
-                input.emulation_stack_bug,
-            );
-            (i, key)
-        })
+        .map(|(i, (_, fkey, _))| (i, emit_key(*fkey)))
         .collect();
     let emit_results = pool::map(threads, &emit_jobs, |_, &(i, key)| {
         let (base, slot_base) = placed[i];
         let clone_addrs = func_clone_addrs.get(&keyed[i].0.entry).unwrap_or(&empty_addrs);
         let started = std::time::Instant::now();
-        let out = cache.emit(key, || {
-            emit_func(
-                &frags[i],
-                base,
-                arch,
-                pie,
-                toc,
-                &resolve,
-                clone_addrs,
-                slot_base,
-                icounters_base,
-                input.emulation_stack_bug,
-            )
-        });
+        let out = cache
+            .emit(key, binary_fp, |c| c.validates(&frags[i]), || canonical_emit(&frags[i], arch))
+            .and_then(|(canonical, lookup)| {
+                let emitted = fixup(
+                    &canonical,
+                    &frags[i],
+                    base,
+                    arch,
+                    pie,
+                    toc,
+                    &resolve,
+                    clone_addrs,
+                    slot_base,
+                    icounters_base,
+                    input.emulation_stack_bug,
+                )?;
+                Ok((emitted, lookup))
+            });
         (out, u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX))
     });
 
@@ -391,8 +506,8 @@ pub(crate) fn relocate(
     let mut ra_map = RaMap::new();
     let mut emit_stats = StageStats::default();
     for (i, (r, ns)) in emit_results.into_iter().enumerate() {
-        let (emitted, hit) = r?;
-        emit_stats.record(hit);
+        let (emitted, lookup) = r?;
+        emit_stats.record_lookup(lookup);
         func_times.push((keyed[i].0.entry, ns));
         let (base, _) = placed[i];
         // Alignment padding between fragments.
@@ -489,22 +604,34 @@ pub(crate) fn relocate(
 }
 
 /// The content-addressed identity of one function's fragment: the
-/// cached CFG identity, the ladder rung, every rewrite-config bit the
-/// fragment build reads, the instrumentation request, and the
-/// cross-function inputs (function-pointer sites with their owners'
-/// rungs; the relocated ranges when far-branch decisions apply).
+/// *weak* (cross-binary) CFG identity plus a content fingerprint of
+/// the analysed CFG itself, the Go-traceback attribute (the only
+/// other symbol bit the build reads), the ladder rung, every
+/// rewrite-config bit the fragment build reads, the instrumentation
+/// request, and the cross-function inputs (function-pointer sites
+/// with their owners' rungs; the relocated ranges when far-branch
+/// decisions apply). No whole-binary fingerprint and no layout base:
+/// near-identical binaries, and successive ladder rounds of one
+/// binary, share fragments.
 fn fragment_key(
     input: &RelocateInput<'_>,
     func: &FuncCfg,
+    cfg_fp: u64,
     instr_fp: u64,
     far_to_orig: bool,
     relocated_ranges: &[(u64, u64)],
 ) -> u64 {
     let config = input.config;
-    let func_key = input.func_keys.get(&func.entry).copied().unwrap_or_else(unique_key);
+    let weak_key = input.weak_keys.get(&func.entry).copied().unwrap_or_else(unique_key);
+    let go_traceback = input
+        .binary
+        .function_starting_at(func.entry)
+        .is_some_and(|s| s.attrs.is_go_traceback);
     let mut h = DefaultHasher::new();
-    0xF7A6u64.hash(&mut h);
-    func_key.hash(&mut h);
+    0xF7A7u64.hash(&mut h);
+    weak_key.hash(&mut h);
+    cfg_fp.hash(&mut h);
+    go_traceback.hash(&mut h);
     func.fp_landing_targets.hash(&mut h);
     config.func_mode(func.entry).hash(&mut h);
     config.mode.hash(&mut h);
@@ -542,38 +669,16 @@ fn fragment_key(
     h.finish()
 }
 
-/// The identity of one function's emission: its fragment plus every
-/// layout-dependent input the encoder reads (base address, counter
-/// slot base, clone addresses, resolved branch targets).
-#[allow(clippy::too_many_arguments)]
-fn emit_key(
-    frag_key: u64,
-    frag: &FuncFragment,
-    base: u64,
-    slot_base: usize,
-    icounters_base: u64,
-    clone_addrs: &[u64],
-    resolve: &(impl Fn(u64) -> u64 + Sync),
-    emulation_stack_bug: bool,
-) -> u64 {
+/// The identity of one function's canonical emission. The canonical
+/// bytes are a pure function of the fragment and the architecture
+/// (folded into the weak key through the environment fingerprint), so
+/// the fragment key alone identifies them — no layout base, counter
+/// slot base, clone addresses or resolved targets: those are fix-up
+/// inputs, applied after the cache.
+fn emit_key(frag_key: u64) -> u64 {
     let mut h = DefaultHasher::new();
-    0xE317u64.hash(&mut h);
+    0xE318u64.hash(&mut h);
     frag_key.hash(&mut h);
-    base.hash(&mut h);
-    slot_base.hash(&mut h);
-    icounters_base.hash(&mut h);
-    clone_addrs.hash(&mut h);
-    emulation_stack_bug.hash(&mut h);
-    for e in &frag.entries {
-        match &e.kind {
-            RKind::BranchOrig { orig_target, .. } => resolve(*orig_target).hash(&mut h),
-            RKind::FpImm { target_fn, delta, .. } => {
-                resolve(target_fn.wrapping_add_signed(*delta)).hash(&mut h);
-            }
-            RKind::EmulatedCall { direct_target: Some(t), .. } => resolve(*t).hash(&mut h),
-            _ => {}
-        }
-    }
     h.finish()
 }
 
@@ -944,10 +1049,73 @@ fn build_fragment(
     Ok(FuncFragment { entries, block_starts, counter_slots, size: cursor })
 }
 
-/// Emit one function's fragment at `base`, padding per-entry alignment
-/// gaps with nops, and collect its RA-map pairs.
+/// Pad `out` with whole nops up to `size` bytes and truncate to
+/// exactly `size` (a trailing partial nop is acceptable slack — it is
+/// never reached).
+fn pad_to(out: &mut Vec<u8>, size: u64, nop: &[u8]) {
+    while (out.len() as u64) < size {
+        out.extend_from_slice(nop);
+    }
+    out.truncate(size as usize);
+}
+
+/// Emit one fragment's canonical (base-0, position-independent) form:
+/// position-independent entries encode verbatim; layout-dependent
+/// entries become nop-filled spans recorded as patch points. Pure in
+/// the fragment and the architecture — this is what the emit cache
+/// stores and shares across binaries.
+fn canonical_emit(frag: &FuncFragment, arch: Arch) -> Result<RelocEmit, RewriteError> {
+    let nop = encode(&Inst::Nop, arch).expect("nop");
+    let mut bytes: Vec<u8> = Vec::with_capacity(frag.size as usize);
+    let mut patches: Vec<PatchPoint> = Vec::new();
+    for (i, e) in frag.entries.iter().enumerate() {
+        // Alignment padding between entries.
+        while (bytes.len() as u64) != e.new_addr {
+            bytes.extend_from_slice(&nop);
+        }
+        if let Some(kind) = patch_kind_of(&e.kind) {
+            patches.push(PatchPoint { entry_idx: i, off: e.new_addr, width: e.size, kind });
+            let mut span = Vec::with_capacity(e.size as usize);
+            pad_to(&mut span, e.size, &nop);
+            bytes.extend_from_slice(&span);
+            continue;
+        }
+        // Position-independent entries never read the layout inputs;
+        // encode them at their canonical offset with inert stand-ins.
+        let mut out = emit_entry(
+            e,
+            e.new_addr,
+            arch,
+            false,
+            None,
+            &|orig| orig,
+            &[],
+            0,
+            0,
+            false,
+        )?;
+        debug_assert!(
+            out.len() as u64 <= e.size,
+            "entry emitted {} > sized {} for {:?}",
+            out.len(),
+            e.size,
+            e.kind
+        );
+        pad_to(&mut out, e.size, &nop);
+        bytes.extend_from_slice(&out);
+    }
+    let self_fp = RelocEmit::fingerprint(&bytes, &patches);
+    Ok(RelocEmit { bytes, patches, self_fp })
+}
+
+/// Fix up a canonical emission against the real layout: re-encode
+/// exactly the patch spans at `base` with the assigned clone/counter
+/// addresses and the resolve map, and collect the RA-map pairs. Runs
+/// the same per-entry encoder a cold emission runs, so the result is
+/// byte-identical to emitting the whole fragment at `base` directly.
 #[allow(clippy::too_many_arguments)]
-fn emit_func(
+fn fixup(
+    canonical: &RelocEmit,
     frag: &FuncFragment,
     base: u64,
     arch: Arch,
@@ -960,13 +1128,9 @@ fn emit_func(
     emulation_stack_bug: bool,
 ) -> Result<EmittedFunc, RewriteError> {
     let nop = encode(&Inst::Nop, arch).expect("nop");
-    let mut bytes: Vec<u8> = Vec::with_capacity(frag.size as usize);
-    let mut ra_pairs: Vec<(u64, u64)> = Vec::new();
-    for e in &frag.entries {
-        // Alignment padding between entries.
-        while (bytes.len() as u64) != e.new_addr {
-            bytes.extend_from_slice(&nop);
-        }
+    let mut bytes = canonical.bytes.clone();
+    for p in &canonical.patches {
+        let e = &frag.entries[p.entry_idx];
         let at = base + e.new_addr;
         let mut out = emit_entry(
             e,
@@ -987,12 +1151,13 @@ fn emit_func(
             e.size,
             e.kind
         );
-        while (out.len() as u64) < e.size {
-            out.extend_from_slice(&nop);
-        }
-        out.truncate(e.size as usize);
-        bytes.extend_from_slice(&out);
-        // RA map entries: real calls and throw sites.
+        pad_to(&mut out, e.size, &nop);
+        bytes[e.new_addr as usize..(e.new_addr + e.size) as usize].copy_from_slice(&out);
+    }
+    // RA map entries: real calls and throw sites.
+    let mut ra_pairs: Vec<(u64, u64)> = Vec::new();
+    for e in &frag.entries {
+        let at = base + e.new_addr;
         match &e.kind {
             RKind::BranchOrig { bkind: BKind::Call, .. } => {
                 let (oa, ol) = e.orig.expect("calls have originals");

@@ -249,7 +249,7 @@ impl Rewriter {
                 clone_base,
                 instr_base,
                 emulation_stack_bug: self.emulation_stack_bug,
-                func_keys: &run.func_keys,
+                weak_keys: &run.weak_keys,
             },
             cache,
             self.threads,

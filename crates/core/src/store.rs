@@ -75,10 +75,13 @@ pub const FORMAT_VERSION: u32 = 1;
 /// payload type changes shape (epoch 3: `JumpTableDesc` gained bound
 /// evidence, `FpDef` gained pointer evidence; epoch 4:
 /// `AnalysisFailure` gained the watchdog `Budget` variant and
-/// `AnalysisConfig` gained budget knobs) — so stale stores are
-/// quarantined instead of silently never hitting or mass-failing
-/// decode.
-pub const KEY_EPOCH: u64 = 4;
+/// `AnalysisConfig` gained budget knobs; epoch 5: fragment/emit
+/// stages re-keyed on the weak cross-binary identity and the emit
+/// payload became the position-independent `RelocEmit` — per-binary
+/// `Fragment`/`Emit` records from epoch 4 must not alias the new
+/// keys) — so stale stores are quarantined instead of silently never
+/// hitting or mass-failing decode.
+pub const KEY_EPOCH: u64 = 5;
 /// Segment header length: magic + version + epoch.
 pub(crate) const HEADER_LEN: usize = 8 + 4 + 8;
 /// Per-record frame length before the payload: tag + key + len + checksum.

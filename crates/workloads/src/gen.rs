@@ -104,6 +104,14 @@ pub struct GenParams {
     pub filler_funcs: usize,
     /// Size class of each filler function, in instructions.
     pub filler_insts: usize,
+    /// Fleet-variant knob: 0 generates the pristine binary; a
+    /// non-zero value deterministically renames a few filler
+    /// functions (same-length names, so the layout is unchanged) and
+    /// swaps the positions of a few filler bodies — a near-identical
+    /// sibling of the `perturb = 0` binary, as produced by successive
+    /// builds in a build farm. Only fillers move, so every other
+    /// function keeps its address and bytes.
+    pub perturb: u64,
 }
 
 impl GenParams {
@@ -139,6 +147,7 @@ impl GenParams {
             extra_sections: SectionSizes::default(),
             filler_funcs: 0,
             filler_insts: 64,
+            perturb: 0,
         }
     }
 }
@@ -486,8 +495,27 @@ pub fn generate(params: &GenParams) -> Workload {
     }
 
     // ----- cold filler ------------------------------------------------------------
-    for i in 0..params.filler_funcs {
-        let name = format!("cold{i}");
+    // Emission order and names, optionally perturbed: fillers are
+    // interchangeable in size (every immediate stays one byte wide on
+    // x64), so swapping bodies and renaming with same-length names
+    // moves *which* code sits at an address without moving any other
+    // function — the near-identical-fleet-sibling scenario.
+    let mut filler_order: Vec<usize> = (0..params.filler_funcs).collect();
+    let mut filler_renamed: Vec<bool> = vec![false; params.filler_funcs];
+    if params.perturb > 0 && params.filler_funcs > 1 {
+        let mut prng = SmallRng::seed_from_u64(0x9E37_79B9 ^ params.perturb);
+        for _ in 0..2 {
+            let a = prng.gen_range(0..params.filler_funcs);
+            let b = prng.gen_range(0..params.filler_funcs);
+            filler_order.swap(a, b);
+        }
+        for _ in 0..2 {
+            let r = prng.gen_range(0..params.filler_funcs);
+            filler_renamed[r] = true;
+        }
+    }
+    for &i in &filler_order {
+        let name = if filler_renamed[i] { format!("kold{i}") } else { format!("cold{i}") };
         let mut items = Vec::with_capacity(params.filler_insts + 2);
         for j in 0..params.filler_insts {
             let r = Reg(9 + (j % 4) as u8);
@@ -495,7 +523,7 @@ pub fn generate(params: &GenParams) -> Workload {
                 op: AluOp::Add,
                 dst: r,
                 src: r,
-                imm: (j % 100) as i32,
+                imm: ((i * 7 + j) % 100) as i32,
             }));
         }
         items.extend(epilogue(arch, 0, true));

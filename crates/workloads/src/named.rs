@@ -159,6 +159,7 @@ pub fn spec_params(name: &'static str, arch: Arch, pie: bool) -> GenParams {
         extra_sections: SectionSizes { extra_dynsym: 512, extra_dynstr: 256, extra_rela: 256 },
         filler_funcs: 6,
         filler_insts: 48,
+        perturb: 0,
     }
 }
 
@@ -226,6 +227,7 @@ pub fn firefox_like(arch: Arch, scale: usize) -> Workload {
         },
         filler_funcs: 120 * scale,
         filler_insts: 96,
+        perturb: 0,
     };
     if arch == Arch::X64 && p.switch_flavor == SwitchFlavor::ArchDefault {
         p.switch_flavor = SwitchFlavor::Relative4; // PIE build

@@ -18,6 +18,13 @@
 //! fault plan with a shared cache and reports per-round times: round 1
 //! pays the cold cost, later rounds re-do only the demoted functions.
 //!
+//! A **fleet** scenario exercises cross-binary sharing: N near-identical
+//! variants of one workload (the `perturb` knob renames and reorders a
+//! few filler functions) are rewritten over one shared store; the cold
+//! column rewrites each variant over its own fresh store. The position-
+//! independent fragment/emit keys let variants 2..N serve most
+//! per-function work from the first variant's records.
+//!
 //! Results are printed as a table and written to `BENCH_rewrite.json`.
 
 use icfgp_core::{
@@ -75,6 +82,34 @@ pub struct WorkloadBench {
     pub ladder_round_speedup: f64,
 }
 
+/// One fleet measurement: N near-identical variants of a workload
+/// rewritten over one shared store vs per-variant cold rewrites.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FleetBench {
+    /// Base workload name.
+    pub workload: String,
+    /// Architecture.
+    pub arch: String,
+    /// Number of variants in the fleet.
+    pub variants: usize,
+    /// Sum of per-variant cold rewrite wall times, each over its own
+    /// fresh store (ms).
+    pub cold_total_ms: f64,
+    /// Wall time of rewriting the whole fleet over one shared store (ms).
+    pub fleet_total_ms: f64,
+    /// `cold_total_ms / fleet_total_ms`.
+    pub fleet_speedup: f64,
+    /// Fragment+emit hit rate across variants 2..N.
+    pub warm_hit_rate: f64,
+    /// Cross-binary (weak-key) hits recorded on variants 2..N.
+    pub shared_hits: u64,
+    /// Every fleet output byte-identical to its variant's cold rewrite.
+    pub byte_identical: bool,
+    /// Each variant after the first missed strictly fewer fragments
+    /// than the first (cold) variant.
+    pub misses_strictly_fewer: bool,
+}
+
 /// The whole benchmark result (`BENCH_rewrite.json`).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BenchReport {
@@ -84,6 +119,9 @@ pub struct BenchReport {
     pub quick: bool,
     /// Per-workload measurements.
     pub workloads: Vec<WorkloadBench>,
+    /// Fleet (cross-binary sharing) measurements.
+    #[serde(default)]
+    pub fleet: Vec<FleetBench>,
 }
 
 fn ms(d: std::time::Duration) -> f64 {
@@ -212,6 +250,92 @@ fn bench_one(name: &str, arch: Arch, binary: &Binary, seed: u64) -> WorkloadBenc
     }
 }
 
+/// One fleet variant: the small workload with filler functions, a few
+/// of which `perturb` renames and reorders. Same-length renames and
+/// same-width immediates keep every *other* function at identical
+/// bytes and addresses across variants.
+fn fleet_variant(arch: Arch, perturb: u64) -> Binary {
+    let mut p = icfgp_workloads::GenParams::small("fleet", arch, 11);
+    p.filler_funcs = 24;
+    p.perturb = perturb;
+    icfgp_workloads::generate(&p).binary
+}
+
+/// Benchmark cross-binary sharing over a fleet of near-identical
+/// variants. Both columns pay store persistence — the comparison is
+/// N separate `--cache-dir` runs, each with its own fresh store,
+/// against one run over a single shared store — so the delta
+/// isolates what cross-binary sharing buys, not what persistence
+/// costs.
+fn bench_fleet(arch: Arch, variants: usize) -> FleetBench {
+    let instr = Instrumentation::empty(Points::EveryBlock);
+    let rw = Rewriter::new(RewriteConfig::new(RewriteMode::FuncPtr));
+    let binaries: Vec<Binary> = (0..variants as u64).map(|v| fleet_variant(arch, v)).collect();
+    let dir_of = |tag: &str, i: usize| {
+        std::env::temp_dir().join(format!(
+            "icfgp-bench-fleet-{tag}{i}-{}-{arch}",
+            std::process::id()
+        ))
+    };
+
+    // Cold reference: every variant through its own fresh store.
+    let t = Instant::now();
+    let colds: Vec<_> = binaries
+        .iter()
+        .enumerate()
+        .map(|(i, b)| {
+            let dir = dir_of("cold", i);
+            let _ = std::fs::remove_dir_all(&dir);
+            let cache = RewriteCache::with_store(std::sync::Arc::new(CacheStore::open(&dir)));
+            let out = rw.rewrite_cached(b, &instr, &cache).expect("cold variant");
+            cache.flush_store();
+            out
+        })
+        .collect();
+    let cold_total = t.elapsed();
+    for i in 0..variants {
+        let _ = std::fs::remove_dir_all(dir_of("cold", i));
+    }
+
+    // Fleet: all variants sequentially over one shared store.
+    let store_dir = dir_of("shared", 0);
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let shared = RewriteCache::with_store(std::sync::Arc::new(CacheStore::open(&store_dir)));
+    let t = Instant::now();
+    let outs: Vec<_> = binaries
+        .iter()
+        .map(|b| rw.rewrite_cached(b, &instr, &shared).expect("fleet variant"))
+        .collect();
+    shared.flush_store();
+    let fleet_total = t.elapsed();
+    drop(shared);
+    let _ = std::fs::remove_dir_all(&store_dir);
+
+    let byte_identical = colds.iter().zip(&outs).all(|(c, o)| c.binary == o.binary);
+    let first_misses = outs[0].stats.fragments.misses;
+    let misses_strictly_fewer = outs[1..]
+        .iter()
+        .all(|o| o.stats.fragments.misses < first_misses);
+    let (mut hits, mut total, mut shared_hits) = (0u64, 0u64, 0u64);
+    for o in &outs[1..] {
+        hits += o.stats.fragments.hits + o.stats.emits.hits;
+        total += o.stats.fragments.total() + o.stats.emits.total();
+        shared_hits += o.stats.fragments.shared + o.stats.emits.shared;
+    }
+    FleetBench {
+        workload: "small+fillers".to_string(),
+        arch: arch.to_string(),
+        variants,
+        cold_total_ms: ms(cold_total),
+        fleet_total_ms: ms(fleet_total),
+        fleet_speedup: ms(cold_total) / ms(fleet_total).max(1e-9),
+        warm_hit_rate: if total == 0 { 1.0 } else { hits as f64 / total as f64 },
+        shared_hits,
+        byte_identical,
+        misses_strictly_fewer,
+    }
+}
+
 /// Run the benchmark over the standard workload list.
 ///
 /// `quick` restricts the sweep to one small workload per arch for the
@@ -241,10 +365,16 @@ pub fn run_bench(quick: bool) -> Result<BenchReport, String> {
         let binary = crate::chaos::build_workload(name, arch)?;
         workloads.push(bench_one(name, arch, &binary, 3));
     }
+    let fleet = if quick {
+        vec![bench_fleet(Arch::X64, 3)]
+    } else {
+        vec![bench_fleet(Arch::X64, 3), bench_fleet(Arch::Aarch64, 3)]
+    };
     Ok(BenchReport {
         threads: icfgp_core::Rewriter::new(RewriteConfig::new(RewriteMode::Dir)).threads(),
         quick,
         workloads,
+        fleet,
     })
 }
 
@@ -290,6 +420,21 @@ impl BenchReport {
                 if w.byte_identical { "" } else { "  !! OUTPUT DIVERGED" },
             );
         }
+        for f in &self.fleet {
+            let _ = writeln!(
+                out,
+                "fleet {:<16} {:>2} variants: cold {:>8.2} ms, shared-store {:>8.2} ms \
+                 ({:.2}x), variants 2..N hit {:>3.0}% (shared: {}){}",
+                format!("{}/{}", f.workload, f.arch),
+                f.variants,
+                f.cold_total_ms,
+                f.fleet_total_ms,
+                f.fleet_speedup,
+                f.warm_hit_rate * 100.0,
+                f.shared_hits,
+                if f.byte_identical { "" } else { "  !! OUTPUT DIVERGED" },
+            );
+        }
         let _ = write!(
             out,
             "({} worker thread(s); all runs byte-identical unless flagged)",
@@ -299,10 +444,11 @@ impl BenchReport {
     }
 
     /// Every workload produced byte-identical outputs across serial,
-    /// parallel and warm runs.
+    /// parallel, warm and fleet runs.
     #[must_use]
     pub fn all_identical(&self) -> bool {
         self.workloads.iter().all(|w| w.byte_identical)
+            && self.fleet.iter().all(|f| f.byte_identical)
     }
 }
 
@@ -327,5 +473,19 @@ mod tests {
         let json = serde_json::to_string(&report).unwrap();
         let back: BenchReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back.workloads.len(), report.workloads.len());
+        assert_eq!(back.fleet.len(), report.fleet.len());
+    }
+
+    #[test]
+    fn fleet_bench_shares_across_variants() {
+        let f = bench_fleet(Arch::X64, 3);
+        assert!(f.byte_identical, "fleet outputs must match cold rewrites: {f:?}");
+        assert!(f.misses_strictly_fewer, "later variants must miss less: {f:?}");
+        assert!(
+            f.warm_hit_rate >= 0.5,
+            "variants 2..N must serve >= 50% of fragment+emit lookups from \
+             the shared store: {f:?}"
+        );
+        assert!(f.shared_hits > 0, "cross-binary hits must be flagged shared: {f:?}");
     }
 }

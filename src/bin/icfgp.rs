@@ -37,7 +37,7 @@ fn usage() -> ExitCode {
 
 USAGE:
   icfgp gen --workload <spec:NAME|small|firefox|docker|driverlib|switch_demo>
-            [--arch A] [--pie] [--seed N] -o FILE
+            [--arch A] [--pie] [--seed N] [--perturb N] -o FILE
   icfgp analyze FILE
   icfgp audit FILE [--mode <dir|jt|func-ptr>] [--format <text|json|sarif>]
                    [--fault-seed N] [--intensity I] [--cache-dir DIR]
@@ -51,6 +51,7 @@ USAGE:
                     [--no-poison] [--points <blocks|entries|none>]
                     [--fault-seed N] [--intensity I] [--floor F] [--budget FRAC]
                     [--cache-dir DIR] [--json]
+  icfgp fleet FILES... [--cache-dir DIR] [rewrite options]
   icfgp run FILE [--preload-runtime] [--bias HEX] [--fuel N]
   icfgp chaos [--seeds N] [--workloads A,B] [--arch A] [--mode M]
               [--intensity I] [--floor F] [--budget FRAC] [--cache-dir DIR]
@@ -87,6 +88,16 @@ ladder round durably; after a crash or kill, rerunning with
 producing byte-identical output. `chaos --kill-resume` sweeps every
 journal boundary of each case with a kill + resume and checks that
 oracle.
+
+`fleet` rewrites a batch of near-identical binaries over one shared
+warm cache store: fragment and emitted-code entries are keyed
+position-independently (no layout base, no whole-binary fingerprint),
+so work done on the first binary is reused by the rest. Each FILE is
+written to FILE.rw; per-stage hit rates and the `shared` counter
+(hits first computed for a *different* binary) are printed per binary
+and in aggregate. `gen --perturb N` generates a near-identical
+variant (a few filler functions renamed/reordered) for fleet
+experiments.
 
 `--cache-dir DIR` (or `ICFGP_CACHE_DIR`) attaches a crash-safe
 persistent rewrite cache: entries are warmed from DIR on start and
@@ -182,6 +193,10 @@ fn cmd_gen(args: &[String]) -> Result<(), String> {
     let arch = parse_arch(args);
     let pie = has_flag(args, "--pie");
     let seed = arg_value(args, "--seed").and_then(|s| s.parse().ok()).unwrap_or(1);
+    let perturb: u64 = match arg_value(args, "--perturb") {
+        Some(p) => p.parse().map_err(|_| format!("bad --perturb {p}"))?,
+        None => 0,
+    };
     let out = arg_value(args, "-o").ok_or("missing -o FILE")?;
     let spec = arg_value(args, "--workload").unwrap_or_else(|| "small".to_string());
     let workload = if let Some(name) = spec.strip_prefix("spec:") {
@@ -189,12 +204,22 @@ fn cmd_gen(args: &[String]) -> Result<(), String> {
             .iter()
             .find(|n| **n == name)
             .ok_or_else(|| format!("unknown benchmark {name}; try `icfgp list-workloads`"))?;
-        generate(&spec_params(name, arch, pie))
+        let mut p = spec_params(name, arch, pie);
+        p.perturb = perturb;
+        generate(&p)
     } else {
         match spec.as_str() {
             "small" => {
                 let mut p = GenParams::small("cli", arch, seed);
                 p.pie = pie;
+                p.perturb = perturb;
+                // Perturbation moves filler functions; when the flag
+                // is given (even `--perturb 0`, the pristine fleet
+                // base), give the small workload some to move so the
+                // variants differ only in fillers.
+                if has_flag(args, "--perturb") && p.filler_funcs == 0 {
+                    p.filler_funcs = 8;
+                }
                 generate(&p)
             }
             "firefox" => firefox_like(arch, 1),
@@ -344,9 +369,22 @@ fn print_dispositions(ladder: &incremental_cfg_patching::verify::LadderOutcome) 
 }
 
 /// Print the per-round incremental-engine counters (`rewrite --stats`).
+/// The `shared:` counter distinguishes weak-key hits first computed
+/// for a *different* binary (cross-binary sharing) from strong-key
+/// hits warmed by this binary's own earlier rounds.
 fn print_stats(round_stats: &[incremental_cfg_patching::core::RewriteStats]) {
     fn stage(name: &str, s: &incremental_cfg_patching::core::StageStats) -> String {
-        format!("{name} {}/{} hit ({:.0}%)", s.hits, s.total(), s.hit_rate() * 100.0)
+        if s.shared > 0 {
+            format!(
+                "{name} {}/{} hit ({:.0}%, shared: {})",
+                s.hits,
+                s.total(),
+                s.hit_rate() * 100.0,
+                s.shared
+            )
+        } else {
+            format!("{name} {}/{} hit ({:.0}%)", s.hits, s.total(), s.hit_rate() * 100.0)
+        }
     }
     for (i, s) in round_stats.iter().enumerate() {
         println!(
@@ -547,6 +585,71 @@ fn cmd_rewrite(args: &[String]) -> Result<u8, String> {
     Ok(code)
 }
 
+/// `icfgp fleet FILES... [--cache-dir DIR]` — rewrite a batch of
+/// binaries over one shared warm store. Every FILE is rewritten to
+/// FILE.rw through the same cache (and persistent store when
+/// configured), so position-independent fragment/emit entries
+/// computed for the first binary serve the rest; per-stage hit rates
+/// and cross-binary `shared` counts are reported per binary and in
+/// aggregate. Exit code is the worst per-binary ladder code.
+fn cmd_fleet(args: &[String]) -> Result<u8, String> {
+    let files: Vec<String> =
+        args.iter().take_while(|a| !a.starts_with('-')).cloned().collect();
+    if files.is_empty() {
+        eprintln!(
+            "error: fleet needs at least one input FILE \
+             (icfgp fleet FILES... [--cache-dir DIR])"
+        );
+        return Ok(64);
+    }
+    let (config, points) = parse_rewrite_config(args)?;
+    let cache = open_cache(args);
+    const STAGES: [&str; 4] = ["funcs", "frags", "emits", "live"];
+    // Per stage: [hits, misses, shared].
+    let mut agg = [[0u64; 3]; 4];
+    let mut code = 0u8;
+    for (fi, path) in files.iter().enumerate() {
+        let binary = load_binary(path)?;
+        let (ladder, c) =
+            run_ladder(&binary, &config, points.clone(), &cache, &Supervisor::default())?;
+        code = code.max(c);
+        let out = format!("{path}.rw");
+        save_binary(&ladder.outcome.binary, &out)?;
+        let mut per = [[0u64; 3]; 4];
+        for s in &ladder.round_stats {
+            let stages = [&s.func_analyses, &s.fragments, &s.emits, &s.liveness];
+            for (k, st) in stages.into_iter().enumerate() {
+                per[k][0] += st.hits;
+                per[k][1] += st.misses;
+                per[k][2] += st.shared;
+            }
+        }
+        for (a, p) in agg.iter_mut().zip(per.iter()) {
+            for (av, pv) in a.iter_mut().zip(p.iter()) {
+                *av += pv;
+            }
+        }
+        let cells: Vec<String> = STAGES
+            .iter()
+            .zip(per.iter())
+            .map(|(n, v)| fleet_cell(n, v))
+            .collect();
+        println!("[{}/{}] {path} -> {out}: {}", fi + 1, files.len(), cells.join(", "));
+    }
+    let cells: Vec<String> =
+        STAGES.iter().zip(agg.iter()).map(|(n, v)| fleet_cell(n, v)).collect();
+    println!("fleet: {} binaries — {}", files.len(), cells.join(", "));
+    finish_cache(&cache, false);
+    Ok(code)
+}
+
+/// One `stage hits/total (rate%, shared: N)` cell of the fleet report.
+fn fleet_cell(name: &str, v: &[u64; 3]) -> String {
+    let total = v[0] + v[1];
+    let rate = if total == 0 { 0.0 } else { v[0] as f64 / total as f64 * 100.0 };
+    format!("{name} {}/{total} hit ({rate:.0}%, shared: {})", v[0], v[2])
+}
+
 fn cmd_verify(args: &[String]) -> Result<u8, String> {
     let path = args.first().ok_or("missing FILE")?;
     let binary = load_binary(path)?;
@@ -736,6 +839,7 @@ fn cmd_cache(args: &[String]) -> Result<u8, String> {
             );
             let (qfiles, qbytes) = store::quarantine_usage(&dir);
             println!("  quarantine : {qfiles} file(s), {qbytes} byte(s) on disk");
+            println!("  key-epoch  : {} (this build)", store::KEY_EPOCH);
             for (stage, n) in store.entry_counts() {
                 println!("    {:<9}: {n}", stage.name());
             }
@@ -879,6 +983,7 @@ fn main() -> ExitCode {
         "analyze" => cmd_analyze(rest).map(|()| 0),
         "audit" => cmd_audit(rest),
         "rewrite" => cmd_rewrite(rest),
+        "fleet" => cmd_fleet(rest),
         "verify" => cmd_verify(rest),
         "run" => cmd_run(rest).map(|()| 0),
         "chaos" => cmd_chaos(rest),

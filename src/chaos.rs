@@ -936,6 +936,57 @@ mod tests {
     }
 
     #[test]
+    fn corrupted_shared_fragment_quarantines_and_recomputes_identically() {
+        use icfgp_core::Rewriter;
+        // Populate a store with one binary, then rewrite a perturbed
+        // fleet variant through it with patch-point corruption armed
+        // on every store read-back. The per-lookup re-validation must
+        // quarantine every corrupted record and recompute — the output
+        // must stay byte-identical, never silently mis-fixed-up.
+        let mut p = GenParams::small("corrupt", Arch::X64, 5);
+        p.filler_funcs = 8;
+        let b1 = generate(&p).binary;
+        p.perturb = 1;
+        let b2 = generate(&p).binary;
+        let instr = Instrumentation::empty(Points::EveryBlock);
+        let rw = Rewriter::new(RewriteConfig::new(RewriteMode::Jt));
+        let cold2 = rw.rewrite_cached(&b2, &instr, &RewriteCache::new()).expect("cold");
+
+        let dir = std::env::temp_dir()
+            .join(format!("icfgp-corrupt-patch-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let cache = RewriteCache::with_store(Arc::new(CacheStore::open(&dir)));
+            let _ = rw.rewrite_cached(&b1, &instr, &cache).expect("populate");
+            cache.flush_store();
+        }
+        let cache = RewriteCache::with_store(Arc::new(CacheStore::open(&dir)));
+        let mut plan = FaultPlan::none(9);
+        plan.corrupt_patch_point = 1.0;
+        let mut cfg = rw.config().clone();
+        plan.arm_cached(&b2, &mut cfg, &cache);
+        let warm = rw.rewrite_cached(&b2, &instr, &cache).expect("warm under corruption");
+
+        assert_eq!(
+            cold2.binary, warm.binary,
+            "corrupted shared records must recompute byte-identically"
+        );
+        let s = cache.store_stats();
+        assert!(
+            s.quarantined_records > 0,
+            "every corrupted fragment/emit must be quarantined: {s:?}"
+        );
+        assert_eq!(
+            warm.stats.fragments.hits + warm.stats.emits.hits,
+            0,
+            "nothing may be served from a corrupted record: {:?} {:?}",
+            warm.stats.fragments,
+            warm.stats.emits
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn case_status_exit_codes() {
         assert_eq!(CaseStatus::Clean.exit_code(), 0);
         assert_eq!(CaseStatus::Degraded.exit_code(), 1);

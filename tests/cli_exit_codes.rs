@@ -136,6 +136,58 @@ fn usage_error_exits_sixty_four() {
 }
 
 #[test]
+fn fleet_with_no_files_is_a_usage_error() {
+    let dir = tmp("fleet-empty-store");
+    let out = icfgp()
+        .args(["fleet", "--cache-dir"])
+        .arg(&dir)
+        .output()
+        .expect("fleet runs");
+    assert_eq!(out.status.code(), Some(64), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("fleet"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fleet_rewrites_batch_and_reports_sharing() {
+    let mut variants = Vec::new();
+    for v in 0..2u64 {
+        let raw = tmp(&format!("fleet{v}.json"));
+        let out = icfgp()
+            .args(["gen", "--workload", "small", "--arch", "x86-64", "--seed", "11"])
+            .args(["--perturb", &v.to_string(), "-o"])
+            .arg(&raw)
+            .output()
+            .expect("gen runs");
+        assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+        variants.push(raw);
+    }
+    let dir = tmp("fleet-store");
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut cmd = icfgp();
+    cmd.arg("fleet");
+    for v in &variants {
+        cmd.arg(v);
+    }
+    let out = cmd
+        .args(["--mode", "jt", "--cache-dir"])
+        .arg(&dir)
+        .output()
+        .expect("fleet runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "{stdout}\n{}", String::from_utf8_lossy(&out.stderr));
+    assert!(stdout.contains("fleet: 2 binaries"), "{stdout}");
+    assert!(stdout.contains("shared:"), "{stdout}");
+    for v in &variants {
+        let rw = PathBuf::from(format!("{}.rw", v.display()));
+        assert!(rw.exists(), "fleet must write {}", rw.display());
+        let _ = std::fs::remove_file(&rw);
+        let _ = std::fs::remove_file(v);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn chaos_smoke_reports_no_failures() {
     let out = icfgp()
         .args([
