@@ -69,7 +69,7 @@
 use crate::pool;
 use crate::relocate::{FuncFragment, RelocEmit};
 use crate::rewriter::RewriteError;
-use crate::store::{CacheStore, Stage, StoreStats};
+use crate::store::{Stage, StoreBackend, StoreStats};
 use icfgp_cfg::{
     analyze_function_isolated, assemble_analysis, prepass_boundaries, AnalysisConfig,
     BinaryAnalysis, FuncCfg, FuncStatus, LivenessResult,
@@ -463,7 +463,7 @@ struct Maps {
 #[derive(Default)]
 pub struct RewriteCache {
     inner: Mutex<Maps>,
-    store: Option<Arc<CacheStore>>,
+    store: Option<Arc<dyn StoreBackend>>,
     /// Chaos: corrupt fragment/emit records read back from the store
     /// (armed by [`crate::FaultPlan::arm_cached`]).
     patch_fault: Mutex<Option<PatchFault>>,
@@ -492,9 +492,17 @@ impl RewriteCache {
 
     /// An empty in-memory cache backed by a persistent store: lookups
     /// fall through to the store, computed entries are buffered for
-    /// its next [`CacheStore::flush`].
+    /// its next [`StoreBackend::flush`]. Takes any backend — the
+    /// local [`CacheStore`](crate::store::CacheStore) or a
+    /// [`RemoteStore`](crate::net::RemoteStore).
     #[must_use]
-    pub fn with_store(store: Arc<CacheStore>) -> RewriteCache {
+    pub fn with_store<S: StoreBackend + 'static>(store: Arc<S>) -> RewriteCache {
+        RewriteCache::with_backend(store)
+    }
+
+    /// [`RewriteCache::with_store`] over an already-erased backend.
+    #[must_use]
+    pub fn with_backend(store: Arc<dyn StoreBackend>) -> RewriteCache {
         RewriteCache {
             inner: Mutex::new(Maps::default()),
             store: Some(store),
@@ -521,9 +529,9 @@ impl RewriteCache {
             .is_some_and(|f| f.fires(key))
     }
 
-    /// The attached persistent store, if any.
+    /// The attached persistent store backend, if any.
     #[must_use]
-    pub fn store(&self) -> Option<&Arc<CacheStore>> {
+    pub fn store(&self) -> Option<&Arc<dyn StoreBackend>> {
         self.store.as_ref()
     }
 

@@ -112,7 +112,7 @@ impl Stage {
     pub const ALL: [Stage; 5] =
         [Stage::Func, Stage::Liveness, Stage::Fragment, Stage::Emit, Stage::Audit];
 
-    fn tag(self) -> u8 {
+    pub(crate) fn tag(self) -> u8 {
         match self {
             Stage::Func => 1,
             Stage::Liveness => 2,
@@ -122,7 +122,7 @@ impl Stage {
         }
     }
 
-    fn from_tag(tag: u8) -> Option<Stage> {
+    pub(crate) fn from_tag(tag: u8) -> Option<Stage> {
         match tag {
             1 => Some(Stage::Func),
             2 => Some(Stage::Liveness),
@@ -238,9 +238,29 @@ pub struct StoreStats {
     /// Writer-lock acquisition timeouts.
     pub lock_timeouts: u64,
     /// Transient-failure retries run by the backoff policy (contended
-    /// flushes re-attempted, short reads re-read).
+    /// flushes re-attempted, short reads re-read, remote requests
+    /// re-sent).
     #[serde(default)]
     pub retries: u64,
+    /// Lookups a remote backend answered with a hit over the wire.
+    /// Always a subset of `hits`; zero on local backends.
+    #[serde(default)]
+    pub remote_hits: u64,
+    /// Lookups the remote server answered with a definite miss (the
+    /// request round-tripped; the server had no record). A lookup the
+    /// *transport* failed on is not a remote miss — it hedges to the
+    /// local overflow store and counts only under `hits`/`misses`.
+    #[serde(default)]
+    pub remote_misses: u64,
+    /// Circuit-breaker trips: the remote client exhausted its
+    /// consecutive-transient-failure budget and degraded to
+    /// fully-local operation for the rest of the run.
+    #[serde(default)]
+    pub breaker_trips: u64,
+    /// Lookups served while degraded to fully-local operation (after a
+    /// breaker trip). Zero on local backends and on healthy remotes.
+    #[serde(default)]
+    pub degraded: u64,
 }
 
 impl StoreStats {
@@ -259,6 +279,10 @@ impl StoreStats {
             io_errors: self.io_errors - earlier.io_errors,
             lock_timeouts: self.lock_timeouts - earlier.lock_timeouts,
             retries: self.retries - earlier.retries,
+            remote_hits: self.remote_hits - earlier.remote_hits,
+            remote_misses: self.remote_misses - earlier.remote_misses,
+            breaker_trips: self.breaker_trips - earlier.breaker_trips,
+            degraded: self.degraded - earlier.degraded,
         }
     }
 
@@ -309,11 +333,12 @@ impl StoreFaults {
 }
 
 /// A deliberately simple seeded PRNG for the fault hooks (splitmix64);
-/// the store must not depend on `rand`'s sampling details.
-struct FaultRng(u64);
+/// the store must not depend on `rand`'s sampling details. Shared with
+/// the network-fault transport in `net.rs`.
+pub(crate) struct FaultRng(pub(crate) u64);
 
 impl FaultRng {
-    fn next(&mut self) -> u64 {
+    pub(crate) fn next(&mut self) -> u64 {
         self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
         let mut z = self.0;
         z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
@@ -321,11 +346,11 @@ impl FaultRng {
         z ^ (z >> 31)
     }
 
-    fn chance(&mut self, p: f64) -> bool {
+    pub(crate) fn chance(&mut self, p: f64) -> bool {
         p > 0.0 && (self.next() % 10_000) < (p * 10_000.0) as u64
     }
 
-    fn below(&mut self, n: u64) -> u64 {
+    pub(crate) fn below(&mut self, n: u64) -> u64 {
         if n == 0 {
             0
         } else {
@@ -540,6 +565,10 @@ impl CacheStore {
             io_errors: self.counters.io_errors.load(Ordering::Relaxed),
             lock_timeouts: self.counters.lock_timeouts.load(Ordering::Relaxed),
             retries: self.counters.retries.load(Ordering::Relaxed),
+            remote_hits: 0,
+            remote_misses: 0,
+            breaker_trips: 0,
+            degraded: 0,
         }
     }
 
@@ -858,6 +887,35 @@ impl CacheStore {
         self.inner.lock().expect("store poisoned").pending.len()
     }
 
+    /// Server-side lookup: loaded records *or* the pending (accepted
+    /// but unflushed) queue, so a record one client PUT is visible to
+    /// another client before the next segment flush. Counts exactly
+    /// like [`CacheStore::get`].
+    pub(crate) fn get_queued(&self, stage: Stage, key: u64) -> Option<Vec<u8>> {
+        if self.disabled {
+            return None;
+        }
+        let inner = self.inner.lock().expect("store poisoned");
+        let found = inner.records.get(&(stage, key)).cloned().or_else(|| {
+            inner
+                .pending
+                .iter()
+                .find(|p| p.stage == stage && p.key == key)
+                .map(|p| p.payload.clone())
+        });
+        drop(inner);
+        match found {
+            Some(p) => {
+                self.counters.hits.fetch_add(1, Ordering::Relaxed);
+                Some(p)
+            }
+            None => {
+                self.counters.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
     // ----- flush ---------------------------------------------------------
 
     /// Write every pending record into a fresh segment (temp file +
@@ -1021,6 +1079,94 @@ impl Drop for CacheStore {
             self.flush();
         }
         self.release_lock();
+    }
+}
+
+/// Abstraction over cache-store backends: the local segment-directory
+/// store ([`CacheStore`]) and the remote TCP client
+/// ([`RemoteStore`](crate::net::RemoteStore)).
+/// [`RewriteCache`](crate::RewriteCache) talks to its store only
+/// through this trait, so every backend inherits the same hard
+/// invariant: store damage of any kind — disk corruption, a dead or
+/// lying server, a lost lease — may only ever cost a recompute, never
+/// change output bytes or hang the run.
+pub trait StoreBackend: Send + Sync {
+    /// Fetch a verified payload; `None` counts as a persisted miss.
+    fn get(&self, stage: Stage, key: u64) -> Option<Vec<u8>>;
+    /// Buffer a freshly-computed record for the next [`StoreBackend::flush`].
+    fn put(&self, stage: Stage, key: u64, payload: Vec<u8>);
+    /// Convert an earlier hit whose payload proved unusable into a
+    /// quarantine (see [`CacheStore::quarantine_record`] for the
+    /// hit/miss/quarantine disjointness contract).
+    fn quarantine_record(&self, stage: Stage, key: u64, why: &str);
+    /// Persist pending records; returns how many were persisted this
+    /// call. Deferrals (lock contention, lost lease, dead server)
+    /// return 0 with the records kept pending.
+    fn flush(&self) -> usize;
+    /// Counter snapshot.
+    fn stats(&self) -> StoreStats;
+    /// Structured events so far (bounded; overflow dropped oldest).
+    fn events(&self) -> Vec<StoreEvent>;
+    /// Pending (unflushed) record count.
+    fn pending_len(&self) -> usize;
+    /// Per-stage count of locally loaded (usable) records.
+    fn entry_counts(&self) -> Vec<(Stage, usize)>;
+    /// Where the records live, for logs: a directory path or a URL.
+    fn describe(&self) -> String;
+    /// Arm deterministic I/O fault injection (chaos campaigns).
+    fn arm_faults(&self, faults: StoreFaults);
+    /// Arm deterministic network fault injection; no-op on backends
+    /// without a network leg.
+    fn arm_net_faults(&self, faults: crate::net::NetFaults) {
+        let _ = faults;
+    }
+    /// Replace the transient-failure retry policy.
+    fn set_retry_policy(&self, policy: crate::retry::RetryPolicy);
+}
+
+impl StoreBackend for CacheStore {
+    fn get(&self, stage: Stage, key: u64) -> Option<Vec<u8>> {
+        CacheStore::get(self, stage, key)
+    }
+
+    fn put(&self, stage: Stage, key: u64, payload: Vec<u8>) {
+        CacheStore::put(self, stage, key, payload);
+    }
+
+    fn quarantine_record(&self, stage: Stage, key: u64, why: &str) {
+        CacheStore::quarantine_record(self, stage, key, why);
+    }
+
+    fn flush(&self) -> usize {
+        CacheStore::flush(self)
+    }
+
+    fn stats(&self) -> StoreStats {
+        CacheStore::stats(self)
+    }
+
+    fn events(&self) -> Vec<StoreEvent> {
+        CacheStore::events(self)
+    }
+
+    fn pending_len(&self) -> usize {
+        CacheStore::pending_len(self)
+    }
+
+    fn entry_counts(&self) -> Vec<(Stage, usize)> {
+        CacheStore::entry_counts(self)
+    }
+
+    fn describe(&self) -> String {
+        self.dir.display().to_string()
+    }
+
+    fn arm_faults(&self, faults: StoreFaults) {
+        CacheStore::arm_faults(self, faults);
+    }
+
+    fn set_retry_policy(&self, policy: crate::retry::RetryPolicy) {
+        CacheStore::set_retry_policy(self, policy);
     }
 }
 

@@ -11,13 +11,15 @@
 
 use incremental_cfg_patching::audit::{render_text, to_sarif};
 use incremental_cfg_patching::chaos::{
-    parse_floor, run_campaign, run_kill_campaign, CampaignConfig, CaseStatus, KillCampaignConfig,
+    parse_floor, run_campaign, run_kill_campaign, run_net_campaign, CampaignConfig, CaseStatus,
+    KillCampaignConfig, NetCampaignConfig,
 };
 use incremental_cfg_patching::cfg::{analyze, AnalysisConfig, FuncStatus};
 use incremental_cfg_patching::core::{
-    apply_audit_gate, audit_mode_of, binary_fingerprint, config_fingerprint, pool, store,
-    CacheStore, CorruptKind, FaultPlan, Instrumentation, Points, RewriteCache, RewriteConfig,
-    RewriteMode, RunJournal, UnwindStrategy,
+    apply_audit_gate, audit_mode_of, binary_fingerprint, config_fingerprint, parse_store_url,
+    pool, serve, store, CacheStore, CorruptKind, FaultPlan, Instrumentation, Points,
+    RemoteOptions, RemoteStore, RewriteCache, RewriteConfig, RewriteMode, RunJournal,
+    ServeOptions, StoreBackend, UnwindStrategy,
 };
 use incremental_cfg_patching::emu::{run, LoadOptions, Outcome};
 use incremental_cfg_patching::isa::Arch;
@@ -55,8 +57,10 @@ USAGE:
   icfgp run FILE [--preload-runtime] [--bias HEX] [--fuel N]
   icfgp chaos [--seeds N] [--workloads A,B] [--arch A] [--mode M]
               [--intensity I] [--floor F] [--budget FRAC] [--cache-dir DIR]
-              [--kill-resume] [--json]
+              [--kill-resume] [--net] [--json]
   icfgp cache <stats|verify|clear|compact> --cache-dir DIR
+  icfgp cache stats --store-url icfgp://HOST:PORT
+  icfgp cache serve HOST:PORT --cache-dir DIR
   icfgp cache corrupt --cache-dir DIR --kind <bit-flip|truncate|stale-version> [--seed N]
   icfgp bench-rewrite [--quick] [-o FILE]   (default FILE: BENCH_rewrite.json)
   icfgp list-workloads
@@ -87,7 +91,12 @@ ladder round durably; after a crash or kill, rerunning with
 `--resume` replays the journal and redoes only the unfinished rounds,
 producing byte-identical output. `chaos --kill-resume` sweeps every
 journal boundary of each case with a kill + resume and checks that
-oracle.
+oracle. `chaos --net` sweeps network faults (delays, drops, torn and
+bit-flipped replies, lease expiry, server kill mid-PUT) against a
+live in-process store server: output bytes must match a cold run,
+every lookup must be accounted exactly once, and a second fault-free
+client against the warm server must miss strictly less than the
+first.
 
 `fleet` rewrites a batch of near-identical binaries over one shared
 warm cache store: fragment and emitted-code entries are keyed
@@ -105,6 +114,16 @@ flushed back on exit. Corrupt or unreadable records are quarantined
 and recomputed — output bytes are identical to a cold run. `icfgp
 cache verify` integrity-checks every record; `corrupt` deliberately
 damages a store for testing.
+
+`--store-url icfgp://HOST:PORT` (or `ICFGP_STORE_URL`) attaches a
+remote cache served by `icfgp cache serve`: lookups and flushes go
+over a length-prefixed checksummed TCP protocol, writes are fenced by
+an epoch-bumping lease, and transient faults are retried with bounded
+jittered backoff. When the server is unreachable or lying, the client
+hedges to the local `--cache-dir` overflow store and finally degrades
+to fully-local — a dead server only ever costs cache misses, never
+wrong bytes or a hung run. A malformed URL is a usage error (exit
+64). `icfgp cache stats --store-url U` queries a live server.
 
 EXIT CODES: 0 clean, 1 degraded within budget, 2 budget exceeded
 (chaos: any case failed), 3 internal error, 64 usage.
@@ -131,9 +150,33 @@ fn cache_dir(args: &[String]) -> Option<PathBuf> {
         .map(PathBuf::from)
 }
 
-/// Build the rewrite cache for a command: attached to the persistent
-/// store when a cache dir is configured, plain in-memory otherwise.
+/// The remote-store URL: `--store-url URL` wins, then the
+/// `ICFGP_STORE_URL` environment variable, else no remote store. The
+/// value is validated up front in `main` (exit 64 on garbage).
+fn store_url(args: &[String]) -> Option<String> {
+    arg_value(args, "--store-url")
+        .or_else(|| std::env::var("ICFGP_STORE_URL").ok())
+        .filter(|s| !s.trim().is_empty())
+}
+
+/// Build the rewrite cache for a command: attached to the remote store
+/// when a store URL is configured (with any cache dir as the local
+/// overflow/hedge store), to the persistent local store when only a
+/// cache dir is configured, plain in-memory otherwise.
 fn open_cache(args: &[String]) -> RewriteCache {
+    if let Some(raw) = store_url(args) {
+        // Already validated in `main`; a parse failure here means the
+        // flag appeared after `--` tricks — treat it the same way.
+        let url = parse_store_url(&raw).expect("store url validated at startup");
+        let store = Arc::new(RemoteStore::connect(
+            &url,
+            RemoteOptions { overflow_dir: cache_dir(args), ..RemoteOptions::default() },
+        ));
+        for e in store.events() {
+            eprintln!("cache-store: {e}");
+        }
+        return RewriteCache::with_store(store);
+    }
     match cache_dir(args) {
         Some(dir) => {
             let store = Arc::new(CacheStore::open(&dir));
@@ -163,12 +206,19 @@ fn finish_cache(cache: &RewriteCache, quiet: bool) {
     println!(
         "  cache store: {} — {} hit / {} miss persisted, {} record(s) flushed, \
          {} quarantined",
-        store.dir().display(),
+        store.describe(),
         s.hits,
         s.misses,
         flushed,
         s.quarantined_records + s.quarantined_segments,
     );
+    if s.remote_hits + s.remote_misses + s.breaker_trips + s.degraded > 0 {
+        println!(
+            "  remote     : {} hit / {} miss, {} retries, {} breaker trip(s), \
+             {} degraded lookup(s)",
+            s.remote_hits, s.remote_misses, s.retries, s.breaker_trips, s.degraded,
+        );
+    }
 }
 
 fn parse_arch(args: &[String]) -> Arch {
@@ -747,9 +797,84 @@ fn cmd_chaos_kill(args: &[String]) -> Result<u8, String> {
     Ok(report.exit_code())
 }
 
+/// `icfgp chaos --net` — sweep network faults against a live
+/// in-process store server and check the degradation oracles.
+fn cmd_chaos_net(args: &[String]) -> Result<u8, String> {
+    let mut config = NetCampaignConfig::default();
+    if let Some(n) = arg_value(args, "--seeds") {
+        let n: u64 = n.parse().map_err(|_| format!("bad --seeds {n}"))?;
+        config.seeds = (1..=n).collect();
+    }
+    if let Some(w) = arg_value(args, "--workloads") {
+        config.workloads = w.split(',').map(str::to_string).collect();
+    }
+    if has_flag(args, "--arch") {
+        config.arches = vec![parse_arch(args)];
+    }
+    if let Some(m) = arg_value(args, "--mode") {
+        config.modes = vec![match m.as_str() {
+            "dir" => RewriteMode::Dir,
+            "jt" => RewriteMode::Jt,
+            "func-ptr" => RewriteMode::FuncPtr,
+            other => return Err(format!("unknown --mode {other}")),
+        }];
+    }
+    if let Some(i) = arg_value(args, "--intensity") {
+        if FaultPlan::named(&i, 0).is_none() {
+            return Err(format!("unknown --intensity {i}"));
+        }
+        config.intensity = i;
+    }
+    if let Some(floor) = arg_value(args, "--floor") {
+        config.policy.floor = parse_floor(&floor)?;
+    }
+    if let Some(budget) = arg_value(args, "--budget") {
+        config.policy.max_below_floor =
+            budget.parse().map_err(|_| format!("bad --budget {budget}"))?;
+    }
+    if let Some(dir) = cache_dir(args) {
+        config.dir = dir;
+    }
+    let json = has_flag(args, "--json");
+    let report = run_net_campaign(&config, |case| {
+        if !json {
+            println!(
+                "{}/{}/{} seed {}: {}{}",
+                case.workload,
+                case.arch,
+                case.mode,
+                case.seed,
+                if case.passed { "ok" } else { "FAILED" },
+                if case.detail.is_empty() {
+                    format!(
+                        " [{} injected, {} retries, {} trip(s), warm {} -> {}]",
+                        case.injected,
+                        case.retries,
+                        case.breaker_trips,
+                        case.warm_first_misses,
+                        case.warm_second_misses,
+                    )
+                } else {
+                    format!(" — {}", case.detail)
+                },
+            );
+        }
+    })?;
+    if json {
+        println!("{}", serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?);
+    } else {
+        println!();
+        println!("{}", report.render());
+    }
+    Ok(report.exit_code())
+}
+
 fn cmd_chaos(args: &[String]) -> Result<u8, String> {
     if has_flag(args, "--kill-resume") {
         return cmd_chaos_kill(args);
+    }
+    if has_flag(args, "--net") {
+        return cmd_chaos_net(args);
     }
     let mut config = CampaignConfig::default();
     if let Some(n) = arg_value(args, "--seeds") {
@@ -815,12 +940,70 @@ fn cmd_chaos(args: &[String]) -> Result<u8, String> {
     Ok(report.exit_code())
 }
 
+/// `icfgp cache stats --store-url URL` — query a running cache server
+/// for its server-side numbers, and report this client's retry and
+/// circuit-breaker counters alongside.
+fn cmd_cache_stats_remote(raw: &str) -> Result<u8, String> {
+    let url = parse_store_url(raw)?;
+    let store = RemoteStore::connect(&url, RemoteOptions::default());
+    let s = store.server_stats()?;
+    println!("{url}:");
+    println!("  segments   : {} on disk, {} record(s)", s.segments, s.records);
+    println!("  quarantine : {} file(s), {} byte(s) on disk", s.quarantined_files, s.quarantined_bytes);
+    println!("  key-epoch  : {} (server), format v{}", s.key_epoch, s.format_version);
+    println!(
+        "  server     : {} conn(s), {} request(s), {} hit / {} miss, \
+         {} put(s) accepted / {} rejected",
+        s.connections, s.requests, s.get_hits, s.get_misses, s.puts_accepted, s.puts_rejected,
+    );
+    println!(
+        "  leases     : fence {}, {} granted, {} busy, {} renew(s), {} release(s), \
+         {} fence(s) expired",
+        s.fence, s.leases_granted, s.leases_busy, s.renews, s.releases, s.fences_expired,
+    );
+    if s.bad_frames > 0 {
+        println!("  bad frames : {}", s.bad_frames);
+    }
+    let c = store.stats();
+    println!(
+        "  client     : {} retries, {} breaker trip(s), {} io error(s)",
+        c.retries, c.breaker_trips, c.io_errors,
+    );
+    Ok(0)
+}
+
+/// `icfgp cache serve ADDR --cache-dir D` — serve a store directory
+/// over the length-prefixed TCP protocol until killed.
+fn cmd_cache_serve(args: &[String], dir: Option<PathBuf>) -> Result<u8, String> {
+    let addr = args.first().filter(|a| !a.starts_with('-')).cloned().ok_or(
+        "missing ADDR (icfgp cache serve HOST:PORT --cache-dir DIR; use HOST:0 \
+         for an ephemeral port)",
+    )?;
+    let dir = dir.ok_or("missing --cache-dir DIR (or set ICFGP_CACHE_DIR)")?;
+    let handle =
+        serve(&addr, &dir, ServeOptions::default()).map_err(|e| format!("serve {addr}: {e}"))?;
+    println!("serving {} from {}", handle.url(), dir.display());
+    println!("  connect with --store-url {} (Ctrl-C to stop)", handle.url());
+    handle.wait();
+    Ok(0)
+}
+
 /// `icfgp cache <stats|verify|clear|corrupt>` — offline maintenance of
 /// a persistent store directory.
 fn cmd_cache(args: &[String]) -> Result<u8, String> {
-    let sub =
-        args.first().ok_or("missing cache subcommand (stats|verify|clear|compact|corrupt)")?;
-    let dir = cache_dir(&args[1..])
+    let sub = args
+        .first()
+        .ok_or("missing cache subcommand (stats|verify|clear|compact|corrupt|serve)")?;
+    let rest = &args[1..];
+    if sub == "serve" {
+        return cmd_cache_serve(rest, cache_dir(rest));
+    }
+    if sub == "stats" {
+        if let Some(raw) = store_url(rest) {
+            return cmd_cache_stats_remote(&raw);
+        }
+    }
+    let dir = cache_dir(rest)
         .ok_or("missing --cache-dir DIR (or set ICFGP_CACHE_DIR)")?;
     match sub.as_str() {
         "stats" => {
@@ -976,6 +1159,15 @@ fn main() -> ExitCode {
         }
     }
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // And for the store URL: a garbage `--store-url`/`ICFGP_STORE_URL`
+    // is a usage error, not a degraded run against nothing.
+    if let Some(raw) = store_url(&args) {
+        if let Err(e) = parse_store_url(&raw) {
+            eprintln!("error: {e}");
+            eprintln!("usage: --store-url icfgp://HOST:PORT (or ICFGP_STORE_URL)");
+            return ExitCode::from(64);
+        }
+    }
     let Some(cmd) = args.first() else { return usage() };
     let rest = &args[1..];
     let result = match cmd.as_str() {

@@ -281,6 +281,100 @@ fn invalid_millisecond_env_vars_are_usage_errors() {
 }
 
 #[test]
+fn garbage_store_urls_are_usage_errors() {
+    // A malformed --store-url/ICFGP_STORE_URL refuses to start with
+    // exit 64 and a usage hint, rather than degrading against nothing.
+    let bad = [
+        "http://host:9000",           // wrong scheme
+        "icfgp://",                   // missing host and port
+        "icfgp://host",               // missing port
+        "icfgp://host:",              // empty port
+        "icfgp://host:0",             // port out of range
+        "icfgp://host:70000",         // port out of range
+        "icfgp://host:banana",        // unparsable port
+        "icfgp://ho st:9000",         // unparsable host
+        "icfgp://:9000",              // empty host
+        "host:9000",                  // no scheme at all
+    ];
+    for url in bad {
+        let out = icfgp()
+            .args(["rewrite", "x.json", "--store-url", url, "-o", "y.json"])
+            .output()
+            .expect("runs");
+        assert_eq!(
+            out.status.code(),
+            Some(64),
+            "--store-url {url} must be rejected: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let err = String::from_utf8_lossy(&out.stderr).to_string();
+        assert!(err.contains("usage"), "error must include a usage hint: {err}");
+
+        // Same contract through the environment variable.
+        let out = icfgp()
+            .env("ICFGP_STORE_URL", url)
+            .arg("list-workloads")
+            .output()
+            .expect("runs");
+        assert_eq!(
+            out.status.code(),
+            Some(64),
+            "ICFGP_STORE_URL={url} must be rejected: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    // Well-formed URLs are accepted at startup (connection failures
+    // later degrade, they don't refuse).
+    for ok in ["icfgp://127.0.0.1:9000", "icfgp://[::1]:81", "icfgp://cache.example.com:65535"] {
+        let out = icfgp()
+            .env("ICFGP_STORE_URL", ok)
+            .arg("list-workloads")
+            .output()
+            .expect("runs");
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "ICFGP_STORE_URL={ok} must be accepted: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+}
+
+#[test]
+fn dead_server_rewrite_still_exits_zero() {
+    // A --store-url pointing at a dead server must only cost cache
+    // misses: same exit code and same output bytes as a storeless run.
+    let raw = gen_switch_demo();
+    let rw = tmp("dead-srv.json");
+    let rw2 = tmp("dead-srv2.json");
+    let out = icfgp()
+        .args(["rewrite"])
+        .arg(&raw)
+        .args(["--mode", "jt", "-o"])
+        .arg(&rw)
+        .output()
+        .expect("rewrite runs");
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    // Port 9 (discard) on localhost: nothing is listening in CI.
+    let out = icfgp()
+        .args(["rewrite"])
+        .arg(&raw)
+        .args(["--mode", "jt", "--store-url", "icfgp://127.0.0.1:9", "-o"])
+        .arg(&rw2)
+        .output()
+        .expect("rewrite runs");
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    assert_eq!(
+        std::fs::read(&rw).unwrap(),
+        std::fs::read(&rw2).unwrap(),
+        "a dead server must not change output bytes"
+    );
+    let _ = std::fs::remove_file(&raw);
+    let _ = std::fs::remove_file(&rw);
+    let _ = std::fs::remove_file(&rw2);
+}
+
+#[test]
 fn resume_contract_journal_required_and_byte_identical() {
     let raw = gen_switch_demo();
     let rw = tmp("resume-rw.json");

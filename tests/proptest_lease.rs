@@ -1,0 +1,143 @@
+//! Lease-fencing property (satellite of the remote-store PR): **for
+//! any workload, rewrite mode and PUT kill point, a client whose lease
+//! expires mid-write gets the PUT rejected, the server quarantines
+//! nothing, and every deferred record lands once the lease can be
+//! re-acquired — output bytes never change.**
+//!
+//! The kill point is injected deterministically: `lease_expire_at = k`
+//! makes the transport replace the k-th PUT reply (1-based) with
+//! `REJECTED`, exactly what the server sends a writer whose epoch
+//! fence went stale. The client must clear its lease, defer the
+//! record, and re-send it under a fresh fence — never drop it, never
+//! poison the server.
+
+use incremental_cfg_patching::core::{
+    store, FaultyTransport, Instrumentation, NetFaults, Points, RemoteOptions, RemoteStore,
+    RetryPolicy, RewriteCache, RewriteConfig, RewriteMode, Rewriter, ServeOptions, StoreBackend,
+    TcpTransport, parse_store_url, serve,
+};
+use incremental_cfg_patching::isa::Arch;
+use incremental_cfg_patching::workloads::{generate, GenParams};
+use proptest::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn arb_arch() -> impl Strategy<Value = Arch> {
+    prop_oneof![Just(Arch::X64), Just(Arch::Ppc64le), Just(Arch::Aarch64)]
+}
+
+fn arb_mode() -> impl Strategy<Value = RewriteMode> {
+    prop_oneof![Just(RewriteMode::Dir), Just(RewriteMode::Jt), Just(RewriteMode::FuncPtr)]
+}
+
+fn arb_params() -> impl Strategy<Value = GenParams> {
+    (arb_arch(), 0u64..500, 1usize..3, 0usize..3, 2usize..6).prop_map(
+        |(arch, seed, compute, switches, cases)| {
+            let mut p = GenParams::small("proplease", arch, seed);
+            p.compute_funcs = compute;
+            p.switch_funcs = switches;
+            p.switch_cases = cases;
+            p.outer_iters = 16;
+            p
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn expired_lease_put_is_rejected_and_recovers(
+        params in arb_params(),
+        mode in arb_mode(),
+        kill in 1u64..4,
+    ) {
+        let w = generate(&params);
+        let rw = Rewriter::new(RewriteConfig::new(mode));
+        let instr = Instrumentation::empty(Points::EveryBlock);
+        let cold = rw
+            .rewrite_cached(&w.binary, &instr, &RewriteCache::new())
+            .expect("cold rewrite");
+
+        let dir = std::env::temp_dir().join(format!(
+            "icfgp-lease-{}-{}-{}-{kill}",
+            std::process::id(),
+            params.seed,
+            mode,
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        // A short lease TTL bounds the recovery window: after the
+        // injected rejection the client's re-acquire sees BUSY (the
+        // server still counts it as the live holder) until the TTL
+        // lapses, then a retried flush gets a fresh fence.
+        let server = serve(
+            "127.0.0.1:0",
+            &dir,
+            ServeOptions { lease_ttl: Duration::from_millis(100), ..ServeOptions::default() },
+        )
+        .expect("serve");
+        let faults = NetFaults { lease_expire_at: kill, ..NetFaults::default() };
+        let transport = TcpTransport::new(server.addr(), Duration::from_millis(500));
+        let faulty = FaultyTransport::new(Box::new(transport), faults, None);
+        let injected = faulty.injected_counter();
+        let store = Arc::new(RemoteStore::with_transport(
+            Box::new(faulty),
+            server.url(),
+            RemoteOptions { retry: RetryPolicy::seeded(params.seed), ..RemoteOptions::default() },
+        ));
+        let cache = RewriteCache::with_store(store.clone());
+        let out = rw.rewrite_cached(&w.binary, &instr, &cache).expect("faulted rewrite");
+        prop_assert_eq!(&out.binary, &cold.binary, "rejected PUTs must not change output");
+        cache.flush_store();
+
+        // Liveness: keep flushing until every deferred record lands
+        // (bounded by the lease TTL, not forever).
+        let mut tries = 0;
+        while store.pending_len() > 0 && tries < 100 {
+            std::thread::sleep(Duration::from_millis(20));
+            cache.flush_store();
+            tries += 1;
+        }
+        prop_assert_eq!(
+            store.pending_len(),
+            0,
+            "deferred records must land after the lease TTL lapses"
+        );
+        prop_assert!(
+            injected.load(std::sync::atomic::Ordering::Relaxed) >= 1,
+            "the kill point must actually fire"
+        );
+        let stats = server.stats();
+        prop_assert_eq!(
+            stats.store.quarantined_records, 0,
+            "a rejected PUT must quarantine nothing server-side"
+        );
+        prop_assert_eq!(stats.quarantined_files, 0);
+        prop_assert!(stats.records > 0, "re-sent records must persist: {:?}", stats);
+        drop(cache);
+        drop(store);
+
+        // A fault-free second client sees a warm, healthy store.
+        let url = parse_store_url(&server.url()).expect("url");
+        let second = Arc::new(RemoteStore::connect(&url, RemoteOptions::default()));
+        let cache2 = RewriteCache::with_store(second.clone());
+        let out2 = rw.rewrite_cached(&w.binary, &instr, &cache2).expect("warm rewrite");
+        prop_assert_eq!(&out2.binary, &cold.binary);
+        let s2 = second.stats();
+        prop_assert!(s2.remote_hits > 0, "second client must hit the warm server: {:?}", s2);
+        drop(cache2);
+        drop(second);
+        server.kill();
+
+        // On-disk store left behind is fully intact.
+        let report = store::verify_dir(&dir);
+        prop_assert!(
+            report.corrupt_records == 0
+                && report.bad_segments == 0
+                && report.truncated_segments == 0,
+            "server store must stay clean: {:?}",
+            report
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
