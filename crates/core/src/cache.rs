@@ -70,6 +70,7 @@ use crate::pool;
 use crate::relocate::{FuncFragment, RelocEmit};
 use crate::rewriter::RewriteError;
 use crate::store::{Stage, StoreBackend, StoreStats};
+use crate::trace::{StoreSrc, Trace, TraceEvent};
 use icfgp_cfg::{
     analyze_function_isolated, assemble_analysis, prepass_boundaries, AnalysisConfig,
     BinaryAnalysis, FuncCfg, FuncStatus, LivenessResult,
@@ -96,23 +97,6 @@ pub struct StageStats {
 }
 
 impl StageStats {
-    pub(crate) fn record(&mut self, hit: bool) {
-        if hit {
-            self.hits += 1;
-        } else {
-            self.misses += 1;
-        }
-    }
-
-    /// Record a lookup that can distinguish cross-binary (shared)
-    /// hits from same-binary ones.
-    pub(crate) fn record_lookup(&mut self, lk: Lookup) {
-        self.record(lk.hit);
-        if lk.hit && lk.shared {
-            self.shared += 1;
-        }
-    }
-
     /// Total lookups.
     #[must_use]
     pub fn total(&self) -> u64 {
@@ -460,13 +444,29 @@ struct Maps {
 /// keys are self-describing, so reuse never changes results, only
 /// how fast they arrive. Optionally backed by a persistent
 /// [`CacheStore`] ([`RewriteCache::with_store`]).
-#[derive(Default)]
+///
+/// Every lookup emits a [`TraceEvent::CacheLookup`] onto the cache's
+/// trace spine; when the cache is backed by a store, the store's
+/// trace is adopted so cache-level and store-level events share one
+/// registry (and one [`RewriteStats`] projection).
 pub struct RewriteCache {
     inner: Mutex<Maps>,
     store: Option<Arc<dyn StoreBackend>>,
+    trace: Arc<Trace>,
     /// Chaos: corrupt fragment/emit records read back from the store
     /// (armed by [`crate::FaultPlan::arm_cached`]).
     patch_fault: Mutex<Option<PatchFault>>,
+}
+
+impl Default for RewriteCache {
+    fn default() -> RewriteCache {
+        RewriteCache {
+            inner: Mutex::new(Maps::default()),
+            store: None,
+            trace: Trace::new(),
+            patch_fault: Mutex::new(None),
+        }
+    }
 }
 
 impl std::fmt::Debug for RewriteCache {
@@ -501,13 +501,46 @@ impl RewriteCache {
     }
 
     /// [`RewriteCache::with_store`] over an already-erased backend.
+    /// The backend's trace spine is adopted as the cache's, so both
+    /// layers fold into one registry.
     #[must_use]
     pub fn with_backend(store: Arc<dyn StoreBackend>) -> RewriteCache {
         RewriteCache {
             inner: Mutex::new(Maps::default()),
+            trace: store.trace(),
             store: Some(store),
             patch_fault: Mutex::new(None),
         }
+    }
+
+    /// An empty store-less cache emitting onto an existing trace
+    /// spine (e.g. a chaos campaign's shared collector).
+    #[must_use]
+    pub fn with_trace(trace: Arc<Trace>) -> RewriteCache {
+        RewriteCache { trace, ..RewriteCache::default() }
+    }
+
+    /// The trace spine this cache (and its store, if any) emits
+    /// through.
+    #[must_use]
+    pub fn trace(&self) -> Arc<Trace> {
+        Arc::clone(&self.trace)
+    }
+
+    /// Which registry source slot the attached store reports under
+    /// (`None` without a store).
+    #[must_use]
+    pub fn store_src(&self) -> Option<StoreSrc> {
+        self.store.as_ref().map(|s| s.trace_src())
+    }
+
+    fn note(&self, stage: Stage, key: u64, lk: Lookup) {
+        self.trace.emit(TraceEvent::CacheLookup {
+            stage,
+            key,
+            hit: lk.hit,
+            shared: lk.shared,
+        });
     }
 
     /// Chaos: with probability `probability` (deterministic per key,
@@ -587,7 +620,8 @@ impl RewriteCache {
             .clone()
     }
 
-    /// Look up or compute a per-function CFG. Returns `(result, hit)`.
+    /// Look up or compute a per-function CFG. The lookup outcome is
+    /// emitted onto the trace spine (`Stage::Func`), not returned.
     ///
     /// Keys are *weak* — they omit whatever the analysis read outside
     /// the function's byte range — so every candidate (in-memory or
@@ -600,12 +634,16 @@ impl RewriteCache {
         binary: &Binary,
         binary_fp: u64,
         compute: impl FnOnce() -> FuncCfg,
-    ) -> (Arc<FuncCfg>, Lookup) {
+    ) -> Arc<FuncCfg> {
         {
             let mut m = self.lock();
             if let Some(e) = m.funcs.get(&key) {
                 if deps_hold(&e.deps, binary, binary_fp) {
-                    return (e.cfg.clone(), Lookup::hit(e.origin_fp, binary_fp));
+                    let got = e.cfg.clone();
+                    let lk = Lookup::hit(e.origin_fp, binary_fp);
+                    drop(m);
+                    self.note(Stage::Func, key, lk);
+                    return got;
                 }
                 m.funcs.remove(&key);
             }
@@ -623,7 +661,8 @@ impl RewriteCache {
                     .entry(key)
                     .or_insert_with(|| entry.clone())
                     .clone();
-                return (got.cfg, Lookup::hit(got.origin_fp, binary_fp));
+                self.note(Stage::Func, key, Lookup::hit(got.origin_fp, binary_fp));
+                return got.cfg;
             }
             // A different binary legitimately reusing the weak key:
             // not corruption, just a miss (the recompute replaces it).
@@ -638,35 +677,39 @@ impl RewriteCache {
         let entry = FuncEntry { cfg: Arc::new(cfg), deps: Arc::new(deps), origin_fp: binary_fp };
         let mut m = self.lock();
         let got = m.funcs.entry(key).or_insert(entry).clone();
-        (got.cfg, Lookup::MISS)
+        drop(m);
+        self.note(Stage::Func, key, Lookup::MISS);
+        got.cfg
     }
 
-    /// Look up or compute a per-function liveness result.
+    /// Look up or compute a per-function liveness result. The lookup
+    /// outcome is emitted onto the trace spine (`Stage::Liveness`).
     pub(crate) fn liveness(
         &self,
         key: u64,
         compute: impl FnOnce() -> LivenessResult,
-    ) -> (Arc<LivenessResult>, bool) {
+    ) -> Arc<LivenessResult> {
         if let Some(v) = self.lock().liveness.get(&key) {
-            return (v.clone(), true);
+            let got = v.clone();
+            self.note(Stage::Liveness, key, Lookup { hit: true, shared: false });
+            return got;
         }
         if let Some(v) = self.store_get::<LivenessResult>(Stage::Liveness, key) {
             let v = Arc::new(v);
-            return (
-                self.lock().liveness.entry(key).or_insert_with(|| v.clone()).clone(),
-                true,
-            );
+            let got = self.lock().liveness.entry(key).or_insert_with(|| v.clone()).clone();
+            self.note(Stage::Liveness, key, Lookup { hit: true, shared: false });
+            return got;
         }
         let v = Arc::new(compute());
         self.store_put(Stage::Liveness, key, &*v);
-        (
-            self.lock()
-                .liveness
-                .entry(key)
-                .or_insert_with(|| v.clone())
-                .clone(),
-            false,
-        )
+        let got = self
+            .lock()
+            .liveness
+            .entry(key)
+            .or_insert_with(|| v.clone())
+            .clone();
+        self.note(Stage::Liveness, key, Lookup::MISS);
+        got
     }
 
     /// Look up or build a per-function relocation fragment. Errors are
@@ -684,12 +727,16 @@ impl RewriteCache {
         cfg_fp: u64,
         binary_fp: u64,
         compute: impl FnOnce() -> Result<FuncFragment, RewriteError>,
-    ) -> Result<(Arc<FuncFragment>, Lookup), RewriteError> {
+    ) -> Result<Arc<FuncFragment>, RewriteError> {
         {
             let mut m = self.lock();
             if let Some(e) = m.fragments.get(&key) {
                 if e.cfg_fp == cfg_fp {
-                    return Ok((e.frag.clone(), Lookup::hit(e.origin_fp, binary_fp)));
+                    let got = e.frag.clone();
+                    let lk = Lookup::hit(e.origin_fp, binary_fp);
+                    drop(m);
+                    self.note(Stage::Fragment, key, lk);
+                    return Ok(got);
                 }
                 m.fragments.remove(&key);
             }
@@ -712,7 +759,8 @@ impl RewriteCache {
                     .entry(key)
                     .or_insert_with(|| entry.clone())
                     .clone();
-                return Ok((got.frag, Lookup::hit(got.origin_fp, binary_fp)));
+                self.note(Stage::Fragment, key, Lookup::hit(got.origin_fp, binary_fp));
+                return Ok(got.frag);
             }
             if let Some(store) = &self.store {
                 store.quarantine_record(
@@ -729,15 +777,15 @@ impl RewriteCache {
             &FragPayload { frag: (*v).clone(), cfg_fp, origin_fp: binary_fp },
         );
         let entry = FragEntry { frag: v, cfg_fp, origin_fp: binary_fp };
-        Ok((
-            self.lock()
-                .fragments
-                .entry(key)
-                .or_insert_with(|| entry.clone())
-                .clone()
-                .frag,
-            Lookup::MISS,
-        ))
+        let got = self
+            .lock()
+            .fragments
+            .entry(key)
+            .or_insert_with(|| entry.clone())
+            .clone()
+            .frag;
+        self.note(Stage::Fragment, key, Lookup::MISS);
+        Ok(got)
     }
 
     /// Look up or emit one function's canonical (position-independent)
@@ -751,12 +799,16 @@ impl RewriteCache {
         binary_fp: u64,
         validate: impl Fn(&RelocEmit) -> bool,
         compute: impl FnOnce() -> Result<RelocEmit, RewriteError>,
-    ) -> Result<(Arc<RelocEmit>, Lookup), RewriteError> {
+    ) -> Result<Arc<RelocEmit>, RewriteError> {
         {
             let mut m = self.lock();
             if let Some(e) = m.emits.get(&key) {
                 if validate(&e.emit) {
-                    return Ok((e.emit.clone(), Lookup::hit(e.origin_fp, binary_fp)));
+                    let got = e.emit.clone();
+                    let lk = Lookup::hit(e.origin_fp, binary_fp);
+                    drop(m);
+                    self.note(Stage::Emit, key, lk);
+                    return Ok(got);
                 }
                 m.emits.remove(&key);
             }
@@ -773,7 +825,8 @@ impl RewriteCache {
                     .entry(key)
                     .or_insert_with(|| entry.clone())
                     .clone();
-                return Ok((got.emit, Lookup::hit(got.origin_fp, binary_fp)));
+                self.note(Stage::Emit, key, Lookup::hit(got.origin_fp, binary_fp));
+                return Ok(got.emit);
             }
             if let Some(store) = &self.store {
                 store.quarantine_record(
@@ -791,15 +844,15 @@ impl RewriteCache {
             &EmitPayload { emit: (*v).clone(), origin_fp: binary_fp },
         );
         let entry = EmitEntry { emit: v, origin_fp: binary_fp };
-        Ok((
-            self.lock()
-                .emits
-                .entry(key)
-                .or_insert_with(|| entry.clone())
-                .clone()
-                .emit,
-            Lookup::MISS,
-        ))
+        let got = self
+            .lock()
+            .emits
+            .entry(key)
+            .or_insert_with(|| entry.clone())
+            .clone()
+            .emit;
+        self.note(Stage::Emit, key, Lookup::MISS);
+        Ok(got)
     }
 
     /// Look up or compute a whole-binary audit report (predictive
@@ -812,21 +865,21 @@ impl RewriteCache {
         compute: impl FnOnce() -> icfgp_audit::AuditReport,
     ) -> (Arc<icfgp_audit::AuditReport>, bool) {
         if let Some(v) = self.lock().audits.get(&key) {
-            return (v.clone(), true);
+            let got = v.clone();
+            self.note(Stage::Audit, key, Lookup { hit: true, shared: false });
+            return (got, true);
         }
         if let Some(v) = self.store_get::<icfgp_audit::AuditReport>(Stage::Audit, key) {
             let v = Arc::new(v);
-            return (
-                self.lock().audits.entry(key).or_insert_with(|| v.clone()).clone(),
-                true,
-            );
+            let got = self.lock().audits.entry(key).or_insert_with(|| v.clone()).clone();
+            self.note(Stage::Audit, key, Lookup { hit: true, shared: false });
+            return (got, true);
         }
         let v = Arc::new(compute());
         self.store_put(Stage::Audit, key, &*v);
-        (
-            self.lock().audits.entry(key).or_insert_with(|| v.clone()).clone(),
-            false,
-        )
+        let got = self.lock().audits.entry(key).or_insert_with(|| v.clone()).clone();
+        self.note(Stage::Audit, key, Lookup::MISS);
+        (got, false)
     }
 
     fn analysis_memo(&self, binary_fp: u64, config_fp: u64) -> Option<AnalysisMemo> {
@@ -876,12 +929,6 @@ pub struct AnalysisRun {
     pub memo_hit: bool,
     /// Replay rounds run (0 on a memo hit).
     pub rounds: u32,
-    /// Per-function analysis hits/misses.
-    pub func_stats: StageStats,
-    /// Per-function analysis wall time `(entry, ns)`, one sample per
-    /// analysed work item (empty on a memo hit). Feeds the
-    /// `rewrite --stats` `slowest:` line.
-    pub func_times: Vec<(u64, u64)>,
 }
 
 /// Analyse `binary` incrementally and in parallel, reproducing the
@@ -908,14 +955,15 @@ pub fn analyze_incremental(
     let binary_fp = binary_fingerprint(binary);
     let config_fp = config.fingerprint();
     if let Some(memo) = cache.analysis_memo(binary_fp, config_fp) {
+        cache
+            .trace()
+            .emit(TraceEvent::AnalysisMemo { hit: true, rounds: memo.rounds });
         return AnalysisRun {
             analysis: memo.analysis,
             func_keys: memo.func_keys,
             weak_keys: memo.weak_keys,
             memo_hit: true,
             rounds: memo.rounds,
-            func_stats: StageStats::default(),
-            func_times: Vec::new(),
         };
     }
     let pre = cache.prepass(binary_fp, binary);
@@ -949,8 +997,6 @@ pub fn analyze_incremental(
 
     let mut results: Vec<Option<Arc<FuncCfg>>> = vec![None; n];
     let mut analyzed: Vec<Option<u64>> = vec![None; n];
-    let mut func_stats = StageStats::default();
-    let mut func_times: Vec<(u64, u64)> = Vec::new();
     let mut rounds = 0u32;
     let final_set: BTreeSet<u64>;
     loop {
@@ -999,9 +1045,12 @@ pub fn analyze_incremental(
             });
             (out, u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX))
         });
-        for (&i, ((cfg, lookup), ns)) in work.iter().zip(outs) {
-            func_stats.record_lookup(lookup);
-            func_times.push((syms[i].addr, ns));
+        for (&i, (cfg, ns)) in work.iter().zip(outs) {
+            // Per-item timing is an orchestrator-side leaf event so the
+            // stream stays deterministic across thread counts.
+            cache
+                .trace()
+                .emit(TraceEvent::FuncSpan { entry: syms[i].addr, ns });
             analyzed[i] = Some(snaps[i].as_ref().expect("snapshot").1);
             results[i] = Some(cfg);
         }
@@ -1053,14 +1102,15 @@ pub fn analyze_incremental(
         weak_keys.clone(),
         rounds,
     );
+    cache
+        .trace()
+        .emit(TraceEvent::AnalysisMemo { hit: false, rounds });
     AnalysisRun {
         analysis,
         func_keys,
         weak_keys,
         memo_hit: false,
         rounds,
-        func_stats,
-        func_times,
     }
 }
 
@@ -1103,7 +1153,7 @@ mod tests {
         let cache = RewriteCache::new();
         let cold = analyze_incremental(&bin, &config, &cache, 4);
         assert!(!cold.memo_hit);
-        assert!(cold.func_stats.misses > 0);
+        assert!(cache.trace().registry().stage_stats(Stage::Func).misses > 0);
         let warm = analyze_incremental(&bin, &config, &cache, 4);
         assert!(warm.memo_hit);
         assert_eq!(*cold.analysis, *warm.analysis);
@@ -1129,13 +1179,15 @@ mod tests {
         faulty
             .inject
             .push(InjectedFault::FailFunction { entry: victim });
+        let before = cache.trace().registry().stage_stats(Stage::Func);
         let run = analyze_incremental(&bin, &faulty, &cache, 4);
         // Different config fingerprint: no memo hit, but every function
         // except the victim is served from the per-function cache (the
         // victim can miss once per replay round).
         assert!(!run.memo_hit);
-        assert!(run.func_stats.misses <= u64::from(run.rounds));
-        assert!(run.func_stats.hits > 0);
+        let after = cache.trace().registry().stage_stats(Stage::Func);
+        assert!(after.misses - before.misses <= u64::from(run.rounds));
+        assert!(after.hits > before.hits);
     }
 
     #[test]

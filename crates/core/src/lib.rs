@@ -76,6 +76,7 @@ mod report;
 pub mod retry;
 mod rewriter;
 pub mod store;
+pub mod trace;
 pub mod tramp;
 
 pub use cache::{
@@ -103,5 +104,9 @@ pub use rewriter::{CloneSummary, RewriteArtifacts, RewriteError, RewriteOutcome,
 pub use store::{
     CacheStore, CompactReport, CorruptKind, Stage, StoreBackend, StoreEvent, StoreEventKind,
     StoreFaults, StoreStats, StoreVerifyReport,
+};
+pub use trace::{
+    JsonlSink, MemorySink, Registry, SpanKind, StoreOp, StoreSrc, TextSink, Trace, TraceEvent,
+    TraceSink, TraceSummary,
 };
 pub use tramp::trampoline_table;

@@ -47,9 +47,10 @@
 
 use crate::retry::{RetryPolicy, Transience};
 use crate::store::{
-    encode_frame, scan_frames, CacheStore, FaultRng, Stage, StoreBackend, StoreEvent,
-    StoreEventKind, StoreFaults, StoreStats, FORMAT_VERSION, FRAME_LEN, KEY_EPOCH,
+    encode_frame, lock_timeout, scan_frames, CacheStore, FaultRng, Stage, StoreBackend,
+    StoreEvent, StoreEventKind, StoreFaults, StoreStats, FORMAT_VERSION, FRAME_LEN, KEY_EPOCH,
 };
+use crate::trace::{StoreOp, StoreSrc, Trace, TraceEvent};
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -875,6 +876,9 @@ pub struct RemoteOptions {
     pub breaker_threshold: u32,
     /// Retry policy for transient transport faults.
     pub retry: RetryPolicy,
+    /// Emit onto an existing trace spine instead of a private one
+    /// (chaos campaigns share one collector across clients).
+    pub trace: Option<Arc<Trace>>,
 }
 
 impl Default for RemoteOptions {
@@ -884,6 +888,7 @@ impl Default for RemoteOptions {
             timeout: Duration::from_millis(1000),
             breaker_threshold: 4,
             retry: RetryPolicy::default(),
+            trace: None,
         }
     }
 }
@@ -895,20 +900,16 @@ struct ClientLease {
     renew_at: Instant,
 }
 
-#[derive(Default)]
-struct RemoteCounters {
-    hits: AtomicU64,
-    misses: AtomicU64,
-    quarantined: AtomicU64,
-    retries: AtomicU64,
-    io_errors: AtomicU64,
-    lease_deferrals: AtomicU64,
-    flushes: AtomicU64,
-    flushed_records: AtomicU64,
-    remote_hits: AtomicU64,
-    remote_misses: AtomicU64,
-    breaker_trips: AtomicU64,
-    degraded_lookups: AtomicU64,
+fn op_name(tag: u8) -> &'static str {
+    match tag {
+        OP_GET => "get",
+        OP_PUT => "put",
+        OP_LEASE => "lease",
+        OP_RENEW => "renew",
+        OP_RELEASE => "release",
+        OP_STATS => "stats",
+        _ => "other",
+    }
 }
 
 /// The remote store backend: a [`StoreBackend`] whose records live on
@@ -934,7 +935,10 @@ pub struct RemoteStore {
     /// Keys quarantined this run: never re-served from the server, so
     /// a poisoned record cannot hit-quarantine-hit forever.
     poisoned: Mutex<HashSet<(Stage, u64)>>,
-    c: RemoteCounters,
+    /// The unified trace spine; all counting is a registry projection
+    /// (`StoreSrc::Remote` for this client, `StoreSrc::Hedge` for its
+    /// local overflow store, which shares the same trace).
+    trace: Arc<Trace>,
     events: Mutex<Vec<StoreEvent>>,
 }
 
@@ -975,7 +979,15 @@ impl RemoteStore {
         opts: RemoteOptions,
         net_armed: bool,
     ) -> RemoteStore {
-        let local = opts.overflow_dir.as_deref().map(|d| Arc::new(CacheStore::open(d)));
+        let trace = opts.trace.clone().unwrap_or_default();
+        let local = opts.overflow_dir.as_deref().map(|d| {
+            Arc::new(CacheStore::open_traced(
+                d,
+                lock_timeout(),
+                Arc::clone(&trace),
+                StoreSrc::Hedge,
+            ))
+        });
         let store = RemoteStore {
             url,
             transport: Mutex::new(transport),
@@ -990,7 +1002,7 @@ impl RemoteStore {
             pending: Mutex::new(Vec::new()),
             known: Mutex::new(HashSet::new()),
             poisoned: Mutex::new(HashSet::new()),
-            c: RemoteCounters::default(),
+            trace,
             events: Mutex::new(Vec::new()),
         };
         store.event(StoreEventKind::Opened, store.url.clone());
@@ -1011,17 +1023,28 @@ impl RemoteStore {
         events.push(StoreEvent { kind, detail });
     }
 
+    fn emit(&self, op: StoreOp) {
+        self.trace.emit(TraceEvent::Store { src: StoreSrc::Remote, op });
+    }
+
     /// One request with bounded, jittered retries. Any `Err` has
     /// already been counted against the circuit breaker.
     fn request(&self, tag: u8, key: u64, payload: &[u8]) -> std::io::Result<(u8, u64, Vec<u8>)> {
         let policy = *self.retry.lock().expect("retry poisoned");
         let mut transport = self.transport.lock().expect("transport poisoned");
+        let started = Instant::now();
         let (result, retries) = policy.run(
             |_e: &std::io::Error| Transience::Transient,
             |_| transport.exchange(tag, key, payload),
         );
         drop(transport);
-        self.c.retries.fetch_add(u64::from(retries), Ordering::Relaxed);
+        self.trace.emit(TraceEvent::RpcSpan {
+            op: op_name(tag).to_string(),
+            ns: u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+        });
+        for _ in 0..retries {
+            self.emit(StoreOp::Retry);
+        }
         match result {
             Ok(reply) => {
                 self.consecutive.store(0, Ordering::SeqCst);
@@ -1035,11 +1058,11 @@ impl RemoteStore {
     }
 
     fn note_failure(&self, e: &std::io::Error) {
-        self.c.io_errors.fetch_add(1, Ordering::Relaxed);
+        self.emit(StoreOp::IoError);
         self.event(StoreEventKind::IoError, format!("{}: {e}", self.url));
         let failures = self.consecutive.fetch_add(1, Ordering::SeqCst) + 1;
         if failures >= self.breaker_threshold && !self.degraded.swap(true, Ordering::SeqCst) {
-            self.c.breaker_trips.fetch_add(1, Ordering::Relaxed);
+            self.emit(StoreOp::BreakerTrip);
             self.event(
                 StoreEventKind::LockTimeout,
                 format!(
@@ -1096,6 +1119,7 @@ impl RemoteStore {
                     fence,
                     renew_at: Instant::now() + Duration::from_millis((ttl / 2).max(1)),
                 });
+                self.emit(StoreOp::LeaseFence { fence });
                 Ok(Some((token, fence)))
             }
             (RE_BUSY, ..) => Ok(None),
@@ -1118,8 +1142,7 @@ impl RemoteStore {
         }
         let n = local.flush();
         if n > 0 {
-            self.c.flushes.fetch_add(1, Ordering::Relaxed);
-            self.c.flushed_records.fetch_add(n as u64, Ordering::Relaxed);
+            self.emit(StoreOp::Flushed { records: n as u64 });
         }
         n
     }
@@ -1133,7 +1156,7 @@ impl RemoteStore {
             Ok(None) => {
                 // Another writer holds the lease: defer, exactly like
                 // a local lock timeout.
-                self.c.lease_deferrals.fetch_add(1, Ordering::Relaxed);
+                self.emit(StoreOp::LockTimeout);
                 self.event(
                     StoreEventKind::LockTimeout,
                     "lease busy: flush deferred".to_string(),
@@ -1197,8 +1220,7 @@ impl RemoteStore {
             }
         }
         if done > 0 {
-            self.c.flushes.fetch_add(1, Ordering::Relaxed);
-            self.c.flushed_records.fetch_add(done as u64, Ordering::Relaxed);
+            self.emit(StoreOp::Flushed { records: done as u64 });
         }
         done
     }
@@ -1221,19 +1243,20 @@ impl RemoteStore {
 
 impl StoreBackend for RemoteStore {
     fn get(&self, stage: Stage, key: u64) -> Option<Vec<u8>> {
+        self.emit(StoreOp::Lookup { stage });
         if self.poisoned.lock().expect("poisoned poisoned").contains(&(stage, key)) {
-            self.c.misses.fetch_add(1, Ordering::Relaxed);
+            self.emit(StoreOp::Miss { stage });
             return None;
         }
         if self.is_degraded() {
-            self.c.degraded_lookups.fetch_add(1, Ordering::Relaxed);
+            self.emit(StoreOp::Degraded);
             return match self.local_probe(stage, key) {
                 Some(p) => {
-                    self.c.hits.fetch_add(1, Ordering::Relaxed);
+                    self.emit(StoreOp::Hit { stage });
                     Some(p)
                 }
                 None => {
-                    self.c.misses.fetch_add(1, Ordering::Relaxed);
+                    self.emit(StoreOp::Miss { stage });
                     None
                 }
             };
@@ -1243,11 +1266,11 @@ impl StoreBackend for RemoteStore {
         body.extend_from_slice(&KEY_EPOCH.to_le_bytes());
         let outcome = match self.request(OP_GET, key, &body) {
             Ok((RE_HIT, _, payload)) => {
-                self.c.remote_hits.fetch_add(1, Ordering::Relaxed);
+                self.emit(StoreOp::RemoteHit);
                 Some(payload)
             }
             Ok((RE_MISS, ..)) => {
-                self.c.remote_misses.fetch_add(1, Ordering::Relaxed);
+                self.emit(StoreOp::RemoteMiss);
                 // Definite remote miss: hedge to the local overflow.
                 self.local_probe(stage, key)
             }
@@ -1267,11 +1290,11 @@ impl StoreBackend for RemoteStore {
         };
         match outcome {
             Some(p) => {
-                self.c.hits.fetch_add(1, Ordering::Relaxed);
+                self.emit(StoreOp::Hit { stage });
                 Some(p)
             }
             None => {
-                self.c.misses.fetch_add(1, Ordering::Relaxed);
+                self.emit(StoreOp::Miss { stage });
                 None
             }
         }
@@ -1286,8 +1309,7 @@ impl StoreBackend for RemoteStore {
 
     fn quarantine_record(&self, stage: Stage, key: u64, why: &str) {
         self.poisoned.lock().expect("poisoned poisoned").insert((stage, key));
-        self.c.hits.fetch_sub(1, Ordering::Relaxed);
-        self.c.quarantined.fetch_add(1, Ordering::Relaxed);
+        self.emit(StoreOp::LookupQuarantine { stage });
         self.event(
             StoreEventKind::DecodeFailure,
             format!("{}:{key:#018x}: {why}", stage.name()),
@@ -1307,24 +1329,10 @@ impl StoreBackend for RemoteStore {
     }
 
     fn stats(&self) -> StoreStats {
-        let degraded_lookups = self.c.degraded_lookups.load(Ordering::Relaxed);
-        StoreStats {
-            hits: self.c.hits.load(Ordering::Relaxed),
-            misses: self.c.misses.load(Ordering::Relaxed),
-            records_loaded: 0,
-            segments_loaded: 0,
-            quarantined_records: self.c.quarantined.load(Ordering::Relaxed),
-            quarantined_segments: 0,
-            flushed_records: self.c.flushed_records.load(Ordering::Relaxed),
-            flushes: self.c.flushes.load(Ordering::Relaxed),
-            io_errors: self.c.io_errors.load(Ordering::Relaxed),
-            lock_timeouts: self.c.lease_deferrals.load(Ordering::Relaxed),
-            retries: self.c.retries.load(Ordering::Relaxed),
-            remote_hits: self.c.remote_hits.load(Ordering::Relaxed),
-            remote_misses: self.c.remote_misses.load(Ordering::Relaxed),
-            breaker_trips: self.c.breaker_trips.load(Ordering::Relaxed),
-            degraded: degraded_lookups,
-        }
+        // The registry projection for this client's own source; the
+        // hedge store's counters live under `StoreSrc::Hedge` on the
+        // same trace and are reported by the hedge store itself.
+        self.trace.registry().store_stats(StoreSrc::Remote)
     }
 
     fn events(&self) -> Vec<StoreEvent> {
@@ -1378,6 +1386,14 @@ impl StoreBackend for RemoteStore {
             local.set_retry_policy(policy);
         }
     }
+
+    fn trace(&self) -> Arc<Trace> {
+        Arc::clone(&self.trace)
+    }
+
+    fn trace_src(&self) -> StoreSrc {
+        StoreSrc::Remote
+    }
 }
 
 impl Drop for RemoteStore {
@@ -1413,6 +1429,7 @@ mod tests {
         RemoteStore::connect(
             &url,
             RemoteOptions {
+                trace: None,
                 overflow_dir: overflow,
                 timeout: Duration::from_millis(500),
                 breaker_threshold: 3,
@@ -1473,6 +1490,7 @@ mod tests {
         let store = RemoteStore::connect(
             &url,
             RemoteOptions {
+                trace: None,
                 timeout: Duration::from_millis(100),
                 breaker_threshold: 2,
                 retry: RetryPolicy { base_delay_ms: 0, max_delay_ms: 0, ..RetryPolicy::none() },
@@ -1502,6 +1520,7 @@ mod tests {
             let store = RemoteStore::connect(
                 &url,
                 RemoteOptions {
+                    trace: None,
                     timeout: Duration::from_millis(100),
                     breaker_threshold: 1,
                     retry: RetryPolicy::none(),
@@ -1594,6 +1613,7 @@ mod tests {
             Box::new(transport),
             url.to_string(),
             RemoteOptions {
+                trace: None,
                 timeout: Duration::from_millis(200),
                 breaker_threshold: 2,
                 retry: RetryPolicy { base_delay_ms: 0, max_delay_ms: 0, ..RetryPolicy::none() },
@@ -1632,6 +1652,7 @@ mod tests {
             Box::new(transport),
             url.to_string(),
             RemoteOptions {
+                trace: None,
                 timeout: Duration::from_millis(500),
                 breaker_threshold: 1_000_000, // never trip: isolate retry behaviour
                 retry: RetryPolicy {

@@ -48,7 +48,8 @@
 //! runs, so fixed-up shared bytes are identical to a cold rewrite by
 //! construction.
 
-use crate::cache::{cfg_fingerprint, hash_of, unique_key, RewriteCache, StageStats};
+use crate::cache::{cfg_fingerprint, hash_of, unique_key, RewriteCache};
+use crate::trace::TraceEvent;
 use crate::config::{FuncMode, LayoutOrder, RewriteConfig, RewriteMode, UnwindStrategy};
 use crate::instrument::{Instrumentation, Payload};
 use crate::pool;
@@ -319,15 +320,14 @@ impl RelocEmit {
     }
 }
 
-/// Relocate all selected functions. Returns the relocated code, the
-/// (fragment, emission) cache counters, and per-function wall-time
-/// samples `(entry, ns)` for the `--stats` slowest-function line.
-#[allow(clippy::type_complexity)]
+/// Relocate all selected functions. Cache outcomes and per-function
+/// wall-time samples land on the cache's trace spine, not in the
+/// return value.
 pub(crate) fn relocate(
     input: &RelocateInput<'_>,
     cache: &RewriteCache,
     threads: usize,
-) -> Result<(RelocatedCode, StageStats, StageStats, Vec<(u64, u64)>), RewriteError> {
+) -> Result<RelocatedCode, RewriteError> {
     let binary = input.binary;
     let arch = binary.arch;
     let config = input.config;
@@ -376,14 +376,13 @@ pub(crate) fn relocate(
         });
         (out, u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX))
     });
-    let mut frag_stats = StageStats::default();
-    let mut func_times: Vec<(u64, u64)> = Vec::with_capacity(keyed.len() * 2);
+    let trace = cache.trace();
     let mut frags: Vec<Arc<FuncFragment>> = Vec::with_capacity(keyed.len());
     for ((func, _, _), (r, ns)) in keyed.iter().zip(frag_results) {
-        let (frag, lookup) = r?;
-        frag_stats.record_lookup(lookup);
-        func_times.push((func.entry, ns));
-        frags.push(frag);
+        // Timing events come from the orchestrator so the trace stream
+        // stays deterministic across thread counts.
+        trace.emit(TraceEvent::FuncSpan { entry: func.entry, ns });
+        frags.push(r?);
     }
 
     // ----- assign clone addresses --------------------------------------
@@ -481,8 +480,8 @@ pub(crate) fn relocate(
         let started = std::time::Instant::now();
         let out = cache
             .emit(key, binary_fp, |c| c.validates(&frags[i]), || canonical_emit(&frags[i], arch))
-            .and_then(|(canonical, lookup)| {
-                let emitted = fixup(
+            .and_then(|canonical| {
+                fixup(
                     &canonical,
                     &frags[i],
                     base,
@@ -494,8 +493,7 @@ pub(crate) fn relocate(
                     slot_base,
                     icounters_base,
                     input.emulation_stack_bug,
-                )?;
-                Ok((emitted, lookup))
+                )
             });
         (out, u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX))
     });
@@ -504,11 +502,9 @@ pub(crate) fn relocate(
     let nop = encode(&Inst::Nop, arch).expect("nop");
     let mut code: Vec<u8> = Vec::with_capacity((instr_end - input.instr_base) as usize);
     let mut ra_map = RaMap::new();
-    let mut emit_stats = StageStats::default();
     for (i, (r, ns)) in emit_results.into_iter().enumerate() {
-        let (emitted, lookup) = r?;
-        emit_stats.record_lookup(lookup);
-        func_times.push((keyed[i].0.entry, ns));
+        let emitted = r?;
+        trace.emit(TraceEvent::FuncSpan { entry: keyed[i].0.entry, ns });
         let (base, _) = placed[i];
         // Alignment padding between fragments.
         while input.instr_base + code.len() as u64 != base {
@@ -584,23 +580,18 @@ pub(crate) fn relocate(
         }
     }
 
-    Ok((
-        RelocatedCode {
-            code,
-            base: input.instr_base,
-            block_map,
-            inst_map,
-            ra_map,
-            clones: filled,
-            clone_base: input.clone_base,
-            counter_slots,
-            icounters_base,
-            inplace_table_writes,
-        },
-        frag_stats,
-        emit_stats,
-        func_times,
-    ))
+    Ok(RelocatedCode {
+        code,
+        base: input.instr_base,
+        block_map,
+        inst_map,
+        ra_map,
+        clones: filled,
+        clone_base: input.clone_base,
+        counter_slots,
+        icounters_base,
+        inplace_table_writes,
+    })
 }
 
 /// The content-addressed identity of one function's fragment: the

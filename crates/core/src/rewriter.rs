@@ -1,7 +1,8 @@
 //! The rewriting driver: analysis → CFL blocks → relocation →
 //! trampoline placement → output binary assembly.
 
-use crate::cache::{analyze_incremental, hash_of, RewriteCache, RewriteStats, StageStats};
+use crate::cache::{analyze_incremental, hash_of, RewriteCache, RewriteStats};
+use crate::trace::SpanKind;
 use crate::cfl::effective_cfl_blocks;
 use crate::config::{FuncMode, RewriteConfig, RewriteMode, UnwindStrategy};
 use crate::instrument::Instrumentation;
@@ -13,7 +14,6 @@ use icfgp_cfg::{live_in_at_blocks, FuncStatus, LivenessResult, TableKind};
 use icfgp_obj::{names, Binary, RaMap, RelocKind, Section, SectionFlags, SectionKind, TrapMap};
 use std::collections::BTreeMap;
 use std::fmt;
-use std::time::Instant;
 
 /// Rewriting failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -202,15 +202,16 @@ impl Rewriter {
         instr: &Instrumentation,
         cache: &RewriteCache,
     ) -> Result<RewriteOutcome, RewriteError> {
-        let t_total = Instant::now();
-        let store_before = cache.store_stats();
+        let trace = cache.trace();
+        let snap = trace.snapshot();
+        let rewrite_span = trace.span(SpanKind::Rewrite);
         instr
             .validate()
             .map_err(|inst| RewriteError::BadPayload(inst.to_string()))?;
         let arch = binary.arch;
-        let t_analysis = Instant::now();
+        let analysis_span = trace.span(SpanKind::Analysis);
         let run = analyze_incremental(binary, &self.config.analysis, cache, self.threads);
-        let analysis_ns = t_analysis.elapsed().as_nanos() as u64;
+        analysis_span.close();
         let analysis = &*run.analysis;
 
         // ----- region layout ------------------------------------------
@@ -239,8 +240,8 @@ impl Rewriter {
         let instr_base = align_up(clone_base + clone_size, 0x1000);
 
         // ----- relocation ----------------------------------------------
-        let t_relocate = Instant::now();
-        let (reloc, frag_stats, emit_stats, reloc_times) = relocate(
+        let relocate_span = trace.span(SpanKind::Relocate);
+        let reloc = relocate(
             &RelocateInput {
                 binary,
                 analysis,
@@ -254,7 +255,7 @@ impl Rewriter {
             cache,
             self.threads,
         )?;
-        let relocate_ns = t_relocate.elapsed().as_nanos() as u64;
+        relocate_span.close();
 
         // ----- assemble the output binary --------------------------------
         let mut out = binary.clone();
@@ -444,10 +445,9 @@ impl Rewriter {
             }
         }
 
-        let t_placement = Instant::now();
+        let placement_span = trace.span(SpanKind::Placement);
         let mut trap_map = TrapMap::new();
         let mut all_plans: Vec<(u64, PlacementPlan)> = Vec::new();
-        let mut liveness_stats = StageStats::default();
         for entry in &selected {
             let f = &analysis.funcs[entry];
             let cfl = effective_cfl_blocks(f, &self.config);
@@ -463,14 +463,13 @@ impl Rewriter {
                 .copied()
                 .unwrap_or_else(crate::cache::unique_key);
             let lkey = hash_of(&(0x11FEu64, func_key, &f.fp_landing_targets, corrupt));
-            let (liveness, hit) = cache.liveness(lkey, || {
+            let liveness = cache.liveness(lkey, || {
                 if corrupt {
                     LivenessResult::assume_all_dead(f, arch)
                 } else {
                     live_in_at_blocks(f, arch)
                 }
             });
-            liveness_stats.record(hit);
             let pcfg = self.config.placement_for(*entry);
             let plan = place_function(
                 &PlaceCtx {
@@ -504,7 +503,7 @@ impl Rewriter {
                 })?;
             }
         }
-        let placement_ns = t_placement.elapsed().as_nanos() as u64;
+        placement_span.close();
 
         // ----- runtime maps --------------------------------------------------
         let mut map_end = scratch_end;
@@ -607,29 +606,8 @@ impl Rewriter {
         } else {
             None
         };
-        let total_ns = t_total.elapsed().as_nanos() as u64;
-        let stats = RewriteStats {
-            threads: self.threads,
-            analysis_memo_hit: run.memo_hit,
-            analysis_rounds: run.rounds,
-            func_analyses: run.func_stats,
-            fragments: frag_stats,
-            emits: emit_stats,
-            liveness: liveness_stats,
-            timings: crate::cache::StageTimings {
-                analysis_ns,
-                relocate_ns,
-                placement_ns,
-                assemble_ns: total_ns.saturating_sub(analysis_ns + relocate_ns + placement_ns),
-                total_ns,
-            },
-            slowest: {
-                let mut samples = run.func_times.clone();
-                samples.extend_from_slice(&reloc_times);
-                crate::cache::slowest_of(&samples)
-            },
-            store: cache.store_stats().delta_since(&store_before),
-        };
+        rewrite_span.close();
+        let stats = trace.rewrite_stats_since(&snap, self.threads, cache.store_src());
         Ok(RewriteOutcome {
             binary: out,
             report,

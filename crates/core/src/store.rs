@@ -57,12 +57,12 @@
 //! reader racing a writer sees either the old or the new segment set,
 //! both self-validating.
 
+use crate::trace::{SpanKind, StoreOp, StoreSrc, Trace, TraceEvent};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Segment file magic.
@@ -209,18 +209,31 @@ impl std::fmt::Display for StoreEvent {
     }
 }
 
-/// Persistent-store counters. All monotonically increasing over the
-/// store's lifetime; [`RewriteStats`](crate::RewriteStats) carries the
-/// per-rewrite delta.
+/// Persistent-store counters — a projection of the unified trace
+/// stream (see [`Registry`](crate::trace::Registry)), all
+/// monotonically increasing over the store's lifetime;
+/// [`RewriteStats`](crate::RewriteStats) carries the per-rewrite
+/// delta. Conservation between the fields
+/// (`hits + misses + lookup_quarantines == lookups`) is asserted in
+/// exactly one place, [`Registry::check`](crate::trace::Registry::check).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct StoreStats {
+    /// Backend lookups started (every `get` entry path, including
+    /// lookups served while the store is disabled or degraded).
+    #[serde(default)]
+    pub lookups: u64,
     /// Lookups served from the persisted store.
     pub hits: u64,
     /// Persisted lookups that found nothing. A lookup whose payload was
-    /// present but unusable counts under `quarantined_records` instead,
+    /// present but unusable counts under `lookup_quarantines` instead,
     /// never here — hits, misses and lookup-time quarantines are
     /// disjoint.
     pub misses: u64,
+    /// Lookups whose payload was present but unusable (decode failure,
+    /// re-validation mismatch): the earlier hit re-classified. Always a
+    /// subset of `quarantined_records`.
+    #[serde(default)]
+    pub lookup_quarantines: u64,
     /// Records loaded from disk (across all loads/reloads).
     pub records_loaded: u64,
     /// Segments loaded cleanly.
@@ -268,8 +281,10 @@ impl StoreStats {
     #[must_use]
     pub fn delta_since(&self, earlier: &StoreStats) -> StoreStats {
         StoreStats {
+            lookups: self.lookups - earlier.lookups,
             hits: self.hits - earlier.hits,
             misses: self.misses - earlier.misses,
+            lookup_quarantines: self.lookup_quarantines - earlier.lookup_quarantines,
             records_loaded: self.records_loaded - earlier.records_loaded,
             segments_loaded: self.segments_loaded - earlier.segments_loaded,
             quarantined_records: self.quarantined_records - earlier.quarantined_records,
@@ -413,30 +428,16 @@ enum FlushOnce {
     Transient,
 }
 
-/// Counter block (atomics so the hot lookup path never takes the big
-/// lock just to count).
-#[derive(Default)]
-struct Counters {
-    hits: AtomicU64,
-    misses: AtomicU64,
-    records_loaded: AtomicU64,
-    segments_loaded: AtomicU64,
-    quarantined_records: AtomicU64,
-    quarantined_segments: AtomicU64,
-    flushed_records: AtomicU64,
-    flushes: AtomicU64,
-    io_errors: AtomicU64,
-    lock_timeouts: AtomicU64,
-    retries: AtomicU64,
-}
-
 /// The crash-safe persistent rewrite-cache store. Open one per cache
 /// directory and attach it with
 /// [`RewriteCache::with_store`](crate::RewriteCache::with_store).
+/// All counting goes through the unified [`Trace`] spine; `stats()` is
+/// the registry's [`StoreSrc`]-scoped projection.
 pub struct CacheStore {
     dir: PathBuf,
     inner: Mutex<Inner>,
-    counters: Counters,
+    trace: Arc<Trace>,
+    src: StoreSrc,
     /// Writer role: the advisory lock was acquired at open.
     writer: bool,
     /// Hard-disabled after an unrecoverable I/O error at open.
@@ -501,17 +502,32 @@ impl CacheStore {
     /// [`CacheStore::open`] with an explicit lock timeout (tests).
     #[must_use]
     pub fn open_with_timeout(dir: &Path, lock_wait: Duration) -> CacheStore {
+        CacheStore::open_traced(dir, lock_wait, Trace::new(), StoreSrc::Local)
+    }
+
+    /// Open the store onto an existing trace spine, attributing its
+    /// events to `src`. This is how a [`RemoteStore`](crate::net::RemoteStore)
+    /// shares one registry with its local hedge store while keeping
+    /// the two backends' [`StoreStats`] separate.
+    #[must_use]
+    pub fn open_traced(
+        dir: &Path,
+        lock_wait: Duration,
+        trace: Arc<Trace>,
+        src: StoreSrc,
+    ) -> CacheStore {
         let mut store = CacheStore {
             dir: dir.to_path_buf(),
             inner: Mutex::new(Inner::default()),
-            counters: Counters::default(),
+            trace,
+            src,
             writer: false,
             disabled: false,
         };
         if let Err(e) = std::fs::create_dir_all(dir) {
             store.disabled = true;
             store.event(StoreEventKind::IoError, format!("create {}: {e}", dir.display()));
-            store.counters.io_errors.fetch_add(1, Ordering::Relaxed);
+            store.emit(StoreOp::IoError);
             return store;
         }
         store.writer = store.acquire_lock(lock_wait);
@@ -525,17 +541,30 @@ impl CacheStore {
                 );
             }
         }
+        let loaded_before = store.trace.registry().store_stats(store.src).records_loaded;
         store.load_all();
+        let loaded = store.trace.registry().store_stats(store.src).records_loaded - loaded_before;
         store.event(
             StoreEventKind::Opened,
             format!(
-                "{} ({}, {} record(s))",
+                "{} ({}, {loaded} record(s))",
                 dir.display(),
                 if store.writer { "writer" } else { "read-only" },
-                store.counters.records_loaded.load(Ordering::Relaxed)
             ),
         );
         store
+    }
+
+    /// The trace spine this store emits through.
+    #[must_use]
+    pub fn trace(&self) -> Arc<Trace> {
+        Arc::clone(&self.trace)
+    }
+
+    /// Emit one store operation onto the trace, tagged with this
+    /// store's source.
+    fn emit(&self, op: StoreOp) {
+        self.trace.emit(TraceEvent::Store { src: self.src, op });
     }
 
     /// The store directory.
@@ -550,26 +579,11 @@ impl CacheStore {
         self.writer
     }
 
-    /// Counter snapshot.
+    /// Counter snapshot — the registry projection for this store's
+    /// source.
     #[must_use]
     pub fn stats(&self) -> StoreStats {
-        StoreStats {
-            hits: self.counters.hits.load(Ordering::Relaxed),
-            misses: self.counters.misses.load(Ordering::Relaxed),
-            records_loaded: self.counters.records_loaded.load(Ordering::Relaxed),
-            segments_loaded: self.counters.segments_loaded.load(Ordering::Relaxed),
-            quarantined_records: self.counters.quarantined_records.load(Ordering::Relaxed),
-            quarantined_segments: self.counters.quarantined_segments.load(Ordering::Relaxed),
-            flushed_records: self.counters.flushed_records.load(Ordering::Relaxed),
-            flushes: self.counters.flushes.load(Ordering::Relaxed),
-            io_errors: self.counters.io_errors.load(Ordering::Relaxed),
-            lock_timeouts: self.counters.lock_timeouts.load(Ordering::Relaxed),
-            retries: self.counters.retries.load(Ordering::Relaxed),
-            remote_hits: 0,
-            remote_misses: 0,
-            breaker_trips: 0,
-            degraded: 0,
-        }
+        self.trace.registry().store_stats(self.src)
     }
 
     /// Replace the transient-failure retry policy (default: the
@@ -647,7 +661,7 @@ impl CacheStore {
                         continue;
                     }
                     if Instant::now() >= deadline {
-                        self.counters.lock_timeouts.fetch_add(1, Ordering::Relaxed);
+                        self.emit(StoreOp::LockTimeout);
                         self.event(
                             StoreEventKind::LockTimeout,
                             format!("{} held by another process; read-only", path.display()),
@@ -657,7 +671,7 @@ impl CacheStore {
                     std::thread::sleep(Duration::from_millis(10));
                 }
                 Err(e) => {
-                    self.counters.io_errors.fetch_add(1, Ordering::Relaxed);
+                    self.emit(StoreOp::IoError);
                     self.event(StoreEventKind::IoError, format!("lock: {e}"));
                     return false;
                 }
@@ -737,7 +751,7 @@ impl CacheStore {
             let mut data = match std::fs::read(&path) {
                 Ok(d) => d,
                 Err(e) => {
-                    self.counters.io_errors.fetch_add(1, Ordering::Relaxed);
+                    self.emit(StoreOp::IoError);
                     self.event(StoreEventKind::IoError, format!("read {name}: {e}"));
                     return;
                 }
@@ -766,7 +780,7 @@ impl CacheStore {
                 break data;
             }
             attempt += 1;
-            self.counters.retries.fetch_add(1, Ordering::Relaxed);
+            self.emit(StoreOp::Retry);
             self.event(
                 StoreEventKind::FaultInjected,
                 format!("short read of {name}: re-reading (attempt {})", attempt + 1),
@@ -778,7 +792,7 @@ impl CacheStore {
         };
         match scan_segment(&data) {
             SegmentScan::BadHeader(reason) => {
-                self.counters.quarantined_segments.fetch_add(1, Ordering::Relaxed);
+                self.emit(StoreOp::SegmentQuarantined);
                 let kind = if reason.contains("version") || reason.contains("epoch") {
                     StoreEventKind::VersionMismatch
                 } else {
@@ -795,19 +809,16 @@ impl CacheStore {
                     inner.records.insert((stage, key), payload);
                 }
                 drop(inner);
-                self.counters.records_loaded.fetch_add(n, Ordering::Relaxed);
-                self.counters.segments_loaded.fetch_add(1, Ordering::Relaxed);
+                self.emit(StoreOp::Loaded { records: n });
                 if corrupt_records > 0 {
-                    self.counters
-                        .quarantined_records
-                        .fetch_add(corrupt_records, Ordering::Relaxed);
+                    self.emit(StoreOp::RecordsQuarantined { n: corrupt_records });
                     self.event(
                         StoreEventKind::ChecksumMismatch,
                         format!("{name}: {corrupt_records} corrupt record(s) quarantined"),
                     );
                 }
                 if truncated {
-                    self.counters.quarantined_records.fetch_add(1, Ordering::Relaxed);
+                    self.emit(StoreOp::RecordsQuarantined { n: 1 });
                     self.event(
                         StoreEventKind::TruncatedSegment,
                         format!("{name}: torn tail dropped"),
@@ -832,7 +843,13 @@ impl CacheStore {
 
     /// Fetch a verified payload. `None` counts as a persisted miss.
     pub(crate) fn get(&self, stage: Stage, key: u64) -> Option<Vec<u8>> {
+        self.emit(StoreOp::Lookup { stage });
         if self.disabled {
+            // A disabled store still answered the lookup (with a
+            // miss); not counting it here broke the
+            // hits+misses+quarantines == lookups conservation law the
+            // registry now asserts.
+            self.emit(StoreOp::Miss { stage });
             return None;
         }
         let inner = self.inner.lock().expect("store poisoned");
@@ -840,12 +857,12 @@ impl CacheStore {
             Some(payload) => {
                 let p = payload.clone();
                 drop(inner);
-                self.counters.hits.fetch_add(1, Ordering::Relaxed);
+                self.emit(StoreOp::Hit { stage });
                 Some(p)
             }
             None => {
                 drop(inner);
-                self.counters.misses.fetch_add(1, Ordering::Relaxed);
+                self.emit(StoreOp::Miss { stage });
                 None
             }
         }
@@ -860,8 +877,7 @@ impl CacheStore {
         let mut inner = self.inner.lock().expect("store poisoned");
         inner.records.remove(&(stage, key));
         drop(inner);
-        self.counters.hits.fetch_sub(1, Ordering::Relaxed);
-        self.counters.quarantined_records.fetch_add(1, Ordering::Relaxed);
+        self.emit(StoreOp::LookupQuarantine { stage });
         self.event(
             StoreEventKind::DecodeFailure,
             format!("{}:{key:#018x}: {why}", stage.name()),
@@ -892,7 +908,9 @@ impl CacheStore {
     /// another client before the next segment flush. Counts exactly
     /// like [`CacheStore::get`].
     pub(crate) fn get_queued(&self, stage: Stage, key: u64) -> Option<Vec<u8>> {
+        self.emit(StoreOp::Lookup { stage });
         if self.disabled {
+            self.emit(StoreOp::Miss { stage });
             return None;
         }
         let inner = self.inner.lock().expect("store poisoned");
@@ -906,11 +924,11 @@ impl CacheStore {
         drop(inner);
         match found {
             Some(p) => {
-                self.counters.hits.fetch_add(1, Ordering::Relaxed);
+                self.emit(StoreOp::Hit { stage });
                 Some(p)
             }
             None => {
-                self.counters.misses.fetch_add(1, Ordering::Relaxed);
+                self.emit(StoreOp::Miss { stage });
                 None
             }
         }
@@ -932,16 +950,24 @@ impl CacheStore {
         if self.disabled || !self.writer {
             return 0;
         }
+        if self.pending_len() == 0 {
+            return 0;
+        }
+        let span = self.trace.span(SpanKind::StoreFlush);
         let policy = self.retry_policy();
         let attempts = policy.max_attempts.max(1);
+        let mut flushed = 0;
         for attempt in 0..attempts {
             match self.flush_once() {
-                FlushOnce::Done(n) => return n,
+                FlushOnce::Done(n) => {
+                    flushed = n;
+                    break;
+                }
                 FlushOnce::Transient => {
                     if attempt + 1 == attempts {
-                        return 0; // budget exhausted: defer to a later flush
+                        break; // budget exhausted: defer to a later flush
                     }
-                    self.counters.retries.fetch_add(1, Ordering::Relaxed);
+                    self.emit(StoreOp::Retry);
                     let delay = policy.delay_ms(attempt + 1);
                     if delay > 0 {
                         std::thread::sleep(Duration::from_millis(delay));
@@ -949,7 +975,8 @@ impl CacheStore {
                 }
             }
         }
-        0
+        span.close();
+        flushed
     }
 
     fn flush_once(&self) -> FlushOnce {
@@ -977,7 +1004,7 @@ impl CacheStore {
             }
             if defer {
                 drop(inner);
-                self.counters.lock_timeouts.fetch_add(1, Ordering::Relaxed);
+                self.emit(StoreOp::LockTimeout);
                 self.event(
                     StoreEventKind::FaultInjected,
                     "injected lock contention: flush deferred".to_string(),
@@ -1032,8 +1059,7 @@ impl CacheStore {
                     inner.records.insert((p.stage, p.key), p.payload);
                 }
                 drop(inner);
-                self.counters.flushes.fetch_add(1, Ordering::Relaxed);
-                self.counters.flushed_records.fetch_add(records as u64, Ordering::Relaxed);
+                self.emit(StoreOp::Flushed { records: records as u64 });
                 self.event(
                     StoreEventKind::Flushed,
                     format!("{records} record(s) -> {name}"),
@@ -1046,7 +1072,7 @@ impl CacheStore {
                 let mut inner = self.inner.lock().expect("store poisoned");
                 inner.pending.extend(pending);
                 drop(inner);
-                self.counters.io_errors.fetch_add(1, Ordering::Relaxed);
+                self.emit(StoreOp::IoError);
                 self.event(StoreEventKind::IoError, format!("flush {name}: {e}"));
                 FlushOnce::Transient
             }
@@ -1059,7 +1085,7 @@ impl CacheStore {
 
     fn write_index(&self) {
         if let Err(e) = write_index_file(&self.dir) {
-            self.counters.io_errors.fetch_add(1, Ordering::Relaxed);
+            self.emit(StoreOp::IoError);
             self.event(StoreEventKind::IoError, format!("index: {e}"));
         }
     }
@@ -1122,6 +1148,15 @@ pub trait StoreBackend: Send + Sync {
     }
     /// Replace the transient-failure retry policy.
     fn set_retry_policy(&self, policy: crate::retry::RetryPolicy);
+    /// The trace spine this backend emits through.
+    /// [`RewriteCache::with_backend`](crate::RewriteCache::with_backend)
+    /// adopts it, so cache-level and store-level events share one
+    /// registry.
+    fn trace(&self) -> Arc<Trace>;
+    /// Which [`StoreSrc`] slot this backend's events land in.
+    fn trace_src(&self) -> StoreSrc {
+        StoreSrc::Local
+    }
 }
 
 impl StoreBackend for CacheStore {
@@ -1167,6 +1202,14 @@ impl StoreBackend for CacheStore {
 
     fn set_retry_policy(&self, policy: crate::retry::RetryPolicy) {
         CacheStore::set_retry_policy(self, policy);
+    }
+
+    fn trace(&self) -> Arc<Trace> {
+        CacheStore::trace(self)
+    }
+
+    fn trace_src(&self) -> StoreSrc {
+        self.src
     }
 }
 

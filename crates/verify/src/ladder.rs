@@ -28,7 +28,7 @@ use icfgp_cfg::AnalysisFailure;
 use icfgp_core::journal::{JournalDemotion, JournalReplay, RoundRecord, RunJournal};
 use icfgp_core::{
     apply_audit_gate, FuncMode, GateSummary, Instrumentation, RewriteCache, RewriteConfig,
-    RewriteError, RewriteOutcome, RewriteStats, Rewriter, SkipReason,
+    RewriteError, RewriteOutcome, RewriteStats, Rewriter, SkipReason, SpanKind, TraceEvent,
 };
 use icfgp_obj::Binary;
 use serde::{Deserialize, Serialize};
@@ -284,7 +284,9 @@ pub fn rewrite_with_ladder_supervised(
         }
     }
 
+    let trace = cache.trace();
     for round in replayed + 1..=MAX_ROUNDS {
+        let round_span = trace.span(SpanKind::Round { round: round as u32 });
         let outcome = Rewriter::new(cfg.clone()).rewrite_cached(binary, instr, cache)?;
         round_stats.push(outcome.stats);
         let verify = verify_rewrite(binary, &outcome, &cfg)?;
@@ -301,8 +303,10 @@ pub fn rewrite_with_ladder_supervised(
                 // cross-check the completion record against it.
                 let _ = journal
                     .append_round(&RoundRecord { round: round as u32, demotions: Vec::new() });
+                trace.emit(TraceEvent::JournalAppend { round: round as u32 });
                 let _ = journal.append_complete(round as u32);
             }
+            round_span.close();
             return Ok(finish(
                 config,
                 &cfg,
@@ -373,6 +377,12 @@ pub fn rewrite_with_ladder_supervised(
                 .entry(entry)
                 .or_default()
                 .push(LadderStep { from: cur, to: next, reason: reason.clone() });
+            trace.emit(TraceEvent::Demotion {
+                entry,
+                round: round as u32,
+                from: cur.to_string(),
+                to: next.to_string(),
+            });
             demotions.push(JournalDemotion { entry, from: cur, to: next, reason });
             cfg.func_modes.insert(entry, next);
             lowered = true;
@@ -393,7 +403,9 @@ pub fn rewrite_with_ladder_supervised(
                 round: round as u32,
                 demotions,
             });
+            trace.emit(TraceEvent::JournalAppend { round: round as u32 });
         }
+        round_span.close();
         if supervisor.abort_after_rounds.is_some_and(|k| round - replayed >= k) {
             return Err(LadderError::Interrupted { rounds: round });
         }

@@ -34,7 +34,6 @@ use icfgp_isa::Arch;
 use icfgp_obj::Binary;
 use icfgp_verify::rewrite_with_ladder_cached;
 use serde::{Deserialize, Serialize};
-use std::time::Instant;
 
 /// One workload's measurements.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -132,8 +131,11 @@ pub struct BenchReport {
     pub fleet: Vec<FleetBench>,
 }
 
-fn ms(d: std::time::Duration) -> f64 {
-    d.as_secs_f64() * 1e3
+/// Milliseconds from a trace-span nanosecond total. Every timing
+/// column is the rewrite span the engine records anyway — there is no
+/// separate stopwatch path to drift from what `--trace` reports.
+fn span_ms(ns: u64) -> f64 {
+    ns as f64 / 1e6
 }
 
 /// Benchmark one workload. The fault seed drives the ladder
@@ -144,25 +146,22 @@ fn bench_one(name: &str, arch: Arch, binary: &Binary, seed: u64) -> WorkloadBenc
 
     // Cold, one thread.
     let serial = Rewriter::new(config.clone()).with_threads(1);
-    let t = Instant::now();
     let out_serial = serial.rewrite(binary, &instr).expect("serial rewrite");
-    let cold_serial = t.elapsed();
+    let cold_serial = out_serial.stats.timings.total_ns;
 
     // Cold, parallel, fresh cache (kept for the warm run).
     let parallel = Rewriter::new(config.clone());
     let cache = RewriteCache::new();
-    let t = Instant::now();
     let out_cold = parallel
         .rewrite_cached(binary, &instr, &cache)
         .expect("cold rewrite");
-    let cold_parallel = t.elapsed();
+    let cold_parallel = out_cold.stats.timings.total_ns;
 
     // Warm: everything per-function should come from the cache.
-    let t = Instant::now();
     let out_warm = parallel
         .rewrite_cached(binary, &instr, &cache)
         .expect("warm rewrite");
-    let warm = t.elapsed();
+    let warm = out_warm.stats.timings.total_ns;
 
     // Persisted: flush everything the cold run computed into a fresh
     // store directory, reopen it in a brand-new cache (simulating a
@@ -183,11 +182,10 @@ fn bench_one(name: &str, arch: Arch, binary: &Binary, seed: u64) -> WorkloadBenc
         // Dropping `persist` releases the writer lock.
     }
     let disk = RewriteCache::with_store(std::sync::Arc::new(CacheStore::open(&store_dir)));
-    let t = Instant::now();
     let out_disk = parallel
         .rewrite_cached(binary, &instr, &disk)
         .expect("persisted rewrite");
-    let persisted = t.elapsed();
+    let persisted = out_disk.stats.timings.total_ns;
     let persisted_hit_rate = out_disk.stats.store.hit_rate();
     let persisted_quarantined = out_disk.stats.store.quarantined_records
         + out_disk.stats.store.quarantined_segments;
@@ -205,11 +203,10 @@ fn bench_one(name: &str, arch: Arch, binary: &Binary, seed: u64) -> WorkloadBenc
             &url,
             RemoteOptions::default(),
         )));
-        let t = Instant::now();
         let out = parallel
             .rewrite_cached(binary, &instr, &rcache)
             .expect("remote rewrite");
-        let remote = t.elapsed();
+        let remote = out.stats.timings.total_ns;
         let rate = out.stats.store.hit_rate();
         drop(rcache);
         server.kill();
@@ -264,18 +261,18 @@ fn bench_one(name: &str, arch: Arch, binary: &Binary, seed: u64) -> WorkloadBenc
         workload: name.to_string(),
         arch: arch.to_string(),
         funcs: out_cold.report.instrumented_funcs,
-        cold_serial_ms: ms(cold_serial),
-        cold_parallel_ms: ms(cold_parallel),
-        warm_ms: ms(warm),
-        persisted_ms: ms(persisted),
+        cold_serial_ms: span_ms(cold_serial),
+        cold_parallel_ms: span_ms(cold_parallel),
+        warm_ms: span_ms(warm),
+        persisted_ms: span_ms(persisted),
         persisted_hit_rate,
         persisted_quarantined,
-        remote_ms: ms(remote),
+        remote_ms: span_ms(remote),
         remote_hit_rate,
-        parallel_speedup: ms(cold_serial) / ms(cold_parallel).max(1e-9),
-        warm_speedup: ms(cold_parallel) / ms(warm).max(1e-9),
+        parallel_speedup: span_ms(cold_serial) / span_ms(cold_parallel).max(1e-9),
+        warm_speedup: span_ms(cold_parallel) / span_ms(warm).max(1e-9),
         funcs_per_sec: out_cold.report.instrumented_funcs as f64
-            / cold_parallel.as_secs_f64().max(1e-9),
+            / (cold_parallel as f64 / 1e9).max(1e-9),
         warm_hit_rate,
         byte_identical,
         ladder_rounds,
@@ -297,11 +294,11 @@ fn fleet_variant(arch: Arch, perturb: u64) -> Binary {
 }
 
 /// Benchmark cross-binary sharing over a fleet of near-identical
-/// variants. Both columns pay store persistence — the comparison is
-/// N separate `--cache-dir` runs, each with its own fresh store,
-/// against one run over a single shared store — so the delta
-/// isolates what cross-binary sharing buys, not what persistence
-/// costs.
+/// variants: N separate `--cache-dir` runs, each with its own fresh
+/// store, against one run over a single shared store. Both columns
+/// sum the per-variant rewrite spans (store open/flush excluded from
+/// both), so the delta isolates what cross-binary sharing buys, not
+/// what persistence costs.
 fn bench_fleet(arch: Arch, variants: usize) -> FleetBench {
     let instr = Instrumentation::empty(Points::EveryBlock);
     let rw = Rewriter::new(RewriteConfig::new(RewriteMode::FuncPtr));
@@ -313,8 +310,10 @@ fn bench_fleet(arch: Arch, variants: usize) -> FleetBench {
         ))
     };
 
-    // Cold reference: every variant through its own fresh store.
-    let t = Instant::now();
+    // Cold reference: every variant through its own fresh store. The
+    // column is the sum of the variants' rewrite spans — store
+    // open/flush is outside the span in both columns, so the delta
+    // still isolates what cross-binary sharing buys.
     let colds: Vec<_> = binaries
         .iter()
         .enumerate()
@@ -327,7 +326,7 @@ fn bench_fleet(arch: Arch, variants: usize) -> FleetBench {
             out
         })
         .collect();
-    let cold_total = t.elapsed();
+    let cold_total: u64 = colds.iter().map(|o| o.stats.timings.total_ns).sum();
     for i in 0..variants {
         let _ = std::fs::remove_dir_all(dir_of("cold", i));
     }
@@ -336,13 +335,12 @@ fn bench_fleet(arch: Arch, variants: usize) -> FleetBench {
     let store_dir = dir_of("shared", 0);
     let _ = std::fs::remove_dir_all(&store_dir);
     let shared = RewriteCache::with_store(std::sync::Arc::new(CacheStore::open(&store_dir)));
-    let t = Instant::now();
     let outs: Vec<_> = binaries
         .iter()
         .map(|b| rw.rewrite_cached(b, &instr, &shared).expect("fleet variant"))
         .collect();
     shared.flush_store();
-    let fleet_total = t.elapsed();
+    let fleet_total: u64 = outs.iter().map(|o| o.stats.timings.total_ns).sum();
     drop(shared);
     let _ = std::fs::remove_dir_all(&store_dir);
 
@@ -361,9 +359,9 @@ fn bench_fleet(arch: Arch, variants: usize) -> FleetBench {
         workload: "small+fillers".to_string(),
         arch: arch.to_string(),
         variants,
-        cold_total_ms: ms(cold_total),
-        fleet_total_ms: ms(fleet_total),
-        fleet_speedup: ms(cold_total) / ms(fleet_total).max(1e-9),
+        cold_total_ms: span_ms(cold_total),
+        fleet_total_ms: span_ms(fleet_total),
+        fleet_speedup: span_ms(cold_total) / span_ms(fleet_total).max(1e-9),
         warm_hit_rate: if total == 0 { 1.0 } else { hits as f64 / total as f64 },
         shared_hits,
         byte_identical,

@@ -17,9 +17,9 @@ use incremental_cfg_patching::chaos::{
 use incremental_cfg_patching::cfg::{analyze, AnalysisConfig, FuncStatus};
 use incremental_cfg_patching::core::{
     apply_audit_gate, audit_mode_of, binary_fingerprint, config_fingerprint, parse_store_url,
-    pool, serve, store, CacheStore, CorruptKind, FaultPlan, Instrumentation, Points,
-    RemoteOptions, RemoteStore, RewriteCache, RewriteConfig, RewriteMode, RunJournal,
-    ServeOptions, StoreBackend, UnwindStrategy,
+    pool, serve, store, trace, CacheStore, CorruptKind, FaultPlan, Instrumentation, JsonlSink,
+    Points, RemoteOptions, RemoteStore, RewriteCache, RewriteConfig, RewriteMode, RunJournal,
+    ServeOptions, SpanKind, StoreBackend, StoreSrc, Trace, UnwindStrategy,
 };
 use incremental_cfg_patching::emu::{run, LoadOptions, Outcome};
 use incremental_cfg_patching::isa::Arch;
@@ -47,21 +47,25 @@ USAGE:
                      [--no-poison] [--points <blocks|entries|none>]
                      [--fault-seed N] [--intensity <none|quiet|standard|aggressive>]
                      [--floor <dir|jt|func-ptr|trap-only|skip>] [--budget FRAC]
-                     [--audit-gate] [--cache-dir DIR] [--stats]
-                     [--func-timeout-ms N] [--journal FILE [--resume]] -o FILE
+                     [--audit-gate] [--cache-dir DIR] [--stats] [--trace FILE]
+                     [--quiet] [--func-timeout-ms N]
+                     [--journal FILE [--resume]] -o FILE
   icfgp verify FILE [--mode <dir|jt|func-ptr>] [--unwind <ra|emulate|none>]
                     [--no-poison] [--points <blocks|entries|none>]
                     [--fault-seed N] [--intensity I] [--floor F] [--budget FRAC]
-                    [--cache-dir DIR] [--json]
-  icfgp fleet FILES... [--cache-dir DIR] [rewrite options]
+                    [--cache-dir DIR] [--trace FILE] [--json]
+  icfgp fleet FILES... [--cache-dir DIR] [--trace FILE] [--quiet]
+              [rewrite options]
   icfgp run FILE [--preload-runtime] [--bias HEX] [--fuel N]
   icfgp chaos [--seeds N] [--workloads A,B] [--arch A] [--mode M]
               [--intensity I] [--floor F] [--budget FRAC] [--cache-dir DIR]
-              [--kill-resume] [--net] [--json]
-  icfgp cache <stats|verify|clear|compact> --cache-dir DIR
+              [--kill-resume] [--net] [--trace FILE] [--quiet] [--json]
+  icfgp cache <stats|verify|clear|compact> --cache-dir DIR [--trace FILE]
   icfgp cache stats --store-url icfgp://HOST:PORT
   icfgp cache serve HOST:PORT --cache-dir DIR
   icfgp cache corrupt --cache-dir DIR --kind <bit-flip|truncate|stale-version> [--seed N]
+  icfgp trace summarize FILE
+  icfgp trace diff A B
   icfgp bench-rewrite [--quick] [-o FILE]   (default FILE: BENCH_rewrite.json)
   icfgp list-workloads
 
@@ -82,6 +86,20 @@ timings and the five slowest functions; `ICFGP_THREADS=N` overrides
 the worker-pool width (output bytes are identical for any N; invalid
 values are rejected with exit code 64, as are non-integer
 `ICFGP_STORE_LOCK_MS` / `ICFGP_FUNC_TIMEOUT_MS` values).
+
+`--trace FILE` (or `ICFGP_TRACE`) records the structured event spine
+— spans (run, rewrite, analysis rounds, store flushes), cache
+lookups, demotions, retries, breaker trips, lease fences, journal
+appends — as newline-delimited JSON. The stream is sealed into a
+deterministic address-ordered form: bytes are identical for any
+`ICFGP_THREADS`, and rewriting output is identical with tracing on or
+off. `icfgp trace summarize FILE` folds a recorded stream back
+through the metrics registry (top spans, per-stage cache histogram,
+counter totals) and exits 1 if the store conservation laws
+(`hits + misses + quarantines == lookups`) are violated; `icfgp
+trace diff A B` prints per-counter deltas between two streams (warm
+vs cold, for instance). `--quiet`/`-q` on `rewrite`, `fleet` and
+`chaos` suppresses non-error stdout — exit codes stay the contract.
 
 `--func-timeout-ms N` (or `ICFGP_FUNC_TIMEOUT_MS`) arms the
 per-function watchdog: a function whose analysis overruns the budget
@@ -157,6 +175,38 @@ fn store_url(args: &[String]) -> Option<String> {
     arg_value(args, "--store-url")
         .or_else(|| std::env::var("ICFGP_STORE_URL").ok())
         .filter(|s| !s.trim().is_empty())
+}
+
+/// The structured-trace output file: `--trace FILE` wins, then the
+/// `ICFGP_TRACE` environment variable, else the spine stays
+/// counting-only (no stream buffer).
+fn trace_path(args: &[String]) -> Option<PathBuf> {
+    arg_value(args, "--trace")
+        .or_else(|| std::env::var("ICFGP_TRACE").ok())
+        .filter(|s| !s.trim().is_empty())
+        .map(PathBuf::from)
+}
+
+/// `--quiet`/`-q`: suppress non-error stdout. Exit codes are the
+/// contract; errors and store events still go to stderr.
+fn is_quiet(args: &[String]) -> bool {
+    has_flag(args, "--quiet") || has_flag(args, "-q")
+}
+
+/// Arm stream recording on a command's trace spine when `--trace` /
+/// `ICFGP_TRACE` asks for it; returns the output path.
+fn arm_trace(args: &[String], cache: &RewriteCache) -> Option<PathBuf> {
+    let path = trace_path(args)?;
+    cache.trace().record();
+    Some(path)
+}
+
+/// Seal the recorded stream and write it as JSONL to `path`.
+fn write_trace(trace: &Trace, path: &std::path::Path) -> Result<(), String> {
+    let f = std::fs::File::create(path)
+        .map_err(|e| format!("trace {}: {e}", path.display()))?;
+    let mut sink = JsonlSink::new(std::io::BufWriter::new(f));
+    trace.drain(&mut sink).map_err(|e| format!("trace {}: {e}", path.display()))
 }
 
 /// Build the rewrite cache for a command: attached to the remote store
@@ -419,66 +469,11 @@ fn print_dispositions(ladder: &incremental_cfg_patching::verify::LadderOutcome) 
 }
 
 /// Print the per-round incremental-engine counters (`rewrite --stats`).
-/// The `shared:` counter distinguishes weak-key hits first computed
-/// for a *different* binary (cross-binary sharing) from strong-key
-/// hits warmed by this binary's own earlier rounds.
+/// The text itself is a registry projection rendered by
+/// [`trace::render_stats_text`]; the `shared` counter distinguishes
+/// weak-key hits first computed for a *different* binary.
 fn print_stats(round_stats: &[incremental_cfg_patching::core::RewriteStats]) {
-    fn stage(name: &str, s: &incremental_cfg_patching::core::StageStats) -> String {
-        if s.shared > 0 {
-            format!(
-                "{name} {}/{} hit ({:.0}%, shared: {})",
-                s.hits,
-                s.total(),
-                s.hit_rate() * 100.0,
-                s.shared
-            )
-        } else {
-            format!("{name} {}/{} hit ({:.0}%)", s.hits, s.total(), s.hit_rate() * 100.0)
-        }
-    }
-    for (i, s) in round_stats.iter().enumerate() {
-        println!(
-            "  stats r{:<2}: {} thread(s), analysis {} ({} round(s)), {}, {}, {}, {}",
-            i + 1,
-            s.threads,
-            if s.analysis_memo_hit { "memoised" } else { "computed" },
-            s.analysis_rounds,
-            stage("funcs", &s.func_analyses),
-            stage("frags", &s.fragments),
-            stage("emits", &s.emits),
-            stage("live", &s.liveness),
-        );
-        let t = &s.timings;
-        println!(
-            "             analysis {:.2}ms, relocate {:.2}ms, placement {:.2}ms, \
-             assemble {:.2}ms, total {:.2}ms",
-            t.analysis_ns as f64 / 1e6,
-            t.relocate_ns as f64 / 1e6,
-            t.placement_ns as f64 / 1e6,
-            t.assemble_ns as f64 / 1e6,
-            t.total_ns as f64 / 1e6,
-        );
-        let slow: Vec<String> = s
-            .slowest
-            .iter()
-            .filter(|(_, ns)| *ns > 0)
-            .map(|(entry, ns)| format!("{entry:#x} {:.2}ms", *ns as f64 / 1e6))
-            .collect();
-        if !slow.is_empty() {
-            println!("             slowest: {}", slow.join(", "));
-        }
-        if s.store.total() > 0 || s.store.quarantined_records > 0 {
-            println!(
-                "             persisted: {}/{} hit ({:.0}%), {} quarantined record(s), \
-                 {} quarantined segment(s)",
-                s.store.hits,
-                s.store.total(),
-                s.store.hit_rate() * 100.0,
-                s.store.quarantined_records,
-                s.store.quarantined_segments,
-            );
-        }
-    }
+    print!("{}", trace::render_stats_text(round_stats));
 }
 
 /// Print the predictive-gate summary a gated ladder run carries.
@@ -508,6 +503,9 @@ fn cmd_audit(args: &[String]) -> Result<u8, String> {
     let (config, _) = parse_rewrite_config(args)?;
     let mode = audit_mode_of(config.mode);
     let cache = open_cache(args);
+    let tpath = arm_trace(args, &cache);
+    let spine = cache.trace();
+    let run_span = tpath.as_ref().map(|_| spine.span(SpanKind::Run));
     let mut cfg = config;
     if let Some(plan) = cfg.fault_plan.clone() {
         // Audit the same faulted analysis a rewrite would see.
@@ -528,6 +526,12 @@ fn cmd_audit(args: &[String]) -> Result<u8, String> {
         }
     }
     finish_cache(&cache, format != "text");
+    if let Some(s) = run_span {
+        s.close();
+    }
+    if let Some(p) = &tpath {
+        write_trace(&spine, p)?;
+    }
     Ok(u8::from(!report.is_clean(mode)))
 }
 
@@ -593,45 +597,60 @@ fn cmd_rewrite(args: &[String]) -> Result<u8, String> {
         resume: replay.as_ref(),
         abort_after_rounds: None,
     };
+    let quiet = is_quiet(args);
     let cache = open_cache(args);
+    let tpath = arm_trace(args, &cache);
+    let spine = cache.trace();
+    let run_span = tpath.as_ref().map(|_| spine.span(SpanKind::Run));
     let (ladder, code) = run_ladder(&binary, &config, points, &cache, &supervisor)?;
     save_binary(&ladder.outcome.binary, &out)?;
-    let r = &ladder.outcome.report;
-    println!("rewrote {path} -> {out} ({mode} mode)");
-    println!("  coverage   : {:.2}%", r.coverage * 100.0);
-    println!(
-        "  trampolines: {} ({} short, {} long, {} multi-hop, {} trap)",
-        r.trampolines(),
-        r.tramp_short,
-        r.tramp_long,
-        r.tramp_multi_hop,
-        r.tramp_trap
-    );
-    println!("  cloned jump tables: {}", r.cloned_tables);
-    println!("  ra-map entries    : {}", r.ra_map_entries);
-    println!("  size       : {} -> {} (+{:.2}%)", r.original_size, r.rewritten_size,
-        r.size_increase() * 100.0);
-    println!(
-        "  verify     : {} error(s), {} warning(s) over {} trampolines, {} patches, {} clones",
-        ladder.verify.errors().count(),
-        ladder.verify.warnings().count(),
-        ladder.verify.trampolines_checked,
-        ladder.verify.patches_checked,
-        ladder.verify.clones_checked
-    );
-    print_dispositions(&ladder);
-    print_gate(&ladder);
-    if ladder.resumed_rounds > 0 {
+    if !quiet {
+        let r = &ladder.outcome.report;
+        println!("rewrote {path} -> {out} ({mode} mode)");
+        println!("  coverage   : {:.2}%", r.coverage * 100.0);
         println!(
-            "  resumed    : {} journaled round(s) replayed, {} executed",
-            ladder.resumed_rounds,
-            ladder.rounds - ladder.resumed_rounds
+            "  trampolines: {} ({} short, {} long, {} multi-hop, {} trap)",
+            r.trampolines(),
+            r.tramp_short,
+            r.tramp_long,
+            r.tramp_multi_hop,
+            r.tramp_trap
         );
+        println!("  cloned jump tables: {}", r.cloned_tables);
+        println!("  ra-map entries    : {}", r.ra_map_entries);
+        println!("  size       : {} -> {} (+{:.2}%)", r.original_size, r.rewritten_size,
+            r.size_increase() * 100.0);
+        println!(
+            "  verify     : {} error(s), {} warning(s) over {} trampolines, {} patches, {} clones",
+            ladder.verify.errors().count(),
+            ladder.verify.warnings().count(),
+            ladder.verify.trampolines_checked,
+            ladder.verify.patches_checked,
+            ladder.verify.clones_checked
+        );
+        print_dispositions(&ladder);
+        print_gate(&ladder);
+        if ladder.resumed_rounds > 0 {
+            println!(
+                "  resumed    : {} journaled round(s) replayed, {} executed",
+                ladder.resumed_rounds,
+                ladder.rounds - ladder.resumed_rounds
+            );
+        }
+        if has_flag(args, "--stats") {
+            print_stats(&ladder.round_stats);
+        }
     }
-    if has_flag(args, "--stats") {
-        print_stats(&ladder.round_stats);
+    finish_cache(&cache, quiet);
+    if let Some(s) = run_span {
+        s.close();
     }
-    finish_cache(&cache, false);
+    if let Some(p) = &tpath {
+        write_trace(&spine, p)?;
+        if !quiet {
+            println!("  trace      : {}", p.display());
+        }
+    }
     Ok(code)
 }
 
@@ -653,7 +672,11 @@ fn cmd_fleet(args: &[String]) -> Result<u8, String> {
         return Ok(64);
     }
     let (config, points) = parse_rewrite_config(args)?;
+    let quiet = is_quiet(args);
     let cache = open_cache(args);
+    let tpath = arm_trace(args, &cache);
+    let spine = cache.trace();
+    let run_span = tpath.as_ref().map(|_| spine.span(SpanKind::Run));
     const STAGES: [&str; 4] = ["funcs", "frags", "emits", "live"];
     // Per stage: [hits, misses, shared].
     let mut agg = [[0u64; 3]; 4];
@@ -679,17 +702,30 @@ fn cmd_fleet(args: &[String]) -> Result<u8, String> {
                 *av += pv;
             }
         }
-        let cells: Vec<String> = STAGES
-            .iter()
-            .zip(per.iter())
-            .map(|(n, v)| fleet_cell(n, v))
-            .collect();
-        println!("[{}/{}] {path} -> {out}: {}", fi + 1, files.len(), cells.join(", "));
+        if !quiet {
+            let cells: Vec<String> = STAGES
+                .iter()
+                .zip(per.iter())
+                .map(|(n, v)| fleet_cell(n, v))
+                .collect();
+            println!("[{}/{}] {path} -> {out}: {}", fi + 1, files.len(), cells.join(", "));
+        }
     }
-    let cells: Vec<String> =
-        STAGES.iter().zip(agg.iter()).map(|(n, v)| fleet_cell(n, v)).collect();
-    println!("fleet: {} binaries — {}", files.len(), cells.join(", "));
-    finish_cache(&cache, false);
+    if !quiet {
+        let cells: Vec<String> =
+            STAGES.iter().zip(agg.iter()).map(|(n, v)| fleet_cell(n, v)).collect();
+        println!("fleet: {} binaries — {}", files.len(), cells.join(", "));
+    }
+    finish_cache(&cache, quiet);
+    if let Some(s) = run_span {
+        s.close();
+    }
+    if let Some(p) = &tpath {
+        write_trace(&spine, p)?;
+        if !quiet {
+            println!("  trace      : {}", p.display());
+        }
+    }
     Ok(code)
 }
 
@@ -705,6 +741,9 @@ fn cmd_verify(args: &[String]) -> Result<u8, String> {
     let binary = load_binary(path)?;
     let (config, points) = parse_rewrite_config(args)?;
     let cache = open_cache(args);
+    let tpath = arm_trace(args, &cache);
+    let spine = cache.trace();
+    let run_span = tpath.as_ref().map(|_| spine.span(SpanKind::Run));
     let (ladder, code) = run_ladder(&binary, &config, points, &cache, &Supervisor::default())?;
     let report = &ladder.verify;
     if has_flag(args, "--json") {
@@ -727,6 +766,12 @@ fn cmd_verify(args: &[String]) -> Result<u8, String> {
         print_gate(&ladder);
     }
     finish_cache(&cache, has_flag(args, "--json"));
+    if let Some(s) = run_span {
+        s.close();
+    }
+    if let Some(p) = &tpath {
+        write_trace(&spine, p)?;
+    }
     Ok(code)
 }
 
@@ -768,9 +813,14 @@ fn cmd_chaos_kill(args: &[String]) -> Result<u8, String> {
     if let Some(dir) = cache_dir(args) {
         config.dir = dir;
     }
+    let quiet = is_quiet(args);
     let json = has_flag(args, "--json");
+    let tpath = trace_path(args);
+    let spine = tpath.as_ref().map(|_| Trace::recording());
+    config.trace = spine.clone();
+    let run_span = spine.as_deref().map(|t| t.span(SpanKind::Run));
     let report = run_kill_campaign(&config, |case| {
-        if !json {
+        if !json && !quiet {
             println!(
                 "{}/{}/{} seed {}: {} [{} round(s), {} kill point(s)]{}",
                 case.workload,
@@ -788,11 +838,19 @@ fn cmd_chaos_kill(args: &[String]) -> Result<u8, String> {
             );
         }
     })?;
-    if json {
-        println!("{}", serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?);
-    } else {
-        println!();
-        println!("{}", report.render());
+    if let Some(s) = run_span {
+        s.close();
+    }
+    if !quiet {
+        if json {
+            println!("{}", serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?);
+        } else {
+            println!();
+            println!("{}", report.render());
+        }
+    }
+    if let (Some(t), Some(p)) = (&spine, &tpath) {
+        write_trace(t, p)?;
     }
     Ok(report.exit_code())
 }
@@ -835,9 +893,14 @@ fn cmd_chaos_net(args: &[String]) -> Result<u8, String> {
     if let Some(dir) = cache_dir(args) {
         config.dir = dir;
     }
+    let quiet = is_quiet(args);
     let json = has_flag(args, "--json");
+    let tpath = trace_path(args);
+    let spine = tpath.as_ref().map(|_| Trace::recording());
+    config.trace = spine.clone();
+    let run_span = spine.as_deref().map(|t| t.span(SpanKind::Run));
     let report = run_net_campaign(&config, |case| {
-        if !json {
+        if !json && !quiet {
             println!(
                 "{}/{}/{} seed {}: {}{}",
                 case.workload,
@@ -860,11 +923,19 @@ fn cmd_chaos_net(args: &[String]) -> Result<u8, String> {
             );
         }
     })?;
-    if json {
-        println!("{}", serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?);
-    } else {
-        println!();
-        println!("{}", report.render());
+    if let Some(s) = run_span {
+        s.close();
+    }
+    if !quiet {
+        if json {
+            println!("{}", serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?);
+        } else {
+            println!();
+            println!("{}", report.render());
+        }
+    }
+    if let (Some(t), Some(p)) = (&spine, &tpath) {
+        write_trace(t, p)?;
     }
     Ok(report.exit_code())
 }
@@ -909,9 +980,14 @@ fn cmd_chaos(args: &[String]) -> Result<u8, String> {
             budget.parse().map_err(|_| format!("bad --budget {budget}"))?;
     }
     config.cache_dir = cache_dir(args);
+    let quiet = is_quiet(args);
     let json = has_flag(args, "--json");
+    let tpath = trace_path(args);
+    let spine = tpath.as_ref().map(|_| Trace::recording());
+    config.trace = spine.clone();
+    let run_span = spine.as_deref().map(|t| t.span(SpanKind::Run));
     let report = run_campaign(&config, |case| {
-        if !json {
+        if !json && !quiet {
             let note = match &case.status {
                 CaseStatus::LadderFailed(w) | CaseStatus::EmulationDiverged(w) => {
                     format!(" ({w})")
@@ -931,11 +1007,19 @@ fn cmd_chaos(args: &[String]) -> Result<u8, String> {
             );
         }
     })?;
-    if json {
-        println!("{}", serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?);
-    } else {
-        println!();
-        println!("{}", report.render_matrix(&config.seeds));
+    if let Some(s) = run_span {
+        s.close();
+    }
+    if !quiet {
+        if json {
+            println!("{}", serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?);
+        } else {
+            println!();
+            println!("{}", report.render_matrix(&config.seeds));
+        }
+    }
+    if let (Some(t), Some(p)) = (&spine, &tpath) {
+        write_trace(t, p)?;
     }
     Ok(report.exit_code())
 }
@@ -1009,7 +1093,17 @@ fn cmd_cache(args: &[String]) -> Result<u8, String> {
         "stats" => {
             // Open read-only-ish (we do take the lock briefly) to count
             // usable records; the advisory index supplies segment info.
-            let store = CacheStore::open(&dir);
+            let tpath = trace_path(rest);
+            let spine = tpath.as_ref().map(|_| Trace::recording());
+            let store = match &spine {
+                Some(t) => CacheStore::open_traced(
+                    &dir,
+                    store::lock_timeout(),
+                    Arc::clone(t),
+                    StoreSrc::Local,
+                ),
+                None => CacheStore::open(&dir),
+            };
             let s = store.stats();
             println!("{}:", dir.display());
             println!(
@@ -1041,6 +1135,9 @@ fn cmd_cache(args: &[String]) -> Result<u8, String> {
             }
             for e in store.events() {
                 println!("  event      : {e}");
+            }
+            if let (Some(t), Some(p)) = (&spine, &tpath) {
+                write_trace(t, p)?;
             }
             Ok(0)
         }
@@ -1106,6 +1203,43 @@ fn cmd_cache(args: &[String]) -> Result<u8, String> {
             Ok(0)
         }
         other => Err(format!("unknown cache subcommand {other}")),
+    }
+}
+
+/// `icfgp trace <summarize|diff>` — offline analysis of a recorded
+/// JSONL trace stream. `summarize` folds the stream back through the
+/// metrics registry and prints top spans, the per-stage cache
+/// histogram and counter totals; it exits 1 when the store
+/// conservation laws are violated. `diff` prints per-counter deltas
+/// between two streams.
+fn cmd_trace(args: &[String]) -> Result<u8, String> {
+    let sub = args.first().ok_or("missing trace subcommand (summarize|diff)")?;
+    match sub.as_str() {
+        "summarize" => {
+            let path = args
+                .get(1)
+                .filter(|a| !a.starts_with('-'))
+                .ok_or("missing FILE (icfgp trace summarize FILE)")?;
+            let events = trace::read_jsonl(std::path::Path::new(path))?;
+            let summary = trace::summarize_events(&events);
+            print!("{}", summary.render());
+            Ok(u8::from(!summary.violations().is_empty()))
+        }
+        "diff" => {
+            let a = args
+                .get(1)
+                .filter(|a| !a.starts_with('-'))
+                .ok_or("missing A (icfgp trace diff A B)")?;
+            let b = args
+                .get(2)
+                .filter(|a| !a.starts_with('-'))
+                .ok_or("missing B (icfgp trace diff A B)")?;
+            let sa = trace::summarize_events(&trace::read_jsonl(std::path::Path::new(a))?);
+            let sb = trace::summarize_events(&trace::read_jsonl(std::path::Path::new(b))?);
+            print!("{}", trace::render_diff(&sa, &sb));
+            Ok(0)
+        }
+        other => Err(format!("unknown trace subcommand {other} (summarize|diff)")),
     }
 }
 
@@ -1180,6 +1314,7 @@ fn main() -> ExitCode {
         "run" => cmd_run(rest).map(|()| 0),
         "chaos" => cmd_chaos(rest),
         "cache" => cmd_cache(rest),
+        "trace" => cmd_trace(rest),
         "bench-rewrite" => cmd_bench_rewrite(rest),
         "list-workloads" => {
             println!("small  firefox  docker  driverlib  switch_demo");

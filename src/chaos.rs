@@ -19,8 +19,8 @@
 
 use icfgp_core::{
     apply_audit_gate, audit_mode_of, binary_fingerprint, config_fingerprint, CacheStore,
-    DegradationPolicy, FaultPlan, FuncMode, Instrumentation, Points, RewriteCache, RewriteConfig,
-    RewriteMode, RewriteStats, RunJournal, StoreStats,
+    DegradationPolicy, FaultPlan, FuncMode, Instrumentation, Points, Registry, RewriteCache,
+    RewriteConfig, RewriteMode, RewriteStats, RunJournal, StoreStats, Trace,
 };
 use icfgp_emu::{run, LoadOptions, Outcome};
 use icfgp_isa::Arch;
@@ -58,6 +58,9 @@ pub struct CampaignConfig {
     /// campaign exercises the persistence layer under the same oracle:
     /// store damage may cost recomputes, never output bytes.
     pub cache_dir: Option<std::path::PathBuf>,
+    /// Shared trace spine every case's cache and store emit onto
+    /// (`--trace`); `None` keeps per-case private collectors.
+    pub trace: Option<Arc<Trace>>,
 }
 
 impl Default for CampaignConfig {
@@ -70,6 +73,7 @@ impl Default for CampaignConfig {
             intensity: "standard".into(),
             policy: DegradationPolicy::default(),
             cache_dir: None,
+            trace: None,
         }
     }
 }
@@ -438,15 +442,16 @@ pub fn run_campaign(
     // One persistent store for the whole campaign (content-addressed
     // keys make sharing across workloads safe); each per-binary cache
     // attaches to it.
-    let store = config.cache_dir.as_deref().map(|d| std::sync::Arc::new(CacheStore::open(d)));
+    let store = config.cache_dir.as_deref().map(|d| open_case_store(d, config.trace.as_ref()));
     for wl in &config.workloads {
         for arch in &config.arches {
             let binary = build_workload(wl, *arch)?;
             // One cache per binary: modes and seeds share analysis and
             // any per-function rewrite work their faults leave intact.
-            let cache = match &store {
-                Some(s) => RewriteCache::with_store(s.clone()),
-                None => RewriteCache::new(),
+            let cache = match (&store, &config.trace) {
+                (Some(s), _) => RewriteCache::with_store(s.clone()),
+                (None, Some(t)) => RewriteCache::with_trace(Arc::clone(t)),
+                (None, None) => RewriteCache::new(),
             };
             for mode in &config.modes {
                 for seed in &config.seeds {
@@ -504,6 +509,9 @@ pub struct KillCampaignConfig {
     /// Scratch directory; each (case, kill point) uses a fresh
     /// subdirectory for its store and journal.
     pub dir: PathBuf,
+    /// Shared trace spine every case's stores emit onto (`--trace`);
+    /// `None` keeps per-case private collectors.
+    pub trace: Option<Arc<Trace>>,
 }
 
 impl Default for KillCampaignConfig {
@@ -519,6 +527,7 @@ impl Default for KillCampaignConfig {
             intensity: "standard".into(),
             policy: DegradationPolicy::default(),
             dir: std::env::temp_dir().join(format!("icfgp-kill-{}", std::process::id())),
+            trace: None,
         }
     }
 }
@@ -647,6 +656,7 @@ pub fn run_kill_case(
     intensity: &str,
     policy: &DegradationPolicy,
     dir: &Path,
+    trace: Option<&Arc<Trace>>,
 ) -> KillCaseResult {
     let mut config = RewriteConfig::new(mode);
     config.fault_plan = FaultPlan::named(intensity, seed);
@@ -672,7 +682,7 @@ pub fn run_kill_case(
     let ref_dir = dir.join(format!("{label}-ref"));
     let ref_journal = ref_dir.join("run.journal");
     let reference = {
-        let store = Arc::new(CacheStore::open(&ref_dir));
+        let store = open_case_store(&ref_dir, trace);
         let cache = RewriteCache::with_store(store);
         let journal = match RunJournal::create(&ref_journal, bfp, cfp) {
             Ok(j) => j,
@@ -726,7 +736,7 @@ pub fn run_kill_case(
         // The run that dies: abort after k journaled-and-flushed
         // rounds, then drop every handle (the kill).
         {
-            let store = Arc::new(CacheStore::open(&case_dir));
+            let store = open_case_store(&case_dir, trace);
             let cache = RewriteCache::with_store(store.clone());
             let journal = match RunJournal::create(&journal_path, bfp, cfp) {
                 Ok(j) => j,
@@ -782,7 +792,7 @@ pub fn run_kill_case(
             return result;
         }
         let resumed = {
-            let store = Arc::new(CacheStore::open(&case_dir));
+            let store = open_case_store(&case_dir, trace);
             let cache = RewriteCache::with_store(store);
             let sup = Supervisor { resume: Some(&replay), ..Supervisor::default() };
             match rewrite_with_ladder_supervised(binary, &config, &instr, &cache, &sup) {
@@ -852,6 +862,7 @@ pub fn run_kill_campaign(
                         &config.intensity,
                         &config.policy,
                         &config.dir,
+                        config.trace.as_ref(),
                     );
                     progress(&case);
                     report.cases.push(case);
@@ -885,6 +896,9 @@ pub struct NetCampaignConfig {
     pub policy: DegradationPolicy,
     /// Scratch directory; each case uses fresh server subdirectories.
     pub dir: PathBuf,
+    /// Shared trace spine every case's clients emit onto (`--trace`);
+    /// `None` keeps per-case private collectors.
+    pub trace: Option<Arc<Trace>>,
 }
 
 impl Default for NetCampaignConfig {
@@ -897,6 +911,7 @@ impl Default for NetCampaignConfig {
             intensity: "standard".into(),
             policy: DegradationPolicy::default(),
             dir: std::env::temp_dir().join(format!("icfgp-net-{}", std::process::id())),
+            trace: None,
         }
     }
 }
@@ -1007,6 +1022,20 @@ impl NetReport {
     }
 }
 
+/// Open a per-case persistent store, emitting onto the shared
+/// campaign trace when one is configured.
+fn open_case_store(dir: &Path, trace: Option<&Arc<Trace>>) -> Arc<CacheStore> {
+    match trace {
+        Some(t) => Arc::new(CacheStore::open_traced(
+            dir,
+            icfgp_core::store::lock_timeout(),
+            Arc::clone(t),
+            icfgp_core::StoreSrc::Local,
+        )),
+        None => Arc::new(CacheStore::open(dir)),
+    }
+}
+
 /// Strip the network knobs from a plan, leaving compute and store
 /// faults intact (the warm-pair oracle must run over a clean wire).
 fn without_net_faults(plan: &FaultPlan) -> FaultPlan {
@@ -1051,6 +1080,7 @@ pub fn run_net_case(
     intensity: &str,
     policy: &DegradationPolicy,
     dir: &Path,
+    trace: Option<&Arc<Trace>>,
 ) -> NetCaseResult {
     use icfgp_core::{
         parse_store_url, serve, FaultyTransport, RemoteOptions, RemoteStore, RetryPolicy,
@@ -1084,7 +1114,9 @@ pub fn run_net_case(
     };
 
     // Phase 1: cold reference, no store at all.
-    let cold = match rewrite_with_ladder_cached(binary, &config, &instr, &RewriteCache::new()) {
+    let cold_cache =
+        trace.map_or_else(RewriteCache::new, |t| RewriteCache::with_trace(Arc::clone(t)));
+    let cold = match rewrite_with_ladder_cached(binary, &config, &instr, &cold_cache) {
         Ok(l) => l,
         Err(e) => {
             result.detail = format!("cold reference ladder: {e}");
@@ -1116,8 +1148,12 @@ pub fn run_net_case(
             timeout: Duration::from_millis(500),
             breaker_threshold: 4,
             retry: RetryPolicy::seeded(seed),
+            trace: trace.cloned(),
         },
     ));
+    // Campaigns can share one trace across every client, so per-client
+    // numbers come from a snapshot delta, not the raw counters.
+    let store_before = store.stats();
     let cache = RewriteCache::with_store(store.clone());
     let faulted = match rewrite_with_ladder_cached(binary, &config, &instr, &cache) {
         Ok(l) => l,
@@ -1127,14 +1163,19 @@ pub fn run_net_case(
         }
     };
     cache.flush_store();
-    let s = store.stats();
+    let s = store.stats().delta_since(&store_before);
+    let violations = Registry::check("net-faulted", &s);
+    if !violations.is_empty() {
+        result.detail = format!("store conservation broken: {}", violations.join("; "));
+        return result;
+    }
     result.injected = injected.load(std::sync::atomic::Ordering::Relaxed);
     result.retries = s.retries;
     result.breaker_trips = s.breaker_trips;
     result.degraded_lookups = s.degraded;
     result.remote_hits = s.remote_hits;
     result.remote_misses = s.remote_misses;
-    result.lookups = s.hits + s.misses;
+    result.lookups = s.lookups;
     drop(cache);
     drop(store);
     server.kill();
@@ -1176,16 +1217,22 @@ pub fn run_net_case(
             RemoteOptions {
                 timeout: Duration::from_millis(500),
                 retry: RetryPolicy::seeded(seed),
+                trace: trace.cloned(),
                 ..RemoteOptions::default()
             },
         ));
+        let store_before = store.stats();
         let cache = RewriteCache::with_store(store.clone());
         let l = rewrite_with_ladder_cached(binary, &warm_config, &instr, &cache)
             .map_err(|e| format!("{tag} ladder: {e}"))?;
         cache.flush_store();
-        let s = store.stats();
+        let s = store.stats().delta_since(&store_before);
+        let violations = Registry::check(tag, &s);
+        if !violations.is_empty() {
+            return Err(format!("{tag} conservation broken: {}", violations.join("; ")));
+        }
         let bytes = serde_json::to_vec(&l.outcome.binary).unwrap_or_default();
-        Ok((stage_misses(&l.round_stats), s.hits + s.misses, bytes))
+        Ok((stage_misses(&l.round_stats), s.lookups, bytes))
     };
     let (first, first_lookups, first_bytes) = match warm("warm-first") {
         Ok(v) => v,
@@ -1255,6 +1302,7 @@ pub fn run_net_campaign(
                         &config.intensity,
                         &config.policy,
                         &config.dir,
+                        config.trace.as_ref(),
                     );
                     progress(&case);
                     report.cases.push(case);

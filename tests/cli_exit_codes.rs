@@ -606,6 +606,187 @@ fn cache_compact_shrinks_a_cleared_quarantine() {
 }
 
 #[test]
+fn quiet_preserves_exit_codes_with_empty_stdout() {
+    let raw = gen_switch_demo();
+    let rw = tmp("quiet-rw.json");
+
+    // Clean: exit 0, nothing on stdout.
+    let clean = icfgp()
+        .args(["rewrite"])
+        .arg(&raw)
+        .args(["--mode", "jt", "--quiet", "-o"])
+        .arg(&rw)
+        .output()
+        .expect("rewrite runs");
+    assert_eq!(clean.status.code(), Some(0), "{}", String::from_utf8_lossy(&clean.stderr));
+    assert!(clean.stdout.is_empty(), "{}", String::from_utf8_lossy(&clean.stdout));
+
+    // Degraded within budget: still exit 1 under the short flag, and
+    // --stats output is suppressed too.
+    let degraded = icfgp()
+        .args(["rewrite"])
+        .arg(&raw)
+        .args(["--mode", "jt", "--fault-seed", "1", "--budget", "1.0", "--stats", "-q", "-o"])
+        .arg(&rw)
+        .output()
+        .expect("rewrite runs");
+    assert_eq!(degraded.status.code(), Some(1), "{}", String::from_utf8_lossy(&degraded.stderr));
+    assert!(degraded.stdout.is_empty(), "{}", String::from_utf8_lossy(&degraded.stdout));
+
+    // Budget exceeded: exit 2, still silent.
+    let exceeded = icfgp()
+        .args(["rewrite"])
+        .arg(&raw)
+        .args(["--mode", "jt", "--fault-seed", "1", "--quiet", "-o"])
+        .arg(&rw)
+        .output()
+        .expect("rewrite runs");
+    assert_eq!(exceeded.status.code(), Some(2), "{}", String::from_utf8_lossy(&exceeded.stderr));
+    assert!(exceeded.stdout.is_empty());
+
+    // Internal errors keep stderr even when quiet.
+    let gone = icfgp()
+        .args(["rewrite", "/nonexistent/icfgp-quiet.json", "--quiet", "-o"])
+        .arg(&rw)
+        .output()
+        .expect("rewrite runs");
+    assert_eq!(gone.status.code(), Some(3));
+    assert!(String::from_utf8_lossy(&gone.stderr).contains("error"));
+
+    // Quiet fleet: exit 0 with empty stdout.
+    let dir = tmp("quiet-fleet-store");
+    let _ = std::fs::remove_dir_all(&dir);
+    let fleet = icfgp()
+        .arg("fleet")
+        .arg(&raw)
+        .args(["--mode", "jt", "--quiet", "--cache-dir"])
+        .arg(&dir)
+        .output()
+        .expect("fleet runs");
+    assert_eq!(fleet.status.code(), Some(0), "{}", String::from_utf8_lossy(&fleet.stderr));
+    assert!(fleet.stdout.is_empty(), "{}", String::from_utf8_lossy(&fleet.stdout));
+    let _ = std::fs::remove_file(PathBuf::from(format!("{}.rw", raw.display())));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Quiet chaos: the exit code still reports the campaign verdict.
+    let chaos = icfgp()
+        .args([
+            "chaos", "--seeds", "1", "--workloads", "switch_demo", "--arch", "x86-64",
+            "--mode", "jt", "--quiet",
+        ])
+        .output()
+        .expect("chaos runs");
+    assert!(
+        matches!(chaos.status.code(), Some(0 | 1)),
+        "exit {:?}: {}",
+        chaos.status.code(),
+        String::from_utf8_lossy(&chaos.stderr)
+    );
+    assert!(chaos.stdout.is_empty(), "{}", String::from_utf8_lossy(&chaos.stdout));
+
+    let _ = std::fs::remove_file(&raw);
+    let _ = std::fs::remove_file(&rw);
+}
+
+#[test]
+fn trace_flag_records_and_summarize_validates() {
+    let raw = gen_switch_demo();
+    let rw = tmp("trace-rw.json");
+    let rw2 = tmp("trace-rw2.json");
+    let stream = tmp("trace.jsonl");
+
+    // --trace writes schema-valid JSONL and changes neither the exit
+    // code nor the output bytes.
+    let plain = icfgp()
+        .args(["rewrite"])
+        .arg(&raw)
+        .args(["--mode", "jt", "-o"])
+        .arg(&rw)
+        .output()
+        .expect("rewrite runs");
+    assert_eq!(plain.status.code(), Some(0), "{}", String::from_utf8_lossy(&plain.stderr));
+    let traced = icfgp()
+        .args(["rewrite"])
+        .arg(&raw)
+        .args(["--mode", "jt", "--trace"])
+        .arg(&stream)
+        .arg("-o")
+        .arg(&rw2)
+        .output()
+        .expect("rewrite runs");
+    assert_eq!(traced.status.code(), Some(0), "{}", String::from_utf8_lossy(&traced.stderr));
+    assert_eq!(
+        std::fs::read(&rw).unwrap(),
+        std::fs::read(&rw2).unwrap(),
+        "tracing must not change output bytes"
+    );
+    let text = std::fs::read_to_string(&stream).expect("trace written");
+    assert!(!text.is_empty());
+    for line in text.lines() {
+        serde_json::from_str::<serde::Value>(line).expect("every line is JSON");
+    }
+
+    // summarize: exit 0 on a consistent stream, report on stdout.
+    let sum = icfgp()
+        .args(["trace", "summarize"])
+        .arg(&stream)
+        .output()
+        .expect("summarize runs");
+    assert_eq!(sum.status.code(), Some(0), "{}", String::from_utf8_lossy(&sum.stderr));
+    let out = String::from_utf8_lossy(&sum.stdout);
+    assert!(out.contains("conservation: ok"), "{out}");
+    assert!(out.contains("spans:"), "{out}");
+
+    // diff of a stream against itself: all deltas zero, exit 0.
+    let diff = icfgp()
+        .args(["trace", "diff"])
+        .arg(&stream)
+        .arg(&stream)
+        .output()
+        .expect("diff runs");
+    assert_eq!(diff.status.code(), Some(0), "{}", String::from_utf8_lossy(&diff.stderr));
+
+    // Unreadable file and unknown subcommand are internal errors (3).
+    let gone = icfgp()
+        .args(["trace", "summarize", "/nonexistent/icfgp-trace.jsonl"])
+        .output()
+        .expect("summarize runs");
+    assert_eq!(gone.status.code(), Some(3));
+    let unknown = icfgp().args(["trace", "frobnicate"]).output().expect("runs");
+    assert_eq!(unknown.status.code(), Some(3));
+
+    // A schema-invalid stream is rejected with the offending line.
+    let bad = tmp("trace-bad.jsonl");
+    std::fs::write(&bad, "{\"not-an-event\":1}\n").unwrap();
+    let rejected = icfgp()
+        .args(["trace", "summarize"])
+        .arg(&bad)
+        .output()
+        .expect("summarize runs");
+    assert_eq!(rejected.status.code(), Some(3));
+    assert!(String::from_utf8_lossy(&rejected.stderr).contains(":1"), "names the line");
+
+    // ICFGP_TRACE is the environment spelling of --trace.
+    let via_env = tmp("trace-env.jsonl");
+    let out = icfgp()
+        .env("ICFGP_TRACE", &via_env)
+        .args(["verify"])
+        .arg(&raw)
+        .args(["--mode", "jt"])
+        .output()
+        .expect("verify runs");
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(via_env.exists(), "ICFGP_TRACE must write the stream");
+
+    let _ = std::fs::remove_file(&raw);
+    let _ = std::fs::remove_file(&rw);
+    let _ = std::fs::remove_file(&rw2);
+    let _ = std::fs::remove_file(&stream);
+    let _ = std::fs::remove_file(&bad);
+    let _ = std::fs::remove_file(&via_env);
+}
+
+#[test]
 fn cache_verify_contract_clean_then_damaged() {
     let raw = gen_switch_demo();
     let rw = tmp("cache-rw.json");
